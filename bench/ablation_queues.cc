@@ -1,0 +1,126 @@
+// Ablation: queue implementation choices.
+//
+//  1. Optimistic vs locked queues under real multi-threaded contention
+//     (the paper's motivation for reduced synchronization, §3).
+//  2. The buffered queue (§5.4): amortizing insert cost by packing eight
+//     words per element, measured on the simulated A/D interrupt path.
+//  3. Dedicated vs optimistic queues in the simulated kernel: the dedicated
+//     single-owner queue omits the CAS.
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <thread>
+
+#include "src/io/ad_device.h"
+#include "src/kernel/kernel.h"
+#include "src/kernel/queue_code.h"
+#include "src/sync/locked_queue.h"
+#include "src/sync/mpsc_queue.h"
+
+namespace synthesis {
+namespace {
+
+template <typename Q>
+double MopsPerSec(Q& q, int producers, uint64_t per_producer) {
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> consumed{0};
+  uint64_t total = static_cast<uint64_t>(producers) * per_producer;
+  std::thread consumer([&] {
+    uint64_t v;
+    while (consumed.load(std::memory_order_relaxed) < total) {
+      if (q.TryGet(v)) {
+        consumed.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        std::this_thread::yield();
+      }
+    }
+    stop = true;
+  });
+  auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> ps;
+  for (int p = 0; p < producers; p++) {
+    ps.emplace_back([&, p] {
+      for (uint64_t i = 0; i < per_producer;) {
+        if (q.TryPut(static_cast<uint64_t>(p))) {
+          i++;
+        } else {
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+  for (auto& t : ps) {
+    t.join();
+  }
+  consumer.join();
+  double secs = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+                    .count();
+  return static_cast<double>(total) / secs / 1e6;
+}
+
+}  // namespace
+
+void Main() {
+  std::printf("=== Ablation 1: optimistic vs locked queues (real threads) ===\n");
+  for (int producers : {1, 2}) {
+    MpscQueue<uint64_t> opt(4096);
+    LockedQueue<uint64_t> locked(4096);
+    double mo = MopsPerSec(opt, producers, 300'000);
+    double ml = MopsPerSec(locked, producers, 300'000);
+    std::printf("  %d producer(s): optimistic %6.2f Mops/s   locked %6.2f Mops/s   "
+                "(%.1fx)\n", producers, mo, ml, mo / ml);
+  }
+
+  std::printf("\n=== Ablation 2: buffered queue insert (A/D, 8 words/element) ===\n");
+  {
+    Kernel k;
+    AdDevice ad(k);
+    constexpr int kSamples = 256;
+    Stopwatch sw(k.machine());
+    for (int i = 0; i < kSamples; i++) {
+      k.machine().set_reg(kD1, static_cast<uint32_t>(i));
+      k.kexec().Call(ad.entry_block());
+    }
+    double buffered = sw.micros() / kSamples;
+
+    // Plain alternative: every sample goes through a full MP-SC queue put.
+    VmQueue plain(k.machine(), k.code(), k.allocator(), 512, VmQueue::Kind::kMpsc);
+    Stopwatch sw2(k.machine());
+    for (int i = 0; i < kSamples; i++) {
+      plain.Put(k.kexec(), static_cast<uint32_t>(i));
+    }
+    double unbuffered = sw2.micros() / kSamples;
+    std::printf("  buffered insert:   %5.2f us/sample\n", buffered);
+    std::printf("  plain queue put:   %5.2f us/sample\n", unbuffered);
+    std::printf("  amortization gain: %.1fx  (enables 44,100 interrupts/s: "
+                "%.0f%% CPU at 16 MHz)\n", unbuffered / buffered,
+                buffered * 44100.0 / 1e6 * 100.0);
+  }
+
+  std::printf("\n=== Ablation 3: dedicated vs optimistic queue (simulated) ===\n");
+  {
+    Kernel k;
+    VmQueue spsc(k.machine(), k.code(), k.allocator(), 64, VmQueue::Kind::kSpsc);
+    VmQueue mpsc(k.machine(), k.code(), k.allocator(), 64, VmQueue::Kind::kMpsc);
+    k.machine().set_reg(kD1, 1);
+    RunResult a = k.kexec().Call(spsc.put_block());
+    k.machine().set_reg(kD1, 1);
+    RunResult b = k.kexec().Call(mpsc.put_block());
+    std::printf("  SP-SC put (no CAS):  %llu instructions, %llu cycles\n",
+                static_cast<unsigned long long>(a.instructions),
+                static_cast<unsigned long long>(a.cycles));
+    std::printf("  MP-SC put (CAS):     %llu instructions, %llu cycles\n",
+                static_cast<unsigned long long>(b.instructions),
+                static_cast<unsigned long long>(b.cycles));
+    std::printf("  the principle of frugality: pay for multi-producer safety\n"
+                "  only where multiple producers exist (%.0f%% extra cycles)\n",
+                100.0 * (static_cast<double>(b.cycles) / a.cycles - 1));
+  }
+}
+
+}  // namespace synthesis
+
+int main() {
+  synthesis::Main();
+  return 0;
+}

@@ -1,0 +1,108 @@
+// Figure 3: the executable ready queue.
+//
+// There is no dispatcher procedure in Synthesis: a context switch executes
+// the current thread's synthesized sw_out, which jumps directly into the next
+// thread's sw_in. This bench contrasts that against a traditional dispatcher
+// model (save everything, walk the proc table to choose the next runnable,
+// restore), showing that the Synthesis switch is O(1) in the number of ready
+// threads while the traditional one degrades.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "src/kernel/kernel.h"
+#include "src/machine/assembler.h"
+#include "src/machine/executor.h"
+
+namespace synthesis {
+namespace {
+
+class IdleProgram : public UserProgram {
+ public:
+  StepStatus Step(ThreadEnv&) override { return StepStatus::kYield; }
+};
+
+double SynthesisSwitchUs(int nthreads) {
+  Kernel k;
+  for (int i = 0; i < nthreads; i++) {
+    k.CreateThread(std::make_unique<IdleProgram>());
+  }
+  k.ContextSwitchNow();  // prime
+  constexpr int kReps = 64;
+  Stopwatch sw(k.machine());
+  for (int i = 0; i < kReps; i++) {
+    k.ContextSwitchNow();
+  }
+  return sw.micros() / kReps;
+}
+
+// The traditional dispatcher as a VM program: save the full register set to
+// a save area, scan an N-entry proc table for the best-priority runnable
+// entry, then restore from the chosen entry. (This is the "complete switch"
+// of §4.2: setup, table walk, copyin/copyout of state.)
+double TraditionalSwitchUs(int nthreads) {
+  Machine m(1 << 20, MachineConfig::SunEmulation());
+  CodeStore store;
+  Executor exec(m, store);
+  constexpr Addr kProcTable = 0x8000;
+  constexpr uint32_t kProcBytes = 128;  // slim proc entry
+  for (int i = 0; i < nthreads; i++) {
+    // priority word per entry
+    m.memory().Write32(kProcTable + kProcBytes * static_cast<uint32_t>(i),
+                       static_cast<uint32_t>((i * 37) % 100));
+  }
+  Asm a("traditional_dispatch");
+  a.MoveI(kA6, 0x4000);
+  a.MovemSave(kA6, 16);     // save registers to the u-area
+  a.Charge(60);             // kernel stack switch, u-area bookkeeping
+  // Scan the proc table for the highest priority.
+  a.MoveI(kA0, kProcTable);
+  a.MoveI(kD0, 0);                                // best priority
+  a.MoveI(kD2, 0);                                // index
+  a.MoveI(kD3, nthreads);
+  a.Label("scan");
+  a.Load32(kD1, kA0, 0);
+  a.Cmp(kD1, kD0);
+  a.Bls("skip");
+  a.Move(kD0, kD1);
+  a.Label("skip");
+  a.AddI(kA0, kProcBytes);
+  a.AddI(kD2, 1);
+  a.Cmp(kD2, kD3);
+  a.Blt("scan");
+  a.Charge(80);             // copy register state into the chosen proc entry
+  a.MoveI(kA6, 0x4000);
+  a.MovemLoad(kA6, 16);
+  a.Rts();
+  BlockId blk = store.Install(a.BuildBlock());
+
+  constexpr int kReps = 64;
+  Stopwatch sw(m);
+  for (int i = 0; i < kReps; i++) {
+    exec.Call(blk);
+  }
+  return sw.micros() / kReps;
+}
+
+}  // namespace
+
+void Main() {
+  std::printf("=== Figure 3: executable ready queue vs traditional dispatcher ===\n");
+  std::printf("%10s %26s %26s\n", "threads", "Synthesis switch (us)",
+              "traditional dispatch (us)");
+  for (int n : {2, 4, 8, 32, 128}) {
+    std::printf("%10d %23.2f us %23.2f us\n", n, SynthesisSwitchUs(n),
+                TraditionalSwitchUs(n));
+  }
+  std::printf("\nThe Synthesis switch is constant (~11 us, Table 4) because the\n"
+              "ready queue IS the dispatcher: each sw_out ends in a jmp patched\n"
+              "to the successor's sw_in. The traditional model scans state that\n"
+              "grows with the number of threads.\n");
+}
+
+}  // namespace synthesis
+
+int main() {
+  synthesis::Main();
+  return 0;
+}

@@ -1,0 +1,129 @@
+// Table 1: Measured UNIX system calls — SUNOS baseline vs the Synthesis UNIX
+// emulator, running the same benchmark programs (Appendix A equivalents).
+//
+// The paper reports wall-clock seconds for unspecified loop counts; what is
+// comparable is the per-iteration cost and, above all, the RATIO between the
+// two systems (§6.2: 1-byte pipes ~56x, page-size chunks 4-6x, open/close
+// 20-40x, compute ~1x). This bench runs each program on both kernels and
+// prints per-iteration times and speedups.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/baseline/sunos.h"
+#include "src/fs/file_system.h"
+#include "src/io/io_system.h"
+#include "src/kernel/kernel.h"
+#include "src/unix/bench_programs.h"
+#include "src/unix/emulator.h"
+
+namespace synthesis {
+namespace {
+
+// One self-contained Synthesis stack (kernel + fs + io + UNIX emulator).
+struct SynthesisStack {
+  SynthesisStack()
+      : disk(kernel), sched(disk), fs(kernel, disk, sched), io(kernel, &fs),
+        unix_emu(kernel, io, &fs) {
+    io.RegisterRingDevice("/dev/null", nullptr, nullptr);
+    auto in = io.MakeRing(1024);
+    auto out = io.MakeRing(4096);
+    io.RegisterRingDevice("/dev/tty", in, out);
+  }
+  Kernel kernel;
+  DiskDevice disk;
+  DiskScheduler sched;
+  FileSystem fs;
+  IoSystem io;
+  UnixEmulator unix_emu;
+};
+
+struct Row {
+  const char* label;
+  double paper_speedup;  // from Table 1 / §6.2 (approximate where garbled)
+  BenchResult sun;
+  BenchResult syn;
+};
+
+void PrintTable(const std::vector<Row>& rows) {
+  std::printf("\n=== Table 1: UNIX system calls, SUNOS model vs Synthesis emulator ===\n");
+  std::printf("%-22s %14s %14s %9s %9s\n", "program", "SUNOS us/iter",
+              "Synthesis", "speedup", "paper");
+  std::printf("%.*s\n", 74,
+              "--------------------------------------------------------------------------");
+  for (const Row& r : rows) {
+    double speedup =
+        r.syn.per_iteration_us > 0 ? r.sun.per_iteration_us / r.syn.per_iteration_us : 0;
+    std::printf("%-22s %11.2f us %11.2f us %8.1fx %8.1fx%s\n", r.label,
+                r.sun.per_iteration_us, r.syn.per_iteration_us, speedup,
+                r.paper_speedup, (r.sun.ok && r.syn.ok) ? "" : "  [FAILED]");
+  }
+}
+
+}  // namespace
+
+void Main() {
+  std::vector<Row> rows;
+
+  {
+    // Program 1: compute. Identical machine models -> ratio ~1 (the paper
+    // saw 1.05 from the SUN's actual 16.7 MHz clock).
+    SunosKernel sun;
+    SynthesisStack syn;
+    Row r{"1 compute", 1.0, RunComputeProgram(sun, 200'000),
+          RunComputeProgram(syn.unix_emu, 200'000)};
+    rows.push_back(r);
+  }
+  {
+    SunosKernel sun;
+    SynthesisStack syn;
+    rows.push_back(Row{"2 R/W pipes 1B", 56.0, RunPipeProgram(sun, 4'000, 1),
+                       RunPipeProgram(syn.unix_emu, 4'000, 1)});
+  }
+  {
+    SunosKernel sun;
+    SynthesisStack syn;
+    rows.push_back(Row{"3 R/W pipes 1KB", 10.0, RunPipeProgram(sun, 1'000, 1024),
+                       RunPipeProgram(syn.unix_emu, 1'000, 1024)});
+  }
+  {
+    SunosKernel sun;
+    SynthesisStack syn;
+    rows.push_back(Row{"4 R/W pipes 4KB", 5.0, RunPipeProgram(sun, 400, 4096),
+                       RunPipeProgram(syn.unix_emu, 400, 4096)});
+  }
+  {
+    SunosKernel sun;
+    SynthesisStack syn;
+    rows.push_back(Row{"5 R/W file 1KB", 8.0, RunFileProgram(sun, 100),
+                       RunFileProgram(syn.unix_emu, 100)});
+  }
+  {
+    SunosKernel sun;
+    SynthesisStack syn;
+    rows.push_back(Row{"6 open null/close", 23.0,
+                       RunOpenCloseProgram(sun, 500, "/dev/null"),
+                       RunOpenCloseProgram(syn.unix_emu, 500, "/dev/null")});
+  }
+  {
+    SunosKernel sun;
+    SynthesisStack syn;
+    rows.push_back(Row{"7 open tty/close", 40.0,
+                       RunOpenCloseProgram(sun, 500, "/dev/tty"),
+                       RunOpenCloseProgram(syn.unix_emu, 500, "/dev/tty")});
+  }
+
+  PrintTable(rows);
+  std::printf(
+      "\nShape checks (the claims of §6.2):\n"
+      "  compute parity, ~56x on 1-byte pipes, 4-6x at page size,\n"
+      "  20-40x on open/close. Paper speedup for rows 3/5 derived from the\n"
+      "  reported totals; Table 1's Synthesis column is partially corrupt in\n"
+      "  the source text, so §6.2's stated factors are the reference.\n");
+}
+
+}  // namespace synthesis
+
+int main() {
+  synthesis::Main();
+  return 0;
+}

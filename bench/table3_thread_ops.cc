@@ -1,0 +1,94 @@
+// Table 3: Thread operations in microseconds.
+// Paper: create 142, destroy 11, stop 8, start 8, step 37, signal 8.
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "src/kernel/kernel.h"
+#include "src/machine/assembler.h"
+
+namespace synthesis {
+namespace {
+
+// A body that does nothing per step (so Step() measures only the machinery).
+class IdleProgram : public UserProgram {
+ public:
+  StepStatus Step(ThreadEnv&) override { return StepStatus::kYield; }
+};
+
+double Avg(double total, int n) { return total / n; }
+
+}  // namespace
+
+void Main() {
+  constexpr int kReps = 32;
+  PrintHeader("Table 3: Thread operations");
+
+  {
+    Kernel k;
+    Stopwatch sw(k.machine());
+    for (int i = 0; i < kReps; i++) {
+      k.CreateThread(std::make_unique<IdleProgram>());
+    }
+    PrintRow("create", 142, Avg(sw.micros(), kReps));
+  }
+  {
+    Kernel k;
+    std::vector<ThreadId> tids;
+    for (int i = 0; i < kReps; i++) {
+      tids.push_back(k.CreateThread(std::make_unique<IdleProgram>()));
+    }
+    Stopwatch sw(k.machine());
+    for (ThreadId t : tids) {
+      k.DestroyThread(t);
+    }
+    PrintRow("destroy", 11, Avg(sw.micros(), kReps));
+  }
+  {
+    Kernel k;
+    std::vector<ThreadId> tids;
+    for (int i = 0; i < kReps; i++) {
+      tids.push_back(k.CreateThread(std::make_unique<IdleProgram>()));
+    }
+    Stopwatch stop_sw(k.machine());
+    for (ThreadId t : tids) {
+      k.Stop(t);
+    }
+    double stop_us = Avg(stop_sw.micros(), kReps);
+    Stopwatch start_sw(k.machine());
+    for (ThreadId t : tids) {
+      k.Start(t);
+    }
+    PrintRow("stop", 8, stop_us);
+    PrintRow("start", 8, Avg(start_sw.micros(), kReps));
+  }
+  {
+    Kernel k;
+    ThreadId t = k.CreateThread(std::make_unique<IdleProgram>());
+    k.Stop(t);
+    Stopwatch sw(k.machine());
+    for (int i = 0; i < kReps; i++) {
+      k.Step(t);
+    }
+    PrintRow("step", 37, Avg(sw.micros(), kReps));
+  }
+  {
+    Kernel k;
+    ThreadId t = k.CreateThread(std::make_unique<IdleProgram>());
+    Asm h("noop_handler");
+    h.Rts();
+    BlockId handler = k.code().Install(h.BuildBlock());
+    Stopwatch sw(k.machine());
+    for (int i = 0; i < kReps; i++) {
+      k.Signal(t, handler);
+    }
+    PrintRow("signal (thread to thread)", 8, Avg(sw.micros(), kReps));
+  }
+  PrintNote("create = fill ~1KB TTE (+synthesize sw_in/sw_out/vectors/error trap)");
+}
+
+}  // namespace synthesis
+
+int main() {
+  synthesis::Main();
+  return 0;
+}

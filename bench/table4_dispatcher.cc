@@ -1,0 +1,110 @@
+// Table 4: Dispatcher/Scheduler, in microseconds.
+// Paper: full context switch 11 (21 with FP registers), partial context
+// switch 3, block thread 4, unblock thread 4.
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "src/kernel/kernel.h"
+#include "src/machine/assembler.h"
+
+namespace synthesis {
+namespace {
+
+class IdleProgram : public UserProgram {
+ public:
+  StepStatus Step(ThreadEnv&) override { return StepStatus::kYield; }
+};
+
+// Program that measures its own Block call, then exits when resumed.
+class BlockTimer : public UserProgram {
+ public:
+  BlockTimer(WaitQueue* wq, double* out) : wq_(wq), out_(out) {}
+  StepStatus Step(ThreadEnv& env) override {
+    if (!blocked_) {
+      blocked_ = true;
+      Stopwatch sw(env.kernel.machine());
+      env.kernel.BlockCurrentOn(*wq_);
+      *out_ = sw.micros();
+      return StepStatus::kBlocked;
+    }
+    return StepStatus::kDone;
+  }
+
+ private:
+  WaitQueue* wq_;
+  double* out_;
+  bool blocked_ = false;
+};
+
+}  // namespace
+
+void Main() {
+  constexpr int kReps = 64;
+  PrintHeader("Table 4: Dispatcher/Scheduler");
+
+  {
+    Kernel k;
+    ThreadId a = k.CreateThread(std::make_unique<IdleProgram>());
+    ThreadId b = k.CreateThread(std::make_unique<IdleProgram>());
+    k.ContextSwitchNow();  // prime: current becomes a real thread
+    Stopwatch sw(k.machine());
+    for (int i = 0; i < kReps; i++) {
+      k.ContextSwitchNow();
+    }
+    PrintRow("full context switch", 11, sw.micros() / kReps);
+
+    k.EnableFp(a);
+    k.EnableFp(b);
+    Stopwatch sw_fp(k.machine());
+    for (int i = 0; i < kReps; i++) {
+      k.ContextSwitchNow();
+    }
+    PrintRow("full context switch (FP registers)", 21, sw_fp.micros() / kReps);
+  }
+
+  {
+    // Partial context switch: only the registers in use move (here 3), used
+    // for switches into kernel-internal threads sharing the address space.
+    Kernel k;
+    ThreadId a = k.CreateThread(std::make_unique<IdleProgram>());
+    ThreadId b = k.CreateThread(std::make_unique<IdleProgram>());
+    Asm p("partial_switch");
+    p.MoveI(kA6, static_cast<int32_t>(k.TteOf(a).addr()));
+    p.MovemSave(kA6, 3);
+    p.MoveI(kD6, static_cast<int32_t>(k.TteOf(b).addr() + TteLayout::kVectors));
+    p.SetVbr(kD6);
+    p.MoveI(kA6, static_cast<int32_t>(k.TteOf(b).addr()));
+    p.MovemLoad(kA6, 3);
+    p.Rts();
+    BlockId blk = k.code().Install(p.BuildBlock());
+    Stopwatch sw(k.machine());
+    for (int i = 0; i < kReps; i++) {
+      k.kexec().Call(blk);
+    }
+    PrintRow("partial context switch", 3, sw.micros() / kReps);
+  }
+
+  {
+    Kernel k;
+    WaitQueue wq;
+    double block_us = 0;
+    k.CreateThread(std::make_unique<BlockTimer>(&wq, &block_us));
+    k.CreateThread(std::make_unique<IdleProgram>());  // keep the queue alive
+    k.RunSlice();                                     // the timer thread blocks
+    PrintRow("block thread", 4, block_us);
+
+    Stopwatch sw(k.machine());
+    k.UnblockOne(wq);
+    PrintRow("unblock thread", 4, sw.micros());
+  }
+
+  PrintNote("switches execute the synthesized sw_out -> sw_in chain of the");
+  PrintNote("executable ready queue; there is no dispatcher procedure (Fig. 3).");
+}
+
+}  // namespace synthesis
+
+int main() {
+  synthesis::Main();
+  return 0;
+}

@@ -1,0 +1,106 @@
+// The A/D capture example (§5.4): the analog-to-digital server handles
+// 44,100 single-word interrupts per second by packing eight samples per
+// buffered-queue element through rotating synthesized insert handlers. A
+// consumer thread drains elements and "records" them to a file.
+//
+//   $ ./examples/audio_capture
+#include <array>
+#include <cstdio>
+#include <memory>
+
+#include "src/fs/disk.h"
+#include "src/fs/file_system.h"
+#include "src/io/ad_device.h"
+#include "src/io/io_system.h"
+#include "src/kernel/kernel.h"
+
+using namespace synthesis;
+
+namespace {
+
+class Recorder : public UserProgram {
+ public:
+  Recorder(AdDevice& ad, IoSystem& io, uint32_t samples_wanted, uint32_t* out)
+      : ad_(ad), io_(io), wanted_(samples_wanted), out_(out) {}
+
+  StepStatus Step(ThreadEnv& env) override {
+    if (file_ == kBadChannel) {
+      file_ = io_.Open("/audio/take1");
+      buf_ = env.kernel.allocator().Allocate(32);
+    }
+    std::array<uint32_t, AdDevice::kWordsPerElement> elem;
+    bool got_any = false;
+    while (ad_.GetElement(&elem)) {
+      got_any = true;
+      // Stage the element in simulated memory and append it to the file via
+      // the synthesized write routine.
+      for (uint32_t i = 0; i < elem.size(); i++) {
+        env.kernel.machine().memory().Write32(buf_ + 4 * i, elem[i]);
+      }
+      io_.Write(file_, buf_, 32);
+      recorded_ += AdDevice::kWordsPerElement;
+      *out_ = recorded_;
+    }
+    if (recorded_ >= wanted_) {
+      io_.Close(file_);
+      return StepStatus::kDone;
+    }
+    if (!got_any) {
+      env.kernel.BlockCurrentOn(ad_.consumer_wait());
+      return StepStatus::kBlocked;
+    }
+    return StepStatus::kYield;
+  }
+
+ private:
+  AdDevice& ad_;
+  IoSystem& io_;
+  uint32_t wanted_;
+  uint32_t* out_;
+  ChannelId file_ = kBadChannel;
+  Addr buf_ = 0;
+  uint32_t recorded_ = 0;
+};
+
+}  // namespace
+
+int main() {
+  Kernel kernel;
+  DiskDevice disk(kernel);
+  DiskScheduler dsched(disk);
+  FileSystem fs(kernel, disk, dsched);
+  IoSystem io(kernel, &fs);
+  AdDevice ad(kernel);
+
+  constexpr uint32_t kSamples = 4096;  // ~93 ms of audio at 44.1 kHz
+  fs.CreateFile("/audio/take1", {}, kSamples * 4);
+  // Warm the file so the recorder's open() does not stall on the disk while
+  // samples pour in (the element ring holds ~12 ms of audio).
+  fs.Ensure(fs.LookupId("/audio/take1"));
+
+  uint32_t recorded = 0;
+  kernel.CreateThread(std::make_unique<Recorder>(ad, io, kSamples, &recorded));
+
+  double t0 = kernel.NowUs();
+  ad.CaptureSamples(kSamples, /*start_us=*/t0 + 100);
+  kernel.Run();
+
+  double elapsed_ms = (kernel.NowUs() - t0) / 1000.0;
+  std::printf("captured %u samples (%llu interrupts, %llu elements published)\n",
+              recorded,
+              static_cast<unsigned long long>(ad.interrupts_scheduled()),
+              static_cast<unsigned long long>(ad.elements_published()));
+  std::printf("virtual time: %.2f ms (real-time budget at 44.1 kHz: %.2f ms)\n",
+              elapsed_ms, kSamples / 44.1);
+  std::printf("file grew to %u bytes\n", fs.SizeOf(fs.LookupId("/audio/take1")));
+
+  // Data integrity: samples are a ramp; verify the recording.
+  FileSystem::Extent ext = fs.Ensure(fs.LookupId("/audio/take1"));
+  bool ok = true;
+  uint32_t n = fs.SizeOf(fs.LookupId("/audio/take1")) / 4;
+  for (uint32_t i = 0; i < n; i++) {
+    ok &= kernel.machine().memory().Read32(ext.base + 4 * i) == i;
+  }
+  std::printf("sample ramp integrity: %s\n", ok ? "OK" : "CORRUPT");
+  return ok ? 0 : 1;
+}

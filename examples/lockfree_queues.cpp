@@ -1,0 +1,94 @@
+// Standalone use of the optimistic queue library (src/sync) with real
+// threads: a multi-producer logging pipeline where writers never lock and a
+// single consumer drains batched log records (MP-SC with atomic multi-item
+// insert, Figure 2 as a host library).
+//
+//   $ ./examples/lockfree_queues
+#include <array>
+#include <atomic>
+#include <cstdio>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/sync/mpsc_queue.h"
+#include "src/sync/spsc_queue.h"
+
+using namespace synthesis;
+
+namespace {
+
+struct LogRecord {
+  uint32_t producer = 0;
+  uint32_t seq = 0;
+  uint32_t payload = 0;
+};
+
+}  // namespace
+
+int main() {
+  constexpr int kProducers = 3;
+  constexpr uint32_t kBatchesPerProducer = 20'000;
+  constexpr size_t kBatch = 4;  // records per atomic insert
+
+  MpscQueue<LogRecord> log(1 << 12);
+  std::atomic<uint64_t> drained{0};
+  constexpr uint64_t kTotal = uint64_t{kProducers} * kBatchesPerProducer * kBatch;
+
+  // The consumer verifies per-producer ordering and batch contiguity.
+  std::thread consumer([&] {
+    std::array<uint32_t, kProducers> next{};
+    uint64_t got = 0;
+    LogRecord r;
+    bool ordered = true;
+    while (got < kTotal) {
+      if (!log.TryGet(r)) {
+        std::this_thread::yield();
+        continue;
+      }
+      ordered &= r.seq == next[r.producer];
+      next[r.producer] = r.seq + 1;
+      got++;
+    }
+    drained = got;
+    std::printf("consumer: %llu records, per-producer order %s\n",
+                static_cast<unsigned long long>(got),
+                ordered ? "preserved" : "VIOLATED");
+  });
+
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; p++) {
+    producers.emplace_back([&, p] {
+      uint32_t seq = 0;
+      for (uint32_t b = 0; b < kBatchesPerProducer; b++) {
+        std::array<LogRecord, kBatch> batch;
+        for (auto& r : batch) {
+          r = LogRecord{static_cast<uint32_t>(p), seq++, seq * 2654435761u};
+        }
+        // Atomic multi-item insert: the whole batch lands contiguously.
+        while (!log.TryPutN(std::span<const LogRecord>(batch))) {
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+  for (auto& t : producers) {
+    t.join();
+  }
+  consumer.join();
+
+  std::printf("producers paid %llu CAS retries across %llu inserts "
+              "(optimistic synchronization: retries are rare)\n",
+              static_cast<unsigned long long>(log.put_retries()),
+              static_cast<unsigned long long>(kTotal / kBatch));
+
+  // Bonus: an SP-SC ring as a zero-synchronization channel between exactly
+  // two threads (Figure 1).
+  SpscQueue<std::string> mailbox(8);
+  mailbox.TryPut("no locks were taken in the making of this example");
+  std::string msg;
+  mailbox.TryGet(msg);
+  std::printf("%s\n", msg.c_str());
+  return drained == kTotal ? 0 : 1;
+}

@@ -1,0 +1,66 @@
+// Quickstart: boot a Synthesis kernel, open a file, and watch kernel code
+// synthesis happen — the general read template vs the short specialized
+// routine that open() generated for this particular file.
+//
+//   $ ./examples/quickstart
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/fs/disk.h"
+#include "src/fs/file_system.h"
+#include "src/io/io_system.h"
+#include "src/kernel/kernel.h"
+#include "src/machine/disasm.h"
+
+using namespace synthesis;
+
+int main() {
+  // 1. Boot: a Quamachine in SUN-3/160 emulation mode (16 MHz, 1 wait state),
+  //    a disk, the file system pipeline, and the I/O system.
+  Kernel kernel;
+  DiskDevice disk(kernel);
+  DiskScheduler dsched(disk);
+  FileSystem fs(kernel, disk, dsched);
+  IoSystem io(kernel, &fs);
+  io.RegisterRingDevice("/dev/null", nullptr, nullptr);
+
+  // 2. Create a file on the simulated disk.
+  std::string text = "Every open() synthesizes its own read routine.\n";
+  fs.CreateFile("/etc/motd", {reinterpret_cast<const uint8_t*>(text.data()),
+                              text.size()});
+
+  // 3. Open it. This is where the magic happens: the kernel specializes the
+  //    general read template for this channel, folding the device type
+  //    switch, the file's base address and the copy routine into a short
+  //    straight-line program.
+  ChannelId ch = io.Open("/etc/motd");
+  std::printf("open(\"/etc/motd\") took %.1f us of virtual time\n",
+              io.last_open_lookup_us + io.last_open_synth_us);
+  std::printf("  name lookup: %.1f us   code synthesis: %.1f us\n\n",
+              io.last_open_lookup_us, io.last_open_synth_us);
+
+  std::printf("--- general read template: %zu instructions (runs on EVERY call "
+              "in a traditional kernel) ---\n",
+              GeneralReadTemplate().block.code.size());
+  std::printf("--- synthesized read for this channel ---\n%s\n",
+              Disassemble(kernel.code().Get(io.ReadCodeOf(ch))).c_str());
+
+  // 4. Use the synthesized routine.
+  Addr buf = kernel.allocator().Allocate(256);
+  Stopwatch sw(kernel.machine());
+  int32_t n = io.Read(ch, buf, 256);
+  std::printf("read %d bytes in %.1f us (%llu instructions executed)\n", n,
+              sw.micros(), static_cast<unsigned long long>(sw.instructions()));
+
+  std::string out(static_cast<size_t>(n), '\0');
+  kernel.machine().memory().ReadBytes(buf, out.data(), out.size());
+  std::printf("contents: %s", out.c_str());
+
+  io.Close(ch);
+  std::printf("\nvirtual time elapsed since boot: %.1f us, %llu instructions, "
+              "%llu memory references\n", kernel.NowUs(),
+              static_cast<unsigned long long>(kernel.machine().instructions()),
+              static_cast<unsigned long long>(kernel.machine().mem_refs()));
+  return 0;
+}

@@ -1,0 +1,78 @@
+// UNIX compatibility example: the same "binary" (a program written against
+// the PosixLikeApi) runs on the Synthesis UNIX emulator and on the SUNOS
+// baseline model — the paper's §6.1 methodology in miniature.
+//
+//   $ ./examples/unix_compat
+#include <cstdio>
+#include <string>
+
+#include "src/baseline/sunos.h"
+#include "src/fs/file_system.h"
+#include "src/io/io_system.h"
+#include "src/kernel/kernel.h"
+#include "src/unix/emulator.h"
+#include "src/unix/posix_api.h"
+
+using namespace synthesis;
+
+namespace {
+
+// A tiny "application": copy a message through a pipe, then archive it to a
+// file and read it back, reporting virtual time consumed.
+double RunApp(PosixLikeApi& sys, const char* label) {
+  Addr buf = sys.scratch(4096);
+  std::string msg = "portability is a property of interfaces, not speed\n";
+  sys.machine().memory().WriteBytes(buf, msg.data(), msg.size());
+  uint32_t n = static_cast<uint32_t>(msg.size());
+
+  Stopwatch sw(sys.machine());
+  int p[2];
+  sys.Pipe(p);
+  sys.Write(p[1], buf, n);
+  sys.Read(p[0], buf + 1024, n);
+  sys.Close(p[0]);
+  sys.Close(p[1]);
+
+  sys.Mkfile("/tmp/archive", 4096);
+  int fd = sys.Open("/tmp/archive");
+  sys.Write(fd, buf + 1024, n);
+  sys.Lseek(fd, 0);
+  sys.Read(fd, buf + 2048, n);
+  sys.Close(fd);
+  double us = sw.micros();
+
+  std::string out(n, '\0');
+  sys.machine().memory().ReadBytes(buf + 2048, out.data(), n);
+  std::printf("%-22s %8.1f us   round-trip data: %s", label, us,
+              out == msg ? out.c_str() : "CORRUPTED!\n");
+  return us;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("the same program, two kernels:\n\n");
+
+  // Synthesis: kernel + fs + io + UNIX emulator.
+  Kernel kernel;
+  DiskDevice disk(kernel);
+  DiskScheduler dsched(disk);
+  FileSystem fs(kernel, disk, dsched);
+  IoSystem io(kernel, &fs);
+  io.RegisterRingDevice("/dev/null", nullptr, nullptr);
+  UnixEmulator synthesis_unix(kernel, io, &fs);
+
+  // The traditional kernel model.
+  SunosKernel sunos;
+
+  // First runs pull /tmp/archive through the disk (identical cost on both
+  // sides); the warm second runs are what Table 1 measures.
+  RunApp(synthesis_unix, "Synthesis (cold)");
+  RunApp(sunos, "SUNOS model (cold)");
+  std::printf("\nwarm (buffer cache resident):\n");
+  double syn_us = RunApp(synthesis_unix, "Synthesis (emulated)");
+  double sun_us = RunApp(sunos, "SUNOS model");
+  std::printf("\nspeedup: %.1fx — same interface, specialized implementation\n",
+              sun_us / syn_us);
+  return 0;
+}

@@ -1,0 +1,150 @@
+#include "src/baseline/sunos.h"
+
+namespace synthesis {
+
+SunosKernel::SunosKernel(SunosCosts costs) : costs_(costs) {
+  Kernel::Config cfg;
+  cfg.machine = MachineConfig::SunEmulation();
+  cfg.synthesis = SynthesisOptions::Disabled();  // no kernel code synthesis
+  cfg.fine_grain_scheduling = false;             // plain fixed quanta
+  kernel_ = std::make_unique<Kernel>(cfg);
+  disk_ = std::make_unique<DiskDevice>(*kernel_);
+  sched_ = std::make_unique<DiskScheduler>(*disk_);
+  fs_ = std::make_unique<FileSystem>(*kernel_, *disk_, *sched_);
+  io_ = std::make_unique<IoSystem>(*kernel_, fs_.get());
+  io_->RegisterRingDevice("/dev/null", nullptr, nullptr);
+  // A crude tty for open(/dev/tty): rings without the cooked filter.
+  auto in = io_->MakeRing(1024);
+  auto out = io_->MakeRing(4096);
+  io_->RegisterRingDevice("/dev/tty", in, out);
+}
+
+int SunosKernel::PathComponents(const std::string& path) {
+  int n = 0;
+  for (char c : path) {
+    n += c == '/';
+  }
+  return n > 0 ? n : 1;
+}
+
+void SunosKernel::ChargeCopy(uint32_t bytes) {
+  kernel_->machine().ChargeMicros(costs_.copy_per_kb_us * bytes / 1024.0);
+}
+
+int SunosKernel::Open(const std::string& path) {
+  Machine& m = kernel_->machine();
+  m.ChargeMicros(costs_.syscall_entry_us + costs_.open_base_us +
+                 costs_.namei_per_component_us * PathComponents(path));
+  if (path == "/dev/tty") {
+    m.ChargeMicros(costs_.open_tty_extra_us);
+  }
+  ChannelId ch = io_->Open(path);
+  if (ch == kBadChannel) {
+    return -1;
+  }
+  int fd = next_fd_++;
+  FdEntry e;
+  e.channel = ch;
+  e.is_file = path.rfind("/dev/", 0) != 0;
+  fds_[fd] = e;
+  return fd;
+}
+
+int SunosKernel::Close(int fd) {
+  kernel_->machine().ChargeMicros(costs_.syscall_entry_us + costs_.close_us);
+  auto it = fds_.find(fd);
+  if (it == fds_.end()) {
+    return -1;
+  }
+  io_->Close(it->second.channel);
+  fds_.erase(it);
+  return 0;
+}
+
+int32_t SunosKernel::Read(int fd, Addr buf, uint32_t n) {
+  Machine& m = kernel_->machine();
+  m.ChargeMicros(costs_.syscall_entry_us + costs_.fd_lookup_us);
+  auto it = fds_.find(fd);
+  if (it == fds_.end()) {
+    return -1;
+  }
+  const FdEntry& e = it->second;
+  if (e.is_pipe) {
+    m.ChargeMicros(costs_.pipe_op_us);
+  } else if (e.is_file) {
+    m.ChargeMicros(costs_.file_read_layer_us);
+  }
+  int32_t got = io_->Read(e.channel, buf, n);
+  if (got > 0) {
+    ChargeCopy(static_cast<uint32_t>(got));
+  }
+  return got;
+}
+
+int32_t SunosKernel::Write(int fd, Addr buf, uint32_t n) {
+  Machine& m = kernel_->machine();
+  m.ChargeMicros(costs_.syscall_entry_us + costs_.fd_lookup_us);
+  auto it = fds_.find(fd);
+  if (it == fds_.end()) {
+    return -1;
+  }
+  const FdEntry& e = it->second;
+  if (e.is_pipe) {
+    m.ChargeMicros(costs_.pipe_op_us);
+  } else if (e.is_file) {
+    m.ChargeMicros(costs_.file_write_layer_us);
+  }
+  int32_t put = io_->Write(e.channel, buf, n);
+  if (put > 0) {
+    ChargeCopy(static_cast<uint32_t>(put));
+  }
+  return put;
+}
+
+int SunosKernel::Pipe(int fds_out[2]) {
+  kernel_->machine().ChargeMicros(costs_.syscall_entry_us + 2 * costs_.fd_lookup_us +
+                                  200 /* inode pair + file table entries */);
+  auto [rd, wr] = io_->CreatePipe(16 * 1024);
+  fds_out[0] = next_fd_++;
+  fds_out[1] = next_fd_++;
+  FdEntry er;
+  er.channel = rd;
+  er.is_pipe = true;
+  fds_[fds_out[0]] = er;
+  FdEntry ew;
+  ew.channel = wr;
+  ew.is_pipe = true;
+  fds_[fds_out[1]] = ew;
+  return 0;
+}
+
+int32_t SunosKernel::Lseek(int fd, int32_t offset) {
+  kernel_->machine().ChargeMicros(costs_.syscall_entry_us + costs_.fd_lookup_us);
+  auto it = fds_.find(fd);
+  if (it == fds_.end()) {
+    return -1;
+  }
+  Addr rec = io_->RecordOf(it->second.channel);
+  if (rec == 0) {
+    return -1;
+  }
+  kernel_->machine().memory().Write32(rec + ChannelLayout::kPosition,
+                                      static_cast<uint32_t>(offset));
+  return offset;
+}
+
+bool SunosKernel::Mkfile(const std::string& path, uint32_t capacity) {
+  return fs_->CreateFile(path, {}, capacity) != 0;
+}
+
+Machine& SunosKernel::machine() { return kernel_->machine(); }
+
+Addr SunosKernel::scratch(uint32_t bytes) {
+  if (scratch_ == 0 || scratch_size_ < bytes) {
+    scratch_ = kernel_->allocator().Allocate(bytes);
+    scratch_size_ = bytes;
+  }
+  return scratch_;
+}
+
+}  // namespace synthesis

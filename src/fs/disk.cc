@@ -1,0 +1,131 @@
+#include "src/fs/disk.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include "src/machine/assembler.h"
+
+namespace synthesis {
+
+namespace {
+constexpr uint32_t kDmaCyclesPerWord = 1;  // bus-stealing DMA, cheap for the CPU
+constexpr uint32_t kStartIoCycles = 60;    // program the controller
+}  // namespace
+
+DiskDevice::DiskDevice(Kernel& kernel, DiskGeometry geometry)
+    : kernel_(kernel),
+      geom_(geometry),
+      backing_(static_cast<size_t>(geom_.sectors) * geom_.sector_bytes, 0) {
+  // The kDisk vector's default handler: acknowledge the controller and trap
+  // to the host for the DMA completion work.
+  int vec = kernel_.RegisterHostTrap([this](Machine&) {
+    OnCompletionInterrupt();
+    return TrapAction::kContinue;
+  });
+  Asm h("disk_irq");
+  h.Charge(16);  // read controller status, acknowledge
+  h.Trap(vec);
+  h.Rts();
+  irq_handler_ = kernel_.code().Install(h.BuildBlock());
+  kernel_.SetDefaultVector(Vector::kDisk, irq_handler_);
+}
+
+double DiskDevice::LatencyUs(const DiskRequest& r) const {
+  uint32_t track_now = head_ / geom_.sectors_per_track;
+  uint32_t track_then = r.sector / geom_.sectors_per_track;
+  uint32_t delta = track_now > track_then ? track_now - track_then
+                                          : track_then - track_now;
+  double seek = delta == 0 ? 0 : geom_.seek_settle_us + delta * geom_.seek_per_track_us;
+  double rotate = geom_.rotation_us / 2;  // expected half rotation
+  return seek + rotate + r.count * geom_.transfer_per_sector_us;
+}
+
+void DiskDevice::StartRequest(DiskRequest request) {
+  assert(!busy_ && "raw disk server handles one request at a time");
+  busy_ = true;
+  kernel_.machine().Charge(kStartIoCycles, 0, 6);
+  double done_at = kernel_.NowUs() + LatencyUs(request);
+  current_ = std::move(request);
+  kernel_.interrupts().Raise(done_at, Vector::kDisk, 0);
+}
+
+void DiskDevice::OnCompletionInterrupt() {
+  if (!busy_) {
+    return;  // spurious
+  }
+  DiskRequest r = std::move(current_);
+  busy_ = false;
+  size_t off = static_cast<size_t>(r.sector) * geom_.sector_bytes;
+  size_t len = static_cast<size_t>(r.count) * geom_.sector_bytes;
+  assert(off + len <= backing_.size());
+  Memory& mem = kernel_.machine().memory();
+  if (r.mem != 0) {
+    if (r.is_write) {
+      mem.ReadBytes(r.mem, backing_.data() + off, len);
+    } else {
+      mem.WriteBytes(r.mem, backing_.data() + off, len);
+    }
+    kernel_.machine().Charge(kDmaCyclesPerWord * (len / 4), 0, len / 4);
+  }
+  head_ = r.sector + r.count;
+  completed_++;
+  if (r.done) {
+    r.done();
+  }
+}
+
+void DiskScheduler::Submit(DiskRequest request) {
+  queue_.push_back(std::move(request));
+  if (!dev_.Busy()) {
+    StartNext();
+  }
+}
+
+void DiskScheduler::StartNext() {
+  if (queue_.empty() || dev_.Busy()) {
+    return;
+  }
+  // Shortest-seek-first: pick the queued request nearest the head.
+  size_t best = 0;
+  double best_cost = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < queue_.size(); i++) {
+    double c = dev_.LatencyUs(queue_[i]);
+    if (c < best_cost) {
+      best_cost = c;
+      best = i;
+    }
+  }
+  DiskRequest r = std::move(queue_[best]);
+  queue_.erase(queue_.begin() + static_cast<ptrdiff_t>(best));
+  auto chain = r.done;
+  r.done = [this, chain] {
+    if (chain) {
+      chain();
+    }
+    StartNext();  // keep the pipeline full
+  };
+  dev_.StartRequest(std::move(r));
+}
+
+void DiskScheduler::SubmitAndWait(Kernel& kernel, DiskRequest request) {
+  bool finished = false;
+  auto chain = request.done;
+  request.done = [&finished, chain] {
+    finished = true;
+    if (chain) {
+      chain();
+    }
+  };
+  Submit(std::move(request));
+  // Drive virtual time forward until the completion interrupt lands.
+  while (!finished && !kernel.interrupts().Empty()) {
+    kernel.machine().AdvanceToMicros(kernel.interrupts().NextTime());
+    while (auto irq = kernel.interrupts().PopDue(kernel.NowUs())) {
+      kernel.DispatchInterrupt(*irq);
+    }
+  }
+}
+
+}  // namespace synthesis

@@ -1,0 +1,115 @@
+#include "src/fs/file_system.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace synthesis {
+
+FileSystem::FileSystem(Kernel& kernel, DiskDevice& disk, DiskScheduler& sched)
+    : kernel_(kernel), disk_(disk), sched_(sched), names_(kernel.machine()) {}
+
+uint32_t FileSystem::CreateFile(const std::string& name,
+                                std::span<const uint8_t> contents,
+                                uint32_t capacity) {
+  uint32_t sector_bytes = disk_.geometry().sector_bytes;
+  uint32_t cap = capacity > contents.size() ? capacity
+                                            : static_cast<uint32_t>(contents.size());
+  if (cap == 0) {
+    cap = sector_bytes;
+  }
+  uint32_t sectors = (cap + sector_bytes - 1) / sector_bytes;
+
+  uint32_t id = next_id_++;
+  if (!names_.Insert(name, id)) {
+    next_id_--;
+    return 0;  // duplicate name
+  }
+
+  FileMeta meta;
+  meta.first_sector = next_sector_;
+  meta.sectors = sectors;
+  meta.size = static_cast<uint32_t>(contents.size());
+  meta.capacity = sectors * sector_bytes;
+  next_sector_ += sectors;
+  assert(next_sector_ <= disk_.geometry().sectors && "disk full");
+
+  // mkfs-style write: place the initial contents directly on the platter.
+  size_t off = static_cast<size_t>(meta.first_sector) * sector_bytes;
+  std::memcpy(disk_.backing().data() + off, contents.data(), contents.size());
+
+  files_[id] = meta;
+  return id;
+}
+
+uint32_t FileSystem::LookupId(const std::string& name) {
+  uint32_t id = 0;
+  return names_.Lookup(name, &id) ? id : 0;
+}
+
+FileSystem::Extent FileSystem::Ensure(uint32_t file_id) {
+  auto it = files_.find(file_id);
+  if (it == files_.end()) {
+    return Extent{};
+  }
+  FileMeta& meta = it->second;
+  if (meta.cached_base != 0) {
+    hits_++;
+    kernel_.machine().Charge(12, 0, 2);  // cache-manager lookup
+    return Extent{meta.cached_base, meta.size_addr, meta.capacity};
+  }
+  misses_++;
+  // Allocate the extent plus the live size word, then pull the file through
+  // the disk scheduler (full pipeline cost on the virtual clock).
+  meta.cached_base = kernel_.allocator().Allocate(meta.capacity);
+  meta.size_addr = kernel_.allocator().Allocate(4);
+  assert(meta.cached_base != 0 && meta.size_addr != 0);
+  kernel_.machine().memory().Write32(meta.size_addr, meta.size);
+
+  DiskRequest r;
+  r.sector = meta.first_sector;
+  r.count = meta.sectors;
+  r.mem = meta.cached_base;
+  r.is_write = false;
+  sched_.SubmitAndWait(kernel_, std::move(r));
+  return Extent{meta.cached_base, meta.size_addr, meta.capacity};
+}
+
+void FileSystem::Flush(uint32_t file_id) {
+  auto it = files_.find(file_id);
+  if (it == files_.end() || it->second.cached_base == 0) {
+    return;
+  }
+  FileMeta& meta = it->second;
+  meta.size = kernel_.machine().memory().Read32(meta.size_addr);
+  DiskRequest r;
+  r.sector = meta.first_sector;
+  r.count = meta.sectors;
+  r.mem = meta.cached_base;
+  r.is_write = true;
+  sched_.SubmitAndWait(kernel_, std::move(r));
+}
+
+void FileSystem::Evict(uint32_t file_id) {
+  auto it = files_.find(file_id);
+  if (it == files_.end() || it->second.cached_base == 0) {
+    return;
+  }
+  Flush(file_id);
+  kernel_.allocator().Free(it->second.cached_base);
+  kernel_.allocator().Free(it->second.size_addr);
+  it->second.cached_base = 0;
+  it->second.size_addr = 0;
+}
+
+uint32_t FileSystem::SizeOf(uint32_t file_id) {
+  auto it = files_.find(file_id);
+  if (it == files_.end()) {
+    return 0;
+  }
+  if (it->second.cached_base != 0) {
+    return kernel_.machine().memory().Read32(it->second.size_addr);
+  }
+  return it->second.size;
+}
+
+}  // namespace synthesis

@@ -1,0 +1,82 @@
+// The default file system server (§5.1): a pipeline of raw disk server ->
+// disk scheduler -> buffer cache manager -> synthesized per-file read code.
+//
+// Files live on the simulated disk; the cache manager keeps whole-file
+// extents resident in simulated memory (the paper's measured file system is
+// "entirely memory-resident" once warm, which is what Tables 1-2 exercise).
+// A cold open charges the full disk pipeline through the scheduler; a warm
+// open only pays name lookup plus code synthesis.
+#ifndef SRC_FS_FILE_SYSTEM_H_
+#define SRC_FS_FILE_SYSTEM_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <unordered_map>
+
+#include "src/fs/disk.h"
+#include "src/fs/name_table.h"
+#include "src/kernel/kernel.h"
+
+namespace synthesis {
+
+class FileSystem {
+ public:
+  FileSystem(Kernel& kernel, DiskDevice& disk, DiskScheduler& sched);
+
+  // A resident file extent. `size_addr` holds the live file size (a word in
+  // simulated memory) so synthesized read code can bound-check at run time
+  // while folding every other attribute.
+  struct Extent {
+    Addr base = 0;
+    Addr size_addr = 0;
+    uint32_t capacity = 0;
+  };
+
+  // Creates a file with `contents` and room to grow to `capacity` bytes
+  // (rounded up to whole sectors). Returns the file id, or 0 on failure.
+  uint32_t CreateFile(const std::string& name, std::span<const uint8_t> contents,
+                      uint32_t capacity = 0);
+
+  // Name lookup through the hashed-backwards name table. Returns 0 if absent.
+  uint32_t LookupId(const std::string& name);
+
+  // Ensures the file is cached and returns its extent. Cold files are read
+  // through the disk scheduler (virtual time advances accordingly).
+  Extent Ensure(uint32_t file_id);
+
+  // Writes dirty cached data back through the disk scheduler.
+  void Flush(uint32_t file_id);
+  // Drops the file from the cache (next Ensure pays the disk again).
+  void Evict(uint32_t file_id);
+
+  uint32_t SizeOf(uint32_t file_id);
+
+  NameTable& names() { return names_; }
+  uint64_t cache_hits() const { return hits_; }
+  uint64_t cache_misses() const { return misses_; }
+
+ private:
+  struct FileMeta {
+    uint32_t first_sector = 0;
+    uint32_t sectors = 0;
+    uint32_t size = 0;       // logical size on disk
+    uint32_t capacity = 0;   // bytes reserved
+    Addr cached_base = 0;    // 0 = not resident
+    Addr size_addr = 0;
+  };
+
+  Kernel& kernel_;
+  DiskDevice& disk_;
+  DiskScheduler& sched_;
+  NameTable names_;
+  std::unordered_map<uint32_t, FileMeta> files_;
+  uint32_t next_id_ = 1;
+  uint32_t next_sector_ = 1;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace synthesis
+
+#endif  // SRC_FS_FILE_SYSTEM_H_

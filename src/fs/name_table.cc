@@ -1,0 +1,82 @@
+#include "src/fs/name_table.h"
+
+#include <cstddef>
+
+namespace synthesis {
+
+namespace {
+constexpr uint32_t kHashCyclesPerChar = 6;     // multiply-add per character
+constexpr uint32_t kCompareCyclesPerChar = 8;  // load + compare + branch
+constexpr uint32_t kProbeCycles = 14;          // bucket fetch + link chase
+}  // namespace
+
+uint32_t NameTable::Hash(std::string_view name) {
+  uint32_t h = 5381;
+  for (char c : name) {
+    h = h * 33 + static_cast<uint8_t>(c);
+  }
+  return h;
+}
+
+bool NameTable::BackwardsEqual(std::string_view name, const std::string& reversed,
+                               uint64_t* compares) {
+  if (name.size() != reversed.size()) {
+    (*compares)++;
+    return false;
+  }
+  // `reversed` holds the name backwards, so reversed[i] pairs with
+  // name[size-1-i]: the comparison naturally starts at the tails.
+  for (size_t i = 0; i < reversed.size(); i++) {
+    (*compares)++;
+    if (reversed[i] != name[name.size() - 1 - i]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool NameTable::Insert(std::string_view name, uint32_t value) {
+  uint32_t dummy;
+  if (Lookup(name, &dummy)) {
+    return false;
+  }
+  Entry e;
+  e.reversed.assign(name.rbegin(), name.rend());
+  e.value = value;
+  table_[Hash(name) % buckets_].push_back(std::move(e));
+  count_++;
+  machine_.Charge(kHashCyclesPerChar * name.size() + kProbeCycles, 0, 2);
+  return true;
+}
+
+bool NameTable::Lookup(std::string_view name, uint32_t* value) const {
+  machine_.Charge(kHashCyclesPerChar * name.size() + kProbeCycles, 0, 2);
+  const auto& bucket = table_[Hash(name) % buckets_];
+  uint64_t compares = 0;
+  bool found = false;
+  for (const Entry& e : bucket) {
+    if (BackwardsEqual(name, e.reversed, &compares)) {
+      *value = e.value;
+      found = true;
+      break;
+    }
+  }
+  last_compares = compares;
+  machine_.Charge(kCompareCyclesPerChar * compares, compares, compares);
+  return found;
+}
+
+bool NameTable::Remove(std::string_view name) {
+  auto& bucket = table_[Hash(name) % buckets_];
+  for (size_t i = 0; i < bucket.size(); i++) {
+    uint64_t compares = 0;
+    if (BackwardsEqual(name, bucket[i].reversed, &compares)) {
+      bucket.erase(bucket.begin() + static_cast<ptrdiff_t>(i));
+      count_--;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace synthesis

@@ -1,0 +1,116 @@
+#include "src/io/ad_device.h"
+
+#include <cassert>
+
+#include "src/machine/assembler.h"
+
+namespace synthesis {
+
+namespace {
+// Control block offsets (relative to ctrl_base_).
+constexpr uint32_t kHead = 0;
+constexpr uint32_t kTail = 4;
+constexpr uint32_t kCurrentHandler = 8;
+constexpr uint32_t kCtrlBytes = 16;
+constexpr uint32_t kRetargetCycles = 70;  // patch 8 store targets + reset cell
+}  // namespace
+
+AdDevice::AdDevice(Kernel& kernel, uint32_t sample_rate_hz, uint32_t elements)
+    : kernel_(kernel), rate_(sample_rate_hz), elements_(elements) {
+  assert((elements_ & (elements_ - 1)) == 0);
+  ring_base_ = kernel_.allocator().Allocate(elements_ * kWordsPerElement * 4);
+  ctrl_base_ = kernel_.allocator().Allocate(kCtrlBytes);
+  Memory& mem = kernel_.machine().memory();
+  mem.Write32(ctrl_base_ + kHead, 0);
+  mem.Write32(ctrl_base_ + kTail, 0);
+
+  int publish_vec = kernel_.RegisterHostTrap([this](Machine&) {
+    Memory& m = kernel_.machine().memory();
+    uint32_t head = m.Read32(ctrl_base_ + kHead);
+    uint32_t tail = m.Read32(ctrl_base_ + kTail);
+    uint32_t next = (head + 1) & (elements_ - 1);
+    if (next == tail) {
+      // Overrun: the consumer is too slow; drop the oldest element.
+      m.Write32(ctrl_base_ + kTail, (tail + 1) & (elements_ - 1));
+    }
+    m.Write32(ctrl_base_ + kHead, next);
+    published_++;
+    RetargetHandlers();
+    kernel_.UnblockOne(consumers_);
+    return TrapAction::kContinue;
+  });
+
+  // Synthesize the eight insert handlers, last slot first so each can embed
+  // its successor's id. Emitted verbatim: their store targets are patch
+  // slots rewritten by RetargetHandlers.
+  SynthesisOptions verbatim = SynthesisOptions::Disabled();
+  for (int i = kWordsPerElement - 1; i >= 0; i--) {
+    Asm a("ad_insert" + std::to_string(i));
+    a.StoreA32(static_cast<int32_t>(ElementAddr(0) + 4 * static_cast<uint32_t>(i)),
+               kD1);  // the sample (patched per element)
+    if (i == kWordsPerElement - 1) {
+      a.Trap(publish_vec);  // publish the element, retarget, wake the consumer
+    } else {
+      a.MoveI(kD7, inserts_[static_cast<size_t>(i) + 1]);
+      a.StoreA32(static_cast<int32_t>(ctrl_base_ + kCurrentHandler), kD7);
+    }
+    a.Rts();
+    inserts_[static_cast<size_t>(i)] = kernel_.SynthesizeInstall(
+        a.Build(), Bindings(), nullptr, "ad_insert" + std::to_string(i), nullptr,
+        &verbatim);
+  }
+  Memory& m2 = kernel_.machine().memory();
+  m2.Write32(ctrl_base_ + kCurrentHandler, static_cast<uint32_t>(inserts_[0]));
+
+  // The A/D vector's entry: jump through the current-handler cell (an
+  // executable data structure — the rotation IS the queue state).
+  Asm e("ad_entry");
+  e.LoadA32(kD7, static_cast<int32_t>(ctrl_base_ + kCurrentHandler));
+  e.JmpInd(kD7);
+  entry_ = kernel_.SynthesizeInstall(e.Build(), Bindings(), nullptr, "ad_entry",
+                                     nullptr, &verbatim);
+  kernel_.SetDefaultVector(Vector::kAd, entry_);
+}
+
+Addr AdDevice::ElementAddr(uint32_t index) const {
+  return ring_base_ + index * kWordsPerElement * 4;
+}
+
+void AdDevice::RetargetHandlers() {
+  Memory& mem = kernel_.machine().memory();
+  uint32_t head = mem.Read32(ctrl_base_ + kHead);
+  Addr elem = ElementAddr(head);
+  for (uint32_t i = 0; i < kWordsPerElement; i++) {
+    CodeBlock& blk = kernel_.code().GetMutable(inserts_[i]);
+    blk.code[0].imm = static_cast<int32_t>(elem + 4 * i);
+  }
+  mem.Write32(ctrl_base_ + kCurrentHandler, static_cast<uint32_t>(inserts_[0]));
+  kernel_.machine().Charge(kRetargetCycles, 0, 9);
+}
+
+void AdDevice::CaptureSamples(uint32_t n, double start_us) {
+  double period = 1e6 / rate_;
+  for (uint32_t i = 0; i < n; i++) {
+    kernel_.interrupts().Raise(start_us + i * period, Vector::kAd,
+                               next_sample_value_++);
+    interrupts_++;
+  }
+}
+
+bool AdDevice::GetElement(std::array<uint32_t, kWordsPerElement>* out) {
+  Memory& mem = kernel_.machine().memory();
+  uint32_t head = mem.Read32(ctrl_base_ + kHead);
+  uint32_t tail = mem.Read32(ctrl_base_ + kTail);
+  if (head == tail) {
+    return false;
+  }
+  Addr elem = ElementAddr(tail);
+  for (uint32_t i = 0; i < kWordsPerElement; i++) {
+    (*out)[i] = mem.Read32(elem + 4 * i);
+  }
+  mem.Write32(ctrl_base_ + kTail, (tail + 1) & (elements_ - 1));
+  kernel_.machine().Charge(40, 10, 10);
+  return true;
+}
+
+}  // namespace synthesis

@@ -1,0 +1,65 @@
+// The analog-to-digital server with its buffered queue (§5.4, Table 5).
+//
+// At 44,100 single-word interrupts per second, ordinary queue costs dominate,
+// so the server packs eight 32-bit samples per queue element and uses kernel
+// code synthesis to generate eight specialized insert handlers — each a
+// couple of instructions that store into one word of the current element.
+// The handlers rotate through an executable data structure: a memory cell
+// holds the BlockId of the *next* insert handler, the interrupt entry jumps
+// through it, and each handler's last act is to store its successor's id.
+// Every eighth interrupt publishes the element and re-targets the handlers
+// at the next element of the ring.
+#ifndef SRC_IO_AD_DEVICE_H_
+#define SRC_IO_AD_DEVICE_H_
+
+#include <array>
+#include <cstdint>
+
+#include "src/kernel/kernel.h"
+
+namespace synthesis {
+
+class AdDevice {
+ public:
+  static constexpr uint32_t kWordsPerElement = 8;
+
+  // `elements` is the depth of the element ring (power of two).
+  AdDevice(Kernel& kernel, uint32_t sample_rate_hz = 44'100, uint32_t elements = 64);
+
+  // Schedules `n` sample interrupts starting at `start_us` (sample values
+  // are a deterministic ramp so tests can verify data integrity).
+  void CaptureSamples(uint32_t n, double start_us);
+
+  // Pops one published element (8 samples) if available.
+  bool GetElement(std::array<uint32_t, kWordsPerElement>* out);
+
+  uint32_t sample_rate() const { return rate_; }
+  uint64_t interrupts_scheduled() const { return interrupts_; }
+  uint64_t elements_published() const { return published_; }
+  WaitQueue& consumer_wait() { return consumers_; }
+
+  // For benches: the entry block the kTty-style dispatch jumps through, and
+  // one specific insert handler.
+  BlockId entry_block() const { return entry_; }
+  BlockId insert_block(uint32_t i) const { return inserts_[i]; }
+
+ private:
+  void RetargetHandlers();  // point the 8 handlers at the current element
+  Addr ElementAddr(uint32_t index) const;
+
+  Kernel& kernel_;
+  uint32_t rate_;
+  uint32_t elements_;
+  Addr ring_base_ = 0;      // elements_ * 32 bytes of sample storage
+  Addr ctrl_base_ = 0;      // head / tail / current-handler cell
+  std::array<BlockId, kWordsPerElement> inserts_{};
+  BlockId entry_ = kInvalidBlock;
+  WaitQueue consumers_;
+  uint64_t interrupts_ = 0;
+  uint64_t published_ = 0;
+  uint32_t next_sample_value_ = 0;
+};
+
+}  // namespace synthesis
+
+#endif  // SRC_IO_AD_DEVICE_H_

@@ -1,0 +1,57 @@
+// Open-channel records: the per-open state that kernel code synthesis
+// specializes against (§2.2: "when we open a file for input, a custom-made
+// read routine is returned for later read calls").
+//
+// A channel record lives in simulated memory. Everything in it except the
+// position and scratch words is invariant for the lifetime of the open, so
+// the synthesizer folds those fields into the specialized read/write code.
+#ifndef SRC_IO_CHANNEL_H_
+#define SRC_IO_CHANNEL_H_
+
+#include <cstdint>
+
+#include "src/machine/instr.h"
+#include "src/machine/memory.h"
+
+namespace synthesis {
+
+enum class DeviceType : uint32_t {
+  kNull = 0,  // /dev/null: reads give EOF, writes are discarded
+  kFile = 1,  // memory-resident file extent
+  kRing = 2,  // byte ring: pipes and tty queues
+};
+
+struct ChannelLayout {
+  static constexpr uint32_t kType = 0;      // DeviceType          [invariant]
+  static constexpr uint32_t kDataBase = 4;  // file extent base    [invariant]
+  static constexpr uint32_t kSizeAddr = 8;  // addr of size word   [invariant]
+  static constexpr uint32_t kCapacity = 12; // file capacity       [invariant]
+  static constexpr uint32_t kRdRing = 16;   // ring read from      [invariant]
+  static constexpr uint32_t kPosition = 20; // file position       [RUNTIME]
+  static constexpr uint32_t kScratch = 24;  // syscall scratch     [RUNTIME]
+  static constexpr uint32_t kWrRing = 28;   // ring written to     [invariant]
+  static constexpr uint32_t kSize = 32;
+
+  // The invariant words, excluding the runtime position/scratch pair.
+  static AddrRange InvariantPrefix(Addr chan) { return AddrRange{chan, chan + 20}; }
+  static AddrRange InvariantSuffix(Addr chan) {
+    return AddrRange{chan + kWrRing, chan + kSize};
+  }
+};
+
+// Byte-ring layout (pipes, tty queues). Indices are kept pre-masked; one
+// byte of capacity is sacrificed to distinguish full from empty.
+struct RingLayout {
+  static constexpr uint32_t kHead = 0;   // producer index  [RUNTIME]
+  static constexpr uint32_t kTail = 4;   // consumer index  [RUNTIME]
+  static constexpr uint32_t kMask = 8;   // capacity-1      [invariant]
+  static constexpr uint32_t kBuf = 16;
+  static uint32_t TotalBytes(uint32_t capacity) { return kBuf + capacity; }
+  static AddrRange InvariantRange(Addr ring) {
+    return AddrRange{ring + kMask, ring + kMask + 4};
+  }
+};
+
+}  // namespace synthesis
+
+#endif  // SRC_IO_CHANNEL_H_

@@ -1,0 +1,574 @@
+#include "src/io/io_system.h"
+
+#include <cassert>
+
+#include "src/io/copy_code.h"
+
+namespace synthesis {
+
+namespace {
+
+constexpr uint32_t kSyscallEntryCycles = 32;  // trap + vector dispatch
+constexpr uint32_t kCloseCycles = 240;        // free record, unhook vectors
+constexpr int32_t kTypeNull = static_cast<int32_t>(DeviceType::kNull);
+constexpr int32_t kTypeFile = static_cast<int32_t>(DeviceType::kFile);
+constexpr int32_t kTypeRing = static_cast<int32_t>(DeviceType::kRing);
+
+// Emits the byte-ring transfer loop shared by ring-read and ring-write.
+// Direction: read moves ring->user (cursor = tail), write moves user->ring
+// (cursor = head). Register use:
+//   a0 = channel record, a1 = user buffer cursor, d2 = requested bytes
+//   a5 = remaining, a6 = original n; d6 = ring base (reloaded every trip).
+// The loop transfers the largest contiguous run per trip via the copy
+// routine; m is parked in the channel's scratch word across the copy.
+void EmitRingBody(Asm& a, bool is_read, const std::string& pfx) {
+  const uint32_t ring_field = is_read ? ChannelLayout::kRdRing : ChannelLayout::kWrRing;
+  const uint32_t cursor_off = is_read ? RingLayout::kTail : RingLayout::kHead;
+
+  // Single-byte fast path: character-at-a-time streams are the common case
+  // the paper's synthesized queue operations serve in ~a dozen instructions
+  // (§3.2); the general segmented path below handles everything else.
+  a.CmpI(kD2, 1);
+  a.Bne(pfx + "slow");
+  a.Load32(kD6, kA0, ring_field);
+  a.Load32(kD3, kD6, cursor_off);
+  a.Load32(kD4, kD6, is_read ? RingLayout::kHead : RingLayout::kTail);
+  a.Load32(kD7, kD6, RingLayout::kMask);
+  a.Move(kD0, kD4);
+  a.Sub(kD0, kD3);
+  if (!is_read) {
+    a.SubI(kD0, 1);
+  }
+  a.And(kD0, kD7);
+  a.Tst(kD0);
+  a.Bne(pfx + "f_ok");
+  a.MoveI(kD0, kIoWouldBlock);
+  a.Rts();
+  a.Label(pfx + "f_ok");
+  a.Move(kA2, kD6);
+  a.AddI(kA2, RingLayout::kBuf);
+  a.Add(kA2, kD3);  // ring byte address
+  if (is_read) {
+    a.Load8(kD1, kA2, 0);
+    a.Store8(kA1, kD1, 0);
+  } else {
+    a.Load8(kD1, kA1, 0);
+    a.Store8(kA2, kD1, 0);
+  }
+  a.AddI(kD3, 1);
+  a.And(kD3, kD7);
+  a.Store32(kD6, kD3, cursor_off);
+  a.MoveI(kD0, 1);
+  a.Rts();
+
+  a.Label(pfx + "slow");
+  a.Move(kA5, kD2);   // remaining
+  a.Move(kA6, kD2);   // original n
+  a.Label(pfx + "loop");
+  a.Move(kD0, kA5);
+  a.Tst(kD0);
+  a.Beq(pfx + "done");
+  a.Load32(kD6, kA0, ring_field);
+  a.Load32(kD3, kD6, is_read ? RingLayout::kTail : RingLayout::kHead);  // cursor
+  a.Load32(kD4, kD6, is_read ? RingLayout::kHead : RingLayout::kTail);  // other end
+  a.Load32(kD7, kD6, RingLayout::kMask);
+  if (is_read) {
+    // avail = (head - tail) & mask
+    a.Move(kD0, kD4);
+    a.Sub(kD0, kD3);
+    a.And(kD0, kD7);
+  } else {
+    // space = (tail - head - 1) & mask
+    a.Move(kD0, kD4);
+    a.Sub(kD0, kD3);
+    a.SubI(kD0, 1);
+    a.And(kD0, kD7);
+  }
+  a.Tst(kD0);
+  a.Bne(pfx + "have");
+  // Nothing transferable: partial success returns the count, otherwise the
+  // caller must block.
+  a.Move(kD1, kA6);
+  a.Sub(kD1, kA5);
+  a.Tst(kD1);
+  a.Bne(pfx + "done");
+  a.MoveI(kD0, kIoWouldBlock);
+  a.Rts();
+  a.Label(pfx + "have");
+  // contig = ring size - cursor (indices are kept masked)
+  a.Move(kD1, kD7);
+  a.AddI(kD1, 1);
+  a.Sub(kD1, kD3);
+  // m = min(remaining, avail, contig)
+  a.Move(kD2, kA5);
+  a.Cmp(kD2, kD0);
+  a.Bls(pfx + "m1");
+  a.Move(kD2, kD0);
+  a.Label(pfx + "m1");
+  a.Cmp(kD2, kD1);
+  a.Bls(pfx + "m2");
+  a.Move(kD2, kD1);
+  a.Label(pfx + "m2");
+  // Copy operands: ring side = ring base + kBuf + cursor.
+  if (is_read) {
+    a.Move(kA2, kD6);
+    a.AddI(kA2, RingLayout::kBuf);
+    a.Add(kA2, kD3);
+    a.Move(kA3, kA1);
+  } else {
+    a.Move(kA2, kA1);
+    a.Move(kA3, kD6);
+    a.AddI(kA3, RingLayout::kBuf);
+    a.Add(kA3, kD3);
+  }
+  a.Move(kA4, kD2);
+  a.Store32(kA0, kD2, ChannelLayout::kScratch);  // park m across the copy
+  a.Add(kA1, kD2);                               // advance the user cursor
+  a.Jsr(Asm::Sym("copy"));
+  // cursor = (cursor + m) & mask
+  a.Load32(kD6, kA0, ring_field);
+  a.Load32(kD3, kD6, is_read ? RingLayout::kTail : RingLayout::kHead);
+  a.Load32(kD2, kA0, ChannelLayout::kScratch);
+  a.Add(kD3, kD2);
+  a.Load32(kD7, kD6, RingLayout::kMask);
+  a.And(kD3, kD7);
+  a.Store32(kD6, kD3, is_read ? RingLayout::kTail : RingLayout::kHead);
+  // remaining -= m; exit without another empty-check trip when satisfied
+  a.Move(kD1, kA5);
+  a.Sub(kD1, kD2);
+  a.Move(kA5, kD1);
+  a.Tst(kD1);
+  a.Bne(pfx + "loop");
+  a.Label(pfx + "done");
+  a.Move(kD0, kA6);
+  a.Sub(kD0, kA5);
+  a.Rts();
+}
+
+}  // namespace
+
+CodeTemplate GeneralReadTemplate() {
+  // a1 = destination buffer, d2 = byte count; d0 = bytes read / 0 EOF /
+  // kIoWouldBlock / kIoError. One template for every device type.
+  Asm a("read_general");
+  a.MoveI(kA0, Asm::Sym("chan"));
+  a.Load32(kD0, kA0, ChannelLayout::kType);
+  a.CmpI(kD0, kTypeNull);
+  a.Beq("null");
+  a.CmpI(kD0, kTypeFile);
+  a.Beq("file");
+  a.CmpI(kD0, kTypeRing);
+  a.Beq("ring");
+  a.MoveI(kD0, kIoError);
+  a.Rts();
+
+  a.Label("null");
+  a.MoveI(kD0, 0);  // reading /dev/null gives EOF
+  a.Rts();
+
+  a.Label("file");
+  a.Load32(kD3, kA0, ChannelLayout::kPosition);
+  a.Load32(kD4, kA0, ChannelLayout::kSizeAddr);
+  a.Load32(kD4, kD4, 0);  // live size
+  a.Sub(kD4, kD3);        // avail = size - pos
+  a.Tst(kD4);
+  a.Bne("f_has");
+  a.MoveI(kD0, 0);  // EOF
+  a.Rts();
+  a.Label("f_has");
+  a.Cmp(kD2, kD4);
+  a.Bls("f_len");
+  a.Move(kD2, kD4);
+  a.Label("f_len");
+  a.Load32(kD5, kA0, ChannelLayout::kDataBase);
+  a.Move(kA2, kD5);
+  a.Add(kA2, kD3);  // src = base + pos
+  a.Move(kA3, kA1);
+  a.Move(kA4, kD2);
+  a.Move(kA5, kD2);  // n survives the copy's register clobber
+  a.Jsr(Asm::Sym("copy"));
+  a.Load32(kD3, kA0, ChannelLayout::kPosition);
+  a.Move(kD4, kA5);
+  a.Add(kD3, kD4);
+  a.Store32(kA0, kD3, ChannelLayout::kPosition);  // pos += n
+  a.Move(kD0, kA5);
+  a.Rts();
+
+  a.Label("ring");
+  EmitRingBody(a, /*is_read=*/true, "rr_");
+  return a.Build();
+}
+
+CodeTemplate GeneralWriteTemplate() {
+  // a1 = source buffer, d2 = byte count; d0 = bytes written / sentinels.
+  Asm a("write_general");
+  a.MoveI(kA0, Asm::Sym("chan"));
+  a.Load32(kD0, kA0, ChannelLayout::kType);
+  a.CmpI(kD0, kTypeNull);
+  a.Beq("null");
+  a.CmpI(kD0, kTypeFile);
+  a.Beq("file");
+  a.CmpI(kD0, kTypeRing);
+  a.Beq("ring");
+  a.MoveI(kD0, kIoError);
+  a.Rts();
+
+  a.Label("null");
+  a.Move(kD0, kD2);  // /dev/null swallows everything
+  a.Rts();
+
+  a.Label("file");
+  a.Load32(kD3, kA0, ChannelLayout::kPosition);
+  a.Load32(kD4, kA0, ChannelLayout::kCapacity);
+  a.Sub(kD4, kD3);  // room = capacity - pos
+  a.Tst(kD4);
+  a.Bne("w_has");
+  a.MoveI(kD0, kIoError);  // no space: the extent is full
+  a.Rts();
+  a.Label("w_has");
+  a.Cmp(kD2, kD4);
+  a.Bls("w_len");
+  a.Move(kD2, kD4);
+  a.Label("w_len");
+  a.Load32(kD5, kA0, ChannelLayout::kDataBase);
+  a.Move(kA3, kD5);
+  a.Add(kA3, kD3);  // dst = base + pos
+  a.Move(kA2, kA1);
+  a.Move(kA4, kD2);
+  a.Move(kA5, kD2);
+  a.Jsr(Asm::Sym("copy"));
+  a.Load32(kD3, kA0, ChannelLayout::kPosition);
+  a.Move(kD4, kA5);
+  a.Add(kD3, kD4);
+  a.Store32(kA0, kD3, ChannelLayout::kPosition);
+  // size = max(size, pos)
+  a.Load32(kD5, kA0, ChannelLayout::kSizeAddr);
+  a.Load32(kD6, kD5, 0);
+  a.Cmp(kD3, kD6);
+  a.Bls("w_sz");
+  a.Store32(kD5, kD3, 0);
+  a.Label("w_sz");
+  a.Move(kD0, kA5);
+  a.Rts();
+
+  a.Label("ring");
+  EmitRingBody(a, /*is_read=*/false, "wr_");
+  return a.Build();
+}
+
+BlockId SynthesizeRingPut1(Kernel& kernel, Addr ring, const std::string& name) {
+  Asm a(name);
+  a.LoadA32(kD0, Asm::Sym("head"));
+  a.Lea(kD2, kD0, 1);
+  a.AndI(kD2, Asm::Sym("mask"));
+  a.LoadA32(kD3, Asm::Sym("tail"));
+  a.Cmp(kD2, kD3);
+  a.Beq("full");
+  a.Lea(kA1, kD0, Asm::Sym("buf"));  // byte address = buf + head
+  a.Store8(kA1, kD1, 0);
+  a.StoreA32(Asm::Sym("head"), kD2);
+  a.MoveI(kD0, 1);
+  a.Rts();
+  a.Label("full");
+  a.MoveI(kD0, 0);
+  a.Rts();
+  Bindings b;
+  b.Set("head", static_cast<int32_t>(ring + RingLayout::kHead));
+  b.Set("tail", static_cast<int32_t>(ring + RingLayout::kTail));
+  b.Set("mask",
+        static_cast<int32_t>(kernel.machine().memory().Read32(ring + RingLayout::kMask)));
+  b.Set("buf", static_cast<int32_t>(ring + RingLayout::kBuf));
+  SynthesisOptions opts = kernel.config().synthesis;
+  opts.live_out |= 1u << kD1;
+  return kernel.SynthesizeInstall(a.Build(), b, nullptr, name, nullptr, &opts);
+}
+
+BlockId SynthesizeRingGet1(Kernel& kernel, Addr ring, const std::string& name) {
+  Asm a(name);
+  a.LoadA32(kD2, Asm::Sym("tail"));
+  a.LoadA32(kD3, Asm::Sym("head"));
+  a.Cmp(kD2, kD3);
+  a.Beq("empty");
+  a.Lea(kA1, kD2, Asm::Sym("buf"));
+  a.Load8(kD1, kA1, 0);
+  a.Lea(kD4, kD2, 1);
+  a.AndI(kD4, Asm::Sym("mask"));
+  a.StoreA32(Asm::Sym("tail"), kD4);
+  a.MoveI(kD0, 1);
+  a.Rts();
+  a.Label("empty");
+  a.MoveI(kD0, 0);
+  a.Rts();
+  Bindings b;
+  b.Set("head", static_cast<int32_t>(ring + RingLayout::kHead));
+  b.Set("tail", static_cast<int32_t>(ring + RingLayout::kTail));
+  b.Set("mask",
+        static_cast<int32_t>(kernel.machine().memory().Read32(ring + RingLayout::kMask)));
+  b.Set("buf", static_cast<int32_t>(ring + RingLayout::kBuf));
+  SynthesisOptions opts = kernel.config().synthesis;
+  opts.live_out |= 1u << kD1;
+  return kernel.SynthesizeInstall(a.Build(), b, nullptr, name, nullptr, &opts);
+}
+
+IoSystem::IoSystem(Kernel& kernel, FileSystem* fs)
+    : kernel_(kernel),
+      fs_(fs),
+      copy_block_(InstallCopyBulk(kernel.code())),
+      read_tmpl_(GeneralReadTemplate()),
+      write_tmpl_(GeneralWriteTemplate()) {}
+
+std::shared_ptr<RingHost> IoSystem::MakeRing(uint32_t capacity) {
+  assert((capacity & (capacity - 1)) == 0 && "ring capacity must be a power of 2");
+  auto ring = std::make_shared<RingHost>();
+  ring->base = kernel_.allocator().Allocate(RingLayout::TotalBytes(capacity));
+  ring->capacity = capacity;
+  Memory& mem = kernel_.machine().memory();
+  mem.Write32(ring->base + RingLayout::kHead, 0);
+  mem.Write32(ring->base + RingLayout::kTail, 0);
+  mem.Write32(ring->base + RingLayout::kMask, capacity - 1);
+  return ring;
+}
+
+void IoSystem::RegisterRingDevice(const std::string& path,
+                                  std::shared_ptr<RingHost> rd,
+                                  std::shared_ptr<RingHost> wr) {
+  devices_[path] = DeviceEntry{std::move(rd), std::move(wr)};
+}
+
+IoSystem::Channel* IoSystem::Get(ChannelId ch) {
+  auto it = channels_.find(ch);
+  return it == channels_.end() ? nullptr : &it->second;
+}
+
+ChannelId IoSystem::InstallChannel(Channel chan, const std::string& tag) {
+  // Build the channel record in simulated memory.
+  Addr rec = kernel_.allocator().Allocate(ChannelLayout::kSize);
+  Memory& mem = kernel_.machine().memory();
+  mem.Write32(rec + ChannelLayout::kType, static_cast<uint32_t>(chan.type));
+  mem.Write32(rec + ChannelLayout::kPosition, 0);
+  mem.Write32(rec + ChannelLayout::kScratch, 0);
+  mem.Write32(rec + ChannelLayout::kRdRing, chan.rd_ring ? chan.rd_ring->base : 0);
+  mem.Write32(rec + ChannelLayout::kWrRing, chan.wr_ring ? chan.wr_ring->base : 0);
+  if (chan.type == DeviceType::kFile && fs_ != nullptr) {
+    FileSystem::Extent ext = fs_->Ensure(chan.file_id);
+    mem.Write32(rec + ChannelLayout::kDataBase, ext.base);
+    mem.Write32(rec + ChannelLayout::kSizeAddr, ext.size_addr);
+    mem.Write32(rec + ChannelLayout::kCapacity, ext.capacity);
+  } else {
+    mem.Write32(rec + ChannelLayout::kDataBase, 0);
+    mem.Write32(rec + ChannelLayout::kSizeAddr, 0);
+    mem.Write32(rec + ChannelLayout::kCapacity, 0);
+  }
+  chan.record = rec;
+
+  // Specialize read and write for this channel (kernel code synthesis).
+  InvariantMemory inv(mem);
+  inv.AddRange(ChannelLayout::InvariantPrefix(rec));
+  inv.AddRange(ChannelLayout::InvariantSuffix(rec));
+  if (chan.rd_ring) {
+    inv.AddRange(RingLayout::InvariantRange(chan.rd_ring->base));
+  }
+  if (chan.wr_ring) {
+    inv.AddRange(RingLayout::InvariantRange(chan.wr_ring->base));
+  }
+  Bindings b;
+  b.Set("chan", static_cast<int32_t>(rec));
+  b.Set("copy", copy_block_);
+  chan.read_code = kernel_.SynthesizeInstall(read_tmpl_, b, &inv, "read$" + tag,
+                                             &last_read_stats);
+  chan.write_code = kernel_.SynthesizeInstall(write_tmpl_, b, &inv, "write$" + tag);
+
+  ChannelId id = next_id_++;
+  channels_[id] = std::move(chan);
+  return id;
+}
+
+ChannelId IoSystem::Open(const std::string& path) {
+  kernel_.machine().Charge(kSyscallEntryCycles, 1, 4);
+  Stopwatch lookup_sw(kernel_.machine());
+
+  // Directory walk: one probe of the hashed-backwards name table per path
+  // component (the dominant share of open()'s cost, ~60% per §6.3).
+  uint32_t components = 0;
+  for (char c : path) {
+    components += c == '/';
+  }
+  if (components == 0) {
+    components = 1;
+  }
+  kernel_.machine().Charge(175 * components + 8 * static_cast<uint32_t>(path.size()),
+                           10 * components, 6 * components);
+
+  Channel chan;
+  bool found = false;
+  auto dev = devices_.find(path);
+  if (dev != devices_.end()) {
+    if (path == "/dev/null") {
+      chan.type = DeviceType::kNull;
+    } else {
+      chan.type = DeviceType::kRing;
+      chan.rd_ring = dev->second.rd;
+      chan.wr_ring = dev->second.wr;
+    }
+    found = true;
+  } else if (fs_ != nullptr) {
+    uint32_t fid = fs_->LookupId(path);
+    if (fid != 0) {
+      chan.type = DeviceType::kFile;
+      chan.file_id = fid;
+      found = true;
+    }
+  }
+  if (!found) {
+    return kBadChannel;
+  }
+  last_open_lookup_us = lookup_sw.micros();
+
+  // Pull a cold file through the disk pipeline before timing synthesis: the
+  // paper's open() numbers are for resident data, and disk latency is
+  // neither name lookup nor code generation.
+  if (chan.type == DeviceType::kFile && fs_ != nullptr) {
+    fs_->Ensure(chan.file_id);
+  }
+
+  Stopwatch synth_sw(kernel_.machine());
+  ChannelId id = InstallChannel(std::move(chan), path + "#" + std::to_string(next_id_));
+  last_open_synth_us = synth_sw.micros();
+  return id;
+}
+
+std::pair<ChannelId, ChannelId> IoSystem::CreatePipe(uint32_t capacity) {
+  auto ring = MakeRing(capacity);
+  Channel rd;
+  rd.type = DeviceType::kRing;
+  rd.rd_ring = ring;
+  Channel wr;
+  wr.type = DeviceType::kRing;
+  wr.wr_ring = ring;
+  std::string tag = "pipe#" + std::to_string(next_id_);
+  ChannelId r = InstallChannel(std::move(rd), tag + "r");
+  ChannelId w = InstallChannel(std::move(wr), tag + "w");
+  return {r, w};
+}
+
+int32_t IoSystem::Read(ChannelId ch, Addr dst, uint32_t n) {
+  Channel* c = Get(ch);
+  if (c == nullptr) {
+    return kIoError;
+  }
+  kernel_.machine().Charge(kSyscallEntryCycles, 1, 4);
+  Machine& m = kernel_.machine();
+  m.set_reg(kA1, dst);
+  m.set_reg(kD2, n);
+  RunResult r = kernel_.kexec().Call(c->read_code);
+  if (r.outcome != RunOutcome::kReturned) {
+    return kIoError;
+  }
+  int32_t got = static_cast<int32_t>(m.reg(kD0));
+  if (got == kIoWouldBlock) {
+    if (c->rd_ring && kernel_.current_thread() != kNoThread) {
+      kernel_.BlockCurrentOn(c->rd_ring->readers);
+    }
+    return kIoWouldBlock;
+  }
+  if (got > 0) {
+    if (c->rd_ring) {
+      kernel_.UnblockOne(c->rd_ring->writers);  // space was freed
+    }
+    kernel_.scheduler().ReportIo(kernel_.current_thread(), static_cast<uint32_t>(got),
+                                 kernel_.NowUs());
+  }
+  return got;
+}
+
+int32_t IoSystem::Write(ChannelId ch, Addr src, uint32_t n) {
+  Channel* c = Get(ch);
+  if (c == nullptr) {
+    return kIoError;
+  }
+  kernel_.machine().Charge(kSyscallEntryCycles, 1, 4);
+  Machine& m = kernel_.machine();
+  m.set_reg(kA1, src);
+  m.set_reg(kD2, n);
+  RunResult r = kernel_.kexec().Call(c->write_code);
+  if (r.outcome != RunOutcome::kReturned) {
+    return kIoError;
+  }
+  int32_t put = static_cast<int32_t>(m.reg(kD0));
+  if (put == kIoWouldBlock) {
+    if (c->wr_ring && kernel_.current_thread() != kNoThread) {
+      kernel_.BlockCurrentOn(c->wr_ring->writers);
+    }
+    return kIoWouldBlock;
+  }
+  if (put > 0) {
+    if (c->wr_ring) {
+      kernel_.UnblockOne(c->wr_ring->readers);  // data became available
+    }
+    kernel_.scheduler().ReportIo(kernel_.current_thread(), static_cast<uint32_t>(put),
+                                 kernel_.NowUs());
+  }
+  return put;
+}
+
+void IoSystem::Close(ChannelId ch) {
+  Channel* c = Get(ch);
+  if (c == nullptr) {
+    return;
+  }
+  kernel_.machine().Charge(kCloseCycles, 8, 12);
+  kernel_.allocator().Free(c->record);
+  channels_.erase(ch);
+}
+
+BlockId IoSystem::ReadCodeOf(ChannelId ch) const {
+  auto it = channels_.find(ch);
+  return it == channels_.end() ? kInvalidBlock : it->second.read_code;
+}
+
+BlockId IoSystem::WriteCodeOf(ChannelId ch) const {
+  auto it = channels_.find(ch);
+  return it == channels_.end() ? kInvalidBlock : it->second.write_code;
+}
+
+Addr IoSystem::RecordOf(ChannelId ch) const {
+  auto it = channels_.find(ch);
+  return it == channels_.end() ? 0 : it->second.record;
+}
+
+bool IoSystem::RingPutByte(RingHost& ring, uint8_t byte) {
+  Memory& mem = kernel_.machine().memory();
+  uint32_t mask = ring.capacity - 1;
+  uint32_t h = mem.Read32(ring.base + RingLayout::kHead);
+  uint32_t t = mem.Read32(ring.base + RingLayout::kTail);
+  if (((h + 1) & mask) == t) {
+    return false;
+  }
+  mem.Write8(ring.base + RingLayout::kBuf + h, byte);
+  mem.Write32(ring.base + RingLayout::kHead, (h + 1) & mask);
+  kernel_.machine().Charge(30, 5, 4);
+  return true;
+}
+
+bool IoSystem::RingGetByte(RingHost& ring, uint8_t* byte) {
+  Memory& mem = kernel_.machine().memory();
+  uint32_t mask = ring.capacity - 1;
+  uint32_t h = mem.Read32(ring.base + RingLayout::kHead);
+  uint32_t t = mem.Read32(ring.base + RingLayout::kTail);
+  if (h == t) {
+    return false;
+  }
+  *byte = mem.Read8(ring.base + RingLayout::kBuf + t);
+  mem.Write32(ring.base + RingLayout::kTail, (t + 1) & mask);
+  kernel_.machine().Charge(30, 5, 4);
+  return true;
+}
+
+uint32_t IoSystem::RingAvail(const RingHost& ring) const {
+  const Memory& mem = kernel_.machine().memory();
+  uint32_t h = mem.Read32(ring.base + RingLayout::kHead);
+  uint32_t t = mem.Read32(ring.base + RingLayout::kTail);
+  return (h - t) & (ring.capacity - 1);
+}
+
+}  // namespace synthesis

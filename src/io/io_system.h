@@ -1,0 +1,126 @@
+// The Synthesis I/O system: streams, device servers, and the open() that
+// synthesizes per-channel read/write code (§5).
+//
+// All devices share ONE general read template and ONE general write template:
+// programs that load the channel's type, dispatch on it, and run the matching
+// device body (null / file extent / byte ring). open() specializes them for
+// the channel being opened — the type switch folds away, the device constants
+// become absolute addresses, and the copy helper is inlined (Collapsing
+// Layers). The baseline kernel executes the same templates with synthesis
+// disabled, which is exactly the general-purpose layered path a traditional
+// kernel runs on every call.
+#ifndef SRC_IO_IO_SYSTEM_H_
+#define SRC_IO_IO_SYSTEM_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "src/fs/file_system.h"
+#include "src/io/channel.h"
+#include "src/kernel/kernel.h"
+#include "src/machine/assembler.h"
+
+namespace synthesis {
+
+using ChannelId = uint32_t;
+inline constexpr ChannelId kBadChannel = 0;
+
+// Read/Write results <= these sentinels are errors; >= 0 are byte counts.
+inline constexpr int32_t kIoWouldBlock = -1;  // caller parked; retry on resume
+inline constexpr int32_t kIoError = -2;
+
+// A byte ring shared by the channels connected to it (both pipe ends; the
+// tty queues). Blocking threads park on the ring's own wait queues (§4.1).
+struct RingHost {
+  Addr base = 0;
+  uint32_t capacity = 0;  // power of two; capacity-1 bytes usable
+  WaitQueue readers;
+  WaitQueue writers;
+};
+
+// The general templates (exposed for the baseline kernel and benches).
+CodeTemplate GeneralReadTemplate();
+CodeTemplate GeneralWriteTemplate();
+
+// Synthesizes a single-byte put/get for a specific ring (used by interrupt
+// handlers; d1 = byte; returns d0 = 1/0).
+BlockId SynthesizeRingPut1(Kernel& kernel, Addr ring, const std::string& name);
+BlockId SynthesizeRingGet1(Kernel& kernel, Addr ring, const std::string& name);
+
+class IoSystem {
+ public:
+  // `fs` may be null (no file namespace, devices only).
+  IoSystem(Kernel& kernel, FileSystem* fs);
+
+  // --- Native Synthesis kernel calls (Table 2) --------------------------------
+  ChannelId Open(const std::string& path);
+  int32_t Read(ChannelId ch, Addr dst, uint32_t n);
+  int32_t Write(ChannelId ch, Addr src, uint32_t n);
+  void Close(ChannelId ch);
+
+  // Creates a pipe of `capacity` bytes (power of two); returns {read end,
+  // write end}.
+  std::pair<ChannelId, ChannelId> CreatePipe(uint32_t capacity);
+
+  // Registers a ring-backed device under `path` (tty-style). Either ring may
+  // be null (write-only / read-only device).
+  void RegisterRingDevice(const std::string& path, std::shared_ptr<RingHost> rd,
+                          std::shared_ptr<RingHost> wr);
+
+  // Allocates and initializes a ring in simulated memory.
+  std::shared_ptr<RingHost> MakeRing(uint32_t capacity);
+
+  // Host-side ring helpers for device models and tests (charged lightly).
+  bool RingPutByte(RingHost& ring, uint8_t byte);
+  bool RingGetByte(RingHost& ring, uint8_t* byte);
+  uint32_t RingAvail(const RingHost& ring) const;
+
+  Kernel& kernel() { return kernel_; }
+  FileSystem* fs() { return fs_; }
+
+  // Introspection for benches/tests: the cost split of the last Open.
+  double last_open_lookup_us = 0;
+  double last_open_synth_us = 0;
+  SynthesisStats last_read_stats;
+
+  // Access to a channel's synthesized code (for disassembly in examples).
+  BlockId ReadCodeOf(ChannelId ch) const;
+  BlockId WriteCodeOf(ChannelId ch) const;
+  // The channel record's address (the UNIX emulator's lseek pokes position).
+  Addr RecordOf(ChannelId ch) const;
+
+ private:
+  struct Channel {
+    Addr record = 0;
+    DeviceType type = DeviceType::kNull;
+    BlockId read_code = kInvalidBlock;
+    BlockId write_code = kInvalidBlock;
+    std::shared_ptr<RingHost> rd_ring;
+    std::shared_ptr<RingHost> wr_ring;
+    uint32_t file_id = 0;
+  };
+
+  struct DeviceEntry {
+    std::shared_ptr<RingHost> rd;
+    std::shared_ptr<RingHost> wr;
+  };
+
+  ChannelId InstallChannel(Channel chan, const std::string& tag);
+  Channel* Get(ChannelId ch);
+
+  Kernel& kernel_;
+  FileSystem* fs_;
+  BlockId copy_block_;
+  CodeTemplate read_tmpl_;
+  CodeTemplate write_tmpl_;
+  std::unordered_map<std::string, DeviceEntry> devices_;
+  std::unordered_map<ChannelId, Channel> channels_;
+  ChannelId next_id_ = 1;
+};
+
+}  // namespace synthesis
+
+#endif  // SRC_IO_IO_SYSTEM_H_

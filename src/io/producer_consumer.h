@@ -1,0 +1,82 @@
+// The quaject interfacer's connection planner (§5.2).
+//
+// Every stream connects a producer to a consumer; the paper enumerates the
+// cases and prescribes the most frugal connector for each:
+//
+//   active producer + passive consumer (or vice versa), single-single:
+//       a plain procedure call;
+//   active + passive with multiple participants on the passive side's caller
+//       end: a monitor serializes the callers;
+//   active + active: a queue mediates — SP-SC plain, with a monitor attached
+//       to any "multiple" end (MP-SC / SP-MC / MP-MC optimistic queues);
+//   passive + passive: a pump thread drives both ends.
+//
+// PlanConnection encodes that table; the I/O layer and tests consult it.
+#ifndef SRC_IO_PRODUCER_CONSUMER_H_
+#define SRC_IO_PRODUCER_CONSUMER_H_
+
+#include <string_view>
+
+namespace synthesis {
+
+enum class Activity { kActive, kPassive };
+enum class Cardinality { kSingle, kMultiple };
+
+enum class ConnectorKind {
+  kProcedureCall,   // cheapest: direct call between the two quajects
+  kMonitorCall,     // procedure call serialized by a monitor
+  kSpscQueue,
+  kMpscQueue,
+  kSpmcQueue,
+  kMpmcQueue,
+  kPump,            // a thread animates two passive endpoints
+};
+
+struct Endpoint {
+  Activity activity = Activity::kActive;
+  Cardinality cardinality = Cardinality::kSingle;
+};
+
+struct ConnectionPlan {
+  ConnectorKind kind;
+  std::string_view rationale;
+};
+
+inline ConnectionPlan PlanConnection(Endpoint producer, Endpoint consumer) {
+  bool p_active = producer.activity == Activity::kActive;
+  bool c_active = consumer.activity == Activity::kActive;
+  bool p_multi = producer.cardinality == Cardinality::kMultiple;
+  bool c_multi = consumer.cardinality == Cardinality::kMultiple;
+
+  if (p_active && c_active) {
+    if (p_multi && c_multi) {
+      return {ConnectorKind::kMpmcQueue,
+              "both ends active and multiple: optimistic MP-MC queue"};
+    }
+    if (p_multi) {
+      return {ConnectorKind::kMpscQueue,
+              "active-active, many producers: optimistic MP-SC queue"};
+    }
+    if (c_multi) {
+      return {ConnectorKind::kSpmcQueue,
+              "active-active, many consumers: optimistic SP-MC queue"};
+    }
+    return {ConnectorKind::kSpscQueue, "active-active single-single: SP-SC queue"};
+  }
+  if (!p_active && !c_active) {
+    return {ConnectorKind::kPump,
+            "both ends passive: a pump thread animates the connection"};
+  }
+  // Active-passive: the active side calls into the passive side.
+  bool multiple_callers = p_active ? p_multi : c_multi;
+  if (multiple_callers) {
+    return {ConnectorKind::kMonitorCall,
+            "active-passive with multiple callers: monitor-serialized call"};
+  }
+  return {ConnectorKind::kProcedureCall,
+          "active-passive single-single: a procedure call suffices"};
+}
+
+}  // namespace synthesis
+
+#endif  // SRC_IO_PRODUCER_CONSUMER_H_

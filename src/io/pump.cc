@@ -1,0 +1,62 @@
+#include "src/io/pump.h"
+
+namespace synthesis {
+
+class Pump::Body : public UserProgram {
+ public:
+  Body(PassiveSource source, PassiveSink sink, uint32_t chunk, double interval_us,
+       std::shared_ptr<uint64_t> transfers, std::shared_ptr<uint64_t> bytes,
+       std::shared_ptr<bool> stop)
+      : source_(std::move(source)),
+        sink_(std::move(sink)),
+        chunk_(chunk),
+        interval_us_(interval_us),
+        transfers_(std::move(transfers)),
+        bytes_(std::move(bytes)),
+        stop_(std::move(stop)) {}
+
+  StepStatus Step(ThreadEnv& env) override {
+    if (*stop_) {
+      if (buf_ != 0) {
+        env.kernel.allocator().Free(buf_);
+        buf_ = 0;
+      }
+      return StepStatus::kDone;
+    }
+    if (buf_ == 0) {
+      buf_ = env.kernel.allocator().Allocate(chunk_);
+    }
+    uint32_t n = source_(buf_, chunk_);
+    if (n > 0) {
+      sink_(buf_, n);
+      (*transfers_)++;
+      *bytes_ += n;
+      // Charge the pump's copy work: read + write of each word.
+      env.kernel.machine().Charge(6 * ((n + 3) / 4), (n + 3) / 4, 2 * ((n + 3) / 4));
+    }
+    if (interval_us_ > 0) {
+      // Rate-limited: idle until the next tick (burn the interval).
+      env.kernel.machine().ChargeMicros(interval_us_);
+    }
+    return StepStatus::kYield;
+  }
+
+ private:
+  PassiveSource source_;
+  PassiveSink sink_;
+  uint32_t chunk_;
+  double interval_us_;
+  Addr buf_ = 0;
+  std::shared_ptr<uint64_t> transfers_;
+  std::shared_ptr<uint64_t> bytes_;
+  std::shared_ptr<bool> stop_;
+};
+
+Pump::Pump(Kernel& kernel, PassiveSource source, PassiveSink sink,
+           uint32_t chunk_bytes, double interval_us) {
+  tid_ = kernel.CreateThread(std::make_unique<Body>(std::move(source), std::move(sink),
+                                                    chunk_bytes, interval_us,
+                                                    transfers_, bytes_, stop_));
+}
+
+}  // namespace synthesis

@@ -1,0 +1,48 @@
+// The pump building block (§2.3, §5.2): a thread that actively copies its
+// input into its output, connecting a passive producer to a passive consumer
+// (the paper's example: xclock — a clock that can be read at any time feeding
+// a display that accepts pixels at any time).
+#ifndef SRC_IO_PUMP_H_
+#define SRC_IO_PUMP_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "src/kernel/kernel.h"
+
+namespace synthesis {
+
+// A passive producer: fills `dst` (simulated memory) with up to `max` bytes
+// and returns how many it produced. Never blocks.
+using PassiveSource = std::function<uint32_t(Addr dst, uint32_t max)>;
+// A passive consumer: accepts `n` bytes from `src`. Never blocks.
+using PassiveSink = std::function<void(Addr src, uint32_t n)>;
+
+class Pump {
+ public:
+  // Creates the pump thread. Each activation moves one chunk of up to
+  // `chunk_bytes` and charges the transfer; `interval_us` rate-limits the
+  // pump by sleeping on an alarm between transfers (0 = free-running).
+  Pump(Kernel& kernel, PassiveSource source, PassiveSink sink, uint32_t chunk_bytes,
+       double interval_us = 0);
+
+  ThreadId thread() const { return tid_; }
+  uint64_t transfers() const { return *transfers_; }
+  uint64_t bytes_moved() const { return *bytes_; }
+
+  // Stops the pump at its next activation.
+  void Stop() { *stop_ = true; }
+
+ private:
+  class Body;
+
+  ThreadId tid_ = kNoThread;
+  std::shared_ptr<uint64_t> transfers_ = std::make_shared<uint64_t>(0);
+  std::shared_ptr<uint64_t> bytes_ = std::make_shared<uint64_t>(0);
+  std::shared_ptr<bool> stop_ = std::make_shared<bool>(false);
+};
+
+}  // namespace synthesis
+
+#endif  // SRC_IO_PUMP_H_

@@ -1,0 +1,81 @@
+// The switch building block (§2.3): "equivalent to the C switch statement",
+// e.g. directing interrupts to service routines or demultiplexing a disk
+// scheduler's streams. The switch is synthesized: its case table is compiled
+// into a compare/branch chain ending in direct jumps, and when a selector is
+// known at synthesis time the whole switch collapses to the target call.
+#ifndef SRC_IO_SWITCHBOARD_H_
+#define SRC_IO_SWITCHBOARD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/kernel/kernel.h"
+#include "src/machine/assembler.h"
+
+namespace synthesis {
+
+class Switchboard {
+ public:
+  // Selector arrives in d0; the matching target runs via jsr; unmatched
+  // selectors return kIoError-style -2 in d0.
+  Switchboard& AddCase(uint32_t selector, BlockId target) {
+    cases_.push_back({selector, target});
+    return *this;
+  }
+
+  // Builds the dispatch template (general: compare chain over all cases).
+  CodeTemplate BuildTemplate(const std::string& name) const {
+    Asm a(name);
+    for (size_t i = 0; i < cases_.size(); i++) {
+      a.CmpI(kD0, static_cast<int32_t>(cases_[i].selector));
+      a.Beq("case" + std::to_string(i));
+    }
+    a.MoveI(kD0, -2);
+    a.Rts();
+    for (size_t i = 0; i < cases_.size(); i++) {
+      a.Label("case" + std::to_string(i));
+      a.Jsr(cases_[i].target);
+      a.Rts();
+    }
+    return a.Build();
+  }
+
+  // Installs the synthesized switch. If `known_selector` is non-negative the
+  // synthesizer folds the chain down to the single target (the quaject
+  // interfacer's Collapsing Layers in miniature). Case handlers may return
+  // results in d0 and d1, so both stay live through dead-code elimination.
+  BlockId Synthesize(Kernel& kernel, const std::string& name,
+                     int64_t known_selector = -1) const {
+    SynthesisOptions opts = kernel.config().synthesis;
+    opts.live_out |= (1u << 0) | (1u << 1);  // d0 and d1
+    CodeTemplate t = BuildTemplate(name);
+    if (known_selector >= 0) {
+      // Prepend a movei so constant propagation sees the selector.
+      Asm pre(name);
+      pre.MoveI(kD0, static_cast<int32_t>(known_selector));
+      CodeTemplate p = pre.Build();
+      p.block.code.insert(p.block.code.end(), t.block.code.begin(), t.block.code.end());
+      for (Instr& in : p.block.code) {
+        if (IsBranch(in.op)) {
+          in.imm += 1;  // account for the prepended instruction
+        }
+      }
+      return kernel.SynthesizeInstall(p, Bindings(), nullptr, name, nullptr, &opts);
+    }
+    return kernel.SynthesizeInstall(t, Bindings(), nullptr, name, nullptr, &opts);
+  }
+
+  size_t case_count() const { return cases_.size(); }
+
+ private:
+  struct Case {
+    uint32_t selector;
+    BlockId target;
+  };
+  std::vector<Case> cases_;
+};
+
+}  // namespace synthesis
+
+#endif  // SRC_IO_SWITCHBOARD_H_

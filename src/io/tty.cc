@@ -1,0 +1,115 @@
+#include "src/io/tty.h"
+
+#include <vector>
+
+#include "src/machine/assembler.h"
+
+namespace synthesis {
+
+// The cooked-tty filter thread: reads raw characters, interprets erase/kill,
+// and releases complete lines into the cooked ring (§5.1).
+class TtyDevice::CookedFilter : public UserProgram {
+ public:
+  CookedFilter(IoSystem& io, TtyDevice& tty) : io_(io), tty_(tty) {}
+
+  StepStatus Step(ThreadEnv& env) override {
+    uint8_t c = 0;
+    bool progressed = false;
+    while (io_.RingGetByte(tty_.raw_ring(), &c)) {
+      progressed = true;
+      env.kernel.machine().Charge(24, 6, 2);  // classify + buffer the char
+      if (c == 0x08 || c == 0x7F) {           // erase
+        if (!line_.empty()) {
+          line_.pop_back();
+        }
+      } else if (c == 0x15) {  // kill (^U)
+        line_.clear();
+      } else if (c == '\n' || c == '\r') {
+        line_.push_back('\n');
+        FlushLine(env);
+      } else {
+        line_.push_back(static_cast<char>(c));
+      }
+    }
+    if (!progressed) {
+      env.kernel.BlockCurrentOn(tty_.raw_ring().readers);
+      return StepStatus::kBlocked;
+    }
+    return StepStatus::kYield;
+  }
+
+ private:
+  void FlushLine(ThreadEnv& env) {
+    for (char ch : line_) {
+      if (!io_.RingPutByte(tty_.cooked_ring(), static_cast<uint8_t>(ch))) {
+        break;  // cooked ring full: drop (a real tty beeps)
+      }
+    }
+    line_.clear();
+    env.kernel.UnblockOne(tty_.cooked_ring().readers);
+  }
+
+  IoSystem& io_;
+  TtyDevice& tty_;
+  std::vector<char> line_;
+};
+
+TtyDevice::TtyDevice(Kernel& kernel, IoSystem& io) : kernel_(kernel), io_(io) {
+  raw_ = io.MakeRing(256);
+  cooked_ = io.MakeRing(1024);
+  screen_ = io.MakeRing(4096);
+  io.RegisterRingDevice("/dev/tty", cooked_, screen_);
+
+  // Per-ring specialized single-byte puts: a dedicated put into the raw ring
+  // (only this handler produces there) and an echo put into the shared
+  // screen ring.
+  BlockId raw_put = SynthesizeRingPut1(kernel, raw_->base, "tty_raw_put");
+  BlockId echo_put = SynthesizeRingPut1(kernel, screen_->base, "tty_echo_put");
+
+  int wake_vec = kernel.RegisterHostTrap([this](Machine&) {
+    chars_received_++;
+    kernel_.UnblockOne(raw_->readers);
+    return TrapAction::kContinue;
+  });
+
+  // The interrupt handler: d1 holds the character from the UART. Pick it up,
+  // insert into the raw ring, echo to the screen, wake the filter.
+  Asm h("tty_irq");
+  h.Charge(70);       // UART status/data read, modem-control check, gauges
+  h.Move(kD5, kD1);   // keep the char across the puts (they clobber d0-d3)
+  h.Jsr(raw_put);
+  h.Move(kD1, kD5);
+  h.Jsr(echo_put);
+  h.Trap(wake_vec);
+  h.Rts();
+  // Collapsing Layers folds both puts into the handler body.
+  Bindings none;
+  irq_handler_ = kernel.SynthesizeInstall(h.Build(), none, nullptr, "tty_irq");
+  kernel.SetDefaultVector(Vector::kTty, irq_handler_);
+
+  filter_tid_ = kernel.CreateThread(std::make_unique<CookedFilter>(io, *this));
+}
+
+void TtyDevice::TypeChar(char c, double at_us) {
+  kernel_.interrupts().Raise(at_us, Vector::kTty, static_cast<uint8_t>(c));
+}
+
+void TtyDevice::TypeString(const std::string& s, double start_us,
+                           double char_interval_us) {
+  double t = start_us;
+  for (char c : s) {
+    TypeChar(c, t);
+    t += char_interval_us;
+  }
+}
+
+std::string TtyDevice::DrainScreen() {
+  std::string out;
+  uint8_t c = 0;
+  while (io_.RingGetByte(*screen_, &c)) {
+    out.push_back(static_cast<char>(c));
+  }
+  return out;
+}
+
+}  // namespace synthesis

@@ -1,0 +1,59 @@
+// The tty pipeline (§5.1, §5.4): raw keyboard server -> cooked-tty filter ->
+// /dev/tty readers, plus the screen output ring.
+//
+// The raw server is interrupt-driven: each arriving character runs a
+// synthesized handler that picks the character up, inserts it into the raw
+// ring (through a per-ring specialized put — a dedicated queue, since only
+// the interrupt handler produces into it), echoes it to the screen ring (an
+// optimistic put: echo competes with program output, §5.1), and wakes the
+// cooked filter.
+//
+// The cooked filter is a kernel thread (it never executes user code) that
+// interprets erase (^H / DEL) and kill (^U) and releases complete lines into
+// the cooked ring, which /dev/tty reads.
+#ifndef SRC_IO_TTY_H_
+#define SRC_IO_TTY_H_
+
+#include <memory>
+#include <string>
+
+#include "src/io/io_system.h"
+#include "src/kernel/kernel.h"
+
+namespace synthesis {
+
+class TtyDevice {
+ public:
+  // Registers "/dev/tty" with `io` and installs the keyboard interrupt
+  // handler as the kTty default vector.
+  TtyDevice(Kernel& kernel, IoSystem& io);
+
+  // Schedules keystrokes as interrupts on the virtual clock.
+  void TypeChar(char c, double at_us);
+  void TypeString(const std::string& s, double start_us, double char_interval_us);
+
+  // Everything accumulated on the screen ring so far (drains it).
+  std::string DrainScreen();
+
+  RingHost& raw_ring() { return *raw_; }
+  RingHost& cooked_ring() { return *cooked_; }
+  RingHost& screen_ring() { return *screen_; }
+  BlockId irq_handler() const { return irq_handler_; }
+  uint64_t chars_received() const { return chars_received_; }
+
+ private:
+  class CookedFilter;
+
+  Kernel& kernel_;
+  IoSystem& io_;
+  std::shared_ptr<RingHost> raw_;
+  std::shared_ptr<RingHost> cooked_;
+  std::shared_ptr<RingHost> screen_;
+  BlockId irq_handler_ = kInvalidBlock;
+  ThreadId filter_tid_ = kNoThread;
+  uint64_t chars_received_ = 0;
+};
+
+}  // namespace synthesis
+
+#endif  // SRC_IO_TTY_H_

@@ -1,0 +1,95 @@
+#include "src/kernel/allocator.h"
+
+namespace synthesis {
+
+namespace {
+// Fast-fit cost: a handful of pointer operations regardless of heap size.
+constexpr uint32_t kAllocCycles = 24;
+constexpr uint32_t kFreeCycles = 16;
+}  // namespace
+
+KernelAllocator::KernelAllocator(Machine& machine, Addr base, uint32_t size)
+    : machine_(machine), base_(base), size_(size), bump_(base) {}
+
+int KernelAllocator::BinFor(uint32_t bytes) {
+  int bin = 0;
+  uint32_t b = kMinBlock;
+  while (b < bytes && bin < kNumBins - 1) {
+    b <<= 1;
+    bin++;
+  }
+  return bin;
+}
+
+uint32_t KernelAllocator::RoundUp(uint32_t bytes) {
+  uint32_t b = kMinBlock;
+  while (b < bytes) {
+    b <<= 1;
+  }
+  return b;
+}
+
+Addr KernelAllocator::Allocate(uint32_t bytes) {
+  machine_.Charge(kAllocCycles, 0, 3);
+  if (bytes == 0) {
+    bytes = 1;
+  }
+  uint32_t rounded = RoundUp(bytes);
+  int bin = BinFor(rounded);
+
+  // Exact-fit list first (the fast path).
+  if (!free_lists_[bin].empty()) {
+    Addr a = free_lists_[bin].back();
+    free_lists_[bin].pop_back();
+    sizes_[a] = rounded;
+    in_use_ += rounded;
+    live_allocations_++;
+    return a;
+  }
+  // Split a larger free block.
+  for (int b = bin + 1; b < kNumBins; b++) {
+    if (free_lists_[b].empty()) {
+      continue;
+    }
+    Addr a = free_lists_[b].back();
+    free_lists_[b].pop_back();
+    uint32_t block = kMinBlock << b;
+    // Return the unused halves to smaller bins.
+    uint32_t off = rounded;
+    int rb = bin;
+    while (off < block) {
+      free_lists_[rb].push_back(a + off);
+      off += kMinBlock << rb;
+      rb++;
+    }
+    sizes_[a] = rounded;
+    in_use_ += rounded;
+    live_allocations_++;
+    return a;
+  }
+  // Bump-allocate fresh space.
+  if (bump_ + rounded <= base_ + size_) {
+    Addr a = bump_;
+    bump_ += rounded;
+    sizes_[a] = rounded;
+    in_use_ += rounded;
+    live_allocations_++;
+    return a;
+  }
+  return 0;  // exhausted
+}
+
+void KernelAllocator::Free(Addr addr) {
+  machine_.Charge(kFreeCycles, 0, 2);
+  auto it = sizes_.find(addr);
+  if (it == sizes_.end()) {
+    return;  // double free or foreign pointer: ignore, as the hardware would
+  }
+  uint32_t rounded = it->second;
+  sizes_.erase(it);
+  in_use_ -= rounded;
+  live_allocations_--;
+  free_lists_[BinFor(rounded)].push_back(addr);
+}
+
+}  // namespace synthesis

@@ -1,0 +1,56 @@
+// Kernel memory allocator for the simulated address space.
+//
+// §6.3: "the memory allocation routine is an executable data structure
+// implementing a fast-fit heap". We implement a fast-fit allocator in the
+// spirit of Stephenson's "Fast Fits": segregated power-of-two free lists give
+// near-constant allocation, falling back to splitting a larger block. The
+// allocator manages a region of the Machine's simulated memory and charges the
+// machine a small, bounded cycle cost per operation.
+#ifndef SRC_KERNEL_ALLOCATOR_H_
+#define SRC_KERNEL_ALLOCATOR_H_
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "src/machine/machine.h"
+#include "src/machine/memory.h"
+
+namespace synthesis {
+
+class KernelAllocator {
+ public:
+  // Manages [base, base + size) of the machine's memory.
+  KernelAllocator(Machine& machine, Addr base, uint32_t size);
+
+  // Returns 0 on exhaustion. The returned address is 8-byte aligned.
+  Addr Allocate(uint32_t bytes);
+  void Free(Addr addr);
+
+  uint32_t bytes_in_use() const { return in_use_; }
+  uint32_t bytes_total() const { return size_; }
+  uint32_t allocation_count() const { return live_allocations_; }
+
+ private:
+  static constexpr int kNumBins = 20;  // 16 B .. 8 MB
+  static constexpr uint32_t kMinBlock = 16;
+
+  static int BinFor(uint32_t bytes);
+  static uint32_t RoundUp(uint32_t bytes);
+
+  Machine& machine_;
+  Addr base_;
+  uint32_t size_;
+  uint32_t in_use_ = 0;
+  uint32_t live_allocations_ = 0;
+
+  // Host-side metadata; the payload lives in simulated memory.
+  std::array<std::vector<Addr>, kNumBins> free_lists_;
+  std::map<Addr, uint32_t> sizes_;  // live allocation -> rounded size
+  Addr bump_;                       // start of the never-yet-used tail
+};
+
+}  // namespace synthesis
+
+#endif  // SRC_KERNEL_ALLOCATOR_H_

@@ -1,0 +1,86 @@
+// Interrupt controller for the simulated machine.
+//
+// Devices schedule interrupts at absolute virtual times; the executive polls
+// between (and during) thread execution and dispatches through the *current
+// thread's* vector table — in Synthesis the currently executing thread
+// handles interrupts with its own synthesized handlers (§5.3).
+#ifndef SRC_KERNEL_INTERRUPTS_H_
+#define SRC_KERNEL_INTERRUPTS_H_
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <queue>
+#include <vector>
+
+#include "src/kernel/layout.h"
+
+namespace synthesis {
+
+struct PendingInterrupt {
+  double time_us = 0;
+  Vector vector = Vector::kTimer;
+  uint32_t payload = 0;  // device-specific (e.g. the character received)
+  uint64_t seq = 0;      // FIFO tie-break
+
+  // Earliest first; equal times dispatch in raise order.
+  friend bool operator>(const PendingInterrupt& a, const PendingInterrupt& b) {
+    if (a.time_us != b.time_us) {
+      return a.time_us > b.time_us;
+    }
+    return a.seq > b.seq;
+  }
+};
+
+class InterruptController {
+ public:
+  void Raise(double time_us, Vector vector, uint32_t payload = 0) {
+    queue_.push(PendingInterrupt{time_us, vector, payload, next_seq_++});
+  }
+
+  bool HasPendingAt(double now_us) const {
+    return !queue_.empty() && queue_.top().time_us <= now_us;
+  }
+
+  std::optional<PendingInterrupt> PopDue(double now_us) {
+    if (!HasPendingAt(now_us)) {
+      return std::nullopt;
+    }
+    PendingInterrupt p = queue_.top();
+    queue_.pop();
+    return p;
+  }
+
+  // Virtual time of the earliest scheduled interrupt, or +inf.
+  double NextTime() const {
+    return queue_.empty() ? std::numeric_limits<double>::infinity()
+                          : queue_.top().time_us;
+  }
+
+  bool Empty() const { return queue_.empty(); }
+  size_t Count() const { return queue_.size(); }
+
+  // Drops every pending interrupt of one vector (device reset / alarm cancel).
+  void CancelAll(Vector vector) {
+    std::priority_queue<PendingInterrupt, std::vector<PendingInterrupt>,
+                        std::greater<PendingInterrupt>>
+        kept;
+    while (!queue_.empty()) {
+      if (queue_.top().vector != vector) {
+        kept.push(queue_.top());
+      }
+      queue_.pop();
+    }
+    queue_ = std::move(kept);
+  }
+
+ private:
+  std::priority_queue<PendingInterrupt, std::vector<PendingInterrupt>,
+                      std::greater<PendingInterrupt>>
+      queue_;
+  uint64_t next_seq_ = 0;
+};
+
+}  // namespace synthesis
+
+#endif  // SRC_KERNEL_INTERRUPTS_H_

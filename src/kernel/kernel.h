@@ -1,0 +1,217 @@
+// The Synthesis kernel: threads, dispatching, interrupts, signals, alarms,
+// procedure chaining, and the code-synthesis services the I/O layers use.
+//
+// The kernel owns one Quamachine. Thread state lives in simulated memory
+// (TTEs); the fast paths — context switches, queue operations, interrupt
+// handlers, per-file read/write — are synthesized micro-op programs executed
+// on the machine, so every timing the benchmarks report is the instruction
+// path length of real (generated) code, costed by the 68020 model.
+#ifndef SRC_KERNEL_KERNEL_H_
+#define SRC_KERNEL_KERNEL_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/kernel/allocator.h"
+#include "src/kernel/interrupts.h"
+#include "src/kernel/layout.h"
+#include "src/kernel/queue_code.h"
+#include "src/kernel/ready_queue.h"
+#include "src/kernel/scheduler.h"
+#include "src/kernel/tte.h"
+#include "src/kernel/user_program.h"
+#include "src/machine/code_store.h"
+#include "src/machine/executor.h"
+#include "src/machine/machine.h"
+#include "src/synth/synthesizer.h"
+
+namespace synthesis {
+
+using ThreadId = uint32_t;
+inline constexpr ThreadId kNoThread = 0;
+
+// A resource's private wait queue (§4.1: "each resource has its own waiting
+// queue" — there is no global blocked queue to scan).
+class WaitQueue {
+ public:
+  bool Empty() const { return waiters_.empty(); }
+  size_t Size() const { return waiters_.size(); }
+
+ private:
+  friend class Kernel;
+  std::deque<ThreadId> waiters_;
+};
+
+class Kernel {
+ public:
+  struct Config {
+    size_t memory_bytes = 8 * 1024 * 1024;
+    MachineConfig machine = MachineConfig::SunEmulation();
+    SynthesisOptions synthesis;  // SynthesisOptions::Disabled() = ablation
+    bool lazy_fp = true;         // false: every context switch pays FP cost
+    FineGrainScheduler::Config scheduler;
+    bool fine_grain_scheduling = true;  // false: fixed base quantum (ablation)
+  };
+
+  Kernel() : Kernel(Config()) {}
+  explicit Kernel(Config config);
+
+  // --- Component access ---------------------------------------------------------
+  Machine& machine() { return machine_; }
+  CodeStore& code() { return store_; }
+  // Thread-level executor: runs VM thread bodies; suspendable across traps.
+  Executor& executor() { return exec_; }
+  // Kernel-level executor: runs synthesized kernel routines (syscall fast
+  // paths, interrupt handlers, queue code). Never nested inside itself.
+  Executor& kexec() { return kexec_; }
+  KernelAllocator& allocator() { return alloc_; }
+  InterruptController& interrupts() { return intc_; }
+  ReadyQueue& ready_queue() { return ready_; }
+  FineGrainScheduler& scheduler() { return sched_; }
+  const Config& config() const { return config_; }
+  const Synthesizer& synthesizer() const { return synth_; }
+
+  double NowUs() const { return machine_.NowMicros(); }
+
+  // Synthesizes a routine, charging the machine for the code generator's own
+  // work (the paper's open() spends ~40% of its time here), and installs it.
+  // `options` overrides the kernel-wide synthesis options (used e.g. to emit
+  // patch-slot code verbatim); null means config().synthesis.
+  BlockId SynthesizeInstall(const CodeTemplate& tmpl, const Bindings& bindings,
+                            const InvariantMemory* invariants,
+                            const std::string& name, SynthesisStats* stats = nullptr,
+                            const SynthesisOptions* options = nullptr);
+
+  // Registers a host-serviced trap and returns its vector number. Synthesized
+  // code reaches host logic (device wakeups, emulation) through these.
+  int RegisterHostTrap(std::function<TrapAction(Machine&)> fn);
+
+  // Trap dispatch for executors owned outside the kernel (VM thread bodies).
+  TrapAction HandleTrapPublic(int vector, Machine& machine) {
+    return HandleTrap(vector, machine);
+  }
+
+  // --- Thread operations (Table 3) -------------------------------------------
+  // Creates a thread: allocates and fills its TTE (~1 KB), synthesizes its
+  // context-switch procedures, error trap handler and default vectors, and
+  // inserts it at the back of the ready queue.
+  ThreadId CreateThread(std::unique_ptr<UserProgram> body,
+                        uint32_t quaspace_id = 0);
+  void DestroyThread(ThreadId tid);
+  void Stop(ThreadId tid);   // remove from the ready queue
+  void Start(ThreadId tid);  // put back
+  void Step(ThreadId tid);   // run one step of a stopped thread, stop again
+  // Asynchronous software interrupt: chain `handler` to run in the receiving
+  // thread's context the next time it is dispatched (§4.3).
+  void Signal(ThreadId tid, BlockId handler);
+
+  Tte TteOf(ThreadId tid);
+  ThreadId current_thread() const { return current_tid_; }
+  bool Alive(ThreadId tid) const { return threads_.count(tid) != 0; }
+  ThreadState StateOf(ThreadId tid);
+
+  // Lazy floating-point support (§4.2): called when a thread executes its
+  // first FP instruction; resynthesizes its context-switch procedures to
+  // include the FP register file.
+  void EnableFp(ThreadId tid);
+
+  // --- Blocking ---------------------------------------------------------------
+  // Parks the *current* thread on `wq` (removes it from the ready queue).
+  // The caller's Step() must then return StepStatus::kBlocked.
+  void BlockCurrentOn(WaitQueue& wq);
+  // Moves the longest-waiting thread of `wq` to the front of the ready queue
+  // (§4.4: unblocked threads get the CPU next). Returns it, or kNoThread.
+  ThreadId UnblockOne(WaitQueue& wq);
+  void UnblockAll(WaitQueue& wq);
+
+  // --- Interrupt-time services (Table 5) ---------------------------------------
+  // Appends `proc` to the chained-procedure queue drained at the end of the
+  // current interrupt (Procedure Chaining, §3.1). 4 µs, 7 µs with one retry.
+  void ChainProcedure(BlockId proc);
+  // Arms a one-shot alarm `delta_us` from now; `handler` runs at interrupt
+  // level and pending chained procedures run after it.
+  void SetAlarm(double delta_us, BlockId handler);
+
+  // Dispatches one interrupt right now (used by benches to time the path).
+  void DispatchInterrupt(const PendingInterrupt& irq);
+
+  // --- Executive -----------------------------------------------------------------
+  // Runs one scheduling slice: deliver due interrupts, run the current
+  // thread's pending signals and body up to its quantum, then context-switch
+  // via the executable ready queue. Returns false when there is nothing left
+  // to do (no ready threads and no pending interrupts).
+  bool RunSlice();
+  // Drives slices until idle or `max_slices`. Returns slices executed.
+  uint64_t Run(uint64_t max_slices = UINT64_MAX);
+
+  // Per-thread default vectors installed at creation. The I/O layers replace
+  // entries before creating threads (or per thread via TteOf).
+  void SetDefaultVector(Vector v, BlockId handler);
+
+  // Executes the context switch from the current thread to its successor via
+  // the synthesized sw_out/sw_in chain. Exposed for the dispatcher bench.
+  void ContextSwitchNow();
+
+  // Statistics.
+  uint64_t context_switches() const { return context_switches_; }
+  uint64_t interrupts_dispatched() const { return interrupts_dispatched_; }
+  uint64_t chained_procedures_run() const { return chained_run_; }
+
+ private:
+  struct ThreadRec {
+    ThreadId id = kNoThread;
+    Addr tte = 0;
+    std::unique_ptr<UserProgram> body;
+    WaitQueue* waiting_on = nullptr;
+    bool step_mode = false;
+  };
+
+  ThreadRec* Rec(ThreadId tid);
+  void SynthesizeSwitchProcedures(ThreadRec& rec, bool with_fp);
+  void SynthesizeThreadVectors(ThreadRec& rec);
+  void DeliverDueInterrupts();
+  void DrainChainedProcedures();
+  void DeliverSignals(ThreadRec& rec);
+  void ReapDoneThread(ThreadId tid);
+  TrapAction HandleTrap(int vector, Machine& machine);
+
+  Config config_;
+  Machine machine_;
+  CodeStore store_;
+  Executor exec_;
+  Executor kexec_;
+  Synthesizer synth_;
+  KernelAllocator alloc_;
+  InterruptController intc_;
+  ReadyQueue ready_;
+  FineGrainScheduler sched_;
+
+  std::unordered_map<ThreadId, ThreadRec> threads_;
+  std::unordered_map<Addr, ThreadId> tte_to_tid_;
+  ThreadId next_tid_ = 1;
+  ThreadId current_tid_ = kNoThread;
+
+  std::vector<std::function<TrapAction(Machine&)>> host_traps_;
+  BlockId default_vectors_[static_cast<size_t>(Vector::kNumVectors)] = {};
+
+  // Interrupt-level work queue (pointers to routines, as a queue — §3.2),
+  // drained at the end of interrupt handling (Procedure Chaining).
+  std::unique_ptr<VmQueue> chain_queue_;
+  // Per-thread pending signal handlers; the send path is charged at the
+  // synthesized queue-put cost, delivery happens at dispatch (§4.3).
+  std::unordered_map<ThreadId, std::deque<BlockId>> pending_signals_;
+  bool in_interrupt_ = false;
+
+  uint64_t context_switches_ = 0;
+  uint64_t interrupts_dispatched_ = 0;
+  uint64_t chained_run_ = 0;
+};
+
+}  // namespace synthesis
+
+#endif  // SRC_KERNEL_KERNEL_H_

@@ -1,0 +1,73 @@
+// Simulated-memory layout constants: the Thread Table Entry (Figure 3) and
+// the vector table.
+//
+// The TTE completely describes a thread's state (§4.1): the register save
+// area, the vector table pointer, the ready-queue links, the entry points of
+// the synthesized context-switch-in/out procedures, and assorted scheduling
+// state. The paper sizes the TTE at roughly 1 KB; we reserve the same.
+#ifndef SRC_KERNEL_LAYOUT_H_
+#define SRC_KERNEL_LAYOUT_H_
+
+#include <cstdint>
+
+#include "src/machine/memory.h"
+
+namespace synthesis {
+
+// Field offsets within a TTE. All fields are 32-bit words unless noted.
+struct TteLayout {
+  static constexpr uint32_t kRegSave = 0;       // 16 registers, 64 bytes
+  static constexpr uint32_t kSwIn = 64;         // BlockId of context-switch-in
+  static constexpr uint32_t kSwInMmu = 68;      // BlockId of sw-in with MMU switch
+  static constexpr uint32_t kSwOut = 72;        // BlockId of context-switch-out
+  static constexpr uint32_t kNextTte = 76;      // ready-queue forward link (TTE addr)
+  static constexpr uint32_t kPrevTte = 80;      // ready-queue backward link (TTE addr)
+  static constexpr uint32_t kVectorTable = 84;  // address of this thread's vector table
+  static constexpr uint32_t kQuantum = 88;      // CPU quantum, in cycles
+  static constexpr uint32_t kState = 92;        // ThreadState
+  static constexpr uint32_t kUsesFp = 96;       // 1 if FP registers must be switched
+  static constexpr uint32_t kThreadId = 100;
+  static constexpr uint32_t kSigPending = 104;  // count of chained signal procedures
+  static constexpr uint32_t kQuaspace = 108;    // quaspace id (address-space identity)
+  static constexpr uint32_t kFpSave = 128;      // 128-byte FP register save area
+  static constexpr uint32_t kVectors = 256;     // vector table lives inside the TTE
+  static constexpr uint32_t kSize = 1024;       // paper: "approximately 1KByte"
+};
+
+// The per-thread vector table (§4.1, §5.3): BlockIds of this thread's
+// synthesized system calls, interrupt handlers, error traps and signals.
+// Indexes into the table at TTE + kVectors.
+enum class Vector : uint32_t {
+  kTimer = 0,         // quantum expiry -> context-switch-out
+  kTty = 1,           // raw tty character interrupt
+  kAd = 2,            // A/D sample interrupt
+  kDisk = 3,          // disk completion interrupt
+  kAlarm = 4,         // alarm expiry
+  kErrorTrap = 5,     // bus fault / divide-by-zero style error traps
+  kFpIllegal = 6,     // first FP instruction traps here (lazy FP switching)
+  kSignal = 7,        // signal-me procedure
+  kSysRead = 8,       // customized I/O system calls, synthesized by open
+  kSysWrite = 9,
+  kSysOpen = 10,
+  kSysClose = 11,
+  kNumVectors = 16,
+};
+
+inline constexpr uint32_t kVectorTableBytes =
+    static_cast<uint32_t>(Vector::kNumVectors) * 4;
+
+inline Addr VectorSlot(Addr tte, Vector v) {
+  return tte + TteLayout::kVectors + static_cast<uint32_t>(v) * 4;
+}
+
+enum class ThreadState : uint32_t {
+  kFree = 0,
+  kReady = 1,    // in the ready queue (running thread is the queue's current)
+  kBlocked = 2,  // parked on some resource's wait queue
+  kStopped = 3,  // removed from scheduling by the stop system call
+  kDone = 4,
+};
+
+}  // namespace synthesis
+
+#endif  // SRC_KERNEL_LAYOUT_H_

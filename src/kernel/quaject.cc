@@ -1,0 +1,74 @@
+#include "src/kernel/quaject.h"
+
+#include "src/kernel/kernel.h"
+
+namespace synthesis {
+
+Quaject QuajectCreator::Create(const std::string& name, uint32_t data_size,
+                               const std::vector<QuajectOp>& ops,
+                               uint32_t invariant_bytes,
+                               const std::function<void(Memory&, Addr)>& init) {
+  Quaject q;
+  q.name = name;
+  q.data_size = data_size;
+  q.invariant_bytes = invariant_bytes;
+
+  // Stage 1: allocation.
+  q.data = kernel_.allocator().Allocate(data_size > 0 ? data_size : 4);
+  if (init) {
+    init(kernel_.machine().memory(), q.data);
+  }
+
+  // Stages 2 and 3: factorization + optimization, per op.
+  InvariantMemory inv(kernel_.machine().memory());
+  if (invariant_bytes > 0) {
+    inv.AddRange(AddrRange{q.data, q.data + invariant_bytes});
+  }
+  for (const QuajectOp& op : ops) {
+    Bindings b;
+    b.Set("self", static_cast<int32_t>(q.data));
+    // Unconnected downstream slots call an invalid block; the interfacer
+    // fills them in later. Bind only if the template uses the hole.
+    bool uses_downstream = false;
+    for (const SymUse& use : op.tmpl.holes) {
+      uses_downstream |= use.name == "downstream";
+    }
+    if (uses_downstream) {
+      b.Set("downstream", kInvalidBlock);
+    }
+    q.entries[op.name] = kernel_.SynthesizeInstall(
+        op.tmpl, b, &inv, name + "." + op.name);
+  }
+  return q;
+}
+
+BlockId QuajectInterfacer::Connect(Quaject& caller, const std::string& op,
+                                   const CodeTemplate& op_template,
+                                   const Quaject& callee,
+                                   const std::string& callee_op) {
+  BlockId target = callee.Entry(callee_op);
+  if (target == kInvalidBlock) {
+    return kInvalidBlock;
+  }
+  // Stage 1 (combination): the connector here is a direct procedure call —
+  // the frugal choice for a single active caller and passive callee (§5.2).
+  // Stages 2-3 (factorization + optimization): rebinding "downstream" to a
+  // real entry lets the synthesizer inline it (Collapsing Layers).
+  Bindings b;
+  b.Set("self", static_cast<int32_t>(caller.data));
+  b.Set("downstream", target);
+  InvariantMemory inv(kernel_.machine().memory());
+  if (caller.invariant_bytes > 0) {
+    inv.AddRange(AddrRange{caller.data, caller.data + caller.invariant_bytes});
+  }
+  if (callee.invariant_bytes > 0) {
+    inv.AddRange(AddrRange{callee.data, callee.data + callee.invariant_bytes});
+  }
+  BlockId combined = kernel_.SynthesizeInstall(
+      op_template, b, &inv, caller.name + "." + op + "->" + callee.name);
+  // Stage 4: dynamic link.
+  caller.entries[op] = combined;
+  return combined;
+}
+
+}  // namespace synthesis

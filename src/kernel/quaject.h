@@ -1,0 +1,84 @@
+// Quajects (§2.3): collections of procedures and data encapsulating a
+// resource, assembled from building blocks by two services:
+//
+//  * The quaject CREATOR builds a new quaject in three stages — allocation
+//    (memory for the data area and code), factorization (Factoring
+//    Invariants substitutes the instance's constants into the op templates),
+//    and optimization (the synthesizer's cleanup passes).
+//
+//  * The quaject INTERFACER connects existing quajects in four stages —
+//    combination (choose the connector: here a direct procedure call, the
+//    frugal choice for single active-passive pairs; queues/monitors/pumps
+//    are chosen via PlanConnection in src/io/producer_consumer.h),
+//    factorization and optimization (collapse the connected layers), and
+//    dynamic link (store the synthesized entry point into the quaject).
+//
+// Op templates reference their own data area through the hole "self" and a
+// downstream connection point through the hole "downstream" (a Jsr target).
+#ifndef SRC_KERNEL_QUAJECT_H_
+#define SRC_KERNEL_QUAJECT_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/machine/assembler.h"
+#include "src/machine/memory.h"
+
+namespace synthesis {
+
+class Kernel;
+
+struct QuajectOp {
+  std::string name;
+  CodeTemplate tmpl;
+};
+
+struct Quaject {
+  std::string name;
+  Addr data = 0;
+  uint32_t data_size = 0;
+  uint32_t invariant_bytes = 0;  // leading constant part of the data area
+  std::map<std::string, BlockId> entries;
+
+  BlockId Entry(const std::string& op) const {
+    auto it = entries.find(op);
+    return it == entries.end() ? kInvalidBlock : it->second;
+  }
+};
+
+class QuajectCreator {
+ public:
+  explicit QuajectCreator(Kernel& kernel) : kernel_(kernel) {}
+
+  // Creates a quaject: allocates `data_size` bytes, runs `init` to fill the
+  // data area, then synthesizes each op with "self" bound to the data
+  // address and the first `invariant_bytes` of the area declared constant.
+  Quaject Create(const std::string& name, uint32_t data_size,
+                 const std::vector<QuajectOp>& ops, uint32_t invariant_bytes,
+                 const std::function<void(Memory&, Addr)>& init);
+
+ private:
+  Kernel& kernel_;
+};
+
+class QuajectInterfacer {
+ public:
+  explicit QuajectInterfacer(Kernel& kernel) : kernel_(kernel) {}
+
+  // Rebinds `caller`'s op so its "downstream" hole calls `callee`'s entry,
+  // then re-synthesizes (collapsing the two layers into one routine) and
+  // dynamically links the result back into the caller's entry table.
+  // `op_template` must be the same template the op was created from.
+  BlockId Connect(Quaject& caller, const std::string& op,
+                  const CodeTemplate& op_template, const Quaject& callee,
+                  const std::string& callee_op);
+
+ private:
+  Kernel& kernel_;
+};
+
+}  // namespace synthesis
+
+#endif  // SRC_KERNEL_QUAJECT_H_

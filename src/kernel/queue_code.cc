@@ -1,0 +1,207 @@
+#include "src/kernel/queue_code.h"
+
+namespace synthesis {
+
+namespace {
+const Symbol kHeadA{"head"};
+const Symbol kTailA{"tail"};
+const Symbol kMaskV{"mask"};
+const Symbol kBufA{"buf"};
+const Symbol kFlagsA{"flags"};
+}  // namespace
+
+CodeTemplate SpscPutTemplate() {
+  // Figure 1 Q_put: publish the slot, then advance head last so the consumer
+  // never sees a half-written item.
+  Asm a("spsc_put");
+  a.LoadA32(kD0, kHeadA);        // h = Q.head
+  a.Lea(kD2, kD0, 1);
+  a.AndI(kD2, kMaskV);           // nh = next(h)
+  a.LoadA32(kD3, kTailA);
+  a.Cmp(kD2, kD3);
+  a.Beq("full");                 // next(h) == tail -> full
+  a.StoreIdx32(kD1, kD0, kBufA); // Q.buf[h] = data
+  a.StoreA32(kHeadA, kD2);       // Q.head = next(h)  (last!)
+  a.MoveI(kD0, 1);
+  a.Rts();
+  a.Label("full");
+  a.MoveI(kD0, 0);
+  a.Rts();
+  return a.Build();
+}
+
+CodeTemplate SpscGetTemplate() {
+  Asm a("spsc_get");
+  a.LoadA32(kD2, kTailA);        // t = Q.tail
+  a.LoadA32(kD3, kHeadA);
+  a.Cmp(kD2, kD3);
+  a.Beq("empty");                // t == head -> empty
+  a.LoadIdx32(kD1, kD2, kBufA);  // data = Q.buf[t]
+  a.Lea(kD4, kD2, 1);
+  a.AndI(kD4, kMaskV);
+  a.StoreA32(kTailA, kD4);       // Q.tail = next(t)
+  a.MoveI(kD0, 1);
+  a.Rts();
+  a.Label("empty");
+  a.MoveI(kD0, 0);
+  a.Rts();
+  return a.Build();
+}
+
+CodeTemplate MpscPutTemplate() {
+  // Figure 2 Q_put for one item. Success path (retry: label through the flag
+  // store) is 11 instructions; a failed CAS costs one more trip through the
+  // 9-instruction claim sequence, giving 20 with one retry.
+  Asm a("mpsc_put");
+  a.Label("retry");
+  a.MoveI(kD4, 1);               // flag value
+  a.LoadA32(kD0, kHeadA);        // h = Q.head
+  a.Lea(kD2, kD0, 1);
+  a.AndI(kD2, kMaskV);           // hi = AddWrap(h, 1)
+  a.LoadA32(kD3, kTailA);
+  a.Cmp(kD2, kD3);
+  a.Beq("full");                 // no space
+  a.CasA(kD2, kHeadA);           // cas(Q.head, h, hi): stake the claim
+  a.Bne("retry");
+  a.StoreIdx32(kD1, kD0, kBufA);   // Q.buf[h] = data
+  a.StoreIdx32(kD4, kD0, kFlagsA); // Q.flag[h] = 1: publish to the consumer
+  a.MoveI(kD0, 1);
+  a.Rts();
+  a.Label("full");
+  a.MoveI(kD0, 0);
+  a.Rts();
+  return a.Build();
+}
+
+CodeTemplate MpscGetTemplate() {
+  // Single consumer. The consumer may not trust Q.head (producers stake
+  // claims before filling), so emptiness is judged by the slot's valid flag.
+  Asm a("mpsc_get");
+  a.LoadA32(kD2, kTailA);          // t = Q.tail
+  a.LoadIdx32(kD4, kD2, kFlagsA);
+  a.Tst(kD4);
+  a.Beq("empty");                  // not yet filled (or empty)
+  a.LoadIdx32(kD1, kD2, kBufA);    // data = Q.buf[t]
+  a.MoveI(kD5, 0);
+  a.StoreIdx32(kD5, kD2, kFlagsA); // clear flag: slot reusable
+  a.Lea(kD4, kD2, 1);
+  a.AndI(kD4, kMaskV);
+  a.StoreA32(kTailA, kD4);         // Q.tail = next(t)
+  a.MoveI(kD0, 1);
+  a.Rts();
+  a.Label("empty");
+  a.MoveI(kD0, 0);
+  a.Rts();
+  return a.Build();
+}
+
+CodeTemplate MpscPutNTemplate() {
+  // Figure 2's atomic insert of many items: claim n slots with one CAS, then
+  // fill them while other producers fill theirs. a1 = source, d2 = n.
+  Asm a("mpsc_putn");
+  a.Label("retry");
+  a.LoadA32(kD0, kHeadA);  // h
+  a.Move(kD3, kD0);
+  a.Add(kD3, kD2);
+  a.AndI(kD3, kMaskV);     // hi = AddWrap(h, n)
+  a.LoadA32(kD4, kTailA);  // SpaceLeft = (tail - h - 1) & mask
+  a.Sub(kD4, kD0);
+  a.SubI(kD4, 1);
+  a.AndI(kD4, kMaskV);
+  a.Cmp(kD4, kD2);
+  a.Blt("full");           // SpaceLeft < n
+  a.CasA(kD3, kHeadA);     // stake a claim to [h, h+n)
+  a.Bne("retry");
+  a.MoveI(kD5, 0);         // i = 0
+  a.MoveI(kD6, 1);         // flag constant
+  a.Label("fill");
+  a.Cmp(kD5, kD2);
+  a.Bge("done");
+  a.Move(kD7, kD0);
+  a.Add(kD7, kD5);
+  a.AndI(kD7, kMaskV);           // slot = AddWrap(h, i)
+  a.Load32(kD4, kA1, 0);         // item = src[i]
+  a.AddI(kA1, 4);
+  a.StoreIdx32(kD4, kD7, kBufA);   // Q.buf[slot] = item
+  a.StoreIdx32(kD6, kD7, kFlagsA); // Q.flag[slot] = 1
+  a.AddI(kD5, 1);
+  a.Bra("fill");
+  a.Label("done");
+  a.MoveI(kD0, 1);
+  a.Rts();
+  a.Label("full");
+  a.MoveI(kD0, 0);
+  a.Rts();
+  return a.Build();
+}
+
+VmQueue::VmQueue(Machine& machine, CodeStore& store, KernelAllocator& alloc,
+                 uint32_t capacity, Kind kind, const SynthesisOptions& options)
+    : machine_(machine), capacity_(capacity) {
+  bool flags = kind == Kind::kMpsc;
+  base_ = alloc.Allocate(QueueLayout::TotalBytes(capacity, flags));
+  Memory& mem = machine.memory();
+  mem.Write32(base_ + QueueLayout::kHead, 0);
+  mem.Write32(base_ + QueueLayout::kTail, 0);
+  mem.Write32(base_ + QueueLayout::kMask, capacity - 1);
+
+  Bindings b;
+  b.Set("head", static_cast<int32_t>(base_ + QueueLayout::kHead));
+  b.Set("tail", static_cast<int32_t>(base_ + QueueLayout::kTail));
+  b.Set("mask", static_cast<int32_t>(capacity - 1));
+  b.Set("buf", static_cast<int32_t>(base_ + QueueLayout::kBuf));
+  if (flags) {
+    b.Set("flags", static_cast<int32_t>(base_ + QueueLayout::FlagsOff(capacity)));
+  }
+
+  Synthesizer synth(store);
+  // Queue routines return the status in d0 and the value in d1: both must
+  // survive dead-code elimination.
+  SynthesisOptions opts = options;
+  opts.live_out |= 1u << kD1;
+  std::string tag = "@" + std::to_string(base_);
+  if (kind == Kind::kSpsc) {
+    put_ = store.Install(synth.Specialize(SpscPutTemplate(), b, nullptr, opts,
+                                          &put_stats_, "spsc_put" + tag));
+    get_ = store.Install(synth.Specialize(SpscGetTemplate(), b, nullptr, opts,
+                                          nullptr, "spsc_get" + tag));
+  } else {
+    put_ = store.Install(synth.Specialize(MpscPutTemplate(), b, nullptr, opts,
+                                          &put_stats_, "mpsc_put" + tag));
+    get_ = store.Install(synth.Specialize(MpscGetTemplate(), b, nullptr, opts,
+                                          nullptr, "mpsc_get" + tag));
+    putn_ = store.Install(synth.Specialize(MpscPutNTemplate(), b, nullptr, opts,
+                                           nullptr, "mpsc_putn" + tag));
+  }
+}
+
+bool VmQueue::Put(Executor& exec, uint32_t value) {
+  machine_.set_reg(kD1, value);
+  RunResult r = exec.Call(put_);
+  return r.outcome == RunOutcome::kReturned && machine_.reg(kD0) == 1;
+}
+
+bool VmQueue::Get(Executor& exec, uint32_t* value) {
+  RunResult r = exec.Call(get_);
+  if (r.outcome != RunOutcome::kReturned || machine_.reg(kD0) != 1) {
+    return false;
+  }
+  *value = machine_.reg(kD1);
+  return true;
+}
+
+bool VmQueue::PutN(Executor& exec, Addr src, uint32_t count) {
+  machine_.set_reg(kA1, src);
+  machine_.set_reg(kD2, count);
+  RunResult r = exec.Call(putn_);
+  return r.outcome == RunOutcome::kReturned && machine_.reg(kD0) == 1;
+}
+
+uint32_t VmQueue::Size() const {
+  const Memory& mem = machine_.memory();
+  uint32_t h = mem.Read32(base_ + QueueLayout::kHead);
+  uint32_t t = mem.Read32(base_ + QueueLayout::kTail);
+  return (h - t) & (capacity_ - 1);
+}
+
+}  // namespace synthesis

@@ -1,0 +1,99 @@
+// Synthesized queue code: the paper's Figure 1 (SP-SC) and Figure 2 (MP-SC
+// with multi-item insert) translated into micro-op templates and specialized
+// per queue instance.
+//
+// Each queue instance lives in simulated memory; the synthesizer folds the
+// instance's head/tail/buffer addresses and capacity mask into the code
+// (Factoring Invariants + absolute addressing), which is how the paper's
+// 11-instruction MP-SC Q_put arises: the specialized success path here is
+// exactly 11 instructions, and 20 with one CAS retry — matching Figure 2's
+// reported path lengths.
+//
+// In-memory layout of a queue with capacity C (a power of two):
+//   +0          head index
+//   +4          tail index
+//   +8          capacity mask (C-1), read by general/debug code
+//   +16         buffer, C words
+//   +16 + 4C    valid flags, C words (MP-SC only)
+#ifndef SRC_KERNEL_QUEUE_CODE_H_
+#define SRC_KERNEL_QUEUE_CODE_H_
+
+#include <cstdint>
+
+#include "src/kernel/allocator.h"
+#include "src/machine/assembler.h"
+#include "src/machine/code_store.h"
+#include "src/machine/executor.h"
+#include "src/synth/synthesizer.h"
+
+namespace synthesis {
+
+struct QueueLayout {
+  static constexpr uint32_t kHead = 0;
+  static constexpr uint32_t kTail = 4;
+  static constexpr uint32_t kMask = 8;
+  static constexpr uint32_t kBuf = 16;
+  static uint32_t FlagsOff(uint32_t capacity) { return kBuf + 4 * capacity; }
+  static uint32_t TotalBytes(uint32_t capacity, bool with_flags) {
+    return kBuf + 4 * capacity * (with_flags ? 2 : 1);
+  }
+};
+
+// Templates with holes: "head" / "tail" / "mask" / "buf" / "flags" (absolute
+// addresses and the capacity mask). Calling convention:
+//   put:   d1 = value,                 returns d0 = 1 ok / 0 full
+//   get:   returns d0 = 1 ok / 0 empty, d1 = value
+//   putn:  a1 = source address, d2 = item count; d0 = 1 ok / 0 refused
+CodeTemplate SpscPutTemplate();
+CodeTemplate SpscGetTemplate();
+CodeTemplate MpscPutTemplate();
+CodeTemplate MpscGetTemplate();
+CodeTemplate MpscPutNTemplate();
+
+// A queue instance in simulated memory with synthesized put/get routines.
+class VmQueue {
+ public:
+  enum class Kind {
+    kSpsc,  // Figure 1: no flags, plain stores
+    kMpsc,  // Figure 2: CAS claim + per-slot valid flags, multi-insert capable
+  };
+
+  // Allocates the queue in simulated memory and synthesizes its routines.
+  // `capacity` must be a power of two. `options` controls the synthesis level
+  // (pass SynthesisOptions::Disabled() for the no-synthesis ablation: the
+  // routines then run with all address arithmetic left in general form).
+  VmQueue(Machine& machine, CodeStore& store, KernelAllocator& alloc,
+          uint32_t capacity, Kind kind,
+          const SynthesisOptions& options = SynthesisOptions());
+
+  // Convenience wrappers that execute the synthesized code on the machine.
+  bool Put(Executor& exec, uint32_t value);
+  bool Get(Executor& exec, uint32_t* value);
+  // Atomic multi-item insert (MP-SC only): items already in simulated memory.
+  bool PutN(Executor& exec, Addr src, uint32_t count);
+
+  uint32_t Size() const;
+  bool Empty() const { return Size() == 0; }
+  uint32_t capacity() const { return capacity_; }
+  Addr base() const { return base_; }
+
+  BlockId put_block() const { return put_; }
+  BlockId get_block() const { return get_; }
+  BlockId putn_block() const { return putn_; }  // kInvalidBlock for SP-SC
+
+  // Synthesis statistics of the put routine (for benches/ablation).
+  const SynthesisStats& put_stats() const { return put_stats_; }
+
+ private:
+  Machine& machine_;
+  uint32_t capacity_;
+  Addr base_;
+  BlockId put_ = kInvalidBlock;
+  BlockId get_ = kInvalidBlock;
+  BlockId putn_ = kInvalidBlock;
+  SynthesisStats put_stats_;
+};
+
+}  // namespace synthesis
+
+#endif  // SRC_KERNEL_QUEUE_CODE_H_

@@ -1,0 +1,95 @@
+#include "src/kernel/ready_queue.h"
+
+namespace synthesis {
+
+namespace {
+// Cost of rewriting one jmp target in the instruction stream: a store plus
+// the bookkeeping read (§4.2's executable data structures are maintained by
+// patching, which is cheap but not free).
+constexpr uint32_t kPatchCycles = 10;
+}  // namespace
+
+size_t ReadyQueue::Size() const {
+  if (current_ == 0) {
+    return 0;
+  }
+  size_t n = 0;
+  Addr a = current_;
+  do {
+    n++;
+    a = Tte(machine_.memory(), a).next();
+  } while (a != current_ && n < 1'000'000);
+  return n;
+}
+
+void ReadyQueue::PatchLink(Addr pred) {
+  Tte p(machine_.memory(), pred);
+  Tte succ(machine_.memory(), p.next());
+  // Cross-quaspace switches must reload the address map: chain to sw_in_mmu.
+  BlockId target = p.quaspace() == succ.quaspace() ? succ.sw_in() : succ.sw_in_mmu();
+  CodeBlock& out = store_.GetMutable(p.sw_out());
+  // The block ends with: movei d7, <sw_in>; jmpind d7.
+  out.code[out.code.size() - 2].imm = target;
+  machine_.Charge(kPatchCycles, 0, 1);
+}
+
+void ReadyQueue::InsertFront(Addr tte) {
+  Tte t(machine_.memory(), tte);
+  if (current_ == 0) {
+    current_ = tte;
+    t.set_next(tte);
+    t.set_prev(tte);
+    PatchLink(tte);  // self-loop: a single thread chains to itself
+    return;
+  }
+  Tte cur(machine_.memory(), current_);
+  Addr after = cur.next();
+  Tte succ(machine_.memory(), after);
+  t.set_next(after);
+  t.set_prev(current_);
+  cur.set_next(tte);
+  succ.set_prev(tte);
+  PatchLink(current_);
+  PatchLink(tte);
+}
+
+void ReadyQueue::InsertBack(Addr tte) {
+  if (current_ == 0) {
+    InsertFront(tte);
+    return;
+  }
+  Tte t(machine_.memory(), tte);
+  Tte cur(machine_.memory(), current_);
+  Addr before = cur.prev();
+  Tte pred(machine_.memory(), before);
+  t.set_next(current_);
+  t.set_prev(before);
+  pred.set_next(tte);
+  cur.set_prev(tte);
+  PatchLink(before);
+  PatchLink(tte);
+}
+
+void ReadyQueue::Remove(Addr tte) {
+  Tte t(machine_.memory(), tte);
+  Addr next = t.next();
+  Addr prev = t.prev();
+  if (next == tte) {  // only element
+    current_ = 0;
+    return;
+  }
+  Tte(machine_.memory(), prev).set_next(next);
+  Tte(machine_.memory(), next).set_prev(prev);
+  PatchLink(prev);
+  if (current_ == tte) {
+    current_ = next;
+  }
+}
+
+void ReadyQueue::Advance() {
+  if (current_ != 0) {
+    current_ = Tte(machine_.memory(), current_).next();
+  }
+}
+
+}  // namespace synthesis

@@ -1,0 +1,60 @@
+// The executable ready queue (Figure 3).
+//
+// Ready threads form a circular doubly-linked list through their TTEs' link
+// fields — but the list is also *code*: the last two instructions of each
+// thread's context-switch-out block are "movei d7, <sw_in of next thread>;
+// jmpind d7". Dispatch is therefore just executing the current thread's
+// sw_out, which saves its registers and jumps straight into the next thread's
+// sw_in. There is no dispatcher procedure (§4.2); inserting or removing a
+// thread rewrites the affected jmp targets (an executable data structure).
+#ifndef SRC_KERNEL_READY_QUEUE_H_
+#define SRC_KERNEL_READY_QUEUE_H_
+
+#include <cstddef>
+
+#include "src/kernel/tte.h"
+#include "src/machine/code_store.h"
+#include "src/machine/machine.h"
+
+namespace synthesis {
+
+class ReadyQueue {
+ public:
+  ReadyQueue(Machine& machine, CodeStore& store)
+      : machine_(machine), store_(store) {}
+
+  bool Empty() const { return current_ == 0; }
+  Addr current() const { return current_; }
+  size_t Size() const;
+
+  // Makes `tte` the running thread's successor ("at the front": the paper
+  // places just-unblocked threads so they get the CPU next, §4.4) or the
+  // predecessor of current ("at the back": normal round-robin insert).
+  void InsertFront(Addr tte);
+  void InsertBack(Addr tte);
+
+  // Unlinks `tte`. If it was current, current moves to its successor (or the
+  // queue becomes empty).
+  void Remove(Addr tte);
+
+  // Round-robin step: current advances to its successor. The actual register
+  // switching is done by executing the sw_out block; this only retargets the
+  // host-side notion of "current".
+  void Advance();
+
+  Addr NextOf(Addr tte) const { return Tte(machine_.memory(), tte).next(); }
+
+  // Rewrites the jmp target at the end of `pred`'s sw_out block so that it
+  // chains to its current successor's sw_in. Charged as the two stores the
+  // paper's kernel performs when it patches the instruction stream.
+  void PatchLink(Addr pred);
+
+ private:
+  Machine& machine_;
+  CodeStore& store_;
+  Addr current_ = 0;
+};
+
+}  // namespace synthesis
+
+#endif  // SRC_KERNEL_READY_QUEUE_H_

@@ -1,0 +1,100 @@
+// Host-side accessor over a Thread Table Entry living in simulated memory.
+//
+// Each thread updates its own TTE exclusively (Code Isolation, §3.1), so none
+// of these accesses need synchronization. The accessor only wraps field
+// reads/writes; the behaviour lives in the kernel and the synthesized
+// context-switch code.
+#ifndef SRC_KERNEL_TTE_H_
+#define SRC_KERNEL_TTE_H_
+
+#include <cstdint>
+
+#include "src/kernel/layout.h"
+#include "src/machine/instr.h"
+#include "src/machine/memory.h"
+
+namespace synthesis {
+
+class Tte {
+ public:
+  Tte(Memory& mem, Addr addr) : mem_(&mem), addr_(addr) {}
+
+  Addr addr() const { return addr_; }
+
+  uint32_t Reg(int r) const { return mem_->Read32(addr_ + TteLayout::kRegSave + 4 * r); }
+  void SetReg(int r, uint32_t v) {
+    mem_->Write32(addr_ + TteLayout::kRegSave + 4 * r, v);
+  }
+
+  BlockId sw_in() const {
+    return static_cast<BlockId>(mem_->Read32(addr_ + TteLayout::kSwIn));
+  }
+  void set_sw_in(BlockId b) {
+    mem_->Write32(addr_ + TteLayout::kSwIn, static_cast<uint32_t>(b));
+  }
+  BlockId sw_in_mmu() const {
+    return static_cast<BlockId>(mem_->Read32(addr_ + TteLayout::kSwInMmu));
+  }
+  void set_sw_in_mmu(BlockId b) {
+    mem_->Write32(addr_ + TteLayout::kSwInMmu, static_cast<uint32_t>(b));
+  }
+  BlockId sw_out() const {
+    return static_cast<BlockId>(mem_->Read32(addr_ + TteLayout::kSwOut));
+  }
+  void set_sw_out(BlockId b) {
+    mem_->Write32(addr_ + TteLayout::kSwOut, static_cast<uint32_t>(b));
+  }
+
+  Addr next() const { return mem_->Read32(addr_ + TteLayout::kNextTte); }
+  void set_next(Addr a) { mem_->Write32(addr_ + TteLayout::kNextTte, a); }
+  Addr prev() const { return mem_->Read32(addr_ + TteLayout::kPrevTte); }
+  void set_prev(Addr a) { mem_->Write32(addr_ + TteLayout::kPrevTte, a); }
+
+  Addr vector_table() const { return mem_->Read32(addr_ + TteLayout::kVectorTable); }
+  void set_vector_table(Addr a) { mem_->Write32(addr_ + TteLayout::kVectorTable, a); }
+
+  BlockId GetVector(Vector v) const {
+    return static_cast<BlockId>(mem_->Read32(VectorSlot(addr_, v)));
+  }
+  void SetVector(Vector v, BlockId b) {
+    mem_->Write32(VectorSlot(addr_, v), static_cast<uint32_t>(b));
+  }
+
+  uint32_t quantum() const { return mem_->Read32(addr_ + TteLayout::kQuantum); }
+  void set_quantum(uint32_t cycles) {
+    mem_->Write32(addr_ + TteLayout::kQuantum, cycles);
+  }
+
+  ThreadState state() const {
+    return static_cast<ThreadState>(mem_->Read32(addr_ + TteLayout::kState));
+  }
+  void set_state(ThreadState s) {
+    mem_->Write32(addr_ + TteLayout::kState, static_cast<uint32_t>(s));
+  }
+
+  bool uses_fp() const { return mem_->Read32(addr_ + TteLayout::kUsesFp) != 0; }
+  void set_uses_fp(bool fp) {
+    mem_->Write32(addr_ + TteLayout::kUsesFp, fp ? 1 : 0);
+  }
+
+  uint32_t thread_id() const { return mem_->Read32(addr_ + TteLayout::kThreadId); }
+  void set_thread_id(uint32_t id) {
+    mem_->Write32(addr_ + TteLayout::kThreadId, id);
+  }
+
+  uint32_t sig_pending() const { return mem_->Read32(addr_ + TteLayout::kSigPending); }
+  void set_sig_pending(uint32_t n) {
+    mem_->Write32(addr_ + TteLayout::kSigPending, n);
+  }
+
+  uint32_t quaspace() const { return mem_->Read32(addr_ + TteLayout::kQuaspace); }
+  void set_quaspace(uint32_t q) { mem_->Write32(addr_ + TteLayout::kQuaspace, q); }
+
+ private:
+  Memory* mem_;
+  Addr addr_;
+};
+
+}  // namespace synthesis
+
+#endif  // SRC_KERNEL_TTE_H_

@@ -1,0 +1,42 @@
+// The user-program abstraction the executive schedules.
+//
+// Simulated user code is a re-entrant step function: each Step() performs a
+// bounded amount of work (computation charges, kernel calls) and reports how
+// it ended. A kernel call that would block parks the thread on the resource's
+// wait queue and the program returns kBlocked; when the thread is unblocked
+// the executive re-runs Step(), which retries the operation — the same
+// retry-on-resume protocol the trap-based VM threads use.
+#ifndef SRC_KERNEL_USER_PROGRAM_H_
+#define SRC_KERNEL_USER_PROGRAM_H_
+
+#include <cstdint>
+
+namespace synthesis {
+
+class Kernel;
+
+enum class StepStatus {
+  kYield,    // made progress; reschedulable (quantum permitting, runs again)
+  kBlocked,  // the last kernel call parked this thread; do not reschedule
+  kDone,     // the program finished; the thread exits
+};
+
+// Handle passed to user programs: the kernel plus the calling thread's id.
+struct ThreadEnv {
+  Kernel& kernel;
+  uint32_t tid;
+};
+
+// LIFETIME: the kernel owns the program and destroys it as soon as the
+// thread exits (kDone) or is destroyed/reaped. Results that must outlive the
+// thread belong in external state the program writes through a pointer, not
+// in members read after Run() returns.
+class UserProgram {
+ public:
+  virtual ~UserProgram() = default;
+  virtual StepStatus Step(ThreadEnv& env) = 0;
+};
+
+}  // namespace synthesis
+
+#endif  // SRC_KERNEL_USER_PROGRAM_H_

@@ -1,0 +1,60 @@
+#include "src/machine/assembler.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace synthesis {
+
+Asm& Asm::Label(const std::string& name) {
+  labels_[name] = static_cast<uint32_t>(tmpl_.block.code.size());
+  return *this;
+}
+
+Asm& Asm::Emit(Opcode op, uint8_t rd, uint8_t rs, ImmArg imm) {
+  Instr in;
+  in.op = op;
+  in.rd = rd;
+  in.rs = rs;
+  if (imm.is_symbol()) {
+    tmpl_.holes.push_back(SymUse{tmpl_.block.code.size(), imm.symbol()});
+    in.imm = 0;
+  } else {
+    in.imm = imm.value();
+  }
+  tmpl_.block.code.push_back(in);
+  return *this;
+}
+
+Asm& Asm::Branch(Opcode op, const std::string& label) {
+  label_fixups_.emplace_back(tmpl_.block.code.size(), label);
+  Instr in;
+  in.op = op;
+  tmpl_.block.code.push_back(in);
+  return *this;
+}
+
+CodeTemplate Asm::Build() {
+  for (const auto& [index, label] : label_fixups_) {
+    auto it = labels_.find(label);
+    if (it == labels_.end()) {
+      std::fprintf(stderr, "Asm(%s): undefined label '%s'\n", tmpl_.block.name.c_str(),
+                   label.c_str());
+      std::abort();
+    }
+    tmpl_.block.code[index].imm = static_cast<int32_t>(it->second);
+  }
+  label_fixups_.clear();
+  return std::move(tmpl_);
+}
+
+CodeBlock Asm::BuildBlock() {
+  CodeTemplate t = Build();
+  if (!t.fully_bound()) {
+    std::fprintf(stderr, "Asm(%s): block has %zu unbound holes\n", t.block.name.c_str(),
+                 t.holes.size());
+    std::abort();
+  }
+  return std::move(t.block);
+}
+
+}  // namespace synthesis

@@ -1,0 +1,79 @@
+// Registry of executable code blocks — the simulated "protected code area".
+//
+// The paper synthesizes kernel code into a protected area and stores entry
+// points into quajects (TTEs, open-file structures, device servers). Here a
+// BlockId plays the role of an entry-point address: data structures in
+// simulated memory hold BlockIds, and kJsrInd/kJmpInd jump through them.
+#ifndef SRC_MACHINE_CODE_STORE_H_
+#define SRC_MACHINE_CODE_STORE_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <unordered_map>
+
+#include "src/machine/instr.h"
+
+namespace synthesis {
+
+class CodeStore {
+ public:
+  CodeStore() {
+    // Slot 0 stays empty so that kInvalidBlock never resolves.
+    blocks_.emplace_back();
+  }
+
+  // Installs a block and returns its id. Names need not be unique; the most
+  // recently installed block wins name lookup.
+  BlockId Install(CodeBlock block) {
+    BlockId id = static_cast<BlockId>(blocks_.size());
+    by_name_[block.name] = id;
+    blocks_.push_back(std::move(block));
+    bytes_ += blocks_.back().code.size() * kBytesPerInstr;
+    return id;
+  }
+
+  // Replaces the code of an existing block in place (used when the kernel
+  // resynthesizes a routine, e.g. the lazy floating-point context switch).
+  void Replace(BlockId id, CodeBlock block) {
+    bytes_ -= blocks_[id].code.size() * kBytesPerInstr;
+    bytes_ += block.code.size() * kBytesPerInstr;
+    by_name_[block.name] = id;
+    blocks_[id] = std::move(block);
+  }
+
+  bool Valid(BlockId id) const {
+    return id > 0 && static_cast<size_t>(id) < blocks_.size();
+  }
+
+  const CodeBlock& Get(BlockId id) const { return blocks_[id]; }
+
+  // Mutable access for in-place patching of synthesized code (executable data
+  // structures rewrite their own jmp targets when the structure changes).
+  CodeBlock& GetMutable(BlockId id) { return blocks_[id]; }
+
+  // Returns kInvalidBlock when no block has this name.
+  BlockId Find(const std::string& name) const {
+    auto it = by_name_.find(name);
+    return it == by_name_.end() ? kInvalidBlock : it->second;
+  }
+
+  size_t block_count() const { return blocks_.size() - 1; }
+
+  // Approximate footprint of all synthesized code, for the paper's kernel-size
+  // discussion (§6.4). Each micro-op models a short 68020 instruction.
+  size_t code_bytes() const { return bytes_; }
+
+ private:
+  static constexpr size_t kBytesPerInstr = 4;
+
+  // Deque: installing new blocks must not invalidate references held by a
+  // running executor (trap handlers synthesize code mid-run).
+  std::deque<CodeBlock> blocks_;
+  std::unordered_map<std::string, BlockId> by_name_;
+  size_t bytes_ = 0;
+};
+
+}  // namespace synthesis
+
+#endif  // SRC_MACHINE_CODE_STORE_H_

@@ -1,0 +1,137 @@
+#include "src/machine/cost_model.h"
+
+namespace synthesis {
+
+namespace {
+
+// Base cycles excluding data-memory references (those are added per ref).
+uint32_t BaseCycles(const Instr& instr, bool branch_taken) {
+  switch (instr.op) {
+    case Opcode::kNop:
+      return 2;
+    case Opcode::kMoveI:
+      return 4;
+    case Opcode::kMove:
+      return 2;
+    case Opcode::kLea:
+      return 4;
+    case Opcode::kLoad8:
+    case Opcode::kLoad16:
+    case Opcode::kLoad32:
+    case Opcode::kStore8:
+    case Opcode::kStore16:
+    case Opcode::kStore32:
+    case Opcode::kLoadA8:
+    case Opcode::kLoadA16:
+    case Opcode::kLoadA32:
+    case Opcode::kStoreA8:
+    case Opcode::kStoreA16:
+    case Opcode::kStoreA32:
+      return 4;
+    case Opcode::kLoadIdx32:
+    case Opcode::kStoreIdx32:
+      return 6;  // scaled-index effective-address calculation
+    case Opcode::kPush:
+    case Opcode::kPop:
+      return 4;
+    case Opcode::kAdd:
+    case Opcode::kSub:
+    case Opcode::kAnd:
+    case Opcode::kOr:
+    case Opcode::kXor:
+    case Opcode::kCmp:
+    case Opcode::kTst:
+      return 2;
+    case Opcode::kAddI:
+    case Opcode::kSubI:
+    case Opcode::kAndI:
+    case Opcode::kOrI:
+    case Opcode::kCmpI:
+    case Opcode::kLslI:
+    case Opcode::kLsrI:
+      return 4;
+    case Opcode::kMulI:
+      return 28;
+    case Opcode::kBra:
+      return 6;
+    case Opcode::kBeq:
+    case Opcode::kBne:
+    case Opcode::kBlt:
+    case Opcode::kBge:
+    case Opcode::kBgt:
+    case Opcode::kBle:
+    case Opcode::kBhi:
+    case Opcode::kBls:
+      return branch_taken ? 6 : 4;
+    case Opcode::kJsr:
+      return 8;
+    case Opcode::kJsrInd:
+      return 10;
+    case Opcode::kJmpInd:
+      return 6;
+    case Opcode::kRts:
+      return 8;
+    case Opcode::kCas:
+    case Opcode::kCasA:
+      return 12;
+    case Opcode::kTrap:
+      return 20;  // exception stack frame build + vector fetch
+    case Opcode::kMovemSave:
+    case Opcode::kMovemLoad:
+      // Microcoded multi-register move: small setup plus 1 cycle/register of
+      // sequencing; the per-register bus cycles are charged via MemRefs.
+      return 4 + static_cast<uint32_t>(instr.imm);
+    case Opcode::kSetVbr:
+      return 8;
+    case Opcode::kCharge:
+      return static_cast<uint32_t>(instr.imm);
+    case Opcode::kHalt:
+      return 2;
+    case Opcode::kNumOpcodes:
+      break;
+  }
+  return 2;
+}
+
+}  // namespace
+
+uint32_t CostModel::MemRefs(const Instr& instr) {
+  switch (instr.op) {
+    case Opcode::kLoad8:
+    case Opcode::kLoad16:
+    case Opcode::kLoad32:
+    case Opcode::kStore8:
+    case Opcode::kStore16:
+    case Opcode::kStore32:
+    case Opcode::kLoadA8:
+    case Opcode::kLoadA16:
+    case Opcode::kLoadA32:
+    case Opcode::kStoreA8:
+    case Opcode::kStoreA16:
+    case Opcode::kStoreA32:
+    case Opcode::kLoadIdx32:
+    case Opcode::kStoreIdx32:
+    case Opcode::kPush:
+    case Opcode::kPop:
+    case Opcode::kJsr:     // pushes the return frame
+    case Opcode::kJsrInd:
+    case Opcode::kRts:     // pops the return frame
+      return 1;
+    case Opcode::kCas:
+    case Opcode::kCasA:
+      return 2;  // read-modify-write bus cycle
+    case Opcode::kTrap:
+      return 4;  // exception frame
+    case Opcode::kMovemSave:
+    case Opcode::kMovemLoad:
+      return static_cast<uint32_t>(instr.imm);
+    default:
+      return 0;
+  }
+}
+
+uint32_t CostModel::Cycles(const Instr& instr, bool branch_taken) const {
+  return BaseCycles(instr, branch_taken) + MemRefs(instr) * MemCycles();
+}
+
+}  // namespace synthesis

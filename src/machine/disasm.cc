@@ -1,0 +1,166 @@
+#include "src/machine/disasm.h"
+
+#include <cstdio>
+
+#include "src/machine/opcode.h"
+
+namespace synthesis {
+
+namespace {
+
+std::string RegName(uint8_t r) {
+  char buf[8];
+  if (r < 8) {
+    std::snprintf(buf, sizeof(buf), "d%u", r);
+  } else {
+    std::snprintf(buf, sizeof(buf), "a%u", r - 8);
+  }
+  return buf;
+}
+
+std::string Format(const char* fmt, const std::string& a = "", const std::string& b = "",
+                   int32_t imm = 0) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), fmt, a.c_str(), b.c_str(), static_cast<long>(imm));
+  return buf;
+}
+
+}  // namespace
+
+std::string Disassemble(const Instr& in) {
+  std::string mnem(OpcodeName(in.op));
+  mnem += ' ';
+  while (mnem.size() < 9) {
+    mnem += ' ';
+  }
+  std::string rd = RegName(in.rd);
+  std::string rs = RegName(in.rs);
+  char buf[96];
+  switch (in.op) {
+    case Opcode::kNop:
+    case Opcode::kRts:
+    case Opcode::kHalt:
+      return std::string(OpcodeName(in.op));
+    case Opcode::kMoveI:
+    case Opcode::kAddI:
+    case Opcode::kSubI:
+    case Opcode::kMulI:
+    case Opcode::kAndI:
+    case Opcode::kOrI:
+    case Opcode::kCmpI:
+    case Opcode::kLslI:
+    case Opcode::kLsrI:
+      std::snprintf(buf, sizeof(buf), "%s%s, #%ld", mnem.c_str(), rd.c_str(),
+                    static_cast<long>(in.imm));
+      return buf;
+    case Opcode::kMove:
+    case Opcode::kAdd:
+    case Opcode::kSub:
+    case Opcode::kAnd:
+    case Opcode::kOr:
+    case Opcode::kXor:
+    case Opcode::kCmp:
+      std::snprintf(buf, sizeof(buf), "%s%s, %s", mnem.c_str(), rd.c_str(), rs.c_str());
+      return buf;
+    case Opcode::kLea:
+    case Opcode::kLoad8:
+    case Opcode::kLoad16:
+    case Opcode::kLoad32:
+      std::snprintf(buf, sizeof(buf), "%s%s, %ld(%s)", mnem.c_str(), rd.c_str(),
+                    static_cast<long>(in.imm), rs.c_str());
+      return buf;
+    case Opcode::kStore8:
+    case Opcode::kStore16:
+    case Opcode::kStore32:
+      std::snprintf(buf, sizeof(buf), "%s%ld(%s), %s", mnem.c_str(),
+                    static_cast<long>(in.imm), rd.c_str(), rs.c_str());
+      return buf;
+    case Opcode::kLoadA8:
+    case Opcode::kLoadA16:
+    case Opcode::kLoadA32:
+      std::snprintf(buf, sizeof(buf), "%s%s, ($%lx)", mnem.c_str(), rd.c_str(),
+                    static_cast<unsigned long>(static_cast<uint32_t>(in.imm)));
+      return buf;
+    case Opcode::kStoreA8:
+    case Opcode::kStoreA16:
+    case Opcode::kStoreA32:
+      std::snprintf(buf, sizeof(buf), "%s($%lx), %s", mnem.c_str(),
+                    static_cast<unsigned long>(static_cast<uint32_t>(in.imm)),
+                    rs.c_str());
+      return buf;
+    case Opcode::kLoadIdx32:
+      std::snprintf(buf, sizeof(buf), "%s%s, ($%lx,%s*4)", mnem.c_str(), rd.c_str(),
+                    static_cast<unsigned long>(static_cast<uint32_t>(in.imm)),
+                    rs.c_str());
+      return buf;
+    case Opcode::kStoreIdx32:
+      std::snprintf(buf, sizeof(buf), "%s($%lx,%s*4), %s", mnem.c_str(),
+                    static_cast<unsigned long>(static_cast<uint32_t>(in.imm)),
+                    rs.c_str(), rd.c_str());
+      return buf;
+    case Opcode::kCasA:
+      std::snprintf(buf, sizeof(buf), "%sd0, %s, ($%lx)", mnem.c_str(), rd.c_str(),
+                    static_cast<unsigned long>(static_cast<uint32_t>(in.imm)));
+      return buf;
+    case Opcode::kPush:
+      std::snprintf(buf, sizeof(buf), "%s%s", mnem.c_str(), rs.c_str());
+      return buf;
+    case Opcode::kPop:
+    case Opcode::kTst:
+      std::snprintf(buf, sizeof(buf), "%s%s", mnem.c_str(), rd.c_str());
+      return buf;
+    case Opcode::kBra:
+    case Opcode::kBeq:
+    case Opcode::kBne:
+    case Opcode::kBlt:
+    case Opcode::kBge:
+    case Opcode::kBgt:
+    case Opcode::kBle:
+    case Opcode::kBhi:
+    case Opcode::kBls:
+      std::snprintf(buf, sizeof(buf), "%s@%ld", mnem.c_str(), static_cast<long>(in.imm));
+      return buf;
+    case Opcode::kJsr:
+      std::snprintf(buf, sizeof(buf), "%sblock:%ld", mnem.c_str(),
+                    static_cast<long>(in.imm));
+      return buf;
+    case Opcode::kJsrInd:
+    case Opcode::kJmpInd:
+    case Opcode::kSetVbr:
+      std::snprintf(buf, sizeof(buf), "%s(%s)", mnem.c_str(), rs.c_str());
+      return buf;
+    case Opcode::kCas:
+      std::snprintf(buf, sizeof(buf), "%sd0, %s, %ld(%s)", mnem.c_str(), rd.c_str(),
+                    static_cast<long>(in.imm), rs.c_str());
+      return buf;
+    case Opcode::kTrap:
+    case Opcode::kCharge:
+      std::snprintf(buf, sizeof(buf), "%s#%ld", mnem.c_str(), static_cast<long>(in.imm));
+      return buf;
+    case Opcode::kMovemSave:
+      std::snprintf(buf, sizeof(buf), "%s(%s), #%ld", mnem.c_str(), rd.c_str(),
+                    static_cast<long>(in.imm));
+      return buf;
+    case Opcode::kMovemLoad:
+      std::snprintf(buf, sizeof(buf), "%s(%s), #%ld", mnem.c_str(), rs.c_str(),
+                    static_cast<long>(in.imm));
+      return buf;
+    case Opcode::kNumOpcodes:
+      break;
+  }
+  return Format("???");
+}
+
+std::string Disassemble(const CodeBlock& block) {
+  std::string out = "; " + block.name + " (" + std::to_string(block.code.size()) +
+                    " instructions)\n";
+  for (size_t i = 0; i < block.code.size(); i++) {
+    char line[120];
+    std::snprintf(line, sizeof(line), "  %3zu: %s\n", i,
+                  Disassemble(block.code[i]).c_str());
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace synthesis

@@ -1,0 +1,24 @@
+// Disassembler for micro-op programs. Used by the kernel monitor, by tests,
+// and by examples that show synthesized code before/after optimization.
+#ifndef SRC_MACHINE_DISASM_H_
+#define SRC_MACHINE_DISASM_H_
+
+#include <string>
+
+#include "src/machine/instr.h"
+
+namespace synthesis {
+
+// One instruction, e.g. "load32  d1, 8(a0)".
+std::string Disassemble(const Instr& instr);
+
+// A whole block with indices, e.g.
+//   ; read_fast (3 instructions)
+//     0: movei   d0, 42
+//     1: store32 0(a1), d0
+//     2: rts
+std::string Disassemble(const CodeBlock& block);
+
+}  // namespace synthesis
+
+#endif  // SRC_MACHINE_DISASM_H_

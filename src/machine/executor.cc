@@ -1,0 +1,429 @@
+#include "src/machine/executor.h"
+
+namespace synthesis {
+
+namespace {
+
+bool EvalBranch(Opcode op, uint32_t lhs, uint32_t rhs) {
+  int32_t sl = static_cast<int32_t>(lhs);
+  int32_t sr = static_cast<int32_t>(rhs);
+  switch (op) {
+    case Opcode::kBeq:
+      return lhs == rhs;
+    case Opcode::kBne:
+      return lhs != rhs;
+    case Opcode::kBlt:
+      return sl < sr;
+    case Opcode::kBge:
+      return sl >= sr;
+    case Opcode::kBgt:
+      return sl > sr;
+    case Opcode::kBle:
+      return sl <= sr;
+    case Opcode::kBhi:
+      return lhs > rhs;
+    case Opcode::kBls:
+      return lhs <= rhs;
+    default:
+      return true;  // kBra
+  }
+}
+
+}  // namespace
+
+RunResult Executor::Call(BlockId entry, uint64_t max_steps) {
+  Start(entry);
+  return Run(max_steps);
+}
+
+void Executor::Start(BlockId entry) {
+  frames_.clear();
+  block_ = entry;
+  pc_ = 0;
+  active_ = true;
+}
+
+RunResult Executor::Run(uint64_t max_steps) {
+  RunResult r;
+  if (!active_) {
+    r.fault = FaultKind::kBadBlock;
+    return Finish(r, RunOutcome::kFault);
+  }
+  if (!store_.Valid(block_)) {
+    r.fault = FaultKind::kBadBlock;
+    return Finish(r, RunOutcome::kFault);
+  }
+
+  const CodeBlock* blk = &store_.Get(block_);
+  const CostModel& cost = machine_.cost_model();
+
+  auto charge = [&](const Instr& in, bool taken) {
+    uint32_t c = cost.Cycles(in, taken);
+    uint32_t refs = CostModel::MemRefs(in);
+    machine_.Charge(c, 1, refs);
+    r.instructions++;
+    r.cycles += c;
+    r.mem_refs += refs;
+  };
+
+  auto fault = [&](FaultKind kind, Addr addr = 0) {
+    r.fault = kind;
+    r.fault_addr = addr;
+    return Finish(r, RunOutcome::kFault);
+  };
+
+  while (r.instructions < max_steps) {
+    if (interrupt_poll_ && interrupt_poll_()) {
+      return Finish(r, RunOutcome::kInterrupted);
+    }
+    if (pc_ >= blk->code.size()) {
+      // Falling off the end of a block behaves like kRts (implicit return).
+      if (frames_.empty()) {
+        return Finish(r, RunOutcome::kReturned);
+      }
+      block_ = frames_.back().block;
+      pc_ = frames_.back().pc;
+      frames_.pop_back();
+      blk = &store_.Get(block_);
+      continue;
+    }
+
+    const Instr& in = blk->code[pc_];
+    if (machine_.tracing()) {
+      machine_.Record(block_, pc_, in);
+    }
+    uint32_t next_pc = pc_ + 1;
+
+    switch (in.op) {
+      case Opcode::kNop:
+      case Opcode::kCharge:
+        charge(in, false);
+        break;
+
+      case Opcode::kMoveI:
+        machine_.set_reg(in.rd, static_cast<uint32_t>(in.imm));
+        charge(in, false);
+        break;
+      case Opcode::kMove:
+        machine_.set_reg(in.rd, machine_.reg(in.rs));
+        charge(in, false);
+        break;
+      case Opcode::kLea:
+        machine_.set_reg(in.rd, machine_.reg(in.rs) + static_cast<uint32_t>(in.imm));
+        charge(in, false);
+        break;
+
+      case Opcode::kLoad8:
+      case Opcode::kLoad16:
+      case Opcode::kLoad32: {
+        Addr addr = machine_.reg(in.rs) + static_cast<uint32_t>(in.imm);
+        size_t len = in.op == Opcode::kLoad8 ? 1 : in.op == Opcode::kLoad16 ? 2 : 4;
+        if (!machine_.AccessOk(addr, len)) {
+          return fault(FaultKind::kBusError, addr);
+        }
+        uint32_t v = in.op == Opcode::kLoad8    ? machine_.memory().Read8(addr)
+                     : in.op == Opcode::kLoad16 ? machine_.memory().Read16(addr)
+                                                : machine_.memory().Read32(addr);
+        machine_.set_reg(in.rd, v);
+        charge(in, false);
+        break;
+      }
+      case Opcode::kStore8:
+      case Opcode::kStore16:
+      case Opcode::kStore32: {
+        Addr addr = machine_.reg(in.rd) + static_cast<uint32_t>(in.imm);
+        size_t len = in.op == Opcode::kStore8 ? 1 : in.op == Opcode::kStore16 ? 2 : 4;
+        if (!machine_.AccessOk(addr, len)) {
+          return fault(FaultKind::kBusError, addr);
+        }
+        uint32_t v = machine_.reg(in.rs);
+        if (in.op == Opcode::kStore8) {
+          machine_.memory().Write8(addr, static_cast<uint8_t>(v));
+        } else if (in.op == Opcode::kStore16) {
+          machine_.memory().Write16(addr, static_cast<uint16_t>(v));
+        } else {
+          machine_.memory().Write32(addr, v);
+        }
+        charge(in, false);
+        break;
+      }
+
+      case Opcode::kLoadA8:
+      case Opcode::kLoadA16:
+      case Opcode::kLoadA32: {
+        Addr addr = static_cast<Addr>(in.imm);
+        size_t len = in.op == Opcode::kLoadA8 ? 1 : in.op == Opcode::kLoadA16 ? 2 : 4;
+        if (!machine_.AccessOk(addr, len)) {
+          return fault(FaultKind::kBusError, addr);
+        }
+        uint32_t v = in.op == Opcode::kLoadA8    ? machine_.memory().Read8(addr)
+                     : in.op == Opcode::kLoadA16 ? machine_.memory().Read16(addr)
+                                                 : machine_.memory().Read32(addr);
+        machine_.set_reg(in.rd, v);
+        charge(in, false);
+        break;
+      }
+      case Opcode::kStoreA8:
+      case Opcode::kStoreA16:
+      case Opcode::kStoreA32: {
+        Addr addr = static_cast<Addr>(in.imm);
+        size_t len = in.op == Opcode::kStoreA8 ? 1 : in.op == Opcode::kStoreA16 ? 2 : 4;
+        if (!machine_.AccessOk(addr, len)) {
+          return fault(FaultKind::kBusError, addr);
+        }
+        uint32_t v = machine_.reg(in.rs);
+        if (in.op == Opcode::kStoreA8) {
+          machine_.memory().Write8(addr, static_cast<uint8_t>(v));
+        } else if (in.op == Opcode::kStoreA16) {
+          machine_.memory().Write16(addr, static_cast<uint16_t>(v));
+        } else {
+          machine_.memory().Write32(addr, v);
+        }
+        charge(in, false);
+        break;
+      }
+      case Opcode::kLoadIdx32: {
+        Addr addr = static_cast<Addr>(in.imm) + machine_.reg(in.rs) * 4;
+        if (!machine_.AccessOk(addr, 4)) {
+          return fault(FaultKind::kBusError, addr);
+        }
+        machine_.set_reg(in.rd, machine_.memory().Read32(addr));
+        charge(in, false);
+        break;
+      }
+      case Opcode::kStoreIdx32: {
+        Addr addr = static_cast<Addr>(in.imm) + machine_.reg(in.rs) * 4;
+        if (!machine_.AccessOk(addr, 4)) {
+          return fault(FaultKind::kBusError, addr);
+        }
+        machine_.memory().Write32(addr, machine_.reg(in.rd));
+        charge(in, false);
+        break;
+      }
+
+      case Opcode::kPush: {
+        Addr sp = machine_.reg(kA7) - 4;
+        if (!machine_.AccessOk(sp, 4)) {
+          return fault(FaultKind::kBusError, sp);
+        }
+        machine_.memory().Write32(sp, machine_.reg(in.rs));
+        machine_.set_reg(kA7, sp);
+        charge(in, false);
+        break;
+      }
+      case Opcode::kPop: {
+        Addr sp = machine_.reg(kA7);
+        if (!machine_.AccessOk(sp, 4)) {
+          return fault(FaultKind::kBusError, sp);
+        }
+        machine_.set_reg(in.rd, machine_.memory().Read32(sp));
+        machine_.set_reg(kA7, sp + 4);
+        charge(in, false);
+        break;
+      }
+
+      case Opcode::kAdd:
+        machine_.set_reg(in.rd, machine_.reg(in.rd) + machine_.reg(in.rs));
+        charge(in, false);
+        break;
+      case Opcode::kAddI:
+        machine_.set_reg(in.rd, machine_.reg(in.rd) + static_cast<uint32_t>(in.imm));
+        charge(in, false);
+        break;
+      case Opcode::kSub:
+        machine_.set_reg(in.rd, machine_.reg(in.rd) - machine_.reg(in.rs));
+        charge(in, false);
+        break;
+      case Opcode::kSubI:
+        machine_.set_reg(in.rd, machine_.reg(in.rd) - static_cast<uint32_t>(in.imm));
+        charge(in, false);
+        break;
+      case Opcode::kMulI:
+        machine_.set_reg(in.rd, machine_.reg(in.rd) * static_cast<uint32_t>(in.imm));
+        charge(in, false);
+        break;
+      case Opcode::kAnd:
+        machine_.set_reg(in.rd, machine_.reg(in.rd) & machine_.reg(in.rs));
+        charge(in, false);
+        break;
+      case Opcode::kAndI:
+        machine_.set_reg(in.rd, machine_.reg(in.rd) & static_cast<uint32_t>(in.imm));
+        charge(in, false);
+        break;
+      case Opcode::kOr:
+        machine_.set_reg(in.rd, machine_.reg(in.rd) | machine_.reg(in.rs));
+        charge(in, false);
+        break;
+      case Opcode::kOrI:
+        machine_.set_reg(in.rd, machine_.reg(in.rd) | static_cast<uint32_t>(in.imm));
+        charge(in, false);
+        break;
+      case Opcode::kXor:
+        machine_.set_reg(in.rd, machine_.reg(in.rd) ^ machine_.reg(in.rs));
+        charge(in, false);
+        break;
+      case Opcode::kLslI:
+        machine_.set_reg(in.rd, machine_.reg(in.rd) << (in.imm & 31));
+        charge(in, false);
+        break;
+      case Opcode::kLsrI:
+        machine_.set_reg(in.rd, machine_.reg(in.rd) >> (in.imm & 31));
+        charge(in, false);
+        break;
+
+      case Opcode::kCmp:
+        machine_.SetCc(machine_.reg(in.rd), machine_.reg(in.rs));
+        charge(in, false);
+        break;
+      case Opcode::kCmpI:
+        machine_.SetCc(machine_.reg(in.rd), static_cast<uint32_t>(in.imm));
+        charge(in, false);
+        break;
+      case Opcode::kTst:
+        machine_.SetCc(machine_.reg(in.rd), 0);
+        charge(in, false);
+        break;
+
+      case Opcode::kBra:
+      case Opcode::kBeq:
+      case Opcode::kBne:
+      case Opcode::kBlt:
+      case Opcode::kBge:
+      case Opcode::kBgt:
+      case Opcode::kBle:
+      case Opcode::kBhi:
+      case Opcode::kBls: {
+        bool taken = in.op == Opcode::kBra ||
+                     EvalBranch(in.op, machine_.cc_lhs(), machine_.cc_rhs());
+        charge(in, taken);
+        if (taken) {
+          next_pc = static_cast<uint32_t>(in.imm);
+        }
+        break;
+      }
+
+      case Opcode::kJsr:
+      case Opcode::kJsrInd: {
+        BlockId target = in.op == Opcode::kJsr
+                             ? in.imm
+                             : static_cast<BlockId>(machine_.reg(in.rs));
+        if (!store_.Valid(target)) {
+          return fault(FaultKind::kBadBlock);
+        }
+        charge(in, false);
+        frames_.push_back(Frame{block_, next_pc});
+        block_ = target;
+        blk = &store_.Get(block_);
+        pc_ = 0;
+        continue;
+      }
+      case Opcode::kJmpInd: {
+        BlockId target = static_cast<BlockId>(machine_.reg(in.rs));
+        if (!store_.Valid(target)) {
+          return fault(FaultKind::kBadBlock);
+        }
+        charge(in, false);
+        block_ = target;
+        blk = &store_.Get(block_);
+        pc_ = 0;
+        continue;
+      }
+      case Opcode::kRts: {
+        charge(in, false);
+        if (frames_.empty()) {
+          return Finish(r, RunOutcome::kReturned);
+        }
+        block_ = frames_.back().block;
+        pc_ = frames_.back().pc;
+        frames_.pop_back();
+        blk = &store_.Get(block_);
+        continue;
+      }
+
+      case Opcode::kCas:
+      case Opcode::kCasA: {
+        Addr addr = in.op == Opcode::kCas
+                        ? machine_.reg(in.rs) + static_cast<uint32_t>(in.imm)
+                        : static_cast<Addr>(in.imm);
+        if (!machine_.AccessOk(addr, 4)) {
+          return fault(FaultKind::kBusError, addr);
+        }
+        uint32_t mem = machine_.memory().Read32(addr);
+        uint32_t expect = machine_.reg(kD0);
+        if (mem == expect) {
+          machine_.memory().Write32(addr, machine_.reg(in.rd));
+          machine_.SetCc(1, 1);  // "equal": success
+        } else {
+          machine_.set_reg(kD0, mem);
+          machine_.SetCc(0, 1);  // "not equal": failure
+        }
+        charge(in, false);
+        break;
+      }
+
+      case Opcode::kTrap: {
+        charge(in, false);
+        TrapAction action =
+            trap_handler_ ? trap_handler_(in.imm, machine_) : TrapAction::kFault;
+        // The handler may have replaced the current block in the store
+        // (resynthesis); refresh the cached reference.
+        blk = &store_.Get(block_);
+        switch (action) {
+          case TrapAction::kContinue:
+            break;
+          case TrapAction::kBlock:
+            // Leave pc_ at the trap so Resume() retries it.
+            r.trap_vector = in.imm;
+            return Finish(r, RunOutcome::kBlocked);
+          case TrapAction::kHalt:
+            pc_ = next_pc;
+            return Finish(r, RunOutcome::kHalted);
+          case TrapAction::kFault:
+            return fault(FaultKind::kBadOpcode);
+        }
+        break;
+      }
+
+      case Opcode::kMovemSave:
+      case Opcode::kMovemLoad: {
+        uint8_t base_reg = in.op == Opcode::kMovemSave ? in.rd : in.rs;
+        Addr base = machine_.reg(base_reg);
+        size_t len = static_cast<size_t>(in.imm) * 4;
+        if (!machine_.AccessOk(base, len)) {
+          return fault(FaultKind::kBusError, base);
+        }
+        int count = in.imm > static_cast<int32_t>(kNumRegisters)
+                        ? kNumRegisters
+                        : in.imm;
+        for (int i = 0; i < count; i++) {
+          Addr slot = base + static_cast<Addr>(4 * i);
+          if (in.op == Opcode::kMovemSave) {
+            machine_.memory().Write32(slot, machine_.reg(static_cast<uint8_t>(i)));
+          } else {
+            machine_.set_reg(static_cast<uint8_t>(i), machine_.memory().Read32(slot));
+          }
+        }
+        charge(in, false);
+        break;
+      }
+
+      case Opcode::kSetVbr:
+        machine_.set_vbr(machine_.reg(in.rs));
+        charge(in, false);
+        break;
+
+      case Opcode::kHalt:
+        charge(in, false);
+        pc_ = next_pc;
+        return Finish(r, RunOutcome::kHalted);
+
+      case Opcode::kNumOpcodes:
+        return fault(FaultKind::kBadOpcode);
+    }
+
+    pc_ = next_pc;
+  }
+  return Finish(r, RunOutcome::kStepLimit);
+}
+
+}  // namespace synthesis

@@ -1,0 +1,105 @@
+// The instruction interpreter. Executes CodeBlocks against a Machine,
+// charging the cost model and maintaining the instruction / memory-reference
+// counters. Supports suspend/resume so that a simulated thread can block in a
+// trap and be continued later, and an interrupt poll so device interrupts can
+// preempt execution at instruction boundaries.
+#ifndef SRC_MACHINE_EXECUTOR_H_
+#define SRC_MACHINE_EXECUTOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "src/machine/code_store.h"
+#include "src/machine/machine.h"
+
+namespace synthesis {
+
+enum class RunOutcome {
+  kHalted,       // executed kHalt
+  kReturned,     // kRts with an empty call stack: the entry block returned
+  kBlocked,      // a trap handler asked to suspend; Resume() retries the trap
+  kInterrupted,  // the interrupt poll fired; Resume() continues
+  kFault,        // bus error / bad block / bad opcode / stack underflow
+  kStepLimit,    // max_steps exhausted; Resume() continues
+};
+
+enum class FaultKind {
+  kNone,
+  kBusError,
+  kBadBlock,
+  kBadOpcode,
+  kStackUnderflow,
+};
+
+struct RunResult {
+  RunOutcome outcome = RunOutcome::kHalted;
+  uint64_t instructions = 0;
+  uint64_t cycles = 0;
+  uint64_t mem_refs = 0;
+  FaultKind fault = FaultKind::kNone;
+  Addr fault_addr = 0;
+  int trap_vector = -1;  // vector of the trap that blocked, if kBlocked
+};
+
+// What a trap handler tells the executor to do next.
+enum class TrapAction {
+  kContinue,  // trap serviced; execution proceeds after the trap instruction
+  kBlock,     // suspend; on Resume() the trap instruction re-executes (retry)
+  kHalt,      // stop execution as if kHalt had run
+  kFault,     // treat as an error trap the handler could not service
+};
+
+using TrapHandler = std::function<TrapAction(int vector, Machine& machine)>;
+// Polled before each instruction; returning true suspends with kInterrupted.
+using InterruptPoll = std::function<bool()>;
+
+class Executor {
+ public:
+  Executor(Machine& machine, const CodeStore& store)
+      : machine_(machine), store_(store) {}
+
+  void SetTrapHandler(TrapHandler handler) { trap_handler_ = std::move(handler); }
+  void SetInterruptPoll(InterruptPoll poll) { interrupt_poll_ = std::move(poll); }
+
+  // One-shot convenience: Start + Run to completion.
+  RunResult Call(BlockId entry, uint64_t max_steps = kDefaultMaxSteps);
+
+  // Resumable session. Start resets the call stack to `entry`.
+  void Start(BlockId entry);
+  RunResult Run(uint64_t max_steps = kDefaultMaxSteps);
+  bool active() const { return active_; }
+
+  // Position of the next instruction to execute (valid while active).
+  BlockId current_block() const { return block_; }
+  uint32_t current_pc() const { return pc_; }
+
+  static constexpr uint64_t kDefaultMaxSteps = 100'000'000;
+
+ private:
+  struct Frame {
+    BlockId block;
+    uint32_t pc;
+  };
+
+  RunResult Finish(RunResult r, RunOutcome outcome) {
+    r.outcome = outcome;
+    active_ = outcome == RunOutcome::kBlocked || outcome == RunOutcome::kInterrupted ||
+              outcome == RunOutcome::kStepLimit;
+    return r;
+  }
+
+  Machine& machine_;
+  const CodeStore& store_;
+  TrapHandler trap_handler_;
+  InterruptPoll interrupt_poll_;
+
+  std::vector<Frame> frames_;
+  BlockId block_ = kInvalidBlock;
+  uint32_t pc_ = 0;
+  bool active_ = false;
+};
+
+}  // namespace synthesis
+
+#endif  // SRC_MACHINE_EXECUTOR_H_

@@ -1,0 +1,40 @@
+// The micro-op instruction word and code-block container.
+#ifndef SRC_MACHINE_INSTR_H_
+#define SRC_MACHINE_INSTR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/machine/opcode.h"
+
+namespace synthesis {
+
+// A fixed-format instruction word. Interpretation of the fields depends on
+// the opcode; see the comments in opcode.h.
+struct Instr {
+  Opcode op = Opcode::kNop;
+  uint8_t rd = 0;   // destination (or base register for stores)
+  uint8_t rs = 0;   // source
+  int32_t imm = 0;  // immediate / displacement / branch target / block id / trap vector
+
+  friend bool operator==(const Instr&, const Instr&) = default;
+};
+
+// A block id as stored in a CodeStore. Id 0 is reserved as invalid so that
+// zeroed memory never looks like a valid executable-data-structure pointer.
+using BlockId = int32_t;
+inline constexpr BlockId kInvalidBlock = 0;
+
+// A sequence of instructions with a debug name. Control flow within a block
+// uses absolute instruction indices; control flow between blocks uses ids.
+struct CodeBlock {
+  std::string name;
+  std::vector<Instr> code;
+
+  size_t size() const { return code.size(); }
+};
+
+}  // namespace synthesis
+
+#endif  // SRC_MACHINE_INSTR_H_

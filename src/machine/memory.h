@@ -1,0 +1,97 @@
+// Simulated physical memory of the Quamachine.
+//
+// One flat byte array models the single physical address space shared by all
+// quaspaces (§2.1 of the paper: all quaspaces are subspaces of one address
+// space). Access checking against the current quaspace's visible ranges is
+// done by the executor via an AddressFilter, mirroring the paper's bus-fault
+// behaviour for out-of-quaspace references.
+#ifndef SRC_MACHINE_MEMORY_H_
+#define SRC_MACHINE_MEMORY_H_
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+namespace synthesis {
+
+using Addr = uint32_t;
+
+class Memory {
+ public:
+  explicit Memory(size_t size_bytes) : bytes_(size_bytes, 0) {}
+
+  size_t size() const { return bytes_.size(); }
+  bool InRange(Addr addr, size_t len) const {
+    return static_cast<uint64_t>(addr) + len <= bytes_.size();
+  }
+
+  uint8_t Read8(Addr addr) const { return bytes_[addr]; }
+  uint16_t Read16(Addr addr) const {
+    return static_cast<uint16_t>(bytes_[addr] | (bytes_[addr + 1] << 8));
+  }
+  uint32_t Read32(Addr addr) const {
+    uint32_t v;
+    std::memcpy(&v, &bytes_[addr], 4);
+    return v;
+  }
+
+  void Write8(Addr addr, uint8_t v) { bytes_[addr] = v; }
+  void Write16(Addr addr, uint16_t v) {
+    bytes_[addr] = static_cast<uint8_t>(v);
+    bytes_[addr + 1] = static_cast<uint8_t>(v >> 8);
+  }
+  void Write32(Addr addr, uint32_t v) { std::memcpy(&bytes_[addr], &v, 4); }
+
+  // Bulk access for host-side device models and loaders.
+  void WriteBytes(Addr addr, const void* src, size_t len) {
+    std::memcpy(&bytes_[addr], src, len);
+  }
+  void ReadBytes(Addr addr, void* dst, size_t len) const {
+    std::memcpy(dst, &bytes_[addr], len);
+  }
+
+  uint8_t* raw(Addr addr) { return &bytes_[addr]; }
+  const uint8_t* raw(Addr addr) const { return &bytes_[addr]; }
+
+ private:
+  std::vector<uint8_t> bytes_;
+};
+
+// A half-open address range [begin, end).
+struct AddrRange {
+  Addr begin = 0;
+  Addr end = 0;
+
+  bool Contains(Addr addr, size_t len) const {
+    return addr >= begin && static_cast<uint64_t>(addr) + len <= end;
+  }
+  friend bool operator==(const AddrRange&, const AddrRange&) = default;
+};
+
+// The set of ranges the currently executing context may touch. An empty
+// filter permits everything (kernel mode / supervisor state).
+class AddressFilter {
+ public:
+  void Clear() { ranges_.clear(); }
+  void Allow(AddrRange range) { ranges_.push_back(range); }
+  bool empty() const { return ranges_.empty(); }
+
+  bool Permits(Addr addr, size_t len) const {
+    if (ranges_.empty()) {
+      return true;
+    }
+    for (const AddrRange& r : ranges_) {
+      if (r.Contains(addr, len)) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+ private:
+  std::vector<AddrRange> ranges_;
+};
+
+}  // namespace synthesis
+
+#endif  // SRC_MACHINE_MEMORY_H_

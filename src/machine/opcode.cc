@@ -1,0 +1,133 @@
+#include "src/machine/opcode.h"
+
+namespace synthesis {
+
+std::string_view OpcodeName(Opcode op) {
+  switch (op) {
+    case Opcode::kNop:
+      return "nop";
+    case Opcode::kMoveI:
+      return "movei";
+    case Opcode::kMove:
+      return "move";
+    case Opcode::kLea:
+      return "lea";
+    case Opcode::kLoad8:
+      return "load8";
+    case Opcode::kLoad16:
+      return "load16";
+    case Opcode::kLoad32:
+      return "load32";
+    case Opcode::kStore8:
+      return "store8";
+    case Opcode::kStore16:
+      return "store16";
+    case Opcode::kStore32:
+      return "store32";
+    case Opcode::kLoadA8:
+      return "load8.a";
+    case Opcode::kLoadA16:
+      return "load16.a";
+    case Opcode::kLoadA32:
+      return "load32.a";
+    case Opcode::kStoreA8:
+      return "store8.a";
+    case Opcode::kStoreA16:
+      return "store16.a";
+    case Opcode::kStoreA32:
+      return "store32.a";
+    case Opcode::kLoadIdx32:
+      return "load32.x";
+    case Opcode::kStoreIdx32:
+      return "store32.x";
+    case Opcode::kPush:
+      return "push";
+    case Opcode::kPop:
+      return "pop";
+    case Opcode::kAdd:
+      return "add";
+    case Opcode::kAddI:
+      return "addi";
+    case Opcode::kSub:
+      return "sub";
+    case Opcode::kSubI:
+      return "subi";
+    case Opcode::kMulI:
+      return "muli";
+    case Opcode::kAnd:
+      return "and";
+    case Opcode::kAndI:
+      return "andi";
+    case Opcode::kOr:
+      return "or";
+    case Opcode::kOrI:
+      return "ori";
+    case Opcode::kXor:
+      return "xor";
+    case Opcode::kLslI:
+      return "lsli";
+    case Opcode::kLsrI:
+      return "lsri";
+    case Opcode::kCmp:
+      return "cmp";
+    case Opcode::kCmpI:
+      return "cmpi";
+    case Opcode::kTst:
+      return "tst";
+    case Opcode::kBra:
+      return "bra";
+    case Opcode::kBeq:
+      return "beq";
+    case Opcode::kBne:
+      return "bne";
+    case Opcode::kBlt:
+      return "blt";
+    case Opcode::kBge:
+      return "bge";
+    case Opcode::kBgt:
+      return "bgt";
+    case Opcode::kBle:
+      return "ble";
+    case Opcode::kBhi:
+      return "bhi";
+    case Opcode::kBls:
+      return "bls";
+    case Opcode::kJsr:
+      return "jsr";
+    case Opcode::kJsrInd:
+      return "jsrind";
+    case Opcode::kJmpInd:
+      return "jmpind";
+    case Opcode::kRts:
+      return "rts";
+    case Opcode::kCas:
+      return "cas";
+    case Opcode::kCasA:
+      return "cas.a";
+    case Opcode::kTrap:
+      return "trap";
+    case Opcode::kMovemSave:
+      return "movem.save";
+    case Opcode::kMovemLoad:
+      return "movem.load";
+    case Opcode::kSetVbr:
+      return "setvbr";
+    case Opcode::kCharge:
+      return "charge";
+    case Opcode::kHalt:
+      return "halt";
+    case Opcode::kNumOpcodes:
+      break;
+  }
+  return "???";
+}
+
+bool IsBranch(Opcode op) {
+  return op >= Opcode::kBra && op <= Opcode::kBls;
+}
+
+bool IsConditionalBranch(Opcode op) {
+  return op >= Opcode::kBeq && op <= Opcode::kBls;
+}
+
+}  // namespace synthesis

@@ -1,0 +1,111 @@
+// Micro-op instruction set of the simulated Quamachine.
+//
+// The ISA is 68020-flavoured: 8 data registers (d0-d7), 8 address registers
+// (a0-a7, a7 doubles as the stack pointer), a condition-code pair set by
+// compare-class instructions, and block-structured control flow. Code lives in
+// CodeBlocks registered with a CodeStore; kJsr/kJsrInd/kJmpInd transfer between
+// blocks, which is what makes "executable data structures" possible: a data
+// structure stores block ids and control flow jumps through them.
+#ifndef SRC_MACHINE_OPCODE_H_
+#define SRC_MACHINE_OPCODE_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace synthesis {
+
+enum class Opcode : uint8_t {
+  kNop = 0,
+  // Data movement.
+  kMoveI,    // rd = imm
+  kMove,     // rd = rs
+  kLea,      // rd = rs + imm
+  kLoad8,    // rd = zext(mem8[rs + imm])
+  kLoad16,   // rd = zext(mem16[rs + imm])
+  kLoad32,   // rd = mem32[rs + imm]
+  kStore8,   // mem8[rd + imm] = rs
+  kStore16,  // mem16[rd + imm] = rs
+  kStore32,  // mem32[rd + imm] = rs
+  // Absolute addressing (68020 absolute-long mode). Synthesis rewrites
+  // register-indirect accesses with a constant base into these, folding the
+  // address into the instruction and freeing the base register.
+  kLoadA8,    // rd = zext(mem8[imm])
+  kLoadA16,   // rd = zext(mem16[imm])
+  kLoadA32,   // rd = mem32[imm]
+  kStoreA8,   // mem8[imm] = rs
+  kStoreA16,  // mem16[imm] = rs
+  kStoreA32,  // mem32[imm] = rs
+  // Scaled-index addressing (68020 (bd,Rn*4) mode): table accesses in one
+  // instruction, as the paper's queue code relies on.
+  kLoadIdx32,   // rd = mem32[imm + rs*4]
+  kStoreIdx32,  // mem32[imm + rs*4] = rd  (rs is the index)
+  kPush,        // a7 -= 4; mem32[a7] = rs
+  kPop,         // rd = mem32[a7]; a7 += 4
+  // Arithmetic / logic.
+  kAdd,   // rd += rs
+  kAddI,  // rd += imm
+  kSub,   // rd -= rs
+  kSubI,  // rd -= imm
+  kMulI,  // rd *= imm
+  kAnd,   // rd &= rs
+  kAndI,  // rd &= imm
+  kOr,    // rd |= rs
+  kOrI,   // rd |= imm
+  kXor,   // rd ^= rs
+  kLslI,  // rd <<= imm
+  kLsrI,  // rd >>= imm (logical)
+  // Compare (sets condition codes).
+  kCmp,   // cc = (rd, rs)
+  kCmpI,  // cc = (rd, imm)
+  kTst,   // cc = (rd, 0)
+  // Branches: imm is the absolute instruction index within the current block.
+  kBra,
+  kBeq,
+  kBne,
+  kBlt,  // signed <
+  kBge,  // signed >=
+  kBgt,  // signed >
+  kBle,  // signed <=
+  kBhi,  // unsigned >
+  kBls,  // unsigned <=
+  // Inter-block control flow: imm (or register value) is a CodeStore block id.
+  kJsr,     // call block imm
+  kJsrInd,  // call block whose id is in rs
+  kJmpInd,  // tail-jump to block whose id is in rs (no return); executable data structures
+  kRts,     // return from kJsr/kJsrInd
+  // Synchronization. 68020 CAS semantics: compare d0 with mem32[rs + imm];
+  // if equal, mem32[rs + imm] = rd and cc reads "equal"; else d0 = mem value
+  // and cc reads "not equal".
+  kCas,
+  kCasA,  // same, against the absolute address imm
+  // System.
+  kTrap,       // host hook, vector number in imm
+  kMovemSave,  // save imm registers to mem[rd] (microcoded multi-register move)
+  kMovemLoad,  // load imm registers from mem[rs]
+  kSetVbr,     // vector base register = rs (thread's vector table address)
+  kCharge,     // charge imm extra cycles (models microcoded hardware sequences)
+  kHalt,
+
+  kNumOpcodes,
+};
+
+// Register names. 0-7 are data registers, 8-15 address registers.
+inline constexpr uint8_t kD0 = 0, kD1 = 1, kD2 = 2, kD3 = 3;
+inline constexpr uint8_t kD4 = 4, kD5 = 5, kD6 = 6, kD7 = 7;
+inline constexpr uint8_t kA0 = 8, kA1 = 9, kA2 = 10, kA3 = 11;
+inline constexpr uint8_t kA4 = 12, kA5 = 13, kA6 = 14, kA7 = 15;  // a7 = stack pointer
+inline constexpr uint8_t kNumRegisters = 16;
+
+// Human-readable mnemonic for disassembly and error reporting.
+std::string_view OpcodeName(Opcode op);
+
+// True for kBra..kBls.
+bool IsBranch(Opcode op);
+// True for conditional branches (kBeq..kBls).
+bool IsConditionalBranch(Opcode op);
+// True if the instruction's imm field is a branch target (instruction index).
+inline bool UsesBranchTarget(Opcode op) { return IsBranch(op); }
+
+}  // namespace synthesis
+
+#endif  // SRC_MACHINE_OPCODE_H_

@@ -1,0 +1,56 @@
+// Dedicated queue (§2.3): exploits the knowledge that exactly one thread uses
+// the queue end-to-end and omits the synchronization code entirely — the
+// principle of frugality applied to queues. Not thread-safe by design; the
+// quaject interfacer selects it only for single-owner connections (e.g. the
+// cooked tty reading from the raw keyboard server).
+#ifndef SRC_SYNC_DEDICATED_QUEUE_H_
+#define SRC_SYNC_DEDICATED_QUEUE_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace synthesis {
+
+template <typename T>
+class DedicatedQueue {
+ public:
+  explicit DedicatedQueue(size_t capacity) : buf_(capacity + 1) {}
+
+  size_t capacity() const { return buf_.size() - 1; }
+
+  bool TryPut(const T& item) {
+    size_t n = Next(head_);
+    if (n == tail_) {
+      return false;
+    }
+    buf_[head_] = item;
+    head_ = n;
+    return true;
+  }
+
+  bool TryGet(T& out) {
+    if (tail_ == head_) {
+      return false;
+    }
+    out = buf_[tail_];
+    tail_ = Next(tail_);
+    return true;
+  }
+
+  bool Empty() const { return head_ == tail_; }
+  bool Full() const { return Next(head_) == tail_; }
+  size_t Size() const {
+    return head_ >= tail_ ? head_ - tail_ : head_ + buf_.size() - tail_;
+  }
+
+ private:
+  size_t Next(size_t i) const { return i + 1 == buf_.size() ? 0 : i + 1; }
+
+  std::vector<T> buf_;
+  size_t head_ = 0;
+  size_t tail_ = 0;
+};
+
+}  // namespace synthesis
+
+#endif  // SRC_SYNC_DEDICATED_QUEUE_H_

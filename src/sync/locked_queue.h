@@ -1,0 +1,72 @@
+// Mutex-protected queue: the "powerful mutual exclusion mechanism" a
+// traditional kernel would use (§1). Exists as the baseline against which the
+// optimistic queues are benchmarked (bench/ablation_queues.cc).
+#ifndef SRC_SYNC_LOCKED_QUEUE_H_
+#define SRC_SYNC_LOCKED_QUEUE_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+
+namespace synthesis {
+
+template <typename T>
+class LockedQueue {
+ public:
+  explicit LockedQueue(size_t capacity) : capacity_(capacity) {}
+
+  size_t capacity() const { return capacity_; }
+
+  bool TryPut(const T& item) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (items_.size() >= capacity_) {
+      return false;
+    }
+    items_.push_back(item);
+    cv_.notify_one();
+    return true;
+  }
+
+  bool TryGet(T& out) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (items_.empty()) {
+      return false;
+    }
+    out = items_.front();
+    items_.pop_front();
+    return true;
+  }
+
+  // Blocking variants (synchronous queue semantics, §2.3).
+  void Put(const T& item) {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return items_.size() < capacity_; });
+    items_.push_back(item);
+    cv_.notify_all();
+  }
+
+  T Get() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return !items_.empty(); });
+    T v = items_.front();
+    items_.pop_front();
+    cv_.notify_all();
+    return v;
+  }
+
+  bool Empty() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.empty();
+  }
+
+ private:
+  size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<T> items_;
+};
+
+}  // namespace synthesis
+
+#endif  // SRC_SYNC_LOCKED_QUEUE_H_

@@ -1,0 +1,101 @@
+// Multiple-producer multiple-consumer optimistic queue (§3.2, §5.2).
+//
+// The paper builds MP-MC by attaching synchronization to both ends. Here both
+// ends use optimistic claim-then-fill: each cell carries a sequence number
+// that tells producers when the cell is free and consumers when it holds data
+// (the bounded-queue construction later popularized by Vyukov, which is the
+// natural generalization of the paper's per-slot valid flags to two
+// contending sides). No operation ever holds a lock.
+#ifndef SRC_SYNC_MPMC_QUEUE_H_
+#define SRC_SYNC_MPMC_QUEUE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace synthesis {
+
+template <typename T>
+class MpmcQueue {
+ public:
+  // Sequence-number queues cannot distinguish "full" from "free" with a
+  // single cell, so the effective capacity is at least 2.
+  explicit MpmcQueue(size_t capacity) : cells_(capacity < 2 ? 2 : capacity) {
+    for (size_t i = 0; i < cells_.size(); i++) {
+      cells_[i].seq.store(i, std::memory_order_relaxed);
+    }
+  }
+
+  size_t capacity() const { return cells_.size(); }
+
+  bool TryPut(const T& item) {
+    uint64_t pos = enqueue_pos_.load(std::memory_order_relaxed);
+    for (;;) {
+      Cell& c = cells_[pos % cells_.size()];
+      uint64_t seq = c.seq.load(std::memory_order_acquire);
+      if (seq == pos) {
+        if (enqueue_pos_.compare_exchange_weak(pos, pos + 1,
+                                               std::memory_order_relaxed)) {
+          c.value = item;
+          c.seq.store(pos + 1, std::memory_order_release);
+          return true;
+        }
+        put_retries_.fetch_add(1, std::memory_order_relaxed);
+      } else if (seq < pos) {
+        return false;  // full
+      } else {
+        pos = enqueue_pos_.load(std::memory_order_relaxed);
+      }
+    }
+  }
+
+  bool TryGet(T& out) {
+    uint64_t pos = dequeue_pos_.load(std::memory_order_relaxed);
+    for (;;) {
+      Cell& c = cells_[pos % cells_.size()];
+      uint64_t seq = c.seq.load(std::memory_order_acquire);
+      if (seq == pos + 1) {
+        if (dequeue_pos_.compare_exchange_weak(pos, pos + 1,
+                                               std::memory_order_relaxed)) {
+          out = c.value;
+          c.seq.store(pos + cells_.size(), std::memory_order_release);
+          return true;
+        }
+        get_retries_.fetch_add(1, std::memory_order_relaxed);
+      } else if (seq < pos + 1) {
+        return false;  // empty
+      } else {
+        pos = dequeue_pos_.load(std::memory_order_relaxed);
+      }
+    }
+  }
+
+  bool Empty() const {
+    return dequeue_pos_.load(std::memory_order_acquire) ==
+           enqueue_pos_.load(std::memory_order_acquire);
+  }
+
+  uint64_t put_retries() const {
+    return put_retries_.load(std::memory_order_relaxed);
+  }
+  uint64_t get_retries() const {
+    return get_retries_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Cell {
+    std::atomic<uint64_t> seq{0};
+    T value{};
+  };
+
+  std::vector<Cell> cells_;
+  alignas(64) std::atomic<uint64_t> enqueue_pos_{0};
+  alignas(64) std::atomic<uint64_t> dequeue_pos_{0};
+  std::atomic<uint64_t> put_retries_{0};
+  std::atomic<uint64_t> get_retries_{0};
+};
+
+}  // namespace synthesis
+
+#endif  // SRC_SYNC_MPMC_QUEUE_H_

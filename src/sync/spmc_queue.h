@@ -1,0 +1,90 @@
+// Single-producer multiple-consumer optimistic queue (§3.2).
+//
+// The mirror image of the MP-SC queue: consumers stake a claim by advancing
+// Q_tail with compare-and-swap, then copy their item out. The per-slot valid
+// flag protects the copy-out: the producer will not reuse a slot until the
+// consumer that claimed it has cleared the flag.
+#ifndef SRC_SYNC_SPMC_QUEUE_H_
+#define SRC_SYNC_SPMC_QUEUE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace synthesis {
+
+template <typename T>
+class SpmcQueue {
+ public:
+  explicit SpmcQueue(size_t capacity) : slots_(capacity + 1) {}
+
+  size_t capacity() const { return slots_.size() - 1; }
+
+  // Single producer only.
+  bool TryPut(const T& item) {
+    size_t h = head_;
+    size_t n = Next(h);
+    if (n == tail_.load(std::memory_order_acquire)) {
+      return false;  // full
+    }
+    Slot& s = slots_[h];
+    if (s.valid.load(std::memory_order_acquire)) {
+      return false;  // a consumer is still copying the previous occupant out
+    }
+    s.value = item;
+    s.valid.store(true, std::memory_order_release);
+    head_ = n;
+    head_shadow_.store(n, std::memory_order_release);
+    return true;
+  }
+
+  // Safe from many consumer threads.
+  bool TryGet(T& out) {
+    size_t t = tail_.load(std::memory_order_relaxed);
+    for (;;) {
+      if (t == head_shadow_.load(std::memory_order_acquire)) {
+        return false;  // empty
+      }
+      if (!slots_[t].valid.load(std::memory_order_acquire)) {
+        return false;  // published index but value not visible yet; rare
+      }
+      if (tail_.compare_exchange_weak(t, Next(t), std::memory_order_acq_rel,
+                                      std::memory_order_relaxed)) {
+        break;  // slot t is exclusively ours
+      }
+      get_retries_.fetch_add(1, std::memory_order_relaxed);
+    }
+    Slot& s = slots_[t];
+    out = s.value;
+    s.valid.store(false, std::memory_order_release);
+    return true;
+  }
+
+  bool Empty() const {
+    return tail_.load(std::memory_order_acquire) ==
+           head_shadow_.load(std::memory_order_acquire);
+  }
+
+  uint64_t get_retries() const {
+    return get_retries_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Slot {
+    T value{};
+    std::atomic<bool> valid{false};
+  };
+
+  size_t Next(size_t i) const { return i + 1 == slots_.size() ? 0 : i + 1; }
+
+  std::vector<Slot> slots_;
+  alignas(64) size_t head_ = 0;                     // producer-private
+  alignas(64) std::atomic<size_t> head_shadow_{0};  // consumers read this
+  alignas(64) std::atomic<size_t> tail_{0};
+  std::atomic<uint64_t> get_retries_{0};
+};
+
+}  // namespace synthesis
+
+#endif  // SRC_SYNC_SPMC_QUEUE_H_

@@ -1,0 +1,70 @@
+// Single-producer single-consumer optimistic queue (Figure 1 of the paper).
+//
+// The producer and the consumer operate on different parts of the buffer, so
+// no locking is needed: Q_head is written only by the producer and Q_tail only
+// by the consumer (a variant of Code Isolation). The producer publishes the
+// slot before advancing head, so the consumer never observes a half-written
+// item; synchronization is required only when the buffer becomes full or
+// empty, and there it degrades to "try again" rather than blocking.
+#ifndef SRC_SYNC_SPSC_QUEUE_H_
+#define SRC_SYNC_SPSC_QUEUE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <vector>
+
+namespace synthesis {
+
+template <typename T>
+class SpscQueue {
+ public:
+  // `capacity` is the number of items the queue can hold. One extra slot is
+  // allocated internally to distinguish full from empty.
+  explicit SpscQueue(size_t capacity) : buf_(capacity + 1) {}
+
+  size_t capacity() const { return buf_.size() - 1; }
+
+  bool TryPut(const T& item) {
+    size_t h = head_.load(std::memory_order_relaxed);
+    size_t n = Next(h);
+    if (n == tail_.load(std::memory_order_acquire)) {
+      return false;  // full
+    }
+    buf_[h] = item;
+    head_.store(n, std::memory_order_release);  // publish last (§3.2)
+    return true;
+  }
+
+  bool TryGet(T& out) {
+    size_t t = tail_.load(std::memory_order_relaxed);
+    if (t == head_.load(std::memory_order_acquire)) {
+      return false;  // empty
+    }
+    out = buf_[t];
+    tail_.store(Next(t), std::memory_order_release);
+    return true;
+  }
+
+  bool Empty() const {
+    return tail_.load(std::memory_order_acquire) ==
+           head_.load(std::memory_order_acquire);
+  }
+
+  // Approximate number of items (exact when quiescent).
+  size_t Size() const {
+    size_t h = head_.load(std::memory_order_acquire);
+    size_t t = tail_.load(std::memory_order_acquire);
+    return h >= t ? h - t : h + buf_.size() - t;
+  }
+
+ private:
+  size_t Next(size_t i) const { return i + 1 == buf_.size() ? 0 : i + 1; }
+
+  std::vector<T> buf_;
+  alignas(64) std::atomic<size_t> head_{0};  // written by the producer only
+  alignas(64) std::atomic<size_t> tail_{0};  // written by the consumer only
+};
+
+}  // namespace synthesis
+
+#endif  // SRC_SYNC_SPSC_QUEUE_H_

@@ -1,0 +1,116 @@
+#include "src/unix/bench_programs.h"
+
+#include "src/machine/assembler.h"
+#include "src/machine/code_store.h"
+#include "src/machine/executor.h"
+#include "src/machine/machine.h"
+
+namespace synthesis {
+
+namespace {
+
+BenchResult Finish(const std::string& name, uint64_t iters, double total_us, bool ok) {
+  BenchResult r;
+  r.name = name;
+  r.iterations = iters;
+  r.total_us = total_us;
+  r.per_iteration_us = iters > 0 ? total_us / static_cast<double>(iters) : 0;
+  r.ok = ok;
+  return r;
+}
+
+}  // namespace
+
+BenchResult RunComputeProgram(PosixLikeApi& sys, uint32_t iterations,
+                              uint32_t array_words) {
+  Machine& m = sys.machine();
+  Addr arr = sys.scratch(array_words * 4);
+  // The chaotic walk runs as real machine code on the system under test, so
+  // identical hardware models produce identical times (the paper's
+  // calibration showed ~5% — the SUN actually ran at 16.7 MHz, not 16).
+  CodeStore store;
+  Asm a("chaos");
+  a.MoveI(kD1, 12345);
+  a.MoveI(kD2, static_cast<int32_t>(iterations));
+  a.Label("top");
+  a.MulI(kD1, 1103515245);
+  a.AddI(kD1, 12345);
+  a.Move(kD3, kD1);
+  a.LsrI(kD3, 8);
+  a.AndI(kD3, static_cast<int32_t>(array_words - 1));
+  a.LoadIdx32(kD4, kD3, static_cast<int32_t>(arr));  // non-contiguous touch
+  a.MulI(kD4, 3);
+  a.AddI(kD4, 1);
+  a.StoreIdx32(kD4, kD3, static_cast<int32_t>(arr));
+  a.SubI(kD2, 1);
+  a.Tst(kD2);
+  a.Bne("top");
+  a.Rts();
+  BlockId blk = store.Install(a.BuildBlock());
+  Executor exec(m, store);
+  Stopwatch sw(m);
+  RunResult rr = exec.Call(blk, /*max_steps=*/uint64_t{40} * iterations + 1000);
+  return Finish("compute", iterations, sw.micros(),
+                rr.outcome == RunOutcome::kReturned);
+}
+
+BenchResult RunPipeProgram(PosixLikeApi& sys, uint32_t iterations, uint32_t chunk) {
+  Addr buf = sys.scratch(2 * chunk);
+  int fds[2];
+  if (sys.Pipe(fds) != 0) {
+    return Finish("pipe", 0, 0, false);
+  }
+  bool ok = true;
+  Stopwatch sw(sys.machine());
+  for (uint32_t i = 0; i < iterations; i++) {
+    ok &= sys.Write(fds[1], buf, chunk) == static_cast<int32_t>(chunk);
+    ok &= sys.Read(fds[0], buf + chunk, chunk) == static_cast<int32_t>(chunk);
+  }
+  double total = sw.micros();
+  sys.Close(fds[0]);
+  sys.Close(fds[1]);
+  return Finish("pipe" + std::to_string(chunk), iterations, total, ok);
+}
+
+BenchResult RunFileProgram(PosixLikeApi& sys, uint32_t rounds, uint32_t chunk,
+                           uint32_t chunks_per_round) {
+  const std::string path = "/bench/data";
+  if (!sys.Mkfile(path, chunk * chunks_per_round)) {
+    return Finish("file", 0, 0, false);
+  }
+  Addr buf = sys.scratch(chunk);
+  int fd = sys.Open(path);
+  if (fd < 0) {
+    return Finish("file", 0, 0, false);
+  }
+  bool ok = true;
+  Stopwatch sw(sys.machine());
+  for (uint32_t r = 0; r < rounds; r++) {
+    sys.Lseek(fd, 0);
+    for (uint32_t c = 0; c < chunks_per_round; c++) {
+      ok &= sys.Write(fd, buf, chunk) == static_cast<int32_t>(chunk);
+    }
+    sys.Lseek(fd, 0);
+    for (uint32_t c = 0; c < chunks_per_round; c++) {
+      ok &= sys.Read(fd, buf, chunk) == static_cast<int32_t>(chunk);
+    }
+  }
+  double total = sw.micros();
+  sys.Close(fd);
+  // One iteration = one chunk written plus one chunk read.
+  return Finish("file", uint64_t{rounds} * chunks_per_round, total, ok);
+}
+
+BenchResult RunOpenCloseProgram(PosixLikeApi& sys, uint32_t iterations,
+                                const std::string& path) {
+  bool ok = true;
+  Stopwatch sw(sys.machine());
+  for (uint32_t i = 0; i < iterations; i++) {
+    int fd = sys.Open(path);
+    ok &= fd >= 0;
+    ok &= sys.Close(fd) == 0;
+  }
+  return Finish("open_close:" + path, iterations, sw.micros(), ok);
+}
+
+}  // namespace synthesis

@@ -1,0 +1,50 @@
+// The measurement programs of Table 1 / Appendix A, written once against the
+// PosixLikeApi so the identical "binary" runs on the Synthesis emulator and
+// on the SUNOS baseline (the paper's same-executable methodology).
+//
+//   1  Compute          — chaotic-sequence function over a large array,
+//                         executed as a VM program (validates that the two
+//                         "machines" are cycle-identical for pure CPU work)
+//   2  R/W pipes 1 B    — write then read 1 byte through a pipe, N times
+//   3  R/W pipes 1 KB
+//   4  R/W pipes 4 KB
+//   5  R/W file 1 KB    — write then read back a cached file in 1 KB chunks
+//   6  open null/close  — open/close /dev/null, N times
+//   7  open tty/close   — open/close /dev/tty, N times
+#ifndef SRC_UNIX_BENCH_PROGRAMS_H_
+#define SRC_UNIX_BENCH_PROGRAMS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/unix/posix_api.h"
+
+namespace synthesis {
+
+struct BenchResult {
+  std::string name;
+  uint64_t iterations = 0;
+  double total_us = 0;
+  double per_iteration_us = 0;
+  bool ok = true;
+};
+
+// Program 1: the compute calibration. `array_words` elements are touched at
+// non-contiguous points (an LCG walk) so this is not an in-cache measurement.
+BenchResult RunComputeProgram(PosixLikeApi& sys, uint32_t iterations,
+                              uint32_t array_words = 16 * 1024);
+
+// Programs 2-4: write `chunk` bytes to a pipe and read them back, N times.
+BenchResult RunPipeProgram(PosixLikeApi& sys, uint32_t iterations, uint32_t chunk);
+
+// Program 5: write a file in 1 KB chunks, seek to 0, read it back, N rounds.
+BenchResult RunFileProgram(PosixLikeApi& sys, uint32_t rounds, uint32_t chunk = 1024,
+                           uint32_t chunks_per_round = 16);
+
+// Programs 6-7: open/close a device path N times.
+BenchResult RunOpenCloseProgram(PosixLikeApi& sys, uint32_t iterations,
+                                const std::string& path);
+
+}  // namespace synthesis
+
+#endif  // SRC_UNIX_BENCH_PROGRAMS_H_

@@ -1,0 +1,55 @@
+// The UNIX emulator (§6.1): services SUNOS-style kernel calls on top of the
+// Synthesis kernel. In the simplest case a UNIX call is translated into the
+// equivalent Synthesis call after paying the 2 µs emulation-trap overhead
+// (Table 2); the fd table and lseek are emulator-level state UNIX requires
+// but Synthesis channels do not.
+#ifndef SRC_UNIX_EMULATOR_H_
+#define SRC_UNIX_EMULATOR_H_
+
+#include <string>
+#include <unordered_map>
+
+#include "src/fs/file_system.h"
+#include "src/io/channel.h"
+#include "src/io/io_system.h"
+#include "src/unix/posix_api.h"
+
+namespace synthesis {
+
+class UnixEmulator : public PosixLikeApi {
+ public:
+  // `fs` may be null when only devices/pipes are used.
+  UnixEmulator(Kernel& kernel, IoSystem& io, FileSystem* fs);
+
+  int Open(const std::string& path) override;
+  int Close(int fd) override;
+  int32_t Read(int fd, Addr buf, uint32_t n) override;
+  int32_t Write(int fd, Addr buf, uint32_t n) override;
+  int Pipe(int fds_out[2]) override;
+  int32_t Lseek(int fd, int32_t offset) override;
+  bool Mkfile(const std::string& path, uint32_t capacity) override;
+
+  Machine& machine() override;
+  Addr scratch(uint32_t bytes) override;
+
+  IoSystem& io() { return io_; }
+  Kernel& kernel() { return kernel_; }
+
+  // Emulation-trap cycle count (exposed for Table 2's overhead row).
+  static constexpr uint32_t kEmulationTrapCycles = 32;  // = 2 us at 16 MHz
+
+ private:
+  void ChargeTrap();
+
+  Kernel& kernel_;
+  IoSystem& io_;
+  FileSystem* fs_;
+  std::unordered_map<int, ChannelId> fds_;
+  int next_fd_ = 3;  // 0-2 are reserved, as tradition demands
+  Addr scratch_ = 0;
+  uint32_t scratch_size_ = 0;
+};
+
+}  // namespace synthesis
+
+#endif  // SRC_UNIX_EMULATOR_H_

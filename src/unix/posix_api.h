@@ -1,0 +1,39 @@
+// The UNIX-call surface shared by the Synthesis emulator and the SUNOS
+// baseline model. Table 1's methodology is "run the same executable on both
+// systems"; our equivalent is benchmark programs written once against this
+// interface and executed against either implementation.
+#ifndef SRC_UNIX_POSIX_API_H_
+#define SRC_UNIX_POSIX_API_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/machine/memory.h"
+
+namespace synthesis {
+
+class Machine;
+
+class PosixLikeApi {
+ public:
+  virtual ~PosixLikeApi() = default;
+
+  virtual int Open(const std::string& path) = 0;        // fd >= 0 or -1
+  virtual int Close(int fd) = 0;                        // 0 or -1
+  virtual int32_t Read(int fd, Addr buf, uint32_t n) = 0;
+  virtual int32_t Write(int fd, Addr buf, uint32_t n) = 0;
+  virtual int Pipe(int fds_out[2]) = 0;                 // 0 or -1
+  virtual int32_t Lseek(int fd, int32_t offset) = 0;    // SEEK_SET only
+
+  // Creates a file in the system's namespace (mkfs-level setup, uncharged).
+  virtual bool Mkfile(const std::string& path, uint32_t capacity) = 0;
+
+  // The machine whose virtual clock pays for the calls.
+  virtual Machine& machine() = 0;
+  // A scratch buffer in that machine's memory for program use.
+  virtual Addr scratch(uint32_t bytes) = 0;
+};
+
+}  // namespace synthesis
+
+#endif  // SRC_UNIX_POSIX_API_H_

@@ -1,0 +1,170 @@
+// Tests for the fast-fit kernel allocator, the interrupt controller, and
+// cost-model invariants.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/kernel/allocator.h"
+#include "src/kernel/interrupts.h"
+#include "src/machine/cost_model.h"
+#include "src/machine/machine.h"
+
+namespace synthesis {
+namespace {
+
+class AllocatorTest : public ::testing::Test {
+ protected:
+  Machine m_{1 << 20, MachineConfig::SunEmulation()};
+  KernelAllocator alloc_{m_, 0x1000, 1 << 19};
+};
+
+TEST_F(AllocatorTest, AllocationsAreDistinctAndAligned) {
+  Addr a = alloc_.Allocate(100);
+  Addr b = alloc_.Allocate(100);
+  EXPECT_NE(a, 0u);
+  EXPECT_NE(b, 0u);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(a % 8, 0u);
+  EXPECT_EQ(b % 8, 0u);
+  // Rounded to the next power of two: no overlap within 128 bytes.
+  EXPECT_GE(b > a ? b - a : a - b, 128u);
+}
+
+TEST_F(AllocatorTest, FreeEnablesReuse) {
+  Addr a = alloc_.Allocate(64);
+  alloc_.Free(a);
+  Addr b = alloc_.Allocate(64);
+  EXPECT_EQ(a, b) << "fast-fit should reuse the freed block";
+}
+
+TEST_F(AllocatorTest, SplitsLargerBlocks) {
+  Addr big = alloc_.Allocate(1024);
+  alloc_.Free(big);
+  // A small allocation can carve the freed 1KB block.
+  Addr small = alloc_.Allocate(16);
+  EXPECT_EQ(small, big);
+  Addr rest = alloc_.Allocate(16);
+  EXPECT_NE(rest, small);
+}
+
+TEST_F(AllocatorTest, AccountingTracksLiveBytes) {
+  uint32_t before = alloc_.bytes_in_use();
+  Addr a = alloc_.Allocate(100);  // rounds to 128
+  EXPECT_EQ(alloc_.bytes_in_use(), before + 128);
+  alloc_.Free(a);
+  EXPECT_EQ(alloc_.bytes_in_use(), before);
+}
+
+TEST_F(AllocatorTest, DoubleFreeIsIgnored) {
+  Addr a = alloc_.Allocate(32);
+  alloc_.Free(a);
+  alloc_.Free(a);  // must not corrupt accounting
+  Addr b = alloc_.Allocate(32);
+  Addr c = alloc_.Allocate(32);
+  EXPECT_NE(b, c) << "double free must not hand the block out twice";
+}
+
+TEST_F(AllocatorTest, ExhaustionReturnsZero) {
+  Machine m(64 * 1024, MachineConfig::SunEmulation());
+  KernelAllocator tiny(m, 0x1000, 8192);
+  std::vector<Addr> got;
+  for (int i = 0; i < 100; i++) {
+    Addr a = tiny.Allocate(1024);
+    if (a == 0) {
+      break;
+    }
+    got.push_back(a);
+  }
+  EXPECT_LE(got.size(), 8u);
+  EXPECT_EQ(tiny.Allocate(1024), 0u);
+  // Everything freed -> allocation works again.
+  for (Addr a : got) {
+    tiny.Free(a);
+  }
+  EXPECT_NE(tiny.Allocate(1024), 0u);
+}
+
+TEST_F(AllocatorTest, ChargesTheMachine) {
+  Stopwatch sw(m_);
+  alloc_.Allocate(64);
+  EXPECT_GT(sw.cycles(), 0u);
+}
+
+TEST(InterruptControllerTest, DeliversInTimeOrder) {
+  InterruptController intc;
+  intc.Raise(300, Vector::kTty, 3);
+  intc.Raise(100, Vector::kAd, 1);
+  intc.Raise(200, Vector::kDisk, 2);
+  EXPECT_EQ(intc.NextTime(), 100);
+  auto a = intc.PopDue(1000);
+  auto b = intc.PopDue(1000);
+  auto c = intc.PopDue(1000);
+  ASSERT_TRUE(a && b && c);
+  EXPECT_EQ(a->payload, 1u);
+  EXPECT_EQ(b->payload, 2u);
+  EXPECT_EQ(c->payload, 3u);
+  EXPECT_FALSE(intc.PopDue(1000));
+}
+
+TEST(InterruptControllerTest, SimultaneousInterruptsKeepRaiseOrder) {
+  InterruptController intc;
+  for (uint32_t i = 0; i < 10; i++) {
+    intc.Raise(500, Vector::kAd, i);
+  }
+  for (uint32_t i = 0; i < 10; i++) {
+    auto irq = intc.PopDue(500);
+    ASSERT_TRUE(irq);
+    EXPECT_EQ(irq->payload, i);
+  }
+}
+
+TEST(InterruptControllerTest, NotDueStaysQueued) {
+  InterruptController intc;
+  intc.Raise(1000, Vector::kTty, 0);
+  EXPECT_FALSE(intc.PopDue(999.9));
+  EXPECT_TRUE(intc.PopDue(1000.0));
+}
+
+TEST(InterruptControllerTest, CancelAllRemovesOneVector) {
+  InterruptController intc;
+  intc.Raise(100, Vector::kAlarm, 0);
+  intc.Raise(200, Vector::kTty, 0);
+  intc.Raise(300, Vector::kAlarm, 0);
+  intc.CancelAll(Vector::kAlarm);
+  EXPECT_EQ(intc.Count(), 1u);
+  EXPECT_EQ(intc.PopDue(1000)->vector, Vector::kTty);
+}
+
+TEST(CostModelTest, WaitStatesMakeMemorySlower) {
+  CostModel fast(MachineConfig::NativeQuamachine());  // 0 wait states
+  CostModel slow(MachineConfig::SunEmulation());      // 1 wait state
+  Instr load{Opcode::kLoad32, 0, 8, 0};
+  Instr add{Opcode::kAdd, 0, 1, 0};
+  EXPECT_GT(slow.Cycles(load, false), fast.Cycles(load, false));
+  EXPECT_EQ(slow.Cycles(add, false), fast.Cycles(add, false))
+      << "register ops do not touch the bus";
+}
+
+TEST(CostModelTest, TakenBranchesCostMore) {
+  CostModel cm(MachineConfig::SunEmulation());
+  Instr beq{Opcode::kBeq, 0, 0, 5};
+  EXPECT_GT(cm.Cycles(beq, true), cm.Cycles(beq, false));
+}
+
+TEST(CostModelTest, MovemScalesWithRegisterCount) {
+  CostModel cm(MachineConfig::SunEmulation());
+  Instr m4{Opcode::kMovemSave, 14, 0, 4};
+  Instr m16{Opcode::kMovemSave, 14, 0, 16};
+  EXPECT_GT(cm.Cycles(m16, false), 3 * cm.Cycles(m4, false));
+  EXPECT_EQ(CostModel::MemRefs(m16), 16u);
+}
+
+TEST(CostModelTest, MicrosecondsScaleWithClock) {
+  CostModel sun(MachineConfig::SunEmulation());
+  CostModel native(MachineConfig::NativeQuamachine());
+  EXPECT_DOUBLE_EQ(sun.CyclesToMicros(160), 10.0);
+  EXPECT_DOUBLE_EQ(native.CyclesToMicros(160), 3.2);
+}
+
+}  // namespace
+}  // namespace synthesis

@@ -1,0 +1,199 @@
+// Device server tests: the tty pipeline (raw server, echo, cooked filter,
+// /dev/tty) and the A/D buffered queue (rotation, publication, overrun).
+#include <gtest/gtest.h>
+
+#include <array>
+#include <memory>
+#include <string>
+
+#include "src/io/ad_device.h"
+#include "src/io/io_system.h"
+#include "src/io/tty.h"
+#include "src/kernel/kernel.h"
+
+namespace synthesis {
+namespace {
+
+class TtyTest : public ::testing::Test {
+ protected:
+  TtyTest() : io_(k_, nullptr), tty_(k_, io_) {}
+
+  std::string ReadCooked() {
+    std::string out;
+    uint8_t c;
+    while (io_.RingGetByte(tty_.cooked_ring(), &c)) {
+      out.push_back(static_cast<char>(c));
+    }
+    return out;
+  }
+
+  Kernel k_;
+  IoSystem io_;
+  TtyDevice tty_;
+};
+
+TEST_F(TtyTest, CharactersFlowThroughRawToCooked) {
+  tty_.TypeString("hi\n", 100, 50);
+  k_.Run();
+  EXPECT_EQ(ReadCooked(), "hi\n");
+  EXPECT_EQ(tty_.chars_received(), 3u);
+}
+
+TEST_F(TtyTest, EraseRemovesPreviousCharacter) {
+  tty_.TypeString("catx\x08\n", 100, 50);  // type "catx", erase the x
+  k_.Run();
+  EXPECT_EQ(ReadCooked(), "cat\n");
+}
+
+TEST_F(TtyTest, EraseOnEmptyLineIsHarmless) {
+  tty_.TypeString("\x08\x08ok\n", 100, 50);
+  k_.Run();
+  EXPECT_EQ(ReadCooked(), "ok\n");
+}
+
+TEST_F(TtyTest, KillDiscardsTheLine) {
+  tty_.TypeString("garbage\x15good\n", 100, 50);  // ^U kills "garbage"
+  k_.Run();
+  EXPECT_EQ(ReadCooked(), "good\n");
+}
+
+TEST_F(TtyTest, EverythingIsEchoedRawIncludingControls) {
+  tty_.TypeString("ab\x08q\n", 100, 50);
+  k_.Run();
+  std::string screen = tty_.DrainScreen();
+  EXPECT_EQ(screen.size(), 5u) << "echo happens at interrupt time, pre-cook";
+}
+
+TEST_F(TtyTest, PartialLineStaysBuffered) {
+  tty_.TypeString("no newline yet", 100, 50);
+  k_.Run();
+  EXPECT_EQ(ReadCooked(), "") << "cooked tty releases complete lines only";
+}
+
+TEST_F(TtyTest, DevTtyChannelReadsCookedData) {
+  ChannelId ch = io_.Open("/dev/tty");
+  ASSERT_NE(ch, kBadChannel);
+  tty_.TypeString("line\n", 100, 50);
+  k_.Run();
+  Addr buf = k_.allocator().Allocate(64);
+  int32_t n = io_.Read(ch, buf, 64);
+  ASSERT_EQ(n, 5);
+  char got[5];
+  k_.machine().memory().ReadBytes(buf, got, 5);
+  EXPECT_EQ(std::string(got, 5), "line\n");
+  io_.Close(ch);
+}
+
+TEST_F(TtyTest, DevTtyWriteGoesToScreen) {
+  ChannelId ch = io_.Open("/dev/tty");
+  Addr buf = k_.allocator().Allocate(16);
+  k_.machine().memory().WriteBytes(buf, "out!", 4);
+  EXPECT_EQ(io_.Write(ch, buf, 4), 4);
+  EXPECT_EQ(tty_.DrainScreen(), "out!");
+  io_.Close(ch);
+}
+
+class AdTest : public ::testing::Test {
+ protected:
+  Kernel k_;
+};
+
+TEST_F(AdTest, SamplesArriveGroupedInElements) {
+  AdDevice ad(k_, 44'100, 16);
+  ad.CaptureSamples(24, 100);
+  k_.Run();
+  std::array<uint32_t, 8> e;
+  ASSERT_TRUE(ad.GetElement(&e));
+  for (uint32_t i = 0; i < 8; i++) {
+    EXPECT_EQ(e[i], i);
+  }
+  ASSERT_TRUE(ad.GetElement(&e));
+  EXPECT_EQ(e[0], 8u);
+  ASSERT_TRUE(ad.GetElement(&e));
+  EXPECT_EQ(e[7], 23u);
+  EXPECT_FALSE(ad.GetElement(&e)) << "only 3 complete elements";
+  EXPECT_EQ(ad.elements_published(), 3u);
+}
+
+TEST_F(AdTest, HandlersRotateThroughTheVectorCell) {
+  AdDevice ad(k_, 44'100, 16);
+  // Drive the entry block directly: each call must land in the next slot.
+  for (uint32_t i = 0; i < 8; i++) {
+    k_.machine().set_reg(kD1, 100 + i);
+    k_.kexec().Call(ad.entry_block());
+  }
+  std::array<uint32_t, 8> e;
+  ASSERT_TRUE(ad.GetElement(&e));
+  for (uint32_t i = 0; i < 8; i++) {
+    EXPECT_EQ(e[i], 100 + i);
+  }
+}
+
+TEST_F(AdTest, OverrunDropsOldestElement) {
+  AdDevice ad(k_, 44'100, /*elements=*/4);
+  // 4-element ring holds 3 published elements; the 4th publish drops one.
+  ad.CaptureSamples(32, 100);  // 4 elements worth
+  k_.Run();
+  std::array<uint32_t, 8> e;
+  int got = 0;
+  uint32_t first = 0;
+  while (ad.GetElement(&e)) {
+    if (got == 0) {
+      first = e[0];
+    }
+    got++;
+  }
+  EXPECT_EQ(got, 3);
+  EXPECT_EQ(first, 8u) << "the oldest element (samples 0-7) was dropped";
+}
+
+TEST_F(AdTest, ConsumerWakeupOnPublish) {
+  AdDevice ad(k_, 44'100, 16);
+  class Consumer : public UserProgram {
+   public:
+    Consumer(AdDevice& ad, int* elements) : ad_(ad), elements_(elements) {}
+    StepStatus Step(ThreadEnv& env) override {
+      std::array<uint32_t, 8> e;
+      bool any = false;
+      while (ad_.GetElement(&e)) {
+        (*elements_)++;
+        any = true;
+      }
+      if (*elements_ >= 2) {
+        return StepStatus::kDone;
+      }
+      if (!any) {
+        env.kernel.BlockCurrentOn(ad_.consumer_wait());
+        return StepStatus::kBlocked;
+      }
+      return StepStatus::kYield;
+    }
+
+   private:
+    AdDevice& ad_;
+    int* elements_;
+  };
+  int elements = 0;
+  k_.CreateThread(std::make_unique<Consumer>(ad, &elements));
+  ad.CaptureSamples(16, 100);
+  k_.Run();
+  EXPECT_EQ(elements, 2);
+}
+
+TEST_F(AdTest, RealTimeBudgetHolds) {
+  // 44,100 interrupts/second must fit in the CPU (§5.4): the per-sample cost
+  // times the rate must be well under 100%.
+  AdDevice ad(k_);
+  Stopwatch sw(k_.machine());
+  constexpr int kN = 64;
+  for (int i = 0; i < kN; i++) {
+    k_.machine().set_reg(kD1, static_cast<uint32_t>(i));
+    k_.kexec().Call(ad.entry_block());
+  }
+  double per_sample_us = sw.micros() / kN;
+  double cpu_share = per_sample_us * 44'100 / 1e6;
+  EXPECT_LT(cpu_share, 0.35) << per_sample_us << " us/sample is too slow";
+}
+
+}  // namespace
+}  // namespace synthesis

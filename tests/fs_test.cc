@@ -1,0 +1,200 @@
+// Tests for the file-system substrate: hashed-backwards name table, the disk
+// latency model and shortest-seek scheduler, and the whole-extent buffer
+// cache.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/fs/disk.h"
+#include "src/fs/file_system.h"
+#include "src/fs/name_table.h"
+#include "src/kernel/kernel.h"
+
+namespace synthesis {
+namespace {
+
+std::span<const uint8_t> Bytes(const std::string& s) {
+  return {reinterpret_cast<const uint8_t*>(s.data()), s.size()};
+}
+
+TEST(NameTableTest, InsertLookupRemove) {
+  Kernel k;
+  NameTable t(k.machine());
+  EXPECT_TRUE(t.Insert("/dev/null", 1));
+  EXPECT_TRUE(t.Insert("/dev/tty", 2));
+  EXPECT_FALSE(t.Insert("/dev/null", 3)) << "duplicate names rejected";
+  uint32_t v = 0;
+  EXPECT_TRUE(t.Lookup("/dev/tty", &v));
+  EXPECT_EQ(v, 2u);
+  EXPECT_FALSE(t.Lookup("/dev/ttx", &v));
+  EXPECT_TRUE(t.Remove("/dev/tty"));
+  EXPECT_FALSE(t.Lookup("/dev/tty", &v));
+  EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(NameTableTest, BackwardsComparisonDiscriminatesSharedPrefixesFast) {
+  Kernel k;
+  NameTable t(k.machine(), /*buckets=*/1);  // force every name into one bucket
+  // Long shared prefix, distinct tails: backwards comparison should reject
+  // each non-match after ~1 character.
+  t.Insert("/usr/local/lib/libsynthesis_a", 1);
+  t.Insert("/usr/local/lib/libsynthesis_b", 2);
+  t.Insert("/usr/local/lib/libsynthesis_c", 3);
+  uint32_t v = 0;
+  ASSERT_TRUE(t.Lookup("/usr/local/lib/libsynthesis_c", &v));
+  EXPECT_EQ(v, 3u);
+  // Two rejects at ~1 compare each plus one full match.
+  EXPECT_LT(t.last_compares, 2 * 2 + 30u);
+}
+
+TEST(NameTableTest, LookupChargesMachineTime) {
+  Kernel k;
+  NameTable t(k.machine());
+  t.Insert("/a/rather/long/path/name", 1);
+  Stopwatch sw(k.machine());
+  uint32_t v;
+  t.Lookup("/a/rather/long/path/name", &v);
+  EXPECT_GT(sw.cycles(), 100u);
+}
+
+TEST(DiskTest, LatencyGrowsWithSeekDistance) {
+  Kernel k;
+  DiskDevice disk(k);
+  DiskRequest near;
+  near.sector = 0;
+  DiskRequest far;
+  far.sector = 10'000;
+  EXPECT_LT(disk.LatencyUs(near), disk.LatencyUs(far));
+}
+
+TEST(DiskTest, RequestCompletesViaInterruptAndDma) {
+  Kernel k;
+  DiskDevice disk(k);
+  DiskScheduler sched(disk);
+  // Put a pattern on the platter.
+  for (int i = 0; i < 512; i++) {
+    disk.backing()[512 + i] = static_cast<uint8_t>(i);
+  }
+  Addr buf = k.allocator().Allocate(512);
+  bool done = false;
+  DiskRequest r;
+  r.sector = 1;
+  r.count = 1;
+  r.mem = buf;
+  r.done = [&] { done = true; };
+  double t0 = k.NowUs();
+  sched.SubmitAndWait(k, std::move(r));
+  EXPECT_TRUE(done);
+  EXPECT_GT(k.NowUs(), t0 + 100) << "disk latency must advance virtual time";
+  EXPECT_EQ(k.machine().memory().Read8(buf + 7), 7);
+  EXPECT_EQ(disk.requests_completed(), 1u);
+}
+
+TEST(DiskTest, SchedulerPicksNearestRequest) {
+  Kernel k;
+  DiskDevice disk(k);
+  DiskScheduler sched(disk);
+  std::vector<int> order;
+  // Submit far then near while the device is busy with a dummy: first submit
+  // starts immediately, the remaining two are reordered by SSTF.
+  DiskRequest first;
+  first.sector = 0;
+  first.count = 1;
+  first.done = [&] { order.push_back(0); };
+  sched.Submit(std::move(first));
+
+  DiskRequest far;
+  far.sector = 40'000;
+  far.count = 1;
+  far.done = [&] { order.push_back(2); };
+  sched.Submit(std::move(far));
+
+  DiskRequest near;
+  near.sector = 100;
+  near.count = 1;
+  near.done = [&] { order.push_back(1); };
+  sched.Submit(std::move(near));
+
+  while (!k.interrupts().Empty()) {
+    k.machine().AdvanceToMicros(k.interrupts().NextTime());
+    while (auto irq = k.interrupts().PopDue(k.NowUs())) {
+      k.DispatchInterrupt(*irq);
+    }
+  }
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], 0);
+  EXPECT_EQ(order[1], 1) << "nearest request must be served before the far one";
+  EXPECT_EQ(order[2], 2);
+}
+
+class FileSystemTest : public ::testing::Test {
+ protected:
+  FileSystemTest() : disk_(k_), sched_(disk_), fs_(k_, disk_, sched_) {}
+
+  Kernel k_;
+  DiskDevice disk_;
+  DiskScheduler sched_;
+  FileSystem fs_;
+};
+
+TEST_F(FileSystemTest, CreateLookupEnsureRoundTrip) {
+  uint32_t id = fs_.CreateFile("/etc/motd", Bytes("hello synthesis\n"));
+  ASSERT_NE(id, 0u);
+  EXPECT_EQ(fs_.LookupId("/etc/motd"), id);
+  EXPECT_EQ(fs_.LookupId("/etc/nope"), 0u);
+
+  FileSystem::Extent ext = fs_.Ensure(id);
+  ASSERT_NE(ext.base, 0u);
+  EXPECT_EQ(k_.machine().memory().Read32(ext.size_addr), 16u);
+  char got[16];
+  k_.machine().memory().ReadBytes(ext.base, got, 16);
+  EXPECT_EQ(std::memcmp(got, "hello synthesis\n", 16), 0);
+}
+
+TEST_F(FileSystemTest, ColdOpenPaysDiskWarmOpenDoesNot) {
+  uint32_t id = fs_.CreateFile("/data/big", std::vector<uint8_t>(4096, 0xAB));
+  double t0 = k_.NowUs();
+  fs_.Ensure(id);
+  double cold = k_.NowUs() - t0;
+  EXPECT_EQ(fs_.cache_misses(), 1u);
+
+  t0 = k_.NowUs();
+  fs_.Ensure(id);
+  double warm = k_.NowUs() - t0;
+  EXPECT_EQ(fs_.cache_hits(), 1u);
+  EXPECT_GT(cold, 100 * warm) << "cold open must pay the disk pipeline";
+}
+
+TEST_F(FileSystemTest, FlushPersistsWritesAcrossEviction) {
+  uint32_t id = fs_.CreateFile("/data/file", Bytes("aaaa"), /*capacity=*/64);
+  FileSystem::Extent ext = fs_.Ensure(id);
+  k_.machine().memory().WriteBytes(ext.base, "zzzz", 4);
+  k_.machine().memory().Write32(ext.size_addr, 4);
+  fs_.Evict(id);  // flush + drop
+  FileSystem::Extent again = fs_.Ensure(id);
+  ASSERT_NE(again.base, 0u);
+  char got[4];
+  k_.machine().memory().ReadBytes(again.base, got, 4);
+  EXPECT_EQ(std::memcmp(got, "zzzz", 4), 0);
+  EXPECT_EQ(fs_.cache_misses(), 2u);
+}
+
+TEST_F(FileSystemTest, CapacityRoundsToSectors) {
+  uint32_t id = fs_.CreateFile("/data/tiny", Bytes("x"), 100);
+  FileSystem::Extent ext = fs_.Ensure(id);
+  EXPECT_EQ(ext.capacity % disk_.geometry().sector_bytes, 0u);
+  EXPECT_GE(ext.capacity, 100u);
+}
+
+TEST_F(FileSystemTest, SizeOfTracksLiveWrites) {
+  uint32_t id = fs_.CreateFile("/data/grow", Bytes("ab"), 64);
+  EXPECT_EQ(fs_.SizeOf(id), 2u);
+  FileSystem::Extent ext = fs_.Ensure(id);
+  k_.machine().memory().Write32(ext.size_addr, 10);
+  EXPECT_EQ(fs_.SizeOf(id), 10u);
+}
+
+}  // namespace
+}  // namespace synthesis

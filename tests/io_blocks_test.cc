@@ -1,0 +1,160 @@
+// Tests for the I/O building blocks (§2.3, §5.2): pumps, gauges, switches,
+// and the producer/consumer connection planner.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "src/io/gauge.h"
+#include "src/io/producer_consumer.h"
+#include "src/io/pump.h"
+#include "src/io/switchboard.h"
+#include "src/kernel/kernel.h"
+#include "src/machine/assembler.h"
+
+namespace synthesis {
+namespace {
+
+TEST(PumpTest, MovesDataBetweenPassiveEndpoints) {
+  // The xclock shape: a clock that can always be read, a display that always
+  // accepts. The pump animates both.
+  Kernel k;
+  uint32_t ticks = 0;
+  uint32_t displayed = 0;
+  PassiveSource clock = [&](Addr dst, uint32_t max) -> uint32_t {
+    k.machine().memory().Write32(dst, ++ticks);
+    return 4;
+  };
+  PassiveSink display = [&](Addr src, uint32_t n) {
+    displayed = k.machine().memory().Read32(src);
+  };
+  Pump pump(k, clock, display, /*chunk=*/4, /*interval_us=*/1000);
+  k.Run(/*max_slices=*/20);
+  EXPECT_GT(pump.transfers(), 3u);
+  EXPECT_EQ(displayed, ticks);
+  EXPECT_EQ(pump.bytes_moved(), pump.transfers() * 4);
+  pump.Stop();
+  k.Run(5);
+}
+
+TEST(PumpTest, StopTerminatesThePumpThread) {
+  Kernel k;
+  PassiveSource src = [](Addr, uint32_t) -> uint32_t { return 0; };
+  PassiveSink sink = [](Addr, uint32_t) {};
+  Pump pump(k, src, sink, 16, 100);
+  ThreadId tid = pump.thread();
+  EXPECT_TRUE(k.Alive(tid));
+  pump.Stop();
+  k.Run(10);
+  EXPECT_FALSE(k.Alive(tid));
+}
+
+TEST(GaugeTest, CountsEventsAndBytes) {
+  Gauge g;
+  g.Count(10);
+  g.Count(20);
+  g.Count();
+  EXPECT_EQ(g.events(), 3u);
+  EXPECT_EQ(g.bytes(), 30u);
+  g.Reset();
+  EXPECT_EQ(g.events(), 0u);
+}
+
+TEST(GaugeTest, FeedsTheScheduler) {
+  Kernel k;
+  class Idle : public UserProgram {
+    StepStatus Step(ThreadEnv&) override { return StepStatus::kYield; }
+  };
+  ThreadId t = k.CreateThread(std::make_unique<Idle>());
+  double base = k.scheduler().QuantumUsFor(t, k.NowUs());
+  Gauge g(k, t);
+  for (int i = 0; i < 100; i++) {
+    g.Count(8192);
+  }
+  EXPECT_GT(k.scheduler().QuantumUsFor(t, k.NowUs()), base)
+      << "gauge-reported flow must grow the thread's quantum (§4.4)";
+}
+
+TEST(SwitchboardTest, DispatchesBySelector) {
+  Kernel k;
+  Asm h1("h1");
+  h1.MoveI(kD1, 111).Rts();
+  Asm h2("h2");
+  h2.MoveI(kD1, 222).Rts();
+  Switchboard sw;
+  sw.AddCase(5, k.code().Install(h1.BuildBlock()));
+  sw.AddCase(9, k.code().Install(h2.BuildBlock()));
+  BlockId dispatch = sw.Synthesize(k, "switch");
+
+  k.machine().set_reg(kD0, 9);
+  k.kexec().Call(dispatch);
+  EXPECT_EQ(k.machine().reg(kD1), 222u);
+  k.machine().set_reg(kD0, 5);
+  k.kexec().Call(dispatch);
+  EXPECT_EQ(k.machine().reg(kD1), 111u);
+  // Unmatched selector returns the error marker.
+  k.machine().set_reg(kD0, 77);
+  k.kexec().Call(dispatch);
+  EXPECT_EQ(k.machine().reg(kD0), static_cast<uint32_t>(-2));
+}
+
+TEST(SwitchboardTest, KnownSelectorCollapsesTheSwitch) {
+  Kernel k;
+  Asm h1("h1");
+  h1.MoveI(kD1, 111).Rts();
+  Asm h2("h2");
+  h2.MoveI(kD1, 222).Rts();
+  Switchboard sw;
+  sw.AddCase(5, k.code().Install(h1.BuildBlock()));
+  sw.AddCase(9, k.code().Install(h2.BuildBlock()));
+
+  BlockId general = sw.Synthesize(k, "sw_general");
+  BlockId collapsed = sw.Synthesize(k, "sw_known", /*known_selector=*/9);
+  EXPECT_LT(k.code().Get(collapsed).code.size(), k.code().Get(general).code.size());
+  k.kexec().Call(collapsed);
+  EXPECT_EQ(k.machine().reg(kD1), 222u);
+  // No compare chain survives.
+  for (const Instr& in : k.code().Get(collapsed).code) {
+    EXPECT_NE(in.op, Opcode::kCmpI);
+  }
+}
+
+// §5.2's connection taxonomy, row by row.
+using PlanCase = std::tuple<Activity, Cardinality, Activity, Cardinality, ConnectorKind>;
+
+class PlanConnectionSweep : public ::testing::TestWithParam<PlanCase> {};
+
+TEST_P(PlanConnectionSweep, PicksTheFrugalConnector) {
+  auto [pa, pc, ca, cc, want] = GetParam();
+  ConnectionPlan plan = PlanConnection({pa, pc}, {ca, cc});
+  EXPECT_EQ(plan.kind, want) << plan.rationale;
+  EXPECT_FALSE(plan.rationale.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Taxonomy, PlanConnectionSweep,
+    ::testing::Values(
+        // active-passive single-single: procedure call.
+        PlanCase{Activity::kActive, Cardinality::kSingle, Activity::kPassive,
+                 Cardinality::kSingle, ConnectorKind::kProcedureCall},
+        PlanCase{Activity::kPassive, Cardinality::kSingle, Activity::kActive,
+                 Cardinality::kSingle, ConnectorKind::kProcedureCall},
+        // multiple callers on an active-passive pair: monitor.
+        PlanCase{Activity::kActive, Cardinality::kMultiple, Activity::kPassive,
+                 Cardinality::kSingle, ConnectorKind::kMonitorCall},
+        PlanCase{Activity::kPassive, Cardinality::kSingle, Activity::kActive,
+                 Cardinality::kMultiple, ConnectorKind::kMonitorCall},
+        // active-active: queues, monitor attached to the multiple end(s).
+        PlanCase{Activity::kActive, Cardinality::kSingle, Activity::kActive,
+                 Cardinality::kSingle, ConnectorKind::kSpscQueue},
+        PlanCase{Activity::kActive, Cardinality::kMultiple, Activity::kActive,
+                 Cardinality::kSingle, ConnectorKind::kMpscQueue},
+        PlanCase{Activity::kActive, Cardinality::kSingle, Activity::kActive,
+                 Cardinality::kMultiple, ConnectorKind::kSpmcQueue},
+        PlanCase{Activity::kActive, Cardinality::kMultiple, Activity::kActive,
+                 Cardinality::kMultiple, ConnectorKind::kMpmcQueue},
+        // passive-passive: a pump.
+        PlanCase{Activity::kPassive, Cardinality::kSingle, Activity::kPassive,
+                 Cardinality::kSingle, ConnectorKind::kPump}));
+
+}  // namespace
+}  // namespace synthesis

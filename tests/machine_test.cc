@@ -1,0 +1,367 @@
+// Unit tests for the Quamachine simulator: assembler, executor semantics,
+// cost accounting, memory protection, and the execution trace.
+#include <gtest/gtest.h>
+
+#include "src/machine/assembler.h"
+#include "src/machine/code_store.h"
+#include "src/machine/disasm.h"
+#include "src/machine/executor.h"
+#include "src/machine/machine.h"
+
+namespace synthesis {
+namespace {
+
+constexpr size_t kMem = 64 * 1024;
+
+class MachineTest : public ::testing::Test {
+ protected:
+  Machine m_{kMem, MachineConfig::SunEmulation()};
+  CodeStore store_;
+  Executor exec_{m_, store_};
+};
+
+TEST_F(MachineTest, MoveAndArithmetic) {
+  Asm a("arith");
+  a.MoveI(kD0, 10).MoveI(kD1, 32).Add(kD0, kD1).SubI(kD0, 2).MulI(kD0, 3).Rts();
+  BlockId id = store_.Install(a.BuildBlock());
+  RunResult r = exec_.Call(id);
+  EXPECT_EQ(r.outcome, RunOutcome::kReturned);
+  EXPECT_EQ(m_.reg(kD0), 120u);
+  EXPECT_EQ(r.instructions, 6u);
+}
+
+TEST_F(MachineTest, LogicalOps) {
+  Asm a("logic");
+  a.MoveI(kD0, 0xF0).MoveI(kD1, 0x0F).Or(kD0, kD1).AndI(kD0, 0x3C).Xor(kD0, kD0);
+  a.MoveI(kD2, 1).LslI(kD2, 4).LsrI(kD2, 2).Rts();
+  store_.Install(a.BuildBlock());
+  RunResult r = exec_.Call(1);
+  EXPECT_EQ(r.outcome, RunOutcome::kReturned);
+  EXPECT_EQ(m_.reg(kD0), 0u);
+  EXPECT_EQ(m_.reg(kD2), 4u);
+}
+
+TEST_F(MachineTest, LoadStoreWidths) {
+  Asm a("mem");
+  a.MoveI(kA0, 0x100);
+  a.MoveI(kD0, 0x12345678);
+  a.Store32(kA0, kD0, 0);
+  a.Load8(kD1, kA0, 0);
+  a.Load16(kD2, kA0, 0);
+  a.Load32(kD3, kA0, 0);
+  a.Rts();
+  store_.Install(a.BuildBlock());
+  exec_.Call(1);
+  EXPECT_EQ(m_.reg(kD1), 0x78u);
+  EXPECT_EQ(m_.reg(kD2), 0x5678u);
+  EXPECT_EQ(m_.reg(kD3), 0x12345678u);
+}
+
+TEST_F(MachineTest, PushPop) {
+  Asm a("stack");
+  a.MoveI(kA7, 0x1000).MoveI(kD0, 7).Push(kD0).MoveI(kD0, 0).Pop(kD1).Rts();
+  store_.Install(a.BuildBlock());
+  exec_.Call(1);
+  EXPECT_EQ(m_.reg(kD1), 7u);
+  EXPECT_EQ(m_.reg(kA7), 0x1000u);
+}
+
+TEST_F(MachineTest, ConditionalBranchLoop) {
+  // Sum 1..5 with a loop.
+  Asm a("loop");
+  a.MoveI(kD0, 0).MoveI(kD1, 5);
+  a.Label("top");
+  a.Tst(kD1).Beq("done");
+  a.Add(kD0, kD1).SubI(kD1, 1).Bra("top");
+  a.Label("done");
+  a.Rts();
+  store_.Install(a.BuildBlock());
+  RunResult r = exec_.Call(1);
+  EXPECT_EQ(r.outcome, RunOutcome::kReturned);
+  EXPECT_EQ(m_.reg(kD0), 15u);
+}
+
+TEST_F(MachineTest, SignedVsUnsignedBranches) {
+  // -1 < 1 signed, but 0xFFFFFFFF > 1 unsigned.
+  Asm a("cmp");
+  a.MoveI(kD0, -1).CmpI(kD0, 1);
+  a.Blt("signed_lt");
+  a.MoveI(kD2, 0).Rts();
+  a.Label("signed_lt");
+  a.MoveI(kD2, 1);
+  a.CmpI(kD0, 1).Bhi("unsigned_hi");
+  a.Rts();
+  a.Label("unsigned_hi");
+  a.AddI(kD2, 10).Rts();
+  store_.Install(a.BuildBlock());
+  exec_.Call(1);
+  EXPECT_EQ(m_.reg(kD2), 11u);
+}
+
+TEST_F(MachineTest, JsrRtsNesting) {
+  Asm callee("callee");
+  callee.AddI(kD0, 5).Rts();
+  BlockId cid = store_.Install(callee.BuildBlock());
+
+  Asm caller("caller");
+  caller.MoveI(kD0, 1).Jsr(cid).Jsr(cid).Rts();
+  BlockId top = store_.Install(caller.BuildBlock());
+  RunResult r = exec_.Call(top);
+  EXPECT_EQ(r.outcome, RunOutcome::kReturned);
+  EXPECT_EQ(m_.reg(kD0), 11u);
+}
+
+TEST_F(MachineTest, IndirectCallThroughMemory) {
+  // Executable data structure: block id stored in memory, called indirectly.
+  Asm callee("inc");
+  callee.AddI(kD0, 1).Rts();
+  BlockId cid = store_.Install(callee.BuildBlock());
+  m_.memory().Write32(0x200, static_cast<uint32_t>(cid));
+
+  Asm caller("dispatch");
+  caller.MoveI(kA0, 0x200).Load32(kD7, kA0, 0).JsrInd(kD7).Rts();
+  BlockId top = store_.Install(caller.BuildBlock());
+  m_.set_reg(kD0, 41);
+  exec_.Call(top);
+  EXPECT_EQ(m_.reg(kD0), 42u);
+}
+
+TEST_F(MachineTest, JmpIndTailTransfer) {
+  Asm next("next");
+  next.MoveI(kD3, 99).Halt();
+  BlockId nid = store_.Install(next.BuildBlock());
+
+  Asm first("first");
+  first.MoveI(kD7, nid).JmpInd(kD7);
+  BlockId fid = store_.Install(first.BuildBlock());
+  RunResult r = exec_.Call(fid);
+  EXPECT_EQ(r.outcome, RunOutcome::kHalted);
+  EXPECT_EQ(m_.reg(kD3), 99u);
+}
+
+TEST_F(MachineTest, CasSuccessAndFailure) {
+  m_.memory().Write32(0x300, 5);
+  Asm a("cas");
+  a.MoveI(kA0, 0x300).MoveI(kD0, 5).MoveI(kD1, 9).Cas(kD1, kA0, 0);
+  a.Bne("failed");
+  a.MoveI(kD2, 1).Rts();
+  a.Label("failed");
+  a.MoveI(kD2, 0).Rts();
+  store_.Install(a.BuildBlock());
+  exec_.Call(1);
+  EXPECT_EQ(m_.reg(kD2), 1u);
+  EXPECT_EQ(m_.memory().Read32(0x300), 9u);
+
+  // Second attempt with a stale expected value fails and loads the current
+  // value into d0 (68020 semantics).
+  exec_.Call(1);
+  EXPECT_EQ(m_.reg(kD2), 0u);
+  EXPECT_EQ(m_.reg(kD0), 9u);
+  EXPECT_EQ(m_.memory().Read32(0x300), 9u);
+}
+
+TEST_F(MachineTest, MovemRoundTrip) {
+  Asm save("save");
+  save.MoveI(kA0, 0x400).MovemSave(kA0, 16).Rts();
+  Asm clobber("clobber");
+  for (uint8_t r = 0; r < 8; r++) {
+    clobber.MoveI(r, 0);
+  }
+  clobber.Rts();
+  Asm load("load");
+  load.MoveI(kA0, 0x400).MovemLoad(kA0, 8).Rts();
+  BlockId s = store_.Install(save.BuildBlock());
+  BlockId c = store_.Install(clobber.BuildBlock());
+  BlockId l = store_.Install(load.BuildBlock());
+
+  for (uint8_t r = 0; r < 8; r++) {
+    m_.set_reg(r, 100u + r);
+  }
+  exec_.Call(s);
+  exec_.Call(c);
+  EXPECT_EQ(m_.reg(kD5), 0u);
+  exec_.Call(l);
+  for (uint8_t r = 0; r < 8; r++) {
+    EXPECT_EQ(m_.reg(r), 100u + r);
+  }
+}
+
+TEST_F(MachineTest, TrapHandlerContinue) {
+  int seen = -1;
+  exec_.SetTrapHandler([&](int vec, Machine& m) {
+    seen = vec;
+    m.set_reg(kD0, 77);
+    return TrapAction::kContinue;
+  });
+  Asm a("trap");
+  a.Trap(42).AddI(kD0, 1).Rts();
+  store_.Install(a.BuildBlock());
+  RunResult r = exec_.Call(1);
+  EXPECT_EQ(r.outcome, RunOutcome::kReturned);
+  EXPECT_EQ(seen, 42);
+  EXPECT_EQ(m_.reg(kD0), 78u);
+}
+
+TEST_F(MachineTest, TrapBlockAndResumeRetriesTrap) {
+  int calls = 0;
+  exec_.SetTrapHandler([&](int vec, Machine&) {
+    calls++;
+    return calls < 3 ? TrapAction::kBlock : TrapAction::kContinue;
+  });
+  Asm a("block");
+  a.MoveI(kD0, 5).Trap(1).AddI(kD0, 1).Rts();
+  store_.Install(a.BuildBlock());
+
+  exec_.Start(1);
+  RunResult r = exec_.Run();
+  EXPECT_EQ(r.outcome, RunOutcome::kBlocked);
+  EXPECT_EQ(r.trap_vector, 1);
+  r = exec_.Run();
+  EXPECT_EQ(r.outcome, RunOutcome::kBlocked);
+  r = exec_.Run();
+  EXPECT_EQ(r.outcome, RunOutcome::kReturned);
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(m_.reg(kD0), 6u);
+}
+
+TEST_F(MachineTest, BusErrorOnOutOfRange) {
+  Asm a("bad");
+  a.MoveI(kA0, static_cast<int32_t>(kMem)).Load32(kD0, kA0, 100).Rts();
+  store_.Install(a.BuildBlock());
+  RunResult r = exec_.Call(1);
+  EXPECT_EQ(r.outcome, RunOutcome::kFault);
+  EXPECT_EQ(r.fault, FaultKind::kBusError);
+}
+
+TEST_F(MachineTest, QuaspaceProtectionFaultsInUserMode) {
+  // User mode with a filter: touching outside the quaspace bus-faults (§2.1).
+  m_.set_supervisor(false);
+  m_.address_filter().Allow(AddrRange{0x1000, 0x2000});
+  Asm a("prot");
+  a.MoveI(kA0, 0x1800).Store32(kA0, kD0, 0).MoveI(kA0, 0x2800).Store32(kA0, kD0, 0);
+  a.Rts();
+  store_.Install(a.BuildBlock());
+  RunResult r = exec_.Call(1);
+  EXPECT_EQ(r.outcome, RunOutcome::kFault);
+  EXPECT_EQ(r.fault_addr, 0x2800u);
+  // Supervisor state sees everything.
+  m_.set_supervisor(true);
+  r = exec_.Call(1);
+  EXPECT_EQ(r.outcome, RunOutcome::kReturned);
+}
+
+TEST_F(MachineTest, InterruptPollSuspendsAndResumes) {
+  int countdown = 3;
+  exec_.SetInterruptPoll([&] { return --countdown == 0; });
+  Asm a("work");
+  for (int i = 0; i < 10; i++) {
+    a.AddI(kD0, 1);
+  }
+  a.Rts();
+  store_.Install(a.BuildBlock());
+  exec_.Start(1);
+  RunResult r = exec_.Run();
+  EXPECT_EQ(r.outcome, RunOutcome::kInterrupted);
+  EXPECT_EQ(m_.reg(kD0), 2u);
+  countdown = 1000;
+  r = exec_.Run();
+  EXPECT_EQ(r.outcome, RunOutcome::kReturned);
+  EXPECT_EQ(m_.reg(kD0), 10u);
+}
+
+TEST_F(MachineTest, StepLimitIsResumable) {
+  Asm a("spin");
+  a.Label("top").AddI(kD0, 1).Bra("top");
+  store_.Install(a.BuildBlock());
+  exec_.Start(1);
+  RunResult r = exec_.Run(100);
+  EXPECT_EQ(r.outcome, RunOutcome::kStepLimit);
+  r = exec_.Run(100);
+  EXPECT_EQ(r.outcome, RunOutcome::kStepLimit);
+  EXPECT_EQ(r.instructions, 100u);
+}
+
+TEST_F(MachineTest, CycleAccountingAndClock) {
+  Asm a("cost");
+  a.MoveI(kD0, 1).Rts();  // movei 4 cycles; rts 8 + 1 memref * 3 = 11
+  store_.Install(a.BuildBlock());
+  RunResult r = exec_.Call(1);
+  EXPECT_EQ(r.cycles, 15u);
+  EXPECT_EQ(r.mem_refs, 1u);
+  // 15 cycles at 16 MHz is 0.9375 microseconds.
+  EXPECT_DOUBLE_EQ(m_.NowMicros(), 15.0 / 16.0);
+}
+
+TEST_F(MachineTest, NativeClockIsFaster) {
+  Machine fast(kMem, MachineConfig::NativeQuamachine());
+  CodeStore cs;
+  Executor ex(fast, cs);
+  Asm a("cost");
+  a.MoveI(kD0, 1).Rts();
+  cs.Install(a.BuildBlock());
+  ex.Call(1);
+  // 0 wait states: rts pays 8 + 2 = 10; total 14 cycles at 50 MHz.
+  EXPECT_DOUBLE_EQ(fast.NowMicros(), 14.0 / 50.0);
+}
+
+TEST_F(MachineTest, TraceRecordsExecution) {
+  m_.set_tracing(true);
+  Asm a("traced");
+  a.MoveI(kD0, 1).AddI(kD0, 2).Rts();
+  store_.Install(a.BuildBlock());
+  exec_.Call(1);
+  ASSERT_EQ(m_.trace().size(), 3u);
+  EXPECT_EQ(m_.trace()[0].instr.op, Opcode::kMoveI);
+  EXPECT_EQ(m_.trace()[2].instr.op, Opcode::kRts);
+}
+
+TEST_F(MachineTest, StopwatchMeasuresDeltas) {
+  Asm a("w");
+  a.MoveI(kD0, 1).Rts();
+  store_.Install(a.BuildBlock());
+  exec_.Call(1);
+  Stopwatch sw(m_);
+  exec_.Call(1);
+  EXPECT_EQ(sw.instructions(), 2u);
+  EXPECT_EQ(sw.cycles(), 15u);
+}
+
+TEST_F(MachineTest, DisassemblerFormats) {
+  Asm a("d");
+  a.MoveI(kD0, 5).Load32(kD1, kA0, 8).Store32(kA1, kD1, 12).Cas(kD2, kA0, 0).Rts();
+  CodeBlock b = a.BuildBlock();
+  std::string text = Disassemble(b);
+  EXPECT_NE(text.find("movei"), std::string::npos);
+  EXPECT_NE(text.find("d1, 8(a0)"), std::string::npos);
+  EXPECT_NE(text.find("12(a1), d1"), std::string::npos);
+  EXPECT_NE(text.find("cas"), std::string::npos);
+}
+
+TEST_F(MachineTest, CodeStoreReplaceAndFind) {
+  Asm a("orig");
+  a.MoveI(kD0, 1).Rts();
+  BlockId id = store_.Install(a.BuildBlock());
+  EXPECT_EQ(store_.Find("orig"), id);
+
+  Asm b("orig");
+  b.MoveI(kD0, 2).Rts();
+  store_.Replace(id, b.BuildBlock());
+  exec_.Call(id);
+  EXPECT_EQ(m_.reg(kD0), 2u);
+  EXPECT_EQ(store_.block_count(), 1u);
+}
+
+TEST_F(MachineTest, FallOffEndActsAsReturn) {
+  Asm callee("fall");
+  callee.MoveI(kD0, 3);  // no rts
+  BlockId cid = store_.Install(callee.BuildBlock());
+  Asm caller("c");
+  caller.Jsr(cid).AddI(kD0, 1).Rts();
+  BlockId top = store_.Install(caller.BuildBlock());
+  RunResult r = exec_.Call(top);
+  EXPECT_EQ(r.outcome, RunOutcome::kReturned);
+  EXPECT_EQ(m_.reg(kD0), 4u);
+}
+
+}  // namespace
+}  // namespace synthesis

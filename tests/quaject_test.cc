@@ -1,0 +1,133 @@
+// Tests for the quaject creator (allocate / factorize / optimize) and the
+// quaject interfacer (combine / factorize / optimize / dynamic-link).
+#include <gtest/gtest.h>
+
+#include "src/kernel/kernel.h"
+#include "src/kernel/quaject.h"
+#include "src/machine/assembler.h"
+
+namespace synthesis {
+namespace {
+
+// A "counter" quaject: data = [step (invariant), count (mutable)].
+// ops: bump (count += step, then call downstream), read (d0 = count).
+CodeTemplate BumpTemplate() {
+  Asm a("bump");
+  a.MoveI(kA0, Asm::Sym("self"));
+  a.Load32(kD1, kA0, 0);  // step (invariant -> folds)
+  a.Load32(kD2, kA0, 4);  // count (mutable)
+  a.Add(kD2, kD1);
+  a.Store32(kA0, kD2, 4);
+  a.Jsr(Asm::Sym("downstream"));
+  a.Rts();
+  return a.Build();
+}
+
+CodeTemplate ReadTemplate() {
+  Asm a("readc");
+  a.MoveI(kA0, Asm::Sym("self"));
+  a.Load32(kD0, kA0, 4);
+  a.Rts();
+  return a.Build();
+}
+
+// A "sink" quaject that tallies notifications: data = [total (mutable)].
+CodeTemplate NotifyTemplate() {
+  Asm a("notify");
+  a.MoveI(kA1, Asm::Sym("self"));
+  a.Load32(kD3, kA1, 0);
+  a.AddI(kD3, 1);
+  a.Store32(kA1, kD3, 0);
+  a.Rts();
+  return a.Build();
+}
+
+class QuajectTest : public ::testing::Test {
+ protected:
+  Quaject MakeCounter(uint32_t step) {
+    QuajectCreator creator(k_);
+    return creator.Create(
+        "counter", 8, {{"bump", BumpTemplate()}, {"read", ReadTemplate()}},
+        /*invariant_bytes=*/4, [step](Memory& mem, Addr self) {
+          mem.Write32(self + 0, step);
+          mem.Write32(self + 4, 0);
+        });
+  }
+
+  Quaject MakeSink() {
+    QuajectCreator creator(k_);
+    return creator.Create("sink", 4, {{"notify", NotifyTemplate()}}, 0,
+                          [](Memory& mem, Addr self) { mem.Write32(self, 0); });
+  }
+
+  Kernel k_;
+};
+
+TEST_F(QuajectTest, CreatorAllocatesAndSynthesizes) {
+  Quaject q = MakeCounter(5);
+  EXPECT_NE(q.data, 0u);
+  EXPECT_NE(q.Entry("bump"), kInvalidBlock);
+  EXPECT_NE(q.Entry("read"), kInvalidBlock);
+  EXPECT_EQ(q.Entry("missing"), kInvalidBlock);
+}
+
+TEST_F(QuajectTest, InvariantStepIsFoldedIntoTheCode) {
+  Quaject q = MakeCounter(5);
+  const CodeBlock& bump = k_.code().Get(q.Entry("bump"));
+  bool has_movei_5 = false;
+  for (const Instr& in : bump.code) {
+    has_movei_5 |= in.op == Opcode::kMoveI && in.imm == 5;
+  }
+  EXPECT_TRUE(has_movei_5) << "the step constant should be baked in";
+}
+
+TEST_F(QuajectTest, ConnectedQuajectsCollapseIntoOneRoutine) {
+  Quaject counter = MakeCounter(3);
+  Quaject sink = MakeSink();
+
+  QuajectInterfacer ifc(k_);
+  BlockId combined = ifc.Connect(counter, "bump", BumpTemplate(), sink, "notify");
+  ASSERT_NE(combined, kInvalidBlock);
+  EXPECT_EQ(counter.Entry("bump"), combined) << "dynamic link updates the entry";
+
+  // Collapsing Layers: the combined routine contains no procedure calls.
+  for (const Instr& in : k_.code().Get(combined).code) {
+    EXPECT_NE(in.op, Opcode::kJsr);
+    EXPECT_NE(in.op, Opcode::kJsrInd);
+  }
+
+  // Behaviour: three bumps advance the counter by 3 each and notify the sink.
+  for (int i = 0; i < 3; i++) {
+    k_.kexec().Call(combined);
+  }
+  Memory& mem = k_.machine().memory();
+  EXPECT_EQ(mem.Read32(counter.data + 4), 9u);
+  EXPECT_EQ(mem.Read32(sink.data), 3u);
+
+  k_.kexec().Call(counter.Entry("read"));
+  EXPECT_EQ(k_.machine().reg(kD0), 9u);
+}
+
+TEST_F(QuajectTest, TwoInstancesAreIndependent) {
+  Quaject a = MakeCounter(1);
+  Quaject b = MakeCounter(100);
+  Quaject sink = MakeSink();
+  QuajectInterfacer ifc(k_);
+  ifc.Connect(a, "bump", BumpTemplate(), sink, "notify");
+  ifc.Connect(b, "bump", BumpTemplate(), sink, "notify");
+  k_.kexec().Call(a.Entry("bump"));
+  k_.kexec().Call(b.Entry("bump"));
+  Memory& mem = k_.machine().memory();
+  EXPECT_EQ(mem.Read32(a.data + 4), 1u);
+  EXPECT_EQ(mem.Read32(b.data + 4), 100u);
+  EXPECT_EQ(mem.Read32(sink.data), 2u);
+}
+
+TEST_F(QuajectTest, CreationChargesVirtualTime) {
+  Stopwatch sw(k_.machine());
+  MakeCounter(2);
+  EXPECT_GT(sw.cycles(), 0u);
+}
+
+}  // namespace
+}  // namespace synthesis

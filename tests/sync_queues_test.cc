@@ -1,0 +1,187 @@
+// Single-threaded semantic tests for the queue building blocks: ordering,
+// capacity, wraparound, multi-item atomic insert, and full/empty edges.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <numeric>
+#include <vector>
+
+#include "src/sync/dedicated_queue.h"
+#include "src/sync/locked_queue.h"
+#include "src/sync/monitor.h"
+#include "src/sync/mpmc_queue.h"
+#include "src/sync/mpsc_queue.h"
+#include "src/sync/spmc_queue.h"
+#include "src/sync/spsc_queue.h"
+
+namespace synthesis {
+namespace {
+
+// Every queue type offers TryPut/TryGet; exercise the shared contract.
+template <typename Q>
+void CheckFifoContract(Q& q, size_t capacity) {
+  int v = 0;
+  EXPECT_FALSE(q.TryGet(v)) << "new queue should be empty";
+  for (size_t i = 0; i < capacity; i++) {
+    EXPECT_TRUE(q.TryPut(static_cast<int>(i))) << "put " << i;
+  }
+  EXPECT_FALSE(q.TryPut(999)) << "queue should be full";
+  for (size_t i = 0; i < capacity; i++) {
+    ASSERT_TRUE(q.TryGet(v));
+    EXPECT_EQ(v, static_cast<int>(i));
+  }
+  EXPECT_FALSE(q.TryGet(v));
+}
+
+// Repeated put/get cycles force index wraparound several times.
+template <typename Q>
+void CheckWraparound(Q& q) {
+  int v = 0;
+  for (int round = 0; round < 100; round++) {
+    EXPECT_TRUE(q.TryPut(round));
+    EXPECT_TRUE(q.TryPut(round + 1000));
+    ASSERT_TRUE(q.TryGet(v));
+    EXPECT_EQ(v, round);
+    ASSERT_TRUE(q.TryGet(v));
+    EXPECT_EQ(v, round + 1000);
+  }
+}
+
+TEST(SpscQueueTest, FifoContract) {
+  SpscQueue<int> q(8);
+  CheckFifoContract(q, 8);
+}
+
+TEST(SpscQueueTest, Wraparound) {
+  SpscQueue<int> q(3);
+  CheckWraparound(q);
+}
+
+TEST(SpscQueueTest, SizeTracksContents) {
+  SpscQueue<int> q(4);
+  EXPECT_TRUE(q.Empty());
+  q.TryPut(1);
+  q.TryPut(2);
+  EXPECT_EQ(q.Size(), 2u);
+  int v;
+  q.TryGet(v);
+  EXPECT_EQ(q.Size(), 1u);
+}
+
+TEST(MpscQueueTest, FifoContract) {
+  MpscQueue<int> q(8);
+  CheckFifoContract(q, 8);
+}
+
+TEST(MpscQueueTest, Wraparound) {
+  MpscQueue<int> q(3);
+  CheckWraparound(q);
+}
+
+TEST(MpscQueueTest, MultiInsertAllOrNothing) {
+  MpscQueue<int> q(6);
+  std::array<int, 4> batch{1, 2, 3, 4};
+  EXPECT_TRUE(q.TryPutN(batch));
+  // Only 2 slots left; a 3-item batch must be refused entirely.
+  std::array<int, 3> big{7, 8, 9};
+  EXPECT_FALSE(q.TryPutN(big));
+  std::array<int, 2> fit{5, 6};
+  EXPECT_TRUE(q.TryPutN(fit));
+  for (int want = 1; want <= 6; want++) {
+    int v;
+    ASSERT_TRUE(q.TryGet(v));
+    EXPECT_EQ(v, want);
+  }
+}
+
+TEST(MpscQueueTest, BatchLargerThanCapacityRefused) {
+  MpscQueue<int> q(4);
+  std::vector<int> batch(5, 1);
+  EXPECT_FALSE(q.TryPutN(batch));
+  EXPECT_TRUE(q.Empty());
+}
+
+TEST(MpscQueueTest, EmptyBatchSucceedsTrivially) {
+  MpscQueue<int> q(4);
+  EXPECT_TRUE(q.TryPutN(std::span<const int>{}));
+  EXPECT_TRUE(q.Empty());
+}
+
+TEST(SpmcQueueTest, FifoContract) {
+  SpmcQueue<int> q(8);
+  CheckFifoContract(q, 8);
+}
+
+TEST(SpmcQueueTest, Wraparound) {
+  SpmcQueue<int> q(3);
+  CheckWraparound(q);
+}
+
+TEST(MpmcQueueTest, FifoContract) {
+  MpmcQueue<int> q(8);
+  CheckFifoContract(q, 8);
+}
+
+TEST(MpmcQueueTest, Wraparound) {
+  MpmcQueue<int> q(3);
+  CheckWraparound(q);
+}
+
+TEST(DedicatedQueueTest, FifoContract) {
+  DedicatedQueue<int> q(8);
+  CheckFifoContract(q, 8);
+}
+
+TEST(DedicatedQueueTest, FullFlag) {
+  DedicatedQueue<int> q(2);
+  EXPECT_FALSE(q.Full());
+  q.TryPut(1);
+  q.TryPut(2);
+  EXPECT_TRUE(q.Full());
+}
+
+TEST(LockedQueueTest, FifoContract) {
+  LockedQueue<int> q(8);
+  CheckFifoContract(q, 8);
+}
+
+TEST(MonitorTest, SynchronizedReturnsValueAndCounts) {
+  Monitor m;
+  int x = m.Synchronized([] { return 41; }) + 1;
+  EXPECT_EQ(x, 42);
+  m.Synchronized([] {});
+  EXPECT_EQ(m.entries(), 2u);
+}
+
+// Parameterized capacity sweep: the FIFO contract holds for every capacity.
+class QueueCapacitySweep : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(QueueCapacitySweep, AllQueueKindsHonorCapacity) {
+  size_t cap = GetParam();
+  {
+    SpscQueue<int> q(cap);
+    CheckFifoContract(q, cap);
+  }
+  {
+    MpscQueue<int> q(cap);
+    CheckFifoContract(q, cap);
+  }
+  {
+    SpmcQueue<int> q(cap);
+    CheckFifoContract(q, cap);
+  }
+  {
+    MpmcQueue<int> q(cap);
+    CheckFifoContract(q, q.capacity());  // MPMC rounds capacity 1 up to 2
+  }
+  {
+    DedicatedQueue<int> q(cap);
+    CheckFifoContract(q, cap);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Capacities, QueueCapacitySweep,
+                         ::testing::Values(1, 2, 3, 4, 7, 8, 16, 64, 1024));
+
+}  // namespace
+}  // namespace synthesis

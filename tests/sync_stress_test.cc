@@ -1,0 +1,249 @@
+// Multithreaded property tests for the optimistic queues: no item is lost, no
+// item is duplicated, per-producer order is preserved, and multi-item inserts
+// are atomic under contention (§3.2's correctness argument, checked in anger).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <thread>
+#include <vector>
+
+#include "src/sync/mpmc_queue.h"
+#include "src/sync/mpsc_queue.h"
+#include "src/sync/spmc_queue.h"
+#include "src/sync/spsc_queue.h"
+
+namespace synthesis {
+namespace {
+
+// Encode producer id in the high bits so consumers can check per-producer
+// monotonicity.
+constexpr uint64_t Encode(uint64_t producer, uint64_t seq) {
+  return (producer << 48) | seq;
+}
+constexpr uint64_t ProducerOf(uint64_t v) { return v >> 48; }
+constexpr uint64_t SeqOf(uint64_t v) { return v & ((uint64_t{1} << 48) - 1); }
+
+TEST(SpscStressTest, NoLossNoDuplication) {
+  constexpr uint64_t kItems = 60'000;
+  SpscQueue<uint64_t> q(64);
+  uint64_t sum = 0;
+  std::thread consumer([&] {
+    uint64_t got = 0;
+    uint64_t expect_seq = 0;
+    uint64_t v;
+    while (got < kItems) {
+      if (q.TryGet(v)) {
+        EXPECT_EQ(SeqOf(v), expect_seq);
+        expect_seq++;
+        sum += SeqOf(v);
+        got++;
+      } else {
+        std::this_thread::yield();
+      }
+    }
+  });
+  for (uint64_t i = 0; i < kItems;) {
+    if (q.TryPut(Encode(0, i))) {
+      i++;
+    } else {
+      std::this_thread::yield();
+    }
+  }
+  consumer.join();
+  EXPECT_EQ(sum, kItems * (kItems - 1) / 2);
+}
+
+TEST(MpscStressTest, ManyProducersPreservePerProducerOrder) {
+  constexpr int kProducers = 4;
+  constexpr uint64_t kPerProducer = 12'000;
+  MpscQueue<uint64_t> q(128);
+
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; p++) {
+    producers.emplace_back([&q, p] {
+      for (uint64_t i = 0; i < kPerProducer;) {
+        if (q.TryPut(Encode(static_cast<uint64_t>(p), i))) {
+          i++;
+        } else {
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+
+  std::vector<uint64_t> next_seq(kProducers, 0);
+  uint64_t got = 0;
+  uint64_t v;
+  while (got < kProducers * kPerProducer) {
+    if (!q.TryGet(v)) {
+      std::this_thread::yield();
+    } else {
+      uint64_t p = ProducerOf(v);
+      ASSERT_LT(p, static_cast<uint64_t>(kProducers));
+      EXPECT_EQ(SeqOf(v), next_seq[p]) << "producer " << p;
+      next_seq[p]++;
+      got++;
+    }
+  }
+  for (auto& t : producers) {
+    t.join();
+  }
+  for (int p = 0; p < kProducers; p++) {
+    EXPECT_EQ(next_seq[p], kPerProducer);
+  }
+}
+
+TEST(MpscStressTest, MultiItemInsertsAreContiguous) {
+  // Each producer inserts batches of 4; the consumer must always see each
+  // batch's items adjacent and in order ("staking a claim", Figure 2).
+  constexpr int kProducers = 4;
+  constexpr uint64_t kBatches = 2'000;
+  constexpr size_t kBatch = 4;
+  MpscQueue<uint64_t> q(256);
+
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; p++) {
+    producers.emplace_back([&q, p] {
+      uint64_t seq = 0;
+      for (uint64_t b = 0; b < kBatches; b++) {
+        uint64_t items[kBatch];
+        for (size_t i = 0; i < kBatch; i++) {
+          items[i] = Encode(static_cast<uint64_t>(p), seq + i);
+        }
+        while (!q.TryPutN(std::span<const uint64_t>(items, kBatch))) {
+          std::this_thread::yield();
+        }
+        seq += kBatch;
+      }
+    });
+  }
+
+  uint64_t total = kProducers * kBatches * kBatch;
+  uint64_t got = 0;
+  size_t batch_fill = 0;
+  uint64_t batch_producer = 0;
+  uint64_t v;
+  while (got < total) {
+    if (!q.TryGet(v)) {
+      std::this_thread::yield();
+      continue;
+    }
+    if (batch_fill == 0) {
+      batch_producer = ProducerOf(v);
+      ASSERT_EQ(SeqOf(v) % kBatch, 0u) << "batch must start aligned";
+    } else {
+      ASSERT_EQ(ProducerOf(v), batch_producer)
+          << "batch interleaved with another producer's items";
+    }
+    batch_fill = (batch_fill + 1) % kBatch;
+    got++;
+  }
+  for (auto& t : producers) {
+    t.join();
+  }
+}
+
+TEST(SpmcStressTest, ManyConsumersSeeEachItemOnce) {
+  constexpr int kConsumers = 4;
+  constexpr uint64_t kItems = 30'000;
+  SpmcQueue<uint64_t> q(128);
+
+  std::vector<std::vector<uint64_t>> seen(kConsumers);
+  std::atomic<uint64_t> taken{0};
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < kConsumers; c++) {
+    consumers.emplace_back([&, c] {
+      uint64_t v;
+      while (taken.load(std::memory_order_relaxed) < kItems) {
+        if (q.TryGet(v)) {
+          seen[c].push_back(v);
+          taken.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+  for (uint64_t i = 0; i < kItems;) {
+    if (q.TryPut(i)) {
+      i++;
+    } else {
+      std::this_thread::yield();
+    }
+  }
+  for (auto& t : consumers) {
+    t.join();
+  }
+
+  std::vector<uint64_t> all;
+  for (auto& s : seen) {
+    all.insert(all.end(), s.begin(), s.end());
+  }
+  std::sort(all.begin(), all.end());
+  ASSERT_EQ(all.size(), kItems);
+  for (uint64_t i = 0; i < kItems; i++) {
+    ASSERT_EQ(all[i], i) << "lost or duplicated item";
+  }
+}
+
+TEST(MpmcStressTest, ManyToManyConservesItems) {
+  constexpr int kProducers = 3;
+  constexpr int kConsumers = 3;
+  constexpr uint64_t kPerProducer = 10'000;
+  MpmcQueue<uint64_t> q(64);
+
+  std::atomic<uint64_t> produced_sum{0};
+  std::atomic<uint64_t> consumed_sum{0};
+  std::atomic<uint64_t> consumed_count{0};
+
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; p++) {
+    threads.emplace_back([&, p] {
+      for (uint64_t i = 0; i < kPerProducer;) {
+        uint64_t v = Encode(static_cast<uint64_t>(p), i);
+        if (q.TryPut(v)) {
+          produced_sum.fetch_add(v, std::memory_order_relaxed);
+          i++;
+        } else {
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+  constexpr uint64_t kTotal = kProducers * kPerProducer;
+  for (int c = 0; c < kConsumers; c++) {
+    threads.emplace_back([&] {
+      uint64_t v;
+      while (consumed_count.load(std::memory_order_relaxed) < kTotal) {
+        if (q.TryGet(v)) {
+          consumed_sum.fetch_add(v, std::memory_order_relaxed);
+          consumed_count.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(consumed_count.load(), kTotal);
+  EXPECT_EQ(consumed_sum.load(), produced_sum.load());
+}
+
+TEST(MpmcStressTest, RetryCountersObserveContention) {
+  // Not a strict property (contention is scheduling-dependent), but the
+  // counters must at least be readable and monotonic.
+  MpmcQueue<int> q(4);
+  int v;
+  q.TryPut(1);
+  q.TryGet(v);
+  EXPECT_GE(q.put_retries(), 0u);
+  EXPECT_GE(q.get_retries(), 0u);
+}
+
+}  // namespace
+}  // namespace synthesis

@@ -1,0 +1,172 @@
+// Differential fuzzing of the synthesizer: random templates are specialized
+// and must compute exactly what the unoptimized (verbatim) program computes,
+// for every binding and invariant-memory configuration tried. This is the
+// synthesizer's strongest correctness guarantee: whatever the optimizer does
+// — folding, inlining, branch elimination, DCE, peephole — semantics are
+// preserved.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "src/machine/assembler.h"
+#include "src/machine/code_store.h"
+#include "src/machine/executor.h"
+#include "src/machine/machine.h"
+#include "src/synth/synthesizer.h"
+
+namespace synthesis {
+namespace {
+
+constexpr size_t kMem = 256 * 1024;
+constexpr Addr kDataBase = 0x2000;   // readable/writable playground
+constexpr Addr kInvBase = 0x4000;    // declared invariant
+constexpr uint32_t kInvWords = 32;
+
+// Generates a random straight-line-with-forward-branches template that only
+// touches [kDataBase, kDataBase+4K) and reads [kInvBase, +128).
+CodeTemplate RandomTemplate(std::mt19937& rng, int length, int id) {
+  Asm a("fuzz" + std::to_string(id));
+  std::uniform_int_distribution<int> op_pick(0, 11);
+  std::uniform_int_distribution<int> reg_pick(0, 5);       // d0-d5
+  std::uniform_int_distribution<int> imm_pick(-64, 64);
+  std::uniform_int_distribution<int> word_pick(0, 31);
+  int pending_label = 0;
+  std::vector<std::string> labels;
+  for (int i = 0; i < length; i++) {
+    uint8_t rd = static_cast<uint8_t>(reg_pick(rng));
+    uint8_t rs = static_cast<uint8_t>(reg_pick(rng));
+    switch (op_pick(rng)) {
+      case 0:
+        a.MoveI(rd, imm_pick(rng));
+        break;
+      case 1:
+        a.Move(rd, rs);
+        break;
+      case 2:
+        a.AddI(rd, imm_pick(rng));
+        break;
+      case 3:
+        a.Add(rd, rs);
+        break;
+      case 4:
+        a.Sub(rd, rs);
+        break;
+      case 5:
+        a.AndI(rd, imm_pick(rng) | 0xFF);
+        break;
+      case 6:
+        a.LsrI(rd, word_pick(rng) % 8);
+        break;
+      case 7:  // read from the invariant region
+        a.LoadA32(rd, static_cast<int32_t>(kInvBase + 4 * word_pick(rng)));
+        break;
+      case 8:  // read/write the mutable playground
+        a.LoadA32(rd, static_cast<int32_t>(kDataBase + 4 * word_pick(rng)));
+        break;
+      case 9:
+        a.StoreA32(static_cast<int32_t>(kDataBase + 4 * word_pick(rng)), rs);
+        break;
+      case 10: {  // forward conditional branch over the next few instructions
+        std::string label = "L" + std::to_string(id) + "_" + std::to_string(i);
+        a.Tst(rd);
+        switch (word_pick(rng) % 3) {
+          case 0:
+            a.Beq(label);
+            break;
+          case 1:
+            a.Bne(label);
+            break;
+          default:
+            a.Blt(label);
+            break;
+        }
+        labels.push_back(label);
+        pending_label = 2 + word_pick(rng) % 3;
+        break;
+      }
+      default:
+        a.CmpI(rd, imm_pick(rng));
+        break;
+    }
+    if (pending_label > 0 && --pending_label == 0 && !labels.empty()) {
+      a.Label(labels.back());
+      labels.pop_back();
+    }
+  }
+  for (const std::string& l : labels) {
+    a.Label(l);  // resolve any branch still dangling at the end
+  }
+  a.Rts();
+  return a.Build();
+}
+
+class SynthesizerFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(SynthesizerFuzz, SpecializedEqualsVerbatim) {
+  std::mt19937 rng(static_cast<uint32_t>(GetParam()) * 2654435761u + 17);
+  Machine m(kMem, MachineConfig::SunEmulation());
+  CodeStore store;
+  Synthesizer synth(store);
+  Executor exec(m, store);
+
+  // Fill the invariant region with random constants (fixed per test case).
+  for (uint32_t w = 0; w < kInvWords; w++) {
+    m.memory().Write32(kInvBase + 4 * w, rng());
+  }
+  InvariantMemory inv(m.memory());
+  inv.AddRange(AddrRange{kInvBase, kInvBase + 4 * kInvWords});
+
+  SynthesisOptions full;
+  full.live_out = 0x3F | (1u << 15);  // d0-d5 results + sp
+
+  for (int round = 0; round < 16; round++) {
+    CodeTemplate tmpl = RandomTemplate(rng, 24, GetParam() * 100 + round);
+    CodeBlock verbatim = synth.Specialize(tmpl, Bindings(), nullptr,
+                                          SynthesisOptions::Disabled(), nullptr,
+                                          "v" + std::to_string(round));
+    CodeBlock fast = synth.Specialize(tmpl, Bindings(), &inv, full, nullptr,
+                                      "f" + std::to_string(round));
+    BlockId vid = store.Install(verbatim);
+    BlockId fid = store.Install(fast);
+
+    // Randomize initial registers and the mutable playground identically for
+    // both executions; compare registers d0-d5 and the playground after.
+    std::vector<uint32_t> seed_regs(6);
+    std::vector<uint32_t> seed_mem(64);
+    for (auto& v : seed_regs) {
+      v = rng();
+    }
+    for (auto& v : seed_mem) {
+      v = rng();
+    }
+    auto run = [&](BlockId blk, std::vector<uint32_t>* regs_out,
+                   std::vector<uint32_t>* mem_out) {
+      for (int r = 0; r < 6; r++) {
+        m.set_reg(static_cast<uint8_t>(r), seed_regs[static_cast<size_t>(r)]);
+      }
+      for (uint32_t w = 0; w < 64; w++) {
+        m.memory().Write32(kDataBase + 4 * w, seed_mem[w]);
+      }
+      RunResult rr = exec.Call(blk, 100'000);
+      ASSERT_EQ(rr.outcome, RunOutcome::kReturned);
+      for (int r = 0; r < 6; r++) {
+        regs_out->push_back(m.reg(static_cast<uint8_t>(r)));
+      }
+      for (uint32_t w = 0; w < 64; w++) {
+        mem_out->push_back(m.memory().Read32(kDataBase + 4 * w));
+      }
+    };
+    std::vector<uint32_t> vregs, vmem, fregs, fmem;
+    run(vid, &vregs, &vmem);
+    run(fid, &fregs, &fmem);
+    ASSERT_EQ(vregs, fregs) << "register divergence in round " << round;
+    ASSERT_EQ(vmem, fmem) << "memory divergence in round " << round;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SynthesizerFuzz, ::testing::Range(1, 13));
+
+}  // namespace
+}  // namespace synthesis

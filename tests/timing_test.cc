@@ -1,0 +1,164 @@
+// Timing anchor tests: every headline number of the paper's Tables 2-5 must
+// stay within a tolerance band of our measured value. These protect the
+// calibration (cost model + charge constants) against regressions; the bench
+// binaries print the full tables.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/fs/file_system.h"
+#include "src/io/ad_device.h"
+#include "src/io/io_system.h"
+#include "src/io/tty.h"
+#include "src/kernel/kernel.h"
+#include "src/machine/assembler.h"
+
+namespace synthesis {
+namespace {
+
+class IdleProgram : public UserProgram {
+ public:
+  StepStatus Step(ThreadEnv&) override { return StepStatus::kYield; }
+};
+
+void ExpectWithin(double measured, double paper, double tolerance_frac,
+                  const char* what) {
+  EXPECT_GE(measured, paper * (1 - tolerance_frac)) << what;
+  EXPECT_LE(measured, paper * (1 + tolerance_frac)) << what;
+}
+
+TEST(TimingAnchors, FullContextSwitchIs11us) {
+  Kernel k;
+  k.CreateThread(std::make_unique<IdleProgram>());
+  k.CreateThread(std::make_unique<IdleProgram>());
+  k.ContextSwitchNow();
+  Stopwatch sw(k.machine());
+  for (int i = 0; i < 16; i++) {
+    k.ContextSwitchNow();
+  }
+  ExpectWithin(sw.micros() / 16, 11.0, 0.15, "full context switch (Table 4)");
+}
+
+TEST(TimingAnchors, FpContextSwitchIs21us) {
+  Kernel k;
+  ThreadId a = k.CreateThread(std::make_unique<IdleProgram>());
+  ThreadId b = k.CreateThread(std::make_unique<IdleProgram>());
+  k.EnableFp(a);
+  k.EnableFp(b);
+  k.ContextSwitchNow();
+  Stopwatch sw(k.machine());
+  for (int i = 0; i < 16; i++) {
+    k.ContextSwitchNow();
+  }
+  ExpectWithin(sw.micros() / 16, 21.0, 0.15, "FP context switch (Table 4)");
+}
+
+TEST(TimingAnchors, ThreadCreateIs142us) {
+  Kernel k;
+  Stopwatch sw(k.machine());
+  for (int i = 0; i < 8; i++) {
+    k.CreateThread(std::make_unique<IdleProgram>());
+  }
+  ExpectWithin(sw.micros() / 8, 142.0, 0.20, "thread create (Table 3)");
+}
+
+TEST(TimingAnchors, SignalIs8us) {
+  Kernel k;
+  ThreadId t = k.CreateThread(std::make_unique<IdleProgram>());
+  Asm h("h");
+  h.Rts();
+  BlockId handler = k.code().Install(h.BuildBlock());
+  Stopwatch sw(k.machine());
+  for (int i = 0; i < 16; i++) {
+    k.Signal(t, handler);
+  }
+  ExpectWithin(sw.micros() / 16, 8.0, 0.30, "signal (Table 3)");
+}
+
+TEST(TimingAnchors, OpenDevNullIs43to49us) {
+  Kernel k;
+  DiskDevice disk(k);
+  DiskScheduler sched(disk);
+  FileSystem fs(k, disk, sched);
+  IoSystem io(k, &fs);
+  io.RegisterRingDevice("/dev/null", nullptr, nullptr);
+  Stopwatch sw(k.machine());
+  ChannelId ch = io.Open("/dev/null");
+  ExpectWithin(sw.micros(), 43.0, 0.35, "native open /dev/null (Table 2)");
+  io.Close(ch);
+}
+
+TEST(TimingAnchors, AlarmPathMatchesTable5) {
+  Kernel k;
+  Asm h("h");
+  h.Rts();
+  BlockId handler = k.code().Install(h.BuildBlock());
+  Stopwatch set_sw(k.machine());
+  k.SetAlarm(100, handler);
+  ExpectWithin(set_sw.micros(), 9.0, 0.30, "set alarm (Table 5)");
+
+  Stopwatch irq_sw(k.machine());
+  PendingInterrupt irq{k.NowUs(), Vector::kAlarm, static_cast<uint32_t>(handler), 0};
+  k.DispatchInterrupt(irq);
+  ExpectWithin(irq_sw.micros(), 7.0, 0.30, "alarm interrupt (Table 5)");
+}
+
+TEST(TimingAnchors, AdHandlerIsAbout3us) {
+  Kernel k;
+  AdDevice ad(k);
+  Stopwatch sw(k.machine());
+  for (int i = 0; i < 16; i++) {
+    k.machine().set_reg(kD1, static_cast<uint32_t>(i));
+    k.kexec().Call(ad.entry_block());
+  }
+  ExpectWithin(sw.micros() / 16, 3.0, 0.40, "A/D interrupt handler (Table 5)");
+}
+
+TEST(TimingAnchors, TtyHandlerIsAbout16us) {
+  Kernel k;
+  IoSystem io(k, nullptr);
+  TtyDevice tty(k, io);
+  Stopwatch sw(k.machine());
+  for (int i = 0; i < 16; i++) {
+    k.machine().set_reg(kD1, 'x');
+    k.kexec().Call(tty.irq_handler());
+  }
+  ExpectWithin(sw.micros() / 16, 16.0, 0.35, "tty interrupt handler (Table 5)");
+}
+
+TEST(TimingAnchors, EmulationTrapIs2us) {
+  Kernel k;
+  Stopwatch sw(k.machine());
+  k.machine().Charge(32, 1, 4);  // UnixEmulator::kEmulationTrapCycles
+  EXPECT_DOUBLE_EQ(sw.micros(), 2.0);
+}
+
+TEST(TimingAnchors, NativeQuamachineIsAbout3xFaster) {
+  // §6.3: at 50 MHz and no wait states, everything runs about 3x faster.
+  auto measure = [](MachineConfig mc) {
+    Kernel::Config cfg;
+    cfg.machine = mc;
+    Kernel k(cfg);
+    Asm a("work");
+    a.MoveI(kD0, 200);
+    a.Label("top");
+    a.LoadA32(kD1, 0x100);
+    a.StoreA32(0x104, kD1);
+    a.SubI(kD0, 1);
+    a.Tst(kD0);
+    a.Bne("top");
+    a.Rts();
+    BlockId blk = k.code().Install(a.BuildBlock());
+    Stopwatch sw(k.machine());
+    k.kexec().Call(blk);
+    return sw.micros();
+  };
+  double sun = measure(MachineConfig::SunEmulation());
+  double native = measure(MachineConfig::NativeQuamachine());
+  double speedup = sun / native;
+  EXPECT_GT(speedup, 2.5);
+  EXPECT_LT(speedup, 4.0);
+}
+
+}  // namespace
+}  // namespace synthesis

@@ -1,0 +1,162 @@
+// Tests for the UNIX emulator, the SUNOS baseline model, and the shared
+// benchmark programs (the same "binary" runs on both kernels and the
+// Synthesis side is consistently faster, compute excepted).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "src/baseline/sunos.h"
+#include "src/fs/file_system.h"
+#include "src/io/io_system.h"
+#include "src/kernel/kernel.h"
+#include "src/unix/bench_programs.h"
+#include "src/unix/emulator.h"
+
+namespace synthesis {
+namespace {
+
+struct Stack {
+  Stack()
+      : disk(kernel), sched(disk), fs(kernel, disk, sched), io(kernel, &fs),
+        unix_emu(kernel, io, &fs) {
+    io.RegisterRingDevice("/dev/null", nullptr, nullptr);
+  }
+  Kernel kernel;
+  DiskDevice disk;
+  DiskScheduler sched;
+  FileSystem fs;
+  IoSystem io;
+  UnixEmulator unix_emu;
+};
+
+TEST(UnixEmulatorTest, FdLifecycle) {
+  Stack s;
+  int fd = s.unix_emu.Open("/dev/null");
+  EXPECT_GE(fd, 3) << "0-2 are reserved";
+  EXPECT_EQ(s.unix_emu.Close(fd), 0);
+  EXPECT_EQ(s.unix_emu.Close(fd), -1) << "double close fails";
+  EXPECT_EQ(s.unix_emu.Open("/missing"), -1);
+  EXPECT_EQ(s.unix_emu.Read(99, 0x1000, 1), -1) << "bad fd";
+}
+
+TEST(UnixEmulatorTest, FileRoundTripWithLseek) {
+  Stack s;
+  ASSERT_TRUE(s.unix_emu.Mkfile("/tmp/f", 1024));
+  Addr buf = s.unix_emu.scratch(256);
+  s.kernel.machine().memory().WriteBytes(buf, "0123456789", 10);
+  int fd = s.unix_emu.Open("/tmp/f");
+  EXPECT_EQ(s.unix_emu.Write(fd, buf, 10), 10);
+  EXPECT_EQ(s.unix_emu.Lseek(fd, 4), 4);
+  EXPECT_EQ(s.unix_emu.Read(fd, buf + 100, 3), 3);
+  char got[3];
+  s.kernel.machine().memory().ReadBytes(buf + 100, got, 3);
+  EXPECT_EQ(std::string(got, 3), "456");
+  s.unix_emu.Close(fd);
+}
+
+TEST(UnixEmulatorTest, PipeRoundTrip) {
+  Stack s;
+  int p[2];
+  ASSERT_EQ(s.unix_emu.Pipe(p), 0);
+  Addr buf = s.unix_emu.scratch(64);
+  s.kernel.machine().memory().WriteBytes(buf, "msg", 3);
+  EXPECT_EQ(s.unix_emu.Write(p[1], buf, 3), 3);
+  EXPECT_EQ(s.unix_emu.Read(p[0], buf + 32, 3), 3);
+  char got[3];
+  s.kernel.machine().memory().ReadBytes(buf + 32, got, 3);
+  EXPECT_EQ(std::string(got, 3), "msg");
+}
+
+TEST(UnixEmulatorTest, EveryCallPaysTheEmulationTrap) {
+  Stack s;
+  int fd = s.unix_emu.Open("/dev/null");
+  // Native call cost vs emulated call cost differ by >= the trap overhead.
+  ChannelId ch = s.io.Open("/dev/null");
+  Addr buf = s.unix_emu.scratch(64);
+
+  Stopwatch native(s.kernel.machine());
+  s.io.Read(ch, buf, 16);
+  double native_us = native.micros();
+
+  Stopwatch emulated(s.kernel.machine());
+  s.unix_emu.Read(fd, buf, 16);
+  double emu_us = emulated.micros();
+  EXPECT_GE(emu_us, native_us + 1.9) << "the ~2 us emulation trap (Table 2)";
+}
+
+TEST(SunosBaselineTest, SemanticsMatchTheEmulator) {
+  // Same program, both systems, identical data results.
+  SunosKernel sun;
+  Stack syn;
+  for (PosixLikeApi* sys : {static_cast<PosixLikeApi*>(&sun),
+                            static_cast<PosixLikeApi*>(&syn.unix_emu)}) {
+    ASSERT_TRUE(sys->Mkfile("/tmp/x", 512));
+    Addr buf = sys->scratch(128);
+    sys->machine().memory().WriteBytes(buf, "identical", 9);
+    int fd = sys->Open("/tmp/x");
+    ASSERT_GE(fd, 0);
+    EXPECT_EQ(sys->Write(fd, buf, 9), 9);
+    sys->Lseek(fd, 0);
+    EXPECT_EQ(sys->Read(fd, buf + 64, 9), 9);
+    char got[9];
+    sys->machine().memory().ReadBytes(buf + 64, got, 9);
+    EXPECT_EQ(std::string(got, 9), "identical");
+    sys->Close(fd);
+  }
+}
+
+TEST(SunosBaselineTest, ChargesTraditionalOverheads) {
+  SunosKernel sun;
+  Stopwatch sw(sun.machine());
+  int fd = sun.Open("/dev/null");
+  sun.Close(fd);
+  // open+close on the SUN-3/160 model lands in the milliseconds-per-1000
+  // regime of Table 1 (~1.6 ms per pair).
+  EXPECT_GT(sw.micros(), 800);
+  EXPECT_LT(sw.micros(), 4000);
+}
+
+TEST(BenchProgramsTest, ComputeIsIdenticalOnBothMachines) {
+  SunosKernel sun;
+  Stack syn;
+  BenchResult a = RunComputeProgram(sun, 5'000);
+  BenchResult b = RunComputeProgram(syn.unix_emu, 5'000);
+  ASSERT_TRUE(a.ok);
+  ASSERT_TRUE(b.ok);
+  EXPECT_DOUBLE_EQ(a.total_us, b.total_us)
+      << "identical machine models must give identical compute times";
+}
+
+TEST(BenchProgramsTest, SynthesisWinsEverywhereElse) {
+  // The shape of Table 1: Synthesis is faster on every I/O program, by a
+  // large factor on 1-byte pipes and on open/close.
+  SunosKernel sun;
+  Stack syn;
+  BenchResult sp = RunPipeProgram(sun, 200, 1);
+  BenchResult yp = RunPipeProgram(syn.unix_emu, 200, 1);
+  ASSERT_TRUE(sp.ok && yp.ok);
+  EXPECT_GT(sp.per_iteration_us / yp.per_iteration_us, 20.0);
+
+  BenchResult so = RunOpenCloseProgram(sun, 50, "/dev/null");
+  BenchResult yo = RunOpenCloseProgram(syn.unix_emu, 50, "/dev/null");
+  ASSERT_TRUE(so.ok && yo.ok);
+  EXPECT_GT(so.per_iteration_us / yo.per_iteration_us, 10.0);
+
+  BenchResult sf = RunFileProgram(sun, 10);
+  BenchResult yf = RunFileProgram(syn.unix_emu, 10);
+  ASSERT_TRUE(sf.ok && yf.ok);
+  EXPECT_GT(sf.per_iteration_us / yf.per_iteration_us, 2.0);
+}
+
+TEST(BenchProgramsTest, PipeDataSurvivesEveryChunkSize) {
+  Stack syn;
+  for (uint32_t chunk : {1u, 7u, 64u, 1024u, 4096u}) {
+    BenchResult r = RunPipeProgram(syn.unix_emu, 20, chunk);
+    EXPECT_TRUE(r.ok) << "chunk=" << chunk;
+    EXPECT_EQ(r.iterations, 20u);
+  }
+}
+
+}  // namespace
+}  // namespace synthesis

@@ -1,0 +1,137 @@
+// Tests for VM-bodied threads: registers context-switch through the TTE,
+// blocking kernel calls follow the trap-retry protocol, error traps vector to
+// the thread's synthesized handler, and preempted computations resume intact.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/kernel/kernel.h"
+#include "src/kernel/vm_program.h"
+#include "src/machine/assembler.h"
+
+namespace synthesis {
+namespace {
+
+class VmProgramTest : public ::testing::Test {
+ protected:
+  Kernel k_;
+};
+
+TEST_F(VmProgramTest, RunsToCompletion) {
+  // Sum 1..100 into memory.
+  Asm a("sum");
+  a.MoveI(kD0, 0).MoveI(kD1, 100);
+  a.Label("top");
+  a.Add(kD0, kD1).SubI(kD1, 1).Tst(kD1).Bne("top");
+  a.StoreA32(0x500, kD0);
+  a.Rts();
+  BlockId blk = k_.code().Install(a.BuildBlock());
+  k_.CreateThread(std::make_unique<VmProgram>(k_, blk));
+  k_.Run();
+  EXPECT_EQ(k_.machine().memory().Read32(0x500), 5050u);
+}
+
+TEST_F(VmProgramTest, PreemptedComputationResumesWithItsRegisters) {
+  // Two VM threads compute different sums with tiny slices, forcing many
+  // preemptions; each thread's registers survive every switch because the
+  // sw_out/sw_in pair moves them through the TTE (Figure 3).
+  auto make_sum = [&](int n, Addr out) {
+    Asm a("sum" + std::to_string(n));
+    a.MoveI(kD0, 0).MoveI(kD1, n);
+    a.Label("top");
+    a.Add(kD0, kD1).SubI(kD1, 1).Tst(kD1).Bne("top");
+    a.StoreA32(static_cast<int32_t>(out), kD0);
+    a.Rts();
+    return k_.code().Install(a.BuildBlock());
+  };
+  k_.CreateThread(std::make_unique<VmProgram>(k_, make_sum(1000, 0x600), nullptr,
+                                              /*steps_per_slice=*/17));
+  k_.CreateThread(std::make_unique<VmProgram>(k_, make_sum(2000, 0x604), nullptr,
+                                              /*steps_per_slice=*/23));
+  k_.Run();
+  EXPECT_EQ(k_.machine().memory().Read32(0x600), 500'500u);
+  EXPECT_EQ(k_.machine().memory().Read32(0x604), 2'001'000u);
+  EXPECT_GT(k_.context_switches(), 10u);
+}
+
+TEST_F(VmProgramTest, BlockingTrapParksAndRetries) {
+  // A "wait for data" kernel call: traps until a flag appears in memory.
+  WaitQueue wq;
+  int attempts = 0;
+  int vec = k_.RegisterHostTrap([&](Machine& m) {
+    attempts++;
+    if (m.memory().Read32(0x700) == 0) {
+      k_.BlockCurrentOn(wq);
+      return TrapAction::kBlock;
+    }
+    m.set_reg(kD3, m.memory().Read32(0x700));
+    return TrapAction::kContinue;
+  });
+  Asm a("waiter");
+  a.Trap(vec);                // blocks until the flag is set
+  a.StoreA32(0x704, kD3);     // publish what we received
+  a.Rts();
+  BlockId blk = k_.code().Install(a.BuildBlock());
+  ThreadId t = k_.CreateThread(std::make_unique<VmProgram>(k_, blk));
+
+  k_.Run();
+  EXPECT_EQ(k_.StateOf(t), ThreadState::kBlocked);
+  EXPECT_EQ(attempts, 1);
+
+  k_.machine().memory().Write32(0x700, 42);
+  k_.UnblockOne(wq);
+  k_.Run();
+  EXPECT_EQ(attempts, 2) << "the trap must re-execute after unblocking";
+  EXPECT_EQ(k_.machine().memory().Read32(0x704), 42u);
+  EXPECT_FALSE(k_.Alive(t));
+}
+
+TEST_F(VmProgramTest, BusFaultDeliversErrorTrap) {
+  Asm a("crasher");
+  a.MoveI(kA0, 0x7FFFFFF0);  // far outside simulated memory
+  a.Load32(kD0, kA0, 0);
+  a.Rts();
+  BlockId blk = k_.code().Install(a.BuildBlock());
+  FaultKind fault = FaultKind::kNone;
+  ThreadId t = k_.CreateThread(std::make_unique<VmProgram>(k_, blk, &fault));
+  k_.Run();
+  EXPECT_EQ(fault, FaultKind::kBusError);
+  EXPECT_FALSE(k_.Alive(t)) << "faulted thread exits after the error signal";
+}
+
+TEST_F(VmProgramTest, VmAndHostThreadsCoexist) {
+  class HostCounter : public UserProgram {
+   public:
+    HostCounter(int n, int* out) : n_(n), out_(out) {}
+    StepStatus Step(ThreadEnv& env) override {
+      env.kernel.machine().ChargeMicros(30);
+      (*out_)++;
+      return --n_ > 0 ? StepStatus::kYield : StepStatus::kDone;
+    }
+
+   private:
+    int n_;
+    int* out_;
+  };
+  Asm a("vm_side");
+  a.MoveI(kD0, 7).StoreA32(0x800, kD0).Rts();
+  BlockId blk = k_.code().Install(a.BuildBlock());
+  int host_steps = 0;
+  k_.CreateThread(std::make_unique<VmProgram>(k_, blk));
+  k_.CreateThread(std::make_unique<HostCounter>(5, &host_steps));
+  k_.Run();
+  EXPECT_EQ(k_.machine().memory().Read32(0x800), 7u);
+  EXPECT_EQ(host_steps, 5);
+}
+
+TEST_F(VmProgramTest, HaltTerminatesThread) {
+  Asm a("halter");
+  a.MoveI(kD0, 1).Halt();
+  BlockId blk = k_.code().Install(a.BuildBlock());
+  ThreadId t = k_.CreateThread(std::make_unique<VmProgram>(k_, blk));
+  k_.Run();
+  EXPECT_FALSE(k_.Alive(t));
+}
+
+}  // namespace
+}  // namespace synthesis
