@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_queues"
+  "../bench/ablation_queues.pdb"
+  "CMakeFiles/ablation_queues.dir/ablation_queues.cc.o"
+  "CMakeFiles/ablation_queues.dir/ablation_queues.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_queues.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_synthesis"
+  "../bench/ablation_synthesis.pdb"
+  "CMakeFiles/ablation_synthesis.dir/ablation_synthesis.cc.o"
+  "CMakeFiles/ablation_synthesis.dir/ablation_synthesis.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_synthesis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

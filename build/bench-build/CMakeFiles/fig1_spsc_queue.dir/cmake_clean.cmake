@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig1_spsc_queue"
+  "../bench/fig1_spsc_queue.pdb"
+  "CMakeFiles/fig1_spsc_queue.dir/fig1_spsc_queue.cc.o"
+  "CMakeFiles/fig1_spsc_queue.dir/fig1_spsc_queue.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_spsc_queue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig2_mpsc_queue"
+  "../bench/fig2_mpsc_queue.pdb"
+  "CMakeFiles/fig2_mpsc_queue.dir/fig2_mpsc_queue.cc.o"
+  "CMakeFiles/fig2_mpsc_queue.dir/fig2_mpsc_queue.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_mpsc_queue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

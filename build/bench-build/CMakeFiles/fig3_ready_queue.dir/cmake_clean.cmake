@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig3_ready_queue"
+  "../bench/fig3_ready_queue.pdb"
+  "CMakeFiles/fig3_ready_queue.dir/fig3_ready_queue.cc.o"
+  "CMakeFiles/fig3_ready_queue.dir/fig3_ready_queue.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_ready_queue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

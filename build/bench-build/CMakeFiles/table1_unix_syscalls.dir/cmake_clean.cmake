@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_unix_syscalls"
+  "../bench/table1_unix_syscalls.pdb"
+  "CMakeFiles/table1_unix_syscalls.dir/table1_unix_syscalls.cc.o"
+  "CMakeFiles/table1_unix_syscalls.dir/table1_unix_syscalls.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_unix_syscalls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

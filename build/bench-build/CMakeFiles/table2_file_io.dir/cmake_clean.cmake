@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table2_file_io"
+  "../bench/table2_file_io.pdb"
+  "CMakeFiles/table2_file_io.dir/table2_file_io.cc.o"
+  "CMakeFiles/table2_file_io.dir/table2_file_io.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_file_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table3_thread_ops"
+  "../bench/table3_thread_ops.pdb"
+  "CMakeFiles/table3_thread_ops.dir/table3_thread_ops.cc.o"
+  "CMakeFiles/table3_thread_ops.dir/table3_thread_ops.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_thread_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

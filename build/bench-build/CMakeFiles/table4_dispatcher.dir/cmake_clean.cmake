@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table4_dispatcher"
+  "../bench/table4_dispatcher.pdb"
+  "CMakeFiles/table4_dispatcher.dir/table4_dispatcher.cc.o"
+  "CMakeFiles/table4_dispatcher.dir/table4_dispatcher.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_dispatcher.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table5_interrupts"
+  "../bench/table5_interrupts.pdb"
+  "CMakeFiles/table5_interrupts.dir/table5_interrupts.cc.o"
+  "CMakeFiles/table5_interrupts.dir/table5_interrupts.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_interrupts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/audio_capture.dir/audio_capture.cpp.o"
+  "CMakeFiles/audio_capture.dir/audio_capture.cpp.o.d"
+  "audio_capture"
+  "audio_capture.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/audio_capture.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

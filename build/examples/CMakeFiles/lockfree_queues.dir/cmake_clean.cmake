@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lockfree_queues.dir/lockfree_queues.cpp.o"
+  "CMakeFiles/lockfree_queues.dir/lockfree_queues.cpp.o.d"
+  "lockfree_queues"
+  "lockfree_queues.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lockfree_queues.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tty_pipeline.dir/tty_pipeline.cpp.o"
+  "CMakeFiles/tty_pipeline.dir/tty_pipeline.cpp.o.d"
+  "tty_pipeline"
+  "tty_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tty_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

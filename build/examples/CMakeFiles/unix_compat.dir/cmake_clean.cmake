@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unix_compat.dir/unix_compat.cpp.o"
+  "CMakeFiles/unix_compat.dir/unix_compat.cpp.o.d"
+  "unix_compat"
+  "unix_compat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unix_compat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xclock_pump.dir/xclock_pump.cpp.o"
+  "CMakeFiles/xclock_pump.dir/xclock_pump.cpp.o.d"
+  "xclock_pump"
+  "xclock_pump.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xclock_pump.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

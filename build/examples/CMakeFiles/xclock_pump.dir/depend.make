@@ -1,0 +1,2 @@
+# Empty dependencies file for xclock_pump.
+# This may be replaced when dependencies are built.

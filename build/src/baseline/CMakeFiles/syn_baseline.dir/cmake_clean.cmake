@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/syn_baseline.dir/sunos.cc.o"
+  "CMakeFiles/syn_baseline.dir/sunos.cc.o.d"
+  "libsyn_baseline.a"
+  "libsyn_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/syn_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

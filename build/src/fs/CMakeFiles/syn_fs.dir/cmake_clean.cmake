@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/syn_fs.dir/disk.cc.o"
+  "CMakeFiles/syn_fs.dir/disk.cc.o.d"
+  "CMakeFiles/syn_fs.dir/file_system.cc.o"
+  "CMakeFiles/syn_fs.dir/file_system.cc.o.d"
+  "CMakeFiles/syn_fs.dir/name_table.cc.o"
+  "CMakeFiles/syn_fs.dir/name_table.cc.o.d"
+  "libsyn_fs.a"
+  "libsyn_fs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/syn_fs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

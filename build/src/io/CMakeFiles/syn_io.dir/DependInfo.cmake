@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/io/ad_device.cc" "src/io/CMakeFiles/syn_io.dir/ad_device.cc.o" "gcc" "src/io/CMakeFiles/syn_io.dir/ad_device.cc.o.d"
+  "/root/repo/src/io/copy_code.cc" "src/io/CMakeFiles/syn_io.dir/copy_code.cc.o" "gcc" "src/io/CMakeFiles/syn_io.dir/copy_code.cc.o.d"
+  "/root/repo/src/io/io_system.cc" "src/io/CMakeFiles/syn_io.dir/io_system.cc.o" "gcc" "src/io/CMakeFiles/syn_io.dir/io_system.cc.o.d"
+  "/root/repo/src/io/pump.cc" "src/io/CMakeFiles/syn_io.dir/pump.cc.o" "gcc" "src/io/CMakeFiles/syn_io.dir/pump.cc.o.d"
+  "/root/repo/src/io/tty.cc" "src/io/CMakeFiles/syn_io.dir/tty.cc.o" "gcc" "src/io/CMakeFiles/syn_io.dir/tty.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/kernel/CMakeFiles/syn_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/CMakeFiles/syn_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/syn_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/syn_machine.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

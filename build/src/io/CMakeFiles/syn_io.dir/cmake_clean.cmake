@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/syn_io.dir/ad_device.cc.o"
+  "CMakeFiles/syn_io.dir/ad_device.cc.o.d"
+  "CMakeFiles/syn_io.dir/copy_code.cc.o"
+  "CMakeFiles/syn_io.dir/copy_code.cc.o.d"
+  "CMakeFiles/syn_io.dir/io_system.cc.o"
+  "CMakeFiles/syn_io.dir/io_system.cc.o.d"
+  "CMakeFiles/syn_io.dir/pump.cc.o"
+  "CMakeFiles/syn_io.dir/pump.cc.o.d"
+  "CMakeFiles/syn_io.dir/tty.cc.o"
+  "CMakeFiles/syn_io.dir/tty.cc.o.d"
+  "libsyn_io.a"
+  "libsyn_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/syn_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernel/allocator.cc" "src/kernel/CMakeFiles/syn_kernel.dir/allocator.cc.o" "gcc" "src/kernel/CMakeFiles/syn_kernel.dir/allocator.cc.o.d"
+  "/root/repo/src/kernel/kernel.cc" "src/kernel/CMakeFiles/syn_kernel.dir/kernel.cc.o" "gcc" "src/kernel/CMakeFiles/syn_kernel.dir/kernel.cc.o.d"
+  "/root/repo/src/kernel/quaject.cc" "src/kernel/CMakeFiles/syn_kernel.dir/quaject.cc.o" "gcc" "src/kernel/CMakeFiles/syn_kernel.dir/quaject.cc.o.d"
+  "/root/repo/src/kernel/queue_code.cc" "src/kernel/CMakeFiles/syn_kernel.dir/queue_code.cc.o" "gcc" "src/kernel/CMakeFiles/syn_kernel.dir/queue_code.cc.o.d"
+  "/root/repo/src/kernel/ready_queue.cc" "src/kernel/CMakeFiles/syn_kernel.dir/ready_queue.cc.o" "gcc" "src/kernel/CMakeFiles/syn_kernel.dir/ready_queue.cc.o.d"
+  "/root/repo/src/kernel/scheduler.cc" "src/kernel/CMakeFiles/syn_kernel.dir/scheduler.cc.o" "gcc" "src/kernel/CMakeFiles/syn_kernel.dir/scheduler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/machine/CMakeFiles/syn_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/syn_synth.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/syn_kernel.dir/allocator.cc.o"
+  "CMakeFiles/syn_kernel.dir/allocator.cc.o.d"
+  "CMakeFiles/syn_kernel.dir/kernel.cc.o"
+  "CMakeFiles/syn_kernel.dir/kernel.cc.o.d"
+  "CMakeFiles/syn_kernel.dir/quaject.cc.o"
+  "CMakeFiles/syn_kernel.dir/quaject.cc.o.d"
+  "CMakeFiles/syn_kernel.dir/queue_code.cc.o"
+  "CMakeFiles/syn_kernel.dir/queue_code.cc.o.d"
+  "CMakeFiles/syn_kernel.dir/ready_queue.cc.o"
+  "CMakeFiles/syn_kernel.dir/ready_queue.cc.o.d"
+  "CMakeFiles/syn_kernel.dir/scheduler.cc.o"
+  "CMakeFiles/syn_kernel.dir/scheduler.cc.o.d"
+  "libsyn_kernel.a"
+  "libsyn_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/syn_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

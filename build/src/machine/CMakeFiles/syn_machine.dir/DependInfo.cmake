@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/machine/assembler.cc" "src/machine/CMakeFiles/syn_machine.dir/assembler.cc.o" "gcc" "src/machine/CMakeFiles/syn_machine.dir/assembler.cc.o.d"
+  "/root/repo/src/machine/cost_model.cc" "src/machine/CMakeFiles/syn_machine.dir/cost_model.cc.o" "gcc" "src/machine/CMakeFiles/syn_machine.dir/cost_model.cc.o.d"
+  "/root/repo/src/machine/disasm.cc" "src/machine/CMakeFiles/syn_machine.dir/disasm.cc.o" "gcc" "src/machine/CMakeFiles/syn_machine.dir/disasm.cc.o.d"
+  "/root/repo/src/machine/executor.cc" "src/machine/CMakeFiles/syn_machine.dir/executor.cc.o" "gcc" "src/machine/CMakeFiles/syn_machine.dir/executor.cc.o.d"
+  "/root/repo/src/machine/opcode.cc" "src/machine/CMakeFiles/syn_machine.dir/opcode.cc.o" "gcc" "src/machine/CMakeFiles/syn_machine.dir/opcode.cc.o.d"
+  "/root/repo/src/machine/trace_monitor.cc" "src/machine/CMakeFiles/syn_machine.dir/trace_monitor.cc.o" "gcc" "src/machine/CMakeFiles/syn_machine.dir/trace_monitor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/syn_machine.dir/assembler.cc.o"
+  "CMakeFiles/syn_machine.dir/assembler.cc.o.d"
+  "CMakeFiles/syn_machine.dir/cost_model.cc.o"
+  "CMakeFiles/syn_machine.dir/cost_model.cc.o.d"
+  "CMakeFiles/syn_machine.dir/disasm.cc.o"
+  "CMakeFiles/syn_machine.dir/disasm.cc.o.d"
+  "CMakeFiles/syn_machine.dir/executor.cc.o"
+  "CMakeFiles/syn_machine.dir/executor.cc.o.d"
+  "CMakeFiles/syn_machine.dir/opcode.cc.o"
+  "CMakeFiles/syn_machine.dir/opcode.cc.o.d"
+  "CMakeFiles/syn_machine.dir/trace_monitor.cc.o"
+  "CMakeFiles/syn_machine.dir/trace_monitor.cc.o.d"
+  "libsyn_machine.a"
+  "libsyn_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/syn_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

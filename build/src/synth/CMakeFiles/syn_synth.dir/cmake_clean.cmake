@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/syn_synth.dir/synthesizer.cc.o"
+  "CMakeFiles/syn_synth.dir/synthesizer.cc.o.d"
+  "libsyn_synth.a"
+  "libsyn_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/syn_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

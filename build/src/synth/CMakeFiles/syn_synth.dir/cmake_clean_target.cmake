@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsyn_synth.a"
+)

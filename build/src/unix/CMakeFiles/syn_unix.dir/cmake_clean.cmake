@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/syn_unix.dir/bench_programs.cc.o"
+  "CMakeFiles/syn_unix.dir/bench_programs.cc.o.d"
+  "CMakeFiles/syn_unix.dir/emulator.cc.o"
+  "CMakeFiles/syn_unix.dir/emulator.cc.o.d"
+  "libsyn_unix.a"
+  "libsyn_unix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/syn_unix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/io_blocks_test.dir/io_blocks_test.cc.o"
+  "CMakeFiles/io_blocks_test.dir/io_blocks_test.cc.o.d"
+  "io_blocks_test"
+  "io_blocks_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/io_blocks_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/io_system_test.dir/io_system_test.cc.o"
+  "CMakeFiles/io_system_test.dir/io_system_test.cc.o.d"
+  "io_system_test"
+  "io_system_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/io_system_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quaject_test.dir/quaject_test.cc.o"
+  "CMakeFiles/quaject_test.dir/quaject_test.cc.o.d"
+  "quaject_test"
+  "quaject_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quaject_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

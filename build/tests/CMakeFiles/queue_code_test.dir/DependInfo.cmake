@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/queue_code_test.cc" "tests/CMakeFiles/queue_code_test.dir/queue_code_test.cc.o" "gcc" "tests/CMakeFiles/queue_code_test.dir/queue_code_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/kernel/CMakeFiles/syn_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/syn_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/syn_machine.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/queue_code_test.dir/queue_code_test.cc.o"
+  "CMakeFiles/queue_code_test.dir/queue_code_test.cc.o.d"
+  "queue_code_test"
+  "queue_code_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/queue_code_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

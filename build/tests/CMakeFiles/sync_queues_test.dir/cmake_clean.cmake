@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sync_queues_test.dir/sync_queues_test.cc.o"
+  "CMakeFiles/sync_queues_test.dir/sync_queues_test.cc.o.d"
+  "sync_queues_test"
+  "sync_queues_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sync_queues_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sync_stress_test.dir/sync_stress_test.cc.o"
+  "CMakeFiles/sync_stress_test.dir/sync_stress_test.cc.o.d"
+  "sync_stress_test"
+  "sync_stress_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sync_stress_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

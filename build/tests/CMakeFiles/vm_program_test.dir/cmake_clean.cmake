@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vm_program_test.dir/vm_program_test.cc.o"
+  "CMakeFiles/vm_program_test.dir/vm_program_test.cc.o.d"
+  "vm_program_test"
+  "vm_program_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vm_program_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
