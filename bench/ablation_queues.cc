@@ -9,8 +9,10 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <string>
 #include <thread>
 
+#include "bench/bench_util.h"
 #include "src/io/ad_device.h"
 #include "src/kernel/kernel.h"
 #include "src/kernel/queue_code.h"
@@ -26,7 +28,7 @@ double MopsPerSec(Q& q, int producers, uint64_t per_producer) {
   std::atomic<uint64_t> consumed{0};
   uint64_t total = static_cast<uint64_t>(producers) * per_producer;
   std::thread consumer([&] {
-    uint64_t v;
+    uint64_t v = 0;
     while (consumed.load(std::memory_order_relaxed) < total) {
       if (q.TryGet(v)) {
         consumed.fetch_add(1, std::memory_order_relaxed);
@@ -69,6 +71,10 @@ void Main() {
     double ml = MopsPerSec(locked, producers, 300'000);
     std::printf("  %d producer(s): optimistic %6.2f Mops/s   locked %6.2f Mops/s   "
                 "(%.1fx)\n", producers, mo, ml, mo / ml);
+    BenchRecords().push_back(
+        BenchRecord{"Ablation 1: optimistic vs locked",
+                    std::to_string(producers) + " producer(s)", "Mops/s",
+                    "optimistic", "locked", mo, ml});
   }
 
   std::printf("\n=== Ablation 2: buffered queue insert (A/D, 8 words/element) ===\n");
@@ -92,6 +98,10 @@ void Main() {
     double unbuffered = sw2.micros() / kSamples;
     std::printf("  buffered insert:   %5.2f us/sample\n", buffered);
     std::printf("  plain queue put:   %5.2f us/sample\n", unbuffered);
+    BenchRecords().push_back(BenchRecord{"Ablation 2: buffered queue insert",
+                                         "A/D sample insert", "us/sample",
+                                         "buffered", "plain", buffered,
+                                         unbuffered});
     std::printf("  amortization gain: %.1fx  (enables 44,100 interrupts/s: "
                 "%.0f%% CPU at 16 MHz)\n", unbuffered / buffered,
                 buffered * 44100.0 / 1e6 * 100.0);
@@ -115,6 +125,9 @@ void Main() {
     std::printf("  the principle of frugality: pay for multi-producer safety\n"
                 "  only where multiple producers exist (%.0f%% extra cycles)\n",
                 100.0 * (static_cast<double>(b.cycles) / a.cycles - 1));
+    BenchRecords().push_back(BenchRecord{
+        "Ablation 3: dedicated vs optimistic", "queue put", "cycles", "spsc",
+        "mpsc", static_cast<double>(a.cycles), static_cast<double>(b.cycles)});
   }
 }
 
@@ -122,5 +135,6 @@ void Main() {
 
 int main() {
   synthesis::Main();
+  synthesis::WriteBenchJson("BENCH_ablation_queues.json");
   return 0;
 }

@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/bench_util.h"
 #include "src/fs/file_system.h"
 #include "src/io/io_system.h"
 #include "src/kernel/kernel.h"
@@ -108,6 +109,17 @@ void Main() {
   }
   const Measurement& best = rows.front().m;
   const Measurement& worst = rows.back().m;
+  for (const Row& r : rows) {
+    // Baseline is the general (synthesis-disabled) path; ratio < 1 = faster.
+    BenchRecords().push_back(BenchRecord{"Ablation: kernel code synthesis",
+                                         std::string(r.label) + " read 1B",
+                                         "us", "general", "configured",
+                                         worst.read1, r.m.read1});
+    BenchRecords().push_back(BenchRecord{"Ablation: kernel code synthesis",
+                                         std::string(r.label) + " pipe 1B",
+                                         "us", "general", "configured",
+                                         worst.pipe1, r.m.pipe1});
+  }
   std::printf("\nsynthesis speedup: read-1B %.1fx, read-1KB %.1fx, pipe-1B %.1fx, "
               "code %.1fx smaller\n",
               worst.read1 / best.read1, worst.read1k / best.read1k,
@@ -119,5 +131,6 @@ void Main() {
 
 int main() {
   synthesis::Main();
+  synthesis::WriteBenchJson("BENCH_ablation_synthesis.json");
   return 0;
 }

@@ -8,8 +8,10 @@
 // threads while the traditional one degrades.
 #include <cstdio>
 #include <memory>
+#include <string>
 #include <vector>
 
+#include "bench/bench_util.h"
 #include "src/kernel/kernel.h"
 #include "src/machine/assembler.h"
 #include "src/machine/executor.h"
@@ -91,8 +93,13 @@ void Main() {
   std::printf("%10s %26s %26s\n", "threads", "Synthesis switch (us)",
               "traditional dispatch (us)");
   for (int n : {2, 4, 8, 32, 128}) {
-    std::printf("%10d %23.2f us %23.2f us\n", n, SynthesisSwitchUs(n),
-                TraditionalSwitchUs(n));
+    double syn = SynthesisSwitchUs(n);
+    double trad = TraditionalSwitchUs(n);
+    std::printf("%10d %23.2f us %23.2f us\n", n, syn, trad);
+    BenchRecords().push_back(
+        BenchRecord{"Figure 3: executable ready queue",
+                    "switch @" + std::to_string(n) + " threads", "us",
+                    "synthesis", "traditional", syn, trad});
   }
   std::printf("\nThe Synthesis switch is constant (~11 us, Table 4) because the\n"
               "ready queue IS the dispatcher: each sw_out ends in a jmp patched\n"
@@ -104,5 +111,6 @@ void Main() {
 
 int main() {
   synthesis::Main();
+  synthesis::WriteBenchJson("BENCH_fig3_ready_queue.json");
   return 0;
 }

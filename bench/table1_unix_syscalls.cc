@@ -56,6 +56,10 @@ void PrintTable(const std::vector<Row>& rows) {
     std::printf("%-22s %11.2f us %11.2f us %8.1fx %8.1fx%s\n", r.label,
                 r.sun.per_iteration_us, r.syn.per_iteration_us, speedup,
                 r.paper_speedup, (r.sun.ok && r.syn.ok) ? "" : "  [FAILED]");
+    BenchRecords().push_back(BenchRecord{"Table 1: UNIX system calls", r.label,
+                                         "us/iter", "sunos", "synthesis",
+                                         r.sun.per_iteration_us,
+                                         r.syn.per_iteration_us});
   }
 }
 
@@ -125,5 +129,6 @@ void Main() {
 
 int main() {
   synthesis::Main();
+  synthesis::WriteBenchJson("BENCH_table1_unix_syscalls.json");
   return 0;
 }

@@ -155,5 +155,6 @@ void Main() {
 
 int main() {
   synthesis::Main();
+  synthesis::WriteBenchJson("BENCH_table2_file_io.json");
   return 0;
 }

@@ -90,5 +90,6 @@ void Main() {
 
 int main() {
   synthesis::Main();
+  synthesis::WriteBenchJson("BENCH_table3_thread_ops.json");
   return 0;
 }

@@ -106,5 +106,6 @@ void Main() {
 
 int main() {
   synthesis::Main();
+  synthesis::WriteBenchJson("BENCH_table4_dispatcher.json");
   return 0;
 }

@@ -128,5 +128,6 @@ void Main() {
 
 int main() {
   synthesis::Main();
+  synthesis::WriteBenchJson("BENCH_table5_interrupts.json");
   return 0;
 }

@@ -1,0 +1,129 @@
+// Datagram echo over a lossy wire: the synthesized network stack end to end.
+//
+// A NIC with a 10% drop / 5% corruption wire loops transmitted frames back to
+// its own receive side. A client thread sends sequence-numbered datagrams to
+// its own port and retransmits with exponential backoff until every payload
+// has made the round trip. Along the way:
+//
+//   - binding the socket re-synthesizes the packet demux (the port compare
+//     chain is constant-folded, checksum inlined, delivery a direct jump),
+//   - corrupted frames are rejected by the inlined checksum and counted,
+//   - dropped frames surface as retransmissions, all observable via gauges.
+//
+//   $ ./examples/net_echo
+#include <cstdio>
+#include <memory>
+#include <set>
+
+#include "src/io/io_system.h"
+#include "src/kernel/kernel.h"
+#include "src/net/socket.h"
+
+using namespace synthesis;
+
+namespace {
+
+constexpr int kTotal = 25;
+constexpr uint16_t kPort = 7;  // the echo port, naturally
+
+class EchoClient : public UserProgram {
+ public:
+  EchoClient(IoSystem& io, DatagramSocketLayer& net, SocketId sock,
+             std::set<int>* received, int* retransmits)
+      : io_(io), net_(net), sock_(sock), received_(received),
+        retransmits_(retransmits) {}
+
+  StepStatus Step(ThreadEnv& env) override {
+    Kernel& k = env.kernel;
+    if (buf_ == 0) {
+      buf_ = k.allocator().Allocate(16);
+    }
+    // Drain arrivals: a complete record is always >= 8 ring bytes, so >= 4
+    // available guarantees RecvFrom will not park this thread.
+    RingHost& ring = *net_.RingOf(sock_);
+    while (io_.RingAvail(ring) >= 4) {
+      if (net_.RecvFrom(sock_, buf_, 16) < 4) {
+        break;
+      }
+      int seq = static_cast<int>(k.machine().memory().Read32(buf_));
+      if (received_->insert(seq).second) {
+        std::printf("  echo %2d after %7.0f us%s\n", seq, k.NowUs(),
+                    *retransmits_ > shown_retx_ ? "  (retransmitted)" : "");
+        shown_retx_ = *retransmits_;
+      }
+    }
+    if (static_cast<int>(received_->size()) >= kTotal) {
+      return StepStatus::kDone;
+    }
+    bool acked = sent_once_ && received_->count(last_sent_) != 0;
+    if (!sent_once_ || acked || k.NowUs() >= deadline_us_) {
+      int next = 0;
+      while (received_->count(next) != 0) {
+        next++;
+      }
+      if (sent_once_ && last_sent_ == next) {
+        (*retransmits_)++;
+        rto_us_ *= 2;  // exponential backoff
+      } else {
+        rto_us_ = 200;
+      }
+      k.machine().memory().Write32(buf_, static_cast<uint32_t>(next));
+      net_.SendTo(sock_, kPort, buf_, 4);
+      sent_once_ = true;
+      last_sent_ = next;
+      deadline_us_ = k.NowUs() + rto_us_;
+    }
+    k.machine().Charge(50, 10, 0);
+    return StepStatus::kYield;
+  }
+
+ private:
+  IoSystem& io_;
+  DatagramSocketLayer& net_;
+  SocketId sock_;
+  std::set<int>* received_;
+  int* retransmits_;
+  Addr buf_ = 0;
+  bool sent_once_ = false;
+  int last_sent_ = -1;
+  int shown_retx_ = 0;
+  double rto_us_ = 200;
+  double deadline_us_ = 0;
+};
+
+}  // namespace
+
+int main() {
+  Kernel kernel;
+  IoSystem io(kernel, nullptr);
+  NicConfig nc;
+  nc.drop_rate = 0.10;     // one frame in ten vanishes on the wire
+  nc.corrupt_rate = 0.05;  // one in twenty takes a flipped byte
+  nc.fault_seed = 3;
+  NicDevice nic(kernel, nc);
+  DatagramSocketLayer net(kernel, io, nic);
+
+  SocketId sock = net.Socket();
+  net.Bind(sock, kPort);
+  std::printf("bound port %u; synthesized demux block %u installed\n\n", kPort,
+              nic.demux().synthesized_demux());
+
+  std::set<int> received;
+  int retransmits = 0;
+  kernel.CreateThread(
+      std::make_unique<EchoClient>(io, net, sock, &received, &retransmits));
+  kernel.Run(2'000'000);
+
+  std::printf("\ndelivered %zu/%d payloads in %.0f us of virtual time\n",
+              received.size(), kTotal, kernel.NowUs());
+  std::printf("  retransmissions:     %d\n", retransmits);
+  std::printf("  wire drops:          %llu\n",
+              static_cast<unsigned long long>(nic.wire_drop_gauge().events()));
+  std::printf("  checksum rejects:    %llu  (corrupted frames caught by the\n"
+              "                             demux's inlined checksum)\n",
+              static_cast<unsigned long long>(
+                  nic.csum_reject_gauge().events()));
+  std::printf("  frames demuxed:      %llu\n",
+              static_cast<unsigned long long>(nic.rx_gauge().events()));
+  return received.size() == kTotal ? 0 : 1;
+}

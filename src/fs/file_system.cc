@@ -34,8 +34,10 @@ uint32_t FileSystem::CreateFile(const std::string& name,
   assert(next_sector_ <= disk_.geometry().sectors && "disk full");
 
   // mkfs-style write: place the initial contents directly on the platter.
-  size_t off = static_cast<size_t>(meta.first_sector) * sector_bytes;
-  std::memcpy(disk_.backing().data() + off, contents.data(), contents.size());
+  if (!contents.empty()) {
+    size_t off = static_cast<size_t>(meta.first_sector) * sector_bytes;
+    std::memcpy(disk_.backing().data() + off, contents.data(), contents.size());
+  }
 
   files_[id] = meta;
   return id;

@@ -50,6 +50,8 @@ enum class Vector : uint32_t {
   kSysWrite = 9,
   kSysOpen = 10,
   kSysClose = 11,
+  kNetRx = 12,        // NIC packet-received interrupt
+  kNetTx = 13,        // NIC transmit-complete interrupt
   kNumVectors = 16,
 };
 

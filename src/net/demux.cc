@@ -1,0 +1,471 @@
+#include "src/net/demux.h"
+
+#include <cassert>
+#include <string>
+
+#include "src/io/channel.h"
+#include "src/io/switchboard.h"
+#include "src/machine/assembler.h"
+
+namespace synthesis {
+
+namespace {
+
+// Counter words, relative to ctrs_.
+constexpr uint32_t kCtrCsum = 0;
+constexpr uint32_t kCtrMalformed = 4;
+constexpr uint32_t kCtrDrops = 8;
+constexpr uint32_t kCtrTotal = 12;
+constexpr uint32_t kCtrBytes = 16;
+
+// Generic flow-table entry, relative to entry base.
+constexpr uint32_t kEntPort = 0;
+constexpr uint32_t kEntRing = 4;
+constexpr uint32_t kEntCtr = 8;
+constexpr uint32_t kEntFixed = 12;
+constexpr uint32_t kEntBytes = 16;
+
+// Emits the counter-bump sequence `*addr_sym += 1` (clobbers d1).
+void BumpCounter(Asm& a, const std::string& addr_sym) {
+  a.LoadA32(kD1, Asm::Sym(addr_sym));
+  a.AddI(kD1, 1);
+  a.StoreA32(Asm::Sym(addr_sym), kD1);
+}
+
+// One byte into the flow ring at cursor d3 (specialized delivery): the buffer
+// base and mask are symbolic holes the synthesizer folds to immediates.
+void PutByteSpecialized(Asm& a) {
+  a.Lea(kA2, kD3, Asm::Sym("buf"));
+  a.Store8(kA2, kD1, 0);
+  a.AddI(kD3, 1);
+  a.AndI(kD3, Asm::Sym("mask"));
+}
+
+// The shared checksum verifier: a1 = frame, d0 = 1 ok / 0 mismatch.
+// Clobbers d0, d1, d3, a4. Callers MUST have validated the length field
+// (<= kMaxPayload) first: the loop trusts it.
+CodeTemplate CsumTemplate() {
+  Asm a("net_csum");
+  a.Load32(kD0, kA1, FrameLayout::kDstPort);
+  a.Load32(kD1, kA1, FrameLayout::kSrcPort);
+  a.Add(kD0, kD1);
+  a.Load32(kD3, kA1, FrameLayout::kLength);
+  a.Add(kD0, kD3);
+  a.Move(kA4, kA1);
+  a.AddI(kA4, FrameLayout::kPayload);
+  a.Label("loop");
+  a.Tst(kD3);
+  a.Beq("done");
+  a.Load8(kD1, kA4, 0);
+  a.Add(kD0, kD1);
+  a.AddI(kA4, 1);
+  a.SubI(kD3, 1);
+  a.Bra("loop");
+  a.Label("done");
+  a.Load32(kD1, kA1, FrameLayout::kChecksum);
+  a.Cmp(kD0, kD1);
+  a.Beq("ok");
+  a.MoveI(kD0, 0);
+  a.Rts();
+  a.Label("ok");
+  a.MoveI(kD0, 1);
+  a.Rts();
+  return a.Build();
+}
+
+// The general single-byte ring put of Figure 1: a4 = ring, d1 = byte.
+// Reloads head/tail/mask from the ring every call — the procedure-call-per-
+// byte cost the synthesized path eliminates. Clobbers d0, d3, d4, d7, a6.
+CodeTemplate Put1Template() {
+  Asm a("net_put1");
+  a.Load32(kD3, kA4, RingLayout::kHead);
+  a.Lea(kD4, kD3, 1);
+  a.Load32(kD7, kA4, RingLayout::kMask);
+  a.And(kD4, kD7);
+  a.Load32(kD0, kA4, RingLayout::kTail);
+  a.Cmp(kD4, kD0);
+  a.Beq("full");
+  a.Move(kA6, kA4);
+  a.AddI(kA6, RingLayout::kBuf);
+  a.Add(kA6, kD3);
+  a.Store8(kA6, kD1, 0);
+  a.Store32(kA4, kD4, RingLayout::kHead);
+  a.MoveI(kD0, 1);
+  a.Rts();
+  a.Label("full");
+  a.MoveI(kD0, 0);
+  a.Rts();
+  return a.Build();
+}
+
+// Generic layered delivery: a1 = frame, a2 = flow-table entry, a4 = ring,
+// d5 = payload length (validated). Space-checks, then moves the 4-byte
+// header and the payload one generic put1 call per byte.
+CodeTemplate DeliverGenericTemplate() {
+  Asm a("net_deliver_gen");
+  a.Load32(kD3, kA4, RingLayout::kHead);
+  a.Load32(kD4, kA4, RingLayout::kTail);
+  a.Load32(kD7, kA4, RingLayout::kMask);
+  a.Move(kD0, kD4);
+  a.Sub(kD0, kD3);
+  a.SubI(kD0, 1);
+  a.And(kD0, kD7);  // space = (tail - head - 1) & mask
+  a.Move(kD1, kD5);
+  a.AddI(kD1, 4);   // need = len + header
+  a.Cmp(kD1, kD0);
+  a.Bls("room");
+  BumpCounter(a, "ctr_drop");
+  a.MoveI(kD0, 0);
+  a.Rts();
+  a.Label("room");
+  a.Move(kD1, kD5);
+  a.AndI(kD1, 255);
+  a.Jsr(Asm::Sym("put1"));
+  a.Move(kD1, kD5);
+  a.LsrI(kD1, 8);
+  a.AndI(kD1, 255);
+  a.Jsr(Asm::Sym("put1"));
+  a.Load32(kD1, kA1, FrameLayout::kSrcPort);
+  a.AndI(kD1, 255);
+  a.Jsr(Asm::Sym("put1"));
+  a.Load32(kD1, kA1, FrameLayout::kSrcPort);
+  a.LsrI(kD1, 8);
+  a.AndI(kD1, 255);
+  a.Jsr(Asm::Sym("put1"));
+  a.Move(kA3, kA1);
+  a.AddI(kA3, FrameLayout::kPayload);
+  a.Move(kD6, kD5);
+  a.Label("ploop");
+  a.Tst(kD6);
+  a.Beq("pdone");
+  a.Load8(kD1, kA3, 0);
+  a.Jsr(Asm::Sym("put1"));
+  a.AddI(kA3, 1);
+  a.SubI(kD6, 1);
+  a.Bra("ploop");
+  a.Label("pdone");
+  a.Load32(kA5, kA2, kEntCtr);  // per-flow delivered counter address
+  a.Load32(kD1, kA5, 0);
+  a.AddI(kD1, 1);
+  a.Store32(kA5, kD1, 0);
+  BumpCounter(a, "ctr_total");
+  a.MoveI(kD0, 1);
+  a.Rts();
+  return a.Build();
+}
+
+// The generic interpreted demux: walks the flow table in memory, then runs
+// checksum + delivery through procedure calls. a1 = frame base.
+CodeTemplate GenericDemuxTemplate() {
+  Asm a("net_demux_gen");
+  a.Load32(kD2, kA1, FrameLayout::kDstPort);
+  a.MoveI(kA2, Asm::Sym("ftab"));
+  a.Load32(kD6, kA2, 0);  // live flow count
+  a.AddI(kA2, 4);
+  a.Label("loop");
+  a.Tst(kD6);
+  a.Beq("nomatch");
+  a.Load32(kD1, kA2, kEntPort);
+  a.Cmp(kD1, kD2);
+  a.Beq("match");
+  a.AddI(kA2, kEntBytes);
+  a.SubI(kD6, 1);
+  a.Bra("loop");
+  a.Label("nomatch");
+  a.MoveI(kD0, -2);
+  a.Rts();
+  a.Label("match");
+  a.Load32(kD5, kA1, FrameLayout::kLength);
+  a.MoveI(kD1, FrameLayout::kMaxPayload);
+  a.Cmp(kD5, kD1);
+  a.Bls("lenok");
+  a.Label("bad");
+  BumpCounter(a, "ctr_mal");
+  a.MoveI(kD0, 0);
+  a.Rts();
+  a.Label("lenok");
+  a.Load32(kD1, kA2, kEntFixed);
+  a.Tst(kD1);
+  a.Beq("flex");
+  a.Cmp(kD1, kD5);
+  a.Bne("bad");
+  a.Label("flex");
+  a.Jsr(Asm::Sym("csum"));
+  a.Tst(kD0);
+  a.Bne("ck");
+  BumpCounter(a, "ctr_csum");
+  a.MoveI(kD0, 0);
+  a.Rts();
+  a.Label("ck");
+  a.Load32(kA4, kA2, kEntRing);
+  a.Jsr(Asm::Sym("deliver"));
+  a.Rts();
+  return a.Build();
+}
+
+}  // namespace
+
+DemuxSynthesizer::DemuxSynthesizer(Kernel& kernel) : kernel_(kernel) {
+  ftab_ = kernel_.allocator().Allocate(4 + kMaxFlows * kEntBytes);
+  ctrs_ = kernel_.allocator().Allocate(kCtrBytes);
+  Memory& mem = kernel_.machine().memory();
+  mem.Write32(ftab_, 0);
+  for (uint32_t off = 0; off < kCtrBytes; off += 4) {
+    mem.Write32(ctrs_ + off, 0);
+  }
+
+  // The generic path is installed verbatim: it IS the unspecialized layered
+  // kernel a traditional protocol stack runs on every packet.
+  SynthesisOptions verbatim = SynthesisOptions::Disabled();
+  put1_ = kernel_.SynthesizeInstall(Put1Template(), Bindings(), nullptr,
+                                    "net_put1", nullptr, &verbatim);
+  csum_ = kernel_.SynthesizeInstall(CsumTemplate(), Bindings(), nullptr,
+                                    "net_csum", nullptr, &verbatim);
+  Bindings dg;
+  dg.Set("put1", static_cast<int32_t>(put1_));
+  dg.Set("ctr_drop", static_cast<int32_t>(ctrs_ + kCtrDrops));
+  dg.Set("ctr_total", static_cast<int32_t>(ctrs_ + kCtrTotal));
+  deliver_gen_ = kernel_.SynthesizeInstall(DeliverGenericTemplate(), dg, nullptr,
+                                           "net_deliver_gen", nullptr, &verbatim);
+  Bindings gd;
+  gd.Set("ftab", static_cast<int32_t>(ftab_));
+  gd.Set("csum", static_cast<int32_t>(csum_));
+  gd.Set("deliver", static_cast<int32_t>(deliver_gen_));
+  gd.Set("ctr_mal", static_cast<int32_t>(ctrs_ + kCtrMalformed));
+  gd.Set("ctr_csum", static_cast<int32_t>(ctrs_ + kCtrCsum));
+  generic_ = kernel_.SynthesizeInstall(GenericDemuxTemplate(), gd, nullptr,
+                                       "net_demux_gen", nullptr, &verbatim);
+  RebuildSynthesized();
+}
+
+const DemuxSynthesizer::Flow* DemuxSynthesizer::Find(uint16_t port) const {
+  for (const Flow& f : flows_) {
+    if (f.port == port) {
+      return &f;
+    }
+  }
+  return nullptr;
+}
+
+bool DemuxSynthesizer::HasFlow(uint16_t port) const { return Find(port) != nullptr; }
+
+bool DemuxSynthesizer::AddFlow(uint16_t port, Addr ring_base, uint32_t fixed_len) {
+  if (flows_.size() >= kMaxFlows || Find(port) != nullptr ||
+      fixed_len > FrameLayout::kMaxPayload) {
+    return false;
+  }
+  Flow f;
+  f.port = port;
+  f.ring = ring_base;
+  f.fixed_len = fixed_len;
+  f.ctr = kernel_.allocator().Allocate(4);
+  kernel_.machine().memory().Write32(f.ctr, 0);
+  f.deliver = SynthesizeDeliver(f);
+  flows_.push_back(f);
+  RebuildGenericTable();
+  RebuildSynthesized();
+  return true;
+}
+
+bool DemuxSynthesizer::RemoveFlow(uint16_t port) {
+  for (size_t i = 0; i < flows_.size(); i++) {
+    if (flows_[i].port == port) {
+      kernel_.allocator().Free(flows_[i].ctr);
+      flows_.erase(flows_.begin() + static_cast<long>(i));
+      RebuildGenericTable();
+      RebuildSynthesized();
+      return true;
+    }
+  }
+  return false;
+}
+
+void DemuxSynthesizer::RebuildGenericTable() {
+  Memory& mem = kernel_.machine().memory();
+  mem.Write32(ftab_, static_cast<uint32_t>(flows_.size()));
+  for (size_t i = 0; i < flows_.size(); i++) {
+    Addr e = ftab_ + 4 + static_cast<uint32_t>(i) * kEntBytes;
+    mem.Write32(e + kEntPort, flows_[i].port);
+    mem.Write32(e + kEntRing, flows_[i].ring);
+    mem.Write32(e + kEntCtr, flows_[i].ctr);
+    mem.Write32(e + kEntFixed, flows_[i].fixed_len);
+  }
+  // Table maintenance: a handful of stores per flow.
+  kernel_.machine().Charge(20 + 16 * static_cast<uint32_t>(flows_.size()), 4,
+                           4 * static_cast<uint32_t>(flows_.size()));
+}
+
+BlockId DemuxSynthesizer::SynthesizeDeliver(const Flow& f) const {
+  Memory& mem = kernel_.machine().memory();
+  uint32_t mask = mem.Read32(f.ring + RingLayout::kMask);
+  const std::string name =
+      "net_deliver$" + std::to_string(f.port) + "#" + std::to_string(rebuilds_);
+  const bool unrolled = f.fixed_len > 0 && f.fixed_len <= kUnrollLimit;
+
+  Asm a(name);
+  a.MoveI(kD2, Asm::Sym("port"));  // matched port, for the NIC wake path
+  a.Load32(kD5, kA1, FrameLayout::kLength);
+  if (f.fixed_len > 0) {
+    // The datagram size is a flow invariant: anything else is malformed.
+    a.CmpI(kD5, Asm::Sym("fixed"));
+    a.Beq("lenok");
+  } else {
+    a.MoveI(kD1, FrameLayout::kMaxPayload);
+    a.Cmp(kD5, kD1);
+    a.Bls("lenok");
+  }
+  BumpCounter(a, "ctr_mal");
+  a.MoveI(kD0, 0);
+  a.Rts();
+  a.Label("lenok");
+  if (unrolled) {
+    // Checksum with the length folded in and the byte loop unrolled.
+    a.Load32(kD0, kA1, FrameLayout::kDstPort);
+    a.Load32(kD1, kA1, FrameLayout::kSrcPort);
+    a.Add(kD0, kD1);
+    a.AddI(kD0, Asm::Sym("fixed"));
+    for (uint32_t i = 0; i < f.fixed_len; i++) {
+      a.Load8(kD1, kA1, FrameLayout::kPayload + i);
+      a.Add(kD0, kD1);
+    }
+    a.Load32(kD1, kA1, FrameLayout::kChecksum);
+    a.Cmp(kD0, kD1);
+    a.Beq("ck");
+  } else {
+    a.Jsr(Asm::Sym("csum"));  // inlined by Collapsing Layers
+    a.Tst(kD0);
+    a.Bne("ck");
+  }
+  BumpCounter(a, "ctr_csum");
+  a.MoveI(kD0, 0);
+  a.Rts();
+  a.Label("ck");
+  // Space check against folded ring constants; need = len + 4-byte header.
+  a.LoadA32(kD3, Asm::Sym("head"));
+  a.LoadA32(kD4, Asm::Sym("tail"));
+  a.Move(kD0, kD4);
+  a.Sub(kD0, kD3);
+  a.SubI(kD0, 1);
+  a.AndI(kD0, Asm::Sym("mask"));
+  a.Move(kD1, kD5);
+  a.AddI(kD1, 4);
+  a.Cmp(kD1, kD0);
+  a.Bls("room");
+  BumpCounter(a, "ctr_drop");
+  a.MoveI(kD0, 0);
+  a.Rts();
+  a.Label("room");
+  // Bulk insert with the producer index in d3, published once at the end —
+  // the optimistic SPSC discipline (§3.2: publish last).
+  a.Move(kD1, kD5);
+  a.AndI(kD1, 255);
+  PutByteSpecialized(a);
+  a.Move(kD1, kD5);
+  a.LsrI(kD1, 8);
+  a.AndI(kD1, 255);
+  PutByteSpecialized(a);
+  a.Load32(kD1, kA1, FrameLayout::kSrcPort);
+  a.AndI(kD1, 255);
+  PutByteSpecialized(a);
+  a.Load32(kD1, kA1, FrameLayout::kSrcPort);
+  a.LsrI(kD1, 8);
+  a.AndI(kD1, 255);
+  PutByteSpecialized(a);
+  if (unrolled) {
+    for (uint32_t i = 0; i < f.fixed_len; i++) {
+      a.Load8(kD1, kA1, FrameLayout::kPayload + i);
+      PutByteSpecialized(a);
+    }
+  } else {
+    a.Move(kA3, kA1);
+    a.AddI(kA3, FrameLayout::kPayload);
+    a.Move(kD6, kD5);
+    a.Label("uloop");
+    a.Tst(kD6);
+    a.Beq("udone");
+    a.Load8(kD1, kA3, 0);
+    PutByteSpecialized(a);
+    a.AddI(kA3, 1);
+    a.SubI(kD6, 1);
+    a.Bra("uloop");
+    a.Label("udone");
+  }
+  a.StoreA32(Asm::Sym("head"), kD3);
+  BumpCounter(a, "ctr_flow");
+  BumpCounter(a, "ctr_total");
+  a.MoveI(kD0, 1);
+  a.Rts();
+
+  Bindings b;
+  b.Set("port", f.port);
+  b.Set("fixed", static_cast<int32_t>(f.fixed_len));
+  b.Set("csum", static_cast<int32_t>(csum_));
+  b.Set("head", static_cast<int32_t>(f.ring + RingLayout::kHead));
+  b.Set("tail", static_cast<int32_t>(f.ring + RingLayout::kTail));
+  b.Set("buf", static_cast<int32_t>(f.ring + RingLayout::kBuf));
+  b.Set("mask", static_cast<int32_t>(mask));
+  b.Set("ctr_mal", static_cast<int32_t>(ctrs_ + kCtrMalformed));
+  b.Set("ctr_csum", static_cast<int32_t>(ctrs_ + kCtrCsum));
+  b.Set("ctr_drop", static_cast<int32_t>(ctrs_ + kCtrDrops));
+  b.Set("ctr_flow", static_cast<int32_t>(f.ctr));
+  b.Set("ctr_total", static_cast<int32_t>(ctrs_ + kCtrTotal));
+  SynthesisOptions opts = kernel_.config().synthesis;
+  opts.live_out |= (1u << kD0) | (1u << kD1) | (1u << kD2);
+  // Bindings with unbound "fixed"/"port" would abort: the template binds all.
+  return kernel_.SynthesizeInstall(a.Build(), b, nullptr, name, nullptr, &opts);
+}
+
+void DemuxSynthesizer::RebuildSynthesized() {
+  rebuilds_++;
+  const std::string name = "net_demux_syn#" + std::to_string(rebuilds_);
+  Switchboard sb;
+  for (const Flow& f : flows_) {
+    sb.AddCase(f.port, f.deliver);
+  }
+  CodeTemplate chain = sb.BuildTemplate(name);
+  // Prepend the selector load (the destination port) and retarget the chain's
+  // absolute branch indices, as Switchboard::Synthesize does.
+  Asm pre(name);
+  pre.Load32(kD0, kA1, FrameLayout::kDstPort);
+  CodeTemplate t = pre.Build();
+  t.block.code.insert(t.block.code.end(), chain.block.code.begin(),
+                      chain.block.code.end());
+  for (Instr& in : t.block.code) {
+    if (IsBranch(in.op)) {
+      in.imm += 1;
+    }
+  }
+  SynthesisOptions opts = kernel_.config().synthesis;
+  opts.live_out |= (1u << kD0) | (1u << kD1) | (1u << kD2);
+  synthesized_ =
+      kernel_.SynthesizeInstall(t, Bindings(), nullptr, name, &last_stats_, &opts);
+}
+
+uint64_t DemuxSynthesizer::csum_rejects() const {
+  return kernel_.machine().memory().Read32(ctrs_ + kCtrCsum);
+}
+uint64_t DemuxSynthesizer::malformed() const {
+  return kernel_.machine().memory().Read32(ctrs_ + kCtrMalformed);
+}
+uint64_t DemuxSynthesizer::ring_drops() const {
+  return kernel_.machine().memory().Read32(ctrs_ + kCtrDrops);
+}
+uint64_t DemuxSynthesizer::delivered_total() const {
+  return kernel_.machine().memory().Read32(ctrs_ + kCtrTotal);
+}
+uint64_t DemuxSynthesizer::delivered(uint16_t port) const {
+  const Flow* f = Find(port);
+  return f == nullptr ? 0 : kernel_.machine().memory().Read32(f->ctr);
+}
+
+void DemuxSynthesizer::ResetCounters() {
+  Memory& mem = kernel_.machine().memory();
+  for (uint32_t off = 0; off < kCtrBytes; off += 4) {
+    mem.Write32(ctrs_ + off, 0);
+  }
+  for (const Flow& f : flows_) {
+    mem.Write32(f.ctr, 0);
+  }
+}
+
+}  // namespace synthesis

@@ -1,0 +1,100 @@
+// Packet demultiplexing, generic and synthesized (§2.2, §2.3, §5).
+//
+// The demux decides, per received frame, which open flow (destination port)
+// the packet belongs to, verifies the checksum, and deposits
+// [len.lo len.hi src.lo src.hi payload...] into the flow's byte ring. Two
+// implementations of the same contract coexist:
+//
+//  * The GENERIC demux is the traditional layered path: it walks a flow table
+//    in memory, calls a shared checksum routine, and delivers through a
+//    general single-byte ring put — one procedure call per byte, the general
+//    Q_put of Figure 1. This is the measured baseline.
+//
+//  * The SYNTHESIZED demux is re-emitted by the DemuxSynthesizer whenever a
+//    flow opens or closes, applying the paper's three methods: the flow
+//    table is compiled into a compare-with-immediate chain ending in direct
+//    jumps (the Switchboard building block — the demux table IS code you
+//    jump through), per-flow ring constants are folded into a bulk insert
+//    that publishes the producer index once (Factoring Invariants), and the
+//    checksum and delivery bodies are inlined into the chain (Collapsing
+//    Layers). Flows declaring a fixed datagram size get their checksum and
+//    copy loops unrolled with the length folded to an immediate.
+//
+// Demux contract (both routines): a1 = frame base. Returns d0 = 1 delivered,
+// 0 rejected (checksum / malformed length / ring full; counters in simulated
+// memory record which), -2 no matching flow. d2 = matched destination port
+// whenever d0 != -2.
+#ifndef SRC_NET_DEMUX_H_
+#define SRC_NET_DEMUX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/kernel/kernel.h"
+#include "src/net/frame.h"
+
+namespace synthesis {
+
+class DemuxSynthesizer {
+ public:
+  static constexpr uint32_t kMaxFlows = 16;
+  // Fixed-size flows up to this many payload bytes get fully unrolled
+  // checksum and copy code.
+  static constexpr uint32_t kUnrollLimit = 64;
+
+  explicit DemuxSynthesizer(Kernel& kernel);
+
+  // Opens a flow for `port` delivering into the ring at `ring_base`
+  // (a RingLayout ring). `fixed_len` > 0 declares every datagram of the flow
+  // to be exactly that many payload bytes — an invariant the synthesizer
+  // folds. Returns false when the port is taken or the table is full.
+  bool AddFlow(uint16_t port, Addr ring_base, uint32_t fixed_len = 0);
+  bool RemoveFlow(uint16_t port);
+  bool HasFlow(uint16_t port) const;
+  size_t flow_count() const { return flows_.size(); }
+
+  // The two interchangeable demux routines (rebuilt on every flow change).
+  BlockId generic_demux() const { return generic_; }
+  BlockId synthesized_demux() const { return synthesized_; }
+
+  // Counters, bumped by the demux micro-code in simulated memory.
+  uint64_t csum_rejects() const;
+  uint64_t malformed() const;
+  uint64_t ring_drops() const;
+  uint64_t delivered_total() const;
+  uint64_t delivered(uint16_t port) const;
+  void ResetCounters();
+
+  // Stats of the last synthesized-demux rebuild.
+  const SynthesisStats& last_stats() const { return last_stats_; }
+
+ private:
+  struct Flow {
+    uint16_t port = 0;
+    Addr ring = 0;
+    Addr ctr = 0;  // per-flow delivered counter word
+    uint32_t fixed_len = 0;
+    BlockId deliver = kInvalidBlock;
+  };
+
+  const Flow* Find(uint16_t port) const;
+  void RebuildGenericTable();
+  void RebuildSynthesized();
+  BlockId SynthesizeDeliver(const Flow& f) const;
+
+  Kernel& kernel_;
+  Addr ftab_ = 0;  // count word + kMaxFlows entries of 16 bytes
+  Addr ctrs_ = 0;  // csum_rejects / malformed / ring_drops / delivered_total
+  BlockId csum_ = kInvalidBlock;        // shared checksum verify routine
+  BlockId put1_ = kInvalidBlock;        // generic one-byte ring put
+  BlockId deliver_gen_ = kInvalidBlock; // generic layered delivery
+  BlockId generic_ = kInvalidBlock;
+  BlockId synthesized_ = kInvalidBlock;
+  std::vector<Flow> flows_;
+  SynthesisStats last_stats_;
+  uint32_t rebuilds_ = 0;  // uniquifies block names across re-synthesis
+};
+
+}  // namespace synthesis
+
+#endif  // SRC_NET_DEMUX_H_

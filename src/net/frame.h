@@ -1,0 +1,56 @@
+// Datagram frame layout for the simulated Ethernet NIC.
+//
+// Frames live in simulated memory (the NIC's RX/TX descriptor slots). The
+// layout uses 32-bit fields so the demultiplexing micro-code can address every
+// header word with one load. The checksum is a plain 32-bit sum over the
+// header's port/length words and the payload bytes — cheap enough to inline
+// into synthesized demux code, and wraparound matches the machine's 32-bit
+// adds, so the host-side builder and the micro-code verifier always agree.
+#ifndef SRC_NET_FRAME_H_
+#define SRC_NET_FRAME_H_
+
+#include <cstdint>
+
+#include "src/machine/memory.h"
+
+namespace synthesis {
+
+struct FrameLayout {
+  static constexpr uint32_t kDstPort = 0;    // u32 destination port
+  static constexpr uint32_t kSrcPort = 4;    // u32 source port
+  static constexpr uint32_t kLength = 8;     // u32 payload bytes
+  static constexpr uint32_t kChecksum = 12;  // u32 sum (see FrameChecksum)
+  static constexpr uint32_t kPayload = 16;
+
+  static constexpr uint32_t kMaxPayload = 1024;
+  static constexpr uint32_t kSlotBytes = kPayload + kMaxPayload;
+};
+
+// The checksum the demux micro-code verifies: dst + src + len + payload bytes,
+// all mod 2^32.
+inline uint32_t FrameChecksum(uint32_t dst_port, uint32_t src_port,
+                              const uint8_t* payload, uint32_t n) {
+  uint32_t sum = dst_port + src_port + n;
+  for (uint32_t i = 0; i < n; i++) {
+    sum += payload[i];
+  }
+  return sum;
+}
+
+// Writes a complete frame (with a valid checksum) at `slot`. The caller is
+// responsible for charging whatever DMA/copy cost models the transfer.
+inline void WriteFrame(Memory& mem, Addr slot, uint32_t dst_port,
+                       uint32_t src_port, const uint8_t* payload, uint32_t n) {
+  mem.Write32(slot + FrameLayout::kDstPort, dst_port);
+  mem.Write32(slot + FrameLayout::kSrcPort, src_port);
+  mem.Write32(slot + FrameLayout::kLength, n);
+  mem.Write32(slot + FrameLayout::kChecksum,
+              FrameChecksum(dst_port, src_port, payload, n));
+  if (n > 0) {
+    mem.WriteBytes(slot + FrameLayout::kPayload, payload, n);
+  }
+}
+
+}  // namespace synthesis
+
+#endif  // SRC_NET_FRAME_H_

@@ -1,0 +1,205 @@
+#include "src/net/nic_device.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/machine/assembler.h"
+
+namespace synthesis {
+
+NicDevice::NicDevice(Kernel& kernel, NicConfig config)
+    : kernel_(kernel),
+      config_(config),
+      demux_(kernel),
+      wire_(config.tx_slots),
+      rng_(config.fault_seed) {
+  assert((config_.rx_slots & (config_.rx_slots - 1)) == 0);
+  assert((config_.tx_slots & (config_.tx_slots - 1)) == 0);
+  rx_base_ = kernel_.allocator().Allocate(config_.rx_slots * FrameLayout::kSlotBytes);
+  tx_base_ = kernel_.allocator().Allocate(config_.tx_slots * FrameLayout::kSlotBytes);
+  demux_cell_ = kernel_.allocator().Allocate(4);
+  RefreshDemuxCell();
+
+  int rxdone_vec = kernel_.RegisterHostTrap([this](Machine& m) {
+    rx_inflight_ = rx_inflight_ == 0 ? 0 : rx_inflight_ - 1;
+    rx_gauge_.Count();
+    uint32_t result = m.reg(kD0);
+    if (result == 1) {
+      auto it = rings_.find(static_cast<uint16_t>(m.reg(kD2)));
+      if (it != rings_.end()) {
+        kernel_.UnblockOne(it->second->readers);
+      }
+    } else if (result == static_cast<uint32_t>(-2)) {
+      nomatch_gauge_.Count();
+    }
+    // Mirror the micro-code's checksum-reject counter into a host gauge so
+    // rejects are observable through the standard gauge facility.
+    uint64_t rejects = demux_.csum_rejects();
+    while (csum_seen_ < rejects) {
+      csum_reject_gauge_.Count();
+      csum_seen_++;
+    }
+    return TrapAction::kContinue;
+  });
+
+  int txdone_vec = kernel_.RegisterHostTrap([this](Machine&) {
+    WireItem item;
+    if (!wire_.TryGet(item)) {
+      return TrapAction::kContinue;
+    }
+    tx_completed_++;
+    tx_inflight_ = tx_inflight_ == 0 ? 0 : tx_inflight_ - 1;
+    kernel_.UnblockOne(tx_waiters_);
+    if (item.drop) {
+      wire_drop_gauge_.Count();
+      return TrapAction::kContinue;
+    }
+    if (rx_inflight_ >= config_.rx_slots) {
+      rx_overruns_++;
+      return TrapAction::kContinue;
+    }
+    // DMA the frame across the wire into the next RX slot, applying any
+    // injected corruption in transit.
+    Memory& mem = kernel_.machine().memory();
+    Addr tx = TxSlotAddr(item.tx_slot);
+    uint32_t len = std::min(mem.Read32(tx + FrameLayout::kLength),
+                            FrameLayout::kMaxPayload);
+    uint32_t bytes = FrameLayout::kPayload + len;
+    uint32_t rx_idx = rx_next_ & (config_.rx_slots - 1);
+    rx_next_++;
+    Addr rx = RxSlotAddr(rx_idx);
+    mem.WriteBytes(rx, mem.raw(tx), bytes);
+    if (item.corrupt_off >= 0 &&
+        static_cast<uint32_t>(item.corrupt_off) < bytes) {
+      mem.Write8(rx + static_cast<uint32_t>(item.corrupt_off),
+                 mem.Read8(rx + static_cast<uint32_t>(item.corrupt_off)) ^ 0xFF);
+      corrupt_gauge_.Count();
+    }
+    kernel_.machine().Charge(20 + bytes / 4, 0, bytes / 2);
+    rx_inflight_++;
+    kernel_.interrupts().Raise(kernel_.NowUs() + config_.wire_latency_us,
+                               Vector::kNetRx, rx_idx);
+    return TrapAction::kContinue;
+  });
+
+  SynthesisOptions verbatim = SynthesisOptions::Disabled();
+
+  // RX interrupt entry: d1 = slot index. Computes the frame address and jumps
+  // through the demux cell — the cell's content IS the device's demux state.
+  Asm rx("nic_rx_entry");
+  rx.Charge(60);  // controller status read, descriptor ack
+  rx.Move(kD6, kD1);
+  rx.MulI(kD6, FrameLayout::kSlotBytes);
+  rx.AddI(kD6, static_cast<int32_t>(rx_base_));
+  rx.Move(kA1, kD6);
+  rx.LoadA32(kD7, static_cast<int32_t>(demux_cell_));
+  rx.JsrInd(kD7);
+  rx.Trap(rxdone_vec);
+  rx.Rts();
+  rx_entry_ = kernel_.SynthesizeInstall(rx.Build(), Bindings(), nullptr,
+                                        "nic_rx_entry", nullptr, &verbatim);
+  kernel_.SetDefaultVector(Vector::kNetRx, rx_entry_);
+
+  // TX-complete entry: acknowledge the descriptor, hand off to the host wire
+  // model (which loops the frame back as a future RX interrupt).
+  Asm tx("nic_tx_entry");
+  tx.Charge(40);
+  tx.Trap(txdone_vec);
+  tx.Rts();
+  tx_entry_ = kernel_.SynthesizeInstall(tx.Build(), Bindings(), nullptr,
+                                        "nic_tx_entry", nullptr, &verbatim);
+  kernel_.SetDefaultVector(Vector::kNetTx, tx_entry_);
+}
+
+Addr NicDevice::RxSlotAddr(uint32_t index) const {
+  return rx_base_ + index * FrameLayout::kSlotBytes;
+}
+
+Addr NicDevice::TxSlotAddr(uint32_t index) const {
+  return tx_base_ + index * FrameLayout::kSlotBytes;
+}
+
+void NicDevice::RefreshDemuxCell() {
+  BlockId d = config_.synthesized_demux ? demux_.synthesized_demux()
+                                        : demux_.generic_demux();
+  kernel_.machine().memory().Write32(demux_cell_, static_cast<uint32_t>(d));
+  kernel_.machine().Charge(8, 1, 1);
+}
+
+bool NicDevice::BindPort(uint16_t port, std::shared_ptr<RingHost> ring,
+                         uint32_t fixed_len) {
+  if (ring == nullptr || !demux_.AddFlow(port, ring->base, fixed_len)) {
+    return false;
+  }
+  rings_[port] = std::move(ring);
+  RefreshDemuxCell();
+  return true;
+}
+
+bool NicDevice::UnbindPort(uint16_t port) {
+  if (!demux_.RemoveFlow(port)) {
+    return false;
+  }
+  rings_.erase(port);
+  RefreshDemuxCell();
+  return true;
+}
+
+void NicDevice::UseSynthesizedDemux(bool on) {
+  config_.synthesized_demux = on;
+  RefreshDemuxCell();
+}
+
+bool NicDevice::Transmit(uint16_t dst_port, uint16_t src_port,
+                         const uint8_t* payload, uint32_t n) {
+  if (n > FrameLayout::kMaxPayload || tx_inflight_ >= config_.tx_slots) {
+    return false;
+  }
+  uint32_t slot = tx_next_ & (config_.tx_slots - 1);
+  tx_next_++;
+  WriteFrame(kernel_.machine().memory(), TxSlotAddr(slot), dst_port, src_port,
+             payload, n);
+  // Driver cost: descriptor fill + frame copy into the TX slot.
+  kernel_.machine().Charge(40 + n / 2, 12 + n / 4, 4 + n / 4);
+
+  WireItem item;
+  item.tx_slot = slot;
+  item.drop = uni_(rng_) < config_.drop_rate;
+  if (uni_(rng_) < config_.corrupt_rate) {
+    item.corrupt_off = static_cast<int32_t>(
+        uni_(rng_) * (FrameLayout::kPayload + (n == 0 ? 0 : n - 1)));
+  }
+  bool queued = wire_.TryPut(item);
+  assert(queued);
+  (void)queued;
+  tx_inflight_++;
+  kernel_.interrupts().Raise(kernel_.NowUs() + config_.tx_complete_us,
+                             Vector::kNetTx, slot);
+  return true;
+}
+
+void NicDevice::InjectRaw(uint32_t dst_port, uint32_t src_port,
+                          const uint8_t* payload, uint32_t n, uint32_t checksum,
+                          uint32_t length_field) {
+  if (rx_inflight_ >= config_.rx_slots) {
+    rx_overruns_++;
+    return;
+  }
+  uint32_t rx_idx = rx_next_ & (config_.rx_slots - 1);
+  rx_next_++;
+  Memory& mem = kernel_.machine().memory();
+  Addr rx = RxSlotAddr(rx_idx);
+  mem.Write32(rx + FrameLayout::kDstPort, dst_port);
+  mem.Write32(rx + FrameLayout::kSrcPort, src_port);
+  mem.Write32(rx + FrameLayout::kLength, length_field);
+  mem.Write32(rx + FrameLayout::kChecksum, checksum);
+  if (n > 0) {
+    mem.WriteBytes(rx + FrameLayout::kPayload, payload,
+                   std::min(n, FrameLayout::kMaxPayload));
+  }
+  rx_inflight_++;
+  kernel_.interrupts().Raise(kernel_.NowUs() + config_.wire_latency_us,
+                             Vector::kNetRx, rx_idx);
+}
+
+}  // namespace synthesis

@@ -1,0 +1,128 @@
+// Simulated Ethernet NIC raising RX/TX interrupts on the virtual clock (§5).
+//
+// The device owns descriptor slot arrays in simulated memory. Transmit writes
+// a frame into a TX slot, queues it on the "wire" (an optimistic SPSC queue —
+// the host-level twin of the micro-code rings), and schedules a transmit-
+// complete interrupt; the wire then loops the frame back into an RX slot and
+// schedules a receive interrupt. The RX interrupt entry jumps through the
+// *demux cell*, a memory word holding the BlockId of the current demux routine
+// (an executable data structure: re-binding a flow re-synthesizes the demux
+// and stores the new entry point — the interrupt path never tests a flag).
+//
+// Fault injection models a lossy segment: each transmitted frame may be
+// dropped or corrupted (one byte flipped) with configured probabilities, so
+// retransmission logic and the checksum-reject counters can be exercised.
+#ifndef SRC_NET_NIC_DEVICE_H_
+#define SRC_NET_NIC_DEVICE_H_
+
+#include <cstdint>
+#include <memory>
+#include <random>
+#include <unordered_map>
+
+#include "src/io/gauge.h"
+#include "src/io/io_system.h"
+#include "src/kernel/kernel.h"
+#include "src/net/demux.h"
+#include "src/sync/spsc_queue.h"
+
+namespace synthesis {
+
+struct NicConfig {
+  uint32_t rx_slots = 64;  // power of two
+  uint32_t tx_slots = 64;  // power of two
+  double tx_complete_us = 2.0;   // DMA-out latency per frame
+  double wire_latency_us = 5.0;  // loopback segment latency
+  double drop_rate = 0.0;        // probability a frame vanishes on the wire
+  double corrupt_rate = 0.0;     // probability one byte is flipped in transit
+  uint32_t fault_seed = 1;       // deterministic fault injection
+  bool synthesized_demux = true; // false: interpret the flow table (baseline)
+};
+
+class NicDevice {
+ public:
+  NicDevice(Kernel& kernel, NicConfig config = NicConfig());
+
+  // Opens a flow: frames addressed to `port` are delivered into `ring` as
+  // [len.lo len.hi src.lo src.hi payload...] records, and readers parked on
+  // the ring are woken per delivery. `fixed_len` > 0 declares a fixed
+  // datagram size the demux synthesizer folds (and enforces).
+  bool BindPort(uint16_t port, std::shared_ptr<RingHost> ring,
+                uint32_t fixed_len = 0);
+  bool UnbindPort(uint16_t port);
+
+  // Sends one datagram (payload bytes are host memory). Returns false when
+  // all TX slots are in flight — callers may park on tx_waiters().
+  bool Transmit(uint16_t dst_port, uint16_t src_port, const uint8_t* payload,
+                uint32_t n);
+
+  // Test hook: places an arbitrary frame (e.g. a deliberately bad checksum or
+  // length) directly on the wire, bypassing Transmit's framing.
+  void InjectRaw(uint32_t dst_port, uint32_t src_port, const uint8_t* payload,
+                 uint32_t n, uint32_t checksum, uint32_t length_field);
+
+  // Swaps the demux implementation the RX interrupt jumps through.
+  void UseSynthesizedDemux(bool on);
+
+  DemuxSynthesizer& demux() { return demux_; }
+  WaitQueue& tx_waiters() { return tx_waiters_; }
+  const NicConfig& config() const { return config_; }
+
+  // Interrupt entry blocks (benches dispatch through these directly).
+  BlockId rx_entry() const { return rx_entry_; }
+
+  // Host-observable event gauges (§2.3) and wire statistics.
+  Gauge& rx_gauge() { return rx_gauge_; }
+  Gauge& csum_reject_gauge() { return csum_reject_gauge_; }
+  Gauge& nomatch_gauge() { return nomatch_gauge_; }
+  Gauge& wire_drop_gauge() { return wire_drop_gauge_; }
+  Gauge& corrupt_gauge() { return corrupt_gauge_; }
+  uint64_t tx_completed() const { return tx_completed_; }
+  uint64_t rx_overruns() const { return rx_overruns_; }
+
+ private:
+  struct WireItem {
+    uint32_t tx_slot = 0;
+    bool drop = false;
+    int32_t corrupt_off = -1;  // byte offset within the frame to flip, or -1
+  };
+
+  Addr RxSlotAddr(uint32_t index) const;
+  Addr TxSlotAddr(uint32_t index) const;
+  void RefreshDemuxCell();
+  void EnqueueRx(Addr frame_bytes_from, uint32_t frame_bytes,
+                 int32_t corrupt_off);
+
+  Kernel& kernel_;
+  NicConfig config_;
+  DemuxSynthesizer demux_;
+  Addr rx_base_ = 0;
+  Addr tx_base_ = 0;
+  Addr demux_cell_ = 0;  // holds the BlockId the RX interrupt jumps through
+  BlockId rx_entry_ = kInvalidBlock;
+  BlockId tx_entry_ = kInvalidBlock;
+
+  SpscQueue<WireItem> wire_;
+  uint32_t tx_next_ = 0;
+  uint32_t rx_next_ = 0;
+  uint32_t tx_inflight_ = 0;
+  uint32_t rx_inflight_ = 0;
+
+  std::unordered_map<uint16_t, std::shared_ptr<RingHost>> rings_;
+  WaitQueue tx_waiters_;
+  std::mt19937 rng_;
+  std::uniform_real_distribution<double> uni_{0.0, 1.0};
+
+  Gauge rx_gauge_;
+  Gauge csum_reject_gauge_;
+  Gauge nomatch_gauge_;
+  Gauge wire_drop_gauge_;
+  Gauge corrupt_gauge_;
+  uint64_t tx_completed_ = 0;
+  uint64_t rx_overruns_ = 0;
+  uint64_t csum_seen_ = 0;  // last demux csum-reject count mirrored to gauge
+};
+
+}  // namespace synthesis
+
+#endif  // SRC_NET_NIC_DEVICE_H_

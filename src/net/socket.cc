@@ -1,0 +1,150 @@
+#include "src/net/socket.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+namespace synthesis {
+
+namespace {
+// Ring capacity per bound socket: a few max-size datagrams' worth.
+constexpr uint32_t kSocketRingBytes = 4096;
+}  // namespace
+
+DatagramSocketLayer::DatagramSocketLayer(Kernel& kernel, IoSystem& io,
+                                         NicDevice& nic)
+    : kernel_(kernel), io_(io), nic_(nic) {
+  scratch_ = kernel_.allocator().Allocate(FrameLayout::kMaxPayload + 16);
+}
+
+DatagramSocketLayer::Sock* DatagramSocketLayer::Get(SocketId sock) {
+  auto it = socks_.find(sock);
+  return it == socks_.end() ? nullptr : &it->second;
+}
+
+SocketId DatagramSocketLayer::Socket() {
+  SocketId id = next_id_++;
+  socks_[id] = Sock{};
+  kernel_.machine().Charge(24, 6, 2);  // socket-table slot
+  return id;
+}
+
+bool DatagramSocketLayer::BindInternal(Sock& s, uint16_t port,
+                                       uint32_t fixed_len) {
+  if (port == 0 || nic_.demux().HasFlow(port)) {
+    return false;
+  }
+  std::shared_ptr<RingHost> ring = io_.MakeRing(kSocketRingBytes);
+  const std::string path = "/net/udp/" + std::to_string(port);
+  io_.RegisterRingDevice(path, ring, nullptr);
+  ChannelId ch = io_.Open(path);  // synthesizes the per-channel ring read
+  if (ch == kBadChannel || !nic_.BindPort(port, ring, fixed_len)) {
+    if (ch != kBadChannel) {
+      io_.Close(ch);
+    }
+    return false;
+  }
+  s.port = port;
+  s.ch = ch;
+  s.ring = std::move(ring);
+  return true;
+}
+
+bool DatagramSocketLayer::Bind(SocketId sock, uint16_t port, uint32_t fixed_len) {
+  Sock* s = Get(sock);
+  if (s == nullptr || s->port != 0) {
+    return false;
+  }
+  return BindInternal(*s, port, fixed_len);
+}
+
+int32_t DatagramSocketLayer::SendTo(SocketId sock, uint16_t dst_port, Addr buf,
+                                    uint32_t n) {
+  Sock* s = Get(sock);
+  if (s == nullptr || n > FrameLayout::kMaxPayload) {
+    return kIoError;
+  }
+  if (s->port == 0) {
+    // Auto-bind an ephemeral source port so replies have somewhere to land.
+    while (nic_.demux().HasFlow(next_ephemeral_)) {
+      next_ephemeral_++;
+    }
+    if (!BindInternal(*s, next_ephemeral_++, 0)) {
+      return kIoError;
+    }
+  }
+  std::vector<uint8_t> payload(n);
+  if (n > 0) {
+    kernel_.machine().memory().ReadBytes(buf, payload.data(), n);
+    kernel_.machine().Charge(n / 2, n / 4, n / 4);  // user->driver copy
+  }
+  if (!nic_.Transmit(dst_port, s->port, payload.data(), n)) {
+    if (kernel_.current_thread() != kNoThread) {
+      kernel_.BlockCurrentOn(nic_.tx_waiters());
+    }
+    return kIoWouldBlock;
+  }
+  return static_cast<int32_t>(n);
+}
+
+int32_t DatagramSocketLayer::RecvFrom(SocketId sock, Addr buf, uint32_t cap,
+                                      uint32_t* src_port) {
+  Sock* s = Get(sock);
+  if (s == nullptr || s->port == 0) {
+    return kIoError;
+  }
+  // The demux inserts records atomically (it runs at interrupt level), so a
+  // non-empty ring always holds at least one complete record.
+  int32_t got = io_.Read(s->ch, scratch_, 4);
+  if (got == kIoWouldBlock || got == kIoError) {
+    return got;  // io.Read already parked the current thread on would-block
+  }
+  Memory& mem = kernel_.machine().memory();
+  uint32_t len = mem.Read8(scratch_) | (mem.Read8(scratch_ + 1) << 8);
+  uint32_t src = mem.Read8(scratch_ + 2) | (mem.Read8(scratch_ + 3) << 8);
+  if (src_port != nullptr) {
+    *src_port = src;
+  }
+  uint32_t keep = std::min(len, cap);
+  if (len > 0) {
+    Addr land = keep == len ? buf : scratch_;
+    if (io_.Read(s->ch, land, len) != static_cast<int32_t>(len)) {
+      return kIoError;  // ring corrupted; cannot happen with intact records
+    }
+    if (keep != len && keep > 0) {
+      mem.WriteBytes(buf, mem.raw(scratch_), keep);  // truncate to cap
+      kernel_.machine().Charge(keep / 2, keep / 4, keep / 4);
+    }
+  }
+  return static_cast<int32_t>(keep);
+}
+
+bool DatagramSocketLayer::CloseSocket(SocketId sock) {
+  Sock* s = Get(sock);
+  if (s == nullptr) {
+    return false;
+  }
+  if (s->port != 0) {
+    nic_.UnbindPort(s->port);
+    io_.Close(s->ch);
+  }
+  socks_.erase(sock);
+  return true;
+}
+
+uint16_t DatagramSocketLayer::PortOf(SocketId sock) const {
+  auto it = socks_.find(sock);
+  return it == socks_.end() ? 0 : it->second.port;
+}
+
+ChannelId DatagramSocketLayer::ChannelOf(SocketId sock) const {
+  auto it = socks_.find(sock);
+  return it == socks_.end() ? kBadChannel : it->second.ch;
+}
+
+std::shared_ptr<RingHost> DatagramSocketLayer::RingOf(SocketId sock) const {
+  auto it = socks_.find(sock);
+  return it == socks_.end() ? nullptr : it->second.ring;
+}
+
+}  // namespace synthesis

@@ -1,5 +1,7 @@
 #include "src/unix/emulator.h"
 
+#include "src/net/socket.h"
+
 namespace synthesis {
 
 UnixEmulator::UnixEmulator(Kernel& kernel, IoSystem& io, FileSystem* fs)
@@ -25,6 +27,12 @@ int UnixEmulator::Open(const std::string& path) {
 
 int UnixEmulator::Close(int fd) {
   ChargeTrap();
+  auto sit = sock_fds_.find(fd);
+  if (sit != sock_fds_.end()) {
+    bool ok = net_ != nullptr && net_->CloseSocket(sit->second);
+    sock_fds_.erase(sit);
+    return ok ? 0 : -1;
+  }
   auto it = fds_.find(fd);
   if (it == fds_.end()) {
     return -1;
@@ -85,6 +93,48 @@ bool UnixEmulator::Mkfile(const std::string& path, uint32_t capacity) {
     return false;
   }
   return fs_->CreateFile(path, {}, capacity) != 0;
+}
+
+int UnixEmulator::Socket() {
+  if (net_ == nullptr) {
+    return -1;
+  }
+  ChargeTrap();
+  SocketId s = net_->Socket();
+  int fd = next_fd_++;
+  sock_fds_[fd] = s;
+  kernel_.machine().Charge(16, 4, 2);  // fd-table slot assignment
+  return fd;
+}
+
+int UnixEmulator::Bind(int fd, uint32_t port) {
+  ChargeTrap();
+  auto it = sock_fds_.find(fd);
+  if (net_ == nullptr || it == sock_fds_.end() || port > 0xFFFF) {
+    return -1;
+  }
+  return net_->Bind(it->second, static_cast<uint16_t>(port)) ? 0 : -1;
+}
+
+int32_t UnixEmulator::SendTo(int fd, uint32_t dst_port, Addr buf, uint32_t n) {
+  ChargeTrap();
+  auto it = sock_fds_.find(fd);
+  if (net_ == nullptr || it == sock_fds_.end() || dst_port > 0xFFFF) {
+    return -1;
+  }
+  kernel_.machine().Charge(10, 3, 1);  // fd -> socket translation
+  return net_->SendTo(it->second, static_cast<uint16_t>(dst_port), buf, n);
+}
+
+int32_t UnixEmulator::RecvFrom(int fd, Addr buf, uint32_t cap,
+                               uint32_t* src_port) {
+  ChargeTrap();
+  auto it = sock_fds_.find(fd);
+  if (net_ == nullptr || it == sock_fds_.end()) {
+    return -1;
+  }
+  kernel_.machine().Charge(10, 3, 1);
+  return net_->RecvFrom(it->second, buf, cap, src_port);
 }
 
 Machine& UnixEmulator::machine() { return kernel_.machine(); }

@@ -16,6 +16,8 @@
 
 namespace synthesis {
 
+class DatagramSocketLayer;
+
 class UnixEmulator : public PosixLikeApi {
  public:
   // `fs` may be null when only devices/pipes are used.
@@ -28,6 +30,14 @@ class UnixEmulator : public PosixLikeApi {
   int Pipe(int fds_out[2]) override;
   int32_t Lseek(int fd, int32_t offset) override;
   bool Mkfile(const std::string& path, uint32_t capacity) override;
+
+  // Socket calls are serviced once a network stack is attached; without one
+  // they return the PosixLikeApi defaults (-1).
+  void AttachNet(DatagramSocketLayer* net) { net_ = net; }
+  int Socket() override;
+  int Bind(int fd, uint32_t port) override;
+  int32_t SendTo(int fd, uint32_t dst_port, Addr buf, uint32_t n) override;
+  int32_t RecvFrom(int fd, Addr buf, uint32_t cap, uint32_t* src_port) override;
 
   Machine& machine() override;
   Addr scratch(uint32_t bytes) override;
@@ -44,7 +54,9 @@ class UnixEmulator : public PosixLikeApi {
   Kernel& kernel_;
   IoSystem& io_;
   FileSystem* fs_;
+  DatagramSocketLayer* net_ = nullptr;
   std::unordered_map<int, ChannelId> fds_;
+  std::unordered_map<int, uint32_t> sock_fds_;  // fd -> SocketId
   int next_fd_ = 3;  // 0-2 are reserved, as tradition demands
   Addr scratch_ = 0;
   uint32_t scratch_size_ = 0;

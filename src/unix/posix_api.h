@@ -25,6 +25,19 @@ class PosixLikeApi {
   virtual int Pipe(int fds_out[2]) = 0;                 // 0 or -1
   virtual int32_t Lseek(int fd, int32_t offset) = 0;    // SEEK_SET only
 
+  // Datagram sockets. Defaults report "not supported" so implementations
+  // without a network stack (the SUNOS baseline model) need no changes.
+  virtual int Socket() { return -1; }                        // fd >= 0 or -1
+  virtual int Bind(int /*fd*/, uint32_t /*port*/) { return -1; }
+  virtual int32_t SendTo(int /*fd*/, uint32_t /*dst_port*/, Addr /*buf*/,
+                         uint32_t /*n*/) {
+    return -1;
+  }
+  virtual int32_t RecvFrom(int /*fd*/, Addr /*buf*/, uint32_t /*cap*/,
+                           uint32_t* /*src_port*/) {
+    return -1;
+  }
+
   // Creates a file in the system's namespace (mkfs-level setup, uncharged).
   virtual bool Mkfile(const std::string& path, uint32_t capacity) = 0;
 

@@ -1,0 +1,127 @@
+// Direct coverage for the switch building block (src/io/switchboard.h) and
+// the channel/ring layout contracts (src/io/channel.h) that the synthesizer's
+// invariant-folding relies on.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/io/channel.h"
+#include "src/io/switchboard.h"
+#include "src/kernel/kernel.h"
+#include "src/machine/assembler.h"
+
+namespace synthesis {
+namespace {
+
+BlockId InstallTagger(Kernel& k, uint32_t tag) {
+  Asm a("tag" + std::to_string(tag));
+  a.MoveI(kD1, static_cast<int32_t>(tag));
+  a.Rts();
+  return k.code().Install(a.BuildBlock());
+}
+
+class SwitchboardTest : public ::testing::Test {
+ protected:
+  Kernel k_;
+};
+
+TEST_F(SwitchboardTest, DispatchesEachSelectorToItsTarget) {
+  Switchboard sb;
+  for (uint32_t sel : {3u, 17u, 250u}) {
+    sb.AddCase(sel, InstallTagger(k_, 1000 + sel));
+  }
+  EXPECT_EQ(sb.case_count(), 3u);
+  BlockId sw = sb.Synthesize(k_, "sw_test");
+  for (uint32_t sel : {3u, 17u, 250u}) {
+    k_.machine().set_reg(kD0, sel);
+    k_.machine().set_reg(kD1, 0);
+    ASSERT_EQ(k_.kexec().Call(sw).outcome, RunOutcome::kReturned);
+    EXPECT_EQ(k_.machine().reg(kD1), 1000 + sel);
+  }
+}
+
+TEST_F(SwitchboardTest, UnmatchedSelectorReturnsMinusTwo) {
+  Switchboard sb;
+  sb.AddCase(5, InstallTagger(k_, 55));
+  BlockId sw = sb.Synthesize(k_, "sw_unmatched");
+  k_.machine().set_reg(kD0, 6);
+  ASSERT_EQ(k_.kexec().Call(sw).outcome, RunOutcome::kReturned);
+  EXPECT_EQ(static_cast<int32_t>(k_.machine().reg(kD0)), -2);
+}
+
+TEST_F(SwitchboardTest, EmptySwitchRejectsEverything) {
+  Switchboard sb;
+  BlockId sw = sb.Synthesize(k_, "sw_empty");
+  k_.machine().set_reg(kD0, 0);
+  ASSERT_EQ(k_.kexec().Call(sw).outcome, RunOutcome::kReturned);
+  EXPECT_EQ(static_cast<int32_t>(k_.machine().reg(kD0)), -2);
+}
+
+TEST_F(SwitchboardTest, KnownSelectorCollapsesTheChain) {
+  Switchboard sb;
+  for (uint32_t sel = 0; sel < 8; sel++) {
+    sb.AddCase(sel, InstallTagger(k_, 100 + sel));
+  }
+  BlockId general = sb.Synthesize(k_, "sw_general");
+  BlockId collapsed = sb.Synthesize(k_, "sw_known", /*known_selector=*/6);
+  // The collapsed switch still computes the case's result...
+  k_.machine().set_reg(kD1, 0);
+  ASSERT_EQ(k_.kexec().Call(collapsed).outcome, RunOutcome::kReturned);
+  EXPECT_EQ(k_.machine().reg(kD1), 106u);
+  // ...with the compare chain folded away (§2.3's interfacer collapse).
+  EXPECT_LT(k_.code().Get(collapsed).code.size(),
+            k_.code().Get(general).code.size());
+}
+
+TEST_F(SwitchboardTest, BranchTargetsStayInsideTheBlock) {
+  Switchboard sb;
+  for (uint32_t sel = 0; sel < 5; sel++) {
+    sb.AddCase(sel * 7, InstallTagger(k_, sel));
+  }
+  BlockId sw = sb.Synthesize(k_, "sw_bounds");
+  const CodeBlock& blk = k_.code().Get(sw);
+  for (const Instr& in : blk.code) {
+    if (IsBranch(in.op)) {
+      ASSERT_GE(in.imm, 0);
+      ASSERT_LT(static_cast<size_t>(in.imm), blk.code.size());
+    }
+    if (in.op == Opcode::kJsr) {
+      EXPECT_TRUE(k_.code().Valid(static_cast<BlockId>(in.imm)));
+    }
+  }
+}
+
+// --- Channel/ring layout contracts ------------------------------------------
+
+TEST(ChannelLayoutTest, InvariantRangesExcludeRuntimeWords) {
+  constexpr Addr chan = 0x1000;
+  AddrRange prefix = ChannelLayout::InvariantPrefix(chan);
+  AddrRange suffix = ChannelLayout::InvariantSuffix(chan);
+  for (uint32_t field : {ChannelLayout::kType, ChannelLayout::kDataBase,
+                         ChannelLayout::kSizeAddr, ChannelLayout::kCapacity,
+                         ChannelLayout::kRdRing}) {
+    EXPECT_TRUE(prefix.Contains(chan + field, 4)) << "field " << field;
+  }
+  EXPECT_FALSE(prefix.Contains(chan + ChannelLayout::kPosition, 4));
+  EXPECT_FALSE(prefix.Contains(chan + ChannelLayout::kScratch, 4));
+  EXPECT_FALSE(suffix.Contains(chan + ChannelLayout::kScratch, 4));
+  EXPECT_TRUE(suffix.Contains(chan + ChannelLayout::kWrRing, 4));
+}
+
+TEST(ChannelLayoutTest, RingInvariantRangeIsTheMaskOnly) {
+  constexpr Addr ring = 0x2000;
+  AddrRange inv = RingLayout::InvariantRange(ring);
+  EXPECT_TRUE(inv.Contains(ring + RingLayout::kMask, 4));
+  EXPECT_FALSE(inv.Contains(ring + RingLayout::kHead, 4))
+      << "the producer index is runtime state";
+  EXPECT_FALSE(inv.Contains(ring + RingLayout::kTail, 4))
+      << "the consumer index is runtime state";
+  EXPECT_FALSE(inv.Contains(ring + RingLayout::kBuf, 1));
+}
+
+TEST(ChannelLayoutTest, RingTotalBytesCoversBufferAndHeader) {
+  EXPECT_EQ(RingLayout::TotalBytes(256), RingLayout::kBuf + 256);
+}
+
+}  // namespace
+}  // namespace synthesis

@@ -8,12 +8,17 @@
 
 #include <cstdint>
 #include <random>
+#include <set>
 #include <vector>
 
+#include "src/io/io_system.h"
+#include "src/kernel/kernel.h"
 #include "src/machine/assembler.h"
 #include "src/machine/code_store.h"
 #include "src/machine/executor.h"
 #include "src/machine/machine.h"
+#include "src/net/demux.h"
+#include "src/net/frame.h"
 #include "src/synth/synthesizer.h"
 
 namespace synthesis {
@@ -167,6 +172,130 @@ TEST_P(SynthesizerFuzz, SpecializedEqualsVerbatim) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SynthesizerFuzz, ::testing::Range(1, 13));
+
+// --- Demux template fuzzing ---------------------------------------------------
+//
+// Random flow sets (ports, ring sizes, fixed-length declarations) drive the
+// demux synthesizer; random — frequently malformed — packets are then run
+// through BOTH the generic and the synthesized demux. The specializer must
+// never crash, every emitted block must be well-formed (branches inside the
+// block, calls to valid blocks), and the two demux implementations must agree
+// on every packet's fate.
+
+// Scans a block: branch targets in range, static call targets valid.
+void ExpectWellFormed(Kernel& k, BlockId id) {
+  ASSERT_TRUE(k.code().Valid(id));
+  const CodeBlock& blk = k.code().Get(id);
+  for (const Instr& in : blk.code) {
+    if (IsBranch(in.op)) {
+      ASSERT_GE(in.imm, 0) << "branch before block start in " << blk.name;
+      ASSERT_LT(static_cast<size_t>(in.imm), blk.code.size())
+          << "branch past block end in " << blk.name;
+    }
+    if (in.op == Opcode::kJsr) {
+      ASSERT_TRUE(k.code().Valid(static_cast<BlockId>(in.imm)))
+          << "dangling call in " << blk.name;
+    }
+  }
+}
+
+class DemuxFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(DemuxFuzz, RandomFlowsAndMalformedPacketsNeverBreakTheDemux) {
+  std::mt19937 rng(static_cast<uint32_t>(GetParam()) * 2246822519u + 3);
+  Kernel k;
+  IoSystem io(k, nullptr);
+  DemuxSynthesizer demux(k);
+
+  // Random flow set: unique ports, power-of-two ring sizes, a mix of
+  // flexible and fixed-length flows (some beyond the unroll limit).
+  std::uniform_int_distribution<uint32_t> port_pick(1, 65535);
+  std::uniform_int_distribution<uint32_t> capexp_pick(6, 12);
+  std::uniform_int_distribution<uint32_t> fixed_pick(0, 96);
+  std::vector<uint16_t> ports;
+  std::vector<std::shared_ptr<RingHost>> rings;
+  uint32_t flows = 1 + rng() % 8;
+  while (ports.size() < flows) {
+    uint16_t port = static_cast<uint16_t>(port_pick(rng));
+    if (demux.HasFlow(port)) {
+      continue;
+    }
+    auto ring = io.MakeRing(1u << capexp_pick(rng));
+    ASSERT_TRUE(demux.AddFlow(port, ring->base, fixed_pick(rng)));
+    ports.push_back(port);
+    rings.push_back(std::move(ring));
+  }
+  ExpectWellFormed(k, demux.generic_demux());
+  ExpectWellFormed(k, demux.synthesized_demux());
+
+  Addr frame = k.allocator().Allocate(FrameLayout::kSlotBytes);
+  Memory& mem = k.machine().memory();
+  for (int round = 0; round < 48; round++) {
+    // Random packet: half the time aimed at a bound port; length fields
+    // range from valid through hostile (huge / wrapping); checksums are
+    // correct, near-miss, or random garbage.
+    uint32_t dst =
+        rng() % 2 == 0 ? ports[rng() % ports.size()] : port_pick(rng);
+    uint32_t declared = rng() % 4 == 0 ? rng() : rng() % 128;
+    uint32_t actual = declared <= FrameLayout::kMaxPayload
+                          ? declared
+                          : rng() % FrameLayout::kMaxPayload;
+    std::vector<uint8_t> payload(actual);
+    for (auto& b : payload) {
+      b = static_cast<uint8_t>(rng());
+    }
+    uint32_t src = port_pick(rng);
+    uint32_t csum = FrameChecksum(dst, src, payload.data(), actual);
+    if (declared != actual) {
+      csum = rng();  // the declared length never matches anyway
+    } else if (rng() % 3 == 0) {
+      csum += 1 + rng() % 5;
+    } else if (rng() % 7 == 0) {
+      csum = rng();
+    }
+    mem.Write32(frame + FrameLayout::kDstPort, dst);
+    mem.Write32(frame + FrameLayout::kSrcPort, src);
+    mem.Write32(frame + FrameLayout::kLength, declared);
+    mem.Write32(frame + FrameLayout::kChecksum, csum);
+    if (actual > 0) {
+      mem.WriteBytes(frame + FrameLayout::kPayload, payload.data(), actual);
+    }
+
+    // Run generic and synthesized from identical ring state and compare.
+    uint32_t verdicts[2];
+    uint32_t matched[2] = {0, 0};
+    for (int pass = 0; pass < 2; pass++) {
+      for (const auto& ring : rings) {
+        // Empty every flow ring so both passes see identical space.
+        mem.Write32(ring->base + RingLayout::kHead, 0);
+        mem.Write32(ring->base + RingLayout::kTail, 0);
+      }
+      k.machine().set_reg(kA1, frame);
+      k.machine().set_reg(kD0, 0xDEAD);
+      RunResult rr = k.kexec().Call(pass == 0 ? demux.generic_demux()
+                                              : demux.synthesized_demux());
+      ASSERT_EQ(rr.outcome, RunOutcome::kReturned)
+          << "demux crashed on round " << round;
+      verdicts[pass] = k.machine().reg(kD0);
+      matched[pass] = k.machine().reg(kD2);
+    }
+    EXPECT_EQ(verdicts[0], verdicts[1])
+        << "generic and synthesized disagree on round " << round;
+    if (verdicts[0] == verdicts[1] &&
+        verdicts[0] != static_cast<uint32_t>(-2)) {
+      EXPECT_EQ(matched[0], matched[1])
+          << "matched-port divergence on round " << round;
+    }
+  }
+  // Tear half the flows down and verify the resynthesized chain again.
+  for (size_t i = 0; i < ports.size(); i += 2) {
+    ASSERT_TRUE(demux.RemoveFlow(ports[i]));
+  }
+  ExpectWellFormed(k, demux.generic_demux());
+  ExpectWellFormed(k, demux.synthesized_demux());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DemuxFuzz, ::testing::Range(1, 9));
 
 }  // namespace
 }  // namespace synthesis
