@@ -5,9 +5,12 @@
 # Usage:
 #   scripts/verify.sh            # -Werror build + ctest
 #   ASAN=1 scripts/verify.sh     # same, plus -fsanitize=address,undefined
+#   UBSAN=1 scripts/verify.sh    # same, plus -fsanitize=undefined only
+#                                # (catches UB that ASan's interceptors mask,
+#                                # and runs much faster than the ASan tree)
 #
-# The sanitizer build uses its own tree (build-asan) so it never dirties the
-# regular build directory.
+# Each sanitizer build uses its own tree (build-asan / build-ubsan) so it
+# never dirties the regular build directory.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -20,6 +23,10 @@ if [[ "${ASAN:-0}" == "1" ]]; then
   # when sanitizer instrumentation is on (e.g. ImmArg's int|Symbol variant).
   EXTRA_FLAGS="-Werror -Wno-maybe-uninitialized \
     -fsanitize=address,undefined -fno-sanitize-recover=all"
+elif [[ "${UBSAN:-0}" == "1" ]]; then
+  BUILD_DIR=build-ubsan
+  EXTRA_FLAGS="-Werror -Wno-maybe-uninitialized \
+    -fsanitize=undefined -fno-sanitize-recover=all"
 fi
 
 cmake -B "$BUILD_DIR" -S . \

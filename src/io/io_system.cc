@@ -335,6 +335,10 @@ void IoSystem::RegisterRingDevice(const std::string& path,
   devices_[path] = DeviceEntry{std::move(rd), std::move(wr)};
 }
 
+void IoSystem::UnregisterRingDevice(const std::string& path) {
+  devices_.erase(path);
+}
+
 IoSystem::Channel* IoSystem::Get(ChannelId ch) {
   auto it = channels_.find(ch);
   return it == channels_.end() ? nullptr : &it->second;

@@ -70,6 +70,10 @@ class IoSystem {
   void RegisterRingDevice(const std::string& path, std::shared_ptr<RingHost> rd,
                           std::shared_ptr<RingHost> wr);
 
+  // Removes a ring device from the namespace (already-open channels keep
+  // their synthesized code; new Opens fail). Used by connection teardown.
+  void UnregisterRingDevice(const std::string& path);
+
   // Allocates and initializes a ring in simulated memory.
   std::shared_ptr<RingHost> MakeRing(uint32_t capacity);
 

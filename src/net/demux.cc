@@ -18,12 +18,13 @@ constexpr uint32_t kCtrDrops = 8;
 constexpr uint32_t kCtrTotal = 12;
 constexpr uint32_t kCtrBytes = 16;
 
-// Generic flow-table entry, relative to entry base.
-constexpr uint32_t kEntPort = 0;
-constexpr uint32_t kEntRing = 4;
-constexpr uint32_t kEntCtr = 8;
-constexpr uint32_t kEntFixed = 12;
-constexpr uint32_t kEntBytes = 16;
+// Generic flow-table entry, relative to entry base (see FlowEntryLayout).
+constexpr uint32_t kEntPort = FlowEntryLayout::kPort;
+constexpr uint32_t kEntRing = FlowEntryLayout::kRing;
+constexpr uint32_t kEntCtr = FlowEntryLayout::kCtr;
+constexpr uint32_t kEntFixed = FlowEntryLayout::kFixed;
+constexpr uint32_t kEntHandler = FlowEntryLayout::kHandler;
+constexpr uint32_t kEntBytes = FlowEntryLayout::kBytes;
 
 // Emits the counter-bump sequence `*addr_sym += 1` (clobbers d1).
 void BumpCounter(Asm& a, const std::string& addr_sym) {
@@ -198,7 +199,10 @@ CodeTemplate GenericDemuxTemplate() {
   a.Rts();
   a.Label("ck");
   a.Load32(kA4, kA2, kEntRing);
-  a.Jsr(Asm::Sym("deliver"));
+  // Per-flow handler dispatch: datagram flows point at the shared layered
+  // delivery, custom flows (the stream layer) at their own segment processor.
+  a.Load32(kD7, kA2, kEntHandler);
+  a.JsrInd(kD7);
   a.Rts();
   return a.Build();
 }
@@ -230,7 +234,6 @@ DemuxSynthesizer::DemuxSynthesizer(Kernel& kernel) : kernel_(kernel) {
   Bindings gd;
   gd.Set("ftab", static_cast<int32_t>(ftab_));
   gd.Set("csum", static_cast<int32_t>(csum_));
-  gd.Set("deliver", static_cast<int32_t>(deliver_gen_));
   gd.Set("ctr_mal", static_cast<int32_t>(ctrs_ + kCtrMalformed));
   gd.Set("ctr_csum", static_cast<int32_t>(ctrs_ + kCtrCsum));
   generic_ = kernel_.SynthesizeInstall(GenericDemuxTemplate(), gd, nullptr,
@@ -260,11 +263,43 @@ bool DemuxSynthesizer::AddFlow(uint16_t port, Addr ring_base, uint32_t fixed_len
   f.fixed_len = fixed_len;
   f.ctr = kernel_.allocator().Allocate(4);
   kernel_.machine().memory().Write32(f.ctr, 0);
+  f.handler = deliver_gen_;
   f.deliver = SynthesizeDeliver(f);
   flows_.push_back(f);
   RebuildGenericTable();
   RebuildSynthesized();
   return true;
+}
+
+bool DemuxSynthesizer::AddFlowCustom(uint16_t port, Addr ring_base, Addr ctx,
+                                     BlockId synth_deliver,
+                                     BlockId generic_deliver) {
+  if (flows_.size() >= kMaxFlows || Find(port) != nullptr) {
+    return false;
+  }
+  Flow f;
+  f.port = port;
+  f.ring = ring_base;
+  f.ctx = ctx;
+  f.ctr = kernel_.allocator().Allocate(4);
+  kernel_.machine().memory().Write32(f.ctr, 0);
+  f.handler = generic_deliver;
+  f.deliver = synth_deliver;
+  flows_.push_back(f);
+  RebuildGenericTable();
+  RebuildSynthesized();
+  return true;
+}
+
+bool DemuxSynthesizer::SetFlowDeliver(uint16_t port, BlockId synth_deliver) {
+  for (Flow& f : flows_) {
+    if (f.port == port) {
+      f.deliver = synth_deliver;
+      RebuildSynthesized();
+      return true;
+    }
+  }
+  return false;
 }
 
 bool DemuxSynthesizer::RemoveFlow(uint16_t port) {
@@ -289,6 +324,8 @@ void DemuxSynthesizer::RebuildGenericTable() {
     mem.Write32(e + kEntRing, flows_[i].ring);
     mem.Write32(e + kEntCtr, flows_[i].ctr);
     mem.Write32(e + kEntFixed, flows_[i].fixed_len);
+    mem.Write32(e + kEntHandler, flows_[i].handler);
+    mem.Write32(e + FlowEntryLayout::kCtx, flows_[i].ctx);
   }
   // Table maintenance: a handful of stores per flow.
   kernel_.machine().Charge(20 + 16 * static_cast<uint32_t>(flows_.size()), 4,
@@ -457,6 +494,11 @@ uint64_t DemuxSynthesizer::delivered(uint16_t port) const {
   const Flow* f = Find(port);
   return f == nullptr ? 0 : kernel_.machine().memory().Read32(f->ctr);
 }
+
+Addr DemuxSynthesizer::ctr_malformed_addr() const {
+  return ctrs_ + kCtrMalformed;
+}
+Addr DemuxSynthesizer::ctr_csum_addr() const { return ctrs_ + kCtrCsum; }
 
 void DemuxSynthesizer::ResetCounters() {
   Memory& mem = kernel_.machine().memory();

@@ -35,6 +35,19 @@
 
 namespace synthesis {
 
+// Generic flow-table entry layout (the table the interpreted demux walks),
+// relative to the entry base. Custom flows (the stream layer) carry their own
+// handler block and a context pointer the generic handler dereferences.
+struct FlowEntryLayout {
+  static constexpr uint32_t kPort = 0;
+  static constexpr uint32_t kRing = 4;
+  static constexpr uint32_t kCtr = 8;
+  static constexpr uint32_t kFixed = 12;
+  static constexpr uint32_t kHandler = 16;  // BlockId of the generic deliver
+  static constexpr uint32_t kCtx = 20;      // handler context (e.g. a CCB)
+  static constexpr uint32_t kBytes = 24;
+};
+
 class DemuxSynthesizer {
  public:
   static constexpr uint32_t kMaxFlows = 16;
@@ -49,9 +62,27 @@ class DemuxSynthesizer {
   // to be exactly that many payload bytes — an invariant the synthesizer
   // folds. Returns false when the port is taken or the table is full.
   bool AddFlow(uint16_t port, Addr ring_base, uint32_t fixed_len = 0);
+  // Opens a flow whose per-packet processing is caller-supplied: the
+  // synthesized chain jumps to `synth_deliver` (a per-flow specialized block,
+  // a1 = frame) and the generic walk calls `generic_deliver` (a shared
+  // interpreted block, a1 = frame, a2 = flow entry, a4 = ring, d5 = validated
+  // length) with `ctx` available in the entry. The stream layer uses this to
+  // install its per-connection segment processors.
+  bool AddFlowCustom(uint16_t port, Addr ring_base, Addr ctx,
+                     BlockId synth_deliver, BlockId generic_deliver);
+  // Swaps a custom flow's synthesized deliver (connection state changed —
+  // e.g. establishment folds the now-known peer) and re-emits the demux.
+  bool SetFlowDeliver(uint16_t port, BlockId synth_deliver);
   bool RemoveFlow(uint16_t port);
   bool HasFlow(uint16_t port) const;
   size_t flow_count() const { return flows_.size(); }
+
+  // Building blocks and counter addresses custom deliver routines share with
+  // the demux (so generic/synthesized paths bump identical counters).
+  BlockId csum_block() const { return csum_; }
+  BlockId put1_block() const { return put1_; }
+  Addr ctr_malformed_addr() const;
+  Addr ctr_csum_addr() const;
 
   // The two interchangeable demux routines (rebuilt on every flow change).
   BlockId generic_demux() const { return generic_; }
@@ -73,8 +104,10 @@ class DemuxSynthesizer {
     uint16_t port = 0;
     Addr ring = 0;
     Addr ctr = 0;  // per-flow delivered counter word
+    Addr ctx = 0;  // custom-flow context (e.g. stream CCB), 0 for datagram
     uint32_t fixed_len = 0;
-    BlockId deliver = kInvalidBlock;
+    BlockId handler = kInvalidBlock;  // generic-walk deliver routine
+    BlockId deliver = kInvalidBlock;  // synthesized per-flow deliver
   };
 
   const Flow* Find(uint16_t port) const;
@@ -83,7 +116,7 @@ class DemuxSynthesizer {
   BlockId SynthesizeDeliver(const Flow& f) const;
 
   Kernel& kernel_;
-  Addr ftab_ = 0;  // count word + kMaxFlows entries of 16 bytes
+  Addr ftab_ = 0;  // count word + kMaxFlows entries of FlowEntryLayout::kBytes
   Addr ctrs_ = 0;  // csum_rejects / malformed / ring_drops / delivered_total
   BlockId csum_ = kInvalidBlock;        // shared checksum verify routine
   BlockId put1_ = kInvalidBlock;        // generic one-byte ring put

@@ -25,9 +25,17 @@ NicDevice::NicDevice(Kernel& kernel, NicConfig config)
     rx_gauge_.Count();
     uint32_t result = m.reg(kD0);
     if (result == 1) {
-      auto it = rings_.find(static_cast<uint16_t>(m.reg(kD2)));
+      uint16_t port = static_cast<uint16_t>(m.reg(kD2));
+      auto it = rings_.find(port);
       if (it != rings_.end()) {
         kernel_.UnblockOne(it->second->readers);
+      }
+      auto hit = hooks_.find(port);
+      if (hit != hooks_.end()) {
+        // Copy before invoking: the hook may unbind its own port (e.g. a
+        // stream connection failing its retry cap mid-delivery).
+        std::function<void()> hook = hit->second;
+        hook();
       }
     } else if (result == static_cast<uint32_t>(-2)) {
       nomatch_gauge_.Count();
@@ -54,31 +62,46 @@ NicDevice::NicDevice(Kernel& kernel, NicConfig config)
       wire_drop_gauge_.Count();
       return TrapAction::kContinue;
     }
-    if (rx_inflight_ >= config_.rx_slots) {
-      rx_overruns_++;
-      return TrapAction::kContinue;
-    }
     // DMA the frame across the wire into the next RX slot, applying any
-    // injected corruption in transit.
+    // injected corruption in transit. A reordered frame is held on the wire
+    // for a multiple of the segment latency, so frames transmitted after it
+    // overtake it; a duplicated frame lands in two RX slots, the echo one
+    // round-trip later.
     Memory& mem = kernel_.machine().memory();
     Addr tx = TxSlotAddr(item.tx_slot);
     uint32_t len = std::min(mem.Read32(tx + FrameLayout::kLength),
                             FrameLayout::kMaxPayload);
     uint32_t bytes = FrameLayout::kPayload + len;
-    uint32_t rx_idx = rx_next_ & (config_.rx_slots - 1);
-    rx_next_++;
-    Addr rx = RxSlotAddr(rx_idx);
-    mem.WriteBytes(rx, mem.raw(tx), bytes);
-    if (item.corrupt_off >= 0 &&
-        static_cast<uint32_t>(item.corrupt_off) < bytes) {
-      mem.Write8(rx + static_cast<uint32_t>(item.corrupt_off),
-                 mem.Read8(rx + static_cast<uint32_t>(item.corrupt_off)) ^ 0xFF);
-      corrupt_gauge_.Count();
+    double delay = config_.wire_latency_us * item.delay_mult;
+    if (item.delay_mult > 1) {
+      wire_reorder_gauge_.Count();
     }
-    kernel_.machine().Charge(20 + bytes / 4, 0, bytes / 2);
-    rx_inflight_++;
-    kernel_.interrupts().Raise(kernel_.NowUs() + config_.wire_latency_us,
-                               Vector::kNetRx, rx_idx);
+    int copies = item.dup ? 2 : 1;
+    for (int c = 0; c < copies; c++) {
+      if (rx_inflight_ >= config_.rx_slots) {
+        rx_overruns_++;
+        break;
+      }
+      uint32_t rx_idx = rx_next_ & (config_.rx_slots - 1);
+      rx_next_++;
+      Addr rx = RxSlotAddr(rx_idx);
+      mem.WriteBytes(rx, mem.raw(tx), bytes);
+      if (item.corrupt_off >= 0 &&
+          static_cast<uint32_t>(item.corrupt_off) < bytes) {
+        mem.Write8(rx + static_cast<uint32_t>(item.corrupt_off),
+                   mem.Read8(rx + static_cast<uint32_t>(item.corrupt_off)) ^
+                       0xFF);
+        corrupt_gauge_.Count();
+      }
+      kernel_.machine().Charge(20 + bytes / 4, 0, bytes / 2);
+      rx_inflight_++;
+      if (c == 1) {
+        wire_dup_gauge_.Count();
+      }
+      kernel_.interrupts().Raise(
+          kernel_.NowUs() + delay + c * 2 * config_.wire_latency_us,
+          Vector::kNetRx, rx_idx);
+    }
     return TrapAction::kContinue;
   });
 
@@ -136,13 +159,48 @@ bool NicDevice::BindPort(uint16_t port, std::shared_ptr<RingHost> ring,
   return true;
 }
 
+bool NicDevice::BindPortCustom(uint16_t port, std::shared_ptr<RingHost> ring,
+                               Addr ctx, BlockId synth_deliver,
+                               BlockId generic_deliver,
+                               std::function<void()> deliver_hook) {
+  if (ring == nullptr || !demux_.AddFlowCustom(port, ring->base, ctx,
+                                               synth_deliver,
+                                               generic_deliver)) {
+    return false;
+  }
+  rings_[port] = std::move(ring);
+  if (deliver_hook) {
+    hooks_[port] = std::move(deliver_hook);
+  }
+  RefreshDemuxCell();
+  return true;
+}
+
+bool NicDevice::SwapPortDeliver(uint16_t port, BlockId synth_deliver) {
+  if (!demux_.SetFlowDeliver(port, synth_deliver)) {
+    return false;
+  }
+  RefreshDemuxCell();
+  return true;
+}
+
 bool NicDevice::UnbindPort(uint16_t port) {
   if (!demux_.RemoveFlow(port)) {
     return false;
   }
   rings_.erase(port);
+  hooks_.erase(port);
   RefreshDemuxCell();
   return true;
+}
+
+void NicDevice::SetWireFaults(double drop, double corrupt, double reorder,
+                              double duplicate, double burst_loss) {
+  config_.drop_rate = drop;
+  config_.corrupt_rate = corrupt;
+  config_.reorder_rate = reorder;
+  config_.duplicate_rate = duplicate;
+  config_.burst_loss_rate = burst_loss;
 }
 
 void NicDevice::UseSynthesizedDemux(bool on) {
@@ -164,10 +222,28 @@ bool NicDevice::Transmit(uint16_t dst_port, uint16_t src_port,
 
   WireItem item;
   item.tx_slot = slot;
-  item.drop = uni_(rng_) < config_.drop_rate;
+  if (burst_left_ > 0) {
+    // A loss burst in progress swallows this frame too.
+    burst_left_--;
+    item.drop = true;
+  } else if (config_.burst_loss_rate > 0 &&
+             uni_(rng_) < config_.burst_loss_rate) {
+    item.drop = true;
+    burst_left_ = config_.burst_len == 0 ? 0 : config_.burst_len - 1;
+  } else {
+    item.drop = uni_(rng_) < config_.drop_rate;
+  }
   if (uni_(rng_) < config_.corrupt_rate) {
     item.corrupt_off = static_cast<int32_t>(
         uni_(rng_) * (FrameLayout::kPayload + (n == 0 ? 0 : n - 1)));
+  }
+  if (!item.drop && config_.duplicate_rate > 0 &&
+      uni_(rng_) < config_.duplicate_rate) {
+    item.dup = true;
+  }
+  if (!item.drop && config_.reorder_rate > 0 &&
+      uni_(rng_) < config_.reorder_rate) {
+    item.delay_mult = 3;
   }
   bool queued = wire_.TryPut(item);
   assert(queued);

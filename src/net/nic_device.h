@@ -10,12 +10,17 @@
 // and stores the new entry point — the interrupt path never tests a flag).
 //
 // Fault injection models a lossy segment: each transmitted frame may be
-// dropped or corrupted (one byte flipped) with configured probabilities, so
-// retransmission logic and the checksum-reject counters can be exercised.
+// dropped, corrupted (one byte flipped), reordered (held on the wire for
+// extra latency so later frames overtake it), duplicated (delivered twice),
+// or caught in a burst loss (a run of consecutive frames vanishing), all with
+// configured probabilities drawn from one seeded generator — the schedule is
+// a pure function of (seed, config, transmit sequence), so fault runs replay
+// deterministically.
 #ifndef SRC_NET_NIC_DEVICE_H_
 #define SRC_NET_NIC_DEVICE_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <random>
 #include <unordered_map>
@@ -35,6 +40,10 @@ struct NicConfig {
   double wire_latency_us = 5.0;  // loopback segment latency
   double drop_rate = 0.0;        // probability a frame vanishes on the wire
   double corrupt_rate = 0.0;     // probability one byte is flipped in transit
+  double reorder_rate = 0.0;     // probability a frame is held back 3x latency
+  double duplicate_rate = 0.0;   // probability a frame arrives twice
+  double burst_loss_rate = 0.0;  // probability a loss burst starts here
+  uint32_t burst_len = 4;        // frames consumed by one loss burst
   uint32_t fault_seed = 1;       // deterministic fault injection
   bool synthesized_demux = true; // false: interpret the flow table (baseline)
 };
@@ -49,7 +58,21 @@ class NicDevice {
   // datagram size the demux synthesizer folds (and enforces).
   bool BindPort(uint16_t port, std::shared_ptr<RingHost> ring,
                 uint32_t fixed_len = 0);
+  // Opens a flow with caller-supplied per-packet processors (the stream
+  // layer's segment handlers; see DemuxSynthesizer::AddFlowCustom) plus an
+  // optional host hook run from the RX-done trap after each accepted frame —
+  // host-only work (acks, window pushes, wakeups), never a nested kexec call.
+  bool BindPortCustom(uint16_t port, std::shared_ptr<RingHost> ring, Addr ctx,
+                      BlockId synth_deliver, BlockId generic_deliver,
+                      std::function<void()> deliver_hook);
+  // Re-synthesizes a custom flow's specialized deliver (e.g. a connection
+  // left LISTEN and the peer is now a foldable invariant).
+  bool SwapPortDeliver(uint16_t port, BlockId synth_deliver);
   bool UnbindPort(uint16_t port);
+
+  // Changes wire fault rates mid-run (e.g. a link going dark under test).
+  void SetWireFaults(double drop, double corrupt, double reorder,
+                     double duplicate, double burst_loss);
 
   // Sends one datagram (payload bytes are host memory). Returns false when
   // all TX slots are in flight — callers may park on tx_waiters().
@@ -77,6 +100,8 @@ class NicDevice {
   Gauge& nomatch_gauge() { return nomatch_gauge_; }
   Gauge& wire_drop_gauge() { return wire_drop_gauge_; }
   Gauge& corrupt_gauge() { return corrupt_gauge_; }
+  Gauge& wire_reorder_gauge() { return wire_reorder_gauge_; }
+  Gauge& wire_dup_gauge() { return wire_dup_gauge_; }
   uint64_t tx_completed() const { return tx_completed_; }
   uint64_t rx_overruns() const { return rx_overruns_; }
 
@@ -84,6 +109,8 @@ class NicDevice {
   struct WireItem {
     uint32_t tx_slot = 0;
     bool drop = false;
+    bool dup = false;          // deliver the frame twice
+    uint8_t delay_mult = 1;    // >1: held back, later frames overtake it
     int32_t corrupt_off = -1;  // byte offset within the frame to flip, or -1
   };
 
@@ -109,15 +136,19 @@ class NicDevice {
   uint32_t rx_inflight_ = 0;
 
   std::unordered_map<uint16_t, std::shared_ptr<RingHost>> rings_;
+  std::unordered_map<uint16_t, std::function<void()>> hooks_;
   WaitQueue tx_waiters_;
   std::mt19937 rng_;
   std::uniform_real_distribution<double> uni_{0.0, 1.0};
+  uint32_t burst_left_ = 0;  // remaining frames of an in-progress loss burst
 
   Gauge rx_gauge_;
   Gauge csum_reject_gauge_;
   Gauge nomatch_gauge_;
   Gauge wire_drop_gauge_;
   Gauge corrupt_gauge_;
+  Gauge wire_reorder_gauge_;
+  Gauge wire_dup_gauge_;
   uint64_t tx_completed_ = 0;
   uint64_t rx_overruns_ = 0;
   uint64_t csum_seen_ = 0;  // last demux csum-reject count mirrored to gauge

@@ -1,0 +1,851 @@
+#include "src/net/stream.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/machine/assembler.h"
+
+namespace synthesis {
+
+namespace {
+
+// Emits `*addr_sym += 1` (clobbers d1).
+void BumpCounter(Asm& a, const std::string& addr_sym) {
+  a.LoadA32(kD1, Asm::Sym(addr_sym));
+  a.AddI(kD1, 1);
+  a.StoreA32(Asm::Sym(addr_sym), kD1);
+}
+
+// Emits `events |= bit` through the CCB pointer in a5 (clobbers d1).
+void OrEvent(Asm& a, uint32_t bit) {
+  a.Load32(kD1, kA5, CcbLayout::kEvents);
+  a.OrI(kD1, static_cast<int32_t>(bit));
+  a.Store32(kA5, kD1, CcbLayout::kEvents);
+}
+
+// Emits `events |= bit` through the folded CCB address (clobbers d1).
+void OrEventA(Asm& a, uint32_t bit) {
+  a.LoadA32(kD1, Asm::Sym("ev"));
+  a.OrI(kD1, static_cast<int32_t>(bit));
+  a.StoreA32(Asm::Sym("ev"), kD1);
+}
+
+// The GENERIC segment processor, shared by every connection: the layered
+// baseline. Called from the generic demux's handler dispatch with a1 = frame,
+// a2 = flow-table entry, a4 = ring, d5 = validated length (d2, the matched
+// port, must survive). Checksum and max-length were already verified by the
+// generic demux walk. Everything here is a pointer chase: the CCB comes from
+// the flow entry, every connection variable is register-indirect, and payload
+// bytes go through the generic one-call-per-byte ring put.
+CodeTemplate GenericStreamTemplate() {
+  Asm a("net_stream_gen");
+  a.Load32(kA5, kA2, FlowEntryLayout::kCtx);  // the CCB
+  a.CmpI(kD5, StreamSeg::kHdrBytes - 1);
+  a.Bhi("hdrok");
+  BumpCounter(a, "ctr_mal");  // too short to hold a segment header
+  a.MoveI(kD0, 0);
+  a.Rts();
+  a.Label("hdrok");
+  a.Store32(kA5, kA1, CcbLayout::kLastFrame);
+  a.Load32(kD0, kA5, CcbLayout::kState);
+  a.CmpI(kD0, CcbLayout::kEstablished);
+  a.Beq("fast");
+  a.CmpI(kD0, CcbLayout::kFinSent);
+  a.Beq("fast");
+  a.Label("ctrl");  // handshake / FIN / RST: the host protocol half decides
+  OrEvent(a, CcbLayout::kEvCtrl);
+  a.MoveI(kD0, 1);
+  a.Rts();
+  a.Label("fast");
+  a.Load32(kD1, kA1, FrameLayout::kSrcPort);
+  a.Load32(kD0, kA5, CcbLayout::kPeer);
+  a.Cmp(kD1, kD0);
+  a.Beq("peerok");
+  OrEvent(a, CcbLayout::kEvBadSeg);
+  a.MoveI(kD0, 0);
+  a.Rts();
+  a.Label("peerok");
+  a.Load32(kD6, kA1, FrameLayout::kPayload + StreamSeg::kFlags);
+  a.Move(kD1, kD6);
+  a.AndI(kD1, StreamSeg::kFlagSyn | StreamSeg::kFlagFin | StreamSeg::kFlagRst);
+  a.Tst(kD1);
+  a.Bne("ctrl");
+  // Cumulative ack: advance snd_una when una < ack <= snd_nxt; count a
+  // duplicate only for a pure ack repeating una while data is outstanding.
+  a.Load32(kD4, kA1, FrameLayout::kPayload + StreamSeg::kAck);
+  a.Load32(kD0, kA5, CcbLayout::kSndUna);
+  a.Cmp(kD4, kD0);
+  a.Bls("noadv");
+  a.Load32(kD1, kA5, CcbLayout::kSndNxt);
+  a.Cmp(kD4, kD1);
+  a.Bhi("ackdone");  // acks data never sent: ignore
+  a.Store32(kA5, kD4, CcbLayout::kSndUna);
+  OrEvent(a, CcbLayout::kEvAckAdvance);
+  a.MoveI(kD1, 0);
+  a.Store32(kA5, kD1, CcbLayout::kDupAcks);
+  a.Bra("ackdone");
+  a.Label("noadv");
+  a.Bne("ackdone");  // ack < una: stale, nothing to record
+  a.CmpI(kD5, StreamSeg::kHdrBytes);
+  a.Bne("ackdone");  // carries data: not a duplicate ack
+  a.Load32(kD1, kA5, CcbLayout::kSndNxt);
+  a.Cmp(kD1, kD0);
+  a.Beq("ackdone");  // nothing outstanding
+  a.Load32(kD1, kA5, CcbLayout::kDupAcks);
+  a.AddI(kD1, 1);
+  a.Store32(kA5, kD1, CcbLayout::kDupAcks);
+  OrEvent(a, CcbLayout::kEvDupAck);
+  a.Label("ackdone");
+  // In-order data lands in the ring; anything else is counted and re-acked.
+  a.Move(kD6, kD5);
+  a.SubI(kD6, StreamSeg::kHdrBytes);
+  a.Tst(kD6);
+  a.Beq("okout");
+  a.Load32(kD4, kA1, FrameLayout::kPayload + StreamSeg::kSeq);
+  a.Load32(kD0, kA5, CcbLayout::kRcvNxt);
+  a.Cmp(kD4, kD0);
+  a.Beq("seqok");
+  a.Load32(kD1, kA5, CcbLayout::kOoo);
+  a.AddI(kD1, 1);
+  a.Store32(kA5, kD1, CcbLayout::kOoo);
+  OrEvent(a, CcbLayout::kEvOoo);
+  a.Bra("okout");
+  a.Label("seqok");
+  a.Load32(kD3, kA4, RingLayout::kHead);
+  a.Load32(kD4, kA4, RingLayout::kTail);
+  a.Load32(kD7, kA4, RingLayout::kMask);
+  a.Move(kD0, kD4);
+  a.Sub(kD0, kD3);
+  a.SubI(kD0, 1);
+  a.And(kD0, kD7);  // space = (tail - head - 1) & mask
+  a.Cmp(kD6, kD0);
+  a.Bls("room");
+  OrEvent(a, CcbLayout::kEvRingFull);
+  a.Bra("okout");
+  a.Label("room");
+  a.Move(kA3, kA1);
+  a.AddI(kA3, FrameLayout::kPayload + StreamSeg::kHdrBytes);
+  a.Label("cloop");
+  a.Tst(kD6);
+  a.Beq("cdone");
+  a.Load8(kD1, kA3, 0);
+  a.Jsr(Asm::Sym("put1"));  // the generic ring put, one call per byte
+  a.AddI(kA3, 1);
+  a.SubI(kD6, 1);
+  a.Bra("cloop");
+  a.Label("cdone");
+  a.Move(kD6, kD5);
+  a.SubI(kD6, StreamSeg::kHdrBytes);
+  a.Load32(kD1, kA5, CcbLayout::kRcvNxt);
+  a.Add(kD1, kD6);
+  a.Store32(kA5, kD1, CcbLayout::kRcvNxt);
+  a.Load32(kD1, kA5, CcbLayout::kAccepted);
+  a.AddI(kD1, 1);
+  a.Store32(kA5, kD1, CcbLayout::kAccepted);
+  OrEvent(a, CcbLayout::kEvData);
+  a.Label("okout");
+  a.MoveI(kD0, 1);
+  a.Rts();
+  return a.Build();
+}
+
+void Put32(std::vector<uint8_t>& v, size_t off, uint32_t x) {
+  std::memcpy(v.data() + off, &x, 4);  // Memory::Read32 is host-endian memcpy
+}
+
+}  // namespace
+
+StreamLayer::StreamLayer(Kernel& kernel, IoSystem& io, NicDevice& nic)
+    : kernel_(kernel), io_(io), nic_(nic) {
+  timer_vec_ = kernel_.RegisterHostTrap([this](Machine& m) {
+    OnTimer(static_cast<ConnId>(m.reg(kD1)));
+    return TrapAction::kContinue;
+  });
+  // The generic processor is installed verbatim: it IS the layered baseline.
+  Bindings b;
+  b.Set("put1", static_cast<int32_t>(nic_.demux().put1_block()));
+  b.Set("ctr_mal", static_cast<int32_t>(nic_.demux().ctr_malformed_addr()));
+  SynthesisOptions verbatim = SynthesisOptions::Disabled();
+  proc_gen_ = kernel_.SynthesizeInstall(GenericStreamTemplate(), b, nullptr,
+                                        "net_stream_gen", nullptr, &verbatim);
+}
+
+// The SYNTHESIZED per-connection segment processor. Called from the demux's
+// compare-chain with a1 = frame; must set d2 to the (folded) port. Before
+// establishment the peer is unknown, so everything routes to the host's
+// control path; at establishment the processor is re-emitted with the
+// connection-lifetime invariants folded in: the peer port is an immediate
+// compare, every CCB field an absolute address, the checksum inlined, and
+// the ring geometry folded into a bulk copy publishing the head once.
+BlockId StreamLayer::BuildSynthDeliver(const Conn& c) {
+  Memory& mem = kernel_.machine().memory();
+  const bool established = c.state == CcbLayout::kEstablished ||
+                           c.state == CcbLayout::kFinSent;
+  const std::string name = "net_stream$" + std::to_string(c.local_port) + "#" +
+                           std::to_string(c.synth_gen);
+  Asm a(name);
+  // Validation order matches the generic pipeline exactly (demux walk, then
+  // handler): max length, checksum, header minimum — so both implementations
+  // bump the same reject counter for every malformed frame.
+  a.MoveI(kD2, Asm::Sym("port"));
+  a.Load32(kD5, kA1, FrameLayout::kLength);
+  a.CmpI(kD5, FrameLayout::kMaxPayload);
+  a.Bhi("bad");
+  a.Jsr(Asm::Sym("csum"));  // inlined by Collapsing Layers
+  a.Tst(kD0);
+  a.Bne("ck");
+  BumpCounter(a, "ctr_csum");
+  a.MoveI(kD0, 0);
+  a.Rts();
+  a.Label("ck");
+  a.CmpI(kD5, StreamSeg::kHdrBytes - 1);
+  a.Bhi("len1");
+  a.Label("bad");
+  BumpCounter(a, "ctr_mal");
+  a.MoveI(kD0, 0);
+  a.Rts();
+  a.Label("len1");
+  a.StoreA32(Asm::Sym("lastf"), kA1);
+  if (!established) {
+    OrEventA(a, CcbLayout::kEvCtrl);
+    a.MoveI(kD0, 1);
+    a.Rts();
+  } else {
+    a.LoadA32(kD0, Asm::Sym("st"));
+    a.CmpI(kD0, CcbLayout::kEstablished);
+    a.Beq("fast");
+    a.CmpI(kD0, CcbLayout::kFinSent);
+    a.Beq("fast");
+    a.Label("ctrl");
+    OrEventA(a, CcbLayout::kEvCtrl);
+    a.MoveI(kD0, 1);
+    a.Rts();
+    a.Label("fast");
+    a.Load32(kD1, kA1, FrameLayout::kSrcPort);
+    a.CmpI(kD1, Asm::Sym("peer"));  // the connection's folded invariant
+    a.Beq("peerok");
+    OrEventA(a, CcbLayout::kEvBadSeg);
+    a.MoveI(kD0, 0);
+    a.Rts();
+    a.Label("peerok");
+    a.Load32(kD6, kA1, FrameLayout::kPayload + StreamSeg::kFlags);
+    a.Move(kD1, kD6);
+    a.AndI(kD1,
+           StreamSeg::kFlagSyn | StreamSeg::kFlagFin | StreamSeg::kFlagRst);
+    a.Tst(kD1);
+    a.Bne("ctrl");
+    a.Load32(kD4, kA1, FrameLayout::kPayload + StreamSeg::kAck);
+    a.LoadA32(kD0, Asm::Sym("una"));
+    a.Cmp(kD4, kD0);
+    a.Bls("noadv");
+    a.LoadA32(kD1, Asm::Sym("nxt"));
+    a.Cmp(kD4, kD1);
+    a.Bhi("ackdone");
+    a.StoreA32(Asm::Sym("una"), kD4);
+    OrEventA(a, CcbLayout::kEvAckAdvance);
+    a.MoveI(kD1, 0);
+    a.StoreA32(Asm::Sym("dup"), kD1);
+    a.Bra("ackdone");
+    a.Label("noadv");
+    a.Bne("ackdone");
+    a.CmpI(kD5, StreamSeg::kHdrBytes);
+    a.Bne("ackdone");
+    a.LoadA32(kD1, Asm::Sym("nxt"));
+    a.Cmp(kD1, kD0);
+    a.Beq("ackdone");
+    a.LoadA32(kD1, Asm::Sym("dup"));
+    a.AddI(kD1, 1);
+    a.StoreA32(Asm::Sym("dup"), kD1);
+    OrEventA(a, CcbLayout::kEvDupAck);
+    a.Label("ackdone");
+    a.Move(kD6, kD5);
+    a.SubI(kD6, StreamSeg::kHdrBytes);
+    a.Tst(kD6);
+    a.Beq("okout");
+    a.Load32(kD4, kA1, FrameLayout::kPayload + StreamSeg::kSeq);
+    a.LoadA32(kD0, Asm::Sym("rnxt"));
+    a.Cmp(kD4, kD0);
+    a.Beq("seqok");
+    a.LoadA32(kD1, Asm::Sym("ooo"));
+    a.AddI(kD1, 1);
+    a.StoreA32(Asm::Sym("ooo"), kD1);
+    OrEventA(a, CcbLayout::kEvOoo);
+    a.Bra("okout");
+    a.Label("seqok");
+    // Ring space check and bulk copy against folded ring constants; the
+    // producer index is published once at the end (§3.2: publish last).
+    a.LoadA32(kD3, Asm::Sym("head"));
+    a.LoadA32(kD4, Asm::Sym("tail"));
+    a.Move(kD0, kD4);
+    a.Sub(kD0, kD3);
+    a.SubI(kD0, 1);
+    a.AndI(kD0, Asm::Sym("mask"));
+    a.Cmp(kD6, kD0);
+    a.Bls("room");
+    OrEventA(a, CcbLayout::kEvRingFull);
+    a.Bra("okout");
+    a.Label("room");
+    a.Move(kA3, kA1);
+    a.AddI(kA3, FrameLayout::kPayload + StreamSeg::kHdrBytes);
+    a.Label("cloop");
+    a.Tst(kD6);
+    a.Beq("cdone");
+    a.Load8(kD1, kA3, 0);
+    a.Lea(kA2, kD3, Asm::Sym("buf"));
+    a.Store8(kA2, kD1, 0);
+    a.AddI(kD3, 1);
+    a.AndI(kD3, Asm::Sym("mask"));
+    a.AddI(kA3, 1);
+    a.SubI(kD6, 1);
+    a.Bra("cloop");
+    a.Label("cdone");
+    a.StoreA32(Asm::Sym("head"), kD3);
+    a.Move(kD6, kD5);
+    a.SubI(kD6, StreamSeg::kHdrBytes);
+    a.LoadA32(kD1, Asm::Sym("rnxt"));
+    a.Add(kD1, kD6);
+    a.StoreA32(Asm::Sym("rnxt"), kD1);
+    a.LoadA32(kD1, Asm::Sym("acc"));
+    a.AddI(kD1, 1);
+    a.StoreA32(Asm::Sym("acc"), kD1);
+    OrEventA(a, CcbLayout::kEvData);
+    a.Label("okout");
+    a.MoveI(kD0, 1);
+    a.Rts();
+  }
+
+  Bindings b;
+  b.Set("port", c.local_port);
+  b.Set("csum", static_cast<int32_t>(nic_.demux().csum_block()));
+  b.Set("ctr_mal", static_cast<int32_t>(nic_.demux().ctr_malformed_addr()));
+  b.Set("ctr_csum", static_cast<int32_t>(nic_.demux().ctr_csum_addr()));
+  b.Set("lastf", static_cast<int32_t>(c.ccb + CcbLayout::kLastFrame));
+  b.Set("ev", static_cast<int32_t>(c.ccb + CcbLayout::kEvents));
+  if (established) {
+    b.Set("peer", c.peer_port);
+    b.Set("st", static_cast<int32_t>(c.ccb + CcbLayout::kState));
+    b.Set("una", static_cast<int32_t>(c.ccb + CcbLayout::kSndUna));
+    b.Set("nxt", static_cast<int32_t>(c.ccb + CcbLayout::kSndNxt));
+    b.Set("rnxt", static_cast<int32_t>(c.ccb + CcbLayout::kRcvNxt));
+    b.Set("dup", static_cast<int32_t>(c.ccb + CcbLayout::kDupAcks));
+    b.Set("ooo", static_cast<int32_t>(c.ccb + CcbLayout::kOoo));
+    b.Set("acc", static_cast<int32_t>(c.ccb + CcbLayout::kAccepted));
+    b.Set("head", static_cast<int32_t>(c.ring->base + RingLayout::kHead));
+    b.Set("tail", static_cast<int32_t>(c.ring->base + RingLayout::kTail));
+    b.Set("buf", static_cast<int32_t>(c.ring->base + RingLayout::kBuf));
+    b.Set("mask",
+          static_cast<int32_t>(mem.Read32(c.ring->base + RingLayout::kMask)));
+  }
+  SynthesisOptions opts = kernel_.config().synthesis;
+  opts.live_out |= (1u << kD0) | (1u << kD1) | (1u << kD2);
+  return kernel_.SynthesizeInstall(a.Build(), b, nullptr, name, nullptr, &opts);
+}
+
+void StreamLayer::Resynthesize(Conn& c) {
+  c.synth_gen++;
+  c.synth_deliver = BuildSynthDeliver(c);
+  nic_.SwapPortDeliver(c.local_port, c.synth_deliver);
+}
+
+StreamLayer::Conn* StreamLayer::Get(ConnId id) {
+  auto it = conns_.find(id);
+  return it == conns_.end() ? nullptr : &it->second;
+}
+
+const StreamLayer::Conn* StreamLayer::Get(ConnId id) const {
+  auto it = conns_.find(id);
+  return it == conns_.end() ? nullptr : &it->second;
+}
+
+void StreamLayer::SetState(Conn& c, uint32_t state) {
+  c.state = state;
+  kernel_.machine().memory().Write32(c.ccb + CcbLayout::kState, state);
+}
+
+ConnId StreamLayer::NewConn(uint16_t local_port, uint16_t peer_port,
+                            uint32_t state, const StreamConfig& cfg) {
+  if (local_port == 0 || nic_.demux().HasFlow(local_port)) {
+    return kBadConn;
+  }
+  ConnId id = next_id_++;
+  Conn c;
+  c.cfg = cfg;
+  c.local_port = local_port;
+  c.peer_port = peer_port;
+  c.ccb = kernel_.allocator().Allocate(CcbLayout::kBytes);
+  Memory& mem = kernel_.machine().memory();
+  for (uint32_t off = 0; off < CcbLayout::kBytes; off += 4) {
+    mem.Write32(c.ccb + off, 0);
+  }
+  mem.Write32(c.ccb + CcbLayout::kPeer, peer_port);
+  c.ring = io_.MakeRing(cfg.ring_bytes);
+  c.path = "/net/tcp/" + std::to_string(local_port);
+  io_.RegisterRingDevice(c.path, c.ring, nullptr);
+  c.ch = io_.Open(c.path);  // synthesizes the per-channel ring read
+  c.cwnd = cfg.window_segments;
+  c.rto_us = cfg.rto_base_us;
+  SetState(c, state);
+  c.synth_deliver = BuildSynthDeliver(c);
+  // The per-connection alarm stub: the alarm payload is the handler itself,
+  // so the stub re-loads d1 with the connection id before trapping to the
+  // host timeout logic.
+  const std::string stub_name = "stream_alarm$" + std::to_string(local_port);
+  Asm st(stub_name);
+  st.MoveI(kD1, static_cast<int32_t>(id));
+  st.Trap(timer_vec_);
+  st.Rts();
+  SynthesisOptions verbatim = SynthesisOptions::Disabled();
+  c.alarm_stub = kernel_.SynthesizeInstall(st.Build(), Bindings(), nullptr,
+                                           stub_name, nullptr, &verbatim);
+  auto it = conns_.emplace(id, std::move(c)).first;
+  Conn& ref = it->second;
+  if (!nic_.BindPortCustom(local_port, ref.ring, ref.ccb, ref.synth_deliver,
+                           proc_gen_, [this, id] { OnDeliver(id); })) {
+    io_.UnregisterRingDevice(ref.path);
+    io_.Close(ref.ch);
+    conns_.erase(it);
+    return kBadConn;
+  }
+  return id;
+}
+
+ConnId StreamLayer::Listen(uint16_t port, StreamConfig cfg) {
+  return NewConn(port, 0, CcbLayout::kListen, cfg);
+}
+
+ConnId StreamLayer::Connect(uint16_t dst_port, StreamConfig cfg) {
+  while (nic_.demux().HasFlow(next_ephemeral_)) {
+    next_ephemeral_++;
+  }
+  ConnId id = NewConn(next_ephemeral_++, dst_port, CcbLayout::kSynSent, cfg);
+  if (id == kBadConn) {
+    return kBadConn;
+  }
+  Conn& c = *Get(id);
+  Seg syn;
+  syn.seq = c.snd_nxt;
+  syn.flags = StreamSeg::kFlagSyn;
+  c.snd_nxt += 1;
+  kernel_.machine().memory().Write32(c.ccb + CcbLayout::kSndNxt, c.snd_nxt);
+  c.unacked.push_back(syn);
+  TransmitSeg(c, syn);
+  ArmTimer(c);
+  return id;
+}
+
+void StreamLayer::TransmitSeg(Conn& c, const Seg& seg) {
+  Memory& mem = kernel_.machine().memory();
+  std::vector<uint8_t> p(StreamSeg::kHdrBytes + seg.data.size());
+  Put32(p, StreamSeg::kSeq, seg.seq);
+  Put32(p, StreamSeg::kAck, mem.Read32(c.ccb + CcbLayout::kRcvNxt));
+  Put32(p, StreamSeg::kFlags, seg.flags | StreamSeg::kFlagAck);
+  if (!seg.data.empty()) {
+    std::memcpy(p.data() + StreamSeg::kHdrBytes, seg.data.data(),
+                seg.data.size());
+  }
+  // A full TX queue just loses the segment; the retransmit timer covers it
+  // like any other wire loss.
+  nic_.Transmit(c.peer_port, c.local_port, p.data(),
+                static_cast<uint32_t>(p.size()));
+}
+
+void StreamLayer::SendAck(Conn& c) {
+  Seg ack;
+  ack.seq = c.snd_nxt;
+  TransmitSeg(c, ack);
+}
+
+void StreamLayer::PushWindow(Conn& c) {
+  Memory& mem = kernel_.machine().memory();
+  while (c.state == CcbLayout::kEstablished && !c.pending.empty() &&
+         c.unacked.size() < c.cwnd) {
+    Seg s;
+    s.seq = c.snd_nxt;
+    uint32_t take = std::min<uint32_t>(c.cfg.max_seg_data,
+                                       static_cast<uint32_t>(c.pending.size()));
+    s.data.assign(c.pending.begin(),
+                  c.pending.begin() + static_cast<long>(take));
+    c.pending.erase(c.pending.begin(),
+                    c.pending.begin() + static_cast<long>(take));
+    c.snd_nxt += take;
+    mem.Write32(c.ccb + CcbLayout::kSndNxt, c.snd_nxt);
+    c.unacked.push_back(s);
+    TransmitSeg(c, s);
+  }
+  if (c.fin_queued && !c.fin_sent && c.pending.empty() &&
+      c.state == CcbLayout::kEstablished && c.unacked.size() < c.cwnd) {
+    Seg fin;
+    fin.seq = c.snd_nxt;
+    fin.flags = StreamSeg::kFlagFin;
+    c.snd_nxt += 1;
+    mem.Write32(c.ccb + CcbLayout::kSndNxt, c.snd_nxt);
+    c.unacked.push_back(fin);
+    c.fin_sent = true;
+    SetState(c, CcbLayout::kFinSent);
+    TransmitSeg(c, fin);
+  }
+  if (!c.unacked.empty() && !c.timer_armed) {
+    ArmTimer(c);
+  }
+}
+
+void StreamLayer::ArmTimer(Conn& c) {
+  c.timer_deadline = kernel_.NowUs() + c.rto_us;
+  c.timer_armed = true;
+  kernel_.SetAlarm(c.rto_us, c.alarm_stub);
+}
+
+void StreamLayer::OnTimer(ConnId id) {
+  Conn* c = Get(id);
+  if (c == nullptr || !c->timer_armed) {
+    return;
+  }
+  if (kernel_.NowUs() + 1e-6 < c->timer_deadline) {
+    return;  // superseded by a later re-arm; the fresh alarm is still pending
+  }
+  c->timer_armed = false;
+  if (c->unacked.empty() || c->state == CcbLayout::kDone ||
+      c->state == CcbLayout::kFailed) {
+    return;
+  }
+  c->timeouts++;
+  timeout_gauge_.Count();
+  c->retries++;
+  if (c->retries > c->cfg.max_retries) {
+    if (c->state == CcbLayout::kFinSent && c->fin_received) {
+      // Only our FIN's ack is missing and the peer already closed: the peer
+      // is plausibly gone for good reasons. Close out instead of failing.
+      Finish(*c);
+    } else {
+      Fail(*c);
+    }
+    return;
+  }
+  // Graceful degradation under sustained loss: the timeout doubles and the
+  // window halves, so throughput decays instead of livelocking the wire.
+  c->rto_us = std::min(c->rto_us * 2, c->cfg.rto_cap_us);
+  c->cwnd = std::max(1u, c->cwnd / 2);
+  // Go-back-N: the receiver keeps no out-of-order buffer, so everything after
+  // the lost segment was discarded — resend the whole outstanding window.
+  for (const Seg& s : c->unacked) {
+    c->retransmits++;
+    retransmit_gauge_.Count();
+    TransmitSeg(*c, s);
+  }
+  ArmTimer(*c);
+}
+
+void StreamLayer::OnDeliver(ConnId id) {
+  Conn* c = Get(id);
+  if (c == nullptr) {
+    return;
+  }
+  Memory& mem = kernel_.machine().memory();
+  uint32_t ev = mem.Read32(c->ccb + CcbLayout::kEvents);
+  mem.Write32(c->ccb + CcbLayout::kEvents, 0);
+  if (ev & CcbLayout::kEvCtrl) {
+    HandleCtrl(*c);
+    c = Get(id);  // HandleCtrl may fail/erase state; re-validate
+    if (c == nullptr || c->state == CcbLayout::kFailed) {
+      return;
+    }
+  }
+  if (ev & CcbLayout::kEvAckAdvance) {
+    HandleAckAdvance(*c);
+    if (c->state == CcbLayout::kFailed) {
+      return;
+    }
+  }
+  if (ev & CcbLayout::kEvDupAck) {
+    dup_ack_gauge_.Count();
+    uint32_t dups = mem.Read32(c->ccb + CcbLayout::kDupAcks);
+    if (dups >= c->dup_base + 3 && !c->unacked.empty()) {
+      // Triple duplicate ack: the front segment is presumed lost.
+      c->dup_base = dups;
+      c->fast_retransmits++;
+      c->retransmits++;
+      retransmit_gauge_.Count();
+      TransmitSeg(*c, c->unacked.front());
+    }
+  }
+  if (ev & CcbLayout::kEvOoo) {
+    ooo_gauge_.Count();
+  }
+  if (ev & (CcbLayout::kEvData | CcbLayout::kEvOoo | CcbLayout::kEvRingFull)) {
+    // Every data arrival is acked immediately; out-of-order and ring-full
+    // arrivals re-ack rcv_nxt so the peer learns what is still missing.
+    SendAck(*c);
+  }
+}
+
+void StreamLayer::Establish(Conn& c, uint16_t peer, uint32_t peer_seq) {
+  Memory& mem = kernel_.machine().memory();
+  c.peer_port = peer;
+  mem.Write32(c.ccb + CcbLayout::kPeer, peer);
+  mem.Write32(c.ccb + CcbLayout::kRcvNxt, peer_seq + 1);
+  SetState(c, CcbLayout::kEstablished);
+  // The peer is now a connection-lifetime invariant: re-synthesize the
+  // processor with it (and the ring geometry) folded in.
+  Resynthesize(c);
+  kernel_.UnblockAll(c.senders);
+}
+
+void StreamLayer::HandleCtrl(Conn& c) {
+  Memory& mem = kernel_.machine().memory();
+  Addr f = mem.Read32(c.ccb + CcbLayout::kLastFrame);
+  uint32_t src = mem.Read32(f + FrameLayout::kSrcPort);
+  uint32_t len = mem.Read32(f + FrameLayout::kLength);
+  if (len < StreamSeg::kHdrBytes) {
+    return;  // cannot happen: the processors validate before raising kEvCtrl
+  }
+  uint32_t seq = mem.Read32(f + FrameLayout::kPayload + StreamSeg::kSeq);
+  uint32_t ack = mem.Read32(f + FrameLayout::kPayload + StreamSeg::kAck);
+  uint32_t flags = mem.Read32(f + FrameLayout::kPayload + StreamSeg::kFlags);
+
+  if (flags & StreamSeg::kFlagRst) {
+    if (c.state != CcbLayout::kListen) {
+      Fail(c);
+    }
+    return;
+  }
+  switch (c.state) {
+    case CcbLayout::kListen:
+      if (flags & StreamSeg::kFlagSyn) {
+        Establish(c, static_cast<uint16_t>(src), seq);
+        Seg synack;
+        synack.seq = c.snd_nxt;
+        synack.flags = StreamSeg::kFlagSyn;
+        c.snd_nxt += 1;
+        mem.Write32(c.ccb + CcbLayout::kSndNxt, c.snd_nxt);
+        c.unacked.push_back(synack);
+        TransmitSeg(c, synack);
+        ArmTimer(c);
+      }
+      return;
+    case CcbLayout::kSynSent:
+      if ((flags & StreamSeg::kFlagSyn) && src == c.peer_port) {
+        if ((flags & StreamSeg::kFlagAck) && ack >= 1) {
+          mem.Write32(c.ccb + CcbLayout::kSndUna, ack);
+          if (!c.unacked.empty() &&
+              (c.unacked.front().flags & StreamSeg::kFlagSyn)) {
+            c.unacked.pop_front();
+          }
+          c.retries = 0;
+          c.rto_us = c.cfg.rto_base_us;
+        }
+        Establish(c, static_cast<uint16_t>(src), seq);
+        SendAck(c);
+        PushWindow(c);
+        if (c.unacked.empty()) {
+          c.timer_armed = false;
+        } else {
+          ArmTimer(c);
+        }
+      }
+      return;
+    default:
+      break;
+  }
+  // Established / fin-sent / done, reached with SYN or FIN flags.
+  if (src != c.peer_port) {
+    return;
+  }
+  if (flags & StreamSeg::kFlagSyn) {
+    // The peer retransmitted its SYN: our SYN|ACK (or its ack) was lost.
+    if (!c.unacked.empty() &&
+        (c.unacked.front().flags & StreamSeg::kFlagSyn)) {
+      c.retransmits++;
+      retransmit_gauge_.Count();
+      TransmitSeg(c, c.unacked.front());
+    } else {
+      SendAck(c);
+    }
+    return;
+  }
+  if (flags & StreamSeg::kFlagFin) {
+    // Piggybacked cumulative ack first (the fast path skipped this segment).
+    uint32_t una = mem.Read32(c.ccb + CcbLayout::kSndUna);
+    if (ack > una && ack <= c.snd_nxt) {
+      mem.Write32(c.ccb + CcbLayout::kSndUna, ack);
+      HandleAckAdvance(c);
+      if (c.state == CcbLayout::kFailed) {
+        return;
+      }
+    }
+    if (seq == mem.Read32(c.ccb + CcbLayout::kRcvNxt)) {
+      mem.Write32(c.ccb + CcbLayout::kRcvNxt, seq + 1);
+      c.fin_received = true;
+      kernel_.UnblockAll(c.ring->readers);  // end-of-stream is now readable
+    }
+    SendAck(c);
+    MaybeFinish(c);
+    return;
+  }
+}
+
+void StreamLayer::HandleAckAdvance(Conn& c) {
+  Memory& mem = kernel_.machine().memory();
+  uint32_t una = mem.Read32(c.ccb + CcbLayout::kSndUna);
+  bool advanced = false;
+  while (!c.unacked.empty()) {
+    const Seg& front = c.unacked.front();
+    if (front.seq + front.Span() <= una) {
+      c.unacked.pop_front();
+      advanced = true;
+    } else {
+      break;
+    }
+  }
+  if (advanced) {
+    // Recovery: the retry budget and timeout reset, the window re-opens one
+    // segment per ack (the inverse of the timeout halving).
+    c.retries = 0;
+    c.rto_us = c.cfg.rto_base_us;
+    c.cwnd = std::min(c.cwnd + 1, c.cfg.window_segments);
+    c.dup_base = mem.Read32(c.ccb + CcbLayout::kDupAcks);
+  }
+  PushWindow(c);
+  kernel_.UnblockAll(c.senders);
+  if (c.unacked.empty()) {
+    c.timer_armed = false;
+    MaybeFinish(c);
+  } else {
+    ArmTimer(c);
+  }
+}
+
+void StreamLayer::MaybeFinish(Conn& c) {
+  if (c.fin_sent && c.fin_received && c.unacked.empty() && c.pending.empty() &&
+      c.state != CcbLayout::kDone && c.state != CcbLayout::kFailed) {
+    Finish(c);
+  }
+}
+
+void StreamLayer::Finish(Conn& c) {
+  SetState(c, CcbLayout::kDone);
+  c.timer_armed = false;
+  // The port stays bound so a peer retransmitting its FIN still gets acked.
+  kernel_.UnblockAll(c.senders);
+  kernel_.UnblockAll(c.ring->readers);
+}
+
+// Graceful failure: the error is surfaced through Send/Recv, the gauge
+// records it, the port and device namespace entries are reclaimed, and every
+// parked thread is released — no wedged rings.
+void StreamLayer::Fail(Conn& c) {
+  SetState(c, CcbLayout::kFailed);
+  c.timer_armed = false;
+  failed_gauge_.Count();
+  nic_.UnbindPort(c.local_port);
+  io_.UnregisterRingDevice(c.path);
+  io_.Close(c.ch);
+  c.pending.clear();
+  c.unacked.clear();
+  kernel_.UnblockAll(c.senders);
+  kernel_.UnblockAll(c.ring->readers);
+  kernel_.UnblockAll(c.ring->writers);
+}
+
+int32_t StreamLayer::Send(ConnId conn, Addr buf, uint32_t n) {
+  Conn* c = Get(conn);
+  if (c == nullptr || c->state == CcbLayout::kFailed ||
+      c->state == CcbLayout::kDone || c->fin_queued) {
+    return kIoError;
+  }
+  uint32_t limit = c->cfg.window_segments * c->cfg.max_seg_data;
+  uint32_t used = static_cast<uint32_t>(c->pending.size());
+  if (used >= limit) {
+    if (kernel_.current_thread() != kNoThread) {
+      kernel_.BlockCurrentOn(c->senders);
+    }
+    return kIoWouldBlock;
+  }
+  uint32_t take = std::min(n, limit - used);
+  if (take > 0) {
+    std::vector<uint8_t> tmp(take);
+    kernel_.machine().memory().ReadBytes(buf, tmp.data(), take);
+    kernel_.machine().Charge(take / 2, take / 4, take / 4);  // user->net copy
+    c->pending.insert(c->pending.end(), tmp.begin(), tmp.end());
+  }
+  PushWindow(*c);
+  return static_cast<int32_t>(take);
+}
+
+int32_t StreamLayer::Recv(ConnId conn, Addr buf, uint32_t cap) {
+  Conn* c = Get(conn);
+  if (c == nullptr || c->state == CcbLayout::kFailed) {
+    return kIoError;
+  }
+  if (io_.RingAvail(*c->ring) == 0 &&
+      (c->fin_received || c->state == CcbLayout::kDone)) {
+    return 0;  // end of stream
+  }
+  // The synthesized channel read: returns what is available, parks on the
+  // ring's reader queue when nothing is.
+  return io_.Read(c->ch, buf, cap);
+}
+
+bool StreamLayer::Close(ConnId conn) {
+  Conn* c = Get(conn);
+  if (c == nullptr || c->state == CcbLayout::kFailed ||
+      c->state == CcbLayout::kDone) {
+    return false;
+  }
+  if (c->fin_queued) {
+    return true;
+  }
+  c->fin_queued = true;
+  PushWindow(*c);
+  return true;
+}
+
+StreamStats StreamLayer::Stats(ConnId conn) const {
+  const Conn* c = Get(conn);
+  StreamStats s;
+  if (c == nullptr) {
+    return s;
+  }
+  Memory& mem = kernel_.machine().memory();
+  s.retransmits = c->retransmits;
+  s.timeouts = c->timeouts;
+  s.fast_retransmits = c->fast_retransmits;
+  s.dup_acks = mem.Read32(c->ccb + CcbLayout::kDupAcks);
+  s.out_of_order = mem.Read32(c->ccb + CcbLayout::kOoo);
+  s.accepted_segments = mem.Read32(c->ccb + CcbLayout::kAccepted);
+  s.rto_us = c->rto_us;
+  s.cwnd = c->cwnd;
+  s.state = c->state;
+  return s;
+}
+
+uint32_t StreamLayer::StateOf(ConnId conn) const {
+  const Conn* c = Get(conn);
+  return c == nullptr ? CcbLayout::kClosed : c->state;
+}
+
+uint16_t StreamLayer::PortOf(ConnId conn) const {
+  const Conn* c = Get(conn);
+  return c == nullptr ? 0 : c->local_port;
+}
+
+Addr StreamLayer::CcbOf(ConnId conn) const {
+  const Conn* c = Get(conn);
+  return c == nullptr ? 0 : c->ccb;
+}
+
+std::shared_ptr<RingHost> StreamLayer::RingOf(ConnId conn) const {
+  const Conn* c = Get(conn);
+  return c == nullptr ? nullptr : c->ring;
+}
+
+ChannelId StreamLayer::ChannelOf(ConnId conn) const {
+  const Conn* c = Get(conn);
+  return c == nullptr ? kBadChannel : c->ch;
+}
+
+BlockId StreamLayer::SynthDeliverOf(ConnId conn) const {
+  const Conn* c = Get(conn);
+  return c == nullptr ? kInvalidBlock : c->synth_deliver;
+}
+
+}  // namespace synthesis

@@ -1,0 +1,255 @@
+// Reliable stream channels over the synthesized network stack (§5 taken to
+// its conclusion: a TCP-like protocol whose per-connection receive path is
+// synthesized code).
+//
+// A connection is a quaject: a connection control block (CCB) in simulated
+// memory, a byte ring the paper's synthesized channel reads drain, and a
+// per-connection *segment processor* the packet demux jumps to. Like the
+// demux itself, the processor exists twice:
+//
+//  * The GENERIC processor is one shared interpreted routine: it chases the
+//    flow-table entry to the CCB, reloads every connection variable through
+//    pointers, and delivers payload bytes through the generic one-call-per-
+//    byte ring put. This is the layered-kernel baseline.
+//
+//  * The SYNTHESIZED processor is re-emitted per connection at establishment,
+//    when the peer becomes a connection-lifetime invariant: the peer port is
+//    a compare-with-immediate, every CCB field is an absolute address, the
+//    checksum is inlined (Collapsing Layers), and the ring geometry is folded
+//    into a bulk copy that publishes the producer index once (Factoring
+//    Invariants). Sequence/ack processing, duplicate-ack and out-of-order
+//    accounting all run at interrupt level in synthesized code.
+//
+// Reliability is split across the boundary: the in-kernel processors advance
+// snd_una/rcv_nxt and record events; the host half (this class) runs from the
+// RX-done trap and the alarm interrupt — sliding send window, cumulative-ack
+// pruning, retransmission on a per-connection timeout with exponential
+// backoff, fast retransmit on triple duplicate acks, and graceful degradation
+// (the window halves per timeout, the timeout doubles) under sustained loss.
+// A connection that exhausts its retry cap fails gracefully: the error
+// surfaces through Send/Recv, gauges record it, the port is unbound and all
+// parked threads are released — no wedged rings.
+//
+// Segment format, inside a datagram frame's payload:
+//   [seq u32][ack u32][flags u32][data...]
+// SYN and FIN each occupy one sequence number; both sides start at seq 0, so
+// the first data byte is seq 1.
+#ifndef SRC_NET_STREAM_H_
+#define SRC_NET_STREAM_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/io/gauge.h"
+#include "src/io/io_system.h"
+#include "src/net/nic_device.h"
+
+namespace synthesis {
+
+using ConnId = uint32_t;
+inline constexpr ConnId kBadConn = 0;
+
+// Segment header layout, relative to the frame payload base.
+struct StreamSeg {
+  static constexpr uint32_t kSeq = 0;
+  static constexpr uint32_t kAck = 4;
+  static constexpr uint32_t kFlags = 8;
+  static constexpr uint32_t kHdrBytes = 12;
+
+  static constexpr uint32_t kFlagSyn = 1;
+  static constexpr uint32_t kFlagAck = 2;
+  static constexpr uint32_t kFlagFin = 4;
+  static constexpr uint32_t kFlagRst = 8;
+};
+
+// The connection control block, in simulated memory: the shared state between
+// the in-kernel segment processors and the host protocol half.
+struct CcbLayout {
+  static constexpr uint32_t kState = 0;
+  static constexpr uint32_t kPeer = 4;       // peer port (0 until known)
+  static constexpr uint32_t kSndUna = 8;     // oldest unacknowledged seq
+  static constexpr uint32_t kSndNxt = 12;    // next seq to be assigned
+  static constexpr uint32_t kRcvNxt = 16;    // next expected in-order seq
+  static constexpr uint32_t kEvents = 20;    // processor -> host event bits
+  static constexpr uint32_t kLastFrame = 24; // frame addr of the last segment
+  static constexpr uint32_t kDupAcks = 28;   // duplicate-ack counter
+  static constexpr uint32_t kOoo = 32;       // out-of-order segment counter
+  static constexpr uint32_t kAccepted = 36;  // in-order data segments taken
+  static constexpr uint32_t kBytes = 40;
+
+  // kState values.
+  static constexpr uint32_t kClosed = 0;
+  static constexpr uint32_t kListen = 1;
+  static constexpr uint32_t kSynSent = 2;
+  static constexpr uint32_t kEstablished = 3;
+  static constexpr uint32_t kFinSent = 4;
+  static constexpr uint32_t kDone = 5;
+  static constexpr uint32_t kFailed = 6;
+
+  // kEvents bits.
+  static constexpr uint32_t kEvData = 1;        // in-order data accepted
+  static constexpr uint32_t kEvAckAdvance = 2;  // snd_una moved
+  static constexpr uint32_t kEvDupAck = 4;
+  static constexpr uint32_t kEvOoo = 8;         // out-of-order / dup data
+  static constexpr uint32_t kEvCtrl = 16;       // SYN/FIN/RST or pre-establish
+  static constexpr uint32_t kEvRingFull = 32;   // receive ring had no room
+  static constexpr uint32_t kEvBadSeg = 64;     // wrong peer
+};
+
+struct StreamConfig {
+  uint32_t window_segments = 8;  // send window, in segments (the cwnd cap)
+  uint32_t max_seg_data = 256;   // data bytes per segment
+  // The initial retransmission timeout. Segment service time on the simulated
+  // machine is ~1ms (checksum + per-byte ring copy at 68020 speed), so the
+  // base timeout leaves a healthy wire several service times of headroom.
+  double rto_base_us = 4000.0;
+  double rto_cap_us = 64000.0;   // backoff ceiling
+  uint32_t max_retries = 8;      // per-segment; exceeded => connection fails
+  uint32_t ring_bytes = 4096;    // receive ring capacity (power of two)
+};
+
+// Per-connection robustness counters: host events plus the CCB counters the
+// in-kernel processors maintain.
+struct StreamStats {
+  uint64_t retransmits = 0;
+  uint64_t timeouts = 0;
+  uint64_t fast_retransmits = 0;
+  uint64_t dup_acks = 0;
+  uint64_t out_of_order = 0;
+  uint64_t accepted_segments = 0;
+  double rto_us = 0;
+  uint32_t cwnd = 0;
+  uint32_t state = CcbLayout::kClosed;
+};
+
+class StreamLayer {
+ public:
+  StreamLayer(Kernel& kernel, IoSystem& io, NicDevice& nic);
+
+  // Opens a passive connection on `port` (one peer; the first SYN wins).
+  ConnId Listen(uint16_t port, StreamConfig cfg = StreamConfig());
+  // Opens an active connection to `dst_port` from an ephemeral local port and
+  // sends the SYN. Establishment completes asynchronously; Send/Recv work
+  // immediately (data flows once the handshake lands).
+  ConnId Connect(uint16_t dst_port, StreamConfig cfg = StreamConfig());
+
+  // Queues up to `n` bytes at `buf` (simulated memory) for transmission.
+  // Returns the byte count accepted, kIoWouldBlock with the current thread
+  // parked when the send buffer is full, or kIoError on a failed connection.
+  int32_t Send(ConnId conn, Addr buf, uint32_t n);
+  // Reads up to `cap` in-order bytes into `buf`. Returns the byte count,
+  // 0 at end of stream (peer FIN, everything drained), kIoWouldBlock with
+  // the current thread parked when no data is queued, or kIoError.
+  int32_t Recv(ConnId conn, Addr buf, uint32_t cap);
+  // Queues a FIN after all pending data; the connection reaches kDone once
+  // both directions have closed and every segment is acknowledged.
+  bool Close(ConnId conn);
+
+  StreamStats Stats(ConnId conn) const;
+  uint32_t StateOf(ConnId conn) const;
+  uint16_t PortOf(ConnId conn) const;
+  Addr CcbOf(ConnId conn) const;
+  std::shared_ptr<RingHost> RingOf(ConnId conn) const;
+  ChannelId ChannelOf(ConnId conn) const;
+  // The current synthesized segment processor (re-emitted at establishment).
+  BlockId SynthDeliverOf(ConnId conn) const;
+  // The shared interpreted segment processor (the baseline the benches run).
+  BlockId generic_processor() const { return proc_gen_; }
+
+  // Aggregate robustness gauges across all connections.
+  Gauge& retransmit_gauge() { return retransmit_gauge_; }
+  Gauge& timeout_gauge() { return timeout_gauge_; }
+  Gauge& dup_ack_gauge() { return dup_ack_gauge_; }
+  Gauge& ooo_gauge() { return ooo_gauge_; }
+  Gauge& failed_gauge() { return failed_gauge_; }
+
+ private:
+  // One in-flight segment: its assigned sequence number, payload, and flags.
+  // SYN/FIN segments span one sequence number; data segments span their size.
+  struct Seg {
+    uint32_t seq = 0;
+    uint32_t flags = 0;
+    std::vector<uint8_t> data;
+    uint32_t Span() const {
+      return static_cast<uint32_t>(data.size()) +
+             ((flags & (StreamSeg::kFlagSyn | StreamSeg::kFlagFin)) ? 1 : 0);
+    }
+  };
+
+  struct Conn {
+    StreamConfig cfg;
+    uint16_t local_port = 0;
+    uint16_t peer_port = 0;
+    uint32_t state = CcbLayout::kClosed;  // host mirror of CCB kState
+    Addr ccb = 0;
+    std::shared_ptr<RingHost> ring;
+    ChannelId ch = kBadChannel;
+    std::string path;
+    BlockId synth_deliver = kInvalidBlock;
+    BlockId alarm_stub = kInvalidBlock;
+    uint32_t synth_gen = 0;  // uniquifies re-synthesized processor names
+
+    uint32_t snd_nxt = 0;          // next sequence number to assign
+    std::deque<Seg> unacked;       // in flight, oldest first
+    std::deque<uint8_t> pending;   // accepted by Send, not yet segmented
+    bool fin_queued = false;
+    bool fin_sent = false;
+    bool fin_received = false;
+
+    uint32_t cwnd = 0;
+    double rto_us = 0;
+    uint32_t retries = 0;          // consecutive timeouts on the front segment
+    double timer_deadline = 0;
+    bool timer_armed = false;
+    uint32_t dup_base = 0;         // dup-ack count at the last fast retransmit
+
+    WaitQueue senders;
+    uint64_t retransmits = 0;
+    uint64_t timeouts = 0;
+    uint64_t fast_retransmits = 0;
+  };
+
+  Conn* Get(ConnId id);
+  const Conn* Get(ConnId id) const;
+  ConnId NewConn(uint16_t local_port, uint16_t peer_port, uint32_t state,
+                 const StreamConfig& cfg);
+  void SetState(Conn& c, uint32_t state);
+  BlockId BuildSynthDeliver(const Conn& c);
+  void Resynthesize(Conn& c);
+
+  void TransmitSeg(Conn& c, const Seg& seg);
+  void SendAck(Conn& c);
+  void PushWindow(Conn& c);
+  void ArmTimer(Conn& c);
+  void OnTimer(ConnId id);
+  void OnDeliver(ConnId id);
+  void HandleCtrl(Conn& c);
+  void Establish(Conn& c, uint16_t peer, uint32_t peer_seq);
+  void HandleAckAdvance(Conn& c);
+  void Fail(Conn& c);
+  void Finish(Conn& c);
+  void MaybeFinish(Conn& c);
+
+  Kernel& kernel_;
+  IoSystem& io_;
+  NicDevice& nic_;
+  BlockId proc_gen_ = kInvalidBlock;  // shared generic segment processor
+  int timer_vec_ = 0;
+  std::map<ConnId, Conn> conns_;
+  ConnId next_id_ = 1;
+  uint16_t next_ephemeral_ = 40000;
+
+  Gauge retransmit_gauge_;
+  Gauge timeout_gauge_;
+  Gauge dup_ack_gauge_;
+  Gauge ooo_gauge_;
+  Gauge failed_gauge_;
+};
+
+}  // namespace synthesis
+
+#endif  // SRC_NET_STREAM_H_

@@ -1,6 +1,7 @@
 #include "src/unix/emulator.h"
 
 #include "src/net/socket.h"
+#include "src/net/stream.h"
 
 namespace synthesis {
 
@@ -33,6 +34,12 @@ int UnixEmulator::Close(int fd) {
     sock_fds_.erase(sit);
     return ok ? 0 : -1;
   }
+  auto cit = stream_fds_.find(fd);
+  if (cit != stream_fds_.end()) {
+    bool ok = stream_ != nullptr && stream_->Close(cit->second);
+    stream_fds_.erase(cit);
+    return ok ? 0 : -1;
+  }
   auto it = fds_.find(fd);
   if (it == fds_.end()) {
     return -1;
@@ -44,6 +51,11 @@ int UnixEmulator::Close(int fd) {
 
 int32_t UnixEmulator::Read(int fd, Addr buf, uint32_t n) {
   ChargeTrap();
+  auto cit = stream_fds_.find(fd);
+  if (cit != stream_fds_.end()) {
+    kernel_.machine().Charge(10, 3, 1);
+    return stream_->Recv(cit->second, buf, n);
+  }
   auto it = fds_.find(fd);
   if (it == fds_.end()) {
     return -1;
@@ -54,6 +66,11 @@ int32_t UnixEmulator::Read(int fd, Addr buf, uint32_t n) {
 
 int32_t UnixEmulator::Write(int fd, Addr buf, uint32_t n) {
   ChargeTrap();
+  auto cit = stream_fds_.find(fd);
+  if (cit != stream_fds_.end()) {
+    kernel_.machine().Charge(10, 3, 1);
+    return stream_->Send(cit->second, buf, n);
+  }
   auto it = fds_.find(fd);
   if (it == fds_.end()) {
     return -1;
@@ -135,6 +152,56 @@ int32_t UnixEmulator::RecvFrom(int fd, Addr buf, uint32_t cap,
   }
   kernel_.machine().Charge(10, 3, 1);
   return net_->RecvFrom(it->second, buf, cap, src_port);
+}
+
+int UnixEmulator::Listen(uint32_t port) {
+  if (stream_ == nullptr || port > 0xFFFF) {
+    return -1;
+  }
+  ChargeTrap();
+  ConnId c = stream_->Listen(static_cast<uint16_t>(port));
+  if (c == kBadConn) {
+    return -1;
+  }
+  int fd = next_fd_++;
+  stream_fds_[fd] = c;
+  kernel_.machine().Charge(16, 4, 2);  // fd-table slot assignment
+  return fd;
+}
+
+int UnixEmulator::Connect(uint32_t dst_port) {
+  if (stream_ == nullptr || dst_port > 0xFFFF) {
+    return -1;
+  }
+  ChargeTrap();
+  ConnId c = stream_->Connect(static_cast<uint16_t>(dst_port));
+  if (c == kBadConn) {
+    return -1;
+  }
+  int fd = next_fd_++;
+  stream_fds_[fd] = c;
+  kernel_.machine().Charge(16, 4, 2);
+  return fd;
+}
+
+int32_t UnixEmulator::Send(int fd, Addr buf, uint32_t n) {
+  ChargeTrap();
+  auto it = stream_fds_.find(fd);
+  if (stream_ == nullptr || it == stream_fds_.end()) {
+    return -1;
+  }
+  kernel_.machine().Charge(10, 3, 1);  // fd -> connection translation
+  return stream_->Send(it->second, buf, n);
+}
+
+int32_t UnixEmulator::Recv(int fd, Addr buf, uint32_t cap) {
+  ChargeTrap();
+  auto it = stream_fds_.find(fd);
+  if (stream_ == nullptr || it == stream_fds_.end()) {
+    return -1;
+  }
+  kernel_.machine().Charge(10, 3, 1);
+  return stream_->Recv(it->second, buf, cap);
 }
 
 Machine& UnixEmulator::machine() { return kernel_.machine(); }

@@ -17,6 +17,7 @@
 namespace synthesis {
 
 class DatagramSocketLayer;
+class StreamLayer;
 
 class UnixEmulator : public PosixLikeApi {
  public:
@@ -39,6 +40,14 @@ class UnixEmulator : public PosixLikeApi {
   int32_t SendTo(int fd, uint32_t dst_port, Addr buf, uint32_t n) override;
   int32_t RecvFrom(int fd, Addr buf, uint32_t cap, uint32_t* src_port) override;
 
+  // Stream calls are serviced once a stream layer is attached. Read/Write on
+  // a stream fd alias Recv/Send, so fd-generic UNIX programs work unchanged.
+  void AttachStream(StreamLayer* stream) { stream_ = stream; }
+  int Listen(uint32_t port) override;
+  int Connect(uint32_t dst_port) override;
+  int32_t Send(int fd, Addr buf, uint32_t n) override;
+  int32_t Recv(int fd, Addr buf, uint32_t cap) override;
+
   Machine& machine() override;
   Addr scratch(uint32_t bytes) override;
 
@@ -55,8 +64,10 @@ class UnixEmulator : public PosixLikeApi {
   IoSystem& io_;
   FileSystem* fs_;
   DatagramSocketLayer* net_ = nullptr;
+  StreamLayer* stream_ = nullptr;
   std::unordered_map<int, ChannelId> fds_;
-  std::unordered_map<int, uint32_t> sock_fds_;  // fd -> SocketId
+  std::unordered_map<int, uint32_t> sock_fds_;    // fd -> SocketId
+  std::unordered_map<int, uint32_t> stream_fds_;  // fd -> ConnId
   int next_fd_ = 3;  // 0-2 are reserved, as tradition demands
   Addr scratch_ = 0;
   uint32_t scratch_size_ = 0;

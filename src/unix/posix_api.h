@@ -38,6 +38,15 @@ class PosixLikeApi {
     return -1;
   }
 
+  // Stream (connection-oriented) sockets, simplified: Listen/Connect return a
+  // connected-stream fd directly. Same default-unsupported convention.
+  virtual int Listen(uint32_t /*port*/) { return -1; }       // fd >= 0 or -1
+  virtual int Connect(uint32_t /*dst_port*/) { return -1; }  // fd >= 0 or -1
+  virtual int32_t Send(int /*fd*/, Addr /*buf*/, uint32_t /*n*/) { return -1; }
+  virtual int32_t Recv(int /*fd*/, Addr /*buf*/, uint32_t /*cap*/) {
+    return -1;
+  }
+
   // Creates a file in the system's namespace (mkfs-level setup, uncharged).
   virtual bool Mkfile(const std::string& path, uint32_t capacity) = 0;
 

@@ -3,6 +3,7 @@
 // socket layer, and the retransmit-under-loss guarantee.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstring>
 #include <memory>
 #include <set>
@@ -343,6 +344,104 @@ TEST_F(SocketTest, UnixEmulatorSurface) {
   // A PosixLikeApi without a network reports -1 without crashing.
   UnixEmulator bare(k_, io_, nullptr);
   EXPECT_EQ(bare.Socket(), -1);
+}
+
+// --- Wire fault modes: reorder, duplication, burst loss ----------------------
+
+class ReorderNetTest : public NetTest {
+ protected:
+  static NicConfig Reordering() {
+    NicConfig cfg;
+    cfg.reorder_rate = 0.35;
+    cfg.fault_seed = 7;
+    return cfg;
+  }
+  ReorderNetTest() : NetTest(Reordering()) {}
+};
+
+TEST_F(ReorderNetTest, ReorderedFramesAllArriveButOutOfOrder)
+{
+  auto ring = BindRing(7, 0, 4096);
+  const int kFrames = 12;
+  for (int i = 0; i < kFrames; i++) {
+    ASSERT_TRUE(Send(7, 1, std::string(1, static_cast<char>('a' + i))));
+  }
+  k_.Run();
+  std::string order;
+  uint32_t src = 0;
+  std::string payload;
+  while (DrainRecord(*ring, &src, &payload)) {
+    order += payload;
+  }
+  EXPECT_EQ(order.size(), static_cast<size_t>(kFrames))
+      << "reordering delays frames, it never loses them";
+  std::string sorted = order;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, "abcdefghijkl") << "every frame arrives exactly once";
+  EXPECT_NE(order, sorted) << "held-back frames were overtaken on the wire";
+  EXPECT_GT(nic_.wire_reorder_gauge().events(), 0u);
+  EXPECT_EQ(nic_.wire_drop_gauge().events(), 0u);
+}
+
+TEST_F(NetTest, DuplicatedFramesDeliverTwice) {
+  nic_.SetWireFaults(0, 0, 0, /*duplicate=*/1.0, 0);
+  auto ring = BindRing(7);
+  ASSERT_TRUE(Send(7, 1, "twice"));
+  k_.Run();
+  uint32_t src = 0;
+  std::string payload;
+  ASSERT_TRUE(DrainRecord(*ring, &src, &payload));
+  EXPECT_EQ(payload, "twice");
+  ASSERT_TRUE(DrainRecord(*ring, &src, &payload));
+  EXPECT_EQ(payload, "twice");
+  EXPECT_FALSE(DrainRecord(*ring, &src, &payload));
+  EXPECT_EQ(nic_.wire_dup_gauge().events(), 1u);
+  EXPECT_EQ(nic_.demux().delivered(7), 2u);
+}
+
+TEST_F(NetTest, BurstLossSwallowsConsecutiveFramesThenHeals) {
+  // Every frame either starts or rides an in-progress burst: nothing survives.
+  // Exactly burst_len (4) frames, so the countdown is spent when the wire
+  // heals (fault decisions are drawn at transmit time).
+  nic_.SetWireFaults(0, 0, 0, 0, /*burst_loss=*/1.0);
+  auto ring = BindRing(7);
+  for (int i = 0; i < 4; i++) {
+    ASSERT_TRUE(Send(7, 1, "burst"));
+  }
+  k_.Run();
+  EXPECT_EQ(nic_.demux().delivered(7), 0u);
+  EXPECT_EQ(nic_.wire_drop_gauge().events(), 4u);
+  // The wire heals mid-run: later traffic flows again.
+  nic_.SetWireFaults(0, 0, 0, 0, 0);
+  ASSERT_TRUE(Send(7, 1, "alive"));
+  k_.Run();
+  EXPECT_EQ(nic_.demux().delivered(7), 1u);
+  uint32_t src = 0;
+  std::string payload;
+  ASSERT_TRUE(DrainRecord(*ring, &src, &payload));
+  EXPECT_EQ(payload, "alive");
+}
+
+TEST_F(NetTest, BurstLossConsumesItsConfiguredRunLength) {
+  // Force exactly one burst: the first frame starts it (rate 1.0), then the
+  // rate drops to zero while the burst countdown keeps eating frames.
+  nic_.SetWireFaults(0, 0, 0, 0, 1.0);
+  auto ring = BindRing(7);
+  ASSERT_TRUE(Send(7, 1, "x0"));  // starts the burst (burst_len = 4)
+  nic_.SetWireFaults(0, 0, 0, 0, 0);
+  for (int i = 1; i < 6; i++) {
+    ASSERT_TRUE(Send(7, 1, "x" + std::to_string(i)));
+  }
+  k_.Run();
+  // Frames 0-3 vanish in the burst; 4 and 5 get through.
+  EXPECT_EQ(nic_.wire_drop_gauge().events(), 4u);
+  EXPECT_EQ(nic_.demux().delivered(7), 2u);
+  uint32_t src = 0;
+  std::string payload;
+  ASSERT_TRUE(DrainRecord(*ring, &src, &payload));
+  EXPECT_EQ(payload, "x4");
+  ASSERT_TRUE(DrainRecord(*ring, &src, &payload));
+  EXPECT_EQ(payload, "x5");
 }
 
 // --- Fault injection and retransmission -------------------------------------

@@ -1,0 +1,582 @@
+// Stream channel tests: handshake and re-synthesis, reliable transfer through
+// a faulty wire (loss x reorder x duplication, generic vs synthesized segment
+// processors in differential harness), graceful failure at the retry cap,
+// window/backoff degradation and recovery, and the robustness gauges.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/io/channel.h"
+#include "src/io/io_system.h"
+#include "src/kernel/kernel.h"
+#include "src/net/nic_device.h"
+#include "src/net/stream.h"
+#include "src/unix/emulator.h"
+
+namespace synthesis {
+namespace {
+
+// A deterministic payload pattern so any misdelivered byte is visible.
+uint8_t PatternByte(uint32_t i) {
+  return static_cast<uint8_t>('!' + ((i * 7 + i / 251) % 90));
+}
+
+std::string Pattern(uint32_t n) {
+  std::string s(n, 0);
+  for (uint32_t i = 0; i < n; i++) {
+    s[i] = static_cast<char>(PatternByte(i));
+  }
+  return s;
+}
+
+// Sends `total` pattern bytes then closes. Parks when the send buffer fills.
+class StreamSender : public UserProgram {
+ public:
+  StreamSender(StreamLayer& st, ConnId conn, uint32_t total, bool* error)
+      : st_(st), conn_(conn), total_(total), error_(error) {}
+
+  StepStatus Step(ThreadEnv& env) override {
+    Kernel& k = env.kernel;
+    if (buf_ == 0) {
+      buf_ = k.allocator().Allocate(kChunk);
+    }
+    if (off_ >= total_) {
+      st_.Close(conn_);
+      return StepStatus::kDone;
+    }
+    uint32_t take = std::min<uint32_t>(kChunk, total_ - off_);
+    std::vector<uint8_t> tmp(take);
+    for (uint32_t i = 0; i < take; i++) {
+      tmp[i] = PatternByte(off_ + i);
+    }
+    k.machine().memory().WriteBytes(buf_, tmp.data(), take);
+    int32_t n = st_.Send(conn_, buf_, take);
+    if (n == kIoWouldBlock) {
+      return StepStatus::kBlocked;  // Send already parked us
+    }
+    if (n == kIoError) {
+      *error_ = true;
+      return StepStatus::kDone;
+    }
+    off_ += static_cast<uint32_t>(n);
+    k.machine().Charge(40, 10, 0);
+    return StepStatus::kYield;
+  }
+
+ private:
+  static constexpr uint32_t kChunk = 200;
+  StreamLayer& st_;
+  ConnId conn_;
+  uint32_t total_;
+  bool* error_;
+  Addr buf_ = 0;
+  uint32_t off_ = 0;
+};
+
+// Drains the stream into `out` until end-of-stream, then closes its side.
+class StreamReceiver : public UserProgram {
+ public:
+  StreamReceiver(StreamLayer& st, ConnId conn, std::string* out, bool* error)
+      : st_(st), conn_(conn), out_(out), error_(error) {}
+
+  StepStatus Step(ThreadEnv& env) override {
+    Kernel& k = env.kernel;
+    if (buf_ == 0) {
+      buf_ = k.allocator().Allocate(kChunk);
+    }
+    int32_t n = st_.Recv(conn_, buf_, kChunk);
+    if (n == kIoWouldBlock) {
+      return StepStatus::kBlocked;  // Recv already parked us
+    }
+    if (n == kIoError) {
+      *error_ = true;
+      return StepStatus::kDone;
+    }
+    if (n == 0) {  // end of stream
+      st_.Close(conn_);
+      return StepStatus::kDone;
+    }
+    char tmp[kChunk];
+    k.machine().memory().ReadBytes(buf_, tmp, static_cast<size_t>(n));
+    out_->append(tmp, static_cast<size_t>(n));
+    k.machine().Charge(40, 10, 0);
+    return StepStatus::kYield;
+  }
+
+ private:
+  static constexpr uint32_t kChunk = 240;
+  StreamLayer& st_;
+  ConnId conn_;
+  std::string* out_;
+  bool* error_;
+  Addr buf_ = 0;
+};
+
+class StreamTest : public ::testing::Test {
+ protected:
+  StreamTest() : StreamTest(NicConfig()) {}
+  explicit StreamTest(NicConfig cfg)
+      : io_(k_, nullptr), nic_(k_, cfg), st_(k_, io_, nic_) {}
+
+  // Places a hand-built segment on the wire (a fake peer for direct tests).
+  void InjectSeg(uint16_t dst, uint16_t src, uint32_t seq, uint32_t ack,
+                 uint32_t flags, const std::string& data) {
+    std::vector<uint8_t> p(StreamSeg::kHdrBytes + data.size());
+    std::memcpy(p.data() + StreamSeg::kSeq, &seq, 4);
+    std::memcpy(p.data() + StreamSeg::kAck, &ack, 4);
+    std::memcpy(p.data() + StreamSeg::kFlags, &flags, 4);
+    if (!data.empty()) {
+      std::memcpy(p.data() + StreamSeg::kHdrBytes, data.data(), data.size());
+    }
+    uint32_t n = static_cast<uint32_t>(p.size());
+    nic_.InjectRaw(dst, src, p.data(), n, FrameChecksum(dst, src, p.data(), n),
+                   n);
+  }
+
+  // Host-side drain of everything currently queued on a connection.
+  std::string DrainAll(ConnId c) {
+    std::string out;
+    Addr buf = k_.allocator().Allocate(256);
+    for (;;) {
+      int32_t n = st_.Recv(c, buf, 256);
+      if (n <= 0) {
+        break;
+      }
+      char tmp[256];
+      k_.machine().memory().ReadBytes(buf, tmp, static_cast<size_t>(n));
+      out.append(tmp, static_cast<size_t>(n));
+    }
+    return out;
+  }
+
+  Kernel k_;
+  IoSystem io_;
+  NicDevice nic_;
+  StreamLayer st_;
+};
+
+TEST_F(StreamTest, HandshakeEstablishesBothSidesAndResynthesizes) {
+  ConnId srv = st_.Listen(80);
+  ASSERT_NE(srv, kBadConn);
+  EXPECT_EQ(st_.Listen(80), kBadConn) << "port already bound";
+  BlockId srv_proc_before = st_.SynthDeliverOf(srv);
+  ConnId cli = st_.Connect(80);
+  ASSERT_NE(cli, kBadConn);
+  BlockId cli_proc_before = st_.SynthDeliverOf(cli);
+  k_.Run();
+  EXPECT_EQ(st_.StateOf(srv), CcbLayout::kEstablished);
+  EXPECT_EQ(st_.StateOf(cli), CcbLayout::kEstablished);
+  // Establishment makes the peer a connection-lifetime invariant: both sides
+  // re-synthesized their segment processors with it folded in.
+  EXPECT_NE(st_.SynthDeliverOf(srv), srv_proc_before);
+  EXPECT_NE(st_.SynthDeliverOf(cli), cli_proc_before);
+  // The CCBs agree about who is talking to whom.
+  Memory& mem = k_.machine().memory();
+  EXPECT_EQ(mem.Read32(st_.CcbOf(srv) + CcbLayout::kPeer), st_.PortOf(cli));
+  EXPECT_EQ(mem.Read32(st_.CcbOf(cli) + CcbLayout::kPeer), st_.PortOf(srv));
+  // The handshake consumed one sequence number each way.
+  EXPECT_EQ(mem.Read32(st_.CcbOf(srv) + CcbLayout::kRcvNxt), 1u);
+  EXPECT_EQ(mem.Read32(st_.CcbOf(cli) + CcbLayout::kRcvNxt), 1u);
+  EXPECT_EQ(mem.Read32(st_.CcbOf(cli) + CcbLayout::kSndUna), 1u);
+}
+
+TEST_F(StreamTest, TransferAndBidirectionalCloseReachDone) {
+  const uint32_t kTotal = 1000;
+  ConnId srv = st_.Listen(80);
+  ConnId cli = st_.Connect(80);
+  std::string got;
+  bool send_err = false, recv_err = false;
+  k_.CreateThread(std::make_unique<StreamSender>(st_, cli, kTotal, &send_err));
+  k_.CreateThread(std::make_unique<StreamReceiver>(st_, srv, &got, &recv_err));
+  k_.Run(10'000'000);
+  EXPECT_FALSE(send_err);
+  EXPECT_FALSE(recv_err);
+  EXPECT_EQ(got, Pattern(kTotal));
+  EXPECT_EQ(st_.StateOf(cli), CcbLayout::kDone);
+  EXPECT_EQ(st_.StateOf(srv), CcbLayout::kDone);
+  // Clean wire: reliability machinery stayed quiet.
+  EXPECT_EQ(st_.Stats(cli).retransmits, 0u);
+  EXPECT_EQ(st_.Stats(cli).timeouts, 0u);
+  EXPECT_EQ(st_.timeout_gauge().events(), 0u);
+}
+
+// --- Differential transfer harness ------------------------------------------
+
+struct TransferResult {
+  std::string delivered;
+  uint32_t client_state = 0;
+  uint32_t server_state = 0;
+  uint32_t server_rcv_nxt = 0;
+  uint64_t retransmits = 0;
+  uint64_t timeouts = 0;
+  bool send_err = false;
+  bool recv_err = false;
+};
+
+// Runs one complete client->server transfer on a fresh kernel with the given
+// wire faults, through either the generic or the synthesized demux path.
+TransferResult RunTransfer(const NicConfig& cfg, bool synth_demux,
+                           uint32_t total) {
+  Kernel k;
+  IoSystem io(k, nullptr);
+  NicDevice nic(k, cfg);
+  nic.UseSynthesizedDemux(synth_demux);
+  StreamLayer st(k, io, nic);
+  StreamConfig scfg;
+  scfg.rto_base_us = 3000;
+  scfg.max_retries = 12;
+  ConnId srv = st.Listen(80, scfg);
+  ConnId cli = st.Connect(80, scfg);
+  TransferResult r;
+  k.CreateThread(std::make_unique<StreamSender>(st, cli, total, &r.send_err));
+  k.CreateThread(
+      std::make_unique<StreamReceiver>(st, srv, &r.delivered, &r.recv_err));
+  k.Run(60'000'000);
+  r.client_state = st.StateOf(cli);
+  r.server_state = st.StateOf(srv);
+  r.server_rcv_nxt =
+      k.machine().memory().Read32(st.CcbOf(srv) + CcbLayout::kRcvNxt);
+  StreamStats cs = st.Stats(cli);
+  r.retransmits = cs.retransmits;
+  r.timeouts = cs.timeouts;
+  return r;
+}
+
+TEST(StreamFaultMatrixTest, ParityAndReliabilityAcrossLossReorderDuplication) {
+  struct WireCase {
+    const char* name;
+    double drop, reorder, dup, burst;
+  };
+  const WireCase kWire[] = {
+      {"clean", 0.0, 0.0, 0.0, 0.0},
+      {"loss10+reorder20", 0.10, 0.20, 0.0, 0.0},
+      {"loss30+dup15", 0.30, 0.0, 0.15, 0.0},
+      {"reorder25+dup20", 0.0, 0.25, 0.20, 0.0},
+      {"burst5+reorder10", 0.0, 0.10, 0.0, 0.05},
+  };
+  const uint32_t kTotal = 1500;
+  const std::string want = Pattern(kTotal);
+  for (const WireCase& w : kWire) {
+    NicConfig cfg;
+    cfg.drop_rate = w.drop;
+    cfg.reorder_rate = w.reorder;
+    cfg.duplicate_rate = w.dup;
+    cfg.burst_loss_rate = w.burst;
+    cfg.burst_len = 3;
+    cfg.fault_seed = 1234;
+    TransferResult gen = RunTransfer(cfg, /*synth_demux=*/false, kTotal);
+    TransferResult syn = RunTransfer(cfg, /*synth_demux=*/true, kTotal);
+    for (const TransferResult* r : {&gen, &syn}) {
+      EXPECT_FALSE(r->send_err) << w.name;
+      EXPECT_FALSE(r->recv_err) << w.name;
+      EXPECT_EQ(r->delivered, want) << w.name;
+      EXPECT_EQ(r->client_state, CcbLayout::kDone) << w.name;
+      EXPECT_EQ(r->server_state, CcbLayout::kDone) << w.name;
+    }
+    // Differential: the interpreted and the synthesized segment processors
+    // must converge on the identical stream and final sequence state.
+    EXPECT_EQ(gen.delivered, syn.delivered) << w.name;
+    EXPECT_EQ(gen.server_rcv_nxt, syn.server_rcv_nxt) << w.name;
+    EXPECT_EQ(gen.client_state, syn.client_state) << w.name;
+    if (w.drop >= 0.30) {
+      EXPECT_GT(gen.retransmits, 0u) << w.name;
+      EXPECT_GT(syn.retransmits, 0u) << w.name;
+    }
+  }
+}
+
+// --- Graceful failure and degradation ----------------------------------------
+
+TEST_F(StreamTest, CappedRetryFailsConnectionGracefully) {
+  StreamConfig cfg;
+  cfg.max_retries = 4;
+  cfg.rto_base_us = 300;
+  ConnId srv = st_.Listen(80, cfg);
+  ConnId cli = st_.Connect(80, cfg);
+  k_.Run();
+  ASSERT_EQ(st_.StateOf(cli), CcbLayout::kEstablished);
+  ASSERT_EQ(st_.StateOf(srv), CcbLayout::kEstablished);
+  uint16_t cli_port = st_.PortOf(cli);
+  nic_.SetWireFaults(1.0, 0, 0, 0, 0);  // the wire goes dark
+  bool send_err = false;
+  k_.CreateThread(std::make_unique<StreamSender>(st_, cli, 8192, &send_err));
+  k_.Run(30'000'000);
+  EXPECT_EQ(st_.StateOf(cli), CcbLayout::kFailed);
+  EXPECT_EQ(st_.failed_gauge().events(), 1u);
+  EXPECT_FALSE(nic_.demux().HasFlow(cli_port))
+      << "a failed connection reclaims its port";
+  EXPECT_TRUE(send_err) << "the parked sender was released with an error";
+  Addr buf = k_.allocator().Allocate(64);
+  EXPECT_EQ(st_.Send(cli, buf, 8), kIoError);
+  EXPECT_EQ(st_.Recv(cli, buf, 8), kIoError);
+  StreamStats s = st_.Stats(cli);
+  EXPECT_EQ(s.state, CcbLayout::kFailed);
+  EXPECT_EQ(s.timeouts, static_cast<uint64_t>(cfg.max_retries) + 1);
+  EXPECT_GE(s.retransmits, s.timeouts - 1);
+  EXPECT_EQ(st_.timeout_gauge().events(), s.timeouts);
+}
+
+TEST_F(StreamTest, WindowShrinksBackoffGrowsThenRecovers) {
+  StreamConfig cfg;
+  cfg.max_retries = 1000;  // effectively unbounded: degradation, not failure
+  cfg.rto_base_us = 300;
+  cfg.rto_cap_us = 2000;
+  ConnId srv = st_.Listen(80, cfg);
+  ConnId cli = st_.Connect(80, cfg);
+  k_.Run();
+  ASSERT_EQ(st_.StateOf(cli), CcbLayout::kEstablished);
+  ASSERT_EQ(st_.Stats(cli).cwnd, cfg.window_segments);
+  nic_.SetWireFaults(1.0, 0, 0, 0, 0);
+  Addr buf = k_.allocator().Allocate(1024);
+  std::string msg = Pattern(1024);
+  k_.machine().memory().WriteBytes(buf, msg.data(), msg.size());
+  ASSERT_EQ(st_.Send(cli, buf, 1024), 1024);
+  // Let a handful of timeouts elapse: graceful degradation, not failure.
+  for (int i = 0; i < 1000 && st_.Stats(cli).timeouts < 4; i++) {
+    k_.Run(200);
+  }
+  StreamStats mid = st_.Stats(cli);
+  EXPECT_EQ(st_.StateOf(cli), CcbLayout::kEstablished)
+      << "still inside the retry budget";
+  EXPECT_GE(mid.timeouts, 3u);
+  EXPECT_EQ(mid.cwnd, 1u) << "window halves per timeout down to one segment";
+  EXPECT_GT(mid.rto_us, cfg.rto_base_us) << "timeout backs off exponentially";
+  // The wire heals: everything retransmits through and the window reopens.
+  nic_.SetWireFaults(0, 0, 0, 0, 0);
+  k_.Run(20'000'000);
+  EXPECT_EQ(st_.StateOf(cli), CcbLayout::kEstablished);
+  StreamStats after = st_.Stats(cli);
+  EXPECT_EQ(after.rto_us, cfg.rto_base_us) << "backoff resets on fresh acks";
+  EXPECT_GT(after.cwnd, 1u) << "window reopens as acks advance";
+  EXPECT_EQ(DrainAll(srv), msg) << "all bytes arrive exactly once, in order";
+}
+
+TEST_F(StreamTest, ConnectWithNoListenerFailsAfterRetries) {
+  StreamConfig cfg;
+  cfg.max_retries = 3;
+  cfg.rto_base_us = 200;
+  ConnId cli = st_.Connect(4242, cfg);
+  ASSERT_NE(cli, kBadConn);
+  k_.Run(5'000'000);
+  EXPECT_EQ(st_.StateOf(cli), CcbLayout::kFailed);
+  EXPECT_EQ(st_.failed_gauge().events(), 1u);
+  EXPECT_EQ(st_.Stats(cli).timeouts, static_cast<uint64_t>(cfg.max_retries) + 1);
+}
+
+// --- Fake-peer accounting tests ----------------------------------------------
+
+TEST_F(StreamTest, OutOfOrderDupAckAndFastRetransmitAccounting) {
+  ConnId srv = st_.Listen(90);
+  // Handshake from a hand-rolled peer on port 91; the pure ack clears the
+  // server's SYN|ACK so no retransmit timer stays armed across Run calls.
+  InjectSeg(90, 91, 0, 0, StreamSeg::kFlagSyn, "");
+  InjectSeg(90, 91, 1, 1, StreamSeg::kFlagAck, "");
+  k_.Run();
+  ASSERT_EQ(st_.StateOf(srv), CcbLayout::kEstablished);
+  Memory& mem = k_.machine().memory();
+  ASSERT_EQ(mem.Read32(st_.CcbOf(srv) + CcbLayout::kSndUna), 1u);
+  // In-order data, the same segment again (a wire duplicate), and one from
+  // the far future: one accepted, two out-of-order.
+  InjectSeg(90, 91, 1, 1, StreamSeg::kFlagAck, "abcd");
+  InjectSeg(90, 91, 1, 1, StreamSeg::kFlagAck, "abcd");
+  InjectSeg(90, 91, 100, 1, StreamSeg::kFlagAck, "zzzz");
+  k_.Run();
+  StreamStats s = st_.Stats(srv);
+  EXPECT_EQ(s.accepted_segments, 1u);
+  EXPECT_EQ(s.out_of_order, 2u);
+  EXPECT_EQ(st_.ooo_gauge().events(), 2u);
+  EXPECT_EQ(DrainAll(srv), "abcd") << "duplicates land in the ring only once";
+  // Outstanding data from the server plus three pure duplicate acks trigger
+  // exactly one fast retransmit; the closing ack disarms the timer again.
+  Addr out = k_.allocator().Allocate(16);
+  mem.WriteBytes(out, "wxyz", 4);
+  ASSERT_EQ(st_.Send(srv, out, 4), 4);
+  for (int i = 0; i < 3; i++) {
+    InjectSeg(90, 91, 5, 1, StreamSeg::kFlagAck, "");
+  }
+  InjectSeg(90, 91, 5, 5, StreamSeg::kFlagAck, "");
+  k_.Run();
+  s = st_.Stats(srv);
+  // The advancing ack reset the CCB duplicate counter; the host gauge keeps
+  // the cumulative story.
+  EXPECT_EQ(st_.dup_ack_gauge().events(), 3u);
+  EXPECT_EQ(s.fast_retransmits, 1u);
+  EXPECT_EQ(st_.StateOf(srv), CcbLayout::kEstablished);
+  EXPECT_EQ(mem.Read32(st_.CcbOf(srv) + CcbLayout::kSndUna), 5u);
+}
+
+TEST_F(StreamTest, SegmentsFromTheWrongPeerAreRejected) {
+  ConnId srv = st_.Listen(90);
+  InjectSeg(90, 91, 0, 0, StreamSeg::kFlagSyn, "");
+  InjectSeg(90, 91, 1, 1, StreamSeg::kFlagAck, "");
+  k_.Run();
+  ASSERT_EQ(st_.StateOf(srv), CcbLayout::kEstablished);
+  // Port 77 is not the connected peer: data must not reach the stream.
+  InjectSeg(90, 77, 1, 1, StreamSeg::kFlagAck, "evil");
+  k_.Run();
+  EXPECT_EQ(st_.Stats(srv).accepted_segments, 0u);
+  EXPECT_EQ(DrainAll(srv), "");
+  EXPECT_EQ(st_.StateOf(srv), CcbLayout::kEstablished);
+}
+
+// --- Microscopic generic vs synthesized processor parity ---------------------
+
+// Snapshot of everything a segment processor may touch.
+struct ProcState {
+  std::vector<uint8_t> ccb;
+  uint32_t head = 0, tail = 0;
+  std::vector<uint8_t> buf;
+  uint32_t mal = 0, csum = 0;
+
+  bool operator==(const ProcState& o) const {
+    return ccb == o.ccb && head == o.head && tail == o.tail && buf == o.buf &&
+           mal == o.mal && csum == o.csum;
+  }
+};
+
+class StreamProcParityTest : public StreamTest {
+ protected:
+  ProcState Capture(ConnId c) {
+    ProcState s;
+    Memory& mem = k_.machine().memory();
+    s.ccb.resize(CcbLayout::kBytes);
+    mem.ReadBytes(st_.CcbOf(c), s.ccb.data(), CcbLayout::kBytes);
+    auto ring = st_.RingOf(c);
+    s.head = mem.Read32(ring->base + RingLayout::kHead);
+    s.tail = mem.Read32(ring->base + RingLayout::kTail);
+    s.buf.resize(128);
+    mem.ReadBytes(ring->base + RingLayout::kBuf, s.buf.data(), s.buf.size());
+    s.mal = mem.Read32(nic_.demux().ctr_malformed_addr());
+    s.csum = mem.Read32(nic_.demux().ctr_csum_addr());
+    return s;
+  }
+
+  void Restore(ConnId c, const ProcState& s) {
+    Memory& mem = k_.machine().memory();
+    mem.WriteBytes(st_.CcbOf(c), s.ccb.data(), CcbLayout::kBytes);
+    auto ring = st_.RingOf(c);
+    mem.Write32(ring->base + RingLayout::kHead, s.head);
+    mem.Write32(ring->base + RingLayout::kTail, s.tail);
+    mem.WriteBytes(ring->base + RingLayout::kBuf, s.buf.data(), s.buf.size());
+    mem.Write32(nic_.demux().ctr_malformed_addr(), s.mal);
+    mem.Write32(nic_.demux().ctr_csum_addr(), s.csum);
+  }
+};
+
+TEST_F(StreamProcParityTest, BothProcessorsProduceIdenticalObservableState) {
+  ConnId srv = st_.Listen(90);
+  InjectSeg(90, 91, 0, 0, StreamSeg::kFlagSyn, "");
+  InjectSeg(90, 91, 1, 1, StreamSeg::kFlagAck, "");
+  k_.Run();
+  ASSERT_EQ(st_.StateOf(srv), CcbLayout::kEstablished);
+  // Give the server outstanding data so the ack cases have teeth.
+  Addr out = k_.allocator().Allocate(16);
+  k_.machine().memory().WriteBytes(out, "wxyz", 4);
+  ASSERT_EQ(st_.Send(srv, out, 4), 4);
+  InjectSeg(90, 91, 5, 5, StreamSeg::kFlagAck, "");  // ...and re-ack part way
+  k_.Run();
+  k_.machine().memory().Write32(st_.CcbOf(srv) + CcbLayout::kSndUna, 2);
+
+  struct SegCase {
+    const char* name;
+    uint16_t src;
+    uint32_t seq, ack, flags;
+    std::string data;
+    bool corrupt_csum = false;
+  };
+  const SegCase kCases[] = {
+      {"in-order data", 91, 1, 2, StreamSeg::kFlagAck, "hello"},
+      {"out-of-order data", 91, 40, 2, StreamSeg::kFlagAck, "late"},
+      {"pure dup ack", 91, 5, 2, StreamSeg::kFlagAck, ""},
+      {"advancing ack", 91, 5, 4, StreamSeg::kFlagAck, ""},
+      {"overshooting ack", 91, 5, 99, StreamSeg::kFlagAck, ""},
+      {"stale ack", 91, 5, 1, StreamSeg::kFlagAck, ""},
+      {"wrong peer", 77, 1, 2, StreamSeg::kFlagAck, "spoof"},
+      {"ctrl (fin)", 91, 1, 2, StreamSeg::kFlagAck | StreamSeg::kFlagFin, ""},
+      {"runt segment", 91, 0, 0, 0, ""},  // (only 12 header bytes... shrunk)
+      {"bad checksum", 91, 1, 2, StreamSeg::kFlagAck, "junk", true},
+  };
+
+  Addr frame = k_.allocator().Allocate(FrameLayout::kSlotBytes);
+  Memory& mem = k_.machine().memory();
+  ProcState base = Capture(srv);
+  uint64_t instr_sum[2] = {0, 0};
+  for (const SegCase& sc : kCases) {
+    // Build the frame once per case.
+    std::vector<uint8_t> p(StreamSeg::kHdrBytes + sc.data.size());
+    std::memcpy(p.data() + StreamSeg::kSeq, &sc.seq, 4);
+    std::memcpy(p.data() + StreamSeg::kAck, &sc.ack, 4);
+    std::memcpy(p.data() + StreamSeg::kFlags, &sc.flags, 4);
+    if (!sc.data.empty()) {
+      std::memcpy(p.data() + StreamSeg::kHdrBytes, sc.data.data(),
+                  sc.data.size());
+    }
+    uint32_t plen = static_cast<uint32_t>(p.size());
+    if (std::string(sc.name) == "runt segment") {
+      plen = 6;  // shorter than a segment header
+    }
+    ProcState got[2];
+    uint32_t d0[2] = {0, 0};
+    for (bool synth : {false, true}) {
+      Restore(srv, base);
+      WriteFrame(mem, frame, 90, sc.src, p.data(), plen);
+      if (sc.corrupt_csum) {
+        mem.Write32(frame + FrameLayout::kChecksum,
+                    mem.Read32(frame + FrameLayout::kChecksum) + 1);
+      }
+      k_.machine().set_reg(kA1, frame);
+      Stopwatch sw(k_.machine());
+      k_.kexec().Call(synth ? nic_.demux().synthesized_demux()
+                            : nic_.demux().generic_demux());
+      instr_sum[synth] += sw.instructions();
+      d0[synth] = k_.machine().reg(kD0);
+      got[synth] = Capture(srv);
+    }
+    EXPECT_EQ(d0[0], d0[1]) << sc.name;
+    EXPECT_TRUE(got[0] == got[1])
+        << sc.name << ": processors diverged in CCB/ring/counter state";
+  }
+  // The folded processor must beat the interpreted one across the whole mix.
+  EXPECT_LT(instr_sum[1], instr_sum[0])
+      << "synthesized segment path must run fewer instructions";
+}
+
+// --- UNIX emulator surface ----------------------------------------------------
+
+TEST_F(StreamTest, UnixEmulatorStreamSurface) {
+  UnixEmulator emu(k_, io_, nullptr);
+  emu.AttachStream(&st_);
+  int srv = emu.Listen(7000);
+  ASSERT_GE(srv, 0);
+  int cli = emu.Connect(7000);
+  ASSERT_GE(cli, 0);
+  k_.Run();
+  Addr out = emu.scratch(128);
+  k_.machine().memory().WriteBytes(out, "via unix stream", 15);
+  EXPECT_EQ(emu.Send(cli, out, 15), 15);
+  k_.Run();
+  Addr in = k_.allocator().Allocate(64);
+  EXPECT_EQ(emu.Recv(srv, in, 64), 15);
+  char got[15];
+  k_.machine().memory().ReadBytes(in, got, 15);
+  EXPECT_EQ(std::string(got, 15), "via unix stream");
+  // Read/Write alias Recv/Send on stream fds.
+  EXPECT_EQ(emu.Write(srv, out, 15), 15);
+  k_.Run();
+  EXPECT_EQ(emu.Read(cli, in, 64), 15);
+  EXPECT_EQ(emu.Close(cli), 0);
+  EXPECT_EQ(emu.Close(cli), -1);
+  EXPECT_EQ(emu.Close(srv), 0);
+  k_.Run(10'000'000);
+  // A PosixLikeApi without a stream layer reports -1 without crashing.
+  UnixEmulator bare(k_, io_, nullptr);
+  EXPECT_EQ(bare.Listen(7000), -1);
+  EXPECT_EQ(bare.Connect(7000), -1);
+}
+
+}  // namespace
+}  // namespace synthesis

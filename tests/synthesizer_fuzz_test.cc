@@ -6,19 +6,27 @@
 // preserved.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
+#include <cstring>
+#include <memory>
 #include <random>
 #include <set>
+#include <string>
 #include <vector>
 
+#include "src/io/channel.h"
 #include "src/io/io_system.h"
 #include "src/kernel/kernel.h"
+#include "src/kernel/user_program.h"
 #include "src/machine/assembler.h"
 #include "src/machine/code_store.h"
 #include "src/machine/executor.h"
 #include "src/machine/machine.h"
 #include "src/net/demux.h"
 #include "src/net/frame.h"
+#include "src/net/nic_device.h"
+#include "src/net/stream.h"
 #include "src/synth/synthesizer.h"
 
 namespace synthesis {
@@ -296,6 +304,278 @@ TEST_P(DemuxFuzz, RandomFlowsAndMalformedPacketsNeverBreakTheDemux) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, DemuxFuzz, ::testing::Range(1, 9));
+
+// --- Stream segment-processor fuzzing ----------------------------------------
+//
+// A real connection is established, then random — frequently malformed —
+// segments are run through BOTH the interpreted and the synthesized segment
+// processor from identical CCB/ring snapshots. The two must agree on the
+// verdict and on every observable side effect: CCB fields, event bits, ring
+// producer state, delivered bytes, and the shared demux counters.
+
+class StreamFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(StreamFuzz, GenericAndSynthesizedProcessorsAgreeOnRandomSegments) {
+  std::mt19937 rng(static_cast<uint32_t>(GetParam()) * 2654435761u + 101);
+  Kernel k;
+  IoSystem io(k, nullptr);
+  NicDevice nic(k);
+  StreamLayer st(k, io, nic);
+
+  // Establish a server connection against a hand-rolled peer on port 91.
+  ConnId srv = st.Listen(90);
+  ASSERT_NE(srv, kBadConn);
+  Memory& mem = k.machine().memory();
+  {
+    std::vector<uint8_t> p(StreamSeg::kHdrBytes, 0);
+    uint32_t syn = StreamSeg::kFlagSyn;
+    std::memcpy(p.data() + StreamSeg::kFlags, &syn, 4);
+    nic.InjectRaw(90, 91, p.data(), StreamSeg::kHdrBytes,
+                  FrameChecksum(90, 91, p.data(), StreamSeg::kHdrBytes),
+                  StreamSeg::kHdrBytes);
+    uint32_t one = 1, ackf = StreamSeg::kFlagAck;
+    std::memcpy(p.data() + StreamSeg::kSeq, &one, 4);
+    std::memcpy(p.data() + StreamSeg::kAck, &one, 4);
+    std::memcpy(p.data() + StreamSeg::kFlags, &ackf, 4);
+    nic.InjectRaw(90, 91, p.data(), StreamSeg::kHdrBytes,
+                  FrameChecksum(90, 91, p.data(), StreamSeg::kHdrBytes),
+                  StreamSeg::kHdrBytes);
+  }
+  k.Run();
+  ASSERT_EQ(st.StateOf(srv), CcbLayout::kEstablished);
+  ExpectWellFormed(k, st.generic_processor());
+  ExpectWellFormed(k, st.SynthDeliverOf(srv));
+
+  const Addr ccb = st.CcbOf(srv);
+  auto ring = st.RingOf(srv);
+  const uint32_t ring_cap = ring->capacity;
+  Addr frame = k.allocator().Allocate(FrameLayout::kSlotBytes);
+
+  auto capture = [&](std::vector<uint32_t>* out) {
+    out->clear();
+    for (uint32_t off = 0; off < CcbLayout::kBytes; off += 4) {
+      out->push_back(mem.Read32(ccb + off));
+    }
+    out->push_back(mem.Read32(ring->base + RingLayout::kHead));
+    out->push_back(mem.Read32(ring->base + RingLayout::kTail));
+    for (uint32_t w = 0; w < 32; w++) {
+      out->push_back(mem.Read32(ring->base + RingLayout::kBuf + 4 * w));
+    }
+    out->push_back(mem.Read32(nic.demux().ctr_malformed_addr()));
+    out->push_back(mem.Read32(nic.demux().ctr_csum_addr()));
+  };
+
+  for (int round = 0; round < 64; round++) {
+    // Random but shared starting state: sequence variables, connection state,
+    // and a ring that is sometimes nearly full.
+    uint32_t una = 2 + rng() % 8;
+    uint32_t nxt = una + rng() % 512;
+    uint32_t rnxt = 1 + rng() % 1024;
+    uint32_t state = 2 + rng() % 3;  // syn-sent / established / fin-sent
+    uint32_t space = rng() % 4 == 0 ? rng() % 9 : ring_cap - 1;
+    mem.Write32(ccb + CcbLayout::kState, state);
+    mem.Write32(ccb + CcbLayout::kSndUna, una);
+    mem.Write32(ccb + CcbLayout::kSndNxt, nxt);
+    mem.Write32(ccb + CcbLayout::kRcvNxt, rnxt);
+    mem.Write32(ccb + CcbLayout::kEvents, 0);
+    mem.Write32(ccb + CcbLayout::kDupAcks, rng() % 3);
+    mem.Write32(ccb + CcbLayout::kOoo, rng() % 5);
+    mem.Write32(ccb + CcbLayout::kAccepted, rng() % 5);
+    mem.Write32(ring->base + RingLayout::kTail, 0);
+    mem.Write32(ring->base + RingLayout::kHead,
+                (ring_cap - 1 - space) & (ring_cap - 1));
+
+    // Random segment: seq/ack clustered around the interesting boundaries,
+    // flags mixed, sources mostly-right, checksums mostly-right, lengths
+    // valid through runt and oversized.
+    auto r32 = [&] { return static_cast<uint32_t>(rng()); };
+    uint32_t seq_menu[] = {rnxt, rnxt + 1 + r32() % 64, rnxt - 1, r32()};
+    uint32_t ack_menu[] = {una, una + 1 + r32() % (nxt - una + 2),
+                           nxt, nxt + 1 + r32() % 16, r32()};
+    uint32_t seq = seq_menu[rng() % 4];
+    uint32_t ack = ack_menu[rng() % 5];
+    uint32_t flags = StreamSeg::kFlagAck;
+    if (rng() % 4 == 0) {
+      flags |= 1u << (rng() % 4);  // SYN/ACK/FIN/RST
+    }
+    uint32_t dlen = rng() % 3 == 0 ? 0 : rng() % 64;
+    uint32_t src = rng() % 5 == 0 ? 77 : 91;
+    std::vector<uint8_t> p(StreamSeg::kHdrBytes + dlen);
+    std::memcpy(p.data() + StreamSeg::kSeq, &seq, 4);
+    std::memcpy(p.data() + StreamSeg::kAck, &ack, 4);
+    std::memcpy(p.data() + StreamSeg::kFlags, &flags, 4);
+    for (uint32_t i = 0; i < dlen; i++) {
+      p[StreamSeg::kHdrBytes + i] = static_cast<uint8_t>(rng());
+    }
+    uint32_t plen = static_cast<uint32_t>(p.size());
+    if (rng() % 8 == 0) {
+      plen = rng() % StreamSeg::kHdrBytes;  // runt
+    }
+
+    std::vector<uint32_t> before;
+    capture(&before);
+    std::vector<uint32_t> got[2];
+    uint32_t d0[2] = {0, 0};
+    for (int pass = 0; pass < 2; pass++) {
+      // Both passes start from the identical snapshot.
+      uint32_t idx = 0;
+      for (uint32_t off = 0; off < CcbLayout::kBytes; off += 4) {
+        mem.Write32(ccb + off, before[idx++]);
+      }
+      mem.Write32(ring->base + RingLayout::kHead, before[idx++]);
+      mem.Write32(ring->base + RingLayout::kTail, before[idx++]);
+      for (uint32_t w = 0; w < 32; w++) {
+        mem.Write32(ring->base + RingLayout::kBuf + 4 * w, before[idx++]);
+      }
+      mem.Write32(nic.demux().ctr_malformed_addr(), before[idx++]);
+      mem.Write32(nic.demux().ctr_csum_addr(), before[idx++]);
+      WriteFrame(mem, frame, 90, src, p.data(), plen);
+      // Corrupt the checksum on a deterministic schedule so both passes see
+      // the identical (sometimes bad) frame.
+      if ((round * 2654435761u) % 8 == 0) {
+        mem.Write32(frame + FrameLayout::kChecksum,
+                    mem.Read32(frame + FrameLayout::kChecksum) + 1);
+      }
+      k.machine().set_reg(kA1, frame);
+      k.machine().set_reg(kD0, 0xDEAD);
+      RunResult rr = k.kexec().Call(pass == 0 ? nic.demux().generic_demux()
+                                              : nic.demux().synthesized_demux());
+      ASSERT_EQ(rr.outcome, RunOutcome::kReturned)
+          << "segment processor crashed on round " << round;
+      d0[pass] = k.machine().reg(kD0);
+      capture(&got[pass]);
+    }
+    EXPECT_EQ(d0[0], d0[1]) << "verdict divergence on round " << round;
+    EXPECT_EQ(got[0], got[1])
+        << "CCB/ring/counter divergence on round " << round;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StreamFuzz, ::testing::Range(1, 7));
+
+// --- Fault-schedule fuzzing ---------------------------------------------------
+//
+// Random wire fault mixes drive a complete transfer; every run must end in a
+// bounded number of steps with either a fully delivered stream or a graceful
+// connection failure — never a wedged ring or a hung kernel.
+
+class PumpSender : public UserProgram {
+ public:
+  PumpSender(StreamLayer& st, ConnId conn, const std::string& data, bool* err)
+      : st_(st), conn_(conn), data_(data), err_(err) {}
+  StepStatus Step(ThreadEnv& env) override {
+    Kernel& k = env.kernel;
+    if (buf_ == 0) {
+      buf_ = k.allocator().Allocate(128);
+    }
+    if (off_ >= data_.size()) {
+      st_.Close(conn_);
+      return StepStatus::kDone;
+    }
+    uint32_t take =
+        std::min<uint32_t>(128, static_cast<uint32_t>(data_.size() - off_));
+    k.machine().memory().WriteBytes(buf_, data_.data() + off_, take);
+    int32_t n = st_.Send(conn_, buf_, take);
+    if (n == kIoWouldBlock) {
+      return StepStatus::kBlocked;
+    }
+    if (n == kIoError) {
+      *err_ = true;
+      return StepStatus::kDone;
+    }
+    off_ += static_cast<uint32_t>(n);
+    k.machine().Charge(40, 10, 0);
+    return StepStatus::kYield;
+  }
+
+ private:
+  StreamLayer& st_;
+  ConnId conn_;
+  std::string data_;
+  bool* err_;
+  Addr buf_ = 0;
+  size_t off_ = 0;
+};
+
+class PumpReceiver : public UserProgram {
+ public:
+  PumpReceiver(StreamLayer& st, ConnId conn, std::string* out)
+      : st_(st), conn_(conn), out_(out) {}
+  StepStatus Step(ThreadEnv& env) override {
+    Kernel& k = env.kernel;
+    if (buf_ == 0) {
+      buf_ = k.allocator().Allocate(128);
+    }
+    int32_t n = st_.Recv(conn_, buf_, 128);
+    if (n == kIoWouldBlock) {
+      return StepStatus::kBlocked;
+    }
+    if (n <= 0) {
+      if (n == 0) {
+        st_.Close(conn_);
+      }
+      return StepStatus::kDone;
+    }
+    char tmp[128];
+    k.machine().memory().ReadBytes(buf_, tmp, static_cast<size_t>(n));
+    out_->append(tmp, static_cast<size_t>(n));
+    k.machine().Charge(40, 10, 0);
+    return StepStatus::kYield;
+  }
+
+ private:
+  StreamLayer& st_;
+  ConnId conn_;
+  std::string* out_;
+  Addr buf_ = 0;
+};
+
+class StreamFaultScheduleFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(StreamFaultScheduleFuzz, EveryFaultMixEndsDeliveredOrGracefullyFailed) {
+  std::mt19937 rng(static_cast<uint32_t>(GetParam()) * 2246822519u + 77);
+  for (int round = 0; round < 4; round++) {
+    NicConfig cfg;
+    cfg.drop_rate = (rng() % 35) / 100.0;
+    cfg.reorder_rate = (rng() % 30) / 100.0;
+    cfg.duplicate_rate = (rng() % 25) / 100.0;
+    cfg.burst_loss_rate = (rng() % 8) / 100.0;
+    cfg.burst_len = 2 + rng() % 3;
+    cfg.fault_seed = rng();
+    Kernel k;
+    IoSystem io(k, nullptr);
+    NicDevice nic(k, cfg);
+    nic.UseSynthesizedDemux(rng() % 2 == 0);
+    StreamLayer st(k, io, nic);
+    StreamConfig scfg;
+    scfg.rto_base_us = 3000;
+    scfg.max_retries = 12;
+    ConnId srv = st.Listen(80, scfg);
+    ConnId cli = st.Connect(80, scfg);
+    std::string pattern;
+    for (int i = 0; i < 600; i++) {
+      pattern.push_back(static_cast<char>('!' + (i * 11) % 90));
+    }
+    std::string delivered;
+    bool send_err = false;
+    k.CreateThread(std::make_unique<PumpSender>(st, cli, pattern, &send_err));
+    k.CreateThread(std::make_unique<PumpReceiver>(st, srv, &delivered));
+    k.Run(80'000'000);
+    uint32_t cs = st.StateOf(cli);
+    ASSERT_TRUE(cs == CcbLayout::kDone || cs == CcbLayout::kFailed)
+        << "round " << round << ": connection wedged in state " << cs;
+    EXPECT_EQ(delivered, pattern.substr(0, delivered.size()))
+        << "round " << round << ": corrupted or misordered delivery";
+    if (cs == CcbLayout::kDone) {
+      EXPECT_EQ(delivered, pattern) << "round " << round;
+    } else {
+      EXPECT_GE(st.failed_gauge().events(), 1u) << "round " << round;
+    }
+    ExpectWellFormed(k, st.generic_processor());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StreamFaultScheduleFuzz, ::testing::Range(1, 7));
 
 }  // namespace
 }  // namespace synthesis
