@@ -30,6 +30,7 @@
 #include "src/machine/machine.h"
 #include "src/net/frame.h"
 #include "src/net/nic_device.h"
+#include "src/net/nic_pool.h"
 #include "src/net/stream.h"
 
 namespace synthesis {
@@ -131,8 +132,9 @@ void RunPathLength(const char* model_name, MachineConfig cfg) {
   kc.machine = cfg;
   Kernel k(kc);
   IoSystem io(k, nullptr);
-  NicDevice nic(k);
-  StreamLayer st(k, io, nic);
+  NicPool pool(k, NicPoolConfig());
+  NicDevice& nic = pool.nic(0);
+  StreamLayer st(k, io, pool);
   ConnId srv = EstablishServer(k, nic, st, 80, 91);
 
   PrintHeader(std::string("Table 7: stream segment path, ") + model_name,
@@ -235,8 +237,10 @@ double MeasureGoodput(double drop, double reorder, bool synthesized,
   cfg.synthesized_demux = synthesized;
   Kernel k;
   IoSystem io(k, nullptr);
-  NicDevice nic(k, cfg);
-  StreamLayer st(k, io, nic);
+  NicPoolConfig pc;
+  pc.nic = cfg;
+  NicPool pool(k, pc);
+  StreamLayer st(k, io, pool);
   StreamConfig scfg;
   scfg.rto_base_us = 3000;
   scfg.max_retries = 32;

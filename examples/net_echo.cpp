@@ -147,8 +147,11 @@ int main() {
   nc.reorder_rate = 0.20;  // one in five is overtaken by later frames
   nc.corrupt_rate = 0.05;  // one in twenty takes a flipped byte
   nc.fault_seed = 9;
-  NicDevice nic(kernel, nc);
-  StreamLayer st(kernel, io, nic);
+  NicPoolConfig pc;
+  pc.nic = nc;
+  NicPool pool(kernel, pc);
+  NicDevice& nic = pool.nic(0);
+  StreamLayer st(kernel, io, pool);
 
   ConnId server = st.Listen(kPort);
   ConnId client = st.Connect(kPort);

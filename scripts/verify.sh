@@ -37,4 +37,18 @@ cmake --build "$BUILD_DIR" -j
 
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
 
+# Bench smoke: table8 asserts its own acceptance numbers (synthesized steering
+# < 0.7x generic, 1->2 NIC scaling >= 1.7x) and exits nonzero on regression.
+(cd "$BUILD_DIR" && ./bench/table8_nic_pool > /dev/null)
+
+# Every bench JSON the tree produced must parse; a malformed artifact fails
+# the gate rather than silently shipping a broken table.
+if command -v python3 > /dev/null; then
+  for j in "$BUILD_DIR"/BENCH_*.json; do
+    [[ -e "$j" ]] || continue
+    python3 -c 'import json,sys; json.load(open(sys.argv[1]))' "$j" \
+      || { echo "verify: malformed $j" >&2; exit 1; }
+  done
+fi
+
 echo "verify: OK ($BUILD_DIR)"

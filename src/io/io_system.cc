@@ -522,6 +522,10 @@ void IoSystem::Close(ChannelId ch) {
   }
   kernel_.machine().Charge(kCloseCycles, 8, 12);
   kernel_.allocator().Free(c->record);
+  // The channel's specialized read/write code is dead once the record goes:
+  // nothing else holds these entry points.
+  kernel_.RetireBlock(c->read_code);
+  kernel_.RetireBlock(c->write_code);
   channels_.erase(ch);
 }
 

@@ -405,6 +405,27 @@ void Kernel::SetAlarm(double delta_us, BlockId handler) {
   intc_.Raise(NowUs() + delta_us, Vector::kAlarm, static_cast<uint32_t>(handler));
 }
 
+void Kernel::RetireBlock(BlockId id) {
+  if (id == kInvalidBlock || !store_.Valid(id)) {
+    return;
+  }
+  retired_blocks_.push_back(id);
+}
+
+void Kernel::DrainRetiredBlocks() {
+  // The executors cache references into the block they are running; freeing
+  // under them is use-after-free. Between runs, reclamation is safe: a stale
+  // entry point (an armed alarm, a not-yet-rewritten cell) finds an empty
+  // block, which executes as an immediate return.
+  if (kexec_.active() || exec_.active() || retired_blocks_.empty()) {
+    return;
+  }
+  for (BlockId id : retired_blocks_) {
+    store_.Uninstall(id);
+  }
+  retired_blocks_.clear();
+}
+
 void Kernel::DispatchInterrupt(const PendingInterrupt& irq) {
   in_interrupt_ = true;
   interrupts_dispatched_++;
@@ -438,6 +459,7 @@ void Kernel::DispatchInterrupt(const PendingInterrupt& irq) {
   }
   machine_.Charge(kIrqExitCycles, 1, 1);
   in_interrupt_ = false;
+  DrainRetiredBlocks();
 }
 
 void Kernel::DeliverDueInterrupts() {
@@ -490,6 +512,7 @@ void Kernel::ContextSwitchNow() {
 }
 
 bool Kernel::RunSlice() {
+  DrainRetiredBlocks();
   DeliverDueInterrupts();
   if (ready_.Empty()) {
     if (intc_.Empty()) {

@@ -140,6 +140,16 @@ class Kernel {
   // Dispatches one interrupt right now (used by benches to time the path).
   void DispatchInterrupt(const PendingInterrupt& irq);
 
+  // Schedules a synthesized block for reclamation. The slot is returned to
+  // the code store's free list only while the kernel executor is idle — the
+  // executor caches references into the currently running block, so freeing
+  // mid-run (e.g. from a trap handler invoked by the very block being
+  // retired) would be unsafe. Idempotent per drain; kInvalidBlock is ignored.
+  void RetireBlock(BlockId id);
+  // Frees all retired blocks if the kernel executor is idle. Called from the
+  // executive between interrupts; exposed for hosts that drive kexec directly.
+  void DrainRetiredBlocks();
+
   // --- Executive -----------------------------------------------------------------
   // Runs one scheduling slice: deliver due interrupts, run the current
   // thread's pending signals and body up to its quantum, then context-switch
@@ -206,6 +216,8 @@ class Kernel {
   // synthesized queue-put cost, delivery happens at dispatch (§4.3).
   std::unordered_map<ThreadId, std::deque<BlockId>> pending_signals_;
   bool in_interrupt_ = false;
+  // Blocks awaiting reclamation (deferred until kexec_ is between runs).
+  std::vector<BlockId> retired_blocks_;
 
   uint64_t context_switches_ = 0;
   uint64_t interrupts_dispatched_ = 0;

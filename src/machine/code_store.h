@@ -11,6 +11,7 @@
 #include <deque>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "src/machine/instr.h"
 
@@ -24,13 +25,38 @@ class CodeStore {
   }
 
   // Installs a block and returns its id. Names need not be unique; the most
-  // recently installed block wins name lookup.
+  // recently installed block wins name lookup. Freed slots (Uninstall) are
+  // reused so long-running connection churn does not grow the store.
   BlockId Install(CodeBlock block) {
-    BlockId id = static_cast<BlockId>(blocks_.size());
-    by_name_[block.name] = id;
-    blocks_.push_back(std::move(block));
-    bytes_ += blocks_.back().code.size() * kBytesPerInstr;
+    BlockId id;
+    if (!free_ids_.empty()) {
+      id = free_ids_.back();
+      free_ids_.pop_back();
+      blocks_[id] = std::move(block);
+    } else {
+      id = static_cast<BlockId>(blocks_.size());
+      blocks_.push_back(std::move(block));
+    }
+    by_name_[blocks_[id].name] = id;
+    bytes_ += blocks_[id].code.size() * kBytesPerInstr;
     return id;
+  }
+
+  // Returns a block's slot to the free list. The slot stays Valid (an empty
+  // code vector executes as an implicit return), so a stale entry point —
+  // e.g. an already-armed alarm carrying this id — lands on a no-op rather
+  // than on garbage until the slot is reused.
+  void Uninstall(BlockId id) {
+    if (!Valid(id)) {
+      return;
+    }
+    bytes_ -= blocks_[id].code.size() * kBytesPerInstr;
+    auto it = by_name_.find(blocks_[id].name);
+    if (it != by_name_.end() && it->second == id) {
+      by_name_.erase(it);
+    }
+    blocks_[id] = CodeBlock{};
+    free_ids_.push_back(id);
   }
 
   // Replaces the code of an existing block in place (used when the kernel
@@ -60,6 +86,12 @@ class CodeStore {
 
   size_t block_count() const { return blocks_.size() - 1; }
 
+  // Blocks currently installed (slots minus the free list). Connection-churn
+  // tests assert this stays flat across open/transfer/close cycles.
+  size_t live_block_count() const {
+    return blocks_.size() - 1 - free_ids_.size();
+  }
+
   // Approximate footprint of all synthesized code, for the paper's kernel-size
   // discussion (§6.4). Each micro-op models a short 68020 instruction.
   size_t code_bytes() const { return bytes_; }
@@ -71,6 +103,7 @@ class CodeStore {
   // running executor (trap handlers synthesize code mid-run).
   std::deque<CodeBlock> blocks_;
   std::unordered_map<std::string, BlockId> by_name_;
+  std::vector<BlockId> free_ids_;
   size_t bytes_ = 0;
 };
 

@@ -265,6 +265,7 @@ bool DemuxSynthesizer::AddFlow(uint16_t port, Addr ring_base, uint32_t fixed_len
   kernel_.machine().memory().Write32(f.ctr, 0);
   f.handler = deliver_gen_;
   f.deliver = SynthesizeDeliver(f);
+  f.owns_deliver = true;
   flows_.push_back(f);
   RebuildGenericTable();
   RebuildSynthesized();
@@ -306,6 +307,9 @@ bool DemuxSynthesizer::RemoveFlow(uint16_t port) {
   for (size_t i = 0; i < flows_.size(); i++) {
     if (flows_[i].port == port) {
       kernel_.allocator().Free(flows_[i].ctr);
+      if (flows_[i].owns_deliver) {
+        kernel_.RetireBlock(flows_[i].deliver);
+      }
       flows_.erase(flows_.begin() + static_cast<long>(i));
       RebuildGenericTable();
       RebuildSynthesized();
@@ -474,6 +478,10 @@ void DemuxSynthesizer::RebuildSynthesized() {
   }
   SynthesisOptions opts = kernel_.config().synthesis;
   opts.live_out |= (1u << kD0) | (1u << kD1) | (1u << kD2);
+  // The superseded demux is retired (deferred until the executor is idle):
+  // every jump site reaches it through the NIC's demux cell, which is
+  // rewritten to the new id before the next frame arrives.
+  kernel_.RetireBlock(synthesized_);
   synthesized_ =
       kernel_.SynthesizeInstall(t, Bindings(), nullptr, name, &last_stats_, &opts);
 }

@@ -108,6 +108,7 @@ class DemuxSynthesizer {
     uint32_t fixed_len = 0;
     BlockId handler = kInvalidBlock;  // generic-walk deliver routine
     BlockId deliver = kInvalidBlock;  // synthesized per-flow deliver
+    bool owns_deliver = false;  // demux-emitted (AddFlow) vs caller-owned
   };
 
   const Flow* Find(uint16_t port) const;

@@ -18,11 +18,15 @@ NicDevice::NicDevice(Kernel& kernel, NicConfig config)
   rx_base_ = kernel_.allocator().Allocate(config_.rx_slots * FrameLayout::kSlotBytes);
   tx_base_ = kernel_.allocator().Allocate(config_.tx_slots * FrameLayout::kSlotBytes);
   demux_cell_ = kernel_.allocator().Allocate(4);
+  inner_cell_ = kernel_.allocator().Allocate(4);
   RefreshDemuxCell();
 
   int rxdone_vec = kernel_.RegisterHostTrap([this](Machine& m) {
     rx_inflight_ = rx_inflight_ == 0 ? 0 : rx_inflight_ - 1;
     rx_gauge_.Count();
+    if (shared_rx_gauge_ != nullptr) {
+      shared_rx_gauge_->Count();
+    }
     uint32_t result = m.reg(kD0);
     if (result == 1) {
       uint16_t port = static_cast<uint16_t>(m.reg(kD2));
@@ -100,7 +104,7 @@ NicDevice::NicDevice(Kernel& kernel, NicConfig config)
       }
       kernel_.interrupts().Raise(
           kernel_.NowUs() + delay + c * 2 * config_.wire_latency_us,
-          Vector::kNetRx, rx_idx);
+          Vector::kNetRx, config_.irq_tag | rx_idx);
     }
     return TrapAction::kContinue;
   });
@@ -121,7 +125,9 @@ NicDevice::NicDevice(Kernel& kernel, NicConfig config)
   rx.Rts();
   rx_entry_ = kernel_.SynthesizeInstall(rx.Build(), Bindings(), nullptr,
                                         "nic_rx_entry", nullptr, &verbatim);
-  kernel_.SetDefaultVector(Vector::kNetRx, rx_entry_);
+  if (config_.install_vectors) {
+    kernel_.SetDefaultVector(Vector::kNetRx, rx_entry_);
+  }
 
   // TX-complete entry: acknowledge the descriptor, hand off to the host wire
   // model (which loops the frame back as a future RX interrupt).
@@ -131,7 +137,9 @@ NicDevice::NicDevice(Kernel& kernel, NicConfig config)
   tx.Rts();
   tx_entry_ = kernel_.SynthesizeInstall(tx.Build(), Bindings(), nullptr,
                                         "nic_tx_entry", nullptr, &verbatim);
-  kernel_.SetDefaultVector(Vector::kNetTx, tx_entry_);
+  if (config_.install_vectors) {
+    kernel_.SetDefaultVector(Vector::kNetTx, tx_entry_);
+  }
 }
 
 Addr NicDevice::RxSlotAddr(uint32_t index) const {
@@ -145,8 +153,18 @@ Addr NicDevice::TxSlotAddr(uint32_t index) const {
 void NicDevice::RefreshDemuxCell() {
   BlockId d = config_.synthesized_demux ? demux_.synthesized_demux()
                                         : demux_.generic_demux();
-  kernel_.machine().memory().Write32(demux_cell_, static_cast<uint32_t>(d));
+  Memory& mem = kernel_.machine().memory();
+  // The inner cell always tracks the device's own demux, so a steering stage
+  // in front survives flow re-synthesis without being re-emitted.
+  mem.Write32(inner_cell_, static_cast<uint32_t>(d));
+  BlockId outer = demux_override_ != kInvalidBlock ? demux_override_ : d;
+  mem.Write32(demux_cell_, static_cast<uint32_t>(outer));
   kernel_.machine().Charge(8, 1, 1);
+}
+
+void NicDevice::SetDemuxOverride(BlockId steer) {
+  demux_override_ = steer;
+  RefreshDemuxCell();
 }
 
 bool NicDevice::BindPort(uint16_t port, std::shared_ptr<RingHost> ring,
@@ -249,8 +267,19 @@ bool NicDevice::Transmit(uint16_t dst_port, uint16_t src_port,
   assert(queued);
   (void)queued;
   tx_inflight_++;
-  kernel_.interrupts().Raise(kernel_.NowUs() + config_.tx_complete_us,
-                             Vector::kNetTx, slot);
+  double complete_at;
+  if (config_.serialize_tx) {
+    // One DMA engine per NIC: frames stream out back to back, one every
+    // tx_complete_us. This is the serialization sharding removes — each
+    // extra NIC is an independent transmit lane.
+    tx_busy_until_ = std::max(tx_busy_until_, kernel_.NowUs()) +
+                     config_.tx_complete_us;
+    complete_at = tx_busy_until_;
+  } else {
+    complete_at = kernel_.NowUs() + config_.tx_complete_us;
+  }
+  kernel_.interrupts().Raise(complete_at, Vector::kNetTx,
+                             config_.irq_tag | slot);
   return true;
 }
 
@@ -275,7 +304,7 @@ void NicDevice::InjectRaw(uint32_t dst_port, uint32_t src_port,
   }
   rx_inflight_++;
   kernel_.interrupts().Raise(kernel_.NowUs() + config_.wire_latency_us,
-                             Vector::kNetRx, rx_idx);
+                             Vector::kNetRx, config_.irq_tag | rx_idx);
 }
 
 }  // namespace synthesis

@@ -46,6 +46,16 @@ struct NicConfig {
   uint32_t burst_len = 4;        // frames consumed by one loss burst
   uint32_t fault_seed = 1;       // deterministic fault injection
   bool synthesized_demux = true; // false: interpret the flow table (baseline)
+  // Pooling support (NicPool). `irq_tag` is OR'd into every RX/TX interrupt
+  // payload (the pool puts the NIC index in the high half so one shared
+  // vector can dispatch to the owning device). `install_vectors` = false
+  // keeps the device from claiming the global kNetRx/kNetTx vectors — the
+  // pool installs its own dispatch shim instead. `serialize_tx` models a
+  // per-NIC DMA engine that completes one frame per tx_complete_us: with it,
+  // adding NICs adds transmit lanes, which is what sharding scales.
+  uint32_t irq_tag = 0;
+  bool install_vectors = true;
+  bool serialize_tx = false;
 };
 
 class NicDevice {
@@ -87,12 +97,28 @@ class NicDevice {
   // Swaps the demux implementation the RX interrupt jumps through.
   void UseSynthesizedDemux(bool on);
 
+  // Interposes `steer` between the RX entry and this device's demux: the RX
+  // entry's outer cell is rewritten to `steer`, while the device's real demux
+  // id keeps flowing into the *inner* cell (an executable data structure the
+  // steering block jumps through — flow re-synthesis never needs the pool).
+  // kInvalidBlock removes the override.
+  void SetDemuxOverride(BlockId steer);
+  // Address of the 4-byte word that always holds this device's current demux
+  // routine (the steering stage indexes a table of these).
+  Addr inner_cell_addr() const { return inner_cell_; }
+
+  // Aggregation hook: an extra gauge counted on every RX completion (the pool
+  // feeds one shared gauge to the fine-grain scheduler).
+  void SetSharedRxGauge(Gauge* g) { shared_rx_gauge_ = g; }
+
   DemuxSynthesizer& demux() { return demux_; }
   WaitQueue& tx_waiters() { return tx_waiters_; }
   const NicConfig& config() const { return config_; }
 
-  // Interrupt entry blocks (benches dispatch through these directly).
+  // Interrupt entry blocks (benches dispatch through these directly; the
+  // pool's dispatch shim jumps through them per NIC index).
   BlockId rx_entry() const { return rx_entry_; }
+  BlockId tx_entry() const { return tx_entry_; }
 
   // Host-observable event gauges (§2.3) and wire statistics.
   Gauge& rx_gauge() { return rx_gauge_; }
@@ -126,6 +152,8 @@ class NicDevice {
   Addr rx_base_ = 0;
   Addr tx_base_ = 0;
   Addr demux_cell_ = 0;  // holds the BlockId the RX interrupt jumps through
+  Addr inner_cell_ = 0;  // always the device's own demux (pool steering target)
+  BlockId demux_override_ = kInvalidBlock;  // steering block, when pooled
   BlockId rx_entry_ = kInvalidBlock;
   BlockId tx_entry_ = kInvalidBlock;
 
@@ -149,9 +177,11 @@ class NicDevice {
   Gauge corrupt_gauge_;
   Gauge wire_reorder_gauge_;
   Gauge wire_dup_gauge_;
+  Gauge* shared_rx_gauge_ = nullptr;  // pool-wide aggregate, optional
   uint64_t tx_completed_ = 0;
   uint64_t rx_overruns_ = 0;
   uint64_t csum_seen_ = 0;  // last demux csum-reject count mirrored to gauge
+  double tx_busy_until_ = 0;  // serialized DMA engine availability time
 };
 
 }  // namespace synthesis

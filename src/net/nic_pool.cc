@@ -1,0 +1,325 @@
+#include "src/net/nic_pool.h"
+
+#include <cassert>
+#include <string>
+
+#include "src/machine/assembler.h"
+#include "src/net/frame.h"
+
+namespace synthesis {
+
+namespace {
+// NIC index tag in the high half of an interrupt payload; the low half stays
+// the device-local descriptor slot the per-NIC entry code expects.
+constexpr uint32_t kTagShift = 16;
+constexpr int32_t kSlotMask = 0xFFFF;
+}  // namespace
+
+NicPool::NicPool(Kernel& kernel, NicPoolConfig config)
+    : kernel_(kernel), config_(config) {
+  assert(config_.initial_nics >= 1 && config_.initial_nics <= kMaxNics);
+  desc_ = kernel_.allocator().Allocate(4 + 4 * kMaxNics);
+  rx_dispatch_cell_ = kernel_.allocator().Allocate(4);
+  tx_dispatch_cell_ = kernel_.allocator().Allocate(4);
+
+  for (uint32_t i = 0; i < config_.initial_nics; i++) {
+    AppendNic();
+  }
+  WriteDescriptor();
+
+  // The generic steering loop is installed exactly once: it reloads the pool
+  // geometry from the descriptor on every packet, so any later AddNic is
+  // already covered — the defining property (and cost) of the layered path.
+  SynthesisOptions verbatim = SynthesisOptions::Disabled();
+  Asm g("pool_steer_gen");
+  g.MoveI(kA2, static_cast<int32_t>(desc_));
+  g.Load32(kD0, kA1, FrameLayout::kDstPort);
+  g.Move(kD7, kD0);
+  g.LsrI(kD7, 8);
+  g.Xor(kD0, kD7);
+  g.AndI(kD0, 255);
+  g.Load32(kD6, kA2, 0);  // live NIC count
+  g.Label("mod");         // h % N by repeated subtraction (no divider)
+  g.Cmp(kD0, kD6);
+  g.Blt("done");
+  g.Sub(kD0, kD6);
+  g.Bra("mod");
+  g.Label("done");
+  g.LoadIdx32(kD7, kD0, static_cast<int32_t>(desc_ + 4));  // inner cell addr
+  g.Move(kA2, kD7);
+  g.Load32(kD7, kA2, 0);  // the owning NIC's current demux
+  g.JsrInd(kD7);
+  g.Rts();
+  steer_generic_ = kernel_.SynthesizeInstall(g.Build(), Bindings(), nullptr,
+                                             "pool_steer_gen", nullptr,
+                                             &verbatim);
+
+  // One shim per vector, installed once: TTEs snapshot their vectors at
+  // thread-creation time, so the re-emittable dispatch chain must sit behind
+  // a cell the shim jumps through, not in the vector itself.
+  Asm rs("pool_rx_shim");
+  rs.LoadA32(kD7, static_cast<int32_t>(rx_dispatch_cell_));
+  rs.JmpInd(kD7);
+  BlockId rx_shim = kernel_.SynthesizeInstall(rs.Build(), Bindings(), nullptr,
+                                              "pool_rx_shim", nullptr,
+                                              &verbatim);
+  kernel_.SetDefaultVector(Vector::kNetRx, rx_shim);
+  Asm ts("pool_tx_shim");
+  ts.LoadA32(kD7, static_cast<int32_t>(tx_dispatch_cell_));
+  ts.JmpInd(kD7);
+  BlockId tx_shim = kernel_.SynthesizeInstall(ts.Build(), Bindings(), nullptr,
+                                              "pool_tx_shim", nullptr,
+                                              &verbatim);
+  kernel_.SetDefaultVector(Vector::kNetTx, tx_shim);
+
+  EmitSteering();
+  EmitDispatch();
+  ApplySteering();
+}
+
+void NicPool::AppendNic() {
+  NicConfig nc = config_.nic;
+  nc.irq_tag = static_cast<uint32_t>(nics_.size()) << kTagShift;
+  nc.install_vectors = false;
+  nics_.push_back(std::make_unique<NicDevice>(kernel_, nc));
+  nics_.back()->SetSharedRxGauge(&rx_gauge_);
+}
+
+uint32_t NicPool::SteerOf(uint16_t port) const {
+  uint32_t h = (static_cast<uint32_t>(port) ^ (port >> 8)) & 255u;
+  return h % static_cast<uint32_t>(nics_.size());
+}
+
+void NicPool::WriteDescriptor() {
+  Memory& mem = kernel_.machine().memory();
+  mem.Write32(desc_, size());
+  for (uint32_t i = 0; i < kMaxNics; i++) {
+    mem.Write32(desc_ + 4 + 4 * i,
+                i < size() ? nics_[i]->inner_cell_addr() : 0);
+  }
+  kernel_.machine().Charge(8 + 4 * kMaxNics, 2, 1 + kMaxNics);
+}
+
+void NicPool::EmitSteering() {
+  steer_gen_++;
+  const uint32_t n = size();
+  const bool po2 = (n & (n - 1)) == 0;
+  const std::string name = "pool_steer_syn#" + std::to_string(steer_gen_);
+
+  Asm a(name);
+  a.Load32(kD0, kA1, FrameLayout::kDstPort);
+  a.Move(kD7, kD0);
+  a.LsrI(kD7, 8);
+  a.Xor(kD0, kD7);
+  if (po2) {
+    // N is a pool-geometry invariant and a power of two: the whole hash
+    // reduction folds to one mask (Factoring Invariants).
+    a.AndI(kD0, static_cast<int32_t>(n - 1));
+  } else {
+    a.AndI(kD0, 255);
+    a.Label("mod");
+    a.CmpI(kD0, static_cast<int32_t>(n));
+    a.Blt("done");
+    a.SubI(kD0, static_cast<int32_t>(n));
+    a.Bra("mod");
+    a.Label("done");
+  }
+  // Tail-jump through the owning NIC's inner cell: the demux returns straight
+  // to the RX entry, no extra frame (Collapsing Layers).
+  a.LoadIdx32(kD7, kD0, static_cast<int32_t>(desc_ + 4));
+  a.Move(kA2, kD7);
+  a.Load32(kD7, kA2, 0);
+  a.JmpInd(kD7);
+
+  SynthesisOptions opts = kernel_.config().synthesis;
+  opts.live_out |= (1u << kD0) | (1u << kD1) | (1u << kD2);
+  kernel_.RetireBlock(steer_synth_);
+  steer_synth_ = kernel_.SynthesizeInstall(a.Build(), Bindings(), nullptr, name,
+                                           nullptr, &opts);
+}
+
+void NicPool::EmitDispatch() {
+  SynthesisOptions verbatim = SynthesisOptions::Disabled();
+  Memory& mem = kernel_.machine().memory();
+  const std::string suffix = "#" + std::to_string(steer_gen_);
+
+  // d1 = tagged payload. High half selects the NIC, low half is the slot the
+  // per-NIC entry expects in d1.
+  Asm rx("pool_rx_dispatch" + suffix);
+  rx.Move(kD6, kD1);
+  rx.LsrI(kD6, kTagShift);
+  rx.AndI(kD1, kSlotMask);
+  for (uint32_t i = 0; i < size(); i++) {
+    const std::string next = "n" + std::to_string(i);
+    rx.CmpI(kD6, static_cast<int32_t>(i));
+    rx.Bne(next);
+    rx.Jsr(static_cast<int32_t>(nics_[i]->rx_entry()));
+    rx.Rts();
+    rx.Label(next);
+  }
+  rx.Rts();  // unknown tag: drop on the floor
+  kernel_.RetireBlock(rx_dispatch_);
+  rx_dispatch_ = kernel_.SynthesizeInstall(rx.Build(), Bindings(), nullptr,
+                                           "pool_rx_dispatch" + suffix, nullptr,
+                                           &verbatim);
+  mem.Write32(rx_dispatch_cell_, static_cast<uint32_t>(rx_dispatch_));
+
+  Asm tx("pool_tx_dispatch" + suffix);
+  tx.Move(kD6, kD1);
+  tx.LsrI(kD6, kTagShift);
+  tx.AndI(kD1, kSlotMask);
+  for (uint32_t i = 0; i < size(); i++) {
+    const std::string next = "n" + std::to_string(i);
+    tx.CmpI(kD6, static_cast<int32_t>(i));
+    tx.Bne(next);
+    tx.Jsr(static_cast<int32_t>(nics_[i]->tx_entry()));
+    tx.Rts();
+    tx.Label(next);
+  }
+  tx.Rts();
+  kernel_.RetireBlock(tx_dispatch_);
+  tx_dispatch_ = kernel_.SynthesizeInstall(tx.Build(), Bindings(), nullptr,
+                                           "pool_tx_dispatch" + suffix, nullptr,
+                                           &verbatim);
+  mem.Write32(tx_dispatch_cell_, static_cast<uint32_t>(tx_dispatch_));
+}
+
+void NicPool::ApplySteering() {
+  for (auto& nic : nics_) {
+    nic->SetDemuxOverride(active_steering());
+  }
+}
+
+bool NicPool::AddNic() {
+  if (size() >= kMaxNics) {
+    return false;
+  }
+  AppendNic();
+  WriteDescriptor();
+  // Rebind flows whose hash moved. The flow's processors (the stream layer's
+  // CCB-absolute segment code) are NIC-agnostic and move by reference; only
+  // the demux chains on the two affected NICs are re-synthesized.
+  for (auto& [port, b] : bindings_) {
+    uint32_t owner = SteerOf(port);
+    if (owner == b.owner) {
+      continue;
+    }
+    bool ok = nics_[b.owner]->UnbindPort(port) && BindOn(owner, port, b);
+    assert(ok);
+    (void)ok;
+    b.owner = owner;
+  }
+  EmitSteering();
+  EmitDispatch();
+  ApplySteering();
+  return true;
+}
+
+void NicPool::UseSynthesizedSteering(bool on) {
+  config_.synthesized_steering = on;
+  ApplySteering();
+}
+
+void NicPool::UseSynthesizedDemux(bool on) {
+  for (auto& nic : nics_) {
+    nic->UseSynthesizedDemux(on);
+  }
+}
+
+bool NicPool::BindOn(uint32_t idx, uint16_t port, const Binding& b) {
+  if (b.custom) {
+    return nics_[idx]->BindPortCustom(port, b.ring, b.ctx, b.synth_deliver,
+                                      b.generic_deliver, b.hook);
+  }
+  return nics_[idx]->BindPort(port, b.ring, b.fixed_len);
+}
+
+bool NicPool::BindPort(uint16_t port, std::shared_ptr<RingHost> ring,
+                       uint32_t fixed_len) {
+  Binding b;
+  b.ring = std::move(ring);
+  b.fixed_len = fixed_len;
+  b.owner = SteerOf(port);
+  if (!BindOn(b.owner, port, b)) {
+    return false;
+  }
+  bindings_.emplace_back(port, std::move(b));
+  return true;
+}
+
+bool NicPool::BindPortCustom(uint16_t port, std::shared_ptr<RingHost> ring,
+                             Addr ctx, BlockId synth_deliver,
+                             BlockId generic_deliver,
+                             std::function<void()> deliver_hook) {
+  Binding b;
+  b.ring = std::move(ring);
+  b.ctx = ctx;
+  b.synth_deliver = synth_deliver;
+  b.generic_deliver = generic_deliver;
+  b.hook = std::move(deliver_hook);
+  b.custom = true;
+  b.owner = SteerOf(port);
+  if (!BindOn(b.owner, port, b)) {
+    return false;
+  }
+  bindings_.emplace_back(port, std::move(b));
+  return true;
+}
+
+bool NicPool::SwapPortDeliver(uint16_t port, BlockId synth_deliver) {
+  for (auto& [p, b] : bindings_) {
+    if (p == port) {
+      b.synth_deliver = synth_deliver;  // so a future migration rebinds it
+      return nics_[b.owner]->SwapPortDeliver(port, synth_deliver);
+    }
+  }
+  return false;
+}
+
+bool NicPool::UnbindPort(uint16_t port) {
+  for (size_t i = 0; i < bindings_.size(); i++) {
+    if (bindings_[i].first == port) {
+      bool ok = nics_[bindings_[i].second.owner]->UnbindPort(port);
+      bindings_.erase(bindings_.begin() + static_cast<long>(i));
+      return ok;
+    }
+  }
+  return false;
+}
+
+bool NicPool::HasFlow(uint16_t port) const {
+  for (const auto& [p, b] : bindings_) {
+    if (p == port) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool NicPool::Transmit(uint16_t dst_port, uint16_t src_port,
+                       const uint8_t* payload, uint32_t n) {
+  return nic(SteerOf(dst_port)).Transmit(dst_port, src_port, payload, n);
+}
+
+void NicPool::InjectRaw(uint32_t dst_port, uint32_t src_port,
+                        const uint8_t* payload, uint32_t n, uint32_t checksum,
+                        uint32_t length_field) {
+  nic(SteerOf(static_cast<uint16_t>(dst_port)))
+      .InjectRaw(dst_port, src_port, payload, n, checksum, length_field);
+}
+
+NicPool::AggregateStats NicPool::Aggregate() {
+  AggregateStats s;
+  for (auto& nic : nics_) {
+    s.delivered += nic->demux().delivered_total();
+    s.tx_completed += nic->tx_completed();
+    s.rx_overruns += nic->rx_overruns();
+    s.csum_rejects += nic->demux().csum_rejects();
+    s.malformed += nic->demux().malformed();
+    s.ring_drops += nic->demux().ring_drops();
+    s.wire_drops += nic->wire_drop_gauge().events();
+  }
+  return s;
+}
+
+}  // namespace synthesis

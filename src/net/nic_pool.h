@@ -1,0 +1,156 @@
+// A pool of NICs behind one ingress, sharded by a synthesized steering stage.
+//
+// Scaling past one interrupt path (ROADMAP: multi-NIC sharding) means N
+// devices, each with its own descriptor rings, demux chain, and interrupt
+// budget. The pool stitches them together with three pieces of emitted code:
+//
+//  * The STEERING block sits in each NIC's outer demux cell. It hashes the
+//    destination port and tail-jumps through the owning NIC's *inner* demux
+//    cell. It exists twice, same contract as the demux (a1 = frame, returns
+//    d0/d2): a GENERIC routine that reloads the pool geometry (N, the cell
+//    table) from memory and reduces the hash by a subtract loop every packet
+//    — the layered baseline, installed once and valid for any geometry — and
+//    a SYNTHESIZED routine re-emitted whenever the geometry changes, with the
+//    table base folded to an immediate and the modulo folded to a single
+//    shift+mask when N is a power of two (Factoring Invariants).
+//
+//  * Each NIC keeps its real demux id flowing into its inner cell, so flow
+//    re-synthesis (binds, unbinds, connection establishment) never re-emits
+//    steering: the steering stage indexes an executable data structure whose
+//    words are rewritten in place.
+//
+//  * One DISPATCH shim per interrupt vector (installed once, so TTE vector
+//    snapshots stay valid) jumps through a dispatch cell to a re-emitted
+//    compare chain that untags the payload (NIC index in the high half) and
+//    enters the owning device's rx/tx entry.
+//
+// Growing the pool (AddNic) migrates flows whose hash moved, re-emits the
+// steering + dispatch blocks, retires the old ones, and leaves per-flow
+// processors (the stream layer's CCB-absolute segment code) untouched.
+#ifndef SRC_NET_NIC_POOL_H_
+#define SRC_NET_NIC_POOL_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/io/gauge.h"
+#include "src/kernel/kernel.h"
+#include "src/net/nic_device.h"
+
+namespace synthesis {
+
+struct NicPoolConfig {
+  uint32_t initial_nics = 1;
+  NicConfig nic;  // per-NIC template; irq_tag/install_vectors are overridden
+  bool synthesized_steering = true;  // false: generic loop (ablation/baseline)
+};
+
+class NicPool {
+ public:
+  static constexpr uint32_t kMaxNics = 8;
+
+  explicit NicPool(Kernel& kernel, NicPoolConfig config = NicPoolConfig());
+
+  uint32_t size() const { return static_cast<uint32_t>(nics_.size()); }
+  NicDevice& nic(uint32_t i) { return *nics_[i]; }
+
+  // The host twin of the emitted hash: which NIC owns `port`.
+  uint32_t SteerOf(uint16_t port) const;
+  // The demux that will see frames for `port` (the owning NIC's).
+  DemuxSynthesizer& demux_of(uint16_t port) { return nic(SteerOf(port)).demux(); }
+
+  // Grows the pool by one NIC: rebinds flows whose hash moved, updates the
+  // geometry descriptor, re-emits steering + dispatch. Returns false at
+  // kMaxNics. Per-flow custom processors survive untouched.
+  bool AddNic();
+
+  // Swaps which steering implementation the outer cells point at.
+  void UseSynthesizedSteering(bool on);
+  // Forwards to every NIC (the demux stage ablation).
+  void UseSynthesizedDemux(bool on);
+
+  uint32_t steering_generation() const { return steer_gen_; }
+  BlockId generic_steering() const { return steer_generic_; }
+  BlockId synthesized_steering() const { return steer_synth_; }
+  BlockId active_steering() const {
+    return config_.synthesized_steering ? steer_synth_ : steer_generic_;
+  }
+
+  // --- Flow operations, routed to the owning NIC -----------------------------
+  bool BindPort(uint16_t port, std::shared_ptr<RingHost> ring,
+                uint32_t fixed_len = 0);
+  bool BindPortCustom(uint16_t port, std::shared_ptr<RingHost> ring, Addr ctx,
+                      BlockId synth_deliver, BlockId generic_deliver,
+                      std::function<void()> deliver_hook);
+  bool SwapPortDeliver(uint16_t port, BlockId synth_deliver);
+  bool UnbindPort(uint16_t port);
+  bool HasFlow(uint16_t port) const;
+
+  // Frames enter and leave through the owning NIC, so loopback delivery always
+  // lands where the flow is bound.
+  bool Transmit(uint16_t dst_port, uint16_t src_port, const uint8_t* payload,
+                uint32_t n);
+  void InjectRaw(uint32_t dst_port, uint32_t src_port, const uint8_t* payload,
+                 uint32_t n, uint32_t checksum, uint32_t length_field);
+  WaitQueue& tx_waiters(uint16_t dst_port) {
+    return nic(SteerOf(dst_port)).tx_waiters();
+  }
+
+  // --- Aggregation for the fine-grain scheduler ------------------------------
+  // One pool-wide RX gauge every member NIC counts into.
+  Gauge& rx_gauge() { return rx_gauge_; }
+
+  struct AggregateStats {
+    uint64_t delivered = 0;
+    uint64_t tx_completed = 0;
+    uint64_t rx_overruns = 0;
+    uint64_t csum_rejects = 0;
+    uint64_t malformed = 0;
+    uint64_t ring_drops = 0;
+    uint64_t wire_drops = 0;
+  };
+  AggregateStats Aggregate();
+
+ private:
+  // Everything needed to rebind a flow on a different NIC when the hash moves.
+  struct Binding {
+    std::shared_ptr<RingHost> ring;
+    Addr ctx = 0;
+    uint32_t fixed_len = 0;
+    BlockId synth_deliver = kInvalidBlock;
+    BlockId generic_deliver = kInvalidBlock;
+    std::function<void()> hook;
+    bool custom = false;
+    uint32_t owner = 0;  // NIC index the flow is currently bound on
+  };
+
+  void AppendNic();
+  void WriteDescriptor();   // N + inner-cell table, read by the generic loop
+  void EmitSteering();      // re-emits the specialized steering block
+  void EmitDispatch();      // re-emits the rx/tx payload-untag compare chains
+  void ApplySteering();     // points every NIC's outer cell at the active block
+  bool BindOn(uint32_t idx, uint16_t port, const Binding& b);
+
+  Kernel& kernel_;
+  NicPoolConfig config_;
+  std::vector<std::unique_ptr<NicDevice>> nics_;
+  std::vector<std::pair<uint16_t, Binding>> bindings_;
+
+  Addr desc_ = 0;  // [N][inner cell addr x kMaxNics]
+  BlockId steer_generic_ = kInvalidBlock;   // installed once
+  BlockId steer_synth_ = kInvalidBlock;     // re-emitted per geometry
+  uint32_t steer_gen_ = 0;
+
+  Addr rx_dispatch_cell_ = 0;
+  Addr tx_dispatch_cell_ = 0;
+  BlockId rx_dispatch_ = kInvalidBlock;
+  BlockId tx_dispatch_ = kInvalidBlock;
+
+  Gauge rx_gauge_;
+};
+
+}  // namespace synthesis
+
+#endif  // SRC_NET_NIC_POOL_H_

@@ -12,8 +12,8 @@ constexpr uint32_t kSocketRingBytes = 4096;
 }  // namespace
 
 DatagramSocketLayer::DatagramSocketLayer(Kernel& kernel, IoSystem& io,
-                                         NicDevice& nic)
-    : kernel_(kernel), io_(io), nic_(nic) {
+                                         NicPool& pool)
+    : kernel_(kernel), io_(io), pool_(pool) {
   scratch_ = kernel_.allocator().Allocate(FrameLayout::kMaxPayload + 16);
 }
 
@@ -31,17 +31,19 @@ SocketId DatagramSocketLayer::Socket() {
 
 bool DatagramSocketLayer::BindInternal(Sock& s, uint16_t port,
                                        uint32_t fixed_len) {
-  if (port == 0 || nic_.demux().HasFlow(port)) {
+  if (port == 0 || pool_.HasFlow(port)) {
     return false;
   }
   std::shared_ptr<RingHost> ring = io_.MakeRing(kSocketRingBytes);
   const std::string path = "/net/udp/" + std::to_string(port);
   io_.RegisterRingDevice(path, ring, nullptr);
   ChannelId ch = io_.Open(path);  // synthesizes the per-channel ring read
-  if (ch == kBadChannel || !nic_.BindPort(port, ring, fixed_len)) {
+  if (ch == kBadChannel || !pool_.BindPort(port, ring, fixed_len)) {
     if (ch != kBadChannel) {
       io_.Close(ch);
     }
+    io_.UnregisterRingDevice(path);
+    kernel_.allocator().Free(ring->base);
     return false;
   }
   s.port = port;
@@ -58,6 +60,22 @@ bool DatagramSocketLayer::Bind(SocketId sock, uint16_t port, uint32_t fixed_len)
   return BindInternal(*s, port, fixed_len);
 }
 
+// One wrapping pass over [kEphemeralBase, 65535]: past 65535 the search
+// continues at the base, never down into the well-known ports. Returns 0
+// when every candidate port already has a flow.
+uint16_t DatagramSocketLayer::AllocateEphemeral() {
+  const uint32_t span = 65536u - kEphemeralBase;
+  for (uint32_t i = 0; i < span; i++) {
+    uint16_t p = next_ephemeral_;
+    next_ephemeral_ =
+        next_ephemeral_ == 65535 ? kEphemeralBase : next_ephemeral_ + 1;
+    if (!pool_.HasFlow(p)) {
+      return p;
+    }
+  }
+  return 0;
+}
+
 int32_t DatagramSocketLayer::SendTo(SocketId sock, uint16_t dst_port, Addr buf,
                                     uint32_t n) {
   Sock* s = Get(sock);
@@ -66,10 +84,8 @@ int32_t DatagramSocketLayer::SendTo(SocketId sock, uint16_t dst_port, Addr buf,
   }
   if (s->port == 0) {
     // Auto-bind an ephemeral source port so replies have somewhere to land.
-    while (nic_.demux().HasFlow(next_ephemeral_)) {
-      next_ephemeral_++;
-    }
-    if (!BindInternal(*s, next_ephemeral_++, 0)) {
+    uint16_t p = AllocateEphemeral();
+    if (p == 0 || !BindInternal(*s, p, 0)) {
       return kIoError;
     }
   }
@@ -78,9 +94,9 @@ int32_t DatagramSocketLayer::SendTo(SocketId sock, uint16_t dst_port, Addr buf,
     kernel_.machine().memory().ReadBytes(buf, payload.data(), n);
     kernel_.machine().Charge(n / 2, n / 4, n / 4);  // user->driver copy
   }
-  if (!nic_.Transmit(dst_port, s->port, payload.data(), n)) {
+  if (!pool_.Transmit(dst_port, s->port, payload.data(), n)) {
     if (kernel_.current_thread() != kNoThread) {
-      kernel_.BlockCurrentOn(nic_.tx_waiters());
+      kernel_.BlockCurrentOn(pool_.tx_waiters(dst_port));
     }
     return kIoWouldBlock;
   }
@@ -125,8 +141,12 @@ bool DatagramSocketLayer::CloseSocket(SocketId sock) {
     return false;
   }
   if (s->port != 0) {
-    nic_.UnbindPort(s->port);
+    pool_.UnbindPort(s->port);
+    io_.UnregisterRingDevice("/net/udp/" + std::to_string(s->port));
     io_.Close(s->ch);
+    kernel_.UnblockAll(s->ring->readers);
+    kernel_.UnblockAll(s->ring->writers);
+    kernel_.allocator().Free(s->ring->base);
   }
   socks_.erase(sock);
   return true;

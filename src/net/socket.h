@@ -1,9 +1,10 @@
 // Datagram sockets over the synthesized network stack (§5, Table 2's UNIX
 // surface). A bound socket is a flow: binding allocates a byte ring, registers
 // it as a ring device in the I/O system (so open() synthesizes the per-channel
-// read code), and binds the port on the NIC (which re-synthesizes the demux).
-// Receive therefore runs: NIC RX interrupt -> specialized demux (delivery
-// record pushed into the ring) -> the channel's synthesized ring read.
+// read code), and binds the port on the NIC pool (whose steering hash picks
+// the owning device and re-synthesizes its demux). Receive therefore runs:
+// NIC RX interrupt -> steering -> specialized demux (delivery record pushed
+// into the ring) -> the channel's synthesized ring read.
 //
 // Records in the ring are [len.lo len.hi src.lo src.hi payload...]; delivery
 // is atomic with respect to threads because the demux runs at interrupt level.
@@ -15,7 +16,7 @@
 #include <memory>
 
 #include "src/io/io_system.h"
-#include "src/net/nic_device.h"
+#include "src/net/nic_pool.h"
 
 namespace synthesis {
 
@@ -24,7 +25,10 @@ inline constexpr SocketId kBadSocket = 0;
 
 class DatagramSocketLayer {
  public:
-  DatagramSocketLayer(Kernel& kernel, IoSystem& io, NicDevice& nic);
+  // Auto-bind draws from [kEphemeralBase, 65535], wrapping back to the base.
+  static constexpr uint16_t kEphemeralBase = 49152;
+
+  DatagramSocketLayer(Kernel& kernel, IoSystem& io, NicPool& pool);
 
   SocketId Socket();
   // Binds `port` and synthesizes the receive path. `fixed_len` > 0 declares a
@@ -58,13 +62,14 @@ class DatagramSocketLayer {
 
   Sock* Get(SocketId sock);
   bool BindInternal(Sock& s, uint16_t port, uint32_t fixed_len);
+  uint16_t AllocateEphemeral();
 
   Kernel& kernel_;
   IoSystem& io_;
-  NicDevice& nic_;
+  NicPool& pool_;
   std::map<SocketId, Sock> socks_;
   SocketId next_id_ = 1;
-  uint16_t next_ephemeral_ = 49152;
+  uint16_t next_ephemeral_ = kEphemeralBase;
   Addr scratch_ = 0;  // header/overflow staging for RecvFrom
 };
 

@@ -1,6 +1,7 @@
 #include "src/net/stream.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstring>
 
 #include "src/machine/assembler.h"
@@ -28,6 +29,14 @@ void OrEventA(Asm& a, uint32_t bit) {
   a.LoadA32(kD1, Asm::Sym("ev"));
   a.OrI(kD1, static_cast<int32_t>(bit));
   a.StoreA32(Asm::Sym("ev"), kD1);
+}
+
+// Timer deadlines are compared at integer-microsecond granularity: the
+// virtual clock is a double, and a float-epsilon compare makes coalesced
+// alarms at "the same" deadline fire or skip depending on accumulated
+// rounding. Rounding both sides to a tick makes the decision deterministic.
+uint64_t TimerTicks(double us) {
+  return static_cast<uint64_t>(std::llround(us));
 }
 
 // The GENERIC segment processor, shared by every connection: the layered
@@ -70,22 +79,28 @@ CodeTemplate GenericStreamTemplate() {
   a.AndI(kD1, StreamSeg::kFlagSyn | StreamSeg::kFlagFin | StreamSeg::kFlagRst);
   a.Tst(kD1);
   a.Bne("ctrl");
-  // Cumulative ack: advance snd_una when una < ack <= snd_nxt; count a
-  // duplicate only for a pure ack repeating una while data is outstanding.
+  // Cumulative ack: advance snd_una when una < ack <= snd_nxt in SERIAL
+  // arithmetic — the sign of the 32-bit difference — so the comparison
+  // survives sequence wraparound. Count a duplicate only for a pure ack
+  // repeating una while data is outstanding.
   a.Load32(kD4, kA1, FrameLayout::kPayload + StreamSeg::kAck);
   a.Load32(kD0, kA5, CcbLayout::kSndUna);
-  a.Cmp(kD4, kD0);
-  a.Bls("noadv");
+  a.Move(kD1, kD4);
+  a.Sub(kD1, kD0);
+  a.Tst(kD1);
+  a.Ble("noadv");  // (ack - una) <= 0 signed: no advance
   a.Load32(kD1, kA5, CcbLayout::kSndNxt);
-  a.Cmp(kD4, kD1);
-  a.Bhi("ackdone");  // acks data never sent: ignore
+  a.Move(kD7, kD4);
+  a.Sub(kD7, kD1);
+  a.Tst(kD7);
+  a.Bgt("ackdone");  // (ack - nxt) > 0 signed: acks data never sent, ignore
   a.Store32(kA5, kD4, CcbLayout::kSndUna);
   OrEvent(a, CcbLayout::kEvAckAdvance);
   a.MoveI(kD1, 0);
   a.Store32(kA5, kD1, CcbLayout::kDupAcks);
   a.Bra("ackdone");
   a.Label("noadv");
-  a.Bne("ackdone");  // ack < una: stale, nothing to record
+  a.Bne("ackdone");  // ack - una != 0: stale, nothing to record
   a.CmpI(kD5, StreamSeg::kHdrBytes);
   a.Bne("ackdone");  // carries data: not a duplicate ack
   a.Load32(kD1, kA5, CcbLayout::kSndNxt);
@@ -155,19 +170,31 @@ void Put32(std::vector<uint8_t>& v, size_t off, uint32_t x) {
 
 }  // namespace
 
-StreamLayer::StreamLayer(Kernel& kernel, IoSystem& io, NicDevice& nic)
-    : kernel_(kernel), io_(io), nic_(nic) {
+StreamLayer::StreamLayer(Kernel& kernel, IoSystem& io, NicPool& pool)
+    : kernel_(kernel), io_(io), pool_(pool) {
   timer_vec_ = kernel_.RegisterHostTrap([this](Machine& m) {
     OnTimer(static_cast<ConnId>(m.reg(kD1)));
     return TrapAction::kContinue;
   });
-  // The generic processor is installed verbatim: it IS the layered baseline.
+}
+
+BlockId StreamLayer::GenericProcFor(uint32_t nic_idx) {
+  auto it = proc_gen_.find(nic_idx);
+  if (it != proc_gen_.end()) {
+    return it->second;
+  }
+  // Installed verbatim: it IS the layered baseline. One copy per NIC, bound
+  // to that device's demux helpers (its ring put and malformed counter).
+  DemuxSynthesizer& dmx = pool_.nic(nic_idx).demux();
   Bindings b;
-  b.Set("put1", static_cast<int32_t>(nic_.demux().put1_block()));
-  b.Set("ctr_mal", static_cast<int32_t>(nic_.demux().ctr_malformed_addr()));
+  b.Set("put1", static_cast<int32_t>(dmx.put1_block()));
+  b.Set("ctr_mal", static_cast<int32_t>(dmx.ctr_malformed_addr()));
   SynthesisOptions verbatim = SynthesisOptions::Disabled();
-  proc_gen_ = kernel_.SynthesizeInstall(GenericStreamTemplate(), b, nullptr,
-                                        "net_stream_gen", nullptr, &verbatim);
+  const std::string name = "net_stream_gen#" + std::to_string(nic_idx);
+  BlockId blk = kernel_.SynthesizeInstall(GenericStreamTemplate(), b, nullptr,
+                                          name, nullptr, &verbatim);
+  proc_gen_.emplace(nic_idx, blk);
+  return blk;
 }
 
 // The SYNTHESIZED per-connection segment processor. Called from the demux's
@@ -234,20 +261,25 @@ BlockId StreamLayer::BuildSynthDeliver(const Conn& c) {
            StreamSeg::kFlagSyn | StreamSeg::kFlagFin | StreamSeg::kFlagRst);
     a.Tst(kD1);
     a.Bne("ctrl");
+    // Serial-arithmetic cumulative ack — mirrors the generic processor.
     a.Load32(kD4, kA1, FrameLayout::kPayload + StreamSeg::kAck);
     a.LoadA32(kD0, Asm::Sym("una"));
-    a.Cmp(kD4, kD0);
-    a.Bls("noadv");
+    a.Move(kD1, kD4);
+    a.Sub(kD1, kD0);
+    a.Tst(kD1);
+    a.Ble("noadv");  // (ack - una) <= 0 signed: no advance
     a.LoadA32(kD1, Asm::Sym("nxt"));
-    a.Cmp(kD4, kD1);
-    a.Bhi("ackdone");
+    a.Move(kD7, kD4);
+    a.Sub(kD7, kD1);
+    a.Tst(kD7);
+    a.Bgt("ackdone");  // (ack - nxt) > 0 signed: acks data never sent
     a.StoreA32(Asm::Sym("una"), kD4);
     OrEventA(a, CcbLayout::kEvAckAdvance);
     a.MoveI(kD1, 0);
     a.StoreA32(Asm::Sym("dup"), kD1);
     a.Bra("ackdone");
     a.Label("noadv");
-    a.Bne("ackdone");
+    a.Bne("ackdone");  // ack - una != 0: stale
     a.CmpI(kD5, StreamSeg::kHdrBytes);
     a.Bne("ackdone");
     a.LoadA32(kD1, Asm::Sym("nxt"));
@@ -314,11 +346,16 @@ BlockId StreamLayer::BuildSynthDeliver(const Conn& c) {
     a.Rts();
   }
 
+  // Bind against the demux that will actually see this port's frames — the
+  // pool steers by local-port hash, so this is the owning NIC's. (If the pool
+  // later grows and migrates the flow, these blocks and counter words stay
+  // installed and valid; the steering stage is what moves.)
+  DemuxSynthesizer& dmx = pool_.demux_of(c.local_port);
   Bindings b;
   b.Set("port", c.local_port);
-  b.Set("csum", static_cast<int32_t>(nic_.demux().csum_block()));
-  b.Set("ctr_mal", static_cast<int32_t>(nic_.demux().ctr_malformed_addr()));
-  b.Set("ctr_csum", static_cast<int32_t>(nic_.demux().ctr_csum_addr()));
+  b.Set("csum", static_cast<int32_t>(dmx.csum_block()));
+  b.Set("ctr_mal", static_cast<int32_t>(dmx.ctr_malformed_addr()));
+  b.Set("ctr_csum", static_cast<int32_t>(dmx.ctr_csum_addr()));
   b.Set("lastf", static_cast<int32_t>(c.ccb + CcbLayout::kLastFrame));
   b.Set("ev", static_cast<int32_t>(c.ccb + CcbLayout::kEvents));
   if (established) {
@@ -342,9 +379,11 @@ BlockId StreamLayer::BuildSynthDeliver(const Conn& c) {
 }
 
 void StreamLayer::Resynthesize(Conn& c) {
+  BlockId old = c.synth_deliver;
   c.synth_gen++;
   c.synth_deliver = BuildSynthDeliver(c);
-  nic_.SwapPortDeliver(c.local_port, c.synth_deliver);
+  pool_.SwapPortDeliver(c.local_port, c.synth_deliver);
+  kernel_.RetireBlock(old);  // the demux chain was just rebuilt without it
 }
 
 StreamLayer::Conn* StreamLayer::Get(ConnId id) {
@@ -364,7 +403,8 @@ void StreamLayer::SetState(Conn& c, uint32_t state) {
 
 ConnId StreamLayer::NewConn(uint16_t local_port, uint16_t peer_port,
                             uint32_t state, const StreamConfig& cfg) {
-  if (local_port == 0 || nic_.demux().HasFlow(local_port)) {
+  if (local_port == 0 || pool_.HasFlow(local_port) ||
+      ports_in_use_.count(local_port) != 0) {
     return kBadConn;
   }
   ConnId id = next_id_++;
@@ -378,6 +418,10 @@ ConnId StreamLayer::NewConn(uint16_t local_port, uint16_t peer_port,
     mem.Write32(c.ccb + off, 0);
   }
   mem.Write32(c.ccb + CcbLayout::kPeer, peer_port);
+  c.iss = cfg.initial_seq;
+  c.snd_nxt = c.iss;
+  mem.Write32(c.ccb + CcbLayout::kSndUna, c.iss);
+  mem.Write32(c.ccb + CcbLayout::kSndNxt, c.iss);
   c.ring = io_.MakeRing(cfg.ring_bytes);
   c.path = "/net/tcp/" + std::to_string(local_port);
   io_.RegisterRingDevice(c.path, c.ring, nullptr);
@@ -397,15 +441,21 @@ ConnId StreamLayer::NewConn(uint16_t local_port, uint16_t peer_port,
   SynthesisOptions verbatim = SynthesisOptions::Disabled();
   c.alarm_stub = kernel_.SynthesizeInstall(st.Build(), Bindings(), nullptr,
                                            stub_name, nullptr, &verbatim);
+  BlockId generic = GenericProcFor(pool_.SteerOf(local_port));
   auto it = conns_.emplace(id, std::move(c)).first;
   Conn& ref = it->second;
-  if (!nic_.BindPortCustom(local_port, ref.ring, ref.ccb, ref.synth_deliver,
-                           proc_gen_, [this, id] { OnDeliver(id); })) {
+  if (!pool_.BindPortCustom(local_port, ref.ring, ref.ccb, ref.synth_deliver,
+                            generic, [this, id] { OnDeliver(id); })) {
     io_.UnregisterRingDevice(ref.path);
     io_.Close(ref.ch);
+    kernel_.RetireBlock(ref.synth_deliver);
+    kernel_.RetireBlock(ref.alarm_stub);
+    kernel_.allocator().Free(ref.ring->base);
+    kernel_.allocator().Free(ref.ccb);
     conns_.erase(it);
     return kBadConn;
   }
+  ports_in_use_.insert(local_port);
   return id;
 }
 
@@ -413,11 +463,36 @@ ConnId StreamLayer::Listen(uint16_t port, StreamConfig cfg) {
   return NewConn(port, 0, CcbLayout::kListen, cfg);
 }
 
-ConnId StreamLayer::Connect(uint16_t dst_port, StreamConfig cfg) {
-  while (nic_.demux().HasFlow(next_ephemeral_)) {
-    next_ephemeral_++;
+// One pass over the ephemeral range [kEphemeralBase, 65535], wrapping past
+// 65535 back to the base (never into the well-known ports below), skipping
+// anything with a live demux flow (listeners, datagram sockets, established
+// connections) or a stream connection still holding the port (in-handshake
+// or draining). Returns 0 when every candidate is taken.
+uint16_t StreamLayer::AllocateEphemeral() {
+  const uint32_t span = static_cast<uint32_t>(eph_hi_) - eph_base_ + 1;
+  for (uint32_t i = 0; i < span; i++) {
+    uint16_t p = next_ephemeral_;
+    next_ephemeral_ = next_ephemeral_ == eph_hi_ ? eph_base_
+                                                 : next_ephemeral_ + 1;
+    if (!pool_.HasFlow(p) && ports_in_use_.count(p) == 0) {
+      return p;
+    }
   }
-  ConnId id = NewConn(next_ephemeral_++, dst_port, CcbLayout::kSynSent, cfg);
+  return 0;
+}
+
+void StreamLayer::set_ephemeral_range_for_test(uint16_t lo, uint16_t hi) {
+  eph_base_ = lo;
+  eph_hi_ = hi;
+  next_ephemeral_ = lo;
+}
+
+ConnId StreamLayer::Connect(uint16_t dst_port, StreamConfig cfg) {
+  uint16_t local = AllocateEphemeral();
+  if (local == 0) {
+    return kBadConn;  // ephemeral range exhausted
+  }
+  ConnId id = NewConn(local, dst_port, CcbLayout::kSynSent, cfg);
   if (id == kBadConn) {
     return kBadConn;
   }
@@ -445,8 +520,8 @@ void StreamLayer::TransmitSeg(Conn& c, const Seg& seg) {
   }
   // A full TX queue just loses the segment; the retransmit timer covers it
   // like any other wire loss.
-  nic_.Transmit(c.peer_port, c.local_port, p.data(),
-                static_cast<uint32_t>(p.size()));
+  pool_.Transmit(c.peer_port, c.local_port, p.data(),
+                 static_cast<uint32_t>(p.size()));
 }
 
 void StreamLayer::SendAck(Conn& c) {
@@ -490,17 +565,40 @@ void StreamLayer::PushWindow(Conn& c) {
 }
 
 void StreamLayer::ArmTimer(Conn& c) {
-  c.timer_deadline = kernel_.NowUs() + c.rto_us;
+  c.timer_deadline_ticks = TimerTicks(kernel_.NowUs() + c.rto_us);
   c.timer_armed = true;
+  c.alarms_pending++;  // every raised alarm dispatches exactly once
   kernel_.SetAlarm(c.rto_us, c.alarm_stub);
+}
+
+void StreamLayer::ArmTimerForTest(ConnId conn) {
+  Conn* c = Get(conn);
+  if (c != nullptr && !c->reclaimed) {
+    ArmTimer(*c);
+  }
 }
 
 void StreamLayer::OnTimer(ConnId id) {
   Conn* c = Get(id);
-  if (c == nullptr || !c->timer_armed) {
+  if (c == nullptr) {
     return;
   }
-  if (kernel_.NowUs() + 1e-6 < c->timer_deadline) {
+  if (c->alarms_pending > 0) {
+    c->alarms_pending--;
+  }
+  if (c->reclaimed) {
+    // The stub outlives the connection until its last in-flight alarm lands;
+    // this was it.
+    if (c->alarms_pending == 0 && c->alarm_stub != kInvalidBlock) {
+      kernel_.RetireBlock(c->alarm_stub);
+      c->alarm_stub = kInvalidBlock;
+    }
+    return;
+  }
+  if (!c->timer_armed) {
+    return;
+  }
+  if (TimerTicks(kernel_.NowUs()) < c->timer_deadline_ticks) {
     return;  // superseded by a later re-arm; the fresh alarm is still pending
   }
   c->timer_armed = false;
@@ -537,7 +635,7 @@ void StreamLayer::OnTimer(ConnId id) {
 
 void StreamLayer::OnDeliver(ConnId id) {
   Conn* c = Get(id);
-  if (c == nullptr) {
+  if (c == nullptr || c->reclaimed) {
     return;
   }
   Memory& mem = kernel_.machine().memory();
@@ -546,13 +644,13 @@ void StreamLayer::OnDeliver(ConnId id) {
   if (ev & CcbLayout::kEvCtrl) {
     HandleCtrl(*c);
     c = Get(id);  // HandleCtrl may fail/erase state; re-validate
-    if (c == nullptr || c->state == CcbLayout::kFailed) {
+    if (c == nullptr || c->state == CcbLayout::kFailed || c->reclaimed) {
       return;
     }
   }
   if (ev & CcbLayout::kEvAckAdvance) {
     HandleAckAdvance(*c);
-    if (c->state == CcbLayout::kFailed) {
+    if (c->state == CcbLayout::kFailed || c->reclaimed) {
       return;
     }
   }
@@ -624,7 +722,7 @@ void StreamLayer::HandleCtrl(Conn& c) {
       return;
     case CcbLayout::kSynSent:
       if ((flags & StreamSeg::kFlagSyn) && src == c.peer_port) {
-        if ((flags & StreamSeg::kFlagAck) && ack >= 1) {
+        if ((flags & StreamSeg::kFlagAck) && SeqGt(ack, c.iss)) {
           mem.Write32(c.ccb + CcbLayout::kSndUna, ack);
           if (!c.unacked.empty() &&
               (c.unacked.front().flags & StreamSeg::kFlagSyn)) {
@@ -665,10 +763,10 @@ void StreamLayer::HandleCtrl(Conn& c) {
   if (flags & StreamSeg::kFlagFin) {
     // Piggybacked cumulative ack first (the fast path skipped this segment).
     uint32_t una = mem.Read32(c.ccb + CcbLayout::kSndUna);
-    if (ack > una && ack <= c.snd_nxt) {
+    if (SeqGt(ack, una) && SeqLeq(ack, c.snd_nxt)) {
       mem.Write32(c.ccb + CcbLayout::kSndUna, ack);
       HandleAckAdvance(c);
-      if (c.state == CcbLayout::kFailed) {
+      if (c.state == CcbLayout::kFailed || c.reclaimed) {
         return;
       }
     }
@@ -689,7 +787,7 @@ void StreamLayer::HandleAckAdvance(Conn& c) {
   bool advanced = false;
   while (!c.unacked.empty()) {
     const Seg& front = c.unacked.front();
-    if (front.seq + front.Span() <= una) {
+    if (SeqLeq(front.seq + front.Span(), una)) {
       c.unacked.pop_front();
       advanced = true;
     } else {
@@ -724,26 +822,77 @@ void StreamLayer::MaybeFinish(Conn& c) {
 void StreamLayer::Finish(Conn& c) {
   SetState(c, CcbLayout::kDone);
   c.timer_armed = false;
-  // The port stays bound so a peer retransmitting its FIN still gets acked.
   kernel_.UnblockAll(c.senders);
   kernel_.UnblockAll(c.ring->readers);
+  // The port stays bound (so a peer retransmitting its FIN still gets acked)
+  // until the receive ring is drained; then everything is reclaimed.
+  MaybeReclaim(c);
 }
 
 // Graceful failure: the error is surfaced through Send/Recv, the gauge
-// records it, the port and device namespace entries are reclaimed, and every
-// parked thread is released — no wedged rings.
+// records it, and every parked thread is released — no wedged rings. The
+// connection's kernel resources are reclaimed on the spot.
 void StreamLayer::Fail(Conn& c) {
   SetState(c, CcbLayout::kFailed);
   c.timer_armed = false;
   failed_gauge_.Count();
-  nic_.UnbindPort(c.local_port);
-  io_.UnregisterRingDevice(c.path);
-  io_.Close(c.ch);
   c.pending.clear();
   c.unacked.clear();
   kernel_.UnblockAll(c.senders);
+  ReclaimConn(c);
+}
+
+void StreamLayer::MaybeReclaim(Conn& c) {
+  if (c.reclaimed || c.state != CcbLayout::kDone || !c.fin_queued) {
+    return;
+  }
+  if (c.ring && io_.RingAvail(*c.ring) != 0) {
+    return;  // undrained data: the ring (and flow, for FIN re-acks) stay
+  }
+  ReclaimConn(c);
+}
+
+// Returns every kernel resource a connection synthesis created: the flow, the
+// device namespace entry and channel, the segment processor, the alarm stub
+// (unless an alarm is still in flight — the stub's code-store slot must stay
+// its own until the last raised alarm has dispatched), the CCB and the ring.
+// Block frees go through the kernel's deferred retire queue so code that may
+// still be on an executor's path is never freed mid-run. The host record
+// survives with a stats snapshot for post-mortem queries.
+void StreamLayer::ReclaimConn(Conn& c) {
+  if (c.reclaimed) {
+    return;
+  }
+  Memory& mem = kernel_.machine().memory();
+  c.final_stats.retransmits = c.retransmits;
+  c.final_stats.timeouts = c.timeouts;
+  c.final_stats.fast_retransmits = c.fast_retransmits;
+  c.final_stats.dup_acks = mem.Read32(c.ccb + CcbLayout::kDupAcks);
+  c.final_stats.out_of_order = mem.Read32(c.ccb + CcbLayout::kOoo);
+  c.final_stats.accepted_segments = mem.Read32(c.ccb + CcbLayout::kAccepted);
+  c.final_stats.rto_us = c.rto_us;
+  c.final_stats.cwnd = c.cwnd;
+  c.final_stats.state = c.state;
+  c.final_stats.rcv_nxt = mem.Read32(c.ccb + CcbLayout::kRcvNxt);
+  c.reclaimed = true;
+
+  pool_.UnbindPort(c.local_port);
+  ports_in_use_.erase(c.local_port);
+  io_.UnregisterRingDevice(c.path);
+  io_.Close(c.ch);
+  c.ch = kBadChannel;
+  kernel_.RetireBlock(c.synth_deliver);
+  c.synth_deliver = kInvalidBlock;
+  if (c.alarms_pending == 0) {
+    kernel_.RetireBlock(c.alarm_stub);
+    c.alarm_stub = kInvalidBlock;
+  }
   kernel_.UnblockAll(c.ring->readers);
   kernel_.UnblockAll(c.ring->writers);
+  kernel_.allocator().Free(c.ring->base);
+  c.ring.reset();
+  kernel_.allocator().Free(c.ccb);
+  c.ccb = 0;
 }
 
 int32_t StreamLayer::Send(ConnId conn, Addr buf, uint32_t n) {
@@ -776,19 +925,30 @@ int32_t StreamLayer::Recv(ConnId conn, Addr buf, uint32_t cap) {
   if (c == nullptr || c->state == CcbLayout::kFailed) {
     return kIoError;
   }
+  if (c->reclaimed) {
+    return 0;  // kDone, drained, resources gone: end of stream
+  }
   if (io_.RingAvail(*c->ring) == 0 &&
       (c->fin_received || c->state == CcbLayout::kDone)) {
+    MaybeReclaim(*c);
     return 0;  // end of stream
   }
   // The synthesized channel read: returns what is available, parks on the
   // ring's reader queue when nothing is.
-  return io_.Read(c->ch, buf, cap);
+  int32_t got = io_.Read(c->ch, buf, cap);
+  if (got > 0 && io_.RingAvail(*c->ring) == 0) {
+    MaybeReclaim(*c);  // the reader just drained a finished connection
+  }
+  return got;
 }
 
 bool StreamLayer::Close(ConnId conn) {
   Conn* c = Get(conn);
-  if (c == nullptr || c->state == CcbLayout::kFailed ||
-      c->state == CcbLayout::kDone) {
+  if (c == nullptr || c->state == CcbLayout::kFailed) {
+    return false;
+  }
+  if (c->state == CcbLayout::kDone) {
+    MaybeReclaim(*c);
     return false;
   }
   if (c->fin_queued) {
@@ -805,6 +965,9 @@ StreamStats StreamLayer::Stats(ConnId conn) const {
   if (c == nullptr) {
     return s;
   }
+  if (c->reclaimed) {
+    return c->final_stats;
+  }
   Memory& mem = kernel_.machine().memory();
   s.retransmits = c->retransmits;
   s.timeouts = c->timeouts;
@@ -815,6 +978,7 @@ StreamStats StreamLayer::Stats(ConnId conn) const {
   s.rto_us = c->rto_us;
   s.cwnd = c->cwnd;
   s.state = c->state;
+  s.rcv_nxt = mem.Read32(c->ccb + CcbLayout::kRcvNxt);
   return s;
 }
 

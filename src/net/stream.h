@@ -20,6 +20,11 @@
 //    Invariants). Sequence/ack processing, duplicate-ack and out-of-order
 //    accounting all run at interrupt level in synthesized code.
 //
+// Connections live on a NicPool: the pool's steering stage hashes the local
+// port to the owning NIC, so the flow (and its processors) bind on that
+// device's demux. The processors themselves are NIC-agnostic — CCB-absolute
+// addresses care nothing for which descriptor ring the frame arrived in.
+//
 // Reliability is split across the boundary: the in-kernel processors advance
 // snd_una/rcv_nxt and record events; the host half (this class) runs from the
 // RX-done trap and the alarm interrupt — sliding send window, cumulative-ack
@@ -30,10 +35,16 @@
 // surfaces through Send/Recv, gauges record it, the port is unbound and all
 // parked threads are released — no wedged rings.
 //
+// Teardown reclaims everything synthesis created: the segment processor and
+// alarm stub go back to the code store (deferred until no executor can touch
+// them; the stub waits out any alarm already in flight), the CCB and ring
+// return to the allocator, and the host record keeps only a stats snapshot.
+//
 // Segment format, inside a datagram frame's payload:
 //   [seq u32][ack u32][flags u32][data...]
-// SYN and FIN each occupy one sequence number; both sides start at seq 0, so
-// the first data byte is seq 1.
+// SYN and FIN each occupy one sequence number. Both sides number from
+// StreamConfig::initial_seq (default 0), and all sequence/ack comparisons use
+// serial-number arithmetic, so a stream crosses the 2^32 wrap transparently.
 #ifndef SRC_NET_STREAM_H_
 #define SRC_NET_STREAM_H_
 
@@ -41,17 +52,33 @@
 #include <deque>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
 #include "src/io/gauge.h"
 #include "src/io/io_system.h"
-#include "src/net/nic_device.h"
+#include "src/net/nic_pool.h"
 
 namespace synthesis {
 
 using ConnId = uint32_t;
 inline constexpr ConnId kBadConn = 0;
+
+// Serial-number comparisons (sequence space is a 2^32 ring): "a after b" is
+// the sign of the 32-bit difference, valid while the two stay within 2^31.
+inline bool SeqGt(uint32_t a, uint32_t b) {
+  return static_cast<int32_t>(a - b) > 0;
+}
+inline bool SeqGeq(uint32_t a, uint32_t b) {
+  return static_cast<int32_t>(a - b) >= 0;
+}
+inline bool SeqLt(uint32_t a, uint32_t b) {
+  return static_cast<int32_t>(a - b) < 0;
+}
+inline bool SeqLeq(uint32_t a, uint32_t b) {
+  return static_cast<int32_t>(a - b) <= 0;
+}
 
 // Segment header layout, relative to the frame payload base.
 struct StreamSeg {
@@ -110,6 +137,7 @@ struct StreamConfig {
   double rto_cap_us = 64000.0;   // backoff ceiling
   uint32_t max_retries = 8;      // per-segment; exceeded => connection fails
   uint32_t ring_bytes = 4096;    // receive ring capacity (power of two)
+  uint32_t initial_seq = 0;      // first sequence number this side assigns
 };
 
 // Per-connection robustness counters: host events plus the CCB counters the
@@ -124,17 +152,23 @@ struct StreamStats {
   double rto_us = 0;
   uint32_t cwnd = 0;
   uint32_t state = CcbLayout::kClosed;
+  uint32_t rcv_nxt = 0;  // survives reclamation (the CCB itself does not)
 };
 
 class StreamLayer {
  public:
-  StreamLayer(Kernel& kernel, IoSystem& io, NicDevice& nic);
+  // The ephemeral range Connect() draws from: [kEphemeralBase, 65535],
+  // wrapping back to the base, skipping bound flows and live connections.
+  static constexpr uint16_t kEphemeralBase = 40000;
+
+  StreamLayer(Kernel& kernel, IoSystem& io, NicPool& pool);
 
   // Opens a passive connection on `port` (one peer; the first SYN wins).
   ConnId Listen(uint16_t port, StreamConfig cfg = StreamConfig());
   // Opens an active connection to `dst_port` from an ephemeral local port and
   // sends the SYN. Establishment completes asynchronously; Send/Recv work
-  // immediately (data flows once the handshake lands).
+  // immediately (data flows once the handshake lands). Returns kBadConn when
+  // the ephemeral range is exhausted.
   ConnId Connect(uint16_t dst_port, StreamConfig cfg = StreamConfig());
 
   // Queues up to `n` bytes at `buf` (simulated memory) for transmission.
@@ -146,7 +180,9 @@ class StreamLayer {
   // the current thread parked when no data is queued, or kIoError.
   int32_t Recv(ConnId conn, Addr buf, uint32_t cap);
   // Queues a FIN after all pending data; the connection reaches kDone once
-  // both directions have closed and every segment is acknowledged.
+  // both directions have closed and every segment is acknowledged, at which
+  // point its kernel resources (processors, alarm stub, CCB, ring) are
+  // reclaimed.
   bool Close(ConnId conn);
 
   StreamStats Stats(ConnId conn) const;
@@ -155,10 +191,13 @@ class StreamLayer {
   Addr CcbOf(ConnId conn) const;
   std::shared_ptr<RingHost> RingOf(ConnId conn) const;
   ChannelId ChannelOf(ConnId conn) const;
-  // The current synthesized segment processor (re-emitted at establishment).
+  // The current synthesized segment processor (re-emitted at establishment;
+  // kInvalidBlock once the connection is reclaimed).
   BlockId SynthDeliverOf(ConnId conn) const;
-  // The shared interpreted segment processor (the baseline the benches run).
-  BlockId generic_processor() const { return proc_gen_; }
+  // The shared interpreted segment processor (the baseline the benches run),
+  // bound to the given NIC's demux helpers. Installed lazily, once per NIC.
+  BlockId GenericProcFor(uint32_t nic_idx);
+  BlockId generic_processor() { return GenericProcFor(0); }
 
   // Aggregate robustness gauges across all connections.
   Gauge& retransmit_gauge() { return retransmit_gauge_; }
@@ -166,6 +205,17 @@ class StreamLayer {
   Gauge& dup_ack_gauge() { return dup_ack_gauge_; }
   Gauge& ooo_gauge() { return ooo_gauge_; }
   Gauge& failed_gauge() { return failed_gauge_; }
+
+  // Test hooks: steer the ephemeral allocator to a specific starting point
+  // (still clamped into the ephemeral range) and arm a connection's timer as
+  // if a segment had just been sent.
+  void set_next_ephemeral(uint16_t p) {
+    next_ephemeral_ = p < eph_base_ ? eph_base_ : p;
+  }
+  void ArmTimerForTest(ConnId conn);
+  // Narrows the ephemeral range (inclusive bounds) so exhaustion is reachable
+  // without tens of thousands of connections.
+  void set_ephemeral_range_for_test(uint16_t lo, uint16_t hi);
 
  private:
   // One in-flight segment: its assigned sequence number, payload, and flags.
@@ -193,6 +243,7 @@ class StreamLayer {
     BlockId alarm_stub = kInvalidBlock;
     uint32_t synth_gen = 0;  // uniquifies re-synthesized processor names
 
+    uint32_t iss = 0;              // initial send sequence number
     uint32_t snd_nxt = 0;          // next sequence number to assign
     std::deque<Seg> unacked;       // in flight, oldest first
     std::deque<uint8_t> pending;   // accepted by Send, not yet segmented
@@ -203,9 +254,13 @@ class StreamLayer {
     uint32_t cwnd = 0;
     double rto_us = 0;
     uint32_t retries = 0;          // consecutive timeouts on the front segment
-    double timer_deadline = 0;
+    uint64_t timer_deadline_ticks = 0;  // integer microseconds (see ArmTimer)
     bool timer_armed = false;
+    uint32_t alarms_pending = 0;   // alarms raised, not yet dispatched
     uint32_t dup_base = 0;         // dup-ack count at the last fast retransmit
+
+    bool reclaimed = false;        // kernel resources returned; record is a
+    StreamStats final_stats;       // post-mortem snapshot only
 
     WaitQueue senders;
     uint64_t retransmits = 0;
@@ -220,6 +275,7 @@ class StreamLayer {
   void SetState(Conn& c, uint32_t state);
   BlockId BuildSynthDeliver(const Conn& c);
   void Resynthesize(Conn& c);
+  uint16_t AllocateEphemeral();
 
   void TransmitSeg(Conn& c, const Seg& seg);
   void SendAck(Conn& c);
@@ -233,15 +289,20 @@ class StreamLayer {
   void Fail(Conn& c);
   void Finish(Conn& c);
   void MaybeFinish(Conn& c);
+  void ReclaimConn(Conn& c);
+  void MaybeReclaim(Conn& c);
 
   Kernel& kernel_;
   IoSystem& io_;
-  NicDevice& nic_;
-  BlockId proc_gen_ = kInvalidBlock;  // shared generic segment processor
+  NicPool& pool_;
+  std::map<uint32_t, BlockId> proc_gen_;  // generic processor, per NIC index
   int timer_vec_ = 0;
   std::map<ConnId, Conn> conns_;
+  std::set<uint16_t> ports_in_use_;  // local ports of unreclaimed connections
   ConnId next_id_ = 1;
-  uint16_t next_ephemeral_ = 40000;
+  uint16_t eph_base_ = kEphemeralBase;
+  uint16_t eph_hi_ = 65535;
+  uint16_t next_ephemeral_ = kEphemeralBase;
 
   Gauge retransmit_gauge_;
   Gauge timeout_gauge_;

@@ -13,16 +13,28 @@
 #include "src/io/io_system.h"
 #include "src/kernel/kernel.h"
 #include "src/net/nic_device.h"
+#include "src/net/nic_pool.h"
 #include "src/net/socket.h"
 #include "src/unix/emulator.h"
 
 namespace synthesis {
 namespace {
 
+// Device-level tests run against a single-member pool: `nic_` is the pool's
+// one device, so per-device surfaces (demux, gauges, faults) stay reachable
+// while delivery runs the pooled interrupt path (dispatch shim + steering).
 class NetTest : public ::testing::Test {
  protected:
   NetTest() : NetTest(NicConfig()) {}
-  explicit NetTest(NicConfig cfg) : io_(k_, nullptr), nic_(k_, cfg) {}
+  explicit NetTest(NicConfig cfg)
+      : io_(k_, nullptr), pool_(k_, PoolConfig(cfg)), nic_(pool_.nic(0)) {}
+
+  static NicPoolConfig PoolConfig(NicConfig cfg) {
+    NicPoolConfig pc;
+    pc.initial_nics = 1;
+    pc.nic = cfg;
+    return pc;
+  }
 
   std::shared_ptr<RingHost> BindRing(uint16_t port, uint32_t fixed_len = 0,
                                      uint32_t capacity = 1024) {
@@ -60,7 +72,8 @@ class NetTest : public ::testing::Test {
 
   Kernel k_;
   IoSystem io_;
-  NicDevice nic_;
+  NicPool pool_;
+  NicDevice& nic_;
 };
 
 TEST_F(NetTest, TransmitLoopsBackThroughInterruptsToTheFlowRing) {
@@ -242,7 +255,7 @@ TEST_F(NetTest, DemuxCellSwapsImplementationWithoutRebinding) {
 
 class SocketTest : public NetTest {
  protected:
-  SocketTest() : net_(k_, io_, nic_) {}
+  SocketTest() : net_(k_, io_, pool_) {}
   DatagramSocketLayer net_;
 };
 
@@ -354,6 +367,10 @@ class ReorderNetTest : public NetTest {
     NicConfig cfg;
     cfg.reorder_rate = 0.35;
     cfg.fault_seed = 7;
+    // A held frame is only overtaken by frames entering the wire within
+    // 2 * wire_latency_us of it; keep that window far above per-interrupt
+    // processing time so the test measures the wire model, not ISR length.
+    cfg.wire_latency_us = 200.0;
     return cfg;
   }
   ReorderNetTest() : NetTest(Reordering()) {}
@@ -532,7 +549,7 @@ class RetransmitClient : public UserProgram {
 };
 
 TEST_F(LossyNetTest, RetransmitWithBackoffDeliversEverythingDespiteFaults) {
-  DatagramSocketLayer net(k_, io_, nic_);
+  DatagramSocketLayer net(k_, io_, pool_);
   SocketId sock = net.Socket();
   ASSERT_TRUE(net.Bind(sock, 6000));
   std::set<int> received;

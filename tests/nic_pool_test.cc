@@ -1,0 +1,233 @@
+// NicPool tests: the host steering hash vs the emitted steering blocks
+// (generic loop and specialized shift+mask, power-of-two and not), flow
+// migration + steering re-synthesis when the pool grows, the tagged interrupt
+// dispatch, and a live stream connection surviving AddNic mid-transfer.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <iterator>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/io/io_system.h"
+#include "src/kernel/kernel.h"
+#include "src/machine/executor.h"
+#include "src/net/frame.h"
+#include "src/net/nic_device.h"
+#include "src/net/nic_pool.h"
+#include "src/net/stream.h"
+
+namespace synthesis {
+namespace {
+
+// Calls a steering (or demux) block directly with a1 = a well-formed frame
+// for `port`, returning d0 (1 delivered, -2 no match).
+uint32_t CallWithFrame(Kernel& k, BlockId blk, Addr frame, uint16_t port,
+                       const char* payload) {
+  uint32_t n = static_cast<uint32_t>(std::strlen(payload));
+  WriteFrame(k.machine().memory(), frame, port, 7,
+             reinterpret_cast<const uint8_t*>(payload), n);
+  k.machine().set_reg(kA1, frame);
+  RunResult rr = k.kexec().Call(blk);
+  EXPECT_EQ(rr.outcome, RunOutcome::kReturned);
+  return k.machine().reg(kD0);
+}
+
+TEST(NicPoolTest, EmittedSteeringAgreesWithHostHashAtEveryPoolSize) {
+  // 1, 2 and 4 take the power-of-two mask path; 3 takes the subtract loop.
+  for (uint32_t n : {1u, 2u, 3u, 4u}) {
+    Kernel k;
+    IoSystem io(k, nullptr);
+    NicPoolConfig pc;
+    pc.initial_nics = n;
+    NicPool pool(k, pc);
+    ASSERT_EQ(pool.size(), n);
+
+    const uint16_t kPorts[] = {7, 80, 443, 999, 40000, 65535};
+    std::vector<std::shared_ptr<RingHost>> rings;
+    for (uint16_t port : kPorts) {
+      auto ring = io.MakeRing(4096);
+      ASSERT_TRUE(pool.BindPort(port, ring)) << "n=" << n << " port=" << port;
+      rings.push_back(ring);
+    }
+    Addr frame = k.allocator().Allocate(FrameLayout::kSlotBytes);
+    for (size_t i = 0; i < std::size(kPorts); i++) {
+      const uint16_t port = kPorts[i];
+      const uint32_t owner = pool.SteerOf(port);
+      ASSERT_LT(owner, n);
+      uint64_t before = pool.nic(owner).demux().delivered_total();
+      // Both steering implementations must deliver through the owner's demux.
+      EXPECT_EQ(CallWithFrame(k, pool.generic_steering(), frame, port, "gen"),
+                1u)
+          << "n=" << n << " port=" << port;
+      EXPECT_EQ(
+          CallWithFrame(k, pool.synthesized_steering(), frame, port, "syn"),
+          1u)
+          << "n=" << n << " port=" << port;
+      EXPECT_EQ(pool.nic(owner).demux().delivered_total(), before + 2)
+          << "n=" << n << " port=" << port
+          << ": the frame must land on the NIC the host hash names";
+      EXPECT_EQ(io.RingAvail(*rings[i]), 2 * (4u + 3u))
+          << "two delivery records, one per steering implementation";
+    }
+    // An unbound port falls through every demux to the no-match verdict.
+    EXPECT_EQ(CallWithFrame(k, pool.generic_steering(), frame, 1234, "x"),
+              static_cast<uint32_t>(-2));
+    EXPECT_EQ(CallWithFrame(k, pool.synthesized_steering(), frame, 1234, "x"),
+              static_cast<uint32_t>(-2));
+  }
+}
+
+TEST(NicPoolTest, GrowReSynthesizesSteeringAndMigratesMovedFlows) {
+  Kernel k;
+  IoSystem io(k, nullptr);
+  NicPoolConfig pc;
+  pc.initial_nics = 1;
+  NicPool pool(k, pc);
+
+  // Ports chosen so the hash splits them across two NICs after the grow:
+  // 80 stays on NIC 0 (even hash), 81 moves to NIC 1 (odd hash).
+  auto ring_even = io.MakeRing(4096);
+  auto ring_odd = io.MakeRing(4096);
+  ASSERT_TRUE(pool.BindPort(80, ring_even));
+  ASSERT_TRUE(pool.BindPort(81, ring_odd));
+  ASSERT_EQ(pool.SteerOf(80), 0u);
+  ASSERT_EQ(pool.SteerOf(81), 0u);
+
+  const uint32_t gen_before = pool.steering_generation();
+  const BlockId steer_before = pool.synthesized_steering();
+  ASSERT_TRUE(pool.AddNic());
+  ASSERT_EQ(pool.size(), 2u);
+  EXPECT_GT(pool.steering_generation(), gen_before)
+      << "a geometry change must re-emit the specialized steering";
+  EXPECT_NE(pool.synthesized_steering(), steer_before);
+  EXPECT_EQ(pool.SteerOf(80), 0u);
+  EXPECT_EQ(pool.SteerOf(81), 1u);
+  EXPECT_TRUE(pool.nic(0).demux().HasFlow(80));
+  EXPECT_FALSE(pool.nic(1).demux().HasFlow(80));
+  EXPECT_TRUE(pool.nic(1).demux().HasFlow(81))
+      << "the moved flow rebinds on its new owner";
+  EXPECT_FALSE(pool.nic(0).demux().HasFlow(81));
+
+  // End to end through the tagged interrupt path: frames for both ports
+  // arrive in their rings, counted by the devices the hash names.
+  const uint8_t msg[] = {'h', 'i'};
+  ASSERT_TRUE(pool.Transmit(80, 9001, msg, 2));
+  ASSERT_TRUE(pool.Transmit(81, 9001, msg, 2));
+  k.Run();
+  EXPECT_EQ(io.RingAvail(*ring_even), 4u + 2u);
+  EXPECT_EQ(io.RingAvail(*ring_odd), 4u + 2u);
+  EXPECT_EQ(pool.nic(0).demux().delivered_total(), 1u);
+  EXPECT_EQ(pool.nic(1).demux().delivered_total(), 1u);
+  NicPool::AggregateStats agg = pool.Aggregate();
+  EXPECT_EQ(agg.delivered, 2u);
+  EXPECT_EQ(agg.tx_completed, 2u);
+  EXPECT_EQ(pool.rx_gauge().events(), 2u)
+      << "member NICs count into the shared pool gauge";
+
+  // Growing to a non-power-of-two keeps both implementations in agreement.
+  ASSERT_TRUE(pool.AddNic());
+  ASSERT_EQ(pool.size(), 3u);
+  Addr frame = k.allocator().Allocate(FrameLayout::kSlotBytes);
+  for (uint16_t port : {80, 81}) {
+    EXPECT_EQ(CallWithFrame(k, pool.generic_steering(), frame, port, "abc"),
+              1u);
+    EXPECT_EQ(CallWithFrame(k, pool.synthesized_steering(), frame, port, "abc"),
+              1u);
+  }
+}
+
+TEST(NicPoolTest, StreamConnectionSurvivesPoolGrowthMidTransfer) {
+  Kernel k;
+  IoSystem io(k, nullptr);
+  NicPoolConfig pc;
+  pc.initial_nics = 1;
+  NicPool pool(k, pc);
+  StreamLayer st(k, io, pool);
+  Memory& mem = k.machine().memory();
+
+  // Server on 81 (its flow migrates to NIC 1 when the pool grows); the
+  // client's ephemeral 40000 hashes even and stays on NIC 0.
+  ConnId srv = st.Listen(81);
+  ConnId cli = st.Connect(81);
+  ASSERT_NE(srv, kBadConn);
+  ASSERT_NE(cli, kBadConn);
+  k.Run();
+  ASSERT_EQ(st.StateOf(cli), CcbLayout::kEstablished);
+  ASSERT_EQ(st.StateOf(srv), CcbLayout::kEstablished);
+  const BlockId srv_proc = st.SynthDeliverOf(srv);
+
+  Addr buf = k.allocator().Allocate(256);
+  mem.WriteBytes(buf, "first half.", 11);
+  ASSERT_EQ(st.Send(cli, buf, 11), 11);
+  k.Run();
+
+  ASSERT_TRUE(pool.AddNic());
+  ASSERT_EQ(pool.SteerOf(81), 1u);
+  EXPECT_EQ(st.SynthDeliverOf(srv), srv_proc)
+      << "migration moves the flow, not the CCB-absolute segment processor";
+  EXPECT_TRUE(pool.nic(1).demux().HasFlow(81));
+
+  mem.WriteBytes(buf, "second half", 11);
+  ASSERT_EQ(st.Send(cli, buf, 11), 11);
+  ASSERT_TRUE(st.Close(cli));
+  k.Run(10'000'000);
+
+  std::string got;
+  for (;;) {
+    int32_t n = st.Recv(srv, buf, 256);
+    if (n <= 0) {
+      break;
+    }
+    char tmp[256];
+    mem.ReadBytes(buf, tmp, static_cast<size_t>(n));
+    got.append(tmp, static_cast<size_t>(n));
+  }
+  EXPECT_EQ(got, "first half.second half");
+  ASSERT_TRUE(st.Close(srv));
+  k.Run(10'000'000);
+  EXPECT_EQ(st.StateOf(cli), CcbLayout::kDone);
+  EXPECT_EQ(st.StateOf(srv), CcbLayout::kDone);
+  EXPECT_EQ(st.Stats(cli).retransmits, 0u)
+      << "the grow itself must not cost a retransmission on a clean wire";
+}
+
+TEST(NicPoolTest, GenericSteeringAblationCarriesAStreamEndToEnd) {
+  Kernel k;
+  IoSystem io(k, nullptr);
+  NicPoolConfig pc;
+  pc.initial_nics = 4;
+  pc.synthesized_steering = false;  // interpreted steering loop in the cells
+  NicPool pool(k, pc);
+  ASSERT_EQ(pool.active_steering(), pool.generic_steering());
+  StreamLayer st(k, io, pool);
+  Memory& mem = k.machine().memory();
+
+  ConnId srv = st.Listen(80);
+  ConnId cli = st.Connect(80);
+  k.Run();
+  ASSERT_EQ(st.StateOf(cli), CcbLayout::kEstablished);
+  Addr buf = k.allocator().Allocate(64);
+  mem.WriteBytes(buf, "steered", 7);
+  ASSERT_EQ(st.Send(cli, buf, 7), 7);
+  ASSERT_TRUE(st.Close(cli));
+  k.Run(10'000'000);
+  std::string got;
+  for (;;) {
+    int32_t n = st.Recv(srv, buf, 64);
+    if (n <= 0) {
+      break;
+    }
+    char tmp[64];
+    mem.ReadBytes(buf, tmp, static_cast<size_t>(n));
+    got.append(tmp, static_cast<size_t>(n));
+  }
+  EXPECT_EQ(got, "steered");
+  ASSERT_TRUE(st.Close(srv));
+  k.Run(10'000'000);
+  EXPECT_EQ(st.StateOf(srv), CcbLayout::kDone);
+}
+
+}  // namespace
+}  // namespace synthesis

@@ -14,6 +14,7 @@
 #include "src/io/io_system.h"
 #include "src/kernel/kernel.h"
 #include "src/net/nic_device.h"
+#include "src/net/nic_pool.h"
 #include "src/net/stream.h"
 #include "src/unix/emulator.h"
 
@@ -120,7 +121,15 @@ class StreamTest : public ::testing::Test {
  protected:
   StreamTest() : StreamTest(NicConfig()) {}
   explicit StreamTest(NicConfig cfg)
-      : io_(k_, nullptr), nic_(k_, cfg), st_(k_, io_, nic_) {}
+      : io_(k_, nullptr), pool_(k_, PoolConfig(cfg)), nic_(pool_.nic(0)),
+        st_(k_, io_, pool_) {}
+
+  static NicPoolConfig PoolConfig(NicConfig cfg) {
+    NicPoolConfig pc;
+    pc.initial_nics = 1;
+    pc.nic = cfg;
+    return pc;
+  }
 
   // Places a hand-built segment on the wire (a fake peer for direct tests).
   void InjectSeg(uint16_t dst, uint16_t src, uint32_t seq, uint32_t ack,
@@ -155,7 +164,8 @@ class StreamTest : public ::testing::Test {
 
   Kernel k_;
   IoSystem io_;
-  NicDevice nic_;
+  NicPool pool_;
+  NicDevice& nic_;
   StreamLayer st_;
 };
 
@@ -219,16 +229,22 @@ struct TransferResult {
 
 // Runs one complete client->server transfer on a fresh kernel with the given
 // wire faults, through either the generic or the synthesized demux path.
+// `initial_seq` seeds both sides' sequence numbering (near-UINT32_MAX values
+// exercise the serial-number arithmetic across the wrap).
 TransferResult RunTransfer(const NicConfig& cfg, bool synth_demux,
-                           uint32_t total) {
+                           uint32_t total, uint32_t initial_seq = 0) {
   Kernel k;
   IoSystem io(k, nullptr);
-  NicDevice nic(k, cfg);
-  nic.UseSynthesizedDemux(synth_demux);
-  StreamLayer st(k, io, nic);
+  NicPoolConfig pc;
+  pc.initial_nics = 1;
+  pc.nic = cfg;
+  NicPool pool(k, pc);
+  pool.UseSynthesizedDemux(synth_demux);
+  StreamLayer st(k, io, pool);
   StreamConfig scfg;
   scfg.rto_base_us = 3000;
   scfg.max_retries = 12;
+  scfg.initial_seq = initial_seq;
   ConnId srv = st.Listen(80, scfg);
   ConnId cli = st.Connect(80, scfg);
   TransferResult r;
@@ -238,8 +254,7 @@ TransferResult RunTransfer(const NicConfig& cfg, bool synth_demux,
   k.Run(60'000'000);
   r.client_state = st.StateOf(cli);
   r.server_state = st.StateOf(srv);
-  r.server_rcv_nxt =
-      k.machine().memory().Read32(st.CcbOf(srv) + CcbLayout::kRcvNxt);
+  r.server_rcv_nxt = st.Stats(srv).rcv_nxt;
   StreamStats cs = st.Stats(cli);
   r.retransmits = cs.retransmits;
   r.timeouts = cs.timeouts;
@@ -576,6 +591,155 @@ TEST_F(StreamTest, UnixEmulatorStreamSurface) {
   UnixEmulator bare(k_, io_, nullptr);
   EXPECT_EQ(bare.Listen(7000), -1);
   EXPECT_EQ(bare.Connect(7000), -1);
+}
+
+// --- Connection-lifecycle regressions -----------------------------------------
+
+TEST_F(StreamTest, EphemeralAllocationWrapsToBaseAndSkipsLivePorts) {
+  // A live connection occupies the port just past the wrap so the allocator
+  // has to step over it after coming back around.
+  st_.set_next_ephemeral(40001);
+  ConnId occupant = st_.Connect(9000);
+  ASSERT_NE(occupant, kBadConn);
+  ASSERT_EQ(st_.PortOf(occupant), 40001);
+  st_.set_next_ephemeral(65534);
+  ConnId a = st_.Connect(9000);
+  ConnId b = st_.Connect(9000);
+  ConnId c = st_.Connect(9000);
+  ConnId d = st_.Connect(9000);
+  EXPECT_EQ(st_.PortOf(a), 65534);
+  EXPECT_EQ(st_.PortOf(b), 65535);
+  EXPECT_EQ(st_.PortOf(c), StreamLayer::kEphemeralBase)
+      << "past 65535 the allocator wraps to the base, never into port 0 or "
+         "the well-known range";
+  EXPECT_EQ(st_.PortOf(d), 40002) << "port 40001 belongs to a live connection";
+}
+
+TEST_F(StreamTest, ConnectFailsCleanlyWhenEphemeralRangeExhausts) {
+  st_.set_ephemeral_range_for_test(40000, 40003);
+  StreamConfig cfg;
+  cfg.max_retries = 2;
+  cfg.rto_base_us = 300;
+  ConnId conns[4];
+  for (ConnId& c : conns) {
+    c = st_.Connect(9000, cfg);
+    ASSERT_NE(c, kBadConn);
+  }
+  EXPECT_EQ(st_.Connect(9000, cfg), kBadConn)
+      << "an exhausted range refuses the connect instead of binding port 0";
+  EXPECT_EQ(st_.failed_gauge().events(), 0u)
+      << "a refused connect is not a failed connection";
+  // Nobody listens on 9000, so every SYN times out past the retry cap and
+  // the failed connections release their ports back to the range.
+  k_.Run(20'000'000);
+  for (ConnId c : conns) {
+    ASSERT_EQ(st_.StateOf(c), CcbLayout::kFailed);
+  }
+  ConnId again = st_.Connect(9000, cfg);
+  EXPECT_NE(again, kBadConn) << "failed connections release their ports";
+  EXPECT_EQ(st_.PortOf(again), 40000);
+}
+
+TEST(StreamSeqWrapTest, TransferCrossesTheSequenceWrapOnBothProcessors) {
+  const uint32_t kTotal = 2048;
+  // Numbering starts 256 bytes shy of 2^32: the handshake and the first
+  // segments straddle the wrap, the rest of the stream runs past it.
+  const uint32_t kIss = 0xFFFFFF00u;
+  const std::string want = Pattern(kTotal);
+  NicConfig clean;
+  NicConfig lossy;
+  lossy.drop_rate = 0.10;
+  lossy.fault_seed = 77;
+  for (const NicConfig& cfg : {clean, lossy}) {
+    TransferResult gen = RunTransfer(cfg, /*synth_demux=*/false, kTotal, kIss);
+    TransferResult syn = RunTransfer(cfg, /*synth_demux=*/true, kTotal, kIss);
+    for (const TransferResult* r : {&gen, &syn}) {
+      EXPECT_FALSE(r->send_err);
+      EXPECT_FALSE(r->recv_err);
+      EXPECT_EQ(r->delivered, want) << "bytes must cross the 2^32 seam intact";
+      EXPECT_EQ(r->client_state, CcbLayout::kDone);
+      EXPECT_EQ(r->server_state, CcbLayout::kDone);
+      // SYN + data + FIN, numbered from the ISS, reduced mod 2^32.
+      EXPECT_EQ(r->server_rcv_nxt, kIss + 1 + kTotal + 1);
+    }
+    EXPECT_EQ(gen.server_rcv_nxt, syn.server_rcv_nxt);
+    EXPECT_EQ(gen.delivered, syn.delivered);
+  }
+}
+
+TEST_F(StreamTest, ConnectionChurnReclaimsProcessorsAndMemory) {
+  const uint32_t kTotal = 384;
+  const std::string want = Pattern(kTotal);
+  // One buffer reused across every cycle, so any growth in allocator or code
+  // store occupancy below is the stream layer's own.
+  Addr buf = k_.allocator().Allocate(512);
+  Memory& mem = k_.machine().memory();
+  size_t blocks_after_warmup = 0;
+  uint32_t bytes_after_warmup = 0;
+  uint32_t allocs_after_warmup = 0;
+  const int kCycles = 10;
+  for (int i = 0; i < kCycles; i++) {
+    ConnId srv = st_.Listen(80);
+    ConnId cli = st_.Connect(80);
+    ASSERT_NE(srv, kBadConn) << "cycle " << i << ": port 80 must be free again";
+    ASSERT_NE(cli, kBadConn);
+    mem.WriteBytes(buf, want.data(), want.size());
+    ASSERT_EQ(st_.Send(cli, buf, kTotal), static_cast<int32_t>(kTotal));
+    ASSERT_TRUE(st_.Close(cli));
+    k_.Run(10'000'000);
+    std::string got;
+    for (;;) {
+      int32_t n = st_.Recv(srv, buf, 512);
+      if (n <= 0) {
+        break;
+      }
+      char tmp[512];
+      mem.ReadBytes(buf, tmp, static_cast<size_t>(n));
+      got.append(tmp, static_cast<size_t>(n));
+    }
+    ASSERT_EQ(got, want) << "cycle " << i;
+    ASSERT_TRUE(st_.Close(srv));
+    k_.Run(10'000'000);
+    ASSERT_EQ(st_.StateOf(cli), CcbLayout::kDone) << "cycle " << i;
+    ASSERT_EQ(st_.StateOf(srv), CcbLayout::kDone) << "cycle " << i;
+    ASSERT_EQ(st_.CcbOf(srv), 0u) << "reclaim returns the CCB to the allocator";
+    ASSERT_EQ(st_.SynthDeliverOf(cli), kInvalidBlock)
+        << "reclaim retires the synthesized segment processor";
+    ASSERT_FALSE(nic_.demux().HasFlow(80)) << "the port unbinds on teardown";
+    if (i == 2) {
+      // Lazily-installed pieces (the generic processor, steering blocks) are
+      // in place by now: from here on occupancy must be flat.
+      blocks_after_warmup = k_.code().live_block_count();
+      bytes_after_warmup = k_.allocator().bytes_in_use();
+      allocs_after_warmup = k_.allocator().allocation_count();
+    }
+  }
+  EXPECT_EQ(k_.code().live_block_count(), blocks_after_warmup)
+      << "synthesized blocks leak across connection churn";
+  EXPECT_EQ(k_.allocator().bytes_in_use(), bytes_after_warmup)
+      << "CCB/ring memory leaks across connection churn";
+  EXPECT_EQ(k_.allocator().allocation_count(), allocs_after_warmup);
+}
+
+TEST_F(StreamTest, DuplicateAlarmAtOneDeadlineFiresExactlyOneTimeout) {
+  StreamConfig cfg;
+  cfg.rto_base_us = 300;
+  cfg.max_retries = 3;
+  ConnId cli = st_.Connect(4242, cfg);  // no listener: every timer fires
+  ASSERT_NE(cli, kBadConn);
+  // Connect armed the SYN retransmit timer; arming again at the same instant
+  // queues a second alarm with the identical deadline tick. The integer tick
+  // comparison makes the duplicate a deterministic no-op — the float-epsilon
+  // compare this replaces left it to rounding luck. Run the connection all
+  // the way to its retry cap: a total count proves the duplicate contributed
+  // nothing without assuming anything about Run()'s granularity.
+  st_.ArmTimerForTest(cli);
+  k_.Run(50'000'000);
+  EXPECT_EQ(st_.StateOf(cli), CcbLayout::kFailed);
+  EXPECT_EQ(st_.Stats(cli).timeouts, cfg.max_retries + 1)
+      << "coalesced alarms must fire each timeout exactly once; the "
+         "duplicate's deadline tick is superseded by the first re-arm";
+  EXPECT_EQ(st_.Stats(cli).retransmits, cfg.max_retries);
 }
 
 }  // namespace

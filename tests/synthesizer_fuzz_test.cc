@@ -26,6 +26,7 @@
 #include "src/net/demux.h"
 #include "src/net/frame.h"
 #include "src/net/nic_device.h"
+#include "src/net/nic_pool.h"
 #include "src/net/stream.h"
 #include "src/synth/synthesizer.h"
 
@@ -319,8 +320,9 @@ TEST_P(StreamFuzz, GenericAndSynthesizedProcessorsAgreeOnRandomSegments) {
   std::mt19937 rng(static_cast<uint32_t>(GetParam()) * 2654435761u + 101);
   Kernel k;
   IoSystem io(k, nullptr);
-  NicDevice nic(k);
-  StreamLayer st(k, io, nic);
+  NicPool pool(k, NicPoolConfig());
+  NicDevice& nic = pool.nic(0);
+  StreamLayer st(k, io, pool);
 
   // Establish a server connection against a hand-rolled peer on port 91.
   ConnId srv = st.Listen(90);
@@ -544,9 +546,11 @@ TEST_P(StreamFaultScheduleFuzz, EveryFaultMixEndsDeliveredOrGracefullyFailed) {
     cfg.fault_seed = rng();
     Kernel k;
     IoSystem io(k, nullptr);
-    NicDevice nic(k, cfg);
-    nic.UseSynthesizedDemux(rng() % 2 == 0);
-    StreamLayer st(k, io, nic);
+    NicPoolConfig pc;
+    pc.nic = cfg;
+    NicPool pool(k, pc);
+    pool.UseSynthesizedDemux(rng() % 2 == 0);
+    StreamLayer st(k, io, pool);
     StreamConfig scfg;
     scfg.rto_base_us = 3000;
     scfg.max_retries = 12;
