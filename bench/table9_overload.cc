@@ -1,0 +1,272 @@
+// Table 9: overload armor — goodput under a junk-frame flood, and the cost of
+// deciding a frame's fate in synthesized code.
+//
+// Receive livelock is the layered kernel's failure mode: when offered load
+// exceeds capacity, every arriving frame still buys the full interrupt +
+// steering + demux walk before being found worthless, so useful throughput
+// collapses just when it matters most. The pool's admission armor is the
+// Synthesis answer: past a queue-depth watermark the outer demux cells swap
+// to a *synthesized early-drop filter* — a compare chain of the ports bound
+// right now, folded to immediates. A junk frame dies in a handful of
+// instructions, before checksum, ring append, or wakeup work; known flows
+// fall through to the normal path. Draining below the low watermark swaps
+// full steering back (hysteresis).
+//
+// Part 1 measures the decision cost directly: per-frame instructions to
+// reject an unknown-port frame through the shed filter, the synthesized
+// steering + demux, and the fully generic (layered-baseline) path.
+//
+// Part 2 offers the same good-frame rate at 1x and buried in a 4x flood
+// (1 good : 3 junk) and reports goodput (good frames delivered per virtual
+// millisecond). Self-enforced: the armored pool at 4x keeps >= 0.8x of its
+// own 1x peak, and the shed filter costs < 0.5x the generic drop path.
+#include <cstdio>
+#include <cstdlib>
+#include <iterator>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/io/io_system.h"
+#include "src/kernel/kernel.h"
+#include "src/machine/executor.h"
+#include "src/machine/machine.h"
+#include "src/net/frame.h"
+#include "src/net/nic_device.h"
+#include "src/net/nic_pool.h"
+
+namespace synthesis {
+namespace {
+
+constexpr uint32_t kGoodBytes = 128;  // fixed-length service datagrams
+constexpr uint16_t kServicePorts[] = {100, 101};  // hash to NICs 0 and 1
+
+// A junk port per NIC, chosen with a high hash value so the generic
+// steering's subtract-loop reduction pays its worst-case price — the
+// realistic shape of a flood that doesn't aim at the service.
+uint16_t JunkPortFor(const NicPool& pool, uint32_t nic) {
+  for (uint16_t p = 9000; p < 9600; p++) {
+    if (pool.SteerOf(p) == nic && ((p ^ (p >> 8)) & 255u) >= 200u &&
+        !pool.HasFlow(p)) {
+      return p;
+    }
+  }
+  std::fprintf(stderr, "table9: no junk port for nic %u\n", nic);
+  std::exit(1);
+}
+
+// --- Part 1: the drop decision, in instructions -------------------------------
+
+double MeasureDrop(Kernel& k, BlockId path, Addr frame) {
+  constexpr int kReps = 32;
+  uint64_t instr = 0;
+  for (int rep = 0; rep < kReps; rep++) {
+    k.machine().set_reg(kA1, frame);
+    Stopwatch sw(k.machine());
+    RunResult rr = k.kexec().Call(path);
+    if (rr.outcome != RunOutcome::kReturned ||
+        static_cast<int32_t>(k.machine().reg(kD0)) != -2) {
+      std::fprintf(stderr, "table9: junk frame not rejected (d0=%d)\n",
+                   static_cast<int32_t>(k.machine().reg(kD0)));
+      std::exit(1);
+    }
+    instr += sw.instructions();
+  }
+  return static_cast<double>(instr) / kReps;
+}
+
+void RunDropCost(double* shed_out, double* generic_out) {
+  Kernel k;
+  IoSystem io(k, nullptr);
+  NicPoolConfig pc;
+  pc.initial_nics = 2;
+  pc.admission_control = true;
+  NicPool pool(k, pc);
+  for (uint32_t i = 0; i < std::size(kServicePorts); i++) {
+    const uint16_t p = kServicePorts[i];
+    if (pool.SteerOf(p) != i) {
+      std::fprintf(stderr, "table9: port %u not on nic %u\n", p, i);
+      std::exit(1);
+    }
+    auto ring = io.MakeRing(16384);
+    if (!pool.BindPort(p, ring, kGoodBytes)) {
+      std::fprintf(stderr, "table9: bind failed for port %u\n", p);
+      std::exit(1);
+    }
+  }
+  const uint16_t junk_port = JunkPortFor(pool, 0);
+  Addr frame = k.allocator().Allocate(FrameLayout::kSlotBytes);
+  uint8_t payload[kGoodBytes];
+  for (uint32_t i = 0; i < kGoodBytes; i++) {
+    payload[i] = static_cast<uint8_t>(i * 7);
+  }
+  WriteFrame(k.machine().memory(), frame, junk_port, 7777, payload, kGoodBytes);
+
+  const double shed = MeasureDrop(k, pool.shed_filter(), frame);
+  const double synth = MeasureDrop(k, pool.synthesized_steering(), frame);
+  pool.UseSynthesizedDemux(false);  // generic demux behind the inner cells
+  const double generic = MeasureDrop(k, pool.generic_steering(), frame);
+  pool.UseSynthesizedDemux(true);
+
+  PrintHeader("Table 9: dropping one junk frame (per-frame instructions)",
+              "generic", "armored");
+  PrintRow("generic steering + generic demux", generic, generic, "instr");
+  PrintRow("synthesized steering + demux", generic, synth, "instr");
+  PrintRow("synthesized shed filter", generic, shed, "instr");
+  PrintNote("the filter is the bound-port set compiled to a compare chain:");
+  PrintNote("an unknown dst dies before checksum, ring, or wakeup work.");
+  *shed_out = shed;
+  *generic_out = generic;
+}
+
+// --- Part 2: goodput under offered load ---------------------------------------
+
+struct LoadResult {
+  double goodput = 0;  // good frames delivered per virtual ms
+  uint64_t offered_good = 0;
+  uint64_t delivered = 0;
+  uint64_t sheds = 0;
+  uint64_t overruns = 0;
+};
+
+// Offers bursts of service frames with `junk_ratio` junk frames apiece
+// interleaved, runs the kernel to idle, and charges the whole bill against
+// the virtual clock (instruction execution advances it). The armored pool
+// engages its shed filter on queue depth mid-burst; the layered baseline
+// (generic steering + generic demux, no armor) pays the full walk for every
+// arrival, so its clock — and therefore its goodput — collapses with load.
+LoadResult MeasureLoad(bool armored, uint32_t junk_ratio) {
+  NicPoolConfig pc;
+  pc.initial_nics = 2;
+  pc.nic.rx_slots = 64;
+  pc.admission_control = armored;
+  pc.shed_high_watermark = 8;  // a 4x burst (16/NIC) crosses this; 1x never
+  pc.shed_low_watermark = 2;
+  Kernel k;
+  IoSystem io(k, nullptr);
+  NicPool pool(k, pc);
+  if (!armored) {
+    pool.UseSynthesizedSteering(false);
+    pool.UseSynthesizedDemux(false);
+  }
+  std::vector<std::shared_ptr<RingHost>> rings;
+  for (uint32_t i = 0; i < std::size(kServicePorts); i++) {
+    const uint16_t p = kServicePorts[i];
+    if (pool.SteerOf(p) != i) {
+      std::fprintf(stderr, "table9: port %u not on nic %u\n", p, i);
+      std::exit(1);
+    }
+    auto ring = io.MakeRing(16384);
+    if (!pool.BindPort(p, ring, kGoodBytes)) {
+      std::fprintf(stderr, "table9: bind failed for port %u\n", p);
+      std::exit(1);
+    }
+    rings.push_back(ring);
+  }
+  const uint16_t junk[] = {JunkPortFor(pool, 0), JunkPortFor(pool, 1)};
+  uint8_t payload[kGoodBytes];
+  for (uint32_t i = 0; i < kGoodBytes; i++) {
+    payload[i] = static_cast<uint8_t>(i * 7);
+  }
+  Memory& mem = k.machine().memory();
+  constexpr int kRounds = 40;
+  constexpr uint32_t kGoodPerNicPerRound = 4;
+  LoadResult r;
+  const double t0 = k.NowUs();
+  for (int round = 0; round < kRounds; round++) {
+    // The whole burst lands before any interrupt is serviced (wire latency),
+    // so queue depth peaks at inject time and the armor decides mid-burst.
+    for (uint32_t g = 0; g < kGoodPerNicPerRound; g++) {
+      for (uint16_t p : kServicePorts) {
+        pool.InjectRaw(p, 7777, payload, kGoodBytes,
+                       FrameChecksum(p, 7777, payload, kGoodBytes), kGoodBytes);
+        r.offered_good++;
+      }
+      for (uint32_t j = 0; j < junk_ratio; j++) {
+        for (uint16_t jp : junk) {
+          pool.InjectRaw(jp, 7777, payload, kGoodBytes,
+                         FrameChecksum(jp, 7777, payload, kGoodBytes),
+                         kGoodBytes);
+        }
+      }
+    }
+    k.Run();  // to idle: the virtual clock absorbs the processing cost
+    for (auto& ring : rings) {  // a host consumer keeps the rings drained
+      mem.Write32(ring->base + RingLayout::kTail,
+                  mem.Read32(ring->base + RingLayout::kHead));
+    }
+  }
+  const double elapsed_ms = (k.NowUs() - t0) / 1000.0;
+  NicPool::AggregateStats agg = pool.Aggregate();
+  r.delivered = agg.delivered;
+  r.sheds = agg.early_sheds;
+  r.overruns = agg.rx_overruns;
+  r.goodput = static_cast<double>(agg.delivered) / elapsed_ms;
+  return r;
+}
+
+}  // namespace
+
+void Main() {
+  double shed_instr = 0, generic_instr = 0;
+  RunDropCost(&shed_instr, &generic_instr);
+
+  LoadResult peak = MeasureLoad(/*armored=*/true, /*junk_ratio=*/0);
+  LoadResult armored = MeasureLoad(/*armored=*/true, /*junk_ratio=*/3);
+  LoadResult layered = MeasureLoad(/*armored=*/false, /*junk_ratio=*/3);
+
+  PrintHeader("Table 9b: goodput vs offered load (good frames / virtual ms)",
+              "1x load", "4x load");
+  PrintRow("armored pool (shed filter)", peak.goodput, armored.goodput,
+           "fr/ms");
+  PrintRow("layered baseline (no armor)", peak.goodput, layered.goodput,
+           "fr/ms");
+  char note[160];
+  std::snprintf(note, sizeof(note),
+                "4x armored: %llu/%llu good delivered, %llu junk shed early, "
+                "%llu NIC overruns",
+                static_cast<unsigned long long>(armored.delivered),
+                static_cast<unsigned long long>(armored.offered_good),
+                static_cast<unsigned long long>(armored.sheds),
+                static_cast<unsigned long long>(armored.overruns));
+  PrintNote(note);
+  std::snprintf(note, sizeof(note),
+                "4x layered: %llu/%llu good delivered, %llu NIC overruns",
+                static_cast<unsigned long long>(layered.delivered),
+                static_cast<unsigned long long>(layered.offered_good),
+                static_cast<unsigned long long>(layered.overruns));
+  PrintNote(note);
+  PrintNote("same good traffic in both columns; 4x buries it 1:3 in junk.");
+
+  // The numbers this table exists to demonstrate; regressions fail the bench.
+  if (!(shed_instr < 0.5 * generic_instr)) {
+    std::fprintf(stderr,
+                 "table9: shed filter %.1f instr not < 0.5x generic drop "
+                 "path %.1f\n",
+                 shed_instr, generic_instr);
+    std::exit(1);
+  }
+  if (!(armored.goodput >= 0.8 * peak.goodput)) {
+    std::fprintf(stderr,
+                 "table9: armored goodput %.2f fr/ms at 4x below 0.8x peak "
+                 "%.2f fr/ms\n",
+                 armored.goodput, peak.goodput);
+    std::exit(1);
+  }
+  if (!(layered.goodput < armored.goodput)) {
+    std::fprintf(stderr,
+                 "table9: layered baseline %.2f fr/ms should trail the "
+                 "armored pool %.2f fr/ms under flood\n",
+                 layered.goodput, armored.goodput);
+    std::exit(1);
+  }
+}
+
+}  // namespace synthesis
+
+int main() {
+  synthesis::Main();
+  synthesis::WriteBenchJson("BENCH_overload.json");
+  return 0;
+}

@@ -8,6 +8,10 @@
 #   UBSAN=1 scripts/verify.sh    # same, plus -fsanitize=undefined only
 #                                # (catches UB that ASan's interceptors mask,
 #                                # and runs much faster than the ASan tree)
+#   FAULTS=1 scripts/verify.sh   # same build, but tests and bench smokes run
+#                                # with a low-probability background fault
+#                                # spec armed (SYNTHESIS_FAULTS) — everything
+#                                # must still pass with the plane whispering.
 #
 # Each sanitizer build uses its own tree (build-asan / build-ubsan) so it
 # never dirties the regular build directory.
@@ -17,6 +21,16 @@ cd "$(dirname "$0")/.."
 
 BUILD_DIR=build
 EXTRA_FLAGS="-Werror"
+
+if [[ "${FAULTS:-0}" == "1" ]]; then
+  # Fixed seed: the run is deterministic, so a pass here is reproducible, not
+  # lucky. Wire faults and late alarms only — allocation and code-store
+  # failure are exercised by targeted tests (fault_plane_test, stream churn);
+  # arming them globally would fire inside constructors that assert success.
+  : "${SYNTHESIS_FAULTS:=seed=11,wire_drop=p0.0002,wire_dup=p0.0001,alarm_late=p0.0005}"
+  export SYNTHESIS_FAULTS
+  echo "verify: fault plane armed: $SYNTHESIS_FAULTS"
+fi
 if [[ "${ASAN:-0}" == "1" ]]; then
   BUILD_DIR=build-asan
   # -Wno-maybe-uninitialized: GCC 12 false-positives on std::variant copies
@@ -40,6 +54,10 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
 # Bench smoke: table8 asserts its own acceptance numbers (synthesized steering
 # < 0.7x generic, 1->2 NIC scaling >= 1.7x) and exits nonzero on regression.
 (cd "$BUILD_DIR" && ./bench/table8_nic_pool > /dev/null)
+
+# table9 asserts the overload-armor numbers (shed filter < 0.5x the generic
+# drop path; armored goodput at 4x offered load >= 0.8x peak).
+(cd "$BUILD_DIR" && ./bench/table9_overload > /dev/null)
 
 # Every bench JSON the tree produced must parse; a malformed artifact fails
 # the gate rather than silently shipping a broken table.

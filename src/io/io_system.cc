@@ -322,6 +322,9 @@ std::shared_ptr<RingHost> IoSystem::MakeRing(uint32_t capacity) {
   auto ring = std::make_shared<RingHost>();
   ring->base = kernel_.allocator().Allocate(RingLayout::TotalBytes(capacity));
   ring->capacity = capacity;
+  if (ring->base == 0) {
+    return ring;  // allocator failure (e.g. injected); callers check base
+  }
   Memory& mem = kernel_.machine().memory();
   mem.Write32(ring->base + RingLayout::kHead, 0);
   mem.Write32(ring->base + RingLayout::kTail, 0);
@@ -347,6 +350,9 @@ IoSystem::Channel* IoSystem::Get(ChannelId ch) {
 ChannelId IoSystem::InstallChannel(Channel chan, const std::string& tag) {
   // Build the channel record in simulated memory.
   Addr rec = kernel_.allocator().Allocate(ChannelLayout::kSize);
+  if (rec == 0) {
+    return kBadChannel;  // kernel memory exhausted: open fails cleanly
+  }
   Memory& mem = kernel_.machine().memory();
   mem.Write32(rec + ChannelLayout::kType, static_cast<uint32_t>(chan.type));
   mem.Write32(rec + ChannelLayout::kPosition, 0);
@@ -381,6 +387,14 @@ ChannelId IoSystem::InstallChannel(Channel chan, const std::string& tag) {
   chan.read_code = kernel_.SynthesizeInstall(read_tmpl_, b, &inv, "read$" + tag,
                                              &last_read_stats);
   chan.write_code = kernel_.SynthesizeInstall(write_tmpl_, b, &inv, "write$" + tag);
+  if (chan.read_code == kInvalidBlock || chan.write_code == kInvalidBlock) {
+    // Code-store pressure: retire whichever half made it, free the record,
+    // and surface the failure as a bad channel — no partial installs leak.
+    kernel_.RetireBlock(chan.read_code);
+    kernel_.RetireBlock(chan.write_code);
+    kernel_.allocator().Free(rec);
+    return kBadChannel;
+  }
 
   ChannelId id = next_id_++;
   channels_[id] = std::move(chan);

@@ -31,6 +31,9 @@ uint32_t KernelAllocator::RoundUp(uint32_t bytes) {
 
 Addr KernelAllocator::Allocate(uint32_t bytes) {
   machine_.Charge(kAllocCycles, 0, 3);
+  if (fault_hook_ && fault_hook_()) {
+    return 0;  // injected exhaustion: identical to the real failure below
+  }
   if (bytes == 0) {
     bytes = 1;
   }

@@ -11,6 +11,7 @@
 
 #include <array>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <vector>
 
@@ -28,6 +29,10 @@ class KernelAllocator {
   Addr Allocate(uint32_t bytes);
   void Free(Addr addr);
 
+  // Fault-plane tap: when set and it returns true, Allocate fails (returns 0)
+  // exactly as it would on real exhaustion. Callers must already survive 0.
+  void SetFaultHook(std::function<bool()> hook) { fault_hook_ = std::move(hook); }
+
   uint32_t bytes_in_use() const { return in_use_; }
   uint32_t bytes_total() const { return size_; }
   uint32_t allocation_count() const { return live_allocations_; }
@@ -40,6 +45,7 @@ class KernelAllocator {
   static uint32_t RoundUp(uint32_t bytes);
 
   Machine& machine_;
+  std::function<bool()> fault_hook_;
   Addr base_;
   uint32_t size_;
   uint32_t in_use_ = 0;

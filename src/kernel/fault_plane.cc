@@ -1,0 +1,177 @@
+#include "src/kernel/fault_plane.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+namespace synthesis {
+
+namespace {
+
+// Distinct stream per (seed, site): splitmix-style mix so adjacent seeds
+// don't produce correlated site streams.
+uint32_t MixSeed(uint32_t seed, uint32_t site) {
+  uint64_t z = (static_cast<uint64_t>(seed) << 32) | (site * 0x9e3779b9u + 1u);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return static_cast<uint32_t>(z ^ (z >> 31));
+}
+
+}  // namespace
+
+FaultPlane::FaultPlane(uint32_t seed) { Reseed(seed); }
+
+void FaultPlane::Reseed(uint32_t seed) {
+  seed_ = seed;
+  for (size_t i = 0; i < kNumSites; ++i) {
+    sites_[i].rng.seed(MixSeed(seed, static_cast<uint32_t>(i)));
+    sites_[i].visits = 0;
+    sites_[i].fires = 0;
+    sites_[i].sched_pos = 0;
+  }
+  log_.clear();
+}
+
+void FaultPlane::Arm(FaultSite site, FaultTrigger trigger) {
+  SiteState& s = sites_[static_cast<size_t>(site)];
+  std::sort(trigger.schedule.begin(), trigger.schedule.end());
+  s.trigger = std::move(trigger);
+  s.armed = true;
+  s.sched_pos = 0;
+}
+
+void FaultPlane::Disarm(FaultSite site) {
+  sites_[static_cast<size_t>(site)].armed = false;
+}
+
+void FaultPlane::DisarmAll() {
+  for (SiteState& s : sites_) s.armed = false;
+}
+
+bool FaultPlane::Armed(FaultSite site) const {
+  return sites_[static_cast<size_t>(site)].armed;
+}
+
+bool FaultPlane::ShouldFire(FaultSite site) {
+  SiteState& s = sites_[static_cast<size_t>(site)];
+  s.visits++;
+  if (!s.armed) return false;
+  bool fire = false;
+  // The probability draw happens on every armed visit — even when another
+  // trigger already decided — so the stream position stays a pure function
+  // of the visit count and composed triggers replay exactly.
+  if (s.trigger.probability > 0.0) {
+    double u = std::uniform_real_distribution<double>(0.0, 1.0)(s.rng);
+    fire = u < s.trigger.probability;
+  }
+  if (s.trigger.every_nth != 0 && s.visits % s.trigger.every_nth == 0) {
+    fire = true;
+  }
+  while (s.sched_pos < s.trigger.schedule.size() &&
+         s.trigger.schedule[s.sched_pos] < s.visits) {
+    s.sched_pos++;  // skip stale entries (schedule armed mid-run)
+  }
+  if (s.sched_pos < s.trigger.schedule.size() &&
+      s.trigger.schedule[s.sched_pos] == s.visits) {
+    fire = true;
+    s.sched_pos++;
+  }
+  if (fire) {
+    s.fires++;
+    log_.push_back(LogEntry{site, s.visits});
+  }
+  return fire;
+}
+
+uint64_t FaultPlane::visits(FaultSite site) const {
+  return sites_[static_cast<size_t>(site)].visits;
+}
+
+uint64_t FaultPlane::fires(FaultSite site) const {
+  return sites_[static_cast<size_t>(site)].fires;
+}
+
+std::string FaultPlane::SerializeLog() const {
+  std::string out;
+  char buf[64];
+  for (const LogEntry& e : log_) {
+    std::snprintf(buf, sizeof buf, "%s@%llu;", SiteName(e.site),
+                  static_cast<unsigned long long>(e.visit));
+    out += buf;
+  }
+  return out;
+}
+
+const char* FaultPlane::SiteName(FaultSite site) {
+  switch (site) {
+    case FaultSite::kAlloc: return "alloc";
+    case FaultSite::kCodeInstall: return "code_install";
+    case FaultSite::kAlarmDrop: return "alarm_drop";
+    case FaultSite::kAlarmLate: return "alarm_late";
+    case FaultSite::kIrqBurst: return "irq_burst";
+    case FaultSite::kWireDrop: return "wire_drop";
+    case FaultSite::kWireCorrupt: return "wire_corrupt";
+    case FaultSite::kWireReorder: return "wire_reorder";
+    case FaultSite::kWireDup: return "wire_dup";
+    case FaultSite::kWireBurst: return "wire_burst";
+    case FaultSite::kNumSites: break;
+  }
+  return "?";
+}
+
+FaultSite FaultPlane::SiteByName(const std::string& name) {
+  for (uint32_t i = 0; i < static_cast<uint32_t>(FaultSite::kNumSites); ++i) {
+    if (name == SiteName(static_cast<FaultSite>(i))) {
+      return static_cast<FaultSite>(i);
+    }
+  }
+  return FaultSite::kNumSites;
+}
+
+int FaultPlane::ArmFromSpec(const std::string& spec) {
+  int armed = 0;
+  size_t pos = 0;
+  while (pos < spec.size()) {
+    size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    std::string item = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    size_t eq = item.find('=');
+    if (eq == std::string::npos) continue;
+    std::string key = item.substr(0, eq);
+    std::string val = item.substr(eq + 1);
+    if (key == "seed") {
+      Reseed(static_cast<uint32_t>(std::strtoul(val.c_str(), nullptr, 10)));
+      continue;
+    }
+    FaultSite site = SiteByName(key);
+    if (site == FaultSite::kNumSites || val.empty()) continue;
+    FaultTrigger t;
+    switch (val[0]) {
+      case 'p':
+        t.probability = std::strtod(val.c_str() + 1, nullptr);
+        break;
+      case 'n':
+        t.every_nth = std::strtoull(val.c_str() + 1, nullptr, 10);
+        break;
+      case 's': {
+        const char* p = val.c_str() + 1;
+        while (*p) {
+          char* end = nullptr;
+          uint64_t v = std::strtoull(p, &end, 10);
+          if (end == p) break;
+          t.schedule.push_back(v);
+          p = (*end == ':') ? end + 1 : end;
+        }
+        break;
+      }
+      default:
+        continue;
+    }
+    Arm(site, std::move(t));
+    armed++;
+  }
+  return armed;
+}
+
+}  // namespace synthesis

@@ -1,0 +1,119 @@
+// Kernel-wide deterministic fault injection (the fault plane).
+//
+// The paper's synthesized paths stay short because invariants hold; the fault
+// plane is how the reproduction tests what happens when they stop holding.
+// Every kernel resource that can fail in production — the allocator, the code
+// store, the timer queue, interrupt dispatch, the NIC wire — consults a named
+// SITE on its fast path. A site is a decision point: armed with a trigger, it
+// answers "does the fault fire on this visit?".
+//
+// Three trigger kinds compose per site:
+//   * probability  — an independent draw per visit from a per-site stream,
+//   * every-Nth    — fires on visits N, 2N, 3N, ... (1-based),
+//   * schedule     — an explicit sorted list of visit indices that fire.
+//
+// Determinism is the contract everything else rests on: each site owns its
+// own mt19937 seeded from (plane seed, site index), so a site's fire sequence
+// is a pure function of (seed, trigger, per-site visit count) — independent
+// of how visits to *other* sites interleave. Every fire is appended to an
+// injection log; the same seed over the same workload replays a byte-
+// identical log (asserted by FaultScheduleReplayFuzz).
+//
+// The plane can also be armed from the environment (SYNTHESIS_FAULTS, parsed
+// by ArmFromSpec) so the whole test suite can run under low-probability
+// background injection without code changes — the verify.sh FAULTS=1 pass.
+#ifndef SRC_KERNEL_FAULT_PLANE_H_
+#define SRC_KERNEL_FAULT_PLANE_H_
+
+#include <array>
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+namespace synthesis {
+
+enum class FaultSite : uint32_t {
+  kAlloc = 0,      // KernelAllocator::Allocate returns 0 (exhaustion)
+  kCodeInstall,    // Kernel::SynthesizeInstall returns kInvalidBlock
+  kAlarmDrop,      // Kernel::SetAlarm never raises the interrupt
+  kAlarmLate,      // the alarm is delivered kAlarmLateMult times late
+  kIrqBurst,       // a due interrupt is dispatched twice (spurious flood)
+  kWireDrop,       // NIC: the frame vanishes on the wire
+  kWireCorrupt,    // NIC: one byte flipped in transit
+  kWireReorder,    // NIC: frame held back so later frames overtake it
+  kWireDup,        // NIC: frame delivered twice
+  kWireBurst,      // NIC: starts a burst loss run
+  kNumSites,
+};
+
+// A late alarm arrives this many times after its programmed delta.
+inline constexpr double kAlarmLateMult = 4.0;
+
+struct FaultTrigger {
+  double probability = 0.0;        // per-visit independent draw
+  uint64_t every_nth = 0;          // 0 = off; else fires when visit % N == 0
+  std::vector<uint64_t> schedule;  // explicit 1-based visit indices
+};
+
+class FaultPlane {
+ public:
+  explicit FaultPlane(uint32_t seed = 1);
+
+  // Re-seeds and resets all per-site streams, visit counters, and the log.
+  // Armed triggers survive (they are config, not state).
+  void Reseed(uint32_t seed);
+  uint32_t seed() const { return seed_; }
+
+  void Arm(FaultSite site, FaultTrigger trigger);
+  void Disarm(FaultSite site);
+  void DisarmAll();
+  bool Armed(FaultSite site) const;
+
+  // The single decision point, called from the instrumented kernel paths.
+  // Counts the visit, evaluates the site's trigger, logs a fire.
+  bool ShouldFire(FaultSite site);
+
+  uint64_t visits(FaultSite site) const;
+  uint64_t fires(FaultSite site) const;
+  uint64_t total_fires() const { return log_.size(); }
+
+  struct LogEntry {
+    FaultSite site;
+    uint64_t visit;  // 1-based per-site visit index at which the fault fired
+  };
+  const std::vector<LogEntry>& log() const { return log_; }
+  // "site@visit;site@visit;..." — the byte-comparable replay artifact.
+  std::string SerializeLog() const;
+
+  // Arms sites from a comma-separated spec, e.g.
+  //   "seed=74,wire_drop=p0.001,alarm_late=n50,alloc=s3:17:90"
+  // (pX = probability, nX = every-Nth, sA:B:C = scheduled visits). Unknown
+  // entries are ignored, so stale specs never break a binary. Returns the
+  // number of sites armed.
+  int ArmFromSpec(const std::string& spec);
+
+  static const char* SiteName(FaultSite site);
+  // kNumSites when the name matches no site.
+  static FaultSite SiteByName(const std::string& name);
+
+ private:
+  struct SiteState {
+    FaultTrigger trigger;
+    bool armed = false;
+    uint64_t visits = 0;
+    uint64_t fires = 0;
+    size_t sched_pos = 0;  // cursor into trigger.schedule
+    std::mt19937 rng;      // per-site stream: interleaving-independent
+  };
+
+  static constexpr size_t kNumSites = static_cast<size_t>(FaultSite::kNumSites);
+
+  uint32_t seed_ = 1;
+  std::array<SiteState, kNumSites> sites_;
+  std::vector<LogEntry> log_;
+};
+
+}  // namespace synthesis
+
+#endif  // SRC_KERNEL_FAULT_PLANE_H_

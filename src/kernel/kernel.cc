@@ -1,6 +1,7 @@
 #include "src/kernel/kernel.h"
 
 #include <cassert>
+#include <cstdlib>
 #include <cstring>
 
 namespace synthesis {
@@ -69,6 +70,12 @@ Kernel::Kernel(Config config)
   auto trap = [this](int vector, Machine& m) { return HandleTrap(vector, m); };
   exec_.SetTrapHandler(trap);
   kexec_.SetTrapHandler(trap);
+  faults_.Reseed(config_.fault_seed);
+  if (const char* spec = std::getenv("SYNTHESIS_FAULTS")) {
+    faults_.ArmFromSpec(spec);
+  }
+  alloc_.SetFaultHook(
+      [this] { return faults_.ShouldFire(FaultSite::kAlloc); });
   chain_queue_ = std::make_unique<VmQueue>(machine_, store_, alloc_, 64,
                                            VmQueue::Kind::kMpsc, config_.synthesis);
 }
@@ -77,6 +84,9 @@ BlockId Kernel::SynthesizeInstall(const CodeTemplate& tmpl, const Bindings& bind
                                   const InvariantMemory* invariants,
                                   const std::string& name, SynthesisStats* stats,
                                   const SynthesisOptions* options) {
+  if (faults_.ShouldFire(FaultSite::kCodeInstall)) {
+    return kInvalidBlock;  // code-store pressure: install refused
+  }
   SynthesisStats st;
   const SynthesisOptions& opts = options ? *options : config_.synthesis;
   CodeBlock blk = synth_.Specialize(tmpl, bindings, invariants, opts, &st, name);
@@ -400,9 +410,16 @@ void Kernel::DrainChainedProcedures() {
   }
 }
 
-void Kernel::SetAlarm(double delta_us, BlockId handler) {
+bool Kernel::SetAlarm(double delta_us, BlockId handler) {
   machine_.Charge(kAlarmInsertCycles, 0, 6);  // sorted timer-queue insert
+  if (faults_.ShouldFire(FaultSite::kAlarmDrop)) {
+    return false;  // lost timer tick: the entry never makes the queue
+  }
+  if (faults_.ShouldFire(FaultSite::kAlarmLate)) {
+    delta_us *= kAlarmLateMult;  // delayed delivery (timer coalescing/skew)
+  }
   intc_.Raise(NowUs() + delta_us, Vector::kAlarm, static_cast<uint32_t>(handler));
+  return true;
 }
 
 void Kernel::RetireBlock(BlockId id) {
@@ -465,6 +482,11 @@ void Kernel::DispatchInterrupt(const PendingInterrupt& irq) {
 void Kernel::DeliverDueInterrupts() {
   while (auto irq = intc_.PopDue(NowUs())) {
     DispatchInterrupt(*irq);
+    if (faults_.ShouldFire(FaultSite::kIrqBurst)) {
+      // Spurious duplicate: a glitching device re-raises the line before the
+      // handler acknowledges it. Handlers must tolerate the double dispatch.
+      DispatchInterrupt(*irq);
+    }
   }
 }
 

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "src/kernel/allocator.h"
+#include "src/kernel/fault_plane.h"
 #include "src/kernel/interrupts.h"
 #include "src/kernel/layout.h"
 #include "src/kernel/queue_code.h"
@@ -56,6 +57,10 @@ class Kernel {
     bool lazy_fp = true;         // false: every context switch pays FP cost
     FineGrainScheduler::Config scheduler;
     bool fine_grain_scheduling = true;  // false: fixed base quantum (ablation)
+    // Seed for the fault plane's per-site streams. The constructor also reads
+    // SYNTHESIS_FAULTS from the environment and arms sites from it, so whole
+    // test binaries can run under background injection (verify.sh FAULTS=1).
+    uint32_t fault_seed = 1;
   };
 
   Kernel() : Kernel(Config()) {}
@@ -70,6 +75,7 @@ class Kernel {
   // paths, interrupt handlers, queue code). Never nested inside itself.
   Executor& kexec() { return kexec_; }
   KernelAllocator& allocator() { return alloc_; }
+  FaultPlane& faults() { return faults_; }
   InterruptController& interrupts() { return intc_; }
   ReadyQueue& ready_queue() { return ready_; }
   FineGrainScheduler& scheduler() { return sched_; }
@@ -134,8 +140,10 @@ class Kernel {
   // current interrupt (Procedure Chaining, §3.1). 4 µs, 7 µs with one retry.
   void ChainProcedure(BlockId proc);
   // Arms a one-shot alarm `delta_us` from now; `handler` runs at interrupt
-  // level and pending chained procedures run after it.
-  void SetAlarm(double delta_us, BlockId handler);
+  // level and pending chained procedures run after it. Returns false when the
+  // fault plane drops the alarm (kAlarmDrop): the insert cost was paid but
+  // the interrupt will never arrive, and the caller must not count on it.
+  bool SetAlarm(double delta_us, BlockId handler);
 
   // Dispatches one interrupt right now (used by benches to time the path).
   void DispatchInterrupt(const PendingInterrupt& irq);
@@ -196,6 +204,7 @@ class Kernel {
   Executor exec_;
   Executor kexec_;
   Synthesizer synth_;
+  FaultPlane faults_;
   KernelAllocator alloc_;
   InterruptController intc_;
   ReadyQueue ready_;

@@ -24,10 +24,15 @@ class CodeStore {
     blocks_.emplace_back();
   }
 
-  // Installs a block and returns its id. Names need not be unique; the most
-  // recently installed block wins name lookup. Freed slots (Uninstall) are
-  // reused so long-running connection churn does not grow the store.
+  // Installs a block and returns its id, or kInvalidBlock when a live-block
+  // limit is set and reached (capacity pressure — the protected code area is
+  // finite). Names need not be unique; the most recently installed block wins
+  // name lookup. Freed slots (Uninstall) are reused so long-running
+  // connection churn does not grow the store.
   BlockId Install(CodeBlock block) {
+    if (live_limit_ != 0 && live_block_count() >= live_limit_) {
+      return kInvalidBlock;
+    }
     BlockId id;
     if (!free_ids_.empty()) {
       id = free_ids_.back();
@@ -96,6 +101,10 @@ class CodeStore {
   // discussion (§6.4). Each micro-op models a short 68020 instruction.
   size_t code_bytes() const { return bytes_; }
 
+  // Caps live blocks; Install returns kInvalidBlock at the cap. 0 = no cap.
+  // Used to model code-store pressure in fault tests.
+  void SetLiveBlockLimit(size_t limit) { live_limit_ = limit; }
+
  private:
   static constexpr size_t kBytesPerInstr = 4;
 
@@ -105,6 +114,7 @@ class CodeStore {
   std::unordered_map<std::string, BlockId> by_name_;
   std::vector<BlockId> free_ids_;
   size_t bytes_ = 0;
+  size_t live_limit_ = 0;
 };
 
 }  // namespace synthesis

@@ -262,9 +262,16 @@ bool DemuxSynthesizer::AddFlow(uint16_t port, Addr ring_base, uint32_t fixed_len
   f.ring = ring_base;
   f.fixed_len = fixed_len;
   f.ctr = kernel_.allocator().Allocate(4);
+  if (f.ctr == 0) {
+    return false;  // allocator exhausted (or injected): nothing to roll back
+  }
   kernel_.machine().memory().Write32(f.ctr, 0);
   f.handler = deliver_gen_;
   f.deliver = SynthesizeDeliver(f);
+  if (f.deliver == kInvalidBlock) {
+    kernel_.allocator().Free(f.ctr);  // code-store pressure: undo and refuse
+    return false;
+  }
   f.owns_deliver = true;
   flows_.push_back(f);
   RebuildGenericTable();
@@ -283,6 +290,9 @@ bool DemuxSynthesizer::AddFlowCustom(uint16_t port, Addr ring_base, Addr ctx,
   f.ring = ring_base;
   f.ctx = ctx;
   f.ctr = kernel_.allocator().Allocate(4);
+  if (f.ctr == 0) {
+    return false;  // surfaced to the caller; its deliver blocks stay its own
+  }
   kernel_.machine().memory().Write32(f.ctr, 0);
   f.handler = generic_deliver;
   f.deliver = synth_deliver;
@@ -478,12 +488,20 @@ void DemuxSynthesizer::RebuildSynthesized() {
   }
   SynthesisOptions opts = kernel_.config().synthesis;
   opts.live_out |= (1u << kD0) | (1u << kD1) | (1u << kD2);
-  // The superseded demux is retired (deferred until the executor is idle):
-  // every jump site reaches it through the NIC's demux cell, which is
-  // rewritten to the new id before the next frame arrives.
-  kernel_.RetireBlock(synthesized_);
-  synthesized_ =
+  // Install the replacement BEFORE retiring the old block, so an install
+  // failure (code-store pressure) leaves a working demux in place. On
+  // failure, degrade to the generic routine: it interprets the flow table
+  // from memory, so it is always current — slower, never wrong. The generic
+  // block itself is never retired.
+  BlockId fresh =
       kernel_.SynthesizeInstall(t, Bindings(), nullptr, name, &last_stats_, &opts);
+  BlockId old = synthesized_;
+  synthesized_ = (fresh != kInvalidBlock) ? fresh : generic_;
+  if (old != synthesized_ && old != generic_) {
+    // Deferred until the executor is idle: every jump site reaches the demux
+    // through the NIC's demux cell, rewritten before the next frame arrives.
+    kernel_.RetireBlock(old);
+  }
 }
 
 uint64_t DemuxSynthesizer::csum_rejects() const {

@@ -19,10 +19,15 @@ NicDevice::NicDevice(Kernel& kernel, NicConfig config)
   tx_base_ = kernel_.allocator().Allocate(config_.tx_slots * FrameLayout::kSlotBytes);
   demux_cell_ = kernel_.allocator().Allocate(4);
   inner_cell_ = kernel_.allocator().Allocate(4);
+  assert(rx_base_ != 0 && tx_base_ != 0 && demux_cell_ != 0 && inner_cell_ != 0 &&
+         "kernel memory exhausted bringing up a NIC");
   RefreshDemuxCell();
 
   int rxdone_vec = kernel_.RegisterHostTrap([this](Machine& m) {
     rx_inflight_ = rx_inflight_ == 0 ? 0 : rx_inflight_ - 1;
+    if (admission_hook_) {
+      admission_hook_(rx_inflight_);
+    }
     rx_gauge_.Count();
     if (shared_rx_gauge_ != nullptr) {
       shared_rx_gauge_->Count();
@@ -45,12 +50,12 @@ NicDevice::NicDevice(Kernel& kernel, NicConfig config)
       nomatch_gauge_.Count();
     }
     // Mirror the micro-code's checksum-reject counter into a host gauge so
-    // rejects are observable through the standard gauge facility.
-    uint64_t rejects = demux_.csum_rejects();
-    while (csum_seen_ < rejects) {
-      csum_reject_gauge_.Count();
-      csum_seen_++;
-    }
+    // rejects are observable through the standard gauge facility. The sim
+    // counter is a 32-bit word that wraps on long overload runs; wrapping
+    // uint32_t subtraction keeps the delta right across the rollover.
+    uint32_t rejects = static_cast<uint32_t>(demux_.csum_rejects());
+    csum_reject_gauge_.CountN(rejects - csum_seen_);
+    csum_seen_ = rejects;
     return TrapAction::kContinue;
   });
 
@@ -99,6 +104,9 @@ NicDevice::NicDevice(Kernel& kernel, NicConfig config)
       }
       kernel_.machine().Charge(20 + bytes / 4, 0, bytes / 2);
       rx_inflight_++;
+      if (admission_hook_) {
+        admission_hook_(rx_inflight_);
+      }
       if (c == 1) {
         wire_dup_gauge_.Count();
       }
@@ -244,23 +252,32 @@ bool NicDevice::Transmit(uint16_t dst_port, uint16_t src_port,
     // A loss burst in progress swallows this frame too.
     burst_left_--;
     item.drop = true;
-  } else if (config_.burst_loss_rate > 0 &&
-             uni_(rng_) < config_.burst_loss_rate) {
+  } else if ((config_.burst_loss_rate > 0 &&
+              uni_(rng_) < config_.burst_loss_rate) ||
+             kernel_.faults().ShouldFire(FaultSite::kWireBurst)) {
     item.drop = true;
     burst_left_ = config_.burst_len == 0 ? 0 : config_.burst_len - 1;
   } else {
-    item.drop = uni_(rng_) < config_.drop_rate;
+    item.drop = uni_(rng_) < config_.drop_rate ||
+                kernel_.faults().ShouldFire(FaultSite::kWireDrop);
   }
   if (uni_(rng_) < config_.corrupt_rate) {
     item.corrupt_off = static_cast<int32_t>(
         uni_(rng_) * (FrameLayout::kPayload + (n == 0 ? 0 : n - 1)));
+  } else if (kernel_.faults().ShouldFire(FaultSite::kWireCorrupt)) {
+    // Plane-injected corruption flips a fixed byte (payload start, or the
+    // checksum word for empty frames) so replays corrupt identically.
+    item.corrupt_off = static_cast<int32_t>(
+        n > 0 ? FrameLayout::kPayload : FrameLayout::kChecksum);
   }
-  if (!item.drop && config_.duplicate_rate > 0 &&
-      uni_(rng_) < config_.duplicate_rate) {
+  if (!item.drop && ((config_.duplicate_rate > 0 &&
+                      uni_(rng_) < config_.duplicate_rate) ||
+                     kernel_.faults().ShouldFire(FaultSite::kWireDup))) {
     item.dup = true;
   }
-  if (!item.drop && config_.reorder_rate > 0 &&
-      uni_(rng_) < config_.reorder_rate) {
+  if (!item.drop && ((config_.reorder_rate > 0 &&
+                      uni_(rng_) < config_.reorder_rate) ||
+                     kernel_.faults().ShouldFire(FaultSite::kWireReorder))) {
     item.delay_mult = 3;
   }
   bool queued = wire_.TryPut(item);
@@ -303,6 +320,9 @@ void NicDevice::InjectRaw(uint32_t dst_port, uint32_t src_port,
                    std::min(n, FrameLayout::kMaxPayload));
   }
   rx_inflight_++;
+  if (admission_hook_) {
+    admission_hook_(rx_inflight_);
+  }
   kernel_.interrupts().Raise(kernel_.NowUs() + config_.wire_latency_us,
                              Vector::kNetRx, config_.irq_tag | rx_idx);
 }

@@ -15,7 +15,10 @@
 // or caught in a burst loss (a run of consecutive frames vanishing), all with
 // configured probabilities drawn from one seeded generator — the schedule is
 // a pure function of (seed, config, transmit sequence), so fault runs replay
-// deterministically.
+// deterministically. The kernel's FaultPlane adds a second, kernel-wide layer
+// on the same wire points (kWire* sites): those fires OR into the per-NIC
+// draws and land in the plane's injection log, so cross-subsystem fault
+// schedules replay from one seed.
 #ifndef SRC_NET_NIC_DEVICE_H_
 #define SRC_NET_NIC_DEVICE_H_
 
@@ -111,6 +114,14 @@ class NicDevice {
   // feeds one shared gauge to the fine-grain scheduler).
   void SetSharedRxGauge(Gauge* g) { shared_rx_gauge_ = g; }
 
+  // Admission tap: called with the new RX queue depth on every rx_inflight
+  // change (frame landed in a slot, or the demux drained one). The pool's
+  // overload armor watches this to engage/disengage the shed filter.
+  void SetAdmissionHook(std::function<void(uint32_t)> hook) {
+    admission_hook_ = std::move(hook);
+  }
+  uint32_t rx_inflight() const { return rx_inflight_; }
+
   DemuxSynthesizer& demux() { return demux_; }
   WaitQueue& tx_waiters() { return tx_waiters_; }
   const NicConfig& config() const { return config_; }
@@ -180,7 +191,12 @@ class NicDevice {
   Gauge* shared_rx_gauge_ = nullptr;  // pool-wide aggregate, optional
   uint64_t tx_completed_ = 0;
   uint64_t rx_overruns_ = 0;
-  uint64_t csum_seen_ = 0;  // last demux csum-reject count mirrored to gauge
+  // Last demux csum-reject count mirrored into the gauge. Deliberately the
+  // same width as the 32-bit simulated counter word it shadows: the delta is
+  // computed in wrapping uint32_t arithmetic, so the mirror stays correct
+  // when the sim word rolls over on long overload runs.
+  uint32_t csum_seen_ = 0;
+  std::function<void(uint32_t)> admission_hook_;
   double tx_busy_until_ = 0;  // serialized DMA engine availability time
 };
 

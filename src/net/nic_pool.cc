@@ -18,9 +18,15 @@ constexpr int32_t kSlotMask = 0xFFFF;
 NicPool::NicPool(Kernel& kernel, NicPoolConfig config)
     : kernel_(kernel), config_(config) {
   assert(config_.initial_nics >= 1 && config_.initial_nics <= kMaxNics);
-  desc_ = kernel_.allocator().Allocate(4 + 4 * kMaxNics);
+  desc_ = kernel_.allocator().Allocate(kDescBytes);
   rx_dispatch_cell_ = kernel_.allocator().Allocate(4);
   tx_dispatch_cell_ = kernel_.allocator().Allocate(4);
+  steer_cell_ = kernel_.allocator().Allocate(4);
+  shed_ctr_ = kernel_.allocator().Allocate(4);
+  assert(desc_ != 0 && rx_dispatch_cell_ != 0 && tx_dispatch_cell_ != 0 &&
+         steer_cell_ != 0 && shed_ctr_ != 0 &&
+         "kernel memory exhausted bringing up the NIC pool");
+  kernel_.machine().memory().Write32(shed_ctr_, 0);
 
   for (uint32_t i = 0; i < config_.initial_nics; i++) {
     AppendNic();
@@ -28,18 +34,47 @@ NicPool::NicPool(Kernel& kernel, NicPoolConfig config)
   WriteDescriptor();
 
   // The generic steering loop is installed exactly once: it reloads the pool
-  // geometry from the descriptor on every packet, so any later AddNic is
-  // already covered — the defining property (and cost) of the layered path.
+  // geometry (NIC count, cell table, pin table) from the descriptor on every
+  // packet, so any later AddNic or pin change is already covered — the
+  // defining property (and cost) of the layered path.
   SynthesisOptions verbatim = SynthesisOptions::Disabled();
   Asm g("pool_steer_gen");
-  g.MoveI(kA2, static_cast<int32_t>(desc_));
   g.Load32(kD0, kA1, FrameLayout::kDstPort);
+  g.Load32(kD1, kA1, FrameLayout::kSrcPort);
+  // Pin-table walk: a (dst, src) match routes through the pinned owner's
+  // inner cell. Entries are 16 B = 4 words; LoadIdx32 scales the index by 4,
+  // so the cursor d3 advances in word units.
+  g.LoadA32(kD6, static_cast<int32_t>(desc_ + kPinCountOff));
+  g.MoveI(kD3, 0);
+  g.Label("ploop");
+  g.Tst(kD6);
+  g.Beq("hash");
+  g.LoadIdx32(kD7, kD3, static_cast<int32_t>(desc_ + kPinBaseOff));
+  g.Cmp(kD7, kD0);
+  g.Bne("pnext");
+  g.Lea(kD4, kD3, 1);
+  g.LoadIdx32(kD7, kD4, static_cast<int32_t>(desc_ + kPinBaseOff));
+  g.Cmp(kD7, kD1);
+  g.Bne("pnext");
+  g.Lea(kD4, kD3, 2);
+  g.LoadIdx32(kD7, kD4, static_cast<int32_t>(desc_ + kPinBaseOff));
+  g.Move(kA2, kD7);
+  g.Load32(kD7, kA2, 0);  // the pinned NIC's current demux
+  g.JsrInd(kD7);
+  g.Rts();
+  g.Label("pnext");
+  g.AddI(kD3, 4);
+  g.SubI(kD6, 1);
+  g.Bra("ploop");
+  // Hash stage: dst-port hash reduced by repeated subtraction (no divider).
+  g.Label("hash");
+  g.MoveI(kA2, static_cast<int32_t>(desc_));
   g.Move(kD7, kD0);
   g.LsrI(kD7, 8);
   g.Xor(kD0, kD7);
   g.AndI(kD0, 255);
   g.Load32(kD6, kA2, 0);  // live NIC count
-  g.Label("mod");         // h % N by repeated subtraction (no divider)
+  g.Label("mod");
   g.Cmp(kD0, kD6);
   g.Blt("done");
   g.Sub(kD0, kD6);
@@ -74,6 +109,7 @@ NicPool::NicPool(Kernel& kernel, NicPoolConfig config)
 
   EmitSteering();
   EmitDispatch();
+  EmitShedFilter();
   ApplySteering();
 }
 
@@ -83,11 +119,51 @@ void NicPool::AppendNic() {
   nc.install_vectors = false;
   nics_.push_back(std::make_unique<NicDevice>(kernel_, nc));
   nics_.back()->SetSharedRxGauge(&rx_gauge_);
+  nics_.back()->SetAdmissionHook([this](uint32_t depth) { NoteRxDepth(depth); });
 }
 
 uint32_t NicPool::SteerOf(uint16_t port) const {
   uint32_t h = (static_cast<uint32_t>(port) ^ (port >> 8)) & 255u;
   return h % static_cast<uint32_t>(nics_.size());
+}
+
+uint32_t NicPool::PinSteerOf(uint16_t port, uint16_t peer) const {
+  // Both halves of the connection 5-tuple feed the placement, so many
+  // connections to one well-known port spread across the pool.
+  uint32_t h = static_cast<uint32_t>(port) * 31u + peer;
+  h = (h ^ (h >> 8)) & 255u;
+  return h % static_cast<uint32_t>(nics_.size());
+}
+
+uint32_t NicPool::OwnerOf(uint16_t port) const {
+  for (const auto& [p, b] : bindings_) {
+    if (p == port) {
+      return b.owner;
+    }
+  }
+  return SteerOf(port);
+}
+
+uint32_t NicPool::RouteOf(uint16_t dst_port, uint16_t src_port) const {
+  // Host twin of the emitted routing: the pin stage matches (dst, src)
+  // exactly; anything else falls through to the dst hash.
+  for (const auto& [p, b] : bindings_) {
+    if (p == dst_port) {
+      if (!b.pinned || b.peer == src_port) {
+        return b.owner;
+      }
+      break;
+    }
+  }
+  return SteerOf(dst_port);
+}
+
+uint32_t NicPool::pinned_count() const {
+  uint32_t n = 0;
+  for (const auto& [p, b] : bindings_) {
+    n += b.pinned ? 1 : 0;
+  }
+  return n;
 }
 
 void NicPool::WriteDescriptor() {
@@ -97,7 +173,21 @@ void NicPool::WriteDescriptor() {
     mem.Write32(desc_ + 4 + 4 * i,
                 i < size() ? nics_[i]->inner_cell_addr() : 0);
   }
-  kernel_.machine().Charge(8 + 4 * kMaxNics, 2, 1 + kMaxNics);
+  uint32_t pins = 0;
+  for (const auto& [port, b] : bindings_) {
+    if (!b.pinned || pins >= kMaxPins) {
+      continue;
+    }
+    Addr e = desc_ + kPinBaseOff + pins * kPinEntryBytes;
+    mem.Write32(e + 0, port);
+    mem.Write32(e + 4, b.peer);
+    mem.Write32(e + 8, nics_[b.owner]->inner_cell_addr());
+    mem.Write32(e + 12, 0);
+    pins++;
+  }
+  mem.Write32(desc_ + kPinCountOff, pins);
+  kernel_.machine().Charge(8 + 4 * (kMaxNics + 4 * pins), 2,
+                           1 + kMaxNics + 4 * pins);
 }
 
 void NicPool::EmitSteering() {
@@ -108,6 +198,28 @@ void NicPool::EmitSteering() {
 
   Asm a(name);
   a.Load32(kD0, kA1, FrameLayout::kDstPort);
+  // Pin stage: each pinned connection folds to two immediate compares and a
+  // direct jump through the owner's inner cell (Factoring Invariants — the
+  // pin table IS the code).
+  uint32_t pin_idx = 0;
+  bool loaded_src = false;
+  for (const auto& [port, b] : bindings_) {
+    if (!b.pinned || pin_idx >= kMaxPins) {
+      continue;
+    }
+    if (!loaded_src) {
+      a.Load32(kD1, kA1, FrameLayout::kSrcPort);
+      loaded_src = true;
+    }
+    const std::string next = "p" + std::to_string(pin_idx++);
+    a.CmpI(kD0, static_cast<int32_t>(port));
+    a.Bne(next);
+    a.CmpI(kD1, static_cast<int32_t>(b.peer));
+    a.Bne(next);
+    a.LoadA32(kD7, static_cast<int32_t>(nics_[b.owner]->inner_cell_addr()));
+    a.JmpInd(kD7);
+    a.Label(next);
+  }
   a.Move(kD7, kD0);
   a.LsrI(kD7, 8);
   a.Xor(kD0, kD7);
@@ -133,9 +245,16 @@ void NicPool::EmitSteering() {
 
   SynthesisOptions opts = kernel_.config().synthesis;
   opts.live_out |= (1u << kD0) | (1u << kD1) | (1u << kD2);
-  kernel_.RetireBlock(steer_synth_);
-  steer_synth_ = kernel_.SynthesizeInstall(a.Build(), Bindings(), nullptr, name,
-                                           nullptr, &opts);
+  // Install before retiring: an install failure (code-store pressure) falls
+  // back to the always-correct generic loop rather than leaving a retired
+  // block in the cells. The generic block itself is never retired.
+  BlockId fresh = kernel_.SynthesizeInstall(a.Build(), Bindings(), nullptr,
+                                            name, nullptr, &opts);
+  BlockId old = steer_synth_;
+  steer_synth_ = (fresh != kInvalidBlock) ? fresh : steer_generic_;
+  if (old != steer_synth_ && old != steer_generic_) {
+    kernel_.RetireBlock(old);
+  }
 }
 
 void NicPool::EmitDispatch() {
@@ -158,11 +277,16 @@ void NicPool::EmitDispatch() {
     rx.Label(next);
   }
   rx.Rts();  // unknown tag: drop on the floor
-  kernel_.RetireBlock(rx_dispatch_);
-  rx_dispatch_ = kernel_.SynthesizeInstall(rx.Build(), Bindings(), nullptr,
-                                           "pool_rx_dispatch" + suffix, nullptr,
-                                           &verbatim);
-  mem.Write32(rx_dispatch_cell_, static_cast<uint32_t>(rx_dispatch_));
+  // Keep the previous chain on install failure — stale (it misses the newest
+  // NIC) but safe; the next successful emit catches up.
+  BlockId fresh = kernel_.SynthesizeInstall(rx.Build(), Bindings(), nullptr,
+                                            "pool_rx_dispatch" + suffix,
+                                            nullptr, &verbatim);
+  if (fresh != kInvalidBlock) {
+    kernel_.RetireBlock(rx_dispatch_);
+    rx_dispatch_ = fresh;
+    mem.Write32(rx_dispatch_cell_, static_cast<uint32_t>(rx_dispatch_));
+  }
 
   Asm tx("pool_tx_dispatch" + suffix);
   tx.Move(kD6, kD1);
@@ -177,17 +301,99 @@ void NicPool::EmitDispatch() {
     tx.Label(next);
   }
   tx.Rts();
-  kernel_.RetireBlock(tx_dispatch_);
-  tx_dispatch_ = kernel_.SynthesizeInstall(tx.Build(), Bindings(), nullptr,
-                                           "pool_tx_dispatch" + suffix, nullptr,
-                                           &verbatim);
-  mem.Write32(tx_dispatch_cell_, static_cast<uint32_t>(tx_dispatch_));
+  fresh = kernel_.SynthesizeInstall(tx.Build(), Bindings(), nullptr,
+                                    "pool_tx_dispatch" + suffix, nullptr,
+                                    &verbatim);
+  if (fresh != kInvalidBlock) {
+    kernel_.RetireBlock(tx_dispatch_);
+    tx_dispatch_ = fresh;
+    mem.Write32(tx_dispatch_cell_, static_cast<uint32_t>(tx_dispatch_));
+  }
+}
+
+void NicPool::EmitShedFilter() {
+  if (!config_.admission_control) {
+    return;
+  }
+  shed_gen_++;
+  const std::string name = "pool_shed#" + std::to_string(shed_gen_);
+  // The early-drop filter: the set of bound ports compiled to an immediate
+  // compare chain. A known port falls through to the full steering stage
+  // (via the steering cell, so steering re-emission never touches the
+  // filter); everything else is dropped after a handful of instructions —
+  // no checksum, no ring append, no wakeup.
+  Asm a(name);
+  a.Load32(kD0, kA1, FrameLayout::kDstPort);
+  for (const auto& [port, b] : bindings_) {
+    a.CmpI(kD0, static_cast<int32_t>(port));
+    a.Beq("pass");
+  }
+  a.LoadA32(kD1, static_cast<int32_t>(shed_ctr_));
+  a.AddI(kD1, 1);
+  a.StoreA32(static_cast<int32_t>(shed_ctr_), kD1);
+  a.MoveI(kD0, -2);  // same contract as a demux no-match
+  a.Rts();
+  a.Label("pass");
+  a.LoadA32(kD7, static_cast<int32_t>(steer_cell_));
+  a.JmpInd(kD7);
+
+  SynthesisOptions opts = kernel_.config().synthesis;
+  opts.live_out |= (1u << kD0) | (1u << kD1) | (1u << kD2);
+  BlockId fresh = kernel_.SynthesizeInstall(a.Build(), Bindings(), nullptr,
+                                            name, nullptr, &opts);
+  BlockId old = shed_filter_;
+  shed_filter_ = fresh;  // kInvalidBlock on failure: armor off, pool works
+  if (old != kInvalidBlock && old != shed_filter_) {
+    kernel_.RetireBlock(old);
+  }
+  if (shedding_ && shed_filter_ == kInvalidBlock) {
+    shedding_ = false;  // can't shed without a filter; serve the full path
+  }
 }
 
 void NicPool::ApplySteering() {
+  // The steering cell always tracks the active steering block, so the shed
+  // filter's pass path follows re-emissions without being re-emitted itself.
+  kernel_.machine().memory().Write32(steer_cell_,
+                                     static_cast<uint32_t>(active_steering()));
+  BlockId outer = (shedding_ && shed_filter_ != kInvalidBlock)
+                      ? shed_filter_
+                      : active_steering();
   for (auto& nic : nics_) {
-    nic->SetDemuxOverride(active_steering());
+    nic->SetDemuxOverride(outer);
   }
+}
+
+void NicPool::NoteRxDepth(uint32_t depth) {
+  if (!config_.admission_control) {
+    return;
+  }
+  // Mirror the filter's drop counter (a 32-bit sim word) into the gauge with
+  // wrapping uint32_t deltas, so sustained overload can't skew it.
+  uint32_t dropped =
+      static_cast<uint32_t>(kernel_.machine().memory().Read32(shed_ctr_));
+  shed_gauge_.CountN(dropped - shed_seen_);
+  shed_seen_ = dropped;
+
+  if (!shedding_) {
+    if (depth >= config_.shed_high_watermark && shed_filter_ != kInvalidBlock) {
+      shedding_ = true;
+      shed_engages_++;
+      ApplySteering();
+    }
+    return;
+  }
+  if (depth > config_.shed_low_watermark) {
+    return;
+  }
+  // Hysteresis: swap the full path back only when the whole pool has drained.
+  for (auto& nic : nics_) {
+    if (nic->rx_inflight() > config_.shed_low_watermark) {
+      return;
+    }
+  }
+  shedding_ = false;
+  ApplySteering();
 }
 
 bool NicPool::AddNic() {
@@ -195,12 +401,11 @@ bool NicPool::AddNic() {
     return false;
   }
   AppendNic();
-  WriteDescriptor();
-  // Rebind flows whose hash moved. The flow's processors (the stream layer's
-  // CCB-absolute segment code) are NIC-agnostic and move by reference; only
-  // the demux chains on the two affected NICs are re-synthesized.
+  // Rebind flows whose hash or pin placement moved. The flow's processors
+  // (the stream layer's CCB-absolute segment code) are NIC-agnostic and move
+  // by reference; only the demux chains on the affected NICs re-synthesize.
   for (auto& [port, b] : bindings_) {
-    uint32_t owner = SteerOf(port);
+    uint32_t owner = b.pinned ? PinSteerOf(port, b.peer) : SteerOf(port);
     if (owner == b.owner) {
       continue;
     }
@@ -209,6 +414,7 @@ bool NicPool::AddNic() {
     (void)ok;
     b.owner = owner;
   }
+  WriteDescriptor();  // after migration: pin entries name their new owners
   EmitSteering();
   EmitDispatch();
   ApplySteering();
@@ -244,13 +450,16 @@ bool NicPool::BindPort(uint16_t port, std::shared_ptr<RingHost> ring,
     return false;
   }
   bindings_.emplace_back(port, std::move(b));
+  EmitShedFilter();
+  ApplySteering();
   return true;
 }
 
 bool NicPool::BindPortCustom(uint16_t port, std::shared_ptr<RingHost> ring,
                              Addr ctx, BlockId synth_deliver,
                              BlockId generic_deliver,
-                             std::function<void()> deliver_hook) {
+                             std::function<void()> deliver_hook, bool pin,
+                             uint16_t pin_peer) {
   Binding b;
   b.ring = std::move(ring);
   b.ctx = ctx;
@@ -258,11 +467,21 @@ bool NicPool::BindPortCustom(uint16_t port, std::shared_ptr<RingHost> ring,
   b.generic_deliver = generic_deliver;
   b.hook = std::move(deliver_hook);
   b.custom = true;
-  b.owner = SteerOf(port);
+  // A full pin table degrades to hash placement — correct, just unbalanced.
+  b.pinned = pin && pinned_count() < kMaxPins;
+  b.peer = pin_peer;
+  b.owner = b.pinned ? PinSteerOf(port, pin_peer) : SteerOf(port);
   if (!BindOn(b.owner, port, b)) {
     return false;
   }
+  bool pinned = b.pinned;
   bindings_.emplace_back(port, std::move(b));
+  if (pinned) {
+    WriteDescriptor();
+    EmitSteering();
+  }
+  EmitShedFilter();
+  ApplySteering();
   return true;
 }
 
@@ -279,8 +498,15 @@ bool NicPool::SwapPortDeliver(uint16_t port, BlockId synth_deliver) {
 bool NicPool::UnbindPort(uint16_t port) {
   for (size_t i = 0; i < bindings_.size(); i++) {
     if (bindings_[i].first == port) {
+      bool was_pinned = bindings_[i].second.pinned;
       bool ok = nics_[bindings_[i].second.owner]->UnbindPort(port);
       bindings_.erase(bindings_.begin() + static_cast<long>(i));
+      if (was_pinned) {
+        WriteDescriptor();
+        EmitSteering();
+      }
+      EmitShedFilter();
+      ApplySteering();
       return ok;
     }
   }
@@ -298,13 +524,14 @@ bool NicPool::HasFlow(uint16_t port) const {
 
 bool NicPool::Transmit(uint16_t dst_port, uint16_t src_port,
                        const uint8_t* payload, uint32_t n) {
-  return nic(SteerOf(dst_port)).Transmit(dst_port, src_port, payload, n);
+  return nic(RouteOf(dst_port, src_port)).Transmit(dst_port, src_port,
+                                                   payload, n);
 }
 
 void NicPool::InjectRaw(uint32_t dst_port, uint32_t src_port,
                         const uint8_t* payload, uint32_t n, uint32_t checksum,
                         uint32_t length_field) {
-  nic(SteerOf(static_cast<uint16_t>(dst_port)))
+  nic(RouteOf(static_cast<uint16_t>(dst_port), static_cast<uint16_t>(src_port)))
       .InjectRaw(dst_port, src_port, payload, n, checksum, length_field);
 }
 
@@ -319,6 +546,12 @@ NicPool::AggregateStats NicPool::Aggregate() {
     s.ring_drops += nic->demux().ring_drops();
     s.wire_drops += nic->wire_drop_gauge().events();
   }
+  // Fold any not-yet-mirrored filter drops into the gauge first.
+  uint32_t dropped =
+      static_cast<uint32_t>(kernel_.machine().memory().Read32(shed_ctr_));
+  shed_gauge_.CountN(dropped - shed_seen_);
+  shed_seen_ = dropped;
+  s.early_sheds = shed_gauge_.events();
   return s;
 }
 

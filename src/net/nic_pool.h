@@ -8,11 +8,19 @@
 //    destination port and tail-jumps through the owning NIC's *inner* demux
 //    cell. It exists twice, same contract as the demux (a1 = frame, returns
 //    d0/d2): a GENERIC routine that reloads the pool geometry (N, the cell
-//    table) from memory and reduces the hash by a subtract loop every packet
-//    — the layered baseline, installed once and valid for any geometry — and
-//    a SYNTHESIZED routine re-emitted whenever the geometry changes, with the
-//    table base folded to an immediate and the modulo folded to a single
-//    shift+mask when N is a power of two (Factoring Invariants).
+//    table, the pin table) from memory and reduces the hash by a subtract
+//    loop every packet — the layered baseline, installed once and valid for
+//    any geometry — and a SYNTHESIZED routine re-emitted whenever the
+//    geometry or the pin set changes, with the table base folded to an
+//    immediate and the modulo folded to a single shift+mask when N is a
+//    power of two (Factoring Invariants).
+//
+//  * A PIN stage ahead of the hash: connection flows registered with a known
+//    peer are pinned to a NIC chosen from the (src, dst) pair, so many
+//    connections to one service port spread across devices instead of the
+//    port's hash pinning them all to one. Synthesized form: a compare chain
+//    on (dst, src) immediates jumping straight through the owner's inner
+//    cell; generic form: a pin-table walk in the descriptor.
 //
 //  * Each NIC keeps its real demux id flowing into its inner cell, so flow
 //    re-synthesis (binds, unbinds, connection establishment) never re-emits
@@ -24,9 +32,22 @@
 //    compare chain that untags the payload (NIC index in the high half) and
 //    enters the owning device's rx/tx entry.
 //
-// Growing the pool (AddNic) migrates flows whose hash moved, re-emits the
-// steering + dispatch blocks, retires the old ones, and leaves per-flow
-// processors (the stream layer's CCB-absolute segment code) untouched.
+// OVERLOAD ARMOR (admission control): past a configurable RX queue-depth
+// watermark the pool swaps a *synthesized early-drop filter* into the outer
+// cells — a compare chain of the bound ports folded to immediates; any frame
+// for an unknown port is dropped in a handful of instructions, before
+// checksum, ring append, or wakeup work. Known flows fall through to the
+// normal steering stage (reached through a steering cell, so steering
+// re-emission never re-emits the filter). Hysteresis: the filter disengages
+// only when every NIC has drained below the low watermark. This is the
+// Synthesis move applied to load shedding — the fate of a junk frame is
+// decided by code specialized to "what is bound right now", which is what
+// keeps goodput from collapsing under receive livelock (bench/table9).
+//
+// Growing the pool (AddNic) migrates flows whose hash (or pin) moved,
+// re-emits the steering + dispatch blocks, retires the old ones, and leaves
+// per-flow processors (the stream layer's CCB-absolute segment code)
+// untouched.
 #ifndef SRC_NET_NIC_POOL_H_
 #define SRC_NET_NIC_POOL_H_
 
@@ -45,24 +66,41 @@ struct NicPoolConfig {
   uint32_t initial_nics = 1;
   NicConfig nic;  // per-NIC template; irq_tag/install_vectors are overridden
   bool synthesized_steering = true;  // false: generic loop (ablation/baseline)
+  // Overload armor: when on, RX queue depth >= shed_high_watermark on any NIC
+  // swaps the synthesized early-drop filter into the outer cells; depth <=
+  // shed_low_watermark on every NIC swaps full steering back (hysteresis).
+  bool admission_control = false;
+  uint32_t shed_high_watermark = 48;
+  uint32_t shed_low_watermark = 8;
 };
 
 class NicPool {
  public:
   static constexpr uint32_t kMaxNics = 8;
+  // Pool-wide cap on pinned connection flows (the descriptor's pin table).
+  static constexpr uint32_t kMaxPins = 32;
 
   explicit NicPool(Kernel& kernel, NicPoolConfig config = NicPoolConfig());
 
   uint32_t size() const { return static_cast<uint32_t>(nics_.size()); }
   NicDevice& nic(uint32_t i) { return *nics_[i]; }
 
-  // The host twin of the emitted hash: which NIC owns `port`.
+  // The host twin of the emitted dst-port hash: which NIC an *unpinned* flow
+  // on `port` lands on.
   uint32_t SteerOf(uint16_t port) const;
+  // The host twin of the pin placement: which NIC a connection flow
+  // (local `port`, known `peer`) is pinned to.
+  uint32_t PinSteerOf(uint16_t port, uint16_t peer) const;
+  // Where the flow for `port` actually lives (pin-aware; SteerOf for
+  // unbound ports).
+  uint32_t OwnerOf(uint16_t port) const;
+  // Whether the pin table has room for another pinned connection flow.
+  bool CanPin() const { return pinned_count() < kMaxPins; }
   // The demux that will see frames for `port` (the owning NIC's).
-  DemuxSynthesizer& demux_of(uint16_t port) { return nic(SteerOf(port)).demux(); }
+  DemuxSynthesizer& demux_of(uint16_t port) { return nic(OwnerOf(port)).demux(); }
 
-  // Grows the pool by one NIC: rebinds flows whose hash moved, updates the
-  // geometry descriptor, re-emits steering + dispatch. Returns false at
+  // Grows the pool by one NIC: rebinds flows whose hash or pin moved, updates
+  // the geometry descriptor, re-emits steering + dispatch. Returns false at
   // kMaxNics. Per-flow custom processors survive untouched.
   bool AddNic();
 
@@ -78,24 +116,40 @@ class NicPool {
     return config_.synthesized_steering ? steer_synth_ : steer_generic_;
   }
 
+  // --- Overload armor --------------------------------------------------------
+  // The synthesized early-drop filter (kInvalidBlock if none could be
+  // emitted; benches time it directly).
+  BlockId shed_filter() const { return shed_filter_; }
+  bool shedding() const { return shedding_; }
+  uint64_t shed_engages() const { return shed_engages_; }
+  // Frames dropped by the filter before any demux work.
+  Gauge& shed_gauge() { return shed_gauge_; }
+  // Depth signal from a member NIC (wired automatically; public for tests).
+  void NoteRxDepth(uint32_t depth);
+
   // --- Flow operations, routed to the owning NIC -----------------------------
   bool BindPort(uint16_t port, std::shared_ptr<RingHost> ring,
                 uint32_t fixed_len = 0);
+  // `pin` + `pin_peer`: register the flow as a connection pinned by its
+  // (src, dst) pair — see the PIN stage above. Falls back to hash placement
+  // when the pin table is full.
   bool BindPortCustom(uint16_t port, std::shared_ptr<RingHost> ring, Addr ctx,
                       BlockId synth_deliver, BlockId generic_deliver,
-                      std::function<void()> deliver_hook);
+                      std::function<void()> deliver_hook, bool pin = false,
+                      uint16_t pin_peer = 0);
   bool SwapPortDeliver(uint16_t port, BlockId synth_deliver);
   bool UnbindPort(uint16_t port);
   bool HasFlow(uint16_t port) const;
 
   // Frames enter and leave through the owning NIC, so loopback delivery always
-  // lands where the flow is bound.
+  // lands where the flow is bound. Routing is pin-aware: a frame whose
+  // (dst, src) matches a pinned connection goes to the pinned NIC.
   bool Transmit(uint16_t dst_port, uint16_t src_port, const uint8_t* payload,
                 uint32_t n);
   void InjectRaw(uint32_t dst_port, uint32_t src_port, const uint8_t* payload,
                  uint32_t n, uint32_t checksum, uint32_t length_field);
-  WaitQueue& tx_waiters(uint16_t dst_port) {
-    return nic(SteerOf(dst_port)).tx_waiters();
+  WaitQueue& tx_waiters(uint16_t dst_port, uint16_t src_port = 0) {
+    return nic(RouteOf(dst_port, src_port)).tx_waiters();
   }
 
   // --- Aggregation for the fine-grain scheduler ------------------------------
@@ -110,6 +164,7 @@ class NicPool {
     uint64_t malformed = 0;
     uint64_t ring_drops = 0;
     uint64_t wire_drops = 0;
+    uint64_t early_sheds = 0;  // dropped by the admission filter
   };
   AggregateStats Aggregate();
 
@@ -123,30 +178,59 @@ class NicPool {
     BlockId generic_deliver = kInvalidBlock;
     std::function<void()> hook;
     bool custom = false;
+    bool pinned = false;
+    uint16_t peer = 0;   // pin partner (the connection's remote port)
     uint32_t owner = 0;  // NIC index the flow is currently bound on
   };
 
+  // Descriptor layout (simulated memory, read by the generic steering loop):
+  //   [0]                       live NIC count
+  //   [4 .. 4+4*kMaxNics)       inner demux cell address per NIC
+  //   [kPinCountOff]            live pin count
+  //   [kPinBaseOff ...]         kMaxPins entries of 16 B: local, peer,
+  //                             owner's inner cell address, pad
+  static constexpr uint32_t kPinCountOff = 4 + 4 * kMaxNics;
+  static constexpr uint32_t kPinBaseOff = kPinCountOff + 4;
+  static constexpr uint32_t kPinEntryBytes = 16;
+  static constexpr uint32_t kDescBytes =
+      kPinBaseOff + kMaxPins * kPinEntryBytes;
+
   void AppendNic();
-  void WriteDescriptor();   // N + inner-cell table, read by the generic loop
+  void WriteDescriptor();   // N + cell table + pin table, for the generic loop
   void EmitSteering();      // re-emits the specialized steering block
   void EmitDispatch();      // re-emits the rx/tx payload-untag compare chains
-  void ApplySteering();     // points every NIC's outer cell at the active block
+  void EmitShedFilter();    // re-emits the early-drop filter (bound-port set)
+  void ApplySteering();     // points outer cells at filter or steering
   bool BindOn(uint32_t idx, uint16_t port, const Binding& b);
+  uint32_t RouteOf(uint16_t dst_port, uint16_t src_port) const;
+  uint32_t pinned_count() const;
 
   Kernel& kernel_;
   NicPoolConfig config_;
   std::vector<std::unique_ptr<NicDevice>> nics_;
   std::vector<std::pair<uint16_t, Binding>> bindings_;
 
-  Addr desc_ = 0;  // [N][inner cell addr x kMaxNics]
+  Addr desc_ = 0;
   BlockId steer_generic_ = kInvalidBlock;   // installed once
-  BlockId steer_synth_ = kInvalidBlock;     // re-emitted per geometry
+  BlockId steer_synth_ = kInvalidBlock;     // re-emitted per geometry/pin set
   uint32_t steer_gen_ = 0;
 
   Addr rx_dispatch_cell_ = 0;
   Addr tx_dispatch_cell_ = 0;
   BlockId rx_dispatch_ = kInvalidBlock;
   BlockId tx_dispatch_ = kInvalidBlock;
+
+  // Overload armor state. steer_cell_ always holds the active steering id, so
+  // the filter's pass path survives steering re-emission without re-emitting
+  // the filter; shed_ctr_ is the sim word the filter bumps per early drop.
+  Addr steer_cell_ = 0;
+  Addr shed_ctr_ = 0;
+  BlockId shed_filter_ = kInvalidBlock;
+  bool shedding_ = false;
+  uint64_t shed_engages_ = 0;
+  uint32_t shed_seen_ = 0;  // wrap-safe 32-bit mirror cursor of shed_ctr_
+  uint32_t shed_gen_ = 0;
+  Gauge shed_gauge_;
 
   Gauge rx_gauge_;
 };

@@ -35,6 +35,9 @@ bool DatagramSocketLayer::BindInternal(Sock& s, uint16_t port,
     return false;
   }
   std::shared_ptr<RingHost> ring = io_.MakeRing(kSocketRingBytes);
+  if (ring->base == 0) {
+    return false;  // allocator failure (e.g. injected): nothing acquired yet
+  }
   const std::string path = "/net/udp/" + std::to_string(port);
   io_.RegisterRingDevice(path, ring, nullptr);
   ChannelId ch = io_.Open(path);  // synthesizes the per-channel ring read

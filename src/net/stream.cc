@@ -193,7 +193,9 @@ BlockId StreamLayer::GenericProcFor(uint32_t nic_idx) {
   const std::string name = "net_stream_gen#" + std::to_string(nic_idx);
   BlockId blk = kernel_.SynthesizeInstall(GenericStreamTemplate(), b, nullptr,
                                           name, nullptr, &verbatim);
-  proc_gen_.emplace(nic_idx, blk);
+  if (blk != kInvalidBlock) {  // never cache an injected install failure
+    proc_gen_.emplace(nic_idx, blk);
+  }
   return blk;
 }
 
@@ -381,7 +383,15 @@ BlockId StreamLayer::BuildSynthDeliver(const Conn& c) {
 void StreamLayer::Resynthesize(Conn& c) {
   BlockId old = c.synth_deliver;
   c.synth_gen++;
-  c.synth_deliver = BuildSynthDeliver(c);
+  BlockId fresh = BuildSynthDeliver(c);
+  if (fresh == kInvalidBlock) {
+    // Code-store failure (e.g. injected) mid-establishment: the connection
+    // fails cleanly — Fail() reclaims the flow, the old processor, the CCB
+    // and the ring, so nothing partially-installed survives.
+    Fail(c);
+    return;
+  }
+  c.synth_deliver = fresh;
   pool_.SwapPortDeliver(c.local_port, c.synth_deliver);
   kernel_.RetireBlock(old);  // the demux chain was just rebuilt without it
 }
@@ -412,7 +422,15 @@ ConnId StreamLayer::NewConn(uint16_t local_port, uint16_t peer_port,
   c.cfg = cfg;
   c.local_port = local_port;
   c.peer_port = peer_port;
+  // Every resource below can fail to materialize (the allocator and code
+  // store are fault-injection sites): each acquisition is checked and, on
+  // failure, everything acquired so far is rolled back — the error surfaces
+  // as kBadConn, the gauge records it, and nothing leaks.
   c.ccb = kernel_.allocator().Allocate(CcbLayout::kBytes);
+  if (c.ccb == 0) {
+    open_fail_gauge_.Count();
+    return kBadConn;
+  }
   Memory& mem = kernel_.machine().memory();
   for (uint32_t off = 0; off < CcbLayout::kBytes; off += 4) {
     mem.Write32(c.ccb + off, 0);
@@ -423,13 +441,33 @@ ConnId StreamLayer::NewConn(uint16_t local_port, uint16_t peer_port,
   mem.Write32(c.ccb + CcbLayout::kSndUna, c.iss);
   mem.Write32(c.ccb + CcbLayout::kSndNxt, c.iss);
   c.ring = io_.MakeRing(cfg.ring_bytes);
+  if (c.ring->base == 0) {
+    kernel_.allocator().Free(c.ccb);
+    open_fail_gauge_.Count();
+    return kBadConn;
+  }
   c.path = "/net/tcp/" + std::to_string(local_port);
   io_.RegisterRingDevice(c.path, c.ring, nullptr);
   c.ch = io_.Open(c.path);  // synthesizes the per-channel ring read
+  if (c.ch == kBadChannel) {
+    io_.UnregisterRingDevice(c.path);
+    kernel_.allocator().Free(c.ring->base);
+    kernel_.allocator().Free(c.ccb);
+    open_fail_gauge_.Count();
+    return kBadConn;
+  }
   c.cwnd = cfg.window_segments;
   c.rto_us = cfg.rto_base_us;
   SetState(c, state);
   c.synth_deliver = BuildSynthDeliver(c);
+  if (c.synth_deliver == kInvalidBlock) {
+    io_.UnregisterRingDevice(c.path);
+    io_.Close(c.ch);
+    kernel_.allocator().Free(c.ring->base);
+    kernel_.allocator().Free(c.ccb);
+    open_fail_gauge_.Count();
+    return kBadConn;
+  }
   // The per-connection alarm stub: the alarm payload is the handler itself,
   // so the stub re-loads d1 with the connection id before trapping to the
   // host timeout logic.
@@ -441,11 +479,38 @@ ConnId StreamLayer::NewConn(uint16_t local_port, uint16_t peer_port,
   SynthesisOptions verbatim = SynthesisOptions::Disabled();
   c.alarm_stub = kernel_.SynthesizeInstall(st.Build(), Bindings(), nullptr,
                                            stub_name, nullptr, &verbatim);
-  BlockId generic = GenericProcFor(pool_.SteerOf(local_port));
+  if (c.alarm_stub == kInvalidBlock) {
+    io_.UnregisterRingDevice(c.path);
+    io_.Close(c.ch);
+    kernel_.RetireBlock(c.synth_deliver);
+    kernel_.allocator().Free(c.ring->base);
+    kernel_.allocator().Free(c.ccb);
+    open_fail_gauge_.Count();
+    return kBadConn;
+  }
+  // A connection with a known peer can pin to a NIC chosen from the
+  // (local, peer) pair; listeners hash, as does everything once the pool's
+  // pin table is full. The generic processor must be bound to the NIC that
+  // will actually own the flow.
+  const bool pin = cfg.pin_to_nic && peer_port != 0 && pool_.CanPin();
+  uint32_t owner = pin ? pool_.PinSteerOf(local_port, peer_port)
+                       : pool_.SteerOf(local_port);
+  BlockId generic = GenericProcFor(owner);
+  if (generic == kInvalidBlock) {
+    io_.UnregisterRingDevice(c.path);
+    io_.Close(c.ch);
+    kernel_.RetireBlock(c.synth_deliver);
+    kernel_.RetireBlock(c.alarm_stub);
+    kernel_.allocator().Free(c.ring->base);
+    kernel_.allocator().Free(c.ccb);
+    open_fail_gauge_.Count();
+    return kBadConn;
+  }
   auto it = conns_.emplace(id, std::move(c)).first;
   Conn& ref = it->second;
   if (!pool_.BindPortCustom(local_port, ref.ring, ref.ccb, ref.synth_deliver,
-                            generic, [this, id] { OnDeliver(id); })) {
+                            generic, [this, id] { OnDeliver(id); }, pin,
+                            peer_port)) {
     io_.UnregisterRingDevice(ref.path);
     io_.Close(ref.ch);
     kernel_.RetireBlock(ref.synth_deliver);
@@ -453,6 +518,7 @@ ConnId StreamLayer::NewConn(uint16_t local_port, uint16_t peer_port,
     kernel_.allocator().Free(ref.ring->base);
     kernel_.allocator().Free(ref.ccb);
     conns_.erase(it);
+    open_fail_gauge_.Count();
     return kBadConn;
   }
   ports_in_use_.insert(local_port);
@@ -567,8 +633,13 @@ void StreamLayer::PushWindow(Conn& c) {
 void StreamLayer::ArmTimer(Conn& c) {
   c.timer_deadline_ticks = TimerTicks(kernel_.NowUs() + c.rto_us);
   c.timer_armed = true;
-  c.alarms_pending++;  // every raised alarm dispatches exactly once
-  kernel_.SetAlarm(c.rto_us, c.alarm_stub);
+  // Every *raised* alarm dispatches exactly once; a dropped alarm (the
+  // kAlarmDrop injection site) never will, so it must not be counted or the
+  // stub's retirement would wait forever. The lost wakeup itself is covered
+  // by the next event that re-arms the timer.
+  if (kernel_.SetAlarm(c.rto_us, c.alarm_stub)) {
+    c.alarms_pending++;
+  }
 }
 
 void StreamLayer::ArmTimerForTest(ConnId conn) {
@@ -710,6 +781,9 @@ void StreamLayer::HandleCtrl(Conn& c) {
     case CcbLayout::kListen:
       if (flags & StreamSeg::kFlagSyn) {
         Establish(c, static_cast<uint16_t>(src), seq);
+        if (c.state == CcbLayout::kFailed || c.reclaimed) {
+          return;  // re-synthesis failed mid-establishment (injected fault)
+        }
         Seg synack;
         synack.seq = c.snd_nxt;
         synack.flags = StreamSeg::kFlagSyn;
@@ -732,6 +806,9 @@ void StreamLayer::HandleCtrl(Conn& c) {
           c.rto_us = c.cfg.rto_base_us;
         }
         Establish(c, static_cast<uint16_t>(src), seq);
+        if (c.state == CcbLayout::kFailed || c.reclaimed) {
+          return;  // re-synthesis failed mid-establishment (injected fault)
+        }
         SendAck(c);
         PushWindow(c);
         if (c.unacked.empty()) {

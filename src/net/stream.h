@@ -138,6 +138,11 @@ struct StreamConfig {
   uint32_t max_retries = 8;      // per-segment; exceeded => connection fails
   uint32_t ring_bytes = 4096;    // receive ring capacity (power of two)
   uint32_t initial_seq = 0;      // first sequence number this side assigns
+  // Register the flow pinned by its (local, peer) pair on the NicPool, so
+  // many connections to one service port spread across devices instead of
+  // hashing onto one (see NicPool's PIN stage). Listeners (peer unknown at
+  // bind time) always hash.
+  bool pin_to_nic = false;
 };
 
 // Per-connection robustness counters: host events plus the CCB counters the
@@ -205,6 +210,10 @@ class StreamLayer {
   Gauge& dup_ack_gauge() { return dup_ack_gauge_; }
   Gauge& ooo_gauge() { return ooo_gauge_; }
   Gauge& failed_gauge() { return failed_gauge_; }
+  // Connect/Listen attempts that failed during resource construction (an
+  // allocator or code-store failure, e.g. under injected faults) and were
+  // rolled back without leaking.
+  Gauge& open_fail_gauge() { return open_fail_gauge_; }
 
   // Test hooks: steer the ephemeral allocator to a specific starting point
   // (still clamped into the ephemeral range) and arm a connection's timer as
@@ -309,6 +318,7 @@ class StreamLayer {
   Gauge dup_ack_gauge_;
   Gauge ooo_gauge_;
   Gauge failed_gauge_;
+  Gauge open_fail_gauge_;
 };
 
 }  // namespace synthesis

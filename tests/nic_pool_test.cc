@@ -229,5 +229,133 @@ TEST(NicPoolTest, GenericSteeringAblationCarriesAStreamEndToEnd) {
   EXPECT_EQ(st.StateOf(srv), CcbLayout::kDone);
 }
 
+// A connection flow opened with pin_to_nic lands on the NIC the (local, peer)
+// pair names — under both steering implementations (the synthesized pin
+// compare chain and the generic descriptor pin-table walk), at pool sizes on
+// and off the power-of-two fast path.
+TEST(NicPoolTest, PinnedConnectionRoutesToPinNicUnderBothSteerings) {
+  for (uint32_t n : {2u, 4u}) {
+    for (bool synth : {true, false}) {
+      Kernel k;
+      IoSystem io(k, nullptr);
+      NicPoolConfig pc;
+      pc.initial_nics = n;
+      pc.synthesized_steering = synth;
+      NicPool pool(k, pc);
+      StreamLayer st(k, io, pool);
+      Memory& mem = k.machine().memory();
+
+      // Pick an ephemeral port whose pin placement differs from its hash, so
+      // the test fails if pinning silently degrades to hashing.
+      uint16_t local = 0;
+      for (uint16_t p = 40000; p < 40050; p++) {
+        if (pool.PinSteerOf(p, 80) != pool.SteerOf(p)) {
+          local = p;
+          break;
+        }
+      }
+      ASSERT_NE(local, 0) << "n=" << n;
+      st.set_next_ephemeral(local);
+
+      StreamConfig cfg;
+      cfg.pin_to_nic = true;
+      ConnId srv = st.Listen(80);
+      ConnId cli = st.Connect(80, cfg);
+      ASSERT_NE(srv, kBadConn);
+      ASSERT_NE(cli, kBadConn);
+      ASSERT_EQ(st.PortOf(cli), local);
+      const uint32_t pin = pool.PinSteerOf(local, 80);
+      EXPECT_EQ(pool.OwnerOf(local), pin) << "n=" << n << " synth=" << synth;
+      EXPECT_TRUE(pool.nic(pin).demux().HasFlow(local));
+      EXPECT_FALSE(pool.nic(pool.SteerOf(local)).demux().HasFlow(local))
+          << "the pinned flow must not be on the hash-placed NIC";
+
+      // The whole conversation crosses the pin: the server's replies (dst =
+      // the pinned local port) route through the active steering stage into
+      // the pin NIC's demux.
+      k.Run();
+      ASSERT_EQ(st.StateOf(cli), CcbLayout::kEstablished);
+      Addr buf = k.allocator().Allocate(64);
+      mem.WriteBytes(buf, "pinned!", 7);
+      ASSERT_EQ(st.Send(cli, buf, 7), 7);
+      ASSERT_TRUE(st.Close(cli));
+      k.Run(10'000'000);
+      std::string got;
+      for (;;) {
+        int32_t r = st.Recv(srv, buf, 64);
+        if (r <= 0) {
+          break;
+        }
+        char tmp[64];
+        mem.ReadBytes(buf, tmp, static_cast<size_t>(r));
+        got.append(tmp, static_cast<size_t>(r));
+      }
+      EXPECT_EQ(got, "pinned!");
+      ASSERT_TRUE(st.Close(srv));
+      k.Run(10'000'000);
+      EXPECT_EQ(st.StateOf(cli), CcbLayout::kDone)
+          << "n=" << n << " synth=" << synth;
+      EXPECT_EQ(st.StateOf(srv), CcbLayout::kDone);
+      EXPECT_EQ(st.Stats(cli).retransmits, 0u)
+          << "a mis-routed frame would have cost a retransmission";
+      EXPECT_GT(pool.nic(pin).rx_gauge().events(), 0u)
+          << "the pin NIC must have seen the client-bound frames";
+    }
+  }
+}
+
+// Overload armor: RX queue depth past the high watermark swaps the
+// synthesized early-drop filter into the outer cells; known flows keep
+// flowing, junk dies in a handful of instructions, and draining below the
+// low watermark swaps full steering back (hysteresis).
+TEST(NicPoolTest, OverloadArmorEngagesShedsJunkAndDisengagesOnDrain) {
+  Kernel k;
+  IoSystem io(k, nullptr);
+  NicPoolConfig pc;
+  pc.initial_nics = 1;
+  pc.admission_control = true;
+  pc.shed_high_watermark = 4;
+  pc.shed_low_watermark = 1;
+  NicPool pool(k, pc);
+  auto ring = io.MakeRing(4096);
+  ASSERT_TRUE(pool.BindPort(80, ring));
+  ASSERT_NE(pool.shed_filter(), kInvalidBlock);
+  EXPECT_FALSE(pool.shedding()) << "idle pool: full steering in the cells";
+
+  // Pile frames into RX slots without letting the kernel run: depth climbs
+  // through the watermark and the admission hook engages the filter before
+  // any of them is demultiplexed.
+  const uint8_t msg[] = {'x', 'y'};
+  for (int i = 0; i < 6; i++) {
+    pool.InjectRaw(80, 9001, msg, 2, FrameChecksum(80, 9001, msg, 2), 2);
+    pool.InjectRaw(999, 9001, msg, 2, FrameChecksum(999, 9001, msg, 2), 2);
+  }
+  EXPECT_TRUE(pool.shedding()) << "depth 12 >= high watermark 4";
+  EXPECT_EQ(pool.shed_engages(), 1u);
+
+  k.Run();
+  NicPool::AggregateStats agg = pool.Aggregate();
+  EXPECT_EQ(agg.delivered, 6u) << "bound-port frames pass the filter";
+  // 5 of the 6 junk frames die in the filter; the drain crosses the low
+  // watermark with one frame still queued, so the last one goes through full
+  // steering and lands in the ordinary no-match count instead.
+  EXPECT_EQ(agg.early_sheds, 5u)
+      << "unknown-port frames die in the filter, before ring or wakeup work";
+  EXPECT_FALSE(pool.shedding())
+      << "drained below the low watermark: full steering is back";
+  EXPECT_GE(io.RingAvail(*ring), 6u * (4u + 2u));
+
+  // Quiet again: the next overload re-engages (hysteresis is a cycle, not a
+  // one-shot).
+  for (int i = 0; i < 5; i++) {
+    pool.InjectRaw(999, 9001, msg, 2, FrameChecksum(999, 9001, msg, 2), 2);
+  }
+  EXPECT_TRUE(pool.shedding());
+  EXPECT_EQ(pool.shed_engages(), 2u);
+  k.Run();
+  EXPECT_FALSE(pool.shedding());
+  EXPECT_EQ(pool.Aggregate().early_sheds, 9u);  // again all but the last
+}
+
 }  // namespace
 }  // namespace synthesis

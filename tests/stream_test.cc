@@ -721,6 +721,115 @@ TEST_F(StreamTest, ConnectionChurnReclaimsProcessorsAndMemory) {
   EXPECT_EQ(k_.allocator().allocation_count(), allocs_after_warmup);
 }
 
+// Satellite of the churn test above: the same open/transfer/close cycle, but
+// with the fault plane firing at the allocator and the code store at the
+// worst moments — during Connect's resource construction and during the
+// mid-establishment re-synthesis. Every failure must roll back or fail the
+// connection cleanly: after each cycle the installed-block and allocator
+// occupancy are exactly the pre-churn values.
+TEST_F(StreamTest, ChurnUnderInjectedFailuresKeepsOccupancyExact) {
+  const uint32_t kTotal = 256;
+  const std::string want = Pattern(kTotal);
+  Addr buf = k_.allocator().Allocate(512);
+  Memory& mem = k_.machine().memory();
+  StreamConfig scfg;
+  scfg.rto_base_us = 1000;
+  scfg.max_retries = 2;  // injected-failure cycles burn the retry cap fast
+
+  auto clean_cycle = [&](int i) {
+    ConnId srv = st_.Listen(80, scfg);
+    ConnId cli = st_.Connect(80, scfg);
+    ASSERT_NE(srv, kBadConn) << "cycle " << i;
+    ASSERT_NE(cli, kBadConn) << "cycle " << i;
+    mem.WriteBytes(buf, want.data(), want.size());
+    ASSERT_EQ(st_.Send(cli, buf, kTotal), static_cast<int32_t>(kTotal));
+    ASSERT_TRUE(st_.Close(cli));
+    k_.Run(10'000'000);
+    // Drain through the one shared buffer (DrainAll allocates its own, which
+    // would show up as drift in the occupancy checks below).
+    std::string got;
+    for (;;) {
+      int32_t n = st_.Recv(srv, buf, 512);
+      if (n <= 0) {
+        break;
+      }
+      char tmp[512];
+      mem.ReadBytes(buf, tmp, static_cast<size_t>(n));
+      got.append(tmp, static_cast<size_t>(n));
+    }
+    ASSERT_EQ(got, want) << "cycle " << i;
+    ASSERT_TRUE(st_.Close(srv));
+    k_.Run(10'000'000);
+    ASSERT_EQ(st_.StateOf(cli), CcbLayout::kDone) << "cycle " << i;
+    ASSERT_EQ(st_.StateOf(srv), CcbLayout::kDone) << "cycle " << i;
+  };
+
+  // Warm up until lazily-installed pieces are in place, then snapshot.
+  for (int i = 0; i < 3; i++) {
+    clean_cycle(i);
+  }
+  const size_t blocks0 = k_.code().live_block_count();
+  const uint32_t bytes0 = k_.allocator().bytes_in_use();
+  const uint32_t allocs0 = k_.allocator().allocation_count();
+
+  FaultTrigger certain;
+  certain.probability = 1.0;
+  for (int i = 0; i < 3; i++) {
+    // (a) Allocator failure inside Connect: the CCB allocation fails, the
+    // attempt rolls back before anything else was acquired.
+    uint64_t open_fails = st_.open_fail_gauge().events();
+    k_.faults().Arm(FaultSite::kAlloc, certain);
+    EXPECT_EQ(st_.Connect(80, scfg), kBadConn) << "cycle " << i;
+    k_.faults().Disarm(FaultSite::kAlloc);
+    EXPECT_EQ(st_.open_fail_gauge().events(), open_fails + 1);
+    EXPECT_EQ(k_.code().live_block_count(), blocks0) << "cycle " << i;
+    EXPECT_EQ(k_.allocator().bytes_in_use(), bytes0) << "cycle " << i;
+
+    // (b) Code-store failure inside Connect: the channel read (or processor)
+    // install fails after CCB + ring + namespace exist; all of it unwinds.
+    k_.faults().Arm(FaultSite::kCodeInstall, certain);
+    EXPECT_EQ(st_.Connect(80, scfg), kBadConn) << "cycle " << i;
+    k_.faults().Disarm(FaultSite::kCodeInstall);
+    EXPECT_EQ(st_.open_fail_gauge().events(), open_fails + 2);
+    k_.Run(1'000'000);  // drain any deferred retirements
+    EXPECT_EQ(k_.code().live_block_count(), blocks0) << "cycle " << i;
+    EXPECT_EQ(k_.allocator().bytes_in_use(), bytes0) << "cycle " << i;
+
+    // (c) Code-store failure mid-establishment: both sides open cleanly, then
+    // every install fails while the handshake runs. The server's Establish ->
+    // Resynthesize fails and the connection Fail()s cleanly (flow unbound,
+    // partially installed blocks retired); the abandoned client burns its
+    // retry cap and fails too. Nothing leaks, nothing wedges.
+    ConnId srv = st_.Listen(80, scfg);
+    ConnId cli = st_.Connect(80, scfg);
+    ASSERT_NE(srv, kBadConn) << "cycle " << i;
+    ASSERT_NE(cli, kBadConn) << "cycle " << i;
+    uint64_t failed0 = st_.failed_gauge().events();
+    k_.faults().Arm(FaultSite::kCodeInstall, certain);
+    k_.Run(30'000'000);
+    k_.faults().Disarm(FaultSite::kCodeInstall);
+    EXPECT_EQ(st_.StateOf(srv), CcbLayout::kFailed) << "cycle " << i;
+    EXPECT_EQ(st_.StateOf(cli), CcbLayout::kFailed) << "cycle " << i;
+    EXPECT_GE(st_.failed_gauge().events(), failed0 + 2);
+    EXPECT_EQ(st_.SynthDeliverOf(srv), kInvalidBlock)
+        << "the partially-established processor must be retired";
+    k_.Run(1'000'000);
+    // The demux's own rebuild-under-injection may have fallen back to its
+    // generic routine (one fewer live block until the next bind re-emits a
+    // specialized one) — but never more blocks, and allocator occupancy is
+    // exactly the pre-churn value.
+    EXPECT_LE(k_.code().live_block_count(), blocks0) << "cycle " << i;
+    EXPECT_EQ(k_.allocator().bytes_in_use(), bytes0) << "cycle " << i;
+    EXPECT_EQ(k_.allocator().allocation_count(), allocs0) << "cycle " << i;
+
+    // (d) Disarmed, the same port churns cleanly again — full recovery.
+    clean_cycle(100 + i);
+    k_.Run(1'000'000);
+    EXPECT_EQ(k_.code().live_block_count(), blocks0) << "cycle " << i;
+    EXPECT_EQ(k_.allocator().bytes_in_use(), bytes0) << "cycle " << i;
+  }
+}
+
 TEST_F(StreamTest, DuplicateAlarmAtOneDeadlineFiresExactlyOneTimeout) {
   StreamConfig cfg;
   cfg.rto_base_us = 300;

@@ -8,6 +8,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <cstdio>
 #include <cstring>
 #include <memory>
 #include <random>
@@ -580,6 +581,111 @@ TEST_P(StreamFaultScheduleFuzz, EveryFaultMixEndsDeliveredOrGracefullyFailed) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, StreamFaultScheduleFuzz, ::testing::Range(1, 7));
+
+// --- Fault-plane replay fuzzing -----------------------------------------------
+//
+// The fault plane's core guarantee: the injection schedule is a pure function
+// of the seed and the workload. Two runs of the same transfer under the same
+// plane seed must produce a byte-identical injection log AND end in the same
+// gauge state — any nondeterminism anywhere in the kernel (an unseeded rng, a
+// host-pointer-ordered container on a decision path) breaks this loudly.
+
+struct ReplayResult {
+  std::string log;     // FaultPlane::SerializeLog()
+  std::string gauges;  // fingerprint of every counter the run touched
+  std::string delivered;
+  uint32_t client_state = 0;
+};
+
+ReplayResult RunUnderFaultPlane(uint32_t plane_seed) {
+  Kernel::Config kc;
+  kc.fault_seed = plane_seed;
+  Kernel k(kc);
+  // Probability triggers on the wire sites (seed-dependent), a deterministic
+  // every-Nth on the alarm path (guarantees a non-empty log), and a spurious
+  // interrupt burst for good measure.
+  FaultTrigger drop;
+  drop.probability = 0.10;
+  FaultTrigger dup;
+  dup.probability = 0.06;
+  FaultTrigger late;
+  late.every_nth = 3;
+  FaultTrigger burst;
+  burst.probability = 0.05;
+  k.faults().Arm(FaultSite::kWireDrop, drop);
+  k.faults().Arm(FaultSite::kWireDup, dup);
+  k.faults().Arm(FaultSite::kAlarmLate, late);
+  k.faults().Arm(FaultSite::kIrqBurst, burst);
+
+  IoSystem io(k, nullptr);
+  NicPoolConfig pc;
+  pc.initial_nics = 2;
+  pc.admission_control = true;
+  pc.shed_high_watermark = 8;
+  pc.shed_low_watermark = 2;
+  NicPool pool(k, pc);
+  StreamLayer st(k, io, pool);
+  StreamConfig scfg;
+  scfg.rto_base_us = 3000;
+  scfg.max_retries = 12;
+  scfg.pin_to_nic = true;
+  ConnId srv = st.Listen(80, scfg);
+  ConnId cli = st.Connect(80, scfg);
+  std::string pattern;
+  for (int i = 0; i < 600; i++) {
+    pattern.push_back(static_cast<char>('!' + (i * 11) % 90));
+  }
+  ReplayResult r;
+  bool send_err = false;
+  k.CreateThread(std::make_unique<PumpSender>(st, cli, pattern, &send_err));
+  k.CreateThread(std::make_unique<PumpReceiver>(st, srv, &r.delivered));
+  k.Run(80'000'000);
+  r.client_state = st.StateOf(cli);
+  r.log = k.faults().SerializeLog();
+  NicPool::AggregateStats agg = pool.Aggregate();
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "del=%llu tx=%llu ovr=%llu csum=%llu mal=%llu ring=%llu wire=%llu "
+      "shed=%llu rtx=%llu to=%llu dup=%llu ooo=%llu fail=%llu open=%llu "
+      "fires=%llu",
+      static_cast<unsigned long long>(agg.delivered),
+      static_cast<unsigned long long>(agg.tx_completed),
+      static_cast<unsigned long long>(agg.rx_overruns),
+      static_cast<unsigned long long>(agg.csum_rejects),
+      static_cast<unsigned long long>(agg.malformed),
+      static_cast<unsigned long long>(agg.ring_drops),
+      static_cast<unsigned long long>(agg.wire_drops),
+      static_cast<unsigned long long>(agg.early_sheds),
+      static_cast<unsigned long long>(st.retransmit_gauge().events()),
+      static_cast<unsigned long long>(st.timeout_gauge().events()),
+      static_cast<unsigned long long>(st.dup_ack_gauge().events()),
+      static_cast<unsigned long long>(st.ooo_gauge().events()),
+      static_cast<unsigned long long>(st.failed_gauge().events()),
+      static_cast<unsigned long long>(st.open_fail_gauge().events()),
+      static_cast<unsigned long long>(k.faults().total_fires()));
+  r.gauges = buf;
+  return r;
+}
+
+class FaultScheduleReplayFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(FaultScheduleReplayFuzz, SameSeedReplaysLogAndGaugesByteIdentically) {
+  const uint32_t seed = static_cast<uint32_t>(GetParam()) * 2654435761u + 13;
+  ReplayResult a = RunUnderFaultPlane(seed);
+  ReplayResult b = RunUnderFaultPlane(seed);
+  EXPECT_FALSE(a.log.empty()) << "the every-Nth alarm trigger must have fired";
+  EXPECT_EQ(a.log, b.log) << "same seed, same workload: the injection log "
+                             "must replay byte-identically";
+  EXPECT_EQ(a.gauges, b.gauges) << "and so must the final gauge state";
+  EXPECT_EQ(a.delivered, b.delivered);
+  EXPECT_EQ(a.client_state, b.client_state);
+  ASSERT_TRUE(a.client_state == CcbLayout::kDone ||
+              a.client_state == CcbLayout::kFailed)
+      << "wedged under injected faults in state " << a.client_state;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FaultScheduleReplayFuzz, ::testing::Range(1, 6));
 
 }  // namespace
 }  // namespace synthesis
