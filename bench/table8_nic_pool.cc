@@ -95,7 +95,7 @@ void RunSteeringPath(double* overhead_out) {
   double sum_gen = 0, sum_syn = 0, sum_direct = 0;
   for (uint16_t port : kPorts) {
     auto ring = io.MakeRing(4096);
-    if (!pool.BindPort(port, ring)) {
+    if (!pool.BindFlow(FlowSpec::Ring(port, ring))) {
       std::fprintf(stderr, "table8: bind failed for port %u\n", port);
       std::exit(1);
     }
@@ -140,7 +140,7 @@ double MeasureRate(uint32_t n_nics, uint32_t frames_per_nic) {
       std::exit(1);
     }
     auto ring = io.MakeRing(4096);
-    if (!pool.BindPort(p, ring)) {
+    if (!pool.BindFlow(FlowSpec::Ring(p, ring))) {
       std::fprintf(stderr, "table8: bind failed for port %u\n", p);
       std::exit(1);
     }

@@ -90,7 +90,7 @@ void RunDropCost(double* shed_out, double* generic_out) {
       std::exit(1);
     }
     auto ring = io.MakeRing(16384);
-    if (!pool.BindPort(p, ring, kGoodBytes)) {
+    if (!pool.BindFlow(FlowSpec::Ring(p, ring, kGoodBytes))) {
       std::fprintf(stderr, "table9: bind failed for port %u\n", p);
       std::exit(1);
     }
@@ -158,7 +158,7 @@ LoadResult MeasureLoad(bool armored, uint32_t junk_ratio) {
       std::exit(1);
     }
     auto ring = io.MakeRing(16384);
-    if (!pool.BindPort(p, ring, kGoodBytes)) {
+    if (!pool.BindFlow(FlowSpec::Ring(p, ring, kGoodBytes))) {
       std::fprintf(stderr, "table9: bind failed for port %u\n", p);
       std::exit(1);
     }

@@ -59,6 +59,13 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
 # drop path; armored goodput at 4x offered load >= 0.8x peak).
 (cd "$BUILD_DIR" && ./bench/table9_overload > /dev/null)
 
+# table10 asserts the batched-RX numbers (synthesized batched receive path
+# <= 0.6x the generic per-frame baseline; batching >= 1.3x aggregate delivery
+# rate at N=4) and gates on delivered==expected with zero ring overruns.
+# FAULTS=1 coverage of the batched path itself comes from the ctest pass:
+# batch_rx_test replays wire faults mid-batch and diffs ring bytes.
+(cd "$BUILD_DIR" && ./bench/table10_batch_rx > /dev/null)
+
 # Every bench JSON the tree produced must parse; a malformed artifact fails
 # the gate rather than silently shipping a broken table.
 if command -v python3 > /dev/null; then

@@ -1,5 +1,6 @@
 #include "src/io/io_system.h"
 
+#include <algorithm>
 #include <cassert>
 
 #include "src/io/copy_code.h"
@@ -584,6 +585,26 @@ bool IoSystem::RingGetByte(RingHost& ring, uint8_t* byte) {
   mem.Write32(ring.base + RingLayout::kTail, (t + 1) & mask);
   kernel_.machine().Charge(30, 5, 4);
   return true;
+}
+
+uint32_t IoSystem::RingPeekSpan(RingHost& ring, const uint8_t** data) {
+  Memory& mem = kernel_.machine().memory();
+  uint32_t mask = ring.capacity - 1;
+  uint32_t h = mem.Read32(ring.base + RingLayout::kHead);
+  uint32_t t = mem.Read32(ring.base + RingLayout::kTail);
+  uint32_t avail = (h - t) & mask;
+  uint32_t run = std::min(avail, ring.capacity - t);
+  *data = mem.raw(ring.base + RingLayout::kBuf + t);
+  kernel_.machine().Charge(10, 3, 0);
+  return run;
+}
+
+void IoSystem::RingConsumeSpan(RingHost& ring, uint32_t n) {
+  Memory& mem = kernel_.machine().memory();
+  uint32_t mask = ring.capacity - 1;
+  uint32_t t = mem.Read32(ring.base + RingLayout::kTail);
+  mem.Write32(ring.base + RingLayout::kTail, (t + n) & mask);
+  kernel_.machine().Charge(8, 2, 1);
 }
 
 uint32_t IoSystem::RingAvail(const RingHost& ring) const {

@@ -82,6 +82,16 @@ class IoSystem {
   bool RingGetByte(RingHost& ring, uint8_t* byte);
   uint32_t RingAvail(const RingHost& ring) const;
 
+  // Zero-copy borrow of the ring's readable bytes: *data points into the
+  // simulated buffer at the consumer index, and the returned count is the
+  // contiguous run up to the buffer edge (a wrapped occupancy takes two
+  // borrows). The span stays valid until the next ConsumeSpan/RingGetByte;
+  // nothing is consumed until ConsumeSpan advances the tail by n <= the
+  // borrowed count. One index charge per borrow instead of a
+  // load-store-mask round trip per byte.
+  uint32_t RingPeekSpan(RingHost& ring, const uint8_t** data);
+  void RingConsumeSpan(RingHost& ring, uint32_t n);
+
   Kernel& kernel() { return kernel_; }
   FileSystem* fs() { return fs_; }
 

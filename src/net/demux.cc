@@ -408,6 +408,50 @@ BlockId DemuxSynthesizer::SynthesizeDeliver(const Flow& f) const {
   a.Label("room");
   // Bulk insert with the producer index in d3, published once at the end —
   // the optimistic SPSC discipline (§3.2: publish last).
+  const bool folded_append = f.fixed_len > 0 && f.fixed_len + 4 <= mask + 1;
+  if (folded_append) {
+    // Folded contiguous append: with the record stride a flow invariant, the
+    // header bytes become immediates and the payload copy runs against a raw
+    // buffer pointer with no per-byte masking. ONE compare decides whether
+    // the record straddles the buffer edge; the straddling case (at most
+    // once per ring lap) falls through to the masked per-byte code below.
+    a.CmpI(kD3, Asm::Sym("cap_rec"));
+    a.Bhi("slow");
+    a.Lea(kA2, kD3, Asm::Sym("buf"));
+    a.MoveI(kD1, Asm::Sym("len_lo"));
+    a.Store8(kA2, kD1, 0);
+    a.MoveI(kD1, Asm::Sym("len_hi"));
+    a.Store8(kA2, kD1, 1);
+    a.Load32(kD1, kA1, FrameLayout::kSrcPort);
+    a.Store8(kA2, kD1, 2);
+    a.LsrI(kD1, 8);
+    a.Store8(kA2, kD1, 3);
+    if (unrolled) {
+      for (uint32_t i = 0; i < f.fixed_len; i++) {
+        a.Load8(kD1, kA1, FrameLayout::kPayload + i);
+        a.Store8(kA2, kD1, 4 + static_cast<int32_t>(i));
+      }
+    } else {
+      a.Move(kA3, kA1);
+      a.AddI(kA3, FrameLayout::kPayload);
+      a.AddI(kA2, 4);
+      a.Move(kD6, kD5);
+      a.Label("floop");
+      a.Tst(kD6);
+      a.Beq("fdone");
+      a.Load8(kD1, kA3, 0);
+      a.Store8(kA2, kD1, 0);
+      a.AddI(kA3, 1);
+      a.AddI(kA2, 1);
+      a.SubI(kD6, 1);
+      a.Bra("floop");
+      a.Label("fdone");
+    }
+    a.AddI(kD3, Asm::Sym("rec"));
+    a.AndI(kD3, Asm::Sym("mask"));
+    a.Bra("pub");
+    a.Label("slow");
+  }
   a.Move(kD1, kD5);
   a.AndI(kD1, 255);
   PutByteSpecialized(a);
@@ -441,6 +485,7 @@ BlockId DemuxSynthesizer::SynthesizeDeliver(const Flow& f) const {
     a.Bra("uloop");
     a.Label("udone");
   }
+  a.Label("pub");
   a.StoreA32(Asm::Sym("head"), kD3);
   BumpCounter(a, "ctr_flow");
   BumpCounter(a, "ctr_total");
@@ -450,6 +495,13 @@ BlockId DemuxSynthesizer::SynthesizeDeliver(const Flow& f) const {
   Bindings b;
   b.Set("port", f.port);
   b.Set("fixed", static_cast<int32_t>(f.fixed_len));
+  if (folded_append) {
+    const uint32_t rec = f.fixed_len + 4;
+    b.Set("rec", static_cast<int32_t>(rec));
+    b.Set("cap_rec", static_cast<int32_t>(mask + 1 - rec));
+    b.Set("len_lo", static_cast<int32_t>(f.fixed_len & 255u));
+    b.Set("len_hi", static_cast<int32_t>((f.fixed_len >> 8) & 255u));
+  }
   b.Set("csum", static_cast<int32_t>(csum_));
   b.Set("head", static_cast<int32_t>(f.ring + RingLayout::kHead));
   b.Set("tail", static_cast<int32_t>(f.ring + RingLayout::kTail));

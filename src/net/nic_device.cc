@@ -2,25 +2,52 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdio>
+#include <cstdlib>
 
 #include "src/machine/assembler.h"
 
 namespace synthesis {
 
+namespace {
+bool IsPow2(uint32_t v) { return v != 0 && (v & (v - 1)) == 0; }
+}  // namespace
+
 NicDevice::NicDevice(Kernel& kernel, NicConfig config)
     : kernel_(kernel),
       config_(config),
       demux_(kernel),
-      wire_(config.tx_slots),
+      wire_(config.tx_slots == 0 ? 1 : config.tx_slots),
       rng_(config.fault_seed) {
-  assert((config_.rx_slots & (config_.rx_slots - 1)) == 0);
-  assert((config_.tx_slots & (config_.tx_slots - 1)) == 0);
+  // The slot-index masks (rx_next_ & (slots - 1)) silently alias descriptors
+  // for any other geometry, so a bad config is a hard construction error —
+  // not a debug-build assert.
+  if (!IsPow2(config_.rx_slots) || !IsPow2(config_.tx_slots)) {
+    std::fprintf(stderr,
+                 "NicDevice: rx_slots/tx_slots must be nonzero powers of two "
+                 "(rx_slots=%u tx_slots=%u)\n",
+                 config_.rx_slots, config_.tx_slots);
+    std::abort();
+  }
   rx_base_ = kernel_.allocator().Allocate(config_.rx_slots * FrameLayout::kSlotBytes);
   tx_base_ = kernel_.allocator().Allocate(config_.tx_slots * FrameLayout::kSlotBytes);
   demux_cell_ = kernel_.allocator().Allocate(4);
   inner_cell_ = kernel_.allocator().Allocate(4);
   assert(rx_base_ != 0 && tx_base_ != 0 && demux_cell_ != 0 && inner_cell_ != 0 &&
          "kernel memory exhausted bringing up a NIC");
+  Memory& ctor_mem = kernel_.machine().memory();
+  if (batching()) {
+    due_base_ = kernel_.allocator().Allocate(4 + 4 * config_.rx_slots);
+    batch_desc_ = kernel_.allocator().Allocate(12);
+    batch_cell_ = kernel_.allocator().Allocate(4);
+    batch_idx_ = kernel_.allocator().Allocate(4);
+    assert(due_base_ != 0 && batch_desc_ != 0 && batch_cell_ != 0 &&
+           batch_idx_ != 0 && "kernel memory exhausted bringing up a NIC");
+    ctor_mem.Write32(due_base_, 0);
+    ctor_mem.Write32(batch_desc_ + 0, due_base_);
+    ctor_mem.Write32(batch_desc_ + 4, rx_base_);
+    ctor_mem.Write32(batch_desc_ + 8, demux_cell_);
+  }
   RefreshDemuxCell();
 
   int rxdone_vec = kernel_.RegisterHostTrap([this](Machine& m) {
@@ -110,29 +137,175 @@ NicDevice::NicDevice(Kernel& kernel, NicConfig config)
       if (c == 1) {
         wire_dup_gauge_.Count();
       }
-      kernel_.interrupts().Raise(
-          kernel_.NowUs() + delay + c * 2 * config_.wire_latency_us,
-          Vector::kNetRx, config_.irq_tag | rx_idx);
+      ScheduleRxDelivery(rx_idx,
+                         kernel_.NowUs() + delay +
+                             c * 2 * config_.wire_latency_us);
+    }
+    return TrapAction::kContinue;
+  });
+
+  // Batch latch: the "hardware" side of a coalesced interrupt. Every frame
+  // whose wire arrival time has passed is written into the due table (count +
+  // slot indices, in arrival order — so reordered frames still overtake), and
+  // the interrupt re-arms for whatever is still in flight. A stale raise
+  // (the batch was advanced past it) finds nothing due and the loop runs
+  // zero frames.
+  int batchfill_vec = kernel_.RegisterHostTrap([this](Machine& m) {
+    const double now = kernel_.NowUs() + 1e-9;
+    std::stable_sort(rx_pending_.begin(), rx_pending_.end(),
+                     [](const PendingRx& a, const PendingRx& b) {
+                       return a.at < b.at || (a.at == b.at && a.seq < b.seq);
+                     });
+    Memory& mem = m.memory();
+    uint32_t count = 0;
+    size_t kept = 0;
+    for (const PendingRx& p : rx_pending_) {
+      if (p.at <= now && count < config_.rx_slots) {
+        mem.Write32(due_base_ + 4 + 4 * count, p.slot);
+        count++;
+      } else {
+        rx_pending_[kept++] = p;
+      }
+    }
+    rx_pending_.resize(kept);
+    mem.Write32(due_base_, count);
+    m.Charge(4 + 2 * count, 1, 1 + count);  // descriptor scan, a word per slot
+    rx_batch_dispatches_++;
+    rx_batch_frames_ += count;
+    if (rx_pending_.empty()) {
+      batch_armed_ = false;
+    } else {
+      double fire = rx_pending_.front().fire;
+      for (const PendingRx& p : rx_pending_) {
+        fire = std::min(fire, p.fire);
+      }
+      kernel_.interrupts().Raise(fire, Vector::kNetRx, config_.irq_tag);
+      batch_armed_ = true;
+      batch_next_fire_ = fire;
     }
     return TrapAction::kContinue;
   });
 
   SynthesisOptions verbatim = SynthesisOptions::Disabled();
 
-  // RX interrupt entry: d1 = slot index. Computes the frame address and jumps
-  // through the demux cell — the cell's content IS the device's demux state.
-  Asm rx("nic_rx_entry");
-  rx.Charge(60);  // controller status read, descriptor ack
-  rx.Move(kD6, kD1);
-  rx.MulI(kD6, FrameLayout::kSlotBytes);
-  rx.AddI(kD6, static_cast<int32_t>(rx_base_));
-  rx.Move(kA1, kD6);
-  rx.LoadA32(kD7, static_cast<int32_t>(demux_cell_));
-  rx.JsrInd(kD7);
-  rx.Trap(rxdone_vec);
-  rx.Rts();
-  rx_entry_ = kernel_.SynthesizeInstall(rx.Build(), Bindings(), nullptr,
-                                        "nic_rx_entry", nullptr, &verbatim);
+  if (!batching()) {
+    // RX interrupt entry: d1 = slot index. Computes the frame address and
+    // jumps through the demux cell — the cell's content IS the device's
+    // demux state.
+    Asm rx("nic_rx_entry");
+    rx.Charge(60);  // controller status read, descriptor ack
+    rx.Move(kD6, kD1);
+    rx.MulI(kD6, FrameLayout::kSlotBytes);
+    rx.AddI(kD6, static_cast<int32_t>(rx_base_));
+    rx.Move(kA1, kD6);
+    rx.LoadA32(kD7, static_cast<int32_t>(demux_cell_));
+    rx.JsrInd(kD7);
+    rx.Trap(rxdone_vec);
+    rx.Rts();
+    rx_entry_ = kernel_.SynthesizeInstall(rx.Build(), Bindings(), nullptr,
+                                          "nic_rx_entry", nullptr, &verbatim);
+  } else {
+    // Batched RX: ONE interrupt covers every due completion. The entry
+    // latches the due slots (batchfill trap = the controller's descriptor
+    // scan), then runs the active batch loop out of the batch cell. Two loop
+    // implementations share the cell, same pattern as demux/steering:
+    //
+    //  * GENERIC: reloads the descriptor (due table base, RX ring base,
+    //    demux cell address) from memory on every iteration — the layered
+    //    ablation baseline.
+    //  * SYNTHESIZED: every one of those is a device-lifetime invariant,
+    //    folded to an immediate (Factoring Invariants).
+    //
+    // Both reload the demux cell per frame, so a flow rebound by a deliver
+    // hook mid-batch steers the very next frame through the fresh demux, and
+    // both keep the per-frame RX-done trap (gauges, reader wakeups, hooks) —
+    // only the vector/entry/exit overhead is amortized.
+    Asm g("nic_rx_batch_gen");
+    g.MoveI(kD3, 0);
+    g.StoreA32(static_cast<int32_t>(batch_idx_), kD3);
+    g.Label("loop");
+    g.MoveI(kA2, static_cast<int32_t>(batch_desc_));
+    g.Load32(kD0, kA2, 0);  // due table base
+    g.Move(kA4, kD0);
+    g.Load32(kD6, kA4, 0);  // due count
+    g.LoadA32(kD3, static_cast<int32_t>(batch_idx_));
+    g.Cmp(kD3, kD6);
+    g.Bge("done");
+    g.Move(kD1, kD3);
+    g.LslI(kD1, 2);
+    g.Add(kD1, kD0);
+    g.Move(kA5, kD1);
+    g.Load32(kD1, kA5, 4);  // slot index
+    g.Load32(kD5, kA2, 4);  // RX ring base
+    g.MulI(kD1, FrameLayout::kSlotBytes);
+    g.Add(kD1, kD5);
+    g.Move(kA1, kD1);
+    g.Load32(kD7, kA2, 8);  // demux cell address
+    g.Move(kA5, kD7);
+    g.Load32(kD7, kA5, 0);  // current demux
+    g.JsrInd(kD7);
+    g.Trap(rxdone_vec);
+    g.LoadA32(kD3, static_cast<int32_t>(batch_idx_));
+    g.AddI(kD3, 1);
+    g.StoreA32(static_cast<int32_t>(batch_idx_), kD3);
+    g.Bra("loop");
+    g.Label("done");
+    g.Rts();
+    batch_loop_gen_ = kernel_.SynthesizeInstall(g.Build(), Bindings(), nullptr,
+                                                "nic_rx_batch_gen", nullptr,
+                                                &verbatim);
+    assert(batch_loop_gen_ != kInvalidBlock &&
+           "code store exhausted bringing up a NIC");
+
+    // The slot stride is a power-of-two sum (1040 = 1024 + 16), so the
+    // specialized loop strength-reduces the MulI to two shifts and an add —
+    // the same Factoring Invariants move the demux makes with the ring mask.
+    static_assert((1u << 10) + (1u << 4) == FrameLayout::kSlotBytes,
+                  "slot stride decomposition");
+    Asm s("nic_rx_batch_syn");
+    s.MoveI(kD3, 0);
+    s.StoreA32(static_cast<int32_t>(batch_idx_), kD3);
+    s.Label("loop");
+    s.LoadA32(kD3, static_cast<int32_t>(batch_idx_));
+    s.LoadA32(kD6, static_cast<int32_t>(due_base_));
+    s.Cmp(kD3, kD6);
+    s.Bge("done");
+    s.LoadIdx32(kD1, kD3, static_cast<int32_t>(due_base_ + 4));
+    // d3 is dead until the next iteration: publish the incremented index now,
+    // so the post-demux path needs no reload/spill pair (the demux clobbers
+    // every data register).
+    s.AddI(kD3, 1);
+    s.StoreA32(static_cast<int32_t>(batch_idx_), kD3);
+    s.Move(kD5, kD1);
+    s.LslI(kD1, 10);
+    s.LslI(kD5, 4);
+    s.Add(kD1, kD5);
+    s.AddI(kD1, static_cast<int32_t>(rx_base_));
+    s.Move(kA1, kD1);
+    s.LoadA32(kD7, static_cast<int32_t>(demux_cell_));
+    s.JsrInd(kD7);
+    s.Trap(rxdone_vec);
+    s.Bra("loop");
+    s.Label("done");
+    s.Rts();
+    SynthesisOptions lopts = kernel_.config().synthesis;
+    lopts.live_out |= (1u << kD0) | (1u << kD1) | (1u << kD2);
+    batch_loop_syn_ = kernel_.SynthesizeInstall(s.Build(), Bindings(), nullptr,
+                                                "nic_rx_batch_syn", nullptr,
+                                                &lopts);
+    RefreshDemuxCell();  // now that the loops exist, point the batch cell
+
+    Asm rx("nic_rx_batch_entry");
+    rx.Charge(60);            // controller status read, descriptor ack
+    rx.Trap(batchfill_vec);   // latch every due completion into the table
+    rx.LoadA32(kD7, static_cast<int32_t>(batch_cell_));
+    rx.JsrInd(kD7);
+    rx.Rts();
+    rx_entry_ = kernel_.SynthesizeInstall(rx.Build(), Bindings(), nullptr,
+                                          "nic_rx_batch_entry", nullptr,
+                                          &verbatim);
+  }
+  assert(rx_entry_ != kInvalidBlock && "code store exhausted bringing up a NIC");
   if (config_.install_vectors) {
     kernel_.SetDefaultVector(Vector::kNetRx, rx_entry_);
   }
@@ -167,6 +340,16 @@ void NicDevice::RefreshDemuxCell() {
   mem.Write32(inner_cell_, static_cast<uint32_t>(d));
   BlockId outer = demux_override_ != kInvalidBlock ? demux_override_ : d;
   mem.Write32(demux_cell_, static_cast<uint32_t>(outer));
+  // The batch cell tracks the same synthesized/generic knob, so one switch
+  // flips the whole RX path (demux + dispatch loop) between the two variants.
+  if (batch_cell_ != 0) {
+    BlockId loop = (config_.synthesized_demux && batch_loop_syn_ != kInvalidBlock)
+                       ? batch_loop_syn_
+                       : batch_loop_gen_;
+    if (loop != kInvalidBlock) {
+      mem.Write32(batch_cell_, static_cast<uint32_t>(loop));
+    }
+  }
   kernel_.machine().Charge(8, 1, 1);
 }
 
@@ -175,34 +358,39 @@ void NicDevice::SetDemuxOverride(BlockId steer) {
   RefreshDemuxCell();
 }
 
-bool NicDevice::BindPort(uint16_t port, std::shared_ptr<RingHost> ring,
-                         uint32_t fixed_len) {
-  if (ring == nullptr || !demux_.AddFlow(port, ring->base, fixed_len)) {
+bool NicDevice::BindFlow(const FlowSpec& spec) {
+  if (spec.ring == nullptr) {
     return false;
   }
-  rings_[port] = std::move(ring);
+  // A custom flow carries BOTH processor variants (the demux swaps between
+  // them with the synthesized_demux knob); asking for one without the other
+  // is a caller bug, not a fallback.
+  bool custom = spec.synth_deliver != kInvalidBlock ||
+                spec.generic_deliver != kInvalidBlock;
+  if (custom) {
+    if (spec.synth_deliver == kInvalidBlock ||
+        spec.generic_deliver == kInvalidBlock) {
+      return false;
+    }
+    if (!demux_.AddFlowCustom(spec.port, spec.ring->base, spec.ctx,
+                              spec.synth_deliver, spec.generic_deliver)) {
+      return false;
+    }
+  } else if (!demux_.AddFlow(spec.port, spec.ring->base, spec.fixed_len)) {
+    return false;
+  }
+  rings_[spec.port] = spec.ring;
+  if (spec.deliver_hook) {
+    hooks_[spec.port] = spec.deliver_hook;
+  }
+  if (!spec.batch) {
+    nobatch_ports_.insert(spec.port);
+  }
   RefreshDemuxCell();
   return true;
 }
 
-bool NicDevice::BindPortCustom(uint16_t port, std::shared_ptr<RingHost> ring,
-                               Addr ctx, BlockId synth_deliver,
-                               BlockId generic_deliver,
-                               std::function<void()> deliver_hook) {
-  if (ring == nullptr || !demux_.AddFlowCustom(port, ring->base, ctx,
-                                               synth_deliver,
-                                               generic_deliver)) {
-    return false;
-  }
-  rings_[port] = std::move(ring);
-  if (deliver_hook) {
-    hooks_[port] = std::move(deliver_hook);
-  }
-  RefreshDemuxCell();
-  return true;
-}
-
-bool NicDevice::SwapPortDeliver(uint16_t port, BlockId synth_deliver) {
+bool NicDevice::RebindFlow(uint16_t port, BlockId synth_deliver) {
   if (!demux_.SetFlowDeliver(port, synth_deliver)) {
     return false;
   }
@@ -210,12 +398,13 @@ bool NicDevice::SwapPortDeliver(uint16_t port, BlockId synth_deliver) {
   return true;
 }
 
-bool NicDevice::UnbindPort(uint16_t port) {
+bool NicDevice::UnbindFlow(uint16_t port) {
   if (!demux_.RemoveFlow(port)) {
     return false;
   }
   rings_.erase(port);
   hooks_.erase(port);
+  nobatch_ports_.erase(port);
   RefreshDemuxCell();
   return true;
 }
@@ -323,8 +512,32 @@ void NicDevice::InjectRaw(uint32_t dst_port, uint32_t src_port,
   if (admission_hook_) {
     admission_hook_(rx_inflight_);
   }
-  kernel_.interrupts().Raise(kernel_.NowUs() + config_.wire_latency_us,
-                             Vector::kNetRx, config_.irq_tag | rx_idx);
+  ScheduleRxDelivery(rx_idx, kernel_.NowUs() + config_.wire_latency_us);
+}
+
+void NicDevice::ScheduleRxDelivery(uint32_t rx_idx, double at) {
+  if (!batching()) {
+    kernel_.interrupts().Raise(at, Vector::kNetRx, config_.irq_tag | rx_idx);
+    return;
+  }
+  // Coalescing holds a frame's interrupt open for rx_coalesce_us past its
+  // wire arrival so later completions ride the same dispatch. Flows bound
+  // with batch=false (latency-sensitive) fire at arrival time; any frames
+  // already due then are swept into their batch for free.
+  Memory& mem = kernel_.machine().memory();
+  uint16_t port = static_cast<uint16_t>(
+      mem.Read32(RxSlotAddr(rx_idx) + FrameLayout::kDstPort));
+  PendingRx p;
+  p.at = at;
+  p.fire = nobatch_ports_.count(port) != 0 ? at : at + config_.rx_coalesce_us;
+  p.seq = rx_pending_seq_++;
+  p.slot = rx_idx;
+  rx_pending_.push_back(p);
+  if (!batch_armed_ || p.fire < batch_next_fire_) {
+    kernel_.interrupts().Raise(p.fire, Vector::kNetRx, config_.irq_tag);
+    batch_armed_ = true;
+    batch_next_fire_ = p.fire;
+  }
 }
 
 }  // namespace synthesis

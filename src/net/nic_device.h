@@ -27,6 +27,8 @@
 #include <memory>
 #include <random>
 #include <unordered_map>
+#include <unordered_set>
+#include <vector>
 
 #include "src/io/gauge.h"
 #include "src/io/io_system.h"
@@ -37,8 +39,10 @@
 namespace synthesis {
 
 struct NicConfig {
-  uint32_t rx_slots = 64;  // power of two
-  uint32_t tx_slots = 64;  // power of two
+  // Descriptor ring geometry. Both MUST be nonzero powers of two (the slot
+  // index masks depend on it); the constructor aborts loudly otherwise.
+  uint32_t rx_slots = 64;
+  uint32_t tx_slots = 64;
   double tx_complete_us = 2.0;   // DMA-out latency per frame
   double wire_latency_us = 5.0;  // loopback segment latency
   double drop_rate = 0.0;        // probability a frame vanishes on the wire
@@ -59,29 +63,67 @@ struct NicConfig {
   uint32_t irq_tag = 0;
   bool install_vectors = true;
   bool serialize_tx = false;
+  // RX interrupt coalescing: > 0 enables batched delivery. Completions that
+  // land within one window share a single interrupt whose entry loops over
+  // every due descriptor slot in synthesized code, so the vector/trap
+  // overhead is paid once per batch instead of once per frame. 0 (default)
+  // keeps the classic one-interrupt-per-frame entry — the ablation baseline.
+  double rx_coalesce_us = 0.0;
+};
+
+// One flow, fully described: the unified binding surface. A spec with the
+// deliver blocks unset opens a datagram flow whose specialized deliver the
+// demux synthesizer emits (and owns); a spec carrying synth_deliver +
+// generic_deliver (the stream layer's segment processors) opens a custom
+// flow, with `ctx` (the CCB) written into the flow-table entry and
+// `deliver_hook` run from the RX-done trap after each accepted frame —
+// host-only work (acks, window pushes, wakeups), never a nested kexec call.
+// `batch` opts the flow into RX coalescing (NicConfig::rx_coalesce_us);
+// latency-critical flows clear it so their arrival fires the batched entry
+// immediately instead of waiting out the window. `pin`/`pin_peer` are read
+// by the NicPool only: a pinned connection flow steers by its (dst, src)
+// pair instead of the dst-port hash.
+struct FlowSpec {
+  uint16_t port = 0;
+  std::shared_ptr<RingHost> ring;
+  uint32_t fixed_len = 0;
+  Addr ctx = 0;
+  BlockId synth_deliver = kInvalidBlock;
+  BlockId generic_deliver = kInvalidBlock;
+  std::function<void()> deliver_hook;
+  bool batch = true;
+  bool pin = false;
+  uint16_t pin_peer = 0;
+
+  // The common case: a plain datagram flow appending [len src payload]
+  // records into `ring` (fixed_len > 0 declares every datagram that size —
+  // the invariant the synthesizer folds).
+  static FlowSpec Ring(uint16_t port, std::shared_ptr<RingHost> ring,
+                       uint32_t fixed_len = 0) {
+    FlowSpec s;
+    s.port = port;
+    s.ring = std::move(ring);
+    s.fixed_len = fixed_len;
+    return s;
+  }
 };
 
 class NicDevice {
  public:
   NicDevice(Kernel& kernel, NicConfig config = NicConfig());
 
-  // Opens a flow: frames addressed to `port` are delivered into `ring` as
-  // [len.lo len.hi src.lo src.hi payload...] records, and readers parked on
-  // the ring are woken per delivery. `fixed_len` > 0 declares a fixed
-  // datagram size the demux synthesizer folds (and enforces).
-  bool BindPort(uint16_t port, std::shared_ptr<RingHost> ring,
-                uint32_t fixed_len = 0);
-  // Opens a flow with caller-supplied per-packet processors (the stream
-  // layer's segment handlers; see DemuxSynthesizer::AddFlowCustom) plus an
-  // optional host hook run from the RX-done trap after each accepted frame —
-  // host-only work (acks, window pushes, wakeups), never a nested kexec call.
-  bool BindPortCustom(uint16_t port, std::shared_ptr<RingHost> ring, Addr ctx,
-                      BlockId synth_deliver, BlockId generic_deliver,
-                      std::function<void()> deliver_hook);
+  // Opens the flow `spec` describes: frames addressed to `spec.port` are
+  // delivered into `spec.ring` as [len.lo len.hi src.lo src.hi payload...]
+  // records (datagram flows) or through the spec's own segment processors
+  // (custom flows), and readers parked on the ring are woken per delivery.
+  // `spec.fixed_len` > 0 declares a fixed datagram size the demux
+  // synthesizer folds (and enforces). A spec must carry both deliver blocks
+  // or neither.
+  bool BindFlow(const FlowSpec& spec);
   // Re-synthesizes a custom flow's specialized deliver (e.g. a connection
   // left LISTEN and the peer is now a foldable invariant).
-  bool SwapPortDeliver(uint16_t port, BlockId synth_deliver);
-  bool UnbindPort(uint16_t port);
+  bool RebindFlow(uint16_t port, BlockId synth_deliver);
+  bool UnbindFlow(uint16_t port);
 
   // Changes wire fault rates mid-run (e.g. a link going dark under test).
   void SetWireFaults(double drop, double corrupt, double reorder,
@@ -142,6 +184,12 @@ class NicDevice {
   uint64_t tx_completed() const { return tx_completed_; }
   uint64_t rx_overruns() const { return rx_overruns_; }
 
+  // Batched-delivery introspection (benches assert the amortization really
+  // happened: frames per dispatch > 1 under load).
+  bool batching() const { return config_.rx_coalesce_us > 0.0; }
+  uint64_t rx_batch_dispatches() const { return rx_batch_dispatches_; }
+  uint64_t rx_batch_frames() const { return rx_batch_frames_; }
+
  private:
   struct WireItem {
     uint32_t tx_slot = 0;
@@ -151,11 +199,21 @@ class NicDevice {
     int32_t corrupt_off = -1;  // byte offset within the frame to flip, or -1
   };
 
+  // A frame landed in RX slot `slot`, due for delivery at virtual time `at`
+  // (wire latency + any reorder hold already applied). Per-frame mode raises
+  // its interrupt directly; batch mode queues the slot and arms/advances the
+  // single outstanding batch interrupt.
+  struct PendingRx {
+    double at = 0;    // arrival time (delivery order key)
+    double fire = 0;  // when this frame alone would fire the batch interrupt
+    uint64_t seq = 0;
+    uint32_t slot = 0;
+  };
+
   Addr RxSlotAddr(uint32_t index) const;
   Addr TxSlotAddr(uint32_t index) const;
   void RefreshDemuxCell();
-  void EnqueueRx(Addr frame_bytes_from, uint32_t frame_bytes,
-                 int32_t corrupt_off);
+  void ScheduleRxDelivery(uint32_t rx_idx, double at);
 
   Kernel& kernel_;
   NicConfig config_;
@@ -173,6 +231,25 @@ class NicDevice {
   uint32_t rx_next_ = 0;
   uint32_t tx_inflight_ = 0;
   uint32_t rx_inflight_ = 0;
+
+  // Batched-delivery state (allocated only when rx_coalesce_us > 0):
+  // the due table [count][slot...] the batchfill trap latches pending frames
+  // into, a 3-word descriptor {due table, rx base, demux cell} the generic
+  // loop reloads per frame, the cell holding the active loop implementation,
+  // and a spill word for the loop counter (the demux clobbers registers).
+  Addr due_base_ = 0;
+  Addr batch_desc_ = 0;
+  Addr batch_cell_ = 0;
+  Addr batch_idx_ = 0;
+  BlockId batch_loop_gen_ = kInvalidBlock;
+  BlockId batch_loop_syn_ = kInvalidBlock;
+  std::vector<PendingRx> rx_pending_;
+  uint64_t rx_pending_seq_ = 0;
+  bool batch_armed_ = false;      // one batch interrupt is outstanding
+  double batch_next_fire_ = 0;    // its fire time
+  std::unordered_set<uint16_t> nobatch_ports_;
+  uint64_t rx_batch_dispatches_ = 0;
+  uint64_t rx_batch_frames_ = 0;
 
   std::unordered_map<uint16_t, std::shared_ptr<RingHost>> rings_;
   std::unordered_map<uint16_t, std::function<void()>> hooks_;

@@ -149,7 +149,7 @@ uint32_t NicPool::RouteOf(uint16_t dst_port, uint16_t src_port) const {
   // exactly; anything else falls through to the dst hash.
   for (const auto& [p, b] : bindings_) {
     if (p == dst_port) {
-      if (!b.pinned || b.peer == src_port) {
+      if (!b.pinned || b.spec.pin_peer == src_port) {
         return b.owner;
       }
       break;
@@ -180,7 +180,7 @@ void NicPool::WriteDescriptor() {
     }
     Addr e = desc_ + kPinBaseOff + pins * kPinEntryBytes;
     mem.Write32(e + 0, port);
-    mem.Write32(e + 4, b.peer);
+    mem.Write32(e + 4, b.spec.pin_peer);
     mem.Write32(e + 8, nics_[b.owner]->inner_cell_addr());
     mem.Write32(e + 12, 0);
     pins++;
@@ -214,7 +214,7 @@ void NicPool::EmitSteering() {
     const std::string next = "p" + std::to_string(pin_idx++);
     a.CmpI(kD0, static_cast<int32_t>(port));
     a.Bne(next);
-    a.CmpI(kD1, static_cast<int32_t>(b.peer));
+    a.CmpI(kD1, static_cast<int32_t>(b.spec.pin_peer));
     a.Bne(next);
     a.LoadA32(kD7, static_cast<int32_t>(nics_[b.owner]->inner_cell_addr()));
     a.JmpInd(kD7);
@@ -405,11 +405,12 @@ bool NicPool::AddNic() {
   // (the stream layer's CCB-absolute segment code) are NIC-agnostic and move
   // by reference; only the demux chains on the affected NICs re-synthesize.
   for (auto& [port, b] : bindings_) {
-    uint32_t owner = b.pinned ? PinSteerOf(port, b.peer) : SteerOf(port);
+    uint32_t owner =
+        b.pinned ? PinSteerOf(port, b.spec.pin_peer) : SteerOf(port);
     if (owner == b.owner) {
       continue;
     }
-    bool ok = nics_[b.owner]->UnbindPort(port) && BindOn(owner, port, b);
+    bool ok = nics_[b.owner]->UnbindFlow(port) && BindOn(owner, b.spec);
     assert(ok);
     (void)ok;
     b.owner = owner;
@@ -432,48 +433,22 @@ void NicPool::UseSynthesizedDemux(bool on) {
   }
 }
 
-bool NicPool::BindOn(uint32_t idx, uint16_t port, const Binding& b) {
-  if (b.custom) {
-    return nics_[idx]->BindPortCustom(port, b.ring, b.ctx, b.synth_deliver,
-                                      b.generic_deliver, b.hook);
-  }
-  return nics_[idx]->BindPort(port, b.ring, b.fixed_len);
+bool NicPool::BindOn(uint32_t idx, const FlowSpec& spec) {
+  return nics_[idx]->BindFlow(spec);
 }
 
-bool NicPool::BindPort(uint16_t port, std::shared_ptr<RingHost> ring,
-                       uint32_t fixed_len) {
+bool NicPool::BindFlow(FlowSpec spec) {
   Binding b;
-  b.ring = std::move(ring);
-  b.fixed_len = fixed_len;
-  b.owner = SteerOf(port);
-  if (!BindOn(b.owner, port, b)) {
-    return false;
-  }
-  bindings_.emplace_back(port, std::move(b));
-  EmitShedFilter();
-  ApplySteering();
-  return true;
-}
-
-bool NicPool::BindPortCustom(uint16_t port, std::shared_ptr<RingHost> ring,
-                             Addr ctx, BlockId synth_deliver,
-                             BlockId generic_deliver,
-                             std::function<void()> deliver_hook, bool pin,
-                             uint16_t pin_peer) {
-  Binding b;
-  b.ring = std::move(ring);
-  b.ctx = ctx;
-  b.synth_deliver = synth_deliver;
-  b.generic_deliver = generic_deliver;
-  b.hook = std::move(deliver_hook);
-  b.custom = true;
   // A full pin table degrades to hash placement — correct, just unbalanced.
-  b.pinned = pin && pinned_count() < kMaxPins;
-  b.peer = pin_peer;
-  b.owner = b.pinned ? PinSteerOf(port, pin_peer) : SteerOf(port);
-  if (!BindOn(b.owner, port, b)) {
+  b.pinned = spec.pin && pinned_count() < kMaxPins;
+  spec.pin = b.pinned;
+  b.owner =
+      b.pinned ? PinSteerOf(spec.port, spec.pin_peer) : SteerOf(spec.port);
+  b.spec = std::move(spec);
+  if (!BindOn(b.owner, b.spec)) {
     return false;
   }
+  uint16_t port = b.spec.port;
   bool pinned = b.pinned;
   bindings_.emplace_back(port, std::move(b));
   if (pinned) {
@@ -485,21 +460,21 @@ bool NicPool::BindPortCustom(uint16_t port, std::shared_ptr<RingHost> ring,
   return true;
 }
 
-bool NicPool::SwapPortDeliver(uint16_t port, BlockId synth_deliver) {
+bool NicPool::RebindFlow(uint16_t port, BlockId synth_deliver) {
   for (auto& [p, b] : bindings_) {
     if (p == port) {
-      b.synth_deliver = synth_deliver;  // so a future migration rebinds it
-      return nics_[b.owner]->SwapPortDeliver(port, synth_deliver);
+      b.spec.synth_deliver = synth_deliver;  // so a future migration rebinds it
+      return nics_[b.owner]->RebindFlow(port, synth_deliver);
     }
   }
   return false;
 }
 
-bool NicPool::UnbindPort(uint16_t port) {
+bool NicPool::UnbindFlow(uint16_t port) {
   for (size_t i = 0; i < bindings_.size(); i++) {
     if (bindings_[i].first == port) {
       bool was_pinned = bindings_[i].second.pinned;
-      bool ok = nics_[bindings_[i].second.owner]->UnbindPort(port);
+      bool ok = nics_[bindings_[i].second.owner]->UnbindFlow(port);
       bindings_.erase(bindings_.begin() + static_cast<long>(i));
       if (was_pinned) {
         WriteDescriptor();

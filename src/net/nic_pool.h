@@ -128,17 +128,15 @@ class NicPool {
   void NoteRxDepth(uint32_t depth);
 
   // --- Flow operations, routed to the owning NIC -----------------------------
-  bool BindPort(uint16_t port, std::shared_ptr<RingHost> ring,
-                uint32_t fixed_len = 0);
-  // `pin` + `pin_peer`: register the flow as a connection pinned by its
-  // (src, dst) pair — see the PIN stage above. Falls back to hash placement
-  // when the pin table is full.
-  bool BindPortCustom(uint16_t port, std::shared_ptr<RingHost> ring, Addr ctx,
-                      BlockId synth_deliver, BlockId generic_deliver,
-                      std::function<void()> deliver_hook, bool pin = false,
-                      uint16_t pin_peer = 0);
-  bool SwapPortDeliver(uint16_t port, BlockId synth_deliver);
-  bool UnbindPort(uint16_t port);
+  // One entry point for every flavor of flow: plain fixed/flex ring flows,
+  // custom per-connection processors, (src, dst)-pinned placement, batch
+  // opt-out — all described by the FlowSpec. A full pin table degrades to
+  // hash placement (correct, just unbalanced).
+  bool BindFlow(FlowSpec spec);
+  // Swaps an existing custom flow's synthesized processor (connection
+  // re-synthesis after a rate change); the generic twin stays.
+  bool RebindFlow(uint16_t port, BlockId synth_deliver);
+  bool UnbindFlow(uint16_t port);
   bool HasFlow(uint16_t port) const;
 
   // Frames enter and leave through the owning NIC, so loopback delivery always
@@ -169,18 +167,12 @@ class NicPool {
   AggregateStats Aggregate();
 
  private:
-  // Everything needed to rebind a flow on a different NIC when the hash moves.
+  // Everything needed to rebind a flow on a different NIC when the hash moves:
+  // the spec as bound, plus placement state the pool owns.
   struct Binding {
-    std::shared_ptr<RingHost> ring;
-    Addr ctx = 0;
-    uint32_t fixed_len = 0;
-    BlockId synth_deliver = kInvalidBlock;
-    BlockId generic_deliver = kInvalidBlock;
-    std::function<void()> hook;
-    bool custom = false;
-    bool pinned = false;
-    uint16_t peer = 0;   // pin partner (the connection's remote port)
-    uint32_t owner = 0;  // NIC index the flow is currently bound on
+    FlowSpec spec;
+    bool pinned = false;  // spec.pin accepted — the pin table had room
+    uint32_t owner = 0;   // NIC index the flow is currently bound on
   };
 
   // Descriptor layout (simulated memory, read by the generic steering loop):
@@ -201,7 +193,7 @@ class NicPool {
   void EmitDispatch();      // re-emits the rx/tx payload-untag compare chains
   void EmitShedFilter();    // re-emits the early-drop filter (bound-port set)
   void ApplySteering();     // points outer cells at filter or steering
-  bool BindOn(uint32_t idx, uint16_t port, const Binding& b);
+  bool BindOn(uint32_t idx, const FlowSpec& spec);
   uint32_t RouteOf(uint16_t dst_port, uint16_t src_port) const;
   uint32_t pinned_count() const;
 

@@ -41,7 +41,11 @@ bool DatagramSocketLayer::BindInternal(Sock& s, uint16_t port,
   const std::string path = "/net/udp/" + std::to_string(port);
   io_.RegisterRingDevice(path, ring, nullptr);
   ChannelId ch = io_.Open(path);  // synthesizes the per-channel ring read
-  if (ch == kBadChannel || !pool_.BindPort(port, ring, fixed_len)) {
+  FlowSpec flow;
+  flow.port = port;
+  flow.ring = ring;
+  flow.fixed_len = fixed_len;
+  if (ch == kBadChannel || !pool_.BindFlow(std::move(flow))) {
     if (ch != kBadChannel) {
       io_.Close(ch);
     }
@@ -144,7 +148,7 @@ bool DatagramSocketLayer::CloseSocket(SocketId sock) {
     return false;
   }
   if (s->port != 0) {
-    pool_.UnbindPort(s->port);
+    pool_.UnbindFlow(s->port);
     io_.UnregisterRingDevice("/net/udp/" + std::to_string(s->port));
     io_.Close(s->ch);
     kernel_.UnblockAll(s->ring->readers);

@@ -392,7 +392,7 @@ void StreamLayer::Resynthesize(Conn& c) {
     return;
   }
   c.synth_deliver = fresh;
-  pool_.SwapPortDeliver(c.local_port, c.synth_deliver);
+  pool_.RebindFlow(c.local_port, c.synth_deliver);
   kernel_.RetireBlock(old);  // the demux chain was just rebuilt without it
 }
 
@@ -508,9 +508,16 @@ ConnId StreamLayer::NewConn(uint16_t local_port, uint16_t peer_port,
   }
   auto it = conns_.emplace(id, std::move(c)).first;
   Conn& ref = it->second;
-  if (!pool_.BindPortCustom(local_port, ref.ring, ref.ccb, ref.synth_deliver,
-                            generic, [this, id] { OnDeliver(id); }, pin,
-                            peer_port)) {
+  FlowSpec flow;
+  flow.port = local_port;
+  flow.ring = ref.ring;
+  flow.ctx = ref.ccb;
+  flow.synth_deliver = ref.synth_deliver;
+  flow.generic_deliver = generic;
+  flow.deliver_hook = [this, id] { OnDeliver(id); };
+  flow.pin = pin;
+  flow.pin_peer = peer_port;
+  if (!pool_.BindFlow(std::move(flow))) {
     io_.UnregisterRingDevice(ref.path);
     io_.Close(ref.ch);
     kernel_.RetireBlock(ref.synth_deliver);
@@ -953,7 +960,7 @@ void StreamLayer::ReclaimConn(Conn& c) {
   c.final_stats.rcv_nxt = mem.Read32(c.ccb + CcbLayout::kRcvNxt);
   c.reclaimed = true;
 
-  pool_.UnbindPort(c.local_port);
+  pool_.UnbindFlow(c.local_port);
   ports_in_use_.erase(c.local_port);
   io_.UnregisterRingDevice(c.path);
   io_.Close(c.ch);
@@ -998,6 +1005,10 @@ int32_t StreamLayer::Send(ConnId conn, Addr buf, uint32_t n) {
 }
 
 int32_t StreamLayer::Recv(ConnId conn, Addr buf, uint32_t cap) {
+  return RecvSpan(conn, buf, cap);
+}
+
+int32_t StreamLayer::RecvSpan(ConnId conn, Addr buf, uint32_t cap) {
   Conn* c = Get(conn);
   if (c == nullptr || c->state == CcbLayout::kFailed) {
     return kIoError;
@@ -1005,18 +1016,44 @@ int32_t StreamLayer::Recv(ConnId conn, Addr buf, uint32_t cap) {
   if (c->reclaimed) {
     return 0;  // kDone, drained, resources gone: end of stream
   }
-  if (io_.RingAvail(*c->ring) == 0 &&
-      (c->fin_received || c->state == CcbLayout::kDone)) {
-    MaybeReclaim(*c);
-    return 0;  // end of stream
+  if (io_.RingAvail(*c->ring) == 0) {
+    if (c->fin_received || c->state == CcbLayout::kDone) {
+      MaybeReclaim(*c);
+      return 0;  // end of stream
+    }
+    // Park on the ring's reader queue; the deliver path wakes us.
+    if (kernel_.current_thread() != kNoThread) {
+      kernel_.BlockCurrentOn(c->ring->readers);
+    }
+    return kIoWouldBlock;
   }
-  // The synthesized channel read: returns what is available, parks on the
-  // ring's reader queue when nothing is.
-  int32_t got = io_.Read(c->ch, buf, cap);
-  if (got > 0 && io_.RingAvail(*c->ring) == 0) {
-    MaybeReclaim(*c);  // the reader just drained a finished connection
+  // Zero-copy drain: borrow the ring's contiguous readable run and bulk-copy
+  // it out — at most two spans when the occupancy wraps the buffer edge,
+  // instead of a load-store-mask round trip per byte.
+  Memory& mem = kernel_.machine().memory();
+  kernel_.machine().Charge(20, 2, 2);  // entry + channel state
+  uint32_t copied = 0;
+  while (copied < cap) {
+    const uint8_t* span = nullptr;
+    uint32_t run = io_.RingPeekSpan(*c->ring, &span);
+    if (run == 0) {
+      break;
+    }
+    uint32_t take = std::min(run, cap - copied);
+    mem.WriteBytes(buf + copied, span, take);
+    kernel_.machine().Charge(4 + take / 4, 1, take / 4);  // word-wide copy
+    io_.RingConsumeSpan(*c->ring, take);
+    copied += take;
   }
-  return got;
+  if (copied > 0) {
+    kernel_.UnblockOne(c->ring->writers);  // space was freed
+    kernel_.scheduler().ReportIo(kernel_.current_thread(), copied,
+                                 kernel_.NowUs());
+    if (io_.RingAvail(*c->ring) == 0) {
+      MaybeReclaim(*c);  // the reader just drained a finished connection
+    }
+  }
+  return static_cast<int32_t>(copied);
 }
 
 bool StreamLayer::Close(ConnId conn) {

@@ -184,6 +184,11 @@ class StreamLayer {
   // 0 at end of stream (peer FIN, everything drained), kIoWouldBlock with
   // the current thread parked when no data is queued, or kIoError.
   int32_t Recv(ConnId conn, Addr buf, uint32_t cap);
+  // The zero-copy receive: drains the connection ring through contiguous
+  // span borrows (RingPeekSpan/RingConsumeSpan) with one bulk copy per span
+  // instead of a per-byte ring round trip. Recv is implemented on top of
+  // this, so every reader gets the fast path.
+  int32_t RecvSpan(ConnId conn, Addr buf, uint32_t cap);
   // Queues a FIN after all pending data; the connection reaches kDone once
   // both directions have closed and every segment is acknowledged, at which
   // point its kernel resources (processors, alarm stub, CCB, ring) are

@@ -54,7 +54,7 @@ int32_t UnixEmulator::Read(int fd, Addr buf, uint32_t n) {
   auto cit = stream_fds_.find(fd);
   if (cit != stream_fds_.end()) {
     kernel_.machine().Charge(10, 3, 1);
-    return stream_->Recv(cit->second, buf, n);
+    return stream_->RecvSpan(cit->second, buf, n);
   }
   auto it = fds_.find(fd);
   if (it == fds_.end()) {
@@ -195,13 +195,24 @@ int32_t UnixEmulator::Send(int fd, Addr buf, uint32_t n) {
 }
 
 int32_t UnixEmulator::Recv(int fd, Addr buf, uint32_t cap) {
+  return RecvSpan(fd, buf, cap);
+}
+
+int32_t UnixEmulator::RecvSpan(int fd, Addr buf, uint32_t cap) {
   ChargeTrap();
   auto it = stream_fds_.find(fd);
-  if (stream_ == nullptr || it == stream_fds_.end()) {
+  if (stream_ != nullptr && it != stream_fds_.end()) {
+    kernel_.machine().Charge(10, 3, 1);  // fd -> connection translation
+    return stream_->RecvSpan(it->second, buf, cap);
+  }
+  // Non-stream fds (pipes, files, devices) drain through the channel's
+  // synthesized read — same contract, no span fast path.
+  auto fit = fds_.find(fd);
+  if (fit == fds_.end()) {
     return -1;
   }
-  kernel_.machine().Charge(10, 3, 1);
-  return stream_->Recv(it->second, buf, cap);
+  kernel_.machine().Charge(10, 3, 1);  // fd -> channel translation
+  return io_.Read(fit->second, buf, cap);
 }
 
 Machine& UnixEmulator::machine() { return kernel_.machine(); }

@@ -47,6 +47,7 @@ class UnixEmulator : public PosixLikeApi {
   int Connect(uint32_t dst_port) override;
   int32_t Send(int fd, Addr buf, uint32_t n) override;
   int32_t Recv(int fd, Addr buf, uint32_t cap) override;
+  int32_t RecvSpan(int fd, Addr buf, uint32_t cap) override;
 
   Machine& machine() override;
   Addr scratch(uint32_t bytes) override;

@@ -46,6 +46,13 @@ class PosixLikeApi {
   virtual int32_t Recv(int /*fd*/, Addr /*buf*/, uint32_t /*cap*/) {
     return -1;
   }
+  // Batched receive: drains everything queued on the fd (up to cap) in one
+  // call through the kernel's zero-copy ring span borrow. The default
+  // delegates to Recv, so baseline systems keep working; systems with a fast
+  // path override it, and their Recv/Read are implemented on top of it.
+  virtual int32_t RecvSpan(int fd, Addr buf, uint32_t cap) {
+    return Recv(fd, buf, cap);
+  }
 
   // Creates a file in the system's namespace (mkfs-level setup, uncharged).
   virtual bool Mkfile(const std::string& path, uint32_t capacity) = 0;

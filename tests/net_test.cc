@@ -39,7 +39,7 @@ class NetTest : public ::testing::Test {
   std::shared_ptr<RingHost> BindRing(uint16_t port, uint32_t fixed_len = 0,
                                      uint32_t capacity = 1024) {
     auto ring = io_.MakeRing(capacity);
-    EXPECT_TRUE(nic_.BindPort(port, ring, fixed_len));
+    EXPECT_TRUE(nic_.BindFlow(FlowSpec::Ring(port, ring, fixed_len)));
     return ring;
   }
 
@@ -219,10 +219,10 @@ TEST_F(NetTest, FlowSetupTeardownAndResynthesis) {
   BlockId with_flow = nic_.demux().synthesized_demux();
   EXPECT_NE(empty, with_flow) << "adding a flow re-synthesizes the demux";
   EXPECT_TRUE(nic_.demux().HasFlow(5));
-  EXPECT_FALSE(nic_.BindPort(5, ring)) << "port already bound";
-  EXPECT_TRUE(nic_.UnbindPort(5));
+  EXPECT_FALSE(nic_.BindFlow(FlowSpec::Ring(5, ring))) << "port already bound";
+  EXPECT_TRUE(nic_.UnbindFlow(5));
   EXPECT_FALSE(nic_.demux().HasFlow(5));
-  EXPECT_FALSE(nic_.UnbindPort(5));
+  EXPECT_FALSE(nic_.UnbindFlow(5));
   // Frames to the removed port now fall through to no-match.
   ASSERT_TRUE(Send(5, 1, "gone"));
   k_.Run();

@@ -48,7 +48,7 @@ TEST(NicPoolTest, EmittedSteeringAgreesWithHostHashAtEveryPoolSize) {
     std::vector<std::shared_ptr<RingHost>> rings;
     for (uint16_t port : kPorts) {
       auto ring = io.MakeRing(4096);
-      ASSERT_TRUE(pool.BindPort(port, ring)) << "n=" << n << " port=" << port;
+      ASSERT_TRUE(pool.BindFlow(FlowSpec::Ring(port, ring))) << "n=" << n << " port=" << port;
       rings.push_back(ring);
     }
     Addr frame = k.allocator().Allocate(FrameLayout::kSlotBytes);
@@ -90,8 +90,8 @@ TEST(NicPoolTest, GrowReSynthesizesSteeringAndMigratesMovedFlows) {
   // 80 stays on NIC 0 (even hash), 81 moves to NIC 1 (odd hash).
   auto ring_even = io.MakeRing(4096);
   auto ring_odd = io.MakeRing(4096);
-  ASSERT_TRUE(pool.BindPort(80, ring_even));
-  ASSERT_TRUE(pool.BindPort(81, ring_odd));
+  ASSERT_TRUE(pool.BindFlow(FlowSpec::Ring(80, ring_even)));
+  ASSERT_TRUE(pool.BindFlow(FlowSpec::Ring(81, ring_odd)));
   ASSERT_EQ(pool.SteerOf(80), 0u);
   ASSERT_EQ(pool.SteerOf(81), 0u);
 
@@ -318,7 +318,7 @@ TEST(NicPoolTest, OverloadArmorEngagesShedsJunkAndDisengagesOnDrain) {
   pc.shed_low_watermark = 1;
   NicPool pool(k, pc);
   auto ring = io.MakeRing(4096);
-  ASSERT_TRUE(pool.BindPort(80, ring));
+  ASSERT_TRUE(pool.BindFlow(FlowSpec::Ring(80, ring)));
   ASSERT_NE(pool.shed_filter(), kInvalidBlock);
   EXPECT_FALSE(pool.shedding()) << "idle pool: full steering in the cells";
 
