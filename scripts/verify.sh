@@ -24,10 +24,11 @@ EXTRA_FLAGS="-Werror"
 
 if [[ "${FAULTS:-0}" == "1" ]]; then
   # Fixed seed: the run is deterministic, so a pass here is reproducible, not
-  # lucky. Wire faults and late alarms only — allocation and code-store
-  # failure are exercised by targeted tests (fault_plane_test, stream churn);
-  # arming them globally would fire inside constructors that assert success.
-  : "${SYNTHESIS_FAULTS:=seed=11,wire_drop=p0.0002,wire_dup=p0.0001,alarm_late=p0.0005}"
+  # lucky. Wire faults, late alarms, and disk/tty timing faults only —
+  # allocation-class failure (alloc, code install, bcache_alloc) is exercised
+  # by targeted tests (fault_plane_test, bcache_test, stream churn); arming it
+  # globally would fire inside constructors that assert success.
+  : "${SYNTHESIS_FAULTS:=seed=11,wire_drop=p0.0002,wire_dup=p0.0001,alarm_late=p0.0005,disk_late=p0.001,disk_lost=p0.0005,tty_over=p0.0001}"
   export SYNTHESIS_FAULTS
   echo "verify: fault plane armed: $SYNTHESIS_FAULTS"
 fi
@@ -65,6 +66,11 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
 # FAULTS=1 coverage of the batched path itself comes from the ctest pass:
 # batch_rx_test replays wire faults mid-batch and diffs ring bytes.
 (cd "$BUILD_DIR" && ./bench/table10_batch_rx > /dev/null)
+
+# table11 asserts the buffer-cache numbers (synthesized cache-hit read
+# <= 0.6x the generic layered instructions per block; read-ahead sequential
+# scan >= 1.5x the uncached rate) and gates on miss-free warm loops.
+(cd "$BUILD_DIR" && ./bench/table11_bcache > /dev/null)
 
 # Every bench JSON the tree produced must parse; a malformed artifact fails
 # the gate rather than silently shipping a broken table.

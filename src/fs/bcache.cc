@@ -1,0 +1,433 @@
+#include "src/fs/bcache.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "src/machine/assembler.h"
+
+namespace synthesis {
+
+namespace {
+bool IsPow2(uint32_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+uint32_t Log2(uint32_t v) {
+  uint32_t s = 0;
+  while ((1u << s) < v) {
+    s++;
+  }
+  return s;
+}
+}  // namespace
+
+Bcache::Bcache(Kernel& kernel, DiskDevice& disk, DiskScheduler& sched,
+               BcacheConfig config)
+    : kernel_(kernel), disk_(disk), sched_(sched), cfg_(config) {
+  if (cfg_.map_slots == 0) {
+    cfg_.map_slots = 2 * cfg_.entries;  // halve hint-slot collisions
+  }
+  // The synthesized hit paths mask block numbers and positions with
+  // (map_slots - 1) and (block_bytes - 1); any other geometry silently
+  // aliases blocks, so a bad config is a hard construction error.
+  const uint32_t sector = disk_.geometry().sector_bytes;
+  if (!IsPow2(cfg_.entries) || !IsPow2(cfg_.block_bytes) ||
+      !IsPow2(cfg_.map_slots) || cfg_.map_slots < cfg_.entries ||
+      cfg_.block_bytes < 32 || cfg_.block_bytes % sector != 0 ||
+      cfg_.flush_batch == 0) {
+    std::fprintf(stderr,
+                 "Bcache: entries/block_bytes/map_slots must be powers of two "
+                 "(block_bytes >= 32, a multiple of sector_bytes=%u; "
+                 "map_slots >= entries; flush_batch > 0); got entries=%u "
+                 "block_bytes=%u map_slots=%u flush_batch=%u\n",
+                 sector, cfg_.entries, cfg_.block_bytes, cfg_.map_slots,
+                 cfg_.flush_batch);
+    std::abort();
+  }
+  spb_ = cfg_.block_bytes / sector;
+  block_shift_ = Log2(cfg_.block_bytes);
+  map_slots_ = cfg_.map_slots;
+  entries_.resize(cfg_.entries);
+
+  KernelAllocator& alloc = kernel_.allocator();
+  desc_ = alloc.Allocate(BcacheLayout::kDescBytes);
+  map_base_ = alloc.Allocate(map_slots_ * BcacheLayout::kSlotBytes);
+  meta_base_ = alloc.Allocate(cfg_.entries * BcacheLayout::kMetaBytes);
+  data_base_ = alloc.Allocate(cfg_.entries * cfg_.block_bytes);
+  assert(desc_ != 0 && map_base_ != 0 && meta_base_ != 0 && data_base_ != 0 &&
+         "kernel memory exhausted bringing up the buffer cache");
+
+  Memory& mem = kernel_.machine().memory();
+  mem.Write32(desc_ + BcacheLayout::kMapBase, map_base_);
+  mem.Write32(desc_ + BcacheLayout::kMapMask, map_slots_ - 1);
+  mem.Write32(desc_ + BcacheLayout::kDataBase, data_base_);
+  mem.Write32(desc_ + BcacheLayout::kMetaBase, meta_base_);
+  mem.Write32(desc_ + BcacheLayout::kBlockShift, block_shift_);
+  mem.Write32(desc_ + BcacheLayout::kBlockMask, cfg_.block_bytes - 1);
+  mem.Write32(desc_ + BcacheLayout::kBlockBytes, cfg_.block_bytes);
+  for (uint32_t s = 0; s < map_slots_; s++) {
+    mem.Write32(map_base_ + s * BcacheLayout::kSlotBytes + BcacheLayout::kSlotTag,
+                BcacheLayout::kNoTag);
+    mem.Write32(map_base_ + s * BcacheLayout::kSlotBytes + BcacheLayout::kSlotEntry, 0);
+  }
+  for (uint32_t i = 0; i < cfg_.entries; i++) {
+    mem.Write32(MetaOf(i) + BcacheLayout::kMetaRef, 0);
+    mem.Write32(MetaOf(i) + BcacheLayout::kMetaDirty, 0);
+  }
+
+  // The flusher: an alarm-driven stub that traps to FlushTick. It is armed
+  // lazily on first cache activity and goes dormant when everything is clean,
+  // so a quiescent kernel still runs out of pending interrupts and idles.
+  int vec = kernel_.RegisterHostTrap([this](Machine&) {
+    FlushTick();
+    return TrapAction::kContinue;
+  });
+  Asm stub("bcache_flush");
+  stub.Charge(12);  // alarm bookkeeping before the manager takes over
+  stub.Trap(vec);
+  stub.Rts();
+  flush_stub_ = kernel_.code().Install(stub.BuildBlock());
+}
+
+bool Bcache::RefBit(uint32_t idx) const {
+  return kernel_.machine().memory().Read32(MetaOf(idx) + BcacheLayout::kMetaRef) != 0;
+}
+
+bool Bcache::DirtyBit(uint32_t idx) const {
+  return kernel_.machine().memory().Read32(MetaOf(idx) + BcacheLayout::kMetaDirty) != 0;
+}
+
+void Bcache::ClearRef(uint32_t idx) {
+  kernel_.machine().memory().Write32(MetaOf(idx) + BcacheLayout::kMetaRef, 0);
+}
+
+void Bcache::ClearDirty(uint32_t idx) {
+  kernel_.machine().memory().Write32(MetaOf(idx) + BcacheLayout::kMetaDirty, 0);
+}
+
+int Bcache::FindEntry(uint32_t block) const {
+  for (uint32_t i = 0; i < cfg_.entries; i++) {
+    if (entries_[i].tag == block) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+void Bcache::MapBlock(uint32_t block, uint32_t idx) {
+  Memory& mem = kernel_.machine().memory();
+  Addr slot = SlotOf(block);
+  mem.Write32(slot + BcacheLayout::kSlotTag, block);
+  mem.Write32(slot + BcacheLayout::kSlotEntry, idx);
+  kernel_.machine().Charge(8, 2, 2);
+}
+
+void Bcache::UnmapEntry(uint32_t idx) {
+  uint32_t block = entries_[idx].tag;
+  if (block == BcacheLayout::kNoTag) {
+    return;
+  }
+  Memory& mem = kernel_.machine().memory();
+  Addr slot = SlotOf(block);
+  if (mem.Read32(slot + BcacheLayout::kSlotTag) == block) {
+    mem.Write32(slot + BcacheLayout::kSlotTag, BcacheLayout::kNoTag);
+  }
+}
+
+void Bcache::ArmFlusher() {
+  if (flusher_armed_) {
+    return;
+  }
+  // SetAlarm can fail under kAlarmDrop; the flusher stays dormant until the
+  // next cache activity retries, and FlushAll/fsync always work regardless.
+  flusher_armed_ = kernel_.SetAlarm(cfg_.flush_period_us, flush_stub_);
+}
+
+void Bcache::WriteBack(uint32_t idx) {
+  entries_[idx].busy = true;
+  DiskRequest r;
+  r.sector = entries_[idx].tag * spb_;
+  r.count = spb_;
+  r.is_write = true;
+  r.mem = DataOf(idx);
+  r.done = [this, idx] {
+    ClearDirty(idx);
+    entries_[idx].busy = false;
+    flushes_++;
+  };
+  kernel_.machine().Charge(30, 6, 4);
+  sched_.SubmitAndWait(kernel_, std::move(r));
+}
+
+void Bcache::WriteBehind(uint32_t idx) {
+  entries_[idx].busy = true;
+  DiskRequest r;
+  r.sector = entries_[idx].tag * spb_;
+  r.count = spb_;
+  r.is_write = true;
+  r.mem = DataOf(idx);
+  // The DMA snapshots memory at completion time, so the dirty bit is cleared
+  // there too: a write landing before the platter transfer is covered by this
+  // flush, one landing after re-dirties the entry for the next tick.
+  r.done = [this, idx] {
+    ClearDirty(idx);
+    entries_[idx].busy = false;
+    flushes_++;
+  };
+  kernel_.machine().Charge(30, 6, 4);
+  sched_.Submit(std::move(r));
+}
+
+void Bcache::FlushTick() {
+  kernel_.machine().Charge(20 + cfg_.entries / 4, 6, 4);  // dirty scan
+  uint32_t budget = cfg_.flush_batch;
+  for (uint32_t i = 0; i < cfg_.entries && budget > 0; i++) {
+    if (entries_[i].tag != BcacheLayout::kNoTag && !entries_[i].busy &&
+        DirtyBit(i)) {
+      WriteBehind(i);
+      budget--;
+    }
+  }
+  flusher_armed_ = false;
+  if (dirty_blocks() > 0) {
+    ArmFlusher();  // work remains (or is in flight): keep ticking
+  }
+}
+
+int Bcache::AllocateEntry(bool may_wait) {
+  if (kernel_.faults().ShouldFire(FaultSite::kBcacheAlloc)) {
+    return -1;  // injected allocation failure: caller rolls back cleanly
+  }
+  kernel_.machine().Charge(16, 4, 2);
+  for (;;) {
+    for (uint32_t step = 0; step < 3 * cfg_.entries; step++) {
+      uint32_t idx = clock_hand_;
+      clock_hand_ = (clock_hand_ + 1) % cfg_.entries;
+      Entry& e = entries_[idx];
+      if (e.busy) {
+        continue;  // in-flight fill or write-back: pinned
+      }
+      if (e.tag != BcacheLayout::kNoTag && RefBit(idx)) {
+        ClearRef(idx);  // second chance
+        continue;
+      }
+      if (e.tag != BcacheLayout::kNoTag && DirtyBit(idx)) {
+        if (!may_wait) {
+          continue;  // read-ahead never blocks on a write-back
+        }
+        WriteBack(idx);
+      }
+      if (e.tag != BcacheLayout::kNoTag) {
+        evictions_++;
+        UnmapEntry(idx);
+      }
+      e.tag = BcacheLayout::kNoTag;
+      return static_cast<int>(idx);
+    }
+    if (!may_wait) {
+      return -1;  // everything pinned
+    }
+    // Every entry is pinned by in-flight read-ahead or write-behind. Each of
+    // those requests completes and unpins its entry, so a caller allowed to
+    // wait rides one out and resweeps instead of failing a valid miss.
+    int pinned = -1;
+    for (uint32_t i = 0; i < cfg_.entries; i++) {
+      if (entries_[i].busy) {
+        pinned = static_cast<int>(i);
+        break;
+      }
+    }
+    if (pinned < 0) {
+      return -1;  // nothing busy and nothing evictable: truly exhausted
+    }
+    DiskScheduler::DriveUntil(
+        kernel_, [this, pinned] { return !entries_[pinned].busy; });
+  }
+}
+
+bool Bcache::EnsureBlock(uint32_t file_key, uint32_t block, uint32_t extent_first,
+                         uint32_t extent_blocks, bool write_full) {
+  ArmFlusher();
+  kernel_.machine().Charge(40, 8, 6);  // cache-manager miss bookkeeping
+
+  // Sequential-access detector: this runs on the miss path only (hits stay
+  // inside the synthesized fd code), so consecutive misses are the signal.
+  auto lb = last_block_.find(file_key);
+  bool sequential = lb != last_block_.end() && lb->second + 1 == block;
+  last_block_[file_key] = block;
+
+  Memory& mem = kernel_.machine().memory();
+  int found = FindEntry(block);
+  if (found >= 0) {
+    uint32_t idx = static_cast<uint32_t>(found);
+    if (entries_[idx].busy) {
+      // The read-ahead worker already has this block on the wire: wait for
+      // that completion instead of issuing a duplicate read.
+      read_ahead_hits_++;
+      DiskScheduler::DriveUntil(kernel_,
+                                [this, idx] { return !entries_[idx].busy; });
+    }
+    // Resident but missed: a map-slot collision left it unmapped. Republish.
+    MapBlock(block, idx);
+    mem.Write32(MetaOf(idx) + BcacheLayout::kMetaRef, 1);
+  } else {
+    misses_++;
+    int slot = AllocateEntry(/*may_wait=*/true);
+    if (slot < 0) {
+      alloc_failures_++;
+      return false;
+    }
+    uint32_t idx = static_cast<uint32_t>(slot);
+    Entry& e = entries_[idx];
+    e.tag = block;
+    mem.Write32(MetaOf(idx) + BcacheLayout::kMetaRef, 1);
+    mem.Write32(MetaOf(idx) + BcacheLayout::kMetaDirty, 0);
+    if (write_full) {
+      // Full-block overwrite: no platter read. Zero the entry so untouched
+      // bytes are deterministic until the write lands.
+      std::vector<uint8_t> zeros(cfg_.block_bytes, 0);
+      mem.WriteBytes(DataOf(idx), zeros.data(), zeros.size());
+      kernel_.machine().Charge(cfg_.block_bytes / 4, 0, cfg_.block_bytes / 4);
+    } else {
+      e.busy = true;
+      DiskRequest r;
+      r.sector = block * spb_;
+      r.count = spb_;
+      r.is_write = false;
+      r.mem = DataOf(idx);
+      r.done = [this, idx] { entries_[idx].busy = false; };
+      sched_.SubmitAndWait(kernel_, std::move(r));
+    }
+    MapBlock(block, idx);
+  }
+
+  if (sequential && cfg_.read_ahead > 0) {
+    IssueReadAhead(block + 1, cfg_.read_ahead, extent_first, extent_blocks);
+  }
+  return true;
+}
+
+void Bcache::IssueReadAhead(uint32_t first, uint32_t count, uint32_t extent_first,
+                            uint32_t extent_blocks) {
+  uint32_t extent_end = extent_first + extent_blocks;
+  if (first >= extent_end) {
+    return;
+  }
+  uint32_t end = std::min(first + count, extent_end);
+  // Claim entries for the span up front. Already-resident blocks stay as they
+  // are (the coalesced read just skips them at completion); an allocation
+  // failure truncates the span — prefetch never waits and never evicts dirty.
+  std::vector<std::pair<uint32_t, uint32_t>> fills;  // (block, entry)
+  uint32_t span_end = first;
+  for (uint32_t b = first; b < end; b++) {
+    if (FindEntry(b) >= 0) {
+      span_end = b + 1;
+      continue;
+    }
+    int idx = AllocateEntry(/*may_wait=*/false);
+    if (idx < 0) {
+      break;
+    }
+    entries_[static_cast<size_t>(idx)].tag = b;
+    entries_[static_cast<size_t>(idx)].busy = true;
+    fills.emplace_back(b, static_cast<uint32_t>(idx));
+    span_end = b + 1;
+  }
+  if (fills.empty()) {
+    return;
+  }
+  // ONE request for the whole span: the per-request half-rotation is paid
+  // once instead of once per block — that is the read-ahead throughput win.
+  // The transfer lands in the controller buffer (no direct DMA target, since
+  // the claimed entries are scattered); completion copies each block out.
+  DiskRequest r;
+  r.sector = first * spb_;
+  r.count = (span_end - first) * spb_;
+  r.is_write = false;
+  r.mem = 0;
+  r.done = [this, fills] {
+    Memory& mem = kernel_.machine().memory();
+    for (const auto& [b, idx] : fills) {
+      size_t off = static_cast<size_t>(b) * cfg_.block_bytes;
+      mem.WriteBytes(DataOf(idx), disk_.backing().data() + off, cfg_.block_bytes);
+      kernel_.machine().Charge(cfg_.block_bytes / 4, 0, cfg_.block_bytes / 4);
+      mem.Write32(MetaOf(idx) + BcacheLayout::kMetaRef, 1);
+      mem.Write32(MetaOf(idx) + BcacheLayout::kMetaDirty, 0);
+      entries_[idx].busy = false;
+      MapBlock(b, idx);
+    }
+  };
+  read_ahead_issued_ += fills.size();
+  kernel_.machine().Charge(24, 6, 4);  // queue the span
+  sched_.Submit(std::move(r));
+}
+
+void Bcache::FlushAll() {
+  for (uint32_t i = 0; i < cfg_.entries; i++) {
+    if (entries_[i].tag == BcacheLayout::kNoTag) {
+      continue;
+    }
+    if (entries_[i].busy) {
+      DiskScheduler::DriveUntil(kernel_, [this, i] { return !entries_[i].busy; });
+    }
+    if (DirtyBit(i)) {
+      WriteBack(i);
+    }
+  }
+}
+
+void Bcache::FlushBlockRange(uint32_t first, uint32_t count) {
+  for (uint32_t i = 0; i < cfg_.entries; i++) {
+    uint32_t tag = entries_[i].tag;
+    if (tag == BcacheLayout::kNoTag || tag < first || tag >= first + count) {
+      continue;
+    }
+    if (entries_[i].busy) {
+      DiskScheduler::DriveUntil(kernel_, [this, i] { return !entries_[i].busy; });
+    }
+    if (DirtyBit(i)) {
+      WriteBack(i);
+    }
+  }
+}
+
+void Bcache::InvalidateRange(uint32_t first, uint32_t count) {
+  FlushBlockRange(first, count);
+  Memory& mem = kernel_.machine().memory();
+  for (uint32_t i = 0; i < cfg_.entries; i++) {
+    uint32_t tag = entries_[i].tag;
+    if (tag == BcacheLayout::kNoTag || tag < first || tag >= first + count) {
+      continue;
+    }
+    UnmapEntry(i);
+    entries_[i].tag = BcacheLayout::kNoTag;
+    mem.Write32(MetaOf(i) + BcacheLayout::kMetaRef, 0);
+    mem.Write32(MetaOf(i) + BcacheLayout::kMetaDirty, 0);
+  }
+}
+
+bool Bcache::Resident(uint32_t block) const { return FindEntry(block) >= 0; }
+
+bool Bcache::DirtyBlock(uint32_t block) const {
+  int idx = FindEntry(block);
+  return idx >= 0 && DirtyBit(static_cast<uint32_t>(idx));
+}
+
+uint32_t Bcache::resident_blocks() const {
+  uint32_t n = 0;
+  for (const Entry& e : entries_) {
+    n += e.tag != BcacheLayout::kNoTag;
+  }
+  return n;
+}
+
+uint32_t Bcache::dirty_blocks() const {
+  uint32_t n = 0;
+  for (uint32_t i = 0; i < cfg_.entries; i++) {
+    n += entries_[i].tag != BcacheLayout::kNoTag && DirtyBit(i);
+  }
+  return n;
+}
+
+}  // namespace synthesis

@@ -1,0 +1,204 @@
+// The write-behind buffer cache (§5.1): the "buffer cache manager" stage of
+// the file-system pipeline, grown from whole-file residency to a fixed pool
+// of cache blocks in front of the raw disk server.
+//
+// Shape (fixed entries, periodic flush, read-ahead queue):
+//  * A fixed, power-of-two number of block-sized entries in simulated memory.
+//    A direct-mapped lookup map (tag, entry) is probed by the per-fd read and
+//    write code — synthesized with the map base, entry mask, and the file's
+//    extent start folded to immediates, so a cache hit is a handful of
+//    compares and a copy inside the fd's own code. The interpreted layered
+//    path probes the same map through the descriptor, load by load.
+//  * Writes land in the cache and are marked dirty; a periodic flusher driven
+//    by kernel alarms writes dirty entries back asynchronously (write-behind).
+//    Eviction of a dirty victim write-backs synchronously first, so no
+//    acknowledged write is ever dropped on the floor.
+//  * A sequential-access detector feeds the read-ahead queue on each miss;
+//    the queue is drained by issuing ONE coalesced multi-sector request for
+//    the upcoming span, amortizing the per-request half-rotation cost that
+//    dominates single-block reads. A reader that arrives while its block is
+//    still in flight waits on that request instead of issuing its own.
+//
+// Entry metadata is split by writer: tags and busy (in-flight) state are
+// host-side (only the cache manager changes them); the per-entry ref and
+// dirty words live in simulated memory because the synthesized hit paths set
+// them without trapping.
+#ifndef SRC_FS_BCACHE_H_
+#define SRC_FS_BCACHE_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/fs/disk.h"
+#include "src/kernel/kernel.h"
+#include "src/machine/memory.h"
+
+namespace synthesis {
+
+struct BcacheConfig {
+  uint32_t entries = 64;         // power of two
+  uint32_t block_bytes = 512;    // power of two, >= 32, multiple of sector_bytes
+  uint32_t map_slots = 0;        // power of two; 0 = 2 * entries
+  double flush_period_us = 50'000;  // flusher alarm period
+  uint32_t flush_batch = 8;      // max dirty entries written back per tick
+  uint32_t read_ahead = 8;       // blocks prefetched after a sequential miss; 0 = off
+};
+
+// Simulated-memory layout of the cache descriptor the interpreted (layered)
+// read path walks; the synthesized path folds all of it to immediates.
+struct BcacheLayout {
+  static constexpr uint32_t kMapBase = 0;     // lookup map array       [invariant]
+  static constexpr uint32_t kMapMask = 4;     // map_slots - 1          [invariant]
+  static constexpr uint32_t kDataBase = 8;    // entry data area        [invariant]
+  static constexpr uint32_t kMetaBase = 12;   // per-entry {ref,dirty}  [invariant]
+  static constexpr uint32_t kBlockShift = 16; // log2(block_bytes)      [invariant]
+  static constexpr uint32_t kBlockMask = 20;  // block_bytes - 1        [invariant]
+  static constexpr uint32_t kBlockBytes = 24; //                        [invariant]
+  static constexpr uint32_t kDescBytes = 32;
+
+  // An 8-byte map slot: the absolute disk block it names and the entry
+  // holding it. kNoTag never equals a real block number.
+  static constexpr uint32_t kSlotTag = 0;
+  static constexpr uint32_t kSlotEntry = 4;
+  static constexpr uint32_t kSlotBytes = 8;
+  static constexpr uint32_t kNoTag = 0xFFFFFFFFu;
+
+  // An 8-byte per-entry meta record, written by the VM hit paths.
+  static constexpr uint32_t kMetaRef = 0;    // clock reference bit
+  static constexpr uint32_t kMetaDirty = 4;  // write-behind dirty bit
+  static constexpr uint32_t kMetaBytes = 8;
+
+  static AddrRange InvariantRange(Addr desc) {
+    return AddrRange{desc, desc + kDescBytes};
+  }
+};
+
+class Bcache {
+ public:
+  // Aborts (fprintf + abort) on invalid construction parameters, the same
+  // hard-error convention as NicDevice slot counts: the synthesized masks
+  // silently alias blocks under any non-power-of-two geometry.
+  Bcache(Kernel& kernel, DiskDevice& disk, DiskScheduler& sched,
+         BcacheConfig config = {});
+
+  // --- Geometry (folded into synthesized per-fd code) -----------------------
+  Addr descriptor() const { return desc_; }
+  Addr map_base() const { return map_base_; }
+  Addr data_base() const { return data_base_; }
+  Addr meta_base() const { return meta_base_; }
+  uint32_t entries() const { return cfg_.entries; }
+  uint32_t block_bytes() const { return cfg_.block_bytes; }
+  uint32_t block_shift() const { return block_shift_; }
+  uint32_t map_mask() const { return map_slots_ - 1; }
+  uint32_t sectors_per_block() const { return spb_; }
+
+  // Ensures the absolute disk block `block` is resident and mapped, reading
+  // through the disk scheduler on a miss (virtual time advances). `file_key`
+  // feeds the per-file sequential detector; `extent_first`/`extent_blocks`
+  // clamp read-ahead to the file's extent. `write_full` means the caller is
+  // about to overwrite the whole block, so the platter read is skipped.
+  // Returns false when entry allocation fails (kBcacheAlloc, or every entry
+  // pinned in flight) — the caller surfaces a clean partial/error result.
+  bool EnsureBlock(uint32_t file_key, uint32_t block, uint32_t extent_first,
+                   uint32_t extent_blocks, bool write_full);
+
+  // One flusher period's work: write back up to flush_batch dirty entries
+  // asynchronously and re-arm the alarm. Runs at interrupt level (the alarm
+  // handler traps here), so it never waits.
+  void FlushTick();
+
+  // The synthesized hit paths set dirty bits without trapping into the
+  // kernel; the write syscall epilogue calls this so write-behind wakes up
+  // again after pure-hit writes. Idempotent while the flusher is armed.
+  void NoteDirty() { ArmFlusher(); }
+
+  // Synchronous write-back of every dirty entry (fsync of the world).
+  void FlushAll();
+  // Synchronous write-back of dirty entries within [first, first+count).
+  void FlushBlockRange(uint32_t first, uint32_t count);
+  // Flushes then drops [first, first+count) from the cache (file eviction).
+  void InvalidateRange(uint32_t first, uint32_t count);
+
+  // --- Introspection / gauges ----------------------------------------------
+  bool Resident(uint32_t block) const;
+  bool DirtyBlock(uint32_t block) const;
+  uint32_t resident_blocks() const;
+  uint32_t dirty_blocks() const;
+  uint64_t misses() const { return misses_; }
+  uint64_t evictions() const { return evictions_; }
+  uint64_t flushes() const { return flushes_; }
+  uint64_t alloc_failures() const { return alloc_failures_; }
+  uint64_t read_ahead_issued() const { return read_ahead_issued_; }
+  uint64_t read_ahead_hits() const { return read_ahead_hits_; }
+  bool flusher_armed() const { return flusher_armed_; }
+
+ private:
+  struct Entry {
+    uint32_t tag = BcacheLayout::kNoTag;  // absolute disk block, kNoTag = free
+    bool busy = false;                    // fill or write-back in flight
+  };
+
+  Addr DataOf(uint32_t idx) const { return data_base_ + idx * cfg_.block_bytes; }
+  Addr MetaOf(uint32_t idx) const {
+    return meta_base_ + idx * BcacheLayout::kMetaBytes;
+  }
+  Addr SlotOf(uint32_t block) const {
+    return map_base_ + (block & map_mask()) * BcacheLayout::kSlotBytes;
+  }
+  bool RefBit(uint32_t idx) const;
+  bool DirtyBit(uint32_t idx) const;
+  void ClearRef(uint32_t idx);
+  void ClearDirty(uint32_t idx);
+
+  // Host-side tag search (the map is only a hint: slot collisions leave
+  // resident blocks unmapped, and this finds them again).
+  int FindEntry(uint32_t block) const;
+  // Publishes (block -> idx) in the lookup map.
+  void MapBlock(uint32_t block, uint32_t idx);
+  // Unmaps the slot if it currently names `idx`.
+  void UnmapEntry(uint32_t idx);
+
+  // Clock allocation. `may_wait` allows synchronous write-back of a dirty
+  // victim; read-ahead passes false and gives up instead of waiting.
+  // Returns -1 on failure (kBcacheAlloc fired or nothing evictable).
+  int AllocateEntry(bool may_wait);
+  // Synchronous write-back of one dirty entry (drives the virtual clock).
+  void WriteBack(uint32_t idx);
+  // Issues the asynchronous write-back of one dirty entry (flusher tick).
+  void WriteBehind(uint32_t idx);
+  void ArmFlusher();
+  // Issues one coalesced read for [first, first+count) into fresh entries.
+  void IssueReadAhead(uint32_t first, uint32_t count, uint32_t extent_first,
+                      uint32_t extent_blocks);
+
+  Kernel& kernel_;
+  DiskDevice& disk_;
+  DiskScheduler& sched_;
+  BcacheConfig cfg_;
+  uint32_t block_shift_ = 0;
+  uint32_t map_slots_ = 0;
+  uint32_t spb_ = 1;  // sectors per cache block
+
+  Addr desc_ = 0;
+  Addr map_base_ = 0;
+  Addr meta_base_ = 0;
+  Addr data_base_ = 0;
+
+  std::vector<Entry> entries_;
+  uint32_t clock_hand_ = 0;
+  std::unordered_map<uint32_t, uint32_t> last_block_;  // file_key -> last missed block
+  BlockId flush_stub_ = kInvalidBlock;
+  bool flusher_armed_ = false;
+
+  uint64_t misses_ = 0;
+  uint64_t evictions_ = 0;
+  uint64_t flushes_ = 0;
+  uint64_t alloc_failures_ = 0;
+  uint64_t read_ahead_issued_ = 0;
+  uint64_t read_ahead_hits_ = 0;
+};
+
+}  // namespace synthesis
+
+#endif  // SRC_FS_BCACHE_H_

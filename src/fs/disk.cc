@@ -2,6 +2,8 @@
 
 #include <cassert>
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <limits>
 
@@ -12,11 +14,27 @@ namespace synthesis {
 namespace {
 constexpr uint32_t kDmaCyclesPerWord = 1;  // bus-stealing DMA, cheap for the CPU
 constexpr uint32_t kStartIoCycles = 60;    // program the controller
+
+bool IsPow2(uint32_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+// Sector addressing divides and masks by these; a bad geometry silently
+// aliases sectors, so it is a hard construction error — not a debug assert.
+DiskGeometry Validate(const DiskGeometry& g) {
+  if (!IsPow2(g.sector_bytes) || g.sectors == 0 || g.sectors_per_track == 0) {
+    std::fprintf(stderr,
+                 "DiskDevice: sector_bytes must be a nonzero power of two and "
+                 "the sector counts nonzero (sector_bytes=%u sectors=%u "
+                 "sectors_per_track=%u)\n",
+                 g.sector_bytes, g.sectors, g.sectors_per_track);
+    std::abort();
+  }
+  return g;
+}
 }  // namespace
 
 DiskDevice::DiskDevice(Kernel& kernel, DiskGeometry geometry)
     : kernel_(kernel),
-      geom_(geometry),
+      geom_(Validate(geometry)),
       backing_(static_cast<size_t>(geom_.sectors) * geom_.sector_bytes, 0) {
   // The kDisk vector's default handler: acknowledge the controller and trap
   // to the host for the DMA completion work.
@@ -46,7 +64,21 @@ void DiskDevice::StartRequest(DiskRequest request) {
   assert(!busy_ && "raw disk server handles one request at a time");
   busy_ = true;
   kernel_.machine().Charge(kStartIoCycles, 0, 6);
-  double done_at = kernel_.NowUs() + LatencyUs(request);
+  double latency = LatencyUs(request);
+  // Both sites draw on every start so their streams stay pure functions of
+  // the per-site visit count. A "lost" request is modeled the way a real
+  // driver survives one — controller timeout, then a retry that succeeds —
+  // so the completion interrupt always arrives and waiters always terminate.
+  bool lost = kernel_.faults().ShouldFire(FaultSite::kDiskLost);
+  bool late = kernel_.faults().ShouldFire(FaultSite::kDiskLate);
+  if (lost) {
+    latency *= kDiskLostRetryMult;
+    retries_++;
+  } else if (late) {
+    latency *= kDiskLateMult;
+    late_++;
+  }
+  double done_at = kernel_.NowUs() + latency;
   current_ = std::move(request);
   kernel_.interrupts().Raise(done_at, Vector::kDisk, 0);
 }
@@ -119,8 +151,15 @@ void DiskScheduler::SubmitAndWait(Kernel& kernel, DiskRequest request) {
     }
   };
   Submit(std::move(request));
-  // Drive virtual time forward until the completion interrupt lands.
-  while (!finished && !kernel.interrupts().Empty()) {
+  DriveUntil(kernel, [&finished] { return finished; });
+}
+
+void DiskScheduler::DriveUntil(Kernel& kernel, const std::function<bool()>& done) {
+  // Drive virtual time forward until the condition holds. Every disk request
+  // eventually raises its completion interrupt (even injected "lost" ones,
+  // which the driver retries), so this terminates whenever `done` is tied to
+  // a submitted request.
+  while (!done() && !kernel.interrupts().Empty()) {
     kernel.machine().AdvanceToMicros(kernel.interrupts().NextTime());
     while (auto irq = kernel.interrupts().PopDue(kernel.NowUs())) {
       kernel.DispatchInterrupt(*irq);

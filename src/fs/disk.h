@@ -43,6 +43,9 @@ struct DiskRequest {
 // The raw device: one request in flight, completion via a kDisk interrupt.
 class DiskDevice {
  public:
+  // Aborts (fprintf + abort) on invalid geometry: sector_bytes must be a
+  // nonzero power of two and the sector counts nonzero — every address
+  // computation below masks and divides by them.
   DiskDevice(Kernel& kernel, DiskGeometry geometry = {});
 
   // Starts the request (the device must be idle) and schedules its
@@ -64,6 +67,10 @@ class DiskDevice {
 
   uint32_t head_sector() const { return head_; }
   uint64_t requests_completed() const { return completed_; }
+  // Fault-plane bookkeeping: requests the driver re-issued after a controller
+  // timeout (kDiskLost) and completions delivered late (kDiskLate).
+  uint64_t retries() const { return retries_; }
+  uint64_t late_completions() const { return late_; }
 
  private:
   Kernel& kernel_;
@@ -73,6 +80,8 @@ class DiskDevice {
   DiskRequest current_;
   uint32_t head_ = 0;
   uint64_t completed_ = 0;
+  uint64_t retries_ = 0;
+  uint64_t late_ = 0;
   BlockId irq_handler_ = kInvalidBlock;
 };
 
@@ -89,6 +98,12 @@ class DiskScheduler {
   // advances the virtual clock until the request completes (only valid when
   // called outside interrupt context).
   void SubmitAndWait(Kernel& kernel, DiskRequest request);
+
+  // Advances the virtual clock, dispatching due interrupts, until `done`
+  // returns true (or no interrupts remain pending). The buffer cache waits on
+  // asynchronously-completing fills — e.g. a read-ahead span already in
+  // flight — with this, the same loop SubmitAndWait drives.
+  static void DriveUntil(Kernel& kernel, const std::function<bool()>& done);
 
  private:
   void StartNext();

@@ -18,6 +18,13 @@ uint32_t FileSystem::CreateFile(const std::string& name,
     cap = sector_bytes;
   }
   uint32_t sectors = (cap + sector_bytes - 1) / sector_bytes;
+  if (bcache_ != nullptr) {
+    // Block-cached extents must start and end on cache-block boundaries so
+    // absolute block numbers address whole sectors-per-block runs.
+    uint32_t spb = bcache_->sectors_per_block();
+    next_sector_ = (next_sector_ + spb - 1) / spb * spb;
+    sectors = (sectors + spb - 1) / spb * spb;
+  }
 
   uint32_t id = next_id_++;
   if (!names_.Insert(name, id)) {
@@ -78,7 +85,11 @@ FileSystem::Extent FileSystem::Ensure(uint32_t file_id) {
 
 void FileSystem::Flush(uint32_t file_id) {
   auto it = files_.find(file_id);
-  if (it == files_.end() || it->second.cached_base == 0) {
+  if (it == files_.end()) {
+    return;
+  }
+  if (it->second.cached_base == 0) {
+    FsyncFile(file_id);  // block-cached (or nothing resident): same contract
     return;
   }
   FileMeta& meta = it->second;
@@ -93,14 +104,28 @@ void FileSystem::Flush(uint32_t file_id) {
 
 void FileSystem::Evict(uint32_t file_id) {
   auto it = files_.find(file_id);
-  if (it == files_.end() || it->second.cached_base == 0) {
+  if (it == files_.end()) {
     return;
   }
-  Flush(file_id);
-  kernel_.allocator().Free(it->second.cached_base);
-  kernel_.allocator().Free(it->second.size_addr);
-  it->second.cached_base = 0;
-  it->second.size_addr = 0;
+  FileMeta& meta = it->second;
+  if (meta.cached_base != 0) {
+    Flush(file_id);
+    kernel_.allocator().Free(meta.cached_base);
+    kernel_.allocator().Free(meta.size_addr);
+    meta.cached_base = 0;
+    meta.size_addr = 0;
+    return;
+  }
+  if (bcache_ != nullptr && meta.size_addr != 0) {
+    // Block-cached eviction: persist the live size, flush the file's dirty
+    // blocks, and drop them from the cache. Open channels keep their
+    // synthesized code; the next miss re-reads the platter.
+    meta.size = kernel_.machine().memory().Read32(meta.size_addr);
+    uint32_t spb = bcache_->sectors_per_block();
+    bcache_->InvalidateRange(meta.first_sector / spb, meta.sectors / spb);
+    kernel_.allocator().Free(meta.size_addr);
+    meta.size_addr = 0;
+  }
 }
 
 uint32_t FileSystem::SizeOf(uint32_t file_id) {
@@ -108,10 +133,70 @@ uint32_t FileSystem::SizeOf(uint32_t file_id) {
   if (it == files_.end()) {
     return 0;
   }
-  if (it->second.cached_base != 0) {
+  if (it->second.size_addr != 0) {
     return kernel_.machine().memory().Read32(it->second.size_addr);
   }
   return it->second.size;
+}
+
+FileSystem::CachedExtent FileSystem::EnsureCached(uint32_t file_id) {
+  auto it = files_.find(file_id);
+  if (it == files_.end() || bcache_ == nullptr) {
+    return CachedExtent{};
+  }
+  FileMeta& meta = it->second;
+  uint32_t spb = bcache_->sectors_per_block();
+  if (meta.first_sector % spb != 0 || meta.sectors % spb != 0) {
+    return CachedExtent{};  // pre-attach extent: caller uses the resident path
+  }
+  if (meta.cached_base != 0) {
+    // Previously whole-file resident: make the platter authoritative and drop
+    // the extent so reads cannot see two diverging copies.
+    meta.size = kernel_.machine().memory().Read32(meta.size_addr);
+    Flush(file_id);
+    kernel_.allocator().Free(meta.cached_base);
+    meta.cached_base = 0;
+  }
+  if (meta.size_addr == 0) {
+    meta.size_addr = kernel_.allocator().Allocate(4);
+    assert(meta.size_addr != 0);
+    kernel_.machine().memory().Write32(meta.size_addr, meta.size);
+  }
+  kernel_.machine().Charge(20, 4, 3);  // cache-manager open bookkeeping
+  return CachedExtent{meta.size_addr, meta.first_sector / spb,
+                      meta.sectors / spb, meta.capacity};
+}
+
+bool FileSystem::CacheFill(uint32_t file_id, uint32_t block, bool write_full) {
+  auto it = files_.find(file_id);
+  if (it == files_.end() || bcache_ == nullptr) {
+    return false;
+  }
+  FileMeta& meta = it->second;
+  uint32_t spb = bcache_->sectors_per_block();
+  uint32_t first = meta.first_sector / spb;
+  uint32_t blocks = meta.sectors / spb;
+  if (block < first || block >= first + blocks) {
+    return false;  // a corrupt position walked off the extent
+  }
+  return bcache_->EnsureBlock(file_id, block, first, blocks, write_full);
+}
+
+void FileSystem::FsyncFile(uint32_t file_id) {
+  auto it = files_.find(file_id);
+  if (it == files_.end()) {
+    return;
+  }
+  FileMeta& meta = it->second;
+  if (meta.cached_base != 0) {
+    Flush(file_id);
+    return;
+  }
+  if (bcache_ != nullptr && meta.size_addr != 0) {
+    meta.size = kernel_.machine().memory().Read32(meta.size_addr);
+    uint32_t spb = bcache_->sectors_per_block();
+    bcache_->FlushBlockRange(meta.first_sector / spb, meta.sectors / spb);
+  }
 }
 
 }  // namespace synthesis

@@ -14,6 +14,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "src/fs/bcache.h"
 #include "src/fs/disk.h"
 #include "src/fs/name_table.h"
 #include "src/kernel/kernel.h"
@@ -52,6 +53,36 @@ class FileSystem {
 
   uint32_t SizeOf(uint32_t file_id);
 
+  // --- Block-cached mode ------------------------------------------------------
+  // With a buffer cache attached, opens go through per-block caching instead
+  // of whole-file residency: no disk round trip at open, misses fill single
+  // blocks, writes are write-behind. Stacks that attach no bcache behave
+  // exactly as before.
+  void AttachBcache(Bcache* bcache) { bcache_ = bcache; }
+  Bcache* bcache() { return bcache_; }
+
+  // Per-open state for a block-cached file. `first_block`/`blocks` describe
+  // the extent in cache-block units; a zero size_addr means the extent cannot
+  // ride the cache (created before attach, unaligned) and the caller must
+  // fall back to the resident path.
+  struct CachedExtent {
+    Addr size_addr = 0;
+    uint32_t first_block = 0;
+    uint32_t blocks = 0;
+    uint32_t capacity = 0;
+  };
+  CachedExtent EnsureCached(uint32_t file_id);
+
+  // Miss service for the per-fd cached paths: maps `block` (absolute, in
+  // cache-block units), reading through the disk unless `write_full` says the
+  // caller overwrites the whole block. False = allocation failed (clean
+  // rollback; the read/write surfaces a partial result or error).
+  bool CacheFill(uint32_t file_id, uint32_t block, bool write_full);
+
+  // fsync(2) semantics: pushes the file's dirty cache blocks (or its dirty
+  // resident extent) to the platter and persists the live size.
+  void FsyncFile(uint32_t file_id);
+
   NameTable& names() { return names_; }
   uint64_t cache_hits() const { return hits_; }
   uint64_t cache_misses() const { return misses_; }
@@ -69,6 +100,7 @@ class FileSystem {
   Kernel& kernel_;
   DiskDevice& disk_;
   DiskScheduler& sched_;
+  Bcache* bcache_ = nullptr;
   NameTable names_;
   std::unordered_map<uint32_t, FileMeta> files_;
   uint32_t next_id_ = 1;

@@ -16,9 +16,10 @@
 namespace synthesis {
 
 enum class DeviceType : uint32_t {
-  kNull = 0,  // /dev/null: reads give EOF, writes are discarded
-  kFile = 1,  // memory-resident file extent
-  kRing = 2,  // byte ring: pipes and tty queues
+  kNull = 0,        // /dev/null: reads give EOF, writes are discarded
+  kFile = 1,        // memory-resident file extent
+  kRing = 2,        // byte ring: pipes and tty queues
+  kCachedFile = 3,  // block-cached file riding the write-behind buffer cache
 };
 
 struct ChannelLayout {
@@ -30,12 +31,15 @@ struct ChannelLayout {
   static constexpr uint32_t kPosition = 20; // file position       [RUNTIME]
   static constexpr uint32_t kScratch = 24;  // syscall scratch     [RUNTIME]
   static constexpr uint32_t kWrRing = 28;   // ring written to     [invariant]
-  static constexpr uint32_t kSize = 32;
+  static constexpr uint32_t kCacheDesc = 32;  // bcache descriptor [invariant]
+  static constexpr uint32_t kFirstBlock = 36; // extent first blk  [invariant]
+  static constexpr uint32_t kMissBlock = 40;  // miss handoff      [RUNTIME]
+  static constexpr uint32_t kSize = 44;
 
-  // The invariant words, excluding the runtime position/scratch pair.
+  // The invariant words, excluding the runtime position/scratch/miss words.
   static AddrRange InvariantPrefix(Addr chan) { return AddrRange{chan, chan + 20}; }
   static AddrRange InvariantSuffix(Addr chan) {
-    return AddrRange{chan + kWrRing, chan + kSize};
+    return AddrRange{chan + kWrRing, chan + kFirstBlock + 4};
   }
 };
 

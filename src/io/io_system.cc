@@ -14,6 +14,144 @@ constexpr uint32_t kCloseCycles = 240;        // free record, unhook vectors
 constexpr int32_t kTypeNull = static_cast<int32_t>(DeviceType::kNull);
 constexpr int32_t kTypeFile = static_cast<int32_t>(DeviceType::kFile);
 constexpr int32_t kTypeRing = static_cast<int32_t>(DeviceType::kRing);
+constexpr int32_t kTypeCached = static_cast<int32_t>(DeviceType::kCachedFile);
+
+// Shifts rd right/left by the count in `cnt` via repeated single-bit shifts.
+// The ISA only has immediate shifts, so the layered path — which reads the
+// block shift out of the cache descriptor at run time — must loop. The
+// synthesized path folds the shift to an immediate and skips all of this.
+void EmitVarShift(Asm& a, bool right, uint8_t rd, uint8_t cnt,
+                  const std::string& pfx) {
+  a.Label(pfx + "top");
+  a.Tst(cnt);
+  a.Beq(pfx + "out");
+  if (right) {
+    a.LsrI(rd, 1);
+  } else {
+    a.LslI(rd, 1);
+  }
+  a.SubI(cnt, 1);
+  a.Bra(pfx + "top");
+  a.Label(pfx + "out");
+}
+
+// Emits the layered block-cached file body: walk the cache descriptor load
+// by load, probe the lookup map, and transfer one contiguous run per trip
+// through the shared copy routine. On a lookup miss the routine parks its
+// progress in the scratch word, the wanted block in the miss word, and
+// returns kIoMiss for the syscall layer to fill and re-enter.
+// Register use mirrors EmitRingBody: a0 = record, a1 = user cursor,
+// d2 = granted bytes, a5 = remaining, a6 = granted.
+void EmitCachedBody(Asm& a, bool is_read, const std::string& pfx) {
+  // Grant: reads are bounded by the live size, writes by the capacity.
+  a.Load32(kD3, kA0, ChannelLayout::kPosition);
+  if (is_read) {
+    a.Load32(kD4, kA0, ChannelLayout::kSizeAddr);
+    a.Load32(kD4, kD4, 0);  // live size
+  } else {
+    a.Load32(kD4, kA0, ChannelLayout::kCapacity);
+  }
+  a.Sub(kD4, kD3);
+  a.Tst(kD4);
+  a.Bne(pfx + "has");
+  a.MoveI(kD0, is_read ? 0 : kIoError);  // EOF / extent full
+  a.Rts();
+  a.Label(pfx + "has");
+  a.Cmp(kD2, kD4);
+  a.Bls(pfx + "len");
+  a.Move(kD2, kD4);
+  a.Label(pfx + "len");
+  a.Move(kA5, kD2);  // remaining
+  a.Move(kA6, kD2);  // granted
+  a.Label(pfx + "loop");
+  a.Move(kD0, kA5);
+  a.Tst(kD0);
+  a.Beq(pfx + "done");
+  // block = (pos >> desc.shift) + first_block  (shift-by-register loop)
+  a.Load32(kD7, kA0, ChannelLayout::kCacheDesc);
+  a.Load32(kD3, kA0, ChannelLayout::kPosition);
+  a.Load32(kD5, kD7, BcacheLayout::kBlockShift);
+  a.Move(kD1, kD3);
+  EmitVarShift(a, /*right=*/true, kD1, kD5, pfx + "sh1");
+  a.Load32(kD4, kA0, ChannelLayout::kFirstBlock);
+  a.Add(kD1, kD4);
+  // probe the map: slot = map_base + (block & map_mask) * 8
+  a.Load32(kD4, kD7, BcacheLayout::kMapMask);
+  a.Move(kD5, kD1);
+  a.And(kD5, kD4);
+  a.LslI(kD5, 3);
+  a.Load32(kD4, kD7, BcacheLayout::kMapBase);
+  a.Add(kD5, kD4);
+  a.Load32(kD4, kD5, BcacheLayout::kSlotTag);
+  a.Cmp(kD4, kD1);
+  a.Bne(pfx + "miss");
+  a.Load32(kD6, kD5, BcacheLayout::kSlotEntry);
+  // touch the entry meta: ref = 1 (writes also set dirty)
+  a.Load32(kD4, kD7, BcacheLayout::kMetaBase);
+  a.Move(kD5, kD6);
+  a.LslI(kD5, 3);
+  a.Add(kD5, kD4);
+  a.MoveI(kD4, 1);
+  a.Store32(kD5, kD4, BcacheLayout::kMetaRef);
+  if (!is_read) {
+    a.Store32(kD5, kD4, BcacheLayout::kMetaDirty);
+  }
+  // cache byte address = data_base + (entry << shift) + (pos & block_mask)
+  a.Load32(kD4, kD7, BcacheLayout::kBlockShift);
+  EmitVarShift(a, /*right=*/false, kD6, kD4, pfx + "sh2");
+  a.Load32(kD4, kD7, BcacheLayout::kDataBase);
+  a.Add(kD6, kD4);
+  a.Load32(kD4, kD7, BcacheLayout::kBlockMask);
+  a.Move(kD5, kD3);
+  a.And(kD5, kD4);
+  a.Add(kD6, kD5);
+  // m = min(remaining, block_bytes - off)
+  a.Load32(kD4, kD7, BcacheLayout::kBlockBytes);
+  a.Sub(kD4, kD5);
+  a.Move(kD2, kA5);
+  a.Cmp(kD2, kD4);
+  a.Bls(pfx + "m");
+  a.Move(kD2, kD4);
+  a.Label(pfx + "m");
+  if (is_read) {
+    a.Move(kA2, kD6);
+    a.Move(kA3, kA1);
+  } else {
+    a.Move(kA2, kA1);
+    a.Move(kA3, kD6);
+  }
+  a.Move(kA4, kD2);
+  a.Store32(kA0, kD2, ChannelLayout::kScratch);  // park m across the copy
+  a.Add(kA1, kD2);                               // advance the user cursor
+  a.Jsr(Asm::Sym("copy"));
+  // pos += m; writes also keep size = max(size, pos)
+  a.Load32(kD2, kA0, ChannelLayout::kScratch);
+  a.Load32(kD3, kA0, ChannelLayout::kPosition);
+  a.Add(kD3, kD2);
+  a.Store32(kA0, kD3, ChannelLayout::kPosition);
+  if (!is_read) {
+    a.Load32(kD5, kA0, ChannelLayout::kSizeAddr);
+    a.Load32(kD6, kD5, 0);
+    a.Cmp(kD3, kD6);
+    a.Bls(pfx + "sz");
+    a.Store32(kD5, kD3, 0);
+    a.Label(pfx + "sz");
+  }
+  a.Move(kD1, kA5);
+  a.Sub(kD1, kD2);
+  a.Move(kA5, kD1);
+  a.Bra(pfx + "loop");
+  a.Label(pfx + "miss");
+  a.Store32(kA0, kD1, ChannelLayout::kMissBlock);
+  a.Move(kD0, kA6);
+  a.Sub(kD0, kA5);  // progress so far
+  a.Store32(kA0, kD0, ChannelLayout::kScratch);
+  a.MoveI(kD0, kIoMiss);
+  a.Rts();
+  a.Label(pfx + "done");
+  a.Move(kD0, kA6);
+  a.Rts();
+}
 
 // Emits the byte-ring transfer loop shared by ring-read and ring-write.
 // Direction: read moves ring->user (cursor = tail), write moves user->ring
@@ -160,6 +298,8 @@ CodeTemplate GeneralReadTemplate() {
   a.Beq("file");
   a.CmpI(kD0, kTypeRing);
   a.Beq("ring");
+  a.CmpI(kD0, kTypeCached);
+  a.Beq("cf");
   a.MoveI(kD0, kIoError);
   a.Rts();
 
@@ -197,6 +337,8 @@ CodeTemplate GeneralReadTemplate() {
 
   a.Label("ring");
   EmitRingBody(a, /*is_read=*/true, "rr_");
+  a.Label("cf");
+  EmitCachedBody(a, /*is_read=*/true, "cfr_");
   return a.Build();
 }
 
@@ -211,6 +353,8 @@ CodeTemplate GeneralWriteTemplate() {
   a.Beq("file");
   a.CmpI(kD0, kTypeRing);
   a.Beq("ring");
+  a.CmpI(kD0, kTypeCached);
+  a.Beq("cf");
   a.MoveI(kD0, kIoError);
   a.Rts();
 
@@ -254,7 +398,157 @@ CodeTemplate GeneralWriteTemplate() {
 
   a.Label("ring");
   EmitRingBody(a, /*is_read=*/false, "wr_");
+  a.Label("cf");
+  EmitCachedBody(a, /*is_read=*/false, "cfw_");
   return a.Build();
+}
+
+namespace {
+
+// The per-fd cached-file template: every descriptor field is a hole bound at
+// open time, so a hit costs a handful of compares plus the copy. The
+// full-block case skips the copy routine entirely for an unrolled MOVEM
+// sequence with no length checks — the cached analogue of Collapsing Layers.
+CodeTemplate CachedFileTemplate(bool is_read, uint32_t block_bytes) {
+  Asm a(is_read ? "read_cached" : "write_cached");
+  a.MoveI(kA0, Asm::Sym("chan"));
+  a.Load32(kD3, kA0, ChannelLayout::kPosition);
+  if (is_read) {
+    a.LoadA32(kD4, Asm::Sym("size_addr"));
+  } else {
+    a.MoveI(kD4, Asm::Sym("capacity"));
+  }
+  a.Sub(kD4, kD3);
+  a.Tst(kD4);
+  a.Bne("has");
+  a.MoveI(kD0, is_read ? 0 : kIoError);
+  a.Rts();
+  a.Label("has");
+  a.Cmp(kD2, kD4);
+  a.Bls("len");
+  a.Move(kD2, kD4);
+  a.Label("len");
+  a.Move(kA5, kD2);
+  a.Move(kA6, kD2);
+  a.Label("loop");
+  a.Move(kD0, kA5);
+  a.Tst(kD0);
+  a.Beq("done");
+  a.Load32(kD3, kA0, ChannelLayout::kPosition);
+  a.Move(kD1, kD3);
+  a.LsrI(kD1, Asm::Sym("shift"));
+  a.AddI(kD1, Asm::Sym("first_block"));  // absolute disk block
+  a.Move(kD5, kD1);
+  a.AndI(kD5, Asm::Sym("map_mask"));
+  a.LslI(kD5, 3);
+  a.Lea(kD5, kD5, Asm::Sym("map_base"));
+  a.Load32(kD4, kD5, BcacheLayout::kSlotTag);
+  a.Cmp(kD4, kD1);
+  a.Bne("miss");
+  a.Load32(kD6, kD5, BcacheLayout::kSlotEntry);
+  a.Move(kD5, kD6);
+  a.LslI(kD5, 3);
+  a.Lea(kD5, kD5, Asm::Sym("meta_base"));
+  a.MoveI(kD4, 1);
+  a.Store32(kD5, kD4, BcacheLayout::kMetaRef);
+  if (!is_read) {
+    a.Store32(kD5, kD4, BcacheLayout::kMetaDirty);
+  }
+  a.LslI(kD6, Asm::Sym("shift"));
+  a.Lea(kD6, kD6, Asm::Sym("data_base"));  // entry data address
+  a.Move(kD5, kD3);
+  a.AndI(kD5, Asm::Sym("block_mask"));     // off = pos within the block
+  a.Tst(kD5);
+  a.Bne("slow");
+  a.Move(kD0, kA5);
+  a.CmpI(kD0, Asm::Sym("block_bytes"));
+  a.Blt("slow");
+  // Full-block fast path: aligned, whole block wanted.
+  if (is_read) {
+    a.Move(kA2, kD6);
+    a.Move(kA3, kA1);
+  } else {
+    a.Move(kA2, kA1);
+    a.Move(kA3, kD6);
+  }
+  for (uint32_t off = 0; off < block_bytes; off += 32) {
+    a.MovemLoad(kA2, 8);
+    a.MovemSave(kA3, 8);
+    a.AddI(kA2, 32);
+    a.AddI(kA3, 32);
+  }
+  a.AddI(kA1, Asm::Sym("block_bytes"));
+  a.Load32(kD3, kA0, ChannelLayout::kPosition);
+  a.AddI(kD3, Asm::Sym("block_bytes"));
+  a.Store32(kA0, kD3, ChannelLayout::kPosition);
+  if (!is_read) {
+    a.LoadA32(kD6, Asm::Sym("size_addr"));
+    a.Cmp(kD3, kD6);
+    a.Bls("fsz");
+    a.StoreA32(Asm::Sym("size_addr"), kD3);
+    a.Label("fsz");
+  }
+  a.Move(kD1, kA5);
+  a.SubI(kD1, Asm::Sym("block_bytes"));
+  a.Move(kA5, kD1);
+  a.Bra("loop");
+  // Partial-block path: transfer min(remaining, run) via the copy routine.
+  a.Label("slow");
+  a.Add(kD6, kD5);  // + off
+  a.MoveI(kD4, Asm::Sym("block_bytes"));
+  a.Sub(kD4, kD5);  // run = block_bytes - off
+  a.Move(kD2, kA5);
+  a.Cmp(kD2, kD4);
+  a.Bls("m");
+  a.Move(kD2, kD4);
+  a.Label("m");
+  if (is_read) {
+    a.Move(kA2, kD6);
+    a.Move(kA3, kA1);
+  } else {
+    a.Move(kA2, kA1);
+    a.Move(kA3, kD6);
+  }
+  a.Move(kA4, kD2);
+  a.Store32(kA0, kD2, ChannelLayout::kScratch);
+  a.Add(kA1, kD2);
+  a.Jsr(Asm::Sym("copy"));
+  a.Load32(kD2, kA0, ChannelLayout::kScratch);
+  a.Load32(kD3, kA0, ChannelLayout::kPosition);
+  a.Add(kD3, kD2);
+  a.Store32(kA0, kD3, ChannelLayout::kPosition);
+  if (!is_read) {
+    a.LoadA32(kD6, Asm::Sym("size_addr"));
+    a.Cmp(kD3, kD6);
+    a.Bls("ssz");
+    a.StoreA32(Asm::Sym("size_addr"), kD3);
+    a.Label("ssz");
+  }
+  a.Move(kD1, kA5);
+  a.Sub(kD1, kD2);
+  a.Move(kA5, kD1);
+  a.Bra("loop");
+  a.Label("miss");
+  a.Store32(kA0, kD1, ChannelLayout::kMissBlock);
+  a.Move(kD0, kA6);
+  a.Sub(kD0, kA5);
+  a.Store32(kA0, kD0, ChannelLayout::kScratch);
+  a.MoveI(kD0, kIoMiss);
+  a.Rts();
+  a.Label("done");
+  a.Move(kD0, kA6);
+  a.Rts();
+  return a.Build();
+}
+
+}  // namespace
+
+CodeTemplate CachedReadTemplate(uint32_t block_bytes) {
+  return CachedFileTemplate(/*is_read=*/true, block_bytes);
+}
+
+CodeTemplate CachedWriteTemplate(uint32_t block_bytes) {
+  return CachedFileTemplate(/*is_read=*/false, block_bytes);
 }
 
 BlockId SynthesizeRingPut1(Kernel& kernel, Addr ring, const std::string& name) {
@@ -318,6 +612,16 @@ IoSystem::IoSystem(Kernel& kernel, FileSystem* fs)
       read_tmpl_(GeneralReadTemplate()),
       write_tmpl_(GeneralWriteTemplate()) {}
 
+void IoSystem::EnsureCachedTemplates() {
+  if (cached_tmpls_built_) {
+    return;
+  }
+  uint32_t bb = fs_->bcache()->block_bytes();
+  cached_read_tmpl_ = CachedReadTemplate(bb);
+  cached_write_tmpl_ = CachedWriteTemplate(bb);
+  cached_tmpls_built_ = true;
+}
+
 std::shared_ptr<RingHost> IoSystem::MakeRing(uint32_t capacity) {
   assert((capacity & (capacity - 1)) == 0 && "ring capacity must be a power of 2");
   auto ring = std::make_shared<RingHost>();
@@ -360,11 +664,20 @@ ChannelId IoSystem::InstallChannel(Channel chan, const std::string& tag) {
   mem.Write32(rec + ChannelLayout::kScratch, 0);
   mem.Write32(rec + ChannelLayout::kRdRing, chan.rd_ring ? chan.rd_ring->base : 0);
   mem.Write32(rec + ChannelLayout::kWrRing, chan.wr_ring ? chan.wr_ring->base : 0);
+  mem.Write32(rec + ChannelLayout::kCacheDesc, 0);
+  mem.Write32(rec + ChannelLayout::kFirstBlock, 0);
+  mem.Write32(rec + ChannelLayout::kMissBlock, 0);
   if (chan.type == DeviceType::kFile && fs_ != nullptr) {
     FileSystem::Extent ext = fs_->Ensure(chan.file_id);
     mem.Write32(rec + ChannelLayout::kDataBase, ext.base);
     mem.Write32(rec + ChannelLayout::kSizeAddr, ext.size_addr);
     mem.Write32(rec + ChannelLayout::kCapacity, ext.capacity);
+  } else if (chan.type == DeviceType::kCachedFile && fs_ != nullptr) {
+    mem.Write32(rec + ChannelLayout::kDataBase, 0);
+    mem.Write32(rec + ChannelLayout::kSizeAddr, chan.cext.size_addr);
+    mem.Write32(rec + ChannelLayout::kCapacity, chan.cext.capacity);
+    mem.Write32(rec + ChannelLayout::kCacheDesc, fs_->bcache()->descriptor());
+    mem.Write32(rec + ChannelLayout::kFirstBlock, chan.cext.first_block);
   } else {
     mem.Write32(rec + ChannelLayout::kDataBase, 0);
     mem.Write32(rec + ChannelLayout::kSizeAddr, 0);
@@ -382,12 +695,39 @@ ChannelId IoSystem::InstallChannel(Channel chan, const std::string& tag) {
   if (chan.wr_ring) {
     inv.AddRange(RingLayout::InvariantRange(chan.wr_ring->base));
   }
+  if (chan.type == DeviceType::kCachedFile) {
+    inv.AddRange(BcacheLayout::InvariantRange(fs_->bcache()->descriptor()));
+  }
   Bindings b;
   b.Set("chan", static_cast<int32_t>(rec));
   b.Set("copy", copy_block_);
-  chan.read_code = kernel_.SynthesizeInstall(read_tmpl_, b, &inv, "read$" + tag,
-                                             &last_read_stats);
-  chan.write_code = kernel_.SynthesizeInstall(write_tmpl_, b, &inv, "write$" + tag);
+  if (chan.type == DeviceType::kCachedFile &&
+      kernel_.config().synthesis.fold_invariant_loads) {
+    // Synthesis on: emit the dedicated per-fd cached paths with the cache
+    // geometry and the file's extent folded to immediates. With synthesis
+    // off, the general template's descriptor-walking branch runs instead —
+    // that interpreted layered path is the ablation baseline.
+    EnsureCachedTemplates();
+    Bcache* bc = fs_->bcache();
+    b.Set("size_addr", static_cast<int32_t>(chan.cext.size_addr));
+    b.Set("capacity", static_cast<int32_t>(chan.cext.capacity));
+    b.Set("map_base", static_cast<int32_t>(bc->map_base()));
+    b.Set("map_mask", static_cast<int32_t>(bc->map_mask()));
+    b.Set("meta_base", static_cast<int32_t>(bc->meta_base()));
+    b.Set("data_base", static_cast<int32_t>(bc->data_base()));
+    b.Set("shift", static_cast<int32_t>(bc->block_shift()));
+    b.Set("block_mask", static_cast<int32_t>(bc->block_bytes() - 1));
+    b.Set("block_bytes", static_cast<int32_t>(bc->block_bytes()));
+    b.Set("first_block", static_cast<int32_t>(chan.cext.first_block));
+    chan.read_code = kernel_.SynthesizeInstall(cached_read_tmpl_, b, &inv,
+                                               "read$" + tag, &last_read_stats);
+    chan.write_code =
+        kernel_.SynthesizeInstall(cached_write_tmpl_, b, &inv, "write$" + tag);
+  } else {
+    chan.read_code = kernel_.SynthesizeInstall(read_tmpl_, b, &inv, "read$" + tag,
+                                               &last_read_stats);
+    chan.write_code = kernel_.SynthesizeInstall(write_tmpl_, b, &inv, "write$" + tag);
+  }
   if (chan.read_code == kInvalidBlock || chan.write_code == kInvalidBlock) {
     // Code-store pressure: retire whichever half made it, free the record,
     // and surface the failure as a bad channel — no partial installs leak.
@@ -435,6 +775,15 @@ ChannelId IoSystem::Open(const std::string& path) {
     if (fid != 0) {
       chan.type = DeviceType::kFile;
       chan.file_id = fid;
+      if (fs_->bcache() != nullptr) {
+        // Ride the buffer cache when the extent aligns to cache blocks; no
+        // disk round trip happens at open. Unaligned (pre-attach) files fall
+        // back to whole-file residency.
+        chan.cext = fs_->EnsureCached(fid);
+        if (chan.cext.size_addr != 0) {
+          chan.type = DeviceType::kCachedFile;
+        }
+      }
       found = true;
     }
   }
@@ -470,12 +819,64 @@ std::pair<ChannelId, ChannelId> IoSystem::CreatePipe(uint32_t capacity) {
   return {r, w};
 }
 
+int32_t IoSystem::CachedIo(Channel& c, bool is_write, Addr buf, uint32_t n) {
+  Machine& m = kernel_.machine();
+  Memory& mem = m.memory();
+  Bcache* bc = fs_->bcache();
+  const uint32_t bb = bc->block_bytes();
+  uint32_t total = 0;
+  bool fill_failed = false;
+  for (;;) {
+    m.set_reg(kA1, buf + total);
+    m.set_reg(kD2, n - total);
+    RunResult r = kernel_.kexec().Call(is_write ? c.write_code : c.read_code);
+    if (r.outcome != RunOutcome::kReturned) {
+      return kIoError;
+    }
+    int32_t got = static_cast<int32_t>(m.reg(kD0));
+    if (got == kIoMiss) {
+      // The VM path ran out of resident blocks: bank its progress, pull the
+      // wanted block through the cache manager, and re-enter. Fills happen
+      // here — with the VM idle — because interrupt dispatch cannot nest
+      // under the running syscall code.
+      total += mem.Read32(c.record + ChannelLayout::kScratch);
+      uint32_t block = mem.Read32(c.record + ChannelLayout::kMissBlock);
+      bool write_full = false;
+      if (is_write) {
+        uint32_t pos = mem.Read32(c.record + ChannelLayout::kPosition);
+        write_full = pos % bb == 0 && n - total >= bb;
+      }
+      if (!fs_->CacheFill(c.file_id, block, write_full)) {
+        fill_failed = true;  // allocation failed: graceful partial result
+        break;
+      }
+      continue;
+    }
+    if (got < 0) {
+      return total > 0 ? static_cast<int32_t>(total) : got;
+    }
+    total += static_cast<uint32_t>(got);
+    break;
+  }
+  if (total > 0) {
+    if (is_write) {
+      bc->NoteDirty();  // pure-hit writes dirty blocks without trapping
+    }
+    kernel_.scheduler().ReportIo(kernel_.current_thread(), total, kernel_.NowUs());
+    return static_cast<int32_t>(total);
+  }
+  return fill_failed ? kIoError : 0;
+}
+
 int32_t IoSystem::Read(ChannelId ch, Addr dst, uint32_t n) {
   Channel* c = Get(ch);
   if (c == nullptr) {
     return kIoError;
   }
   kernel_.machine().Charge(kSyscallEntryCycles, 1, 4);
+  if (c->type == DeviceType::kCachedFile) {
+    return CachedIo(*c, /*is_write=*/false, dst, n);
+  }
   Machine& m = kernel_.machine();
   m.set_reg(kA1, dst);
   m.set_reg(kD2, n);
@@ -506,6 +907,9 @@ int32_t IoSystem::Write(ChannelId ch, Addr src, uint32_t n) {
     return kIoError;
   }
   kernel_.machine().Charge(kSyscallEntryCycles, 1, 4);
+  if (c->type == DeviceType::kCachedFile) {
+    return CachedIo(*c, /*is_write=*/true, src, n);
+  }
   Machine& m = kernel_.machine();
   m.set_reg(kA1, src);
   m.set_reg(kD2, n);
@@ -528,6 +932,19 @@ int32_t IoSystem::Write(ChannelId ch, Addr src, uint32_t n) {
                                  kernel_.NowUs());
   }
   return put;
+}
+
+int32_t IoSystem::Fsync(ChannelId ch) {
+  Channel* c = Get(ch);
+  if (c == nullptr) {
+    return kIoError;
+  }
+  kernel_.machine().Charge(kSyscallEntryCycles, 1, 4);
+  if ((c->type == DeviceType::kFile || c->type == DeviceType::kCachedFile) &&
+      fs_ != nullptr) {
+    fs_->FsyncFile(c->file_id);
+  }
+  return 0;  // rings and /dev/null have nothing durable to push
 }
 
 void IoSystem::Close(ChannelId ch) {

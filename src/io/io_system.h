@@ -31,6 +31,11 @@ inline constexpr ChannelId kBadChannel = 0;
 // Read/Write results <= these sentinels are errors; >= 0 are byte counts.
 inline constexpr int32_t kIoWouldBlock = -1;  // caller parked; retry on resume
 inline constexpr int32_t kIoError = -2;
+// Internal to the cached-file paths: the VM code ran out of resident blocks.
+// Progress so far is parked in the channel's scratch word and the wanted
+// block in its miss word; the syscall layer fills the block and re-enters.
+// Never escapes to callers.
+inline constexpr int32_t kIoMiss = -3;
 
 // A byte ring shared by the channels connected to it (both pipe ends; the
 // tty queues). Blocking threads park on the ring's own wait queues (§4.1).
@@ -44,6 +49,14 @@ struct RingHost {
 // The general templates (exposed for the baseline kernel and benches).
 CodeTemplate GeneralReadTemplate();
 CodeTemplate GeneralWriteTemplate();
+
+// The per-fd cached-file templates. The block size is baked in at emission
+// time: the full-block hit path is an unrolled MOVEM copy with no length
+// checks and no call, which is where the synthesized path beats the layered
+// one. Holes: chan, copy, size_addr, capacity, map_base, map_mask, meta_base,
+// data_base, shift, block_mask, block_bytes, first_block.
+CodeTemplate CachedReadTemplate(uint32_t block_bytes);
+CodeTemplate CachedWriteTemplate(uint32_t block_bytes);
 
 // Synthesizes a single-byte put/get for a specific ring (used by interrupt
 // handlers; d1 = byte; returns d0 = 1/0).
@@ -60,6 +73,9 @@ class IoSystem {
   int32_t Read(ChannelId ch, Addr dst, uint32_t n);
   int32_t Write(ChannelId ch, Addr src, uint32_t n);
   void Close(ChannelId ch);
+  // fsync(2) semantics: pushes the channel's dirty cache blocks (or dirty
+  // resident extent) to the platter. Returns 0, or kIoError on a bad channel.
+  int32_t Fsync(ChannelId ch);
 
   // Creates a pipe of `capacity` bytes (power of two); returns {read end,
   // write end}.
@@ -115,6 +131,7 @@ class IoSystem {
     std::shared_ptr<RingHost> rd_ring;
     std::shared_ptr<RingHost> wr_ring;
     uint32_t file_id = 0;
+    FileSystem::CachedExtent cext;  // kCachedFile only
   };
 
   struct DeviceEntry {
@@ -124,12 +141,18 @@ class IoSystem {
 
   ChannelId InstallChannel(Channel chan, const std::string& tag);
   Channel* Get(ChannelId ch);
+  // The fill-and-reenter loop behind Read/Write on kCachedFile channels.
+  int32_t CachedIo(Channel& c, bool is_write, Addr buf, uint32_t n);
+  void EnsureCachedTemplates();
 
   Kernel& kernel_;
   FileSystem* fs_;
   BlockId copy_block_;
   CodeTemplate read_tmpl_;
   CodeTemplate write_tmpl_;
+  CodeTemplate cached_read_tmpl_;   // built lazily: needs the bcache geometry
+  CodeTemplate cached_write_tmpl_;
+  bool cached_tmpls_built_ = false;
   std::unordered_map<std::string, DeviceEntry> devices_;
   std::unordered_map<ChannelId, Channel> channels_;
   ChannelId next_id_ = 1;

@@ -91,6 +91,13 @@ TtyDevice::TtyDevice(Kernel& kernel, IoSystem& io) : kernel_(kernel), io_(io) {
 }
 
 void TtyDevice::TypeChar(char c, double at_us) {
+  // UART FIFO overrun (fault plane): the character is gone before the
+  // interrupt ever fires — the handler never sees it, only the gauge does.
+  // A real tty rings the bell; ours counts so tests can reconcile exactly.
+  if (kernel_.faults().ShouldFire(FaultSite::kTtyOverrun)) {
+    chars_dropped_++;
+    return;
+  }
   kernel_.interrupts().Raise(at_us, Vector::kTty, static_cast<uint8_t>(c));
 }
 

@@ -40,6 +40,9 @@ class TtyDevice {
   RingHost& screen_ring() { return *screen_; }
   BlockId irq_handler() const { return irq_handler_; }
   uint64_t chars_received() const { return chars_received_; }
+  // Characters lost to an injected UART FIFO overrun (kTtyOverrun) before
+  // the keyboard interrupt was raised.
+  uint64_t chars_dropped() const { return chars_dropped_; }
 
  private:
   class CookedFilter;
@@ -52,6 +55,7 @@ class TtyDevice {
   BlockId irq_handler_ = kInvalidBlock;
   ThreadId filter_tid_ = kNoThread;
   uint64_t chars_received_ = 0;
+  uint64_t chars_dropped_ = 0;
 };
 
 }  // namespace synthesis

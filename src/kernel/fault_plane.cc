@@ -114,6 +114,10 @@ const char* FaultPlane::SiteName(FaultSite site) {
     case FaultSite::kWireReorder: return "wire_reorder";
     case FaultSite::kWireDup: return "wire_dup";
     case FaultSite::kWireBurst: return "wire_burst";
+    case FaultSite::kBcacheAlloc: return "bcache_alloc";
+    case FaultSite::kDiskLost: return "disk_lost";
+    case FaultSite::kDiskLate: return "disk_late";
+    case FaultSite::kTtyOverrun: return "tty_over";
     case FaultSite::kNumSites: break;
   }
   return "?";

@@ -44,11 +44,21 @@ enum class FaultSite : uint32_t {
   kWireReorder,    // NIC: frame held back so later frames overtake it
   kWireDup,        // NIC: frame delivered twice
   kWireBurst,      // NIC: starts a burst loss run
+  kBcacheAlloc,    // buffer cache: entry allocation fails (all pinned)
+  kDiskLost,       // disk: request lost; driver timeout + retry completes late
+  kDiskLate,       // disk: completion interrupt kDiskLateMult times late
+  kTtyOverrun,     // tty: UART FIFO overrun drops the character pre-interrupt
   kNumSites,
 };
 
 // A late alarm arrives this many times after its programmed delta.
 inline constexpr double kAlarmLateMult = 4.0;
+// A late disk completion arrives this many times after the model latency.
+inline constexpr double kDiskLateMult = 4.0;
+// A lost disk request is retried by the driver after a timeout; the retry
+// completes this many times after the model latency (forward progress is
+// preserved: the completion interrupt always arrives, just much later).
+inline constexpr double kDiskLostRetryMult = 10.0;
 
 struct FaultTrigger {
   double probability = 0.0;        // per-visit independent draw

@@ -105,6 +105,16 @@ int32_t UnixEmulator::Lseek(int fd, int32_t offset) {
   return offset;
 }
 
+int UnixEmulator::Fsync(int fd) {
+  ChargeTrap();
+  auto it = fds_.find(fd);
+  if (it == fds_.end()) {
+    return -1;
+  }
+  kernel_.machine().Charge(10, 3, 1);  // fd -> channel translation
+  return io_.Fsync(it->second) == 0 ? 0 : -1;
+}
+
 bool UnixEmulator::Mkfile(const std::string& path, uint32_t capacity) {
   if (fs_ == nullptr) {
     return false;

@@ -30,6 +30,7 @@ class UnixEmulator : public PosixLikeApi {
   int32_t Write(int fd, Addr buf, uint32_t n) override;
   int Pipe(int fds_out[2]) override;
   int32_t Lseek(int fd, int32_t offset) override;
+  int Fsync(int fd) override;
   bool Mkfile(const std::string& path, uint32_t capacity) override;
 
   // Socket calls are serviced once a network stack is attached; without one

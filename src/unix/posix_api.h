@@ -24,6 +24,9 @@ class PosixLikeApi {
   virtual int32_t Write(int fd, Addr buf, uint32_t n) = 0;
   virtual int Pipe(int fds_out[2]) = 0;                 // 0 or -1
   virtual int32_t Lseek(int fd, int32_t offset) = 0;    // SEEK_SET only
+  // fsync(2): pushes the fd's dirty buffered data to stable storage. The
+  // default succeeds trivially for systems whose writes are synchronous.
+  virtual int Fsync(int /*fd*/) { return 0; }           // 0 or -1
 
   // Datagram sockets. Defaults report "not supported" so implementations
   // without a network stack (the SUNOS baseline model) need no changes.

@@ -16,6 +16,9 @@
 #include <string>
 #include <vector>
 
+#include "src/fs/bcache.h"
+#include "src/fs/disk.h"
+#include "src/fs/file_system.h"
 #include "src/io/channel.h"
 #include "src/io/io_system.h"
 #include "src/kernel/kernel.h"
@@ -686,6 +689,166 @@ TEST_P(FaultScheduleReplayFuzz, SameSeedReplaysLogAndGaugesByteIdentically) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FaultScheduleReplayFuzz, ::testing::Range(1, 6));
+
+// --- Buffer-cache differential fuzz -----------------------------------------
+// The synthesized per-fd cached read/write paths (map probe, meta update,
+// unrolled block copy, miss protocol) against the interpreted layered path:
+// the same random schedule of reads, writes, and seeks over a tiny cache
+// (constant eviction, read-ahead racing the schedule) must produce identical
+// return values, identical bytes, and an identical final file image.
+
+class BcacheStack {
+ public:
+  explicit BcacheStack(bool synthesized) : k_(MakeCfg(synthesized)), disk_(k_),
+      sched_(disk_), fs_(k_, disk_, sched_), bc_(k_, disk_, sched_, MakeBc()),
+      io_(k_, &fs_) {
+    fs_.AttachBcache(&bc_);
+    buf_ = k_.allocator().Allocate(kFuzzCap + 4096);  // Image() reads kFuzzCap
+    file_ = fs_.CreateFile("/fuzz", {}, kFuzzCap);
+    ch_ = io_.Open("/fuzz");
+  }
+
+  static Kernel::Config MakeCfg(bool synthesized) {
+    Kernel::Config c;
+    if (!synthesized) {
+      c.synthesis = SynthesisOptions::Disabled();
+    }
+    return c;
+  }
+  static BcacheConfig MakeBc() {
+    BcacheConfig c;
+    c.entries = 8;             // tiny: the schedule constantly evicts
+    c.read_ahead = 3;          // prefetch races the random accesses
+    c.flush_period_us = 5'000; // flusher interleaves with the schedule
+    c.flush_batch = 2;
+    return c;
+  }
+
+  int32_t Write(uint32_t pos, const std::string& data) {
+    Seek(pos);
+    k_.machine().memory().WriteBytes(buf_, data.data(), data.size());
+    return io_.Write(ch_, buf_, static_cast<uint32_t>(data.size()));
+  }
+  int32_t Read(uint32_t pos, uint32_t n, std::string* out) {
+    Seek(pos);
+    int32_t r = io_.Read(ch_, buf_, n);
+    if (r > 0) {
+      out->resize(static_cast<size_t>(r));
+      k_.machine().memory().ReadBytes(buf_, out->data(),
+                                      static_cast<uint32_t>(r));
+    } else {
+      out->clear();
+    }
+    return r;
+  }
+  void Fsync() { io_.Fsync(ch_); }
+  void Settle() {
+    DiskScheduler::DriveUntil(k_, [&] { return bc_.dirty_blocks() == 0; });
+  }
+  std::string Image() {
+    std::string img;
+    const int32_t n = Read(0, kFuzzCap, &img);
+    return n >= 0 ? img : "<error>";
+  }
+  bool Ready() const { return file_ != 0 && ch_ != kBadChannel; }
+  Bcache& bc() { return bc_; }
+  uint32_t Size() { return fs_.SizeOf(file_); }
+
+  static constexpr uint32_t kFuzzCap = 24 * 512;  // 3x the cache size
+
+ private:
+  void Seek(uint32_t pos) {
+    k_.machine().memory().Write32(io_.RecordOf(ch_) + ChannelLayout::kPosition,
+                                  pos);
+  }
+
+  Kernel k_;
+  DiskDevice disk_;
+  DiskScheduler sched_;
+  FileSystem fs_;
+  Bcache bc_;
+  IoSystem io_;
+  Addr buf_ = 0;
+  uint32_t file_ = 0;
+  ChannelId ch_ = kBadChannel;
+};
+
+class BcacheFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(BcacheFuzz, CachedPathsMatchLayeredInterpreterExactly) {
+  std::mt19937 rng(static_cast<uint32_t>(GetParam()) * 2654435761u + 101);
+  BcacheStack synth(/*synthesized=*/true);
+  BcacheStack generic(/*synthesized=*/false);
+  ASSERT_TRUE(synth.Ready());
+  ASSERT_TRUE(generic.Ready());
+
+  std::string model(BcacheStack::kFuzzCap, '\0');
+  uint32_t model_size = 0;
+  for (int op = 0; op < 250; ++op) {
+    const uint32_t pos = rng() % BcacheStack::kFuzzCap;
+    const uint32_t n = 1 + rng() % 2000;  // spans up to ~4 cache blocks
+    switch (rng() % 8) {
+      case 0:
+      case 1:
+      case 2: {  // write a random span
+        std::string data(n, '\0');
+        for (auto& b : data) {
+          b = static_cast<char>(rng() % 256);
+        }
+        const int32_t rs = synth.Write(pos, data);
+        const int32_t rg = generic.Write(pos, data);
+        ASSERT_EQ(rs, rg) << "write @" << pos << "+" << n << " op " << op;
+        if (rs > 0) {
+          model.replace(pos, static_cast<size_t>(rs), data, 0,
+                        static_cast<size_t>(rs));
+          model_size = std::max(model_size, pos + static_cast<uint32_t>(rs));
+        }
+        break;
+      }
+      case 7:  // occasionally force write-back / drain the flusher
+        if (rng() % 2 == 0) {
+          synth.Fsync();
+          generic.Fsync();
+        } else {
+          synth.Settle();
+          generic.Settle();
+        }
+        break;
+      default: {  // read a random span
+        std::string bs, bg;
+        const int32_t rs = synth.Read(pos, n, &bs);
+        const int32_t rg = generic.Read(pos, n, &bg);
+        ASSERT_EQ(rs, rg) << "read @" << pos << "+" << n << " op " << op;
+        ASSERT_EQ(bs, model.substr(pos, bs.size()))
+            << "synth read bytes @" << pos << "+" << n << " op " << op;
+        ASSERT_EQ(bg, model.substr(pos, bg.size()))
+            << "generic read bytes @" << pos << "+" << n << " op " << op;
+        break;
+      }
+    }
+    ASSERT_LE(synth.bc().resident_blocks(), BcacheStack::MakeBc().entries);
+    ASSERT_EQ(synth.Size(), model_size) << "synth size diverged at op " << op;
+    ASSERT_EQ(generic.Size(), model_size)
+        << "generic size diverged at op " << op;
+  }
+
+  for (auto [name, img] :
+       {std::pair<const char*, std::string>{"synth", synth.Image()},
+        {"generic", generic.Image()}}) {
+    ASSERT_EQ(img.size(), model_size) << name << " final size diverged";
+    size_t diff = 0;
+    while (diff < img.size() && img[diff] == model[diff]) {
+      diff++;
+    }
+    EXPECT_EQ(diff, img.size())
+        << name << " final image diverged from the op model at byte " << diff
+        << " (block " << diff / 512 << ")";
+  }
+  EXPECT_GT(synth.bc().evictions(), 0u)
+      << "the tiny cache must have churned for this fuzz to mean anything";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BcacheFuzz, ::testing::Range(1, 9));
 
 }  // namespace
 }  // namespace synthesis
