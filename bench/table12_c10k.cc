@@ -1,0 +1,667 @@
+// Table 12: C10K survival — connection-scale robustness, every armor layer
+// firing at once.
+//
+// The Synthesis pitch is that per-connection code synthesis scales *down* per
+// operation without giving anything up at scale. This bench is the end-to-end
+// proof: one kernel, 2048 concurrent full-duplex streams (4096 connection
+// endpoints) across an 8-NIC pool, surviving in sequence
+//
+//   P1  connect/close churn — 256 streams torn down and reopened, with
+//       code-store block, allocator byte and live-allocation occupancy
+//       returning *exactly* to the pre-churn baseline (deferred retirement,
+//       no leak, no fragmentation drift);
+//   P2  goodput on a 64-stream hot set with mixed message sizes, unflooded;
+//   P3  the same transfer shape buried under a 4x junk-frame flood — the
+//       pool's prioritized shed filter engages, bulk junk dies in a handful
+//       of synthesized instructions, and goodput self-enforces at >= 0.6x
+//       of the unflooded run (every shed decision is billed virtual time,
+//       so a real 4x flood is not free — it just isn't fatal);
+//   P3b a fresh handshake completing *while* shedding is engaged at level 2
+//       (bulk-data shed): SYN / SYN-ACK / zero-payload ack are control class
+//       and stay admissible by construction;
+//   P4  graceful synthesis degradation — 16 streams established while every
+//       CodeStore install is refused (injected fault): they come up on the
+//       generic interpreted processor (synth_fallback), still move bytes,
+//       and are opportunistically re-synthesized once pressure drains;
+//   P5  the idle-connection reaper — 32 keepalive-armed streams whose client
+//       sides die silently (forged RST, no FIN): servers probe, reap, and
+//       return occupancy exactly to the phase entry baseline.
+//
+// Every claim above is self-enforced: a regression exits nonzero. The whole
+// run executes under SYNTHESIS_FAULTS (a default background spec is armed if
+// the environment doesn't provide one), so wire loss and late alarms season
+// all phases.
+#include <algorithm>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/io/io_system.h"
+#include "src/kernel/kernel.h"
+#include "src/kernel/user_program.h"
+#include "src/machine/machine.h"
+#include "src/net/frame.h"
+#include "src/net/nic_device.h"
+#include "src/net/nic_pool.h"
+#include "src/net/stream.h"
+
+namespace synthesis {
+namespace {
+
+constexpr uint32_t kPairs = 2048;        // concurrent full-duplex streams
+constexpr uint32_t kWave = 128;          // pairs established per kernel drain
+constexpr uint32_t kChurn = 256;         // pairs torn down and reopened in P1
+constexpr uint32_t kHot = 64;            // transfer streams per goodput phase
+constexpr uint32_t kHotBytes = 4096;     // payload per hot stream
+constexpr uint32_t kDegraded = 16;       // pairs established under refusal
+constexpr uint32_t kReaped = 32;         // keepalive pairs with dying clients
+constexpr uint16_t kServiceBase = 1000;  // service ports kServiceBase + i
+
+[[noreturn]] void Die(const char* fmt, ...) {
+  va_list ap;
+  va_start(ap, fmt);
+  std::vfprintf(stderr, fmt, ap);
+  va_end(ap);
+  std::fputc('\n', stderr);
+  std::exit(1);
+}
+
+// Junk frames are bulk-data class on purpose: longer than the control cutoff
+// and with the flags word (payload offset 8) zeroed so no SYN/FIN/RST bit is
+// accidentally set. At shed level 1 they die as unknown ports; at level 2
+// they would die even if the port were bound.
+std::vector<uint8_t> JunkPayload() {
+  std::vector<uint8_t> p(64);
+  for (size_t i = 0; i < p.size(); i++) {
+    p[i] = static_cast<uint8_t>(i * 7 + 3);
+  }
+  p[8] = p[9] = p[10] = p[11] = 0;
+  return p;
+}
+
+// One free (never-bound) port per NIC for the flood to aim at.
+std::vector<uint16_t> JunkPorts(const NicPool& pool) {
+  std::vector<uint16_t> out;
+  for (uint32_t nic = 0; nic < pool.size(); nic++) {
+    uint16_t found = 0;
+    for (uint16_t p = 9000; p < 9999; p++) {
+      if (pool.SteerOf(p) == nic && !pool.HasFlow(p)) {
+        found = p;
+        break;
+      }
+    }
+    if (found == 0) {
+      Die("table12: no junk port for nic %u", nic);
+    }
+    out.push_back(found);
+  }
+  return out;
+}
+
+void InjectJunkBurst(NicPool& pool, const std::vector<uint16_t>& ports,
+                     const std::vector<uint8_t>& junk, uint32_t per_nic,
+                     uint64_t* offered) {
+  const uint32_t n = static_cast<uint32_t>(junk.size());
+  for (uint32_t i = 0; i < per_nic; i++) {
+    for (uint16_t p : ports) {
+      pool.InjectRaw(p, 7777, junk.data(), n, FrameChecksum(p, 7777, junk.data(), n), n);
+      if (offered != nullptr) {
+        (*offered)++;
+      }
+    }
+  }
+}
+
+// A silent client death: a forged RST lands on the client endpoint. No FIN
+// ever reaches the server — from its side the peer just stops answering.
+void KillClientSilently(Kernel& k, NicPool& pool, StreamLayer& st, ConnId cli,
+                        uint16_t service_port) {
+  (void)k;
+  std::vector<uint8_t> rst(StreamSeg::kHdrBytes, 0);
+  uint32_t seq = 1, ack = 1,
+           flags = StreamSeg::kFlagRst | StreamSeg::kFlagAck;
+  std::memcpy(rst.data() + StreamSeg::kSeq, &seq, 4);
+  std::memcpy(rst.data() + StreamSeg::kAck, &ack, 4);
+  std::memcpy(rst.data() + StreamSeg::kFlags, &flags, 4);
+  const uint32_t n = static_cast<uint32_t>(rst.size());
+  const uint16_t port = st.PortOf(cli);
+  pool.InjectRaw(port, service_port, rst.data(), n,
+                 FrameChecksum(port, service_port, rst.data(), n), n);
+}
+
+// --- hot-set transfer programs ----------------------------------------------
+
+// Sends `total` bytes in mixed-size chunks (32/64/128/256 by stream index),
+// then closes. The chunk mix keeps segment shapes heterogeneous the way a
+// real connection-scale workload is.
+class HotSender : public UserProgram {
+ public:
+  HotSender(StreamLayer& st, ConnId conn, uint32_t chunk, uint32_t total)
+      : st_(st), conn_(conn), chunk_(chunk), total_(total) {}
+  StepStatus Step(ThreadEnv& env) override {
+    Kernel& k = env.kernel;
+    if (buf_ == 0) {
+      buf_ = k.allocator().Allocate(256);
+      std::vector<uint8_t> fill(256);
+      for (uint32_t i = 0; i < 256; i++) {
+        fill[i] = static_cast<uint8_t>('!' + i % 90);
+      }
+      k.machine().memory().WriteBytes(buf_, fill.data(), 256);
+    }
+    if (off_ >= total_) {
+      st_.Close(conn_);
+      return StepStatus::kDone;
+    }
+    uint32_t take = std::min<uint32_t>(chunk_, total_ - off_);
+    int32_t n = st_.Send(conn_, buf_, take);
+    if (n == kIoWouldBlock) {
+      return StepStatus::kBlocked;
+    }
+    if (n == kIoError) {
+      return StepStatus::kDone;
+    }
+    off_ += static_cast<uint32_t>(n);
+    k.machine().Charge(40, 10, 0);
+    return StepStatus::kYield;
+  }
+
+ private:
+  StreamLayer& st_;
+  ConnId conn_;
+  uint32_t chunk_;
+  uint32_t total_;
+  Addr buf_ = 0;
+  uint32_t off_ = 0;
+};
+
+class HotReceiver : public UserProgram {
+ public:
+  HotReceiver(StreamLayer& st, ConnId conn, uint64_t* got)
+      : st_(st), conn_(conn), got_(got) {}
+  StepStatus Step(ThreadEnv& env) override {
+    Kernel& k = env.kernel;
+    if (buf_ == 0) {
+      buf_ = k.allocator().Allocate(256);
+    }
+    int32_t n = st_.Recv(conn_, buf_, 256);
+    if (n == kIoWouldBlock) {
+      return StepStatus::kBlocked;
+    }
+    if (n <= 0) {
+      if (n == 0) {
+        st_.Close(conn_);
+      }
+      return StepStatus::kDone;
+    }
+    *got_ += static_cast<uint64_t>(n);
+    k.machine().Charge(40, 10, 0);
+    return StepStatus::kYield;
+  }
+
+ private:
+  StreamLayer& st_;
+  ConnId conn_;
+  uint64_t* got_;
+  Addr buf_ = 0;
+};
+
+struct GoodputResult {
+  double bytes_per_ms = 0;
+  uint64_t got = 0;
+  uint64_t junk_offered = 0;
+  // Good frames the streams put on the wire during the phase. Junk enters via
+  // InjectRaw straight into RX rings and never transits TX, so the pool-wide
+  // TX-completion delta counts good traffic (data + acks) and nothing else.
+  uint64_t good_delivered = 0;
+};
+
+// Runs kHot transfers over pairs [first, first + kHot) to completion. With
+// `flood` set, every scheduling round buries the good traffic under junk
+// bursts deep enough to cross the shed watermark (the 4x column). The clock
+// is virtual: every shed decision, retransmission, and ring copy is billed.
+GoodputResult RunHotSet(Kernel& k, NicPool& pool, StreamLayer& st,
+                        const std::vector<ConnId>& srv,
+                        const std::vector<ConnId>& cli, uint32_t first,
+                        bool flood, const std::vector<uint16_t>& junk_ports,
+                        const std::vector<uint8_t>& junk) {
+  GoodputResult r;
+  std::vector<std::unique_ptr<uint64_t>> counters;
+  for (uint32_t i = 0; i < kHot; i++) {
+    const uint32_t chunk = 32u << (i % 4);  // 32..256B message mix
+    counters.push_back(std::make_unique<uint64_t>(0));
+    k.CreateThread(std::make_unique<HotSender>(st, cli[first + i], chunk, kHotBytes));
+    k.CreateThread(
+        std::make_unique<HotReceiver>(st, srv[first + i], counters.back().get()));
+  }
+  const double t0 = k.NowUs();
+  const uint64_t tx0 = pool.Aggregate().tx_completed;
+  for (int round = 0; round < 4096; round++) {
+    if (flood) {
+      // Sub-bursts of 160 junk frames per NIC: each lands before any
+      // interrupt is serviced, so queue depth peaks past the high watermark
+      // (32) and the armor decides mid-burst; the bounded partial drain
+      // between bursts keeps the flood dense across the transfer's whole
+      // lifetime instead of front-loading one spike per round. Density is
+      // sized so offered junk stays >= 4x the good TX traffic end to end.
+      for (int sub = 0; sub < 30; sub++) {
+        InjectJunkBurst(pool, junk_ports, junk, 160, &r.junk_offered);
+        k.Run(400);
+      }
+    }
+    k.Run(flood ? 2'000 : 20'000);
+    bool done = true;
+    for (uint32_t i = 0; i < kHot; i++) {
+      if (st.StateOf(cli[first + i]) != CcbLayout::kDone ||
+          st.StateOf(srv[first + i]) != CcbLayout::kDone) {
+        done = false;
+        break;
+      }
+    }
+    if (done) {
+      break;
+    }
+  }
+  k.Run();  // drain the tail (shed hysteresis, retirement)
+  r.good_delivered = pool.Aggregate().tx_completed - tx0;
+  const double elapsed_ms = (k.NowUs() - t0) / 1000.0;
+  for (uint32_t i = 0; i < kHot; i++) {
+    r.got += *counters[i];
+    if (st.StateOf(cli[first + i]) != CcbLayout::kDone ||
+        st.StateOf(srv[first + i]) != CcbLayout::kDone) {
+      Die("table12: hot stream %u did not complete (%s)", first + i,
+          flood ? "flooded" : "unflooded");
+    }
+    if (*counters[i] != kHotBytes) {
+      Die("table12: hot stream %u delivered %llu of %u bytes", first + i,
+          static_cast<unsigned long long>(*counters[i]), kHotBytes);
+    }
+  }
+  r.bytes_per_ms = static_cast<double>(r.got) / elapsed_ms;
+  return r;
+}
+
+struct Occupancy {
+  size_t blocks;
+  uint32_t bytes;
+  uint32_t allocs;
+};
+
+Occupancy Snapshot(Kernel& k) {
+  return {k.code().live_block_count(), k.allocator().bytes_in_use(),
+          k.allocator().allocation_count()};
+}
+
+void RequireExact(const char* what, const Occupancy& base, const Occupancy& now) {
+  if (now.blocks != base.blocks || now.bytes != base.bytes ||
+      now.allocs != base.allocs) {
+    Die("table12: %s occupancy drifted: blocks %zu->%zu bytes %u->%u "
+        "allocs %u->%u",
+        what, base.blocks, now.blocks, base.bytes, now.bytes, base.allocs,
+        now.allocs);
+  }
+}
+
+}  // namespace
+
+void Main() {
+  Kernel::Config kc;
+  kc.memory_bytes = 64 * 1024 * 1024;
+  Kernel k(kc);
+  IoSystem io(k, nullptr);
+  NicPoolConfig pc;
+  pc.initial_nics = NicPool::kMaxNics;
+  pc.nic.rx_slots = 256;
+  pc.nic.tx_slots = 256;
+  pc.admission_control = true;
+  pc.shed_high_watermark = 32;
+  pc.shed_low_watermark = 4;
+  pc.shed_data_watermark = 128;
+  NicPool pool(k, pc);
+  StreamLayer st(k, io, pool);
+
+  StreamConfig cfg;
+  cfg.ring_bytes = 1024;  // 4096 endpoints: keep per-connection rings lean
+  cfg.rto_base_us = 2000;
+  cfg.max_retries = 16;
+
+  const std::vector<uint8_t> junk = JunkPayload();
+
+  // --- P0: ramp to 2048 concurrent streams --------------------------------
+  std::vector<ConnId> srv(kPairs), cli(kPairs);
+  for (uint32_t i = 0; i < kPairs; i++) {
+    const uint16_t port = static_cast<uint16_t>(kServiceBase + i);
+    srv[i] = st.Listen(port, cfg);
+    cli[i] = st.Connect(port, cfg);
+    if (srv[i] == kBadConn || cli[i] == kBadConn) {
+      Die("table12: open failed at pair %u", i);
+    }
+    if ((i + 1) % kWave == 0) {
+      k.Run();  // drain the wave's handshakes before stacking the next
+    }
+  }
+  k.Run();
+  uint32_t established = 0;
+  for (uint32_t i = 0; i < kPairs; i++) {
+    established +=
+        (st.StateOf(srv[i]) == CcbLayout::kEstablished ? 1u : 0u) +
+        (st.StateOf(cli[i]) == CcbLayout::kEstablished ? 1u : 0u);
+  }
+  if (established != 2 * kPairs) {
+    Die("table12: only %u of %u endpoints established", established, 2 * kPairs);
+  }
+  const std::vector<uint16_t> junk_ports = JunkPorts(pool);
+
+
+  // --- P1: churn 256 streams, occupancy must return exactly ----------------
+  const Occupancy pre_churn = Snapshot(k);
+  for (uint32_t i = 0; i < kChurn; i++) {
+    if (!st.Close(cli[i]) || !st.Close(srv[i])) {
+      Die("table12: churn close failed at pair %u", i);
+    }
+    if ((i + 1) % kWave == 0) {
+      k.Run();
+    }
+  }
+  k.Run();
+  for (uint32_t i = 0; i < kChurn; i++) {
+    if (st.StateOf(cli[i]) != CcbLayout::kDone ||
+        st.StateOf(srv[i]) != CcbLayout::kDone) {
+      Die("table12: churn pair %u did not close cleanly", i);
+    }
+    const uint16_t port = static_cast<uint16_t>(kServiceBase + i);
+    srv[i] = st.Listen(port, cfg);
+    cli[i] = st.Connect(port, cfg);
+    if (srv[i] == kBadConn || cli[i] == kBadConn) {
+      Die("table12: churn reopen failed at pair %u", i);
+    }
+    if ((i + 1) % kWave == 0) {
+      k.Run();
+    }
+  }
+  k.Run();
+  for (uint32_t i = 0; i < kChurn; i++) {
+    if (st.StateOf(srv[i]) != CcbLayout::kEstablished ||
+        st.StateOf(cli[i]) != CcbLayout::kEstablished) {
+      Die("table12: churn pair %u did not re-establish", i);
+    }
+  }
+  const Occupancy post_churn = Snapshot(k);
+  RequireExact("churn", pre_churn, post_churn);
+
+  // --- P2/P3: hot-set goodput, unflooded vs 4x flood -----------------------
+  const uint64_t engages0 = pool.shed_engages();
+  GoodputResult calm = RunHotSet(k, pool, st, srv, cli, kChurn, false,
+                                 junk_ports, junk);
+  GoodputResult stormy = RunHotSet(k, pool, st, srv, cli, kChurn + kHot, true,
+                                   junk_ports, junk);
+  if (pool.shed_engages() == engages0) {
+    Die("table12: the flood never engaged the shed filter");
+  }
+  // 4x flood, measured: junk offered against the good frames (data + acks)
+  // the streams put on the wire while the flood ran. Junk never transits TX,
+  // so tx_completed isolates the good traffic exactly.
+  if (stormy.good_delivered == 0) {
+    Die("table12: flood phase recorded zero good frames (metric broken)");
+  }
+  if (stormy.junk_offered < 4 * stormy.good_delivered) {
+    Die("table12: flood was %.2fx the delivered good traffic, wanted >= 4x",
+        static_cast<double>(stormy.junk_offered) /
+            static_cast<double>(stormy.good_delivered));
+  }
+
+  // --- P3b: a handshake completes while level-2 shedding is engaged --------
+  // Bursts past the data watermark land on every NIC while a brand-new
+  // connection handshakes through the storm. SYN / SYN-ACK / zero-payload ack
+  // are control class, so even at level 2 (bulk data shed) the handshake is
+  // admissible by construction. Shed state is sampled mid-drain each round:
+  // the armor must be observed *engaged* while the handshake is in flight.
+  const uint64_t escal0 = pool.shed_escalations();
+  const uint16_t fresh_port = 5000;
+  ConnId fresh_srv = st.Listen(fresh_port, cfg);
+  ConnId fresh_cli = st.Connect(fresh_port, cfg);
+  if (fresh_srv == kBadConn || fresh_cli == kBadConn) {
+    Die("table12: open under shed failed");
+  }
+  bool observed_level2 = false;
+  for (int round = 0; round < 30; round++) {
+    InjectJunkBurst(pool, junk_ports, junk, pc.shed_data_watermark + 32,
+                    nullptr);
+    // The admission hook fires synchronously as the burst lands, so this
+    // sample reads the armor holding the line at level 2 while the round's
+    // handshake segments sit queued behind the junk: the drain below
+    // processes them *through* the engaged filter (batched RX clears all
+    // rings — and disengages — inside the very first slice, so post-drain
+    // samples would always read idle).
+    observed_level2 |= pool.shedding() && pool.shed_level() == 2;
+    k.Run(300);  // let the handshake make progress through the storm
+    if (st.StateOf(fresh_srv) == CcbLayout::kEstablished &&
+        st.StateOf(fresh_cli) == CcbLayout::kEstablished) {
+      break;
+    }
+  }
+  if (!observed_level2) {
+    Die("table12: the burst storm never engaged level-2 shedding");
+  }
+  if (st.StateOf(fresh_srv) != CcbLayout::kEstablished ||
+      st.StateOf(fresh_cli) != CcbLayout::kEstablished) {
+    Die("table12: handshake failed to complete through the burst storm");
+  }
+  if (pool.shed_escalations() == escal0) {
+    Die("table12: burst storm never escalated to level-2 (data) shedding");
+  }
+  k.Run();  // full drain
+  if (pool.shedding()) {
+    Die("table12: shed armor failed to disengage after drain");
+  }
+
+  // --- P4: graceful degradation under code-store refusal -------------------
+  const uint64_t fallback0 = st.synth_fallback_gauge().events();
+  const uint64_t resynth0 = st.resynth_gauge().events();
+  // Open first (channel plumbing needs real installs), then slam the store
+  // shut: every establishment-time specialization — the per-connection
+  // processor with the peer folded in — is refused, and the ladder's first
+  // rung catches all 32 endpoints on the generic interpreted processor.
+  std::vector<ConnId> dsrv(kDegraded), dcli(kDegraded);
+  for (uint32_t i = 0; i < kDegraded; i++) {
+    const uint16_t port = static_cast<uint16_t>(6000 + i);
+    dsrv[i] = st.Listen(port, cfg);
+    dcli[i] = st.Connect(port, cfg);
+    if (dsrv[i] == kBadConn || dcli[i] == kBadConn) {
+      Die("table12: degraded open %u failed", i);
+    }
+  }
+  FaultTrigger certain;
+  certain.probability = 1.0;
+  k.faults().Arm(FaultSite::kCodeInstall, certain);
+  k.Run(5'000);  // bounded: degraded connections keep the resynth sweep alive
+  for (uint32_t i = 0; i < kDegraded; i++) {
+    if (st.StateOf(dsrv[i]) != CcbLayout::kEstablished ||
+        st.StateOf(dcli[i]) != CcbLayout::kEstablished) {
+      Die("table12: degraded pair %u failed to establish", i);
+    }
+    if (!st.DegradedOf(dsrv[i]) || !st.DegradedOf(dcli[i])) {
+      Die("table12: pair %u not marked degraded under certain refusal", i);
+    }
+  }
+  if (st.synth_fallback_gauge().events() < fallback0 + 2 * kDegraded) {
+    Die("table12: synth_fallback gauge missed degraded establishes");
+  }
+  // Degraded connections still move bytes: one message over the generic
+  // interpreted processor, end to end.
+  {
+    Addr buf = k.allocator().Allocate(64);
+    const char msg[] = "degraded but alive";
+    k.machine().memory().WriteBytes(buf, msg, sizeof(msg) - 1);
+    if (st.Send(dcli[0], buf, sizeof(msg) - 1) !=
+        static_cast<int32_t>(sizeof(msg) - 1)) {
+      Die("table12: send on degraded connection refused");
+    }
+    k.Run(5'000);
+    Addr rbuf = k.allocator().Allocate(64);
+    if (st.Recv(dsrv[0], rbuf, 64) != static_cast<int32_t>(sizeof(msg) - 1)) {
+      Die("table12: degraded connection did not deliver");
+    }
+    k.allocator().Free(buf);
+    k.allocator().Free(rbuf);
+  }
+  // Pressure drains: the next sweep re-synthesizes everything opportunistically.
+  k.faults().Disarm(FaultSite::kCodeInstall);
+  st.SweepNowForTest();
+  k.Run(5'000);
+  for (uint32_t i = 0; i < kDegraded; i++) {
+    if (st.DegradedOf(dsrv[i]) || st.DegradedOf(dcli[i])) {
+      Die("table12: pair %u still degraded after pressure drained", i);
+    }
+  }
+  if (st.resynth_gauge().events() < resynth0 + 2 * kDegraded) {
+    Die("table12: resynth gauge missed the promotion sweep");
+  }
+  const uint64_t refusals = k.installs_refused();
+  for (uint32_t i = 0; i < kDegraded; i++) {
+    st.Close(dcli[i]);
+    st.Close(dsrv[i]);
+  }
+  k.Run();
+
+  // --- P5: the reaper — silent client death, exact occupancy return --------
+
+  StreamConfig ka = cfg;
+  ka.keepalive_idle_us = 5000;
+  ka.keepalive_interval_us = 2000;
+  ka.keepalive_probes = 3;
+  // Warmup: one keepalive pair, opened and closed, so the reaper's one-time
+  // fixed cost (the lazily installed layer-wide sweep stub) lands on the
+  // baseline side of the occupancy snapshot.
+  {
+    ConnId wsrv = st.Listen(6999, ka);
+    ConnId wcli = st.Connect(6999, ka);
+    if (wsrv == kBadConn || wcli == kBadConn) {
+      Die("table12: reaper warmup open failed");
+    }
+    k.Run(5'000);
+    st.Close(wcli);
+    st.Close(wsrv);
+    k.Run(20'000);
+    if (st.StateOf(wsrv) != CcbLayout::kDone ||
+        st.StateOf(wcli) != CcbLayout::kDone) {
+      Die("table12: reaper warmup did not close cleanly");
+    }
+    k.Run(1'000);  // drain deferred retirement
+  }
+  const Occupancy pre_reap = Snapshot(k);
+  const uint64_t reaped0 = st.reaped_gauge().events();
+  std::vector<ConnId> rsrv(kReaped), rcli(kReaped);
+  for (uint32_t i = 0; i < kReaped; i++) {
+    const uint16_t port = static_cast<uint16_t>(7000 + i);
+    rsrv[i] = st.Listen(port, ka);
+    rcli[i] = st.Connect(port, ka);
+    if (rsrv[i] == kBadConn || rcli[i] == kBadConn) {
+      Die("table12: reaper open %u failed", i);
+    }
+  }
+  k.Run(5'000);  // bounded: keepalive keeps the sweep alarm re-arming
+  for (uint32_t i = 0; i < kReaped; i++) {
+    if (st.StateOf(rsrv[i]) != CcbLayout::kEstablished) {
+      Die("table12: reaper pair %u did not establish", i);
+    }
+    KillClientSilently(k, pool, st, rcli[i], static_cast<uint16_t>(7000 + i));
+  }
+  k.Run(3'000);  // probes go out, go unanswered, and the verdict lands
+  uint32_t reaped_now = 0;
+  for (uint32_t i = 0; i < kReaped; i++) {
+    if (st.StateOf(rsrv[i]) == CcbLayout::kFailed) {
+      reaped_now++;
+    }
+  }
+  if (reaped_now != kReaped ||
+      st.reaped_gauge().events() < reaped0 + kReaped) {
+    Die("table12: only %u of %u dead peers reaped", reaped_now, kReaped);
+  }
+  k.Run(2'000);  // drain deferred retirement
+  const Occupancy post_reap = Snapshot(k);
+  RequireExact("reaper", pre_reap, post_reap);
+
+  // --- report --------------------------------------------------------------
+  PrintHeader("Table 12: C10K survival (2048 concurrent streams)", "unflooded",
+              "4x flood");
+  PrintRow("hot-set goodput, 64 streams", calm.bytes_per_ms,
+           stormy.bytes_per_ms, "B/ms");
+  char note[200];
+  std::snprintf(note, sizeof(note),
+                "flood kept %.2fx of unflooded goodput (floor 0.6x); "
+                "%llu junk offered (%.1fx good TX), %llu shed early, "
+                "%llu data-class sheds",
+                stormy.bytes_per_ms / calm.bytes_per_ms,
+                static_cast<unsigned long long>(stormy.junk_offered),
+                static_cast<double>(stormy.junk_offered) /
+                    static_cast<double>(stormy.good_delivered),
+                static_cast<unsigned long long>(pool.Aggregate().early_sheds),
+                static_cast<unsigned long long>(pool.Aggregate().data_sheds));
+  PrintNote(note);
+
+  PrintHeader("Table 12b: occupancy under connection churn", "before", "after");
+  PrintRow("code-store blocks (256-stream churn)",
+           static_cast<double>(pre_churn.blocks),
+           static_cast<double>(post_churn.blocks), "blk");
+  PrintRow("allocator bytes (256-stream churn)",
+           static_cast<double>(pre_churn.bytes),
+           static_cast<double>(post_churn.bytes), "B");
+  PrintRow("code-store blocks (32 reaped streams)",
+           static_cast<double>(pre_reap.blocks),
+           static_cast<double>(post_reap.blocks), "blk");
+  PrintRow("allocator bytes (32 reaped streams)",
+           static_cast<double>(pre_reap.bytes),
+           static_cast<double>(post_reap.bytes), "B");
+  PrintNote("ratio 1.00x = exact return: deferred retirement leaks nothing");
+  PrintNote("at connection scale, reaped or churned alike.");
+
+  PrintHeader("Table 12c: degradation ladder", "asked", "served");
+  PrintRow("establishes under certain install refusal",
+           static_cast<double>(2 * kDegraded),
+           static_cast<double>(st.synth_fallback_gauge().events() - fallback0),
+           "conn");
+  PrintRow("re-synthesized when pressure drained",
+           static_cast<double>(2 * kDegraded),
+           static_cast<double>(st.resynth_gauge().events() - resynth0), "conn");
+  std::snprintf(note, sizeof(note),
+                "%llu installs refused kernel-wide; every one served by the "
+                "generic processor instead of a failed connect",
+                static_cast<unsigned long long>(refusals));
+  PrintNote(note);
+  std::snprintf(note, sizeof(note),
+                "reaper: %u silent peer deaths detected by keepalive probes, "
+                "%llu probes sent",
+                reaped_now,
+                static_cast<unsigned long long>(
+                    st.keepalive_probe_gauge().events()));
+  PrintNote(note);
+
+  // The headline self-enforcement. The floor is calibrated against a flood
+  // that is *measured* >= 4x the good TX traffic: every one of those junk
+  // frames is billed real virtual time through the shed filter, so survival
+  // means keeping the majority of goodput, not all of it.
+  if (!(stormy.bytes_per_ms >= 0.6 * calm.bytes_per_ms)) {
+    Die("table12: flooded goodput %.1f B/ms below 0.6x of unflooded %.1f",
+        stormy.bytes_per_ms, calm.bytes_per_ms);
+  }
+}
+
+}  // namespace synthesis
+
+int main() {
+  // The C10K proof runs seasoned: arm a low-probability background fault spec
+  // unless the caller supplied one (verify.sh FAULTS=1 does).
+  if (std::getenv("SYNTHESIS_FAULTS") == nullptr) {
+    setenv("SYNTHESIS_FAULTS",
+           "seed=11,wire_drop=p0.0002,wire_dup=p0.0001,alarm_late=p0.0005", 1);
+  }
+  std::printf("fault plane: %s\n", std::getenv("SYNTHESIS_FAULTS"));
+  synthesis::Main();
+  synthesis::WriteBenchJson("BENCH_c10k.json");
+  return 0;
+}

@@ -28,7 +28,7 @@ if [[ "${FAULTS:-0}" == "1" ]]; then
   # allocation-class failure (alloc, code install, bcache_alloc) is exercised
   # by targeted tests (fault_plane_test, bcache_test, stream churn); arming it
   # globally would fire inside constructors that assert success.
-  : "${SYNTHESIS_FAULTS:=seed=11,wire_drop=p0.0002,wire_dup=p0.0001,alarm_late=p0.0005,disk_late=p0.001,disk_lost=p0.0005,tty_over=p0.0001}"
+  : "${SYNTHESIS_FAULTS:=seed=11,wire_drop=p0.0002,wire_dup=p0.0001,wire_reorder=p0.0001,alarm_late=p0.0005,disk_late=p0.001,disk_lost=p0.0005,tty_over=p0.0001}"
   export SYNTHESIS_FAULTS
   echo "verify: fault plane armed: $SYNTHESIS_FAULTS"
 fi
@@ -71,6 +71,14 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
 # <= 0.6x the generic layered instructions per block; read-ahead sequential
 # scan >= 1.5x the uncached rate) and gates on miss-free warm loops.
 (cd "$BUILD_DIR" && ./bench/table11_bcache > /dev/null)
+
+# table12 is the connection-scale survival gate: 2048 concurrent streams,
+# exact occupancy return after 256-stream churn and 32 keepalive reaps, a
+# measured >= 4x junk flood with goodput floored at 0.6x of unflooded, a
+# handshake completing while level-2 shedding is engaged, and every connect
+# under certain install-refusal served degraded then re-synthesized. It arms
+# its own default fault spec when SYNTHESIS_FAULTS is unset.
+(cd "$BUILD_DIR" && ./bench/table12_c10k > /dev/null)
 
 # Every bench JSON the tree produced must parse; a malformed artifact fails
 # the gate rather than silently shipping a broken table.

@@ -85,6 +85,7 @@ BlockId Kernel::SynthesizeInstall(const CodeTemplate& tmpl, const Bindings& bind
                                   const std::string& name, SynthesisStats* stats,
                                   const SynthesisOptions* options) {
   if (faults_.ShouldFire(FaultSite::kCodeInstall)) {
+    installs_refused_++;
     return kInvalidBlock;  // code-store pressure: install refused
   }
   SynthesisStats st;
@@ -96,7 +97,11 @@ BlockId Kernel::SynthesizeInstall(const CodeTemplate& tmpl, const Bindings& bind
   if (stats) {
     *stats = st;
   }
-  return store_.Install(std::move(blk));
+  BlockId id = store_.Install(std::move(blk));
+  if (id == kInvalidBlock) {
+    installs_refused_++;  // live-block cap: the protected area is full
+  }
+  return id;
 }
 
 int Kernel::RegisterHostTrap(std::function<TrapAction(Machine&)> fn) {

@@ -93,6 +93,12 @@ class Kernel {
                             const std::string& name, SynthesisStats* stats = nullptr,
                             const SynthesisOptions* options = nullptr);
 
+  // Code-store pressure signal: installs refused (capacity cap or injected
+  // kCodeInstall fault) since boot. Layers that degraded to a generic path
+  // watch this alongside CodeStore::live_block_count() to decide when
+  // re-synthesis is worth attempting (the stream layer's sweep).
+  uint64_t installs_refused() const { return installs_refused_; }
+
   // Registers a host-serviced trap and returns its vector number. Synthesized
   // code reaches host logic (device wakeups, emulation) through these.
   int RegisterHostTrap(std::function<TrapAction(Machine&)> fn);
@@ -227,6 +233,7 @@ class Kernel {
   bool in_interrupt_ = false;
   // Blocks awaiting reclamation (deferred until kexec_ is between runs).
   std::vector<BlockId> retired_blocks_;
+  uint64_t installs_refused_ = 0;
 
   uint64_t context_switches_ = 0;
   uint64_t interrupts_dispatched_ = 0;

@@ -104,6 +104,12 @@ class CodeStore {
   // Caps live blocks; Install returns kInvalidBlock at the cap. 0 = no cap.
   // Used to model code-store pressure in fault tests.
   void SetLiveBlockLimit(size_t limit) { live_limit_ = limit; }
+  size_t live_block_limit() const { return live_limit_; }
+  // Whether another Install would be admitted right now — the headroom check
+  // degraded layers use before re-synthesizing.
+  bool HasRoom() const {
+    return live_limit_ == 0 || live_block_count() < live_limit_;
+  }
 
  private:
   static constexpr size_t kBytesPerInstr = 4;

@@ -50,7 +50,11 @@ struct FlowEntryLayout {
 
 class DemuxSynthesizer {
  public:
-  static constexpr uint32_t kMaxFlows = 16;
+  // Sized for the C10K scenario: a pool of 8 NICs hash-shards ~4k connection
+  // flows to ~512 per demux, so each flow table carries comfortable headroom
+  // (the table is 4 + kMaxFlows * FlowEntryLayout::kBytes ≈ 25 KB of
+  // simulated memory per NIC).
+  static constexpr uint32_t kMaxFlows = 1024;
   // Fixed-size flows up to this many payload bytes get fully unrolled
   // checksum and copy code.
   static constexpr uint32_t kUnrollLimit = 64;

@@ -1,6 +1,8 @@
 #include "src/net/nic_pool.h"
 
 #include <cassert>
+#include <cstdio>
+#include <cstdlib>
 #include <string>
 
 #include "src/machine/assembler.h"
@@ -18,6 +20,26 @@ constexpr int32_t kSlotMask = 0xFFFF;
 NicPool::NicPool(Kernel& kernel, NicPoolConfig config)
     : kernel_(kernel), config_(config) {
   assert(config_.initial_nics >= 1 && config_.initial_nics <= kMaxNics);
+  // Inverted or degenerate watermarks make the armor either never engage or
+  // never disengage — a bad config is a hard construction error, not a
+  // debug-build assert (matching the ring/cache geometry checks).
+  if (config_.shed_high_watermark <= config_.shed_low_watermark ||
+      config_.shed_low_watermark == 0) {
+    std::fprintf(stderr,
+                 "NicPool: shed watermarks must satisfy high > low > 0 "
+                 "(shed_high_watermark=%u shed_low_watermark=%u)\n",
+                 config_.shed_high_watermark, config_.shed_low_watermark);
+    std::abort();
+  }
+  if (config_.admission_control &&
+      config_.shed_data_watermark <= config_.shed_high_watermark) {
+    std::fprintf(stderr,
+                 "NicPool: shed_data_watermark must exceed "
+                 "shed_high_watermark (shed_data_watermark=%u "
+                 "shed_high_watermark=%u)\n",
+                 config_.shed_data_watermark, config_.shed_high_watermark);
+    std::abort();
+  }
   desc_ = kernel_.allocator().Allocate(kDescBytes);
   rx_dispatch_cell_ = kernel_.allocator().Allocate(4);
   tx_dispatch_cell_ = kernel_.allocator().Allocate(4);
@@ -26,7 +48,25 @@ NicPool::NicPool(Kernel& kernel, NicPoolConfig config)
   assert(desc_ != 0 && rx_dispatch_cell_ != 0 && tx_dispatch_cell_ != 0 &&
          steer_cell_ != 0 && shed_ctr_ != 0 &&
          "kernel memory exhausted bringing up the NIC pool");
-  kernel_.machine().memory().Write32(shed_ctr_, 0);
+  Memory& mem = kernel_.machine().memory();
+  mem.Write32(shed_ctr_, 0);
+  if (config_.admission_control) {
+    shed_data_ctr_ = kernel_.allocator().Allocate(4);
+    shed_level_word_ = kernel_.allocator().Allocate(4);
+    shed_bitmap_ = kernel_.allocator().Allocate(kShedBitmapBytes);
+    shed_mask_tab_ = kernel_.allocator().Allocate(32 * 4);
+    assert(shed_data_ctr_ != 0 && shed_level_word_ != 0 &&
+           shed_bitmap_ != 0 && shed_mask_tab_ != 0 &&
+           "kernel memory exhausted bringing up the admission filter");
+    mem.Write32(shed_data_ctr_, 0);
+    mem.Write32(shed_level_word_, 0);
+    for (uint32_t w = 0; w < kShedBitmapBytes / 4; w++) {
+      mem.Write32(shed_bitmap_ + 4 * w, 0);
+    }
+    for (uint32_t i = 0; i < 32; i++) {
+      mem.Write32(shed_mask_tab_ + 4 * i, 1u << i);
+    }
+  }
 
   for (uint32_t i = 0; i < config_.initial_nics; i++) {
     AppendNic();
@@ -311,28 +351,116 @@ void NicPool::EmitDispatch() {
   }
 }
 
+namespace {
+// Emits the level-2 class test at label "cls": a header-only segment (pure
+// ack) or one whose flags word carries SYN/FIN/RST is control plane and
+// branches to "pass"; bulk data bumps `data_ctr` and drops like a no-match.
+void EmitClassTest(Asm& a, Addr data_ctr) {
+  a.Label("cls");
+  a.Load32(kD3, kA1, FrameLayout::kLength);
+  a.CmpI(kD3, static_cast<int32_t>(NicPool::kShedCtrlMaxBytes));
+  a.Bls("pass");
+  a.Load32(kD3, kA1,
+           FrameLayout::kPayload + NicPool::kShedCtrlFlagsOff);
+  a.AndI(kD3, static_cast<int32_t>(NicPool::kShedCtrlFlagsMask));
+  a.Tst(kD3);
+  a.Bne("pass");
+  a.LoadA32(kD1, static_cast<int32_t>(data_ctr));
+  a.AddI(kD1, 1);
+  a.StoreA32(static_cast<int32_t>(data_ctr), kD1);
+  a.MoveI(kD0, -2);
+  a.Rts();
+}
+
+// Emits the O(1) bitmap membership test: d0 = dst port on entry; branches to
+// `hit` when the port's bit is set, falls through otherwise. The ISA has no
+// variable shift, so the bit mask comes from a 32-entry table.
+void EmitBitmapTest(Asm& a, Addr bitmap, Addr mask_tab,
+                    const std::string& hit) {
+  a.Move(kD1, kD0);
+  a.LsrI(kD1, 5);
+  a.LoadIdx32(kD3, kD1, static_cast<int32_t>(bitmap));
+  a.Move(kD4, kD0);
+  a.AndI(kD4, 31);
+  a.LoadIdx32(kD4, kD4, static_cast<int32_t>(mask_tab));
+  a.And(kD3, kD4);
+  a.Tst(kD3);
+  a.Bne(hit);
+}
+}  // namespace
+
 void NicPool::EmitShedFilter() {
   if (!config_.admission_control) {
     return;
   }
+  const uint32_t lvl = shed_level_ >= 2 ? 2u : 1u;
+
+  if (!config_.synthesized_shed) {
+    // The interpreted baseline (ablation): installed exactly once. It
+    // reloads the shed level and walks the bound-port bitmap from memory on
+    // every frame, so binds, unbinds and level changes are pure data writes
+    // — the defining property (and per-frame cost) of the layered path.
+    if (generic_shed_ == kInvalidBlock) {
+      SynthesisOptions verbatim = SynthesisOptions::Disabled();
+      Asm g("pool_shed_gen");
+      g.Load32(kD0, kA1, FrameLayout::kDstPort);
+      EmitBitmapTest(g, shed_bitmap_, shed_mask_tab_, "bound");
+      g.LoadA32(kD1, static_cast<int32_t>(shed_ctr_));
+      g.AddI(kD1, 1);
+      g.StoreA32(static_cast<int32_t>(shed_ctr_), kD1);
+      g.MoveI(kD0, -2);
+      g.Rts();
+      g.Label("bound");
+      g.LoadA32(kD3, static_cast<int32_t>(shed_level_word_));
+      g.CmpI(kD3, 2);
+      g.Blt("pass");
+      EmitClassTest(g, shed_data_ctr_);
+      g.Label("pass");
+      g.LoadA32(kD7, static_cast<int32_t>(steer_cell_));
+      g.JmpInd(kD7);
+      generic_shed_ = kernel_.SynthesizeInstall(g.Build(), Bindings(), nullptr,
+                                                "pool_shed_gen", nullptr,
+                                                &verbatim);
+    }
+    shed_filter_ = generic_shed_;
+    shed_filter_level_ = lvl;  // the level word, not the code, carries it
+    shed_filter_is_bitmap_ = true;
+    if (shedding_ && shed_filter_ == kInvalidBlock) {
+      shedding_ = false;
+      shed_level_ = 0;
+      WriteShedLevel();
+    }
+    return;
+  }
+
   shed_gen_++;
   const std::string name = "pool_shed#" + std::to_string(shed_gen_);
-  // The early-drop filter: the set of bound ports compiled to an immediate
-  // compare chain. A known port falls through to the full steering stage
-  // (via the steering cell, so steering re-emission never touches the
-  // filter); everything else is dropped after a handful of instructions —
-  // no checksum, no ring append, no wakeup.
+  // The synthesized early-drop filter: bound-port membership plus the
+  // current shed level compiled into straight-line code. A control-plane
+  // frame falls through to the full steering stage (via the steering cell,
+  // so steering re-emission never touches the filter); everything shed is
+  // dropped after a handful of instructions — no checksum, no ring append,
+  // no wakeup.
+  const bool bitmap = bindings_.size() > config_.shed_chain_max;
+  const std::string hit = lvl == 2 ? "cls" : "pass";
   Asm a(name);
   a.Load32(kD0, kA1, FrameLayout::kDstPort);
-  for (const auto& [port, b] : bindings_) {
-    a.CmpI(kD0, static_cast<int32_t>(port));
-    a.Beq("pass");
+  if (bitmap) {
+    EmitBitmapTest(a, shed_bitmap_, shed_mask_tab_, hit);
+  } else {
+    for (const auto& [port, b] : bindings_) {
+      a.CmpI(kD0, static_cast<int32_t>(port));
+      a.Beq(hit);
+    }
   }
   a.LoadA32(kD1, static_cast<int32_t>(shed_ctr_));
   a.AddI(kD1, 1);
   a.StoreA32(static_cast<int32_t>(shed_ctr_), kD1);
   a.MoveI(kD0, -2);  // same contract as a demux no-match
   a.Rts();
+  if (lvl == 2) {
+    EmitClassTest(a, shed_data_ctr_);
+  }
   a.Label("pass");
   a.LoadA32(kD7, static_cast<int32_t>(steer_cell_));
   a.JmpInd(kD7);
@@ -343,12 +471,97 @@ void NicPool::EmitShedFilter() {
                                             name, nullptr, &opts);
   BlockId old = shed_filter_;
   shed_filter_ = fresh;  // kInvalidBlock on failure: armor off, pool works
-  if (old != kInvalidBlock && old != shed_filter_) {
+  shed_filter_level_ = fresh != kInvalidBlock ? lvl : 0;
+  shed_filter_is_bitmap_ = bitmap;
+  if (old != kInvalidBlock && old != shed_filter_ && old != generic_shed_) {
     kernel_.RetireBlock(old);
   }
   if (shedding_ && shed_filter_ == kInvalidBlock) {
     shedding_ = false;  // can't shed without a filter; serve the full path
+    shed_level_ = 0;
+    WriteShedLevel();
   }
+}
+
+// Bind/unbind hook: in steady bitmap mode the bit write already updated the
+// membership, so connection churn skips re-emission entirely; the chain
+// variant (small N) re-emits per change, and crossing shed_chain_max in
+// either direction re-emits to switch variants.
+void NicPool::RefreshShedFilter() {
+  if (!config_.admission_control) {
+    return;
+  }
+  if (!config_.synthesized_shed) {
+    if (generic_shed_ == kInvalidBlock) {
+      EmitShedFilter();  // retry the one-time install if it was refused
+    }
+    return;
+  }
+  const bool want_bitmap = bindings_.size() > config_.shed_chain_max;
+  if (want_bitmap && shed_filter_is_bitmap_ && shed_filter_ != kInvalidBlock) {
+    return;
+  }
+  EmitShedFilter();
+}
+
+void NicPool::WriteShedBit(uint16_t port, bool on) {
+  if (!config_.admission_control) {
+    return;
+  }
+  Memory& mem = kernel_.machine().memory();
+  Addr w = shed_bitmap_ + (static_cast<uint32_t>(port) >> 5) * 4;
+  uint32_t v = static_cast<uint32_t>(mem.Read32(w));
+  uint32_t m = 1u << (port & 31);
+  mem.Write32(w, on ? (v | m) : (v & ~m));
+  kernel_.machine().Charge(6, 1, 1);
+}
+
+void NicPool::WriteShedLevel() {
+  if (shed_level_word_ != 0) {
+    kernel_.machine().memory().Write32(shed_level_word_, shed_level_);
+  }
+}
+
+void NicPool::MirrorShedCounters() {
+  // Mirror the filter's drop counters (32-bit sim words) into the gauges
+  // with wrapping uint32_t deltas, so sustained overload can't skew them.
+  Memory& mem = kernel_.machine().memory();
+  uint32_t dropped = static_cast<uint32_t>(mem.Read32(shed_ctr_));
+  shed_gauge_.CountN(dropped - shed_seen_);
+  shed_seen_ = dropped;
+  if (shed_data_ctr_ != 0) {
+    uint32_t data = static_cast<uint32_t>(mem.Read32(shed_data_ctr_));
+    shed_data_gauge_.CountN(data - shed_data_seen_);
+    shed_data_seen_ = data;
+  }
+}
+
+void NicPool::EnterShedLevel(uint32_t lvl) {
+  const uint32_t prev = shed_level_;
+  shed_level_ = lvl;
+  WriteShedLevel();
+  // Re-emitted on watermark engage when the emitted shape no longer matches
+  // the level: the class test is folded into the compare chain, so
+  // escalation changes the code, not a flag. (The interpreted baseline reads
+  // the level word instead and never re-emits.)
+  if (shed_filter_ == kInvalidBlock ||
+      (config_.synthesized_shed && shed_filter_level_ != lvl)) {
+    EmitShedFilter();
+  }
+  if (shed_filter_ == kInvalidBlock) {
+    shed_level_ = 0;  // can't shed without a filter; serve the full path
+    shedding_ = false;
+    WriteShedLevel();
+    return;
+  }
+  shedding_ = true;
+  if (prev == 0) {
+    shed_engages_++;
+  }
+  if (lvl == 2) {
+    shed_escalations_++;
+  }
+  ApplySteering();
 }
 
 void NicPool::ApplySteering() {
@@ -368,22 +581,19 @@ void NicPool::NoteRxDepth(uint32_t depth) {
   if (!config_.admission_control) {
     return;
   }
-  // Mirror the filter's drop counter (a 32-bit sim word) into the gauge with
-  // wrapping uint32_t deltas, so sustained overload can't skew it.
-  uint32_t dropped =
-      static_cast<uint32_t>(kernel_.machine().memory().Read32(shed_ctr_));
-  shed_gauge_.CountN(dropped - shed_seen_);
-  shed_seen_ = dropped;
+  MirrorShedCounters();
 
-  if (!shedding_) {
-    if (depth >= config_.shed_high_watermark && shed_filter_ != kInvalidBlock) {
-      shedding_ = true;
-      shed_engages_++;
-      ApplySteering();
-    }
-    return;
+  // Escalation ladder: level 1 (unknown-port drop) engages at the high
+  // watermark; level 2 (bulk data sheds too, control stays admissible) at the
+  // data watermark. De-escalation skips straight to level 0 — a pool drained
+  // below the low watermark doesn't need either filter.
+  if (shed_level_ == 0 && depth >= config_.shed_high_watermark) {
+    EnterShedLevel(1);
   }
-  if (depth > config_.shed_low_watermark) {
+  if (shed_level_ == 1 && depth >= config_.shed_data_watermark) {
+    EnterShedLevel(2);
+  }
+  if (shed_level_ == 0 || depth > config_.shed_low_watermark) {
     return;
   }
   // Hysteresis: swap the full path back only when the whole pool has drained.
@@ -392,7 +602,9 @@ void NicPool::NoteRxDepth(uint32_t depth) {
       return;
     }
   }
+  shed_level_ = 0;
   shedding_ = false;
+  WriteShedLevel();
   ApplySteering();
 }
 
@@ -455,7 +667,8 @@ bool NicPool::BindFlow(FlowSpec spec) {
     WriteDescriptor();
     EmitSteering();
   }
-  EmitShedFilter();
+  WriteShedBit(port, true);
+  RefreshShedFilter();
   ApplySteering();
   return true;
 }
@@ -480,7 +693,8 @@ bool NicPool::UnbindFlow(uint16_t port) {
         WriteDescriptor();
         EmitSteering();
       }
-      EmitShedFilter();
+      WriteShedBit(port, false);
+      RefreshShedFilter();
       ApplySteering();
       return ok;
     }
@@ -521,12 +735,10 @@ NicPool::AggregateStats NicPool::Aggregate() {
     s.ring_drops += nic->demux().ring_drops();
     s.wire_drops += nic->wire_drop_gauge().events();
   }
-  // Fold any not-yet-mirrored filter drops into the gauge first.
-  uint32_t dropped =
-      static_cast<uint32_t>(kernel_.machine().memory().Read32(shed_ctr_));
-  shed_gauge_.CountN(dropped - shed_seen_);
-  shed_seen_ = dropped;
+  // Fold any not-yet-mirrored filter drops into the gauges first.
+  MirrorShedCounters();
   s.early_sheds = shed_gauge_.events();
+  s.data_sheds = shed_data_gauge_.events();
   return s;
 }
 

@@ -34,15 +34,33 @@
 //
 // OVERLOAD ARMOR (admission control): past a configurable RX queue-depth
 // watermark the pool swaps a *synthesized early-drop filter* into the outer
-// cells — a compare chain of the bound ports folded to immediates; any frame
-// for an unknown port is dropped in a handful of instructions, before
-// checksum, ring append, or wakeup work. Known flows fall through to the
-// normal steering stage (reached through a steering cell, so steering
-// re-emission never re-emits the filter). Hysteresis: the filter disengages
-// only when every NIC has drained below the low watermark. This is the
-// Synthesis move applied to load shedding — the fate of a junk frame is
-// decided by code specialized to "what is bound right now", which is what
-// keeps goodput from collapsing under receive livelock (bench/table9).
+// cells; any frame for an unknown port is dropped in a handful of
+// instructions, before checksum, ring append, or wakeup work. Known flows
+// fall through to the normal steering stage (reached through a steering
+// cell, so steering re-emission never re-emits the filter). Hysteresis: the
+// filter disengages only when every NIC has drained below the low watermark.
+// This is the Synthesis move applied to load shedding — the fate of a junk
+// frame is decided by code specialized to "what is bound right now", which
+// is what keeps goodput from collapsing under receive livelock (table9).
+//
+// The filter escalates in PRIORITY LEVELS, and the level is folded into the
+// emitted code (re-emitted on watermark engage), not tested per frame:
+//   level 1 (depth >= shed_high_watermark): unknown ports drop, bound flows
+//     pass untouched;
+//   level 2 (depth >= shed_data_watermark): unknown ports drop AND bulk data
+//     to bound ports sheds; only control-plane segments — header-only pure
+//     acks and segments flagged SYN/FIN/RST — stay admissible, so handshakes
+//     and teardowns complete while the retransmit machinery absorbs the shed
+//     data. Both levels disengage together on full drain.
+// Two synthesized membership variants, chosen by bound-flow count (the
+// quantitative-synthesis move — pick among correct variants by objective):
+// below shed_chain_max a compare chain of immediates (cheapest per frame at
+// small N, re-emitted per bind); above it a bound-port BITMAP walked in O(1)
+// — an executable data structure whose bits the bind path flips with two
+// memory writes, so connection churn at C10K scale stops re-emitting the
+// filter entirely. An INTERPRETED baseline (synthesized_shed = false) is
+// kept as the ablation: installed once, it reloads the shed level and walks
+// the same bitmap from memory on every frame.
 //
 // Growing the pool (AddNic) migrates flows whose hash (or pin) moved,
 // re-emits the steering + dispatch blocks, retires the old ones, and leaves
@@ -72,6 +90,16 @@ struct NicPoolConfig {
   bool admission_control = false;
   uint32_t shed_high_watermark = 48;
   uint32_t shed_low_watermark = 8;
+  // Level-2 escalation: at this depth bulk data to bound ports sheds too and
+  // only control-plane segments stay admissible. Must exceed the high
+  // watermark (checked at construction).
+  uint32_t shed_data_watermark = 96;
+  // Bound-flow count above which the filter's membership test switches from
+  // the immediate compare chain to the bitmap walk.
+  uint32_t shed_chain_max = 24;
+  // false: the interpreted filter baseline (ablation) — installed once,
+  // level and membership reloaded from memory per frame.
+  bool synthesized_shed = true;
 };
 
 class NicPool {
@@ -117,13 +145,30 @@ class NicPool {
   }
 
   // --- Overload armor --------------------------------------------------------
-  // The synthesized early-drop filter (kInvalidBlock if none could be
-  // emitted; benches time it directly).
+  // Control-plane classification for prioritized shedding, matching the
+  // stream layer's segment geometry (StreamSeg — not included here; the
+  // stream layer sits above the pool): a frame whose payload is only a
+  // segment header is a pure ack; otherwise the flags word at payload offset
+  // kShedCtrlFlagsOff marks SYN/FIN/RST control.
+  static constexpr uint32_t kShedCtrlMaxBytes = 12;
+  static constexpr uint32_t kShedCtrlFlagsOff = 8;
+  static constexpr uint32_t kShedCtrlFlagsMask = 0x1 | 0x4 | 0x8;
+  // Bound-port bitmap: one bit per 16-bit port, walked by the filter.
+  static constexpr uint32_t kShedBitmapBytes = 65536 / 8;
+
+  // The active early-drop filter (kInvalidBlock if none could be emitted;
+  // benches time it directly).
   BlockId shed_filter() const { return shed_filter_; }
   bool shedding() const { return shedding_; }
+  // 0 = off, 1 = unknown-port drop, 2 = + bulk-data drop (control passes).
+  uint32_t shed_level() const { return shed_level_; }
+  bool data_shedding() const { return shed_level_ >= 2; }
   uint64_t shed_engages() const { return shed_engages_; }
-  // Frames dropped by the filter before any demux work.
+  uint64_t shed_escalations() const { return shed_escalations_; }
+  // Frames dropped by the filter before any demux work: unknown ports, and
+  // (level 2) bound-port bulk data.
   Gauge& shed_gauge() { return shed_gauge_; }
+  Gauge& shed_data_gauge() { return shed_data_gauge_; }
   // Depth signal from a member NIC (wired automatically; public for tests).
   void NoteRxDepth(uint32_t depth);
 
@@ -163,6 +208,7 @@ class NicPool {
     uint64_t ring_drops = 0;
     uint64_t wire_drops = 0;
     uint64_t early_sheds = 0;  // dropped by the admission filter
+    uint64_t data_sheds = 0;   // bound-port bulk data shed at level 2
   };
   AggregateStats Aggregate();
 
@@ -191,7 +237,13 @@ class NicPool {
   void WriteDescriptor();   // N + cell table + pin table, for the generic loop
   void EmitSteering();      // re-emits the specialized steering block
   void EmitDispatch();      // re-emits the rx/tx payload-untag compare chains
-  void EmitShedFilter();    // re-emits the early-drop filter (bound-port set)
+  void EmitShedFilter();    // re-emits the early-drop filter (set + level)
+  void RefreshShedFilter(); // bind/unbind hook: re-emit only when the shape
+                            // changed (steady bitmap mode skips emission)
+  void WriteShedBit(uint16_t port, bool on);
+  void WriteShedLevel();    // mirrors shed_level_ into the sim word
+  void EnterShedLevel(uint32_t lvl);
+  void MirrorShedCounters();
   void ApplySteering();     // points outer cells at filter or steering
   bool BindOn(uint32_t idx, const FlowSpec& spec);
   uint32_t RouteOf(uint16_t dst_port, uint16_t src_port) const;
@@ -214,15 +266,27 @@ class NicPool {
 
   // Overload armor state. steer_cell_ always holds the active steering id, so
   // the filter's pass path survives steering re-emission without re-emitting
-  // the filter; shed_ctr_ is the sim word the filter bumps per early drop.
+  // the filter; shed_ctr_ / shed_data_ctr_ are the sim words the filter bumps
+  // per early drop (unknown port / bound-port data at level 2).
   Addr steer_cell_ = 0;
   Addr shed_ctr_ = 0;
+  Addr shed_data_ctr_ = 0;
+  Addr shed_level_word_ = 0;  // read by the interpreted filter baseline
+  Addr shed_bitmap_ = 0;      // bound-port bitmap (kShedBitmapBytes)
+  Addr shed_mask_tab_ = 0;    // 32 words of 1<<i (the ISA has no var shift)
   BlockId shed_filter_ = kInvalidBlock;
+  BlockId generic_shed_ = kInvalidBlock;  // interpreted baseline, install-once
   bool shedding_ = false;
+  uint32_t shed_level_ = 0;
   uint64_t shed_engages_ = 0;
+  uint64_t shed_escalations_ = 0;
   uint32_t shed_seen_ = 0;  // wrap-safe 32-bit mirror cursor of shed_ctr_
+  uint32_t shed_data_seen_ = 0;
   uint32_t shed_gen_ = 0;
+  uint32_t shed_filter_level_ = 0;     // level shape of the emitted filter
+  bool shed_filter_is_bitmap_ = false;
   Gauge shed_gauge_;
+  Gauge shed_data_gauge_;
 
   Gauge rx_gauge_;
 };

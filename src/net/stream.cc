@@ -39,6 +39,22 @@ uint64_t TimerTicks(double us) {
   return static_cast<uint64_t>(std::llround(us));
 }
 
+// Sweep cadence when only degraded connections (no keepalive) want the sweep:
+// how often the layer re-attempts synthesis once code-store pressure drains.
+constexpr double kResynthSweepUs = 20000.0;
+
+// At most this many keepalive probes leave per sweep tick; the rest of the
+// watched set resumes next tick, round-robin. A probe is cheap to send but its
+// answer is a full delivery through the owning demux chain — fanning out every
+// probe at once makes one tick's cost grow with the watched-connection count
+// until a cycle charges more than its own period and the alarm livelocks.
+constexpr uint32_t kMaxProbesPerSweep = 8;
+
+// Upper bound on the adaptive cadence stretch: a 16x-stretched keepalive still
+// reaps dead peers, just later; an unbounded stretch would let one pathological
+// cycle turn the reaper off in all but name.
+constexpr uint32_t kMaxSweepStretch = 16;
+
 // The GENERIC segment processor, shared by every connection: the layered
 // baseline. Called from the generic demux's handler dispatch with a1 = frame,
 // a2 = flow-table entry, a4 = ring, d5 = validated length (d2, the matched
@@ -174,6 +190,10 @@ StreamLayer::StreamLayer(Kernel& kernel, IoSystem& io, NicPool& pool)
     : kernel_(kernel), io_(io), pool_(pool) {
   timer_vec_ = kernel_.RegisterHostTrap([this](Machine& m) {
     OnTimer(static_cast<ConnId>(m.reg(kD1)));
+    return TrapAction::kContinue;
+  });
+  sweep_vec_ = kernel_.RegisterHostTrap([this](Machine&) {
+    SweepTick();
     return TrapAction::kContinue;
   });
 }
@@ -380,20 +400,57 @@ BlockId StreamLayer::BuildSynthDeliver(const Conn& c) {
   return kernel_.SynthesizeInstall(a.Build(), b, nullptr, name, nullptr, &opts);
 }
 
+// The generic interpreted fallback for a refused install: the owning demux's
+// shared walk. It revalidates the frame, finds the (bound) flow entry and
+// dispatches its generic handler — the same contract as the per-connection
+// block, with zero new code emitted.
+BlockId StreamLayer::FallbackProc(const Conn& c) {
+  return pool_.nic(pool_.OwnerOf(c.local_port)).demux().generic_demux();
+}
+
 void StreamLayer::Resynthesize(Conn& c) {
   BlockId old = c.synth_deliver;
+  const bool was_degraded = c.degraded;
   c.synth_gen++;
   BlockId fresh = BuildSynthDeliver(c);
   if (fresh == kInvalidBlock) {
-    // Code-store failure (e.g. injected) mid-establishment: the connection
-    // fails cleanly — Fail() reclaims the flow, the old processor, the CCB
-    // and the ring, so nothing partially-installed survives.
-    Fail(c);
+    // Degradation, not failure: a refused install (capacity cap or injected
+    // fault) drops the connection to the generic interpreted walk — slower,
+    // still correct — and the sweep re-synthesizes it once the store has
+    // room again. Only a missing generic path is truly unrecoverable.
+    BlockId fb = FallbackProc(c);
+    if (fb == kInvalidBlock) {
+      Fail(c);
+      return;
+    }
+    if (!was_degraded) {
+      synth_fallback_gauge_.Count();
+    }
+    c.degraded = true;
+    UpdateSweepWatch(c);
+    if (c.synth_deliver != fb) {
+      c.synth_deliver = fb;
+      pool_.RebindFlow(c.local_port, fb);
+      if (!was_degraded && old != kInvalidBlock) {
+        kernel_.RetireBlock(old);
+      }
+    }
+    // No ArmSweep here: re-arming from a refused install would spin the
+    // alarm on an idle kernel. The next delivered frame (OnDeliver) arms the
+    // re-synthesis sweep — a degraded connection with no traffic has nothing
+    // to gain from promotion anyway.
     return;
   }
+  if (was_degraded) {
+    resynth_gauge_.Count();  // promoted back to synthesized code
+  }
+  c.degraded = false;
+  UpdateSweepWatch(c);
   c.synth_deliver = fresh;
   pool_.RebindFlow(c.local_port, c.synth_deliver);
-  kernel_.RetireBlock(old);  // the demux chain was just rebuilt without it
+  if (!was_degraded) {
+    kernel_.RetireBlock(old);  // degraded: old aliased the shared walk
+  }
 }
 
 StreamLayer::Conn* StreamLayer::Get(ConnId id) {
@@ -409,6 +466,20 @@ const StreamLayer::Conn* StreamLayer::Get(ConnId id) const {
 void StreamLayer::SetState(Conn& c, uint32_t state) {
   c.state = state;
   kernel_.machine().memory().Write32(c.ccb + CcbLayout::kState, state);
+  UpdateSweepWatch(c);
+}
+
+// Membership is re-derived from the connection's current shape on every
+// transition that can change it (state, degradation, reclaim), so the set
+// never needs a scan to stay truthful.
+void StreamLayer::UpdateSweepWatch(Conn& c) {
+  const bool live = !c.reclaimed && (c.state == CcbLayout::kEstablished ||
+                                     c.state == CcbLayout::kFinSent);
+  if (live && (c.degraded || c.cfg.keepalive_idle_us > 0)) {
+    sweep_watch_.insert(c.id);
+  } else {
+    sweep_watch_.erase(c.id);
+  }
 }
 
 ConnId StreamLayer::NewConn(uint16_t local_port, uint16_t peer_port,
@@ -419,6 +490,7 @@ ConnId StreamLayer::NewConn(uint16_t local_port, uint16_t peer_port,
   }
   ConnId id = next_id_++;
   Conn c;
+  c.id = id;
   c.cfg = cfg;
   c.local_port = local_port;
   c.peer_port = peer_port;
@@ -458,36 +530,8 @@ ConnId StreamLayer::NewConn(uint16_t local_port, uint16_t peer_port,
   }
   c.cwnd = cfg.window_segments;
   c.rto_us = cfg.rto_base_us;
+  c.last_activity_ticks = TimerTicks(kernel_.NowUs());
   SetState(c, state);
-  c.synth_deliver = BuildSynthDeliver(c);
-  if (c.synth_deliver == kInvalidBlock) {
-    io_.UnregisterRingDevice(c.path);
-    io_.Close(c.ch);
-    kernel_.allocator().Free(c.ring->base);
-    kernel_.allocator().Free(c.ccb);
-    open_fail_gauge_.Count();
-    return kBadConn;
-  }
-  // The per-connection alarm stub: the alarm payload is the handler itself,
-  // so the stub re-loads d1 with the connection id before trapping to the
-  // host timeout logic.
-  const std::string stub_name = "stream_alarm$" + std::to_string(local_port);
-  Asm st(stub_name);
-  st.MoveI(kD1, static_cast<int32_t>(id));
-  st.Trap(timer_vec_);
-  st.Rts();
-  SynthesisOptions verbatim = SynthesisOptions::Disabled();
-  c.alarm_stub = kernel_.SynthesizeInstall(st.Build(), Bindings(), nullptr,
-                                           stub_name, nullptr, &verbatim);
-  if (c.alarm_stub == kInvalidBlock) {
-    io_.UnregisterRingDevice(c.path);
-    io_.Close(c.ch);
-    kernel_.RetireBlock(c.synth_deliver);
-    kernel_.allocator().Free(c.ring->base);
-    kernel_.allocator().Free(c.ccb);
-    open_fail_gauge_.Count();
-    return kBadConn;
-  }
   // A connection with a known peer can pin to a NIC chosen from the
   // (local, peer) pair; listeners hash, as does everything once the pool's
   // pin table is full. The generic processor must be bound to the NIC that
@@ -499,8 +543,47 @@ ConnId StreamLayer::NewConn(uint16_t local_port, uint16_t peer_port,
   if (generic == kInvalidBlock) {
     io_.UnregisterRingDevice(c.path);
     io_.Close(c.ch);
-    kernel_.RetireBlock(c.synth_deliver);
-    kernel_.RetireBlock(c.alarm_stub);
+    kernel_.allocator().Free(c.ring->base);
+    kernel_.allocator().Free(c.ccb);
+    open_fail_gauge_.Count();
+    return kBadConn;
+  }
+  c.synth_deliver = BuildSynthDeliver(c);
+  if (c.synth_deliver == kInvalidBlock) {
+    // A refused install degrades the connection to the owning demux's
+    // generic walk instead of failing the open — the degradation ladder's
+    // first rung. The sweep promotes it back once the store has room.
+    c.synth_deliver = pool_.nic(owner).demux().generic_demux();
+    if (c.synth_deliver == kInvalidBlock) {
+      io_.UnregisterRingDevice(c.path);
+      io_.Close(c.ch);
+      kernel_.allocator().Free(c.ring->base);
+      kernel_.allocator().Free(c.ccb);
+      open_fail_gauge_.Count();
+      return kBadConn;
+    }
+    c.degraded = true;
+    synth_fallback_gauge_.Count();
+  }
+  // The per-connection alarm stub: the alarm payload is the handler itself,
+  // so the stub re-loads d1 with the connection id before trapping to the
+  // host timeout logic. The stub cannot degrade — a connection without a
+  // retransmit timer is not a connection — so a refused install here rolls
+  // everything back (the truly-unrecoverable class, with allocator failure).
+  const std::string stub_name = "stream_alarm$" + std::to_string(local_port);
+  Asm st(stub_name);
+  st.MoveI(kD1, static_cast<int32_t>(id));
+  st.Trap(timer_vec_);
+  st.Rts();
+  SynthesisOptions verbatim = SynthesisOptions::Disabled();
+  c.alarm_stub = kernel_.SynthesizeInstall(st.Build(), Bindings(), nullptr,
+                                           stub_name, nullptr, &verbatim);
+  if (c.alarm_stub == kInvalidBlock) {
+    io_.UnregisterRingDevice(c.path);
+    io_.Close(c.ch);
+    if (!c.degraded) {
+      kernel_.RetireBlock(c.synth_deliver);
+    }
     kernel_.allocator().Free(c.ring->base);
     kernel_.allocator().Free(c.ccb);
     open_fail_gauge_.Count();
@@ -520,7 +603,9 @@ ConnId StreamLayer::NewConn(uint16_t local_port, uint16_t peer_port,
   if (!pool_.BindFlow(std::move(flow))) {
     io_.UnregisterRingDevice(ref.path);
     io_.Close(ref.ch);
-    kernel_.RetireBlock(ref.synth_deliver);
+    if (!ref.degraded) {
+      kernel_.RetireBlock(ref.synth_deliver);
+    }
     kernel_.RetireBlock(ref.alarm_stub);
     kernel_.allocator().Free(ref.ring->base);
     kernel_.allocator().Free(ref.ccb);
@@ -529,6 +614,9 @@ ConnId StreamLayer::NewConn(uint16_t local_port, uint16_t peer_port,
     return kBadConn;
   }
   ports_in_use_.insert(local_port);
+  if (ref.degraded) {
+    ArmSweep();
+  }
   return id;
 }
 
@@ -711,11 +799,182 @@ void StreamLayer::OnTimer(ConnId id) {
   ArmTimer(*c);
 }
 
+void StreamLayer::MarkActivity(Conn& c) {
+  c.last_activity_ticks = TimerTicks(kernel_.NowUs());
+  c.probes_sent = 0;
+}
+
+bool StreamLayer::NeedsSweep() const { return !sweep_watch_.empty(); }
+
+double StreamLayer::SweepPeriodUs() const {
+  double period = 0;
+  for (ConnId id : sweep_watch_) {
+    const Conn* c = Get(id);
+    if (c == nullptr || c->cfg.keepalive_idle_us <= 0) {
+      continue;
+    }
+    if (period == 0 || c->cfg.keepalive_interval_us < period) {
+      period = c->cfg.keepalive_interval_us;
+    }
+  }
+  return period > 0 ? period : kResynthSweepUs;
+}
+
+// Lazily armed, like the bcache flusher: the stub is installed on first need
+// and never retired; the alarm is re-armed only while some connection wants
+// the sweep (keepalive enabled, or degraded and waiting for code-store room).
+void StreamLayer::ArmSweep() {
+  if (sweep_armed_ || !NeedsSweep()) {
+    return;
+  }
+  if (sweep_stub_ == kInvalidBlock) {
+    Asm st("stream_sweep");
+    st.Trap(sweep_vec_);
+    st.Rts();
+    SynthesisOptions verbatim = SynthesisOptions::Disabled();
+    sweep_stub_ = kernel_.SynthesizeInstall(st.Build(), Bindings(), nullptr,
+                                            "stream_sweep", nullptr,
+                                            &verbatim);
+    if (sweep_stub_ == kInvalidBlock) {
+      return;  // refused install: dormant until the next delivery retries
+    }
+  }
+  // A dropped alarm (kAlarmDrop) on a fully idle layer would have no next
+  // delivery to recover through, so the arm itself retries a few independent
+  // draws; each SweepTick re-arms fresh anyway.
+  // The stretch widens the cadence while sweep cycles overrun their period
+  // (see SweepTick); a stretched but live reaper beats a punctual one that
+  // livelocks the kernel.
+  const double period = SweepPeriodUs() * sweep_stretch_;
+  for (int i = 0; i < 4 && !sweep_armed_; i++) {
+    sweep_armed_ = kernel_.SetAlarm(period, sweep_stub_);
+  }
+  if (sweep_armed_) {
+    last_sweep_period_us_ = period;
+  }
+}
+
+// One reaper/re-synthesis pass over the watched connections. Invariants:
+//  * a probe goes out only when nothing is in flight (snd_una == snd_nxt), so
+//    its sequence number sits in already-acked space and the peer re-acks it
+//    without consuming a byte — an outstanding window is the retransmit
+//    timer's job, not the reaper's;
+//  * probe/reap accounting freezes while the pool itself is shedding bulk
+//    data: our own overload armor eating the probes must never read as peer
+//    death;
+//  * reaping goes through Fail() → ReclaimConn(), the same deferred-
+//    retirement path as every other teardown, so occupancy stays exactly
+//    flat under churn;
+//  * one tick's cost is bounded: idle checks and reaping run over the whole
+//    watched set (no transmissions), but at most kMaxProbesPerSweep probes
+//    leave per tick, resuming round-robin where the last tick stopped. A
+//    conn past the budget is probed a few ticks later — its reap verdict
+//    arrives late, never wrong.
+void StreamLayer::SweepTick() {
+  sweep_armed_ = false;
+  const double entry_us = kernel_.NowUs();
+  // Storm guard: compare the realized gap since the previous tick with the
+  // period that tick armed. A cycle that keeps landing late means the probe
+  // fan-out and its answering deliveries charge more virtual time than the
+  // period itself — left alone, the re-armed alarm is due again before the
+  // scheduler slice drains and the kernel never gets out of its own
+  // keepalive traffic. Cadence stretches geometrically while cycles
+  // overrun, and relaxes once they fit with slack again.
+  if (last_sweep_entry_us_ >= 0 && last_sweep_period_us_ > 0) {
+    const double gap = entry_us - last_sweep_entry_us_;
+    if (gap > 1.25 * last_sweep_period_us_) {
+      sweep_stretch_ = std::min(sweep_stretch_ * 2, kMaxSweepStretch);
+    } else if (gap <= 1.1 * last_sweep_period_us_ && sweep_stretch_ > 1) {
+      sweep_stretch_ /= 2;
+    }
+  }
+  last_sweep_entry_us_ = entry_us;
+  const uint64_t now = TimerTicks(entry_us);
+  const bool frozen = pool_.data_shedding();
+  // Snapshot in round-robin order: Fail()/Resynthesize() below edit the set.
+  std::vector<ConnId> order;
+  order.reserve(sweep_watch_.size());
+  auto wrap = sweep_watch_.upper_bound(sweep_cursor_);
+  order.insert(order.end(), wrap, sweep_watch_.end());
+  order.insert(order.end(), sweep_watch_.begin(), wrap);
+  uint32_t probe_budget = kMaxProbesPerSweep;
+  for (ConnId id : order) {
+    Conn* pc = Get(id);
+    if (pc == nullptr || pc->reclaimed) {
+      continue;
+    }
+    Conn& c = *pc;
+    if (c.degraded && kernel_.code().HasRoom()) {
+      Resynthesize(c);  // pressure drained: promote back to synthesized code
+      if (c.reclaimed) {
+        continue;
+      }
+    }
+    if (c.cfg.keepalive_idle_us <= 0 || !c.unacked.empty() || frozen) {
+      continue;
+    }
+    if (now - c.last_activity_ticks < TimerTicks(c.cfg.keepalive_idle_us)) {
+      c.probes_sent = 0;
+      continue;
+    }
+    if (c.probes_sent >= c.cfg.keepalive_probes) {
+      reaped_gauge_.Count();
+      Fail(c);  // dead peer: graceful close through deferred retirement
+      continue;
+    }
+    if (probe_budget > 0) {
+      SendProbe(c);
+      probe_budget--;
+      sweep_cursor_ = id;
+    }
+  }
+  // Keepalive needs its cadence, so it re-arms; resynthesis does not. A
+  // degraded connection whose install was just refused would otherwise spin
+  // the alarm against a still-full store on an idle kernel (each firing
+  // burns a scheduler slice) — it goes dormant instead and the next
+  // delivered frame retries through OnDeliver, the bcache dormancy pattern.
+  bool keepalive_live = false;
+  for (ConnId id : sweep_watch_) {
+    const Conn* c = Get(id);
+    if (c != nullptr && c->cfg.keepalive_idle_us > 0) {
+      keepalive_live = true;
+      break;
+    }
+  }
+  if (keepalive_live) {
+    ArmSweep();
+  } else {
+    // Dormant: the next gap is delivery-driven, not cadence-driven, so it
+    // must not feed the storm guard.
+    last_sweep_entry_us_ = -1;
+    last_sweep_period_us_ = 0;
+  }
+}
+
+void StreamLayer::SendProbe(Conn& c) {
+  // One byte from already-acked sequence space (snd_nxt - 1): with nothing in
+  // flight the peer's rcv_nxt equals snd_nxt, so the probe is never consumed
+  // as data — the peer counts it out-of-order and re-acks, and that ack is
+  // the liveness signal. Not tracked in unacked: a lost probe costs nothing.
+  Seg probe;
+  probe.seq = c.snd_nxt - 1;
+  probe.data.assign(1, 0);
+  TransmitSeg(c, probe);
+  c.probes_sent++;
+  keepalive_probe_gauge_.Count();
+}
+
 void StreamLayer::OnDeliver(ConnId id) {
   Conn* c = Get(id);
   if (c == nullptr || c->reclaimed) {
     return;
   }
+  // Any delivered frame — data, control, even a pure ack raising no event
+  // bits (the keepalive probe's answer) — proves the peer and wire are live.
+  MarkActivity(*c);
+  // Delivery is also the recovery hook for a sweep alarm the fault plane
+  // dropped: re-arm is a no-op while one is pending (the bcache pattern).
+  ArmSweep();
   Memory& mem = kernel_.machine().memory();
   uint32_t ev = mem.Read32(c->ccb + CcbLayout::kEvents);
   mem.Write32(c->ccb + CcbLayout::kEvents, 0);
@@ -763,6 +1022,13 @@ void StreamLayer::Establish(Conn& c, uint16_t peer, uint32_t peer_seq) {
   // The peer is now a connection-lifetime invariant: re-synthesize the
   // processor with it (and the ring geometry) folded in.
   Resynthesize(c);
+  if (c.state == CcbLayout::kFailed || c.reclaimed) {
+    return;
+  }
+  MarkActivity(c);
+  if (c.cfg.keepalive_idle_us > 0) {
+    ArmSweep();  // the reaper starts watching at establishment
+  }
   kernel_.UnblockAll(c.senders);
 }
 
@@ -959,13 +1225,16 @@ void StreamLayer::ReclaimConn(Conn& c) {
   c.final_stats.state = c.state;
   c.final_stats.rcv_nxt = mem.Read32(c.ccb + CcbLayout::kRcvNxt);
   c.reclaimed = true;
+  sweep_watch_.erase(c.id);
 
   pool_.UnbindFlow(c.local_port);
   ports_in_use_.erase(c.local_port);
   io_.UnregisterRingDevice(c.path);
   io_.Close(c.ch);
   c.ch = kBadChannel;
-  kernel_.RetireBlock(c.synth_deliver);
+  if (!c.degraded) {  // a degraded processor aliases the shared generic walk
+    kernel_.RetireBlock(c.synth_deliver);
+  }
   c.synth_deliver = kInvalidBlock;
   if (c.alarms_pending == 0) {
     kernel_.RetireBlock(c.alarm_stub);
@@ -1124,6 +1393,11 @@ ChannelId StreamLayer::ChannelOf(ConnId conn) const {
 BlockId StreamLayer::SynthDeliverOf(ConnId conn) const {
   const Conn* c = Get(conn);
   return c == nullptr ? kInvalidBlock : c->synth_deliver;
+}
+
+bool StreamLayer::DegradedOf(ConnId conn) const {
+  const Conn* c = Get(conn);
+  return c != nullptr && c->degraded;
 }
 
 }  // namespace synthesis

@@ -143,6 +143,17 @@ struct StreamConfig {
   // hashing onto one (see NicPool's PIN stage). Listeners (peer unknown at
   // bind time) always hash.
   bool pin_to_nic = false;
+  // Idle-connection reaper. 0 disables (the default — a quiet connection is
+  // not an error). When set, a connection that has delivered nothing for
+  // keepalive_idle_us is probed with a 1-byte segment from already-acked
+  // sequence space every sweep (the peer re-acks it without consuming
+  // anything); keepalive_probes consecutive unanswered probes reap the
+  // connection through the normal failure path, returning its CCB, ring and
+  // code-store blocks. Probing happens only while nothing is in flight — an
+  // outstanding window already has the retransmit timer watching the peer.
+  double keepalive_idle_us = 0;
+  double keepalive_interval_us = 10000.0;  // sweep cadence while enabled
+  uint32_t keepalive_probes = 3;
 };
 
 // Per-connection robustness counters: host events plus the CCB counters the
@@ -202,8 +213,13 @@ class StreamLayer {
   std::shared_ptr<RingHost> RingOf(ConnId conn) const;
   ChannelId ChannelOf(ConnId conn) const;
   // The current synthesized segment processor (re-emitted at establishment;
-  // kInvalidBlock once the connection is reclaimed).
+  // kInvalidBlock once the connection is reclaimed). For a degraded
+  // connection this is the owning demux's shared generic walk.
   BlockId SynthDeliverOf(ConnId conn) const;
+  // Whether the connection is running on the generic interpreted path because
+  // a code-store install was refused (capacity or injected fault). The sweep
+  // re-synthesizes it opportunistically once the store has room again.
+  bool DegradedOf(ConnId conn) const;
   // The shared interpreted segment processor (the baseline the benches run),
   // bound to the given NIC's demux helpers. Installed lazily, once per NIC.
   BlockId GenericProcFor(uint32_t nic_idx);
@@ -216,9 +232,17 @@ class StreamLayer {
   Gauge& ooo_gauge() { return ooo_gauge_; }
   Gauge& failed_gauge() { return failed_gauge_; }
   // Connect/Listen attempts that failed during resource construction (an
-  // allocator or code-store failure, e.g. under injected faults) and were
-  // rolled back without leaking.
+  // allocator failure — the truly-unrecoverable case) and were rolled back
+  // without leaking.
   Gauge& open_fail_gauge() { return open_fail_gauge_; }
+  // Degradation ladder gauges: processors that fell back to the generic
+  // interpreted path when a code-store install was refused, and degraded
+  // connections later promoted back to synthesized code by the sweep.
+  Gauge& synth_fallback_gauge() { return synth_fallback_gauge_; }
+  Gauge& resynth_gauge() { return resynth_gauge_; }
+  // Reaper gauges: keepalive probes sent, and connections reaped dead.
+  Gauge& keepalive_probe_gauge() { return keepalive_probe_gauge_; }
+  Gauge& reaped_gauge() { return reaped_gauge_; }
 
   // Test hooks: steer the ephemeral allocator to a specific starting point
   // (still clamped into the ephemeral range) and arm a connection's timer as
@@ -230,6 +254,9 @@ class StreamLayer {
   // Narrows the ephemeral range (inclusive bounds) so exhaustion is reachable
   // without tens of thousands of connections.
   void set_ephemeral_range_for_test(uint16_t lo, uint16_t hi);
+  // Runs one reaper/re-synthesis sweep synchronously (tests drive the sweep
+  // without waiting out the alarm cadence).
+  void SweepNowForTest() { SweepTick(); }
 
  private:
   // One in-flight segment: its assigned sequence number, payload, and flags.
@@ -245,6 +272,7 @@ class StreamLayer {
   };
 
   struct Conn {
+    ConnId id = 0;
     StreamConfig cfg;
     uint16_t local_port = 0;
     uint16_t peer_port = 0;
@@ -256,6 +284,9 @@ class StreamLayer {
     BlockId synth_deliver = kInvalidBlock;
     BlockId alarm_stub = kInvalidBlock;
     uint32_t synth_gen = 0;  // uniquifies re-synthesized processor names
+    // Running on the shared generic walk because an install was refused;
+    // synth_deliver then aliases a block this connection does not own.
+    bool degraded = false;
 
     uint32_t iss = 0;              // initial send sequence number
     uint32_t snd_nxt = 0;          // next sequence number to assign
@@ -272,6 +303,8 @@ class StreamLayer {
     bool timer_armed = false;
     uint32_t alarms_pending = 0;   // alarms raised, not yet dispatched
     uint32_t dup_base = 0;         // dup-ack count at the last fast retransmit
+    uint64_t last_activity_ticks = 0;  // last delivered frame (reaper clock)
+    uint32_t probes_sent = 0;      // unanswered keepalive probes
 
     bool reclaimed = false;        // kernel resources returned; record is a
     StreamStats final_stats;       // post-mortem snapshot only
@@ -305,12 +338,43 @@ class StreamLayer {
   void MaybeFinish(Conn& c);
   void ReclaimConn(Conn& c);
   void MaybeReclaim(Conn& c);
+  BlockId FallbackProc(const Conn& c);
+  bool NeedsSweep() const;
+  double SweepPeriodUs() const;
+  void ArmSweep();
+  void SweepTick();
+  void SendProbe(Conn& c);
+  void MarkActivity(Conn& c);
+  void UpdateSweepWatch(Conn& c);
 
   Kernel& kernel_;
   IoSystem& io_;
   NicPool& pool_;
   std::map<uint32_t, BlockId> proc_gen_;  // generic processor, per NIC index
   int timer_vec_ = 0;
+  // The reaper/re-synthesis sweep: one layer-wide alarm, lazily armed like
+  // the bcache flusher — installed on first need, re-armed while any
+  // connection wants it, dormant otherwise. A dropped alarm (kAlarmDrop) is
+  // tolerated: the next delivery re-arms it.
+  int sweep_vec_ = 0;
+  BlockId sweep_stub_ = kInvalidBlock;
+  bool sweep_armed_ = false;
+  // Connections the sweep actually has to look at: live (established or
+  // fin-sent) and either keepalive-armed or degraded. Maintained on every
+  // state/degradation transition so the tick is O(watched), not O(all
+  // connections) — at connection-scale (thousands of streams, a handful
+  // watched) a full-map walk per tick is what turns the reaper into the
+  // overload it exists to survive.
+  std::set<ConnId> sweep_watch_;
+  ConnId sweep_cursor_ = 0;  // round-robin resume point for the probe budget
+  // Adaptive cadence: when one sweep cycle (probe fan-out plus the delivered
+  // answers) charges more virtual time than the sweep period, the re-armed
+  // alarm is already due before the slice drains and the kernel livelocks in
+  // its own keepalive traffic. The stretch widens the period geometrically
+  // while cycles overrun and relaxes once they fit again.
+  double last_sweep_entry_us_ = -1;
+  double last_sweep_period_us_ = 0;
+  uint32_t sweep_stretch_ = 1;
   std::map<ConnId, Conn> conns_;
   std::set<uint16_t> ports_in_use_;  // local ports of unreclaimed connections
   ConnId next_id_ = 1;
@@ -324,6 +388,10 @@ class StreamLayer {
   Gauge ooo_gauge_;
   Gauge failed_gauge_;
   Gauge open_fail_gauge_;
+  Gauge synth_fallback_gauge_;
+  Gauge resynth_gauge_;
+  Gauge keepalive_probe_gauge_;
+  Gauge reaped_gauge_;
 };
 
 }  // namespace synthesis

@@ -357,5 +357,175 @@ TEST(NicPoolTest, OverloadArmorEngagesShedsJunkAndDisengagesOnDrain) {
   EXPECT_EQ(pool.Aggregate().early_sheds, 9u);  // again all but the last
 }
 
+// Builds a stream-shaped segment (12-byte seq/ack/flags header + data bytes)
+// and injects it for `dst` — the shapes the level-2 class test distinguishes.
+void InjectShapedSeg(NicPool& pool, uint16_t dst, uint16_t src, uint32_t flags,
+                     uint32_t data_len) {
+  std::vector<uint8_t> p(StreamSeg::kHdrBytes + data_len, 0xAB);
+  uint32_t seq = 1;
+  uint32_t ack = 1;
+  std::memcpy(p.data() + StreamSeg::kSeq, &seq, 4);
+  std::memcpy(p.data() + StreamSeg::kAck, &ack, 4);
+  std::memcpy(p.data() + StreamSeg::kFlags, &flags, 4);
+  uint32_t n = static_cast<uint32_t>(p.size());
+  pool.InjectRaw(dst, src, p.data(), n, FrameChecksum(dst, src, p.data(), n),
+                 n);
+}
+
+// Level-2 escalation: depth past shed_data_watermark re-emits the filter with
+// the class test folded in. Bulk data to a bound port now sheds; control-
+// plane segments (header-only pure acks, SYN/FIN/RST) stay admissible, so
+// handshakes and teardowns complete while the flood is being dropped.
+TEST(NicPoolTest, ShedEscalationAdmitsControlShedsData) {
+  Kernel k;
+  IoSystem io(k, nullptr);
+  NicPoolConfig pc;
+  pc.initial_nics = 1;
+  pc.admission_control = true;
+  pc.shed_high_watermark = 4;
+  pc.shed_low_watermark = 1;
+  pc.shed_data_watermark = 8;
+  NicPool pool(k, pc);
+  auto ring = io.MakeRing(4096);
+  ASSERT_TRUE(pool.BindFlow(FlowSpec::Ring(80, ring)));
+  const BlockId level1_filter = pool.shed_filter();
+  ASSERT_NE(level1_filter, kInvalidBlock);
+
+  // Pile junk into RX slots without letting the kernel run: the admission
+  // hook walks the ladder as depth climbs through both watermarks.
+  const uint8_t msg[] = {'x', 'y'};
+  for (int i = 0; i < 8; i++) {
+    pool.InjectRaw(999, 9001, msg, 2, FrameChecksum(999, 9001, msg, 2), 2);
+  }
+  EXPECT_EQ(pool.shed_level(), 2u) << "depth 8 >= data watermark 8";
+  EXPECT_TRUE(pool.data_shedding());
+  EXPECT_EQ(pool.shed_engages(), 1u);
+  EXPECT_EQ(pool.shed_escalations(), 1u);
+  EXPECT_NE(pool.shed_filter(), level1_filter)
+      << "escalation folds the class test into fresh code, not a flag";
+
+  // Three frames for the BOUND port, queued behind the junk: bulk data (16
+  // bytes, plain ack flags) sheds at level 2; a FIN (control by flags) and a
+  // pure ack (control by length) get through.
+  InjectShapedSeg(pool, 80, 9001, StreamSeg::kFlagAck, 4);
+  InjectShapedSeg(pool, 80, 9001, StreamSeg::kFlagFin | StreamSeg::kFlagAck,
+                  4);
+  InjectShapedSeg(pool, 80, 9001, StreamSeg::kFlagAck, 0);
+
+  k.Run();
+  NicPool::AggregateStats agg = pool.Aggregate();
+  EXPECT_EQ(agg.early_sheds, 8u) << "all junk died in the filter";
+  EXPECT_EQ(agg.data_sheds, 1u) << "bound-port bulk data shed at level 2";
+  EXPECT_EQ(agg.delivered, 2u) << "both control segments were admitted";
+  EXPECT_FALSE(pool.shedding()) << "drained: full steering is back";
+  EXPECT_EQ(pool.shed_level(), 0u);
+}
+
+// At connection scale the compare chain gives way to the bitmap variant:
+// past shed_chain_max bound ports, membership is a bit test and connection
+// churn is a data write — bind/unbind stops re-emitting the filter entirely.
+TEST(NicPoolTest, BitmapVariantBindsWithoutReemissionAndFiltersByBit) {
+  Kernel k;
+  IoSystem io(k, nullptr);
+  NicPoolConfig pc;
+  pc.initial_nics = 1;
+  pc.admission_control = true;
+  pc.shed_high_watermark = 4;
+  pc.shed_low_watermark = 1;
+  pc.shed_chain_max = 2;
+  NicPool pool(k, pc);
+  std::vector<std::shared_ptr<RingHost>> rings;
+  for (uint16_t port : {80, 81}) {
+    rings.push_back(io.MakeRing(4096));
+    ASSERT_TRUE(pool.BindFlow(FlowSpec::Ring(port, rings.back())));
+  }
+  const BlockId chain = pool.shed_filter();
+  rings.push_back(io.MakeRing(4096));
+  ASSERT_TRUE(pool.BindFlow(FlowSpec::Ring(82, rings.back())));
+  const BlockId bitmap = pool.shed_filter();
+  EXPECT_NE(bitmap, chain) << "crossing shed_chain_max switches variants";
+
+  rings.push_back(io.MakeRing(4096));
+  ASSERT_TRUE(pool.BindFlow(FlowSpec::Ring(83, rings.back())));
+  EXPECT_EQ(pool.shed_filter(), bitmap)
+      << "steady bitmap mode: a bind is one bit write, no re-emission";
+
+  // Drive the filter block directly: bound ports fall through to steering
+  // and deliver; an unknown port dies with the no-match verdict.
+  Addr frame = k.allocator().Allocate(FrameLayout::kSlotBytes);
+  EXPECT_EQ(CallWithFrame(k, pool.shed_filter(), frame, 83, "ok"), 1u);
+  EXPECT_EQ(CallWithFrame(k, pool.shed_filter(), frame, 999, "no"),
+            static_cast<uint32_t>(-2));
+
+  // Unbind clears the bit, again without re-emission; the port now sheds in
+  // the filter itself (the early-shed counter proves it never reached the
+  // demux's own no-match path).
+  ASSERT_TRUE(pool.UnbindFlow(82));
+  EXPECT_EQ(pool.shed_filter(), bitmap);
+  EXPECT_EQ(CallWithFrame(k, pool.shed_filter(), frame, 82, "xx"),
+            static_cast<uint32_t>(-2));
+  EXPECT_EQ(pool.Aggregate().early_sheds, 2u);
+}
+
+// Ablation: the interpreted baseline filter is installed once and never
+// re-emitted — binds are bitmap writes, level changes are one word store —
+// yet it sheds the same traffic the synthesized variants do.
+TEST(NicPoolTest, InterpretedShedBaselineShedsWithoutReemission) {
+  Kernel k;
+  IoSystem io(k, nullptr);
+  NicPoolConfig pc;
+  pc.initial_nics = 1;
+  pc.admission_control = true;
+  pc.synthesized_shed = false;
+  pc.shed_high_watermark = 4;
+  pc.shed_low_watermark = 1;
+  pc.shed_data_watermark = 8;
+  NicPool pool(k, pc);
+  auto ring = io.MakeRing(4096);
+  ASSERT_TRUE(pool.BindFlow(FlowSpec::Ring(80, ring)));
+  const BlockId base = pool.shed_filter();
+  ASSERT_NE(base, kInvalidBlock);
+
+  const uint8_t msg[] = {'x', 'y'};
+  for (int i = 0; i < 8; i++) {
+    pool.InjectRaw(999, 9001, msg, 2, FrameChecksum(999, 9001, msg, 2), 2);
+  }
+  EXPECT_EQ(pool.shed_level(), 2u);
+  EXPECT_EQ(pool.shed_filter(), base)
+      << "the baseline reads the level word; escalation emits nothing";
+  InjectShapedSeg(pool, 80, 9001, StreamSeg::kFlagAck, 4);  // bulk: sheds
+  InjectShapedSeg(pool, 80, 9001, StreamSeg::kFlagAck, 0);  // pure ack: passes
+
+  k.Run();
+  NicPool::AggregateStats agg = pool.Aggregate();
+  EXPECT_EQ(agg.early_sheds, 8u);
+  EXPECT_EQ(agg.data_sheds, 1u);
+  EXPECT_EQ(agg.delivered, 1u);
+  EXPECT_FALSE(pool.shedding());
+  EXPECT_EQ(pool.shed_filter(), base);
+}
+
+TEST(NicPoolDeathTest, BadShedWatermarksAbortLoudly) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        Kernel k;
+        NicPoolConfig pc;
+        pc.shed_high_watermark = 8;
+        pc.shed_low_watermark = 8;
+        NicPool pool(k, pc);
+      },
+      "high > low > 0");
+  EXPECT_DEATH(
+      {
+        Kernel k;
+        NicPoolConfig pc;
+        pc.admission_control = true;
+        pc.shed_data_watermark = 10;  // <= the default high watermark
+        NicPool pool(k, pc);
+      },
+      "shed_data_watermark must exceed");
+}
+
 }  // namespace
 }  // namespace synthesis
