@@ -28,7 +28,7 @@ if [[ "${FAULTS:-0}" == "1" ]]; then
   # allocation-class failure (alloc, code install, bcache_alloc) is exercised
   # by targeted tests (fault_plane_test, bcache_test, stream churn); arming it
   # globally would fire inside constructors that assert success.
-  : "${SYNTHESIS_FAULTS:=seed=11,wire_drop=p0.0002,wire_dup=p0.0001,wire_reorder=p0.0001,alarm_late=p0.0005,disk_late=p0.001,disk_lost=p0.0005,tty_over=p0.0001}"
+  : "${SYNTHESIS_FAULTS:=seed=11,wire_drop=p0.0002,wire_dup=p0.0001,wire_reorder=p0.0001,wire_burst=p0.00005,alarm_late=p0.0005,disk_late=p0.001,disk_lost=p0.0005,tty_over=p0.0001}"
   export SYNTHESIS_FAULTS
   echo "verify: fault plane armed: $SYNTHESIS_FAULTS"
 fi
@@ -79,6 +79,14 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
 # under certain install-refusal served degraded then re-synthesized. It arms
 # its own default fault spec when SYNTHESIS_FAULTS is unset.
 (cd "$BUILD_DIR" && ./bench/table12_c10k > /dev/null)
+
+# table13 asserts the batched-TX numbers (synthesized coalesced transmit path
+# <= 0.6x the generic per-frame baseline; coalescing >= 1.3x aggregate
+# transmit rate at N=4) and gates on completed==expected with zero spurious
+# retirements and zero frames left in flight. FAULTS=1 coverage of the TX
+# retire loop comes from the ctest pass: batch_tx_test replays drop/corrupt/
+# reorder/dup schedules and irq-burst storms across both retire loops.
+(cd "$BUILD_DIR" && ./bench/table13_tx_batch > /dev/null)
 
 # Every bench JSON the tree produced must parse; a malformed artifact fails
 # the gate rather than silently shipping a broken table.

@@ -1,0 +1,20 @@
+// Scatter/gather element for the sendmsg-style calls (simulated memory).
+// Kept in its own header: the UNIX call surface (posix_api.h) is shared with
+// the baseline system model and must not drag the kernel headers in.
+#ifndef SRC_IO_IOVEC_H_
+#define SRC_IO_IOVEC_H_
+
+#include <cstdint>
+
+#include "src/machine/memory.h"
+
+namespace synthesis {
+
+struct IoVec {
+  Addr base = 0;
+  uint32_t len = 0;
+};
+
+}  // namespace synthesis
+
+#endif  // SRC_IO_IOVEC_H_

@@ -26,6 +26,17 @@ struct FrameLayout {
   static constexpr uint32_t kSlotBytes = kPayload + kMaxPayload;
 };
 
+// One borrowed piece of a frame payload. Transmit-side scatter/gather: a
+// caller hands the device an array of spans (e.g. a stream segment header on
+// the stack plus the user's payload bytes) and the device gathers them
+// directly into the TX descriptor slot — no intermediate contiguous copy.
+// The borrow ends when TransmitV returns: the frame is in the slot by then,
+// so callers may reuse or free the spanned memory immediately.
+struct SendSpan {
+  const uint8_t* data = nullptr;
+  uint32_t len = 0;
+};
+
 // The checksum the demux micro-code verifies: dst + src + len + payload bytes,
 // all mod 2^32.
 inline uint32_t FrameChecksum(uint32_t dst_port, uint32_t src_port,
@@ -33,6 +44,21 @@ inline uint32_t FrameChecksum(uint32_t dst_port, uint32_t src_port,
   uint32_t sum = dst_port + src_port + n;
   for (uint32_t i = 0; i < n; i++) {
     sum += payload[i];
+  }
+  return sum;
+}
+
+// Checksum over a gather list. Byte order within the payload is the span
+// concatenation order, so this agrees exactly with FrameChecksum over the
+// flattened bytes (the sum is associative).
+inline uint32_t FrameChecksumV(uint32_t dst_port, uint32_t src_port,
+                               const SendSpan* spans, uint32_t nspans,
+                               uint32_t total) {
+  uint32_t sum = dst_port + src_port + total;
+  for (uint32_t s = 0; s < nspans; s++) {
+    for (uint32_t i = 0; i < spans[s].len; i++) {
+      sum += spans[s].data[i];
+    }
   }
   return sum;
 }
@@ -49,6 +75,32 @@ inline void WriteFrame(Memory& mem, Addr slot, uint32_t dst_port,
   if (n > 0) {
     mem.WriteBytes(slot + FrameLayout::kPayload, payload, n);
   }
+}
+
+// Gather form of WriteFrame: spans land back to back in the payload area.
+// Returns the total payload length written. A single-span call produces a
+// byte-identical frame to WriteFrame over the same bytes.
+inline uint32_t WriteFrameV(Memory& mem, Addr slot, uint32_t dst_port,
+                            uint32_t src_port, const SendSpan* spans,
+                            uint32_t nspans) {
+  uint32_t total = 0;
+  for (uint32_t s = 0; s < nspans; s++) {
+    total += spans[s].len;
+  }
+  mem.Write32(slot + FrameLayout::kDstPort, dst_port);
+  mem.Write32(slot + FrameLayout::kSrcPort, src_port);
+  mem.Write32(slot + FrameLayout::kLength, total);
+  mem.Write32(slot + FrameLayout::kChecksum,
+              FrameChecksumV(dst_port, src_port, spans, nspans, total));
+  uint32_t off = 0;
+  for (uint32_t s = 0; s < nspans; s++) {
+    if (spans[s].len > 0) {
+      mem.WriteBytes(slot + FrameLayout::kPayload + off, spans[s].data,
+                     spans[s].len);
+      off += spans[s].len;
+    }
+  }
+  return total;
 }
 
 }  // namespace synthesis

@@ -48,6 +48,17 @@ NicDevice::NicDevice(Kernel& kernel, NicConfig config)
     ctor_mem.Write32(batch_desc_ + 4, rx_base_);
     ctor_mem.Write32(batch_desc_ + 8, demux_cell_);
   }
+  if (tx_batching()) {
+    tx_due_base_ = kernel_.allocator().Allocate(4 + 4 * config_.tx_slots);
+    tx_batch_desc_ = kernel_.allocator().Allocate(8);
+    tx_batch_cell_ = kernel_.allocator().Allocate(4);
+    tx_batch_idx_ = kernel_.allocator().Allocate(4);
+    assert(tx_due_base_ != 0 && tx_batch_desc_ != 0 && tx_batch_cell_ != 0 &&
+           tx_batch_idx_ != 0 && "kernel memory exhausted bringing up a NIC");
+    ctor_mem.Write32(tx_due_base_, 0);
+    ctor_mem.Write32(tx_batch_desc_ + 0, tx_due_base_);
+    ctor_mem.Write32(tx_batch_desc_ + 4, tx_base_);
+  }
   RefreshDemuxCell();
 
   int rxdone_vec = kernel_.RegisterHostTrap([this](Machine& m) {
@@ -87,60 +98,7 @@ NicDevice::NicDevice(Kernel& kernel, NicConfig config)
   });
 
   int txdone_vec = kernel_.RegisterHostTrap([this](Machine&) {
-    WireItem item;
-    if (!wire_.TryGet(item)) {
-      return TrapAction::kContinue;
-    }
-    tx_completed_++;
-    tx_inflight_ = tx_inflight_ == 0 ? 0 : tx_inflight_ - 1;
-    kernel_.UnblockOne(tx_waiters_);
-    if (item.drop) {
-      wire_drop_gauge_.Count();
-      return TrapAction::kContinue;
-    }
-    // DMA the frame across the wire into the next RX slot, applying any
-    // injected corruption in transit. A reordered frame is held on the wire
-    // for a multiple of the segment latency, so frames transmitted after it
-    // overtake it; a duplicated frame lands in two RX slots, the echo one
-    // round-trip later.
-    Memory& mem = kernel_.machine().memory();
-    Addr tx = TxSlotAddr(item.tx_slot);
-    uint32_t len = std::min(mem.Read32(tx + FrameLayout::kLength),
-                            FrameLayout::kMaxPayload);
-    uint32_t bytes = FrameLayout::kPayload + len;
-    double delay = config_.wire_latency_us * item.delay_mult;
-    if (item.delay_mult > 1) {
-      wire_reorder_gauge_.Count();
-    }
-    int copies = item.dup ? 2 : 1;
-    for (int c = 0; c < copies; c++) {
-      if (rx_inflight_ >= config_.rx_slots) {
-        rx_overruns_++;
-        break;
-      }
-      uint32_t rx_idx = rx_next_ & (config_.rx_slots - 1);
-      rx_next_++;
-      Addr rx = RxSlotAddr(rx_idx);
-      mem.WriteBytes(rx, mem.raw(tx), bytes);
-      if (item.corrupt_off >= 0 &&
-          static_cast<uint32_t>(item.corrupt_off) < bytes) {
-        mem.Write8(rx + static_cast<uint32_t>(item.corrupt_off),
-                   mem.Read8(rx + static_cast<uint32_t>(item.corrupt_off)) ^
-                       0xFF);
-        corrupt_gauge_.Count();
-      }
-      kernel_.machine().Charge(20 + bytes / 4, 0, bytes / 2);
-      rx_inflight_++;
-      if (admission_hook_) {
-        admission_hook_(rx_inflight_);
-      }
-      if (c == 1) {
-        wire_dup_gauge_.Count();
-      }
-      ScheduleRxDelivery(rx_idx,
-                         kernel_.NowUs() + delay +
-                             c * 2 * config_.wire_latency_us);
-    }
+    RetireOneTxCompletion();
     return TrapAction::kContinue;
   });
 
@@ -182,6 +140,48 @@ NicDevice::NicDevice(Kernel& kernel, NicConfig config)
       kernel_.interrupts().Raise(fire, Vector::kNetRx, config_.irq_tag);
       batch_armed_ = true;
       batch_next_fire_ = fire;
+    }
+    return TrapAction::kContinue;
+  });
+
+  // TX batch latch, the transmit-side twin of batchfill: every frame whose
+  // DMA-out has completed is written into the TX due table in completion
+  // order, and the single outstanding completion interrupt re-arms for
+  // whatever is still draining. An interrupt-burst echo of the batched entry
+  // runs this again immediately, finds nothing newly due, and the retire
+  // loop runs zero frames — double dispatch is tolerated by construction.
+  int txfill_vec = kernel_.RegisterHostTrap([this](Machine& m) {
+    const double now = kernel_.NowUs() + 1e-9;
+    std::stable_sort(tx_pending_.begin(), tx_pending_.end(),
+                     [](const PendingTx& a, const PendingTx& b) {
+                       return a.at < b.at || (a.at == b.at && a.seq < b.seq);
+                     });
+    Memory& mem = m.memory();
+    uint32_t count = 0;
+    size_t kept = 0;
+    for (const PendingTx& p : tx_pending_) {
+      if (p.at <= now && count < config_.tx_slots) {
+        mem.Write32(tx_due_base_ + 4 + 4 * count, p.slot);
+        count++;
+      } else {
+        tx_pending_[kept++] = p;
+      }
+    }
+    tx_pending_.resize(kept);
+    mem.Write32(tx_due_base_, count);
+    m.Charge(4 + 2 * count, 1, 1 + count);  // descriptor scan, a word per slot
+    tx_batch_dispatches_++;
+    tx_batch_frames_ += count;
+    if (tx_pending_.empty()) {
+      tx_batch_armed_ = false;
+    } else {
+      double fire = tx_pending_.front().fire;
+      for (const PendingTx& p : tx_pending_) {
+        fire = std::min(fire, p.fire);
+      }
+      kernel_.interrupts().Raise(fire, Vector::kNetTx, config_.irq_tag);
+      tx_batch_armed_ = true;
+      tx_batch_next_fire_ = fire;
     }
     return TrapAction::kContinue;
   });
@@ -310,14 +310,94 @@ NicDevice::NicDevice(Kernel& kernel, NicConfig config)
     kernel_.SetDefaultVector(Vector::kNetRx, rx_entry_);
   }
 
-  // TX-complete entry: acknowledge the descriptor, hand off to the host wire
-  // model (which loops the frame back as a future RX interrupt).
-  Asm tx("nic_tx_entry");
-  tx.Charge(40);
-  tx.Trap(txdone_vec);
-  tx.Rts();
-  tx_entry_ = kernel_.SynthesizeInstall(tx.Build(), Bindings(), nullptr,
-                                        "nic_tx_entry", nullptr, &verbatim);
+  if (!tx_batching()) {
+    // TX-complete entry: acknowledge the descriptor, hand off to the host
+    // wire model (which loops the frame back as a future RX interrupt).
+    Asm tx("nic_tx_entry");
+    tx.Charge(40);
+    tx.Trap(txdone_vec);
+    tx.Rts();
+    tx_entry_ = kernel_.SynthesizeInstall(tx.Build(), Bindings(), nullptr,
+                                          "nic_tx_entry", nullptr, &verbatim);
+  } else {
+    // Coalesced TX-complete: ONE interrupt retires every due frame. The
+    // entry latches due slots (txfill trap = the controller's completion
+    // scan), then runs the active retire loop out of the TX batch cell —
+    // the same generic/synthesized pairing as the RX dispatch loop. The
+    // generic loop faithfully walks the completion descriptor per iteration
+    // (reload descriptor, index the due table, scale the slot index to a
+    // descriptor address) before trapping to the host wire model; unlike the
+    // RX loop there is no demux call inside, and host traps preserve
+    // simulated registers.
+    Asm g("nic_tx_batch_gen");
+    g.MoveI(kD3, 0);
+    g.StoreA32(static_cast<int32_t>(tx_batch_idx_), kD3);
+    g.Label("loop");
+    g.MoveI(kA2, static_cast<int32_t>(tx_batch_desc_));
+    g.Load32(kD0, kA2, 0);  // due table base
+    g.Move(kA4, kD0);
+    g.Load32(kD6, kA4, 0);  // due count
+    g.LoadA32(kD3, static_cast<int32_t>(tx_batch_idx_));
+    g.Cmp(kD3, kD6);
+    g.Bge("done");
+    g.Move(kD1, kD3);
+    g.LslI(kD1, 2);
+    g.Add(kD1, kD0);
+    g.Move(kA5, kD1);
+    g.Load32(kD1, kA5, 4);  // slot index
+    g.Load32(kD5, kA2, 4);  // TX ring base
+    g.MulI(kD1, FrameLayout::kSlotBytes);
+    g.Add(kD1, kD5);
+    g.Move(kA1, kD1);
+    g.Trap(txdone_vec);
+    g.LoadA32(kD3, static_cast<int32_t>(tx_batch_idx_));
+    g.AddI(kD3, 1);
+    g.StoreA32(static_cast<int32_t>(tx_batch_idx_), kD3);
+    g.Bra("loop");
+    g.Label("done");
+    g.Rts();
+    tx_batch_loop_gen_ = kernel_.SynthesizeInstall(
+        g.Build(), Bindings(), nullptr, "nic_tx_batch_gen", nullptr, &verbatim);
+    assert(tx_batch_loop_gen_ != kInvalidBlock &&
+           "code store exhausted bringing up a NIC");
+
+    // Specialized retire loop. The key specialization is not folded
+    // addresses but dead-work elimination: retirement identity comes from
+    // the completion queue itself (the txdone trap pops the controller's
+    // FIFO, which names the slot), so the generic loop's descriptor walk —
+    // reload descriptor, index the due table, scale to a slot address —
+    // computes values nothing consumes. The specializer strips the walk
+    // entirely; the due count (latched by txfill before the loop ran,
+    // nothing inside changes it) survives only as the loop bound, hoisted
+    // into a register that host traps are guaranteed to preserve.
+    Asm s("nic_tx_batch_syn");
+    s.LoadA32(kD6, static_cast<int32_t>(tx_due_base_));
+    s.Tst(kD6);
+    s.Beq("done");
+    s.Label("loop");
+    s.Trap(txdone_vec);
+    s.SubI(kD6, 1);
+    s.Tst(kD6);
+    s.Bne("loop");
+    s.Label("done");
+    s.Rts();
+    SynthesisOptions topts = kernel_.config().synthesis;
+    topts.live_out |= (1u << kD0) | (1u << kD1) | (1u << kD2);
+    tx_batch_loop_syn_ = kernel_.SynthesizeInstall(
+        s.Build(), Bindings(), nullptr, "nic_tx_batch_syn", nullptr, &topts);
+    RefreshDemuxCell();  // now that the loops exist, point the TX batch cell
+
+    Asm tx("nic_tx_batch_entry");
+    tx.Charge(40);          // controller status read, completion-queue ack
+    tx.Trap(txfill_vec);    // latch every due completion into the table
+    tx.LoadA32(kD7, static_cast<int32_t>(tx_batch_cell_));
+    tx.JsrInd(kD7);
+    tx.Rts();
+    tx_entry_ = kernel_.SynthesizeInstall(tx.Build(), Bindings(), nullptr,
+                                          "nic_tx_batch_entry", nullptr,
+                                          &verbatim);
+  }
+  assert(tx_entry_ != kInvalidBlock && "code store exhausted bringing up a NIC");
   if (config_.install_vectors) {
     kernel_.SetDefaultVector(Vector::kNetTx, tx_entry_);
   }
@@ -348,6 +428,17 @@ void NicDevice::RefreshDemuxCell() {
                        : batch_loop_gen_;
     if (loop != kInvalidBlock) {
       mem.Write32(batch_cell_, static_cast<uint32_t>(loop));
+    }
+  }
+  // Same knob drives the TX retire loop, so generic-vs-synthesized ablation
+  // flips the whole device, not just receive.
+  if (tx_batch_cell_ != 0) {
+    BlockId loop =
+        (config_.synthesized_demux && tx_batch_loop_syn_ != kInvalidBlock)
+            ? tx_batch_loop_syn_
+            : tx_batch_loop_gen_;
+    if (loop != kInvalidBlock) {
+      mem.Write32(tx_batch_cell_, static_cast<uint32_t>(loop));
     }
   }
   kernel_.machine().Charge(8, 1, 1);
@@ -425,15 +516,32 @@ void NicDevice::UseSynthesizedDemux(bool on) {
 
 bool NicDevice::Transmit(uint16_t dst_port, uint16_t src_port,
                          const uint8_t* payload, uint32_t n) {
+  SendSpan span{payload, n};
+  return TransmitV(dst_port, src_port, &span, 1);
+}
+
+bool NicDevice::TransmitV(uint16_t dst_port, uint16_t src_port,
+                          const SendSpan* spans, uint32_t nspans) {
+  uint32_t n = 0;
+  for (uint32_t i = 0; i < nspans; i++) {
+    n += spans[i].len;
+  }
   if (n > FrameLayout::kMaxPayload || tx_inflight_ >= config_.tx_slots) {
     return false;
   }
   uint32_t slot = tx_next_ & (config_.tx_slots - 1);
   tx_next_++;
-  WriteFrame(kernel_.machine().memory(), TxSlotAddr(slot), dst_port, src_port,
-             payload, n);
-  // Driver cost: descriptor fill + frame copy into the TX slot.
-  kernel_.machine().Charge(40 + n / 2, 12 + n / 4, 4 + n / 4);
+  WriteFrameV(kernel_.machine().memory(), TxSlotAddr(slot), dst_port, src_port,
+              spans, nspans);
+  if (tx_burst_open_) {
+    // Burst member: descriptor fill and gather only — the driver-entry trap
+    // and the doorbell (device register write, status read-back) are paid
+    // once per burst, in the Begin/Commit bracket, not per frame.
+    kernel_.machine().Charge(14 + n / 2, 2 + n / 4, 4 + n / 4);
+  } else {
+    // Driver cost: descriptor fill + frame copy into the TX slot + doorbell.
+    kernel_.machine().Charge(40 + n / 2, 12 + n / 4, 4 + n / 4);
+  }
 
   WireItem item;
   item.tx_slot = slot;
@@ -484,9 +592,137 @@ bool NicDevice::Transmit(uint16_t dst_port, uint16_t src_port,
   } else {
     complete_at = kernel_.NowUs() + config_.tx_complete_us;
   }
-  kernel_.interrupts().Raise(complete_at, Vector::kNetTx,
-                             config_.irq_tag | slot);
+  if (tx_burst_open_) {
+    tx_staged_.push_back(StagedTx{slot, complete_at});
+  } else {
+    ArmTxComplete(slot, complete_at);
+  }
   return true;
+}
+
+void NicDevice::BeginTxBurst() {
+  // A no-op without TX coalescing: per-frame configs keep byte-identical
+  // charges and interrupt schedules whether or not callers bracket sends.
+  if (tx_batching()) {
+    tx_burst_open_ = true;
+  }
+}
+
+void NicDevice::CommitTxBurst() {
+  if (!tx_burst_open_) {
+    return;
+  }
+  tx_burst_open_ = false;
+  if (tx_staged_.empty()) {
+    return;
+  }
+  // One doorbell for the whole burst: tail-pointer write plus a cache line
+  // of descriptor ownership bits per couple of frames.
+  kernel_.machine().Charge(26 + 2 * static_cast<uint64_t>(tx_staged_.size()),
+                           4, 2);
+  for (const StagedTx& st : tx_staged_) {
+    ArmTxComplete(st.slot, st.complete_at);
+  }
+  tx_staged_.clear();
+}
+
+void NicDevice::ArmTxComplete(uint32_t slot, double complete_at) {
+  if (!tx_batching()) {
+    kernel_.interrupts().Raise(complete_at, Vector::kNetTx,
+                               config_.irq_tag | slot);
+    return;
+  }
+  // Coalescing holds the completion open for tx_coalesce_us so later frames
+  // of the burst retire under the same dispatch; one interrupt is
+  // outstanding at a time, advanced when an earlier fire time appears.
+  PendingTx p;
+  p.at = complete_at;
+  p.fire = complete_at + config_.tx_coalesce_us;
+  p.seq = tx_pending_seq_++;
+  p.slot = slot;
+  tx_pending_.push_back(p);
+  if (!tx_batch_armed_ || p.fire < tx_batch_next_fire_) {
+    kernel_.interrupts().Raise(p.fire, Vector::kNetTx, config_.irq_tag);
+    tx_batch_armed_ = true;
+    tx_batch_next_fire_ = p.fire;
+  }
+}
+
+void NicDevice::RetireOneTxCompletion() {
+  WireItem item;
+  if (!wire_.TryGet(item)) {
+    // A completion dispatch with no frame on the wire: either an
+    // interrupt-burst double fire, or (per-frame mode) a dispatch whose
+    // frame an earlier duplicate dispatch already retired. Previously this
+    // path also silently clamped the tx_inflight_ underflow; now it is
+    // observable and the counter is provably untouched.
+    tx_spurious_gauge_.Count();
+    return;
+  }
+  tx_completed_++;
+  // The wire holds exactly tx_inflight_ items (every TryPut pairs with an
+  // increment), so a successful pop implies a positive count; hitting zero
+  // here means double-completion accounting corruption, not load.
+  assert(tx_inflight_ > 0 && "TX completion retired with nothing in flight");
+  if (tx_inflight_ > 0) {
+    tx_inflight_--;
+  } else {
+    tx_spurious_gauge_.Count();  // release builds: observable, not wrapped
+  }
+  kernel_.UnblockOne(tx_waiters_);
+  if (item.drop) {
+    wire_drop_gauge_.Count();
+  } else {
+    // DMA the frame across the wire into the next RX slot, applying any
+    // injected corruption in transit. A reordered frame is held on the wire
+    // for a multiple of the segment latency, so frames transmitted after it
+    // overtake it; a duplicated frame lands in two RX slots, the echo one
+    // round-trip later.
+    Memory& mem = kernel_.machine().memory();
+    Addr tx = TxSlotAddr(item.tx_slot);
+    uint32_t len = std::min(mem.Read32(tx + FrameLayout::kLength),
+                            FrameLayout::kMaxPayload);
+    uint32_t bytes = FrameLayout::kPayload + len;
+    double delay = config_.wire_latency_us * item.delay_mult;
+    if (item.delay_mult > 1) {
+      wire_reorder_gauge_.Count();
+    }
+    int copies = item.dup ? 2 : 1;
+    for (int c = 0; c < copies; c++) {
+      if (rx_inflight_ >= config_.rx_slots) {
+        rx_overruns_++;
+        break;
+      }
+      uint32_t rx_idx = rx_next_ & (config_.rx_slots - 1);
+      rx_next_++;
+      Addr rx = RxSlotAddr(rx_idx);
+      mem.WriteBytes(rx, mem.raw(tx), bytes);
+      if (item.corrupt_off >= 0 &&
+          static_cast<uint32_t>(item.corrupt_off) < bytes) {
+        mem.Write8(rx + static_cast<uint32_t>(item.corrupt_off),
+                   mem.Read8(rx + static_cast<uint32_t>(item.corrupt_off)) ^
+                       0xFF);
+        corrupt_gauge_.Count();
+      }
+      kernel_.machine().Charge(20 + bytes / 4, 0, bytes / 2);
+      rx_inflight_++;
+      if (admission_hook_) {
+        admission_hook_(rx_inflight_);
+      }
+      if (c == 1) {
+        wire_dup_gauge_.Count();
+      }
+      ScheduleRxDelivery(rx_idx,
+                         kernel_.NowUs() + delay +
+                             c * 2 * config_.wire_latency_us);
+    }
+  }
+  // The slot just freed may unstick a caller that deferred a send on a full
+  // ring (the stream layer's ACK replay). Runs last: the ring has space and
+  // re-entrant TransmitV calls are safe here.
+  if (tx_drain_hook_) {
+    tx_drain_hook_();
+  }
 }
 
 void NicDevice::InjectRaw(uint32_t dst_port, uint32_t src_port,

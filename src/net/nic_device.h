@@ -34,6 +34,7 @@
 #include "src/io/io_system.h"
 #include "src/kernel/kernel.h"
 #include "src/net/demux.h"
+#include "src/net/frame.h"
 #include "src/sync/spsc_queue.h"
 
 namespace synthesis {
@@ -69,6 +70,13 @@ struct NicConfig {
   // overhead is paid once per batch instead of once per frame. 0 (default)
   // keeps the classic one-interrupt-per-frame entry — the ablation baseline.
   double rx_coalesce_us = 0.0;
+  // TX-complete coalescing, the transmit-side mirror: > 0 holds each frame's
+  // completion interrupt open for this window so later completions retire
+  // under the same dispatch, and enables BeginTxBurst/CommitTxBurst (one
+  // doorbell per burst of descriptor fills). 0 (default) keeps the classic
+  // one-kNetTx-per-frame entry — the ablation baseline — and makes the burst
+  // calls no-ops, so existing configs behave byte-identically.
+  double tx_coalesce_us = 0.0;
 };
 
 // One flow, fully described: the unified binding surface. A spec with the
@@ -134,6 +142,30 @@ class NicDevice {
   bool Transmit(uint16_t dst_port, uint16_t src_port, const uint8_t* payload,
                 uint32_t n);
 
+  // Scatter/gather transmit: the spans are gathered straight into the TX
+  // descriptor slot, no intermediate contiguous copy. Byte-identical on the
+  // wire to Transmit over the flattened payload; the spans are borrowed only
+  // for the duration of the call. Returns false when the payload exceeds
+  // kMaxPayload or all TX slots are in flight.
+  bool TransmitV(uint16_t dst_port, uint16_t src_port, const SendSpan* spans,
+                 uint32_t nspans);
+
+  // Burst transmit (only meaningful with tx_coalesce_us > 0; no-ops
+  // otherwise). Between Begin and Commit, each TransmitV fills a descriptor
+  // without ringing the doorbell or arming its completion; Commit rings one
+  // doorbell for the whole burst and schedules every staged completion. A
+  // frame rejected mid-burst (ring full) is simply not staged — the commit
+  // covers whatever was accepted.
+  void BeginTxBurst();
+  void CommitTxBurst();
+
+  // Host hook run after each TX completion retires (slot freed, waiters
+  // woken). The stream layer uses it to replay segments it deferred when the
+  // ring was full — pure ACKs have no retransmit timer covering them.
+  void SetTxDrainHook(std::function<void()> hook) {
+    tx_drain_hook_ = std::move(hook);
+  }
+
   // Test hook: places an arbitrary frame (e.g. a deliberately bad checksum or
   // length) directly on the wire, bypassing Transmit's framing.
   void InjectRaw(uint32_t dst_port, uint32_t src_port, const uint8_t* payload,
@@ -181,14 +213,22 @@ class NicDevice {
   Gauge& corrupt_gauge() { return corrupt_gauge_; }
   Gauge& wire_reorder_gauge() { return wire_reorder_gauge_; }
   Gauge& wire_dup_gauge() { return wire_dup_gauge_; }
+  // Counts TX-complete dispatches that found no frame to retire (e.g. an
+  // interrupt-burst double fire) — the observable face of what used to be a
+  // silently clamped tx_inflight_ underflow.
+  Gauge& tx_spurious_gauge() { return tx_spurious_gauge_; }
   uint64_t tx_completed() const { return tx_completed_; }
   uint64_t rx_overruns() const { return rx_overruns_; }
+  uint32_t tx_inflight() const { return tx_inflight_; }
 
   // Batched-delivery introspection (benches assert the amortization really
   // happened: frames per dispatch > 1 under load).
   bool batching() const { return config_.rx_coalesce_us > 0.0; }
   uint64_t rx_batch_dispatches() const { return rx_batch_dispatches_; }
   uint64_t rx_batch_frames() const { return rx_batch_frames_; }
+  bool tx_batching() const { return config_.tx_coalesce_us > 0.0; }
+  uint64_t tx_batch_dispatches() const { return tx_batch_dispatches_; }
+  uint64_t tx_batch_frames() const { return tx_batch_frames_; }
 
  private:
   struct WireItem {
@@ -210,10 +250,30 @@ class NicDevice {
     uint32_t slot = 0;
   };
 
+  // A transmitted frame whose DMA-out completes at `at`; the TX mirror of
+  // PendingRx. Per-frame mode raises its completion interrupt directly;
+  // coalescing mode queues it and arms/advances the single outstanding
+  // kNetTx interrupt.
+  struct PendingTx {
+    double at = 0;    // DMA-out completion time (retire order key)
+    double fire = 0;  // when this frame alone would fire the batch interrupt
+    uint64_t seq = 0;
+    uint32_t slot = 0;
+  };
+
+  // A burst-staged frame: descriptor filled, doorbell and completion arming
+  // deferred to CommitTxBurst.
+  struct StagedTx {
+    uint32_t slot = 0;
+    double complete_at = 0;
+  };
+
   Addr RxSlotAddr(uint32_t index) const;
   Addr TxSlotAddr(uint32_t index) const;
   void RefreshDemuxCell();
   void ScheduleRxDelivery(uint32_t rx_idx, double at);
+  void ArmTxComplete(uint32_t slot, double complete_at);
+  void RetireOneTxCompletion();
 
   Kernel& kernel_;
   NicConfig config_;
@@ -251,6 +311,29 @@ class NicDevice {
   uint64_t rx_batch_dispatches_ = 0;
   uint64_t rx_batch_frames_ = 0;
 
+  // Coalesced-TX state (allocated only when tx_coalesce_us > 0): the due
+  // table the txfill trap latches completed slots into, a 2-word descriptor
+  // {due table, tx base} the generic retire loop reloads per frame, the cell
+  // holding the active retire-loop implementation, and a spill word for the
+  // generic loop's counter. Retire correctness never depends on the due
+  // table contents: each retire trap pops the wire queue, whose FIFO order
+  // matches completion order (completion times are monotone in transmit
+  // order), and the popped item carries its own tx_slot.
+  Addr tx_due_base_ = 0;
+  Addr tx_batch_desc_ = 0;
+  Addr tx_batch_cell_ = 0;
+  Addr tx_batch_idx_ = 0;
+  BlockId tx_batch_loop_gen_ = kInvalidBlock;
+  BlockId tx_batch_loop_syn_ = kInvalidBlock;
+  std::vector<PendingTx> tx_pending_;
+  uint64_t tx_pending_seq_ = 0;
+  bool tx_batch_armed_ = false;    // one TX batch interrupt is outstanding
+  double tx_batch_next_fire_ = 0;  // its fire time
+  uint64_t tx_batch_dispatches_ = 0;
+  uint64_t tx_batch_frames_ = 0;
+  bool tx_burst_open_ = false;
+  std::vector<StagedTx> tx_staged_;
+
   std::unordered_map<uint16_t, std::shared_ptr<RingHost>> rings_;
   std::unordered_map<uint16_t, std::function<void()>> hooks_;
   WaitQueue tx_waiters_;
@@ -265,7 +348,9 @@ class NicDevice {
   Gauge corrupt_gauge_;
   Gauge wire_reorder_gauge_;
   Gauge wire_dup_gauge_;
+  Gauge tx_spurious_gauge_;
   Gauge* shared_rx_gauge_ = nullptr;  // pool-wide aggregate, optional
+  std::function<void()> tx_drain_hook_;
   uint64_t tx_completed_ = 0;
   uint64_t rx_overruns_ = 0;
   // Last demux csum-reject count mirrored into the gauge. Deliberately the

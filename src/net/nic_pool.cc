@@ -160,6 +160,16 @@ void NicPool::AppendNic() {
   nics_.push_back(std::make_unique<NicDevice>(kernel_, nc));
   nics_.back()->SetSharedRxGauge(&rx_gauge_);
   nics_.back()->SetAdmissionHook([this](uint32_t depth) { NoteRxDepth(depth); });
+  if (tx_drain_hook_) {
+    nics_.back()->SetTxDrainHook(tx_drain_hook_);
+  }
+}
+
+void NicPool::SetTxDrainHook(std::function<void()> hook) {
+  tx_drain_hook_ = std::move(hook);
+  for (auto& n : nics_) {
+    n->SetTxDrainHook(tx_drain_hook_);
+  }
 }
 
 uint32_t NicPool::SteerOf(uint16_t port) const {
@@ -717,6 +727,12 @@ bool NicPool::Transmit(uint16_t dst_port, uint16_t src_port,
                                                    payload, n);
 }
 
+bool NicPool::TransmitV(uint16_t dst_port, uint16_t src_port,
+                        const SendSpan* spans, uint32_t nspans) {
+  return nic(RouteOf(dst_port, src_port)).TransmitV(dst_port, src_port,
+                                                    spans, nspans);
+}
+
 void NicPool::InjectRaw(uint32_t dst_port, uint32_t src_port,
                         const uint8_t* payload, uint32_t n, uint32_t checksum,
                         uint32_t length_field) {
@@ -734,6 +750,7 @@ NicPool::AggregateStats NicPool::Aggregate() {
     s.malformed += nic->demux().malformed();
     s.ring_drops += nic->demux().ring_drops();
     s.wire_drops += nic->wire_drop_gauge().events();
+    s.tx_spurious += nic->tx_spurious_gauge().events();
   }
   // Fold any not-yet-mirrored filter drops into the gauges first.
   MirrorShedCounters();

@@ -189,11 +189,28 @@ class NicPool {
   // (dst, src) matches a pinned connection goes to the pinned NIC.
   bool Transmit(uint16_t dst_port, uint16_t src_port, const uint8_t* payload,
                 uint32_t n);
+  // Scatter/gather transmit, routed like Transmit: spans gathered straight
+  // into the owning NIC's descriptor slot (no intermediate copy).
+  bool TransmitV(uint16_t dst_port, uint16_t src_port, const SendSpan* spans,
+                 uint32_t nspans);
+  // Burst bracket for a run of sends to one destination (one doorbell on the
+  // owning NIC; no-ops unless that NIC has TX coalescing on). The route is
+  // per-destination, so a burst brackets frames that share a route.
+  void BeginTxBurst(uint16_t dst_port, uint16_t src_port = 0) {
+    nic(RouteOf(dst_port, src_port)).BeginTxBurst();
+  }
+  void CommitTxBurst(uint16_t dst_port, uint16_t src_port = 0) {
+    nic(RouteOf(dst_port, src_port)).CommitTxBurst();
+  }
   void InjectRaw(uint32_t dst_port, uint32_t src_port, const uint8_t* payload,
                  uint32_t n, uint32_t checksum, uint32_t length_field);
   WaitQueue& tx_waiters(uint16_t dst_port, uint16_t src_port = 0) {
     return nic(RouteOf(dst_port, src_port)).tx_waiters();
   }
+  // Installed on every member NIC (current and future): runs after each TX
+  // completion retires, so layers above can replay sends deferred on a full
+  // ring the moment a slot frees.
+  void SetTxDrainHook(std::function<void()> hook);
 
   // --- Aggregation for the fine-grain scheduler ------------------------------
   // One pool-wide RX gauge every member NIC counts into.
@@ -209,6 +226,7 @@ class NicPool {
     uint64_t wire_drops = 0;
     uint64_t early_sheds = 0;  // dropped by the admission filter
     uint64_t data_sheds = 0;   // bound-port bulk data shed at level 2
+    uint64_t tx_spurious = 0;  // TX-complete dispatches with nothing to retire
   };
   AggregateStats Aggregate();
 
@@ -289,6 +307,7 @@ class NicPool {
   Gauge shed_data_gauge_;
 
   Gauge rx_gauge_;
+  std::function<void()> tx_drain_hook_;  // replayed onto NICs added later
 };
 
 }  // namespace synthesis

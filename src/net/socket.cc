@@ -96,12 +96,11 @@ int32_t DatagramSocketLayer::SendTo(SocketId sock, uint16_t dst_port, Addr buf,
       return kIoError;
     }
   }
-  std::vector<uint8_t> payload(n);
-  if (n > 0) {
-    kernel_.machine().memory().ReadBytes(buf, payload.data(), n);
-    kernel_.machine().Charge(n / 2, n / 4, n / 4);  // user->driver copy
-  }
-  if (!pool_.Transmit(dst_port, s->port, payload.data(), n)) {
+  // Zero-copy: the gather transmit writes the user bytes straight into the
+  // TX descriptor slot, so the old user->driver staging vector (and its
+  // word-copy charge) is gone — the descriptor write is charged in TransmitV.
+  SendSpan span{n > 0 ? kernel_.machine().memory().raw(buf) : nullptr, n};
+  if (!pool_.TransmitV(dst_port, s->port, &span, 1)) {
     if (kernel_.current_thread() != kNoThread) {
       kernel_.BlockCurrentOn(pool_.tx_waiters(dst_port));
     }

@@ -180,10 +180,6 @@ CodeTemplate GenericStreamTemplate() {
   return a.Build();
 }
 
-void Put32(std::vector<uint8_t>& v, size_t off, uint32_t x) {
-  std::memcpy(v.data() + off, &x, 4);  // Memory::Read32 is host-endian memcpy
-}
-
 }  // namespace
 
 StreamLayer::StreamLayer(Kernel& kernel, IoSystem& io, NicPool& pool)
@@ -196,6 +192,10 @@ StreamLayer::StreamLayer(Kernel& kernel, IoSystem& io, NicPool& pool)
     SweepTick();
     return TrapAction::kContinue;
   });
+  // Replay TX-full deferrals (pure ACKs, cut-short window pushes) as slots
+  // free — without this a peer whose ACK hit a full ring stalls until
+  // keepalive notices.
+  pool_.SetTxDrainHook([this] { OnTxDrain(); });
 }
 
 BlockId StreamLayer::GenericProcFor(uint32_t nic_idx) {
@@ -664,35 +664,116 @@ ConnId StreamLayer::Connect(uint16_t dst_port, StreamConfig cfg) {
   c.snd_nxt += 1;
   kernel_.machine().memory().Write32(c.ccb + CcbLayout::kSndNxt, c.snd_nxt);
   c.unacked.push_back(syn);
-  TransmitSeg(c, syn);
+  if (!TransmitSeg(c, syn)) {
+    DeferWindow(c);  // replayed from the drain hook; the RTO also covers it
+  }
   ArmTimer(c);
   return id;
 }
 
-void StreamLayer::TransmitSeg(Conn& c, const Seg& seg) {
+bool StreamLayer::TransmitSeg(Conn& c, const Seg& seg) {
   Memory& mem = kernel_.machine().memory();
-  std::vector<uint8_t> p(StreamSeg::kHdrBytes + seg.data.size());
-  Put32(p, StreamSeg::kSeq, seg.seq);
-  Put32(p, StreamSeg::kAck, mem.Read32(c.ccb + CcbLayout::kRcvNxt));
-  Put32(p, StreamSeg::kFlags, seg.flags | StreamSeg::kFlagAck);
-  if (!seg.data.empty()) {
-    std::memcpy(p.data() + StreamSeg::kHdrBytes, seg.data.data(),
-                seg.data.size());
+  // Header on the stack, payload borrowed from the segment: the gather API
+  // writes both straight into the TX descriptor slot, so no contiguous
+  // header+payload staging copy exists anymore. Same byte order as the old
+  // Put32 builder (host-endian memcpy, matching Memory::Read32).
+  uint8_t hdr[StreamSeg::kHdrBytes];
+  uint32_t w = seg.seq;
+  std::memcpy(hdr + StreamSeg::kSeq, &w, 4);
+  w = mem.Read32(c.ccb + CcbLayout::kRcvNxt);
+  std::memcpy(hdr + StreamSeg::kAck, &w, 4);
+  w = seg.flags | StreamSeg::kFlagAck;
+  std::memcpy(hdr + StreamSeg::kFlags, &w, 4);
+  SendSpan spans[2] = {{hdr, StreamSeg::kHdrBytes},
+                       {seg.data.data(),
+                        static_cast<uint32_t>(seg.data.size())}};
+  uint32_t nspans = seg.data.empty() ? 1 : 2;
+  if (!pool_.TransmitV(c.peer_port, c.local_port, spans, nspans)) {
+    // Full TX ring. Callers defer and the drain hook replays — nothing is
+    // silently lost anymore (pure ACKs have no retransmit timer).
+    tx_full_drops_gauge_.Count();
+    return false;
   }
-  // A full TX queue just loses the segment; the retransmit timer covers it
-  // like any other wire loss.
-  pool_.Transmit(c.peer_port, c.local_port, p.data(),
-                 static_cast<uint32_t>(p.size()));
+  return true;
 }
 
 void StreamLayer::SendAck(Conn& c) {
   Seg ack;
   ack.seq = c.snd_nxt;
-  TransmitSeg(c, ack);
+  if (!TransmitSeg(c, ack)) {
+    DeferAck(c);
+  }
+}
+
+void StreamLayer::DeferAck(Conn& c) {
+  c.ack_deferred = true;
+  tx_deferred_.insert(c.id);
+}
+
+void StreamLayer::DeferWindow(Conn& c) {
+  c.wnd_deferred = true;
+  tx_deferred_.insert(c.id);
+}
+
+// Runs from the NIC's TX-complete retirement, after a slot freed: replay
+// whatever the full ring cut short. Window replays resend the outstanding
+// segments in order (the untransmitted suffix rides behind the already-sent
+// prefix; the receiver's dup accounting absorbs the overlap), then push any
+// window the deferral blocked. A replay that finds the ring full again
+// simply re-defers — the next retirement retries.
+void StreamLayer::OnTxDrain() {
+  if (tx_deferred_.empty()) {
+    return;
+  }
+  std::vector<ConnId> ids(tx_deferred_.begin(), tx_deferred_.end());
+  tx_deferred_.clear();
+  for (ConnId id : ids) {
+    Conn* c = Get(id);
+    if (c == nullptr || c->reclaimed || c->state == CcbLayout::kFailed ||
+        c->state == CcbLayout::kDone) {
+      continue;
+    }
+    const bool ack = c->ack_deferred;
+    const bool wnd = c->wnd_deferred;
+    c->ack_deferred = false;
+    c->wnd_deferred = false;
+    if (wnd) {
+      bool replayed = true;
+      pool_.BeginTxBurst(c->peer_port, c->local_port);
+      for (const Seg& s : c->unacked) {
+        if (!TransmitSeg(*c, s)) {
+          DeferWindow(*c);
+          replayed = false;
+          break;
+        }
+      }
+      pool_.CommitTxBurst(c->peer_port, c->local_port);
+      if (replayed) {
+        PushWindow(*c);
+        kernel_.UnblockAll(c->senders);
+      }
+      if (!c->unacked.empty() && !c->timer_armed) {
+        ArmTimer(*c);
+      }
+    } else if (ack) {
+      SendAck(*c);  // re-defers itself if the ring is still full
+    }
+  }
 }
 
 void StreamLayer::PushWindow(Conn& c) {
   Memory& mem = kernel_.machine().memory();
+  if (c.wnd_deferred) {
+    // A window replay is already owed; fresh segments transmitted now would
+    // overtake the deferred ones on the wire. The drain hook calls back.
+    if (!c.unacked.empty() && !c.timer_armed) {
+      ArmTimer(c);
+    }
+    return;
+  }
+  // One doorbell for the whole push when the NIC coalesces TX completions
+  // (a no-op bracket otherwise).
+  pool_.BeginTxBurst(c.peer_port, c.local_port);
   while (c.state == CcbLayout::kEstablished && !c.pending.empty() &&
          c.unacked.size() < c.cwnd) {
     Seg s;
@@ -706,9 +787,14 @@ void StreamLayer::PushWindow(Conn& c) {
     c.snd_nxt += take;
     mem.Write32(c.ccb + CcbLayout::kSndNxt, c.snd_nxt);
     c.unacked.push_back(s);
-    TransmitSeg(c, s);
+    if (!TransmitSeg(c, s)) {
+      // The segment stays on unacked; the drain replay (or the RTO) covers
+      // it. Later segments are not attempted — wire order is preserved.
+      DeferWindow(c);
+      break;
+    }
   }
-  if (c.fin_queued && !c.fin_sent && c.pending.empty() &&
+  if (!c.wnd_deferred && c.fin_queued && !c.fin_sent && c.pending.empty() &&
       c.state == CcbLayout::kEstablished && c.unacked.size() < c.cwnd) {
     Seg fin;
     fin.seq = c.snd_nxt;
@@ -718,8 +804,11 @@ void StreamLayer::PushWindow(Conn& c) {
     c.unacked.push_back(fin);
     c.fin_sent = true;
     SetState(c, CcbLayout::kFinSent);
-    TransmitSeg(c, fin);
+    if (!TransmitSeg(c, fin)) {
+      DeferWindow(c);
+    }
   }
+  pool_.CommitTxBurst(c.peer_port, c.local_port);
   if (!c.unacked.empty() && !c.timer_armed) {
     ArmTimer(c);
   }
@@ -790,12 +879,19 @@ void StreamLayer::OnTimer(ConnId id) {
   c->rto_us = std::min(c->rto_us * 2, c->cfg.rto_cap_us);
   c->cwnd = std::max(1u, c->cwnd / 2);
   // Go-back-N: the receiver keeps no out-of-order buffer, so everything after
-  // the lost segment was discarded — resend the whole outstanding window.
+  // the lost segment was discarded — resend the whole outstanding window, as
+  // one burst. A full ring cuts the replay short; the drain hook finishes it
+  // (only actually-transmitted segments count as retransmits).
+  pool_.BeginTxBurst(c->peer_port, c->local_port);
   for (const Seg& s : c->unacked) {
+    if (!TransmitSeg(*c, s)) {
+      DeferWindow(*c);
+      break;
+    }
     c->retransmits++;
     retransmit_gauge_.Count();
-    TransmitSeg(*c, s);
   }
+  pool_.CommitTxBurst(c->peer_port, c->local_port);
   ArmTimer(*c);
 }
 
@@ -913,7 +1009,13 @@ void StreamLayer::SweepTick() {
     if (c.cfg.keepalive_idle_us <= 0 || !c.unacked.empty() || frozen) {
       continue;
     }
-    if (now - c.last_activity_ticks < TimerTicks(c.cfg.keepalive_idle_us)) {
+    // Healthy idle peers answer every probe round; the answered rounds double
+    // the effective idle period (idle_backoff, capped by the config) so a
+    // long-idle connection is probed geometrically less often. Real traffic
+    // and unanswered probes both reset/bypass the backoff (OnDeliver).
+    const uint64_t idle_ticks =
+        TimerTicks(c.cfg.keepalive_idle_us) * std::max(1u, c.idle_backoff);
+    if (now - c.last_activity_ticks < idle_ticks) {
       c.probes_sent = 0;
       continue;
     }
@@ -959,7 +1061,12 @@ void StreamLayer::SendProbe(Conn& c) {
   Seg probe;
   probe.seq = c.snd_nxt - 1;
   probe.data.assign(1, 0);
-  TransmitSeg(c, probe);
+  if (!TransmitSeg(c, probe)) {
+    // Ring full: the probe never left, so it must not count toward the reap
+    // verdict — our own TX congestion reading as peer death would be the
+    // shedding-freeze bug all over again. The next sweep retries.
+    return;
+  }
   c.probes_sent++;
   keepalive_probe_gauge_.Count();
 }
@@ -971,6 +1078,7 @@ void StreamLayer::OnDeliver(ConnId id) {
   }
   // Any delivered frame — data, control, even a pure ack raising no event
   // bits (the keepalive probe's answer) — proves the peer and wire are live.
+  const bool was_probing = c->probes_sent > 0;
   MarkActivity(*c);
   // Delivery is also the recovery hook for a sweep alarm the fault plane
   // dropped: re-arm is a no-op while one is pending (the bcache pattern).
@@ -978,6 +1086,21 @@ void StreamLayer::OnDeliver(ConnId id) {
   Memory& mem = kernel_.machine().memory();
   uint32_t ev = mem.Read32(c->ccb + CcbLayout::kEvents);
   mem.Write32(c->ccb + CcbLayout::kEvents, 0);
+  constexpr uint32_t kRealTraffic =
+      CcbLayout::kEvData | CcbLayout::kEvCtrl | CcbLayout::kEvAckAdvance;
+  if ((ev & kRealTraffic) == 0) {
+    if (was_probing && c->cfg.keepalive_backoff_max > 1) {
+      // An ack answering an outstanding probe: a bare no-event ack, or the
+      // duplicate-ack the processor records when the re-ack repeats snd_una.
+      // The peer is healthy but idle — double the effective idle period so
+      // the next probe round comes later; forever-idle peers stop costing a
+      // probe per idle period.
+      c->idle_backoff =
+          std::min(c->idle_backoff * 2, c->cfg.keepalive_backoff_max);
+    }
+  } else {
+    c->idle_backoff = 1;  // real traffic: back to the configured cadence
+  }
   if (ev & CcbLayout::kEvCtrl) {
     HandleCtrl(*c);
     c = Get(id);  // HandleCtrl may fail/erase state; re-validate
@@ -997,10 +1120,13 @@ void StreamLayer::OnDeliver(ConnId id) {
     if (dups >= c->dup_base + 3 && !c->unacked.empty()) {
       // Triple duplicate ack: the front segment is presumed lost.
       c->dup_base = dups;
-      c->fast_retransmits++;
-      c->retransmits++;
-      retransmit_gauge_.Count();
-      TransmitSeg(*c, c->unacked.front());
+      if (TransmitSeg(*c, c->unacked.front())) {
+        c->fast_retransmits++;
+        c->retransmits++;
+        retransmit_gauge_.Count();
+      } else {
+        DeferWindow(*c);  // the drain replay resends the front anyway
+      }
     }
   }
   if (ev & CcbLayout::kEvOoo) {
@@ -1063,7 +1189,9 @@ void StreamLayer::HandleCtrl(Conn& c) {
         c.snd_nxt += 1;
         mem.Write32(c.ccb + CcbLayout::kSndNxt, c.snd_nxt);
         c.unacked.push_back(synack);
-        TransmitSeg(c, synack);
+        if (!TransmitSeg(c, synack)) {
+          DeferWindow(c);  // replayed from unacked; RTO covers it too
+        }
         ArmTimer(c);
       }
       return;
@@ -1102,9 +1230,12 @@ void StreamLayer::HandleCtrl(Conn& c) {
     // The peer retransmitted its SYN: our SYN|ACK (or its ack) was lost.
     if (!c.unacked.empty() &&
         (c.unacked.front().flags & StreamSeg::kFlagSyn)) {
-      c.retransmits++;
-      retransmit_gauge_.Count();
-      TransmitSeg(c, c.unacked.front());
+      if (TransmitSeg(c, c.unacked.front())) {
+        c.retransmits++;
+        retransmit_gauge_.Count();
+      } else {
+        DeferWindow(c);
+      }
     } else {
       SendAck(c);
     }
@@ -1226,6 +1357,9 @@ void StreamLayer::ReclaimConn(Conn& c) {
   c.final_stats.rcv_nxt = mem.Read32(c.ccb + CcbLayout::kRcvNxt);
   c.reclaimed = true;
   sweep_watch_.erase(c.id);
+  tx_deferred_.erase(c.id);
+  c.ack_deferred = false;
+  c.wnd_deferred = false;
 
   pool_.UnbindFlow(c.local_port);
   ports_in_use_.erase(c.local_port);
@@ -1249,10 +1383,29 @@ void StreamLayer::ReclaimConn(Conn& c) {
 }
 
 int32_t StreamLayer::Send(ConnId conn, Addr buf, uint32_t n) {
+  IoVec v{buf, n};
+  return Sendv(conn, &v, 1);
+}
+
+// Gathering send: all iovecs land in the pending queue as one logical write,
+// then one PushWindow segments them — so k small iovecs cost one window push,
+// not k, and short writes split exactly at the window limit like Send always
+// did.
+int32_t StreamLayer::Sendv(ConnId conn, const IoVec* iov, uint32_t iovcnt) {
   Conn* c = Get(conn);
   if (c == nullptr || c->state == CcbLayout::kFailed ||
       c->state == CcbLayout::kDone || c->fin_queued) {
     return kIoError;
+  }
+  if (c->wnd_deferred) {
+    // The TX ring was full when the window last pushed; queueing more bytes
+    // now would just grow pending behind a stalled wire. Park on the NIC's
+    // tx_waiters — the completion that frees a slot wakes us after the drain
+    // replay has run.
+    if (kernel_.current_thread() != kNoThread) {
+      kernel_.BlockCurrentOn(pool_.tx_waiters(c->peer_port, c->local_port));
+    }
+    return kIoWouldBlock;
   }
   uint32_t limit = c->cfg.window_segments * c->cfg.max_seg_data;
   uint32_t used = static_cast<uint32_t>(c->pending.size());
@@ -1262,15 +1415,22 @@ int32_t StreamLayer::Send(ConnId conn, Addr buf, uint32_t n) {
     }
     return kIoWouldBlock;
   }
-  uint32_t take = std::min(n, limit - used);
-  if (take > 0) {
-    std::vector<uint8_t> tmp(take);
-    kernel_.machine().memory().ReadBytes(buf, tmp.data(), take);
+  uint32_t room = limit - used;
+  Memory& mem = kernel_.machine().memory();
+  uint32_t taken = 0;
+  for (uint32_t i = 0; i < iovcnt && room > 0; i++) {
+    uint32_t take = std::min(iov[i].len, room);
+    if (take == 0) {
+      continue;
+    }
+    const uint8_t* src = mem.raw(iov[i].base);
+    c->pending.insert(c->pending.end(), src, src + take);
     kernel_.machine().Charge(take / 2, take / 4, take / 4);  // user->net copy
-    c->pending.insert(c->pending.end(), tmp.begin(), tmp.end());
+    room -= take;
+    taken += take;
   }
   PushWindow(*c);
-  return static_cast<int32_t>(take);
+  return static_cast<int32_t>(taken);
 }
 
 int32_t StreamLayer::Recv(ConnId conn, Addr buf, uint32_t cap) {

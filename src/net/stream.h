@@ -58,6 +58,7 @@
 
 #include "src/io/gauge.h"
 #include "src/io/io_system.h"
+#include "src/io/iovec.h"
 #include "src/net/nic_pool.h"
 
 namespace synthesis {
@@ -154,6 +155,14 @@ struct StreamConfig {
   double keepalive_idle_us = 0;
   double keepalive_interval_us = 10000.0;  // sweep cadence while enabled
   uint32_t keepalive_probes = 3;
+  // Exponential idle backoff: every answered probe round doubles the idle
+  // period a healthy-but-quiet connection must sit out before the next
+  // probe, up to keepalive_idle_us * keepalive_backoff_max; any real traffic
+  // (data, control, an ack advance) resets the backoff to 1. Dead peers are
+  // unaffected — unanswered probes never stretch the period, so the reap
+  // deadline stays keepalive_probes sweeps. 1 disables (probe every idle
+  // period forever, the old behavior).
+  uint32_t keepalive_backoff_max = 8;
 };
 
 // Per-connection robustness counters: host events plus the CCB counters the
@@ -191,6 +200,13 @@ class StreamLayer {
   // Returns the byte count accepted, kIoWouldBlock with the current thread
   // parked when the send buffer is full, or kIoError on a failed connection.
   int32_t Send(ConnId conn, Addr buf, uint32_t n);
+  // Gathering send: queues the iovecs in order as one logical byte stream,
+  // borrowing each piece straight from simulated memory (no per-element
+  // temporary), then pushes the window once. Send is implemented on top of
+  // this. Semantics match Send: bytes accepted, kIoWouldBlock (thread
+  // parked) when the send buffer — or the TX ring below it — is full,
+  // kIoError on a failed connection.
+  int32_t Sendv(ConnId conn, const IoVec* iov, uint32_t iovcnt);
   // Reads up to `cap` in-order bytes into `buf`. Returns the byte count,
   // 0 at end of stream (peer FIN, everything drained), kIoWouldBlock with
   // the current thread parked when no data is queued, or kIoError.
@@ -243,6 +259,11 @@ class StreamLayer {
   // Reaper gauges: keepalive probes sent, and connections reaped dead.
   Gauge& keepalive_probe_gauge() { return keepalive_probe_gauge_; }
   Gauge& reaped_gauge() { return reaped_gauge_; }
+  // Segments that found the TX ring full. None are lost anymore: data-path
+  // segments stay on unacked/pending for the drain replay, pure ACKs and
+  // window pushes are marked deferred and replayed from the pool's TX drain
+  // hook the moment a slot frees.
+  Gauge& tx_full_drops_gauge() { return tx_full_drops_gauge_; }
 
   // Test hooks: steer the ephemeral allocator to a specific starting point
   // (still clamped into the ephemeral range) and arm a connection's timer as
@@ -305,6 +326,12 @@ class StreamLayer {
     uint32_t dup_base = 0;         // dup-ack count at the last fast retransmit
     uint64_t last_activity_ticks = 0;  // last delivered frame (reaper clock)
     uint32_t probes_sent = 0;      // unanswered keepalive probes
+    uint32_t idle_backoff = 1;     // answered-probe idle multiplier (capped)
+    // TX-ring-full deferrals, replayed from the drain hook: a pure ACK owed
+    // (ack_deferred) and/or in-flight segments whose transmit was cut short
+    // (wnd_deferred — the segments themselves sit on unacked/pending).
+    bool ack_deferred = false;
+    bool wnd_deferred = false;
 
     bool reclaimed = false;        // kernel resources returned; record is a
     StreamStats final_stats;       // post-mortem snapshot only
@@ -324,9 +351,12 @@ class StreamLayer {
   void Resynthesize(Conn& c);
   uint16_t AllocateEphemeral();
 
-  void TransmitSeg(Conn& c, const Seg& seg);
+  bool TransmitSeg(Conn& c, const Seg& seg);
   void SendAck(Conn& c);
   void PushWindow(Conn& c);
+  void DeferAck(Conn& c);
+  void DeferWindow(Conn& c);
+  void OnTxDrain();
   void ArmTimer(Conn& c);
   void OnTimer(ConnId id);
   void OnDeliver(ConnId id);
@@ -366,6 +396,11 @@ class StreamLayer {
   // watched) a full-map walk per tick is what turns the reaper into the
   // overload it exists to survive.
   std::set<ConnId> sweep_watch_;
+  // Connections holding a TX-full deferral, drained (in id order) by the
+  // pool's TX drain hook. Disjoint from the retransmit timer's coverage:
+  // these are the segments the timer does NOT cover (pure ACKs) or covers
+  // only after a full RTO the drain replay makes unnecessary.
+  std::set<ConnId> tx_deferred_;
   ConnId sweep_cursor_ = 0;  // round-robin resume point for the probe budget
   // Adaptive cadence: when one sweep cycle (probe fan-out plus the delivered
   // answers) charges more virtual time than the sweep period, the re-armed
@@ -392,6 +427,7 @@ class StreamLayer {
   Gauge resynth_gauge_;
   Gauge keepalive_probe_gauge_;
   Gauge reaped_gauge_;
+  Gauge tx_full_drops_gauge_;
 };
 
 }  // namespace synthesis

@@ -204,6 +204,18 @@ int32_t UnixEmulator::Send(int fd, Addr buf, uint32_t n) {
   return stream_->Send(it->second, buf, n);
 }
 
+int32_t UnixEmulator::Sendv(int fd, const IoVec* iov, uint32_t iovcnt) {
+  ChargeTrap();
+  auto it = stream_fds_.find(fd);
+  if (stream_ == nullptr || it == stream_fds_.end()) {
+    // Non-stream fds keep the PosixLikeApi per-element loop (which will also
+    // report -1 here, matching Send on an unknown fd).
+    return PosixLikeApi::Sendv(fd, iov, iovcnt);
+  }
+  kernel_.machine().Charge(10, 3, 1);  // fd -> connection translation
+  return stream_->Sendv(it->second, iov, iovcnt);
+}
+
 int32_t UnixEmulator::Recv(int fd, Addr buf, uint32_t cap) {
   return RecvSpan(fd, buf, cap);
 }

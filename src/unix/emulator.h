@@ -47,6 +47,7 @@ class UnixEmulator : public PosixLikeApi {
   int Listen(uint32_t port) override;
   int Connect(uint32_t dst_port) override;
   int32_t Send(int fd, Addr buf, uint32_t n) override;
+  int32_t Sendv(int fd, const IoVec* iov, uint32_t iovcnt) override;
   int32_t Recv(int fd, Addr buf, uint32_t cap) override;
   int32_t RecvSpan(int fd, Addr buf, uint32_t cap) override;
 

@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <string>
 
+#include "src/io/iovec.h"
 #include "src/machine/memory.h"
 
 namespace synthesis {
@@ -55,6 +56,30 @@ class PosixLikeApi {
   // path override it, and their Recv/Read are implemented on top of it.
   virtual int32_t RecvSpan(int fd, Addr buf, uint32_t cap) {
     return Recv(fd, buf, cap);
+  }
+  // Gathering send (sendmsg-style): queues the iovecs in order as one
+  // logical write. The default loops over Send — one call and one copy per
+  // element, the layered baseline; systems with a scatter/gather transmit
+  // path override it so the pieces reach the device descriptor directly.
+  // Returns bytes accepted; stops at the first short or failed element (a
+  // leading error is returned as-is, so kIoWouldBlock-style sentinels pass
+  // through when nothing was accepted yet).
+  virtual int32_t Sendv(int fd, const IoVec* iov, uint32_t iovcnt) {
+    int32_t total = 0;
+    for (uint32_t i = 0; i < iovcnt; i++) {
+      if (iov[i].len == 0) {
+        continue;
+      }
+      int32_t r = Send(fd, iov[i].base, iov[i].len);
+      if (r < 0) {
+        return total > 0 ? total : r;
+      }
+      total += r;
+      if (static_cast<uint32_t>(r) < iov[i].len) {
+        break;
+      }
+    }
+    return total;
   }
 
   // Creates a file in the system's namespace (mkfs-level setup, uncharged).
