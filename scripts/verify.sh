@@ -28,7 +28,10 @@ if [[ "${FAULTS:-0}" == "1" ]]; then
   # allocation-class failure (alloc, code install, bcache_alloc) is exercised
   # by targeted tests (fault_plane_test, bcache_test, stream churn); arming it
   # globally would fire inside constructors that assert success.
-  : "${SYNTHESIS_FAULTS:=seed=11,wire_drop=p0.0002,wire_dup=p0.0001,wire_reorder=p0.0001,wire_burst=p0.00005,alarm_late=p0.0005,disk_late=p0.001,disk_lost=p0.0005,tty_over=p0.0001}"
+  # power_fail stays whisper-quiet: the crash tests disarm it on the rebooted
+  # stack themselves, and any test that loses power still has to remount
+  # clean — the differential harness owns the survival checks.
+  : "${SYNTHESIS_FAULTS:=seed=11,wire_drop=p0.0002,wire_dup=p0.0001,wire_reorder=p0.0001,wire_burst=p0.00005,alarm_late=p0.0005,disk_late=p0.001,disk_lost=p0.0005,tty_over=p0.0001,power_fail=p0.00002}"
   export SYNTHESIS_FAULTS
   echo "verify: fault plane armed: $SYNTHESIS_FAULTS"
 fi
@@ -87,6 +90,12 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
 # retire loop comes from the ctest pass: batch_tx_test replays drop/corrupt/
 # reorder/dup schedules and irq-burst storms across both retire loops.
 (cd "$BUILD_DIR" && ./bench/table13_tx_batch > /dev/null)
+
+# table14 is the crash-consistency gate: 64 seeded power-fail points through
+# random write/fsync schedules — zero fsynced bytes lost, every remount
+# auditor-clean after journal replay — plus the journal's price (journal-on
+# write+fsync throughput >= 0.85x journal-off at batch 16).
+(cd "$BUILD_DIR" && ./bench/table14_crash > /dev/null)
 
 # Every bench JSON the tree produced must parse; a malformed artifact fails
 # the gate rather than silently shipping a broken table.

@@ -35,14 +35,15 @@ Bcache::Bcache(Kernel& kernel, DiskDevice& disk, DiskScheduler& sched,
   if (!IsPow2(cfg_.entries) || !IsPow2(cfg_.block_bytes) ||
       !IsPow2(cfg_.map_slots) || cfg_.map_slots < cfg_.entries ||
       cfg_.block_bytes < 32 || cfg_.block_bytes % sector != 0 ||
-      cfg_.flush_batch == 0) {
+      cfg_.flush_batch == 0 || !(cfg_.flush_period_us > 0)) {
     std::fprintf(stderr,
                  "Bcache: entries/block_bytes/map_slots must be powers of two "
                  "(block_bytes >= 32, a multiple of sector_bytes=%u; "
-                 "map_slots >= entries; flush_batch > 0); got entries=%u "
-                 "block_bytes=%u map_slots=%u flush_batch=%u\n",
+                 "map_slots >= entries; flush_batch > 0; flush_period_us > 0); "
+                 "got entries=%u block_bytes=%u map_slots=%u flush_batch=%u "
+                 "flush_period_us=%g\n",
                  sector, cfg_.entries, cfg_.block_bytes, cfg_.map_slots,
-                 cfg_.flush_batch);
+                 cfg_.flush_batch, cfg_.flush_period_us);
     std::abort();
   }
   spb_ = cfg_.block_bytes / sector;
@@ -145,6 +146,10 @@ void Bcache::ArmFlusher() {
 }
 
 void Bcache::WriteBack(uint32_t idx) {
+  if (journal_ != nullptr) {
+    JournalAndWriteBack({idx});
+    return;
+  }
   entries_[idx].busy = true;
   DiskRequest r;
   r.sector = entries_[idx].tag * spb_;
@@ -179,9 +184,168 @@ void Bcache::WriteBehind(uint32_t idx) {
   sched_.Submit(std::move(r));
 }
 
+void Bcache::SnapshotEntry(uint32_t idx, std::vector<uint8_t>& out) {
+  out.resize(cfg_.block_bytes);
+  kernel_.machine().memory().ReadBytes(DataOf(idx), out.data(), out.size());
+  kernel_.machine().Charge(cfg_.block_bytes / 4, 0, cfg_.block_bytes / 4);
+}
+
+uint32_t Bcache::JournalChunk() const {
+  // A batch must always be able to wait its turn: cap it to a quarter of the
+  // journal region so WaitForSpace can make progress with earlier batches
+  // still in flight (the journal validates this floor at construction).
+  uint32_t quarter = (journal_->sectors() - 1) / 4;
+  uint32_t by_space = quarter > 2 ? (quarter - 2) / spb_ : 1;
+  uint32_t chunk = std::min(journal_->max_entries(), by_space);
+  return chunk == 0 ? 1 : chunk;
+}
+
+void Bcache::WriteBehindHome(uint32_t idx, std::shared_ptr<uint32_t> remaining,
+                             uint64_t seq) {
+  entries_[idx].busy = true;
+  DiskRequest r;
+  r.sector = entries_[idx].tag * spb_;
+  r.count = spb_;
+  r.is_write = true;
+  r.mem = DataOf(idx);
+  // The dirty bit was already cleared when the batch snapshotted this entry,
+  // NOT here: the DMA reads simulated memory at completion time, so a write
+  // racing this flight lands on the platter early but stays dirty and gets
+  // journaled by the next batch. Clearing here instead would swallow that
+  // write's journal record, and crash replay of this batch's older content
+  // would then regress the platter below fsynced bytes.
+  r.done = [this, idx, remaining, seq] {
+    entries_[idx].busy = false;
+    flushes_++;
+    if (--(*remaining) == 0) {
+      journal_->NoteApplied(seq);  // batch applied: log sectors reclaimable
+    }
+  };
+  kernel_.machine().Charge(30, 6, 4);
+  sched_.Submit(std::move(r));
+}
+
+void Bcache::JournalAndWriteBack(const std::vector<uint32_t>& idxs) {
+  uint32_t chunk_max = JournalChunk();
+  size_t at = 0;
+  // Chunks pipeline: write-ahead order binds a batch's home writes to ITS
+  // commit record only, so chunk k+1's journal write rides the queue behind
+  // chunk k's home writes instead of waiting for them. The barrier at the
+  // end is what fsync promises — every home completion has landed.
+  std::vector<std::shared_ptr<uint32_t>> in_flight;
+  sync_flush_active_ = true;
+  while (at < idxs.size()) {
+    // Re-validate just in time: a FlushTick firing while we drove the clock
+    // for an earlier chunk may have taken (or be flushing) later entries.
+    std::vector<uint32_t> chunk;
+    while (at < idxs.size() && chunk.size() < chunk_max) {
+      uint32_t idx = idxs[at++];
+      if (entries_[idx].busy) {
+        DiskScheduler::DriveUntil(kernel_,
+                                  [this, idx] { return !entries_[idx].busy; });
+      }
+      if (entries_[idx].tag != BcacheLayout::kNoTag && DirtyBit(idx)) {
+        chunk.push_back(idx);
+      }
+    }
+    if (chunk.empty()) {
+      continue;
+    }
+    // Claim before waiting for journal space, or a FlushTick firing inside
+    // the wait would journal the same entries a second time.
+    for (uint32_t idx : chunk) {
+      entries_[idx].busy = true;
+    }
+    if (!journal_->WaitForSpace(static_cast<uint32_t>(chunk.size()), 0) ||
+        !journal_->BeginBatch(static_cast<uint32_t>(chunk.size()), 0)) {
+      std::fprintf(stderr,
+                   "Bcache: journal space cannot free for a %zu-block batch — "
+                   "a NoteApplied was lost upstream\n",
+                   chunk.size());
+      std::abort();
+    }
+    std::vector<uint8_t> snap;
+    for (uint32_t idx : chunk) {
+      SnapshotEntry(idx, snap);
+      journal_->AddBlock(entries_[idx].tag, snap.data());
+      // Dirty clears at snapshot time: a write racing the home flight
+      // re-dirties the entry, so its bytes get their own journal record.
+      ClearDirty(idx);
+    }
+    auto remaining = std::make_shared<uint32_t>(static_cast<uint32_t>(chunk.size()));
+    // The commit callback needs the batch's seq, which Commit only returns:
+    // the shared cell is filled before any completion interrupt can fire
+    // (nothing drives the clock in between).
+    auto seqp = std::make_shared<uint64_t>(0);
+    *seqp = journal_->Commit([this, chunk, remaining, seqp] {
+      for (uint32_t idx : chunk) {
+        WriteBehindHome(idx, remaining, *seqp);
+      }
+    });
+    in_flight.push_back(remaining);
+  }
+  DiskScheduler::DriveUntil(kernel_, [&in_flight] {
+    for (const auto& remaining : in_flight) {
+      if (*remaining != 0) {
+        return false;
+      }
+    }
+    return true;
+  });
+  sync_flush_active_ = false;
+}
+
 void Bcache::FlushTick() {
   kernel_.machine().Charge(20 + cfg_.entries / 4, 6, 4);  // dirty scan
   uint32_t budget = cfg_.flush_batch;
+  if (journal_ != nullptr) {
+    // Journaled write-behind: one batch per tick — journal write first, home
+    // writes chained off the commit interrupt. Never waits (interrupt level):
+    // when the log is full the tick is skipped and the alarm retries. It
+    // also stands down while a synchronous flush is draining the cache —
+    // stealing entries mid-fsync only splits its batches into extra journal
+    // commits, each paying a rotation the fsync would have amortized.
+    if (sync_flush_active_) {
+      flusher_armed_ = false;
+      if (dirty_blocks() > 0) {
+        ArmFlusher();
+      }
+      return;
+    }
+    budget = std::min(budget, JournalChunk());
+    std::vector<uint32_t> batch;
+    for (uint32_t i = 0; i < cfg_.entries && batch.size() < budget; i++) {
+      if (entries_[i].tag != BcacheLayout::kNoTag && !entries_[i].busy &&
+          DirtyBit(i)) {
+        batch.push_back(i);
+      }
+    }
+    if (!batch.empty()) {
+      if (journal_->BeginBatch(static_cast<uint32_t>(batch.size()), 0)) {
+        std::vector<uint8_t> snap;
+        for (uint32_t idx : batch) {
+          entries_[idx].busy = true;
+          SnapshotEntry(idx, snap);
+          journal_->AddBlock(entries_[idx].tag, snap.data());
+          ClearDirty(idx);  // racing writes re-dirty and re-journal
+        }
+        auto remaining = std::make_shared<uint32_t>(static_cast<uint32_t>(batch.size()));
+        auto seqp = std::make_shared<uint64_t>(0);
+        *seqp = journal_->Commit([this, batch, remaining, seqp] {
+          for (uint32_t idx : batch) {
+            WriteBehindHome(idx, remaining, *seqp);
+          }
+        });
+      } else {
+        journal_->MaybeCheckpoint();  // free log space for the next tick
+      }
+    }
+    flusher_armed_ = false;
+    if (dirty_blocks() > 0) {
+      ArmFlusher();
+    }
+    return;
+  }
   for (uint32_t i = 0; i < cfg_.entries && budget > 0; i++) {
     if (entries_[i].tag != BcacheLayout::kNoTag && !entries_[i].busy &&
         DirtyBit(i)) {
@@ -364,6 +528,16 @@ void Bcache::IssueReadAhead(uint32_t first, uint32_t count, uint32_t extent_firs
 }
 
 void Bcache::FlushAll() {
+  if (journal_ != nullptr) {
+    std::vector<uint32_t> all;
+    for (uint32_t i = 0; i < cfg_.entries; i++) {
+      if (entries_[i].tag != BcacheLayout::kNoTag) {
+        all.push_back(i);
+      }
+    }
+    JournalAndWriteBack(all);  // waits busy + re-checks dirty per entry
+    return;
+  }
   for (uint32_t i = 0; i < cfg_.entries; i++) {
     if (entries_[i].tag == BcacheLayout::kNoTag) {
       continue;
@@ -378,6 +552,17 @@ void Bcache::FlushAll() {
 }
 
 void Bcache::FlushBlockRange(uint32_t first, uint32_t count) {
+  if (journal_ != nullptr) {
+    std::vector<uint32_t> in_range;
+    for (uint32_t i = 0; i < cfg_.entries; i++) {
+      uint32_t tag = entries_[i].tag;
+      if (tag != BcacheLayout::kNoTag && tag >= first && tag < first + count) {
+        in_range.push_back(i);
+      }
+    }
+    JournalAndWriteBack(in_range);
+    return;
+  }
   for (uint32_t i = 0; i < cfg_.entries; i++) {
     uint32_t tag = entries_[i].tag;
     if (tag == BcacheLayout::kNoTag || tag < first || tag >= first + count) {

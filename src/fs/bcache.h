@@ -27,10 +27,12 @@
 #define SRC_FS_BCACHE_H_
 
 #include <cstdint>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
 #include "src/fs/disk.h"
+#include "src/fs/journal.h"
 #include "src/kernel/kernel.h"
 #include "src/machine/memory.h"
 
@@ -113,6 +115,13 @@ class Bcache {
   // again after pure-hit writes. Idempotent while the flusher is armed.
   void NoteDirty() { ArmFlusher(); }
 
+  // Attaches the intent journal: from here on every flush path (FlushTick,
+  // WriteBack, FlushAll/FlushBlockRange) writes its batch's bytes into the
+  // journal first and submits the home-location writes only from the commit's
+  // completion interrupt — the WAL ordering that makes crashes recoverable.
+  void AttachJournal(Journal* journal) { journal_ = journal; }
+  Journal* journal() { return journal_; }
+
   // Synchronous write-back of every dirty entry (fsync of the world).
   void FlushAll();
   // Synchronous write-back of dirty entries within [first, first+count).
@@ -164,9 +173,28 @@ class Bcache {
   // Returns -1 on failure (kBcacheAlloc fired or nothing evictable).
   int AllocateEntry(bool may_wait);
   // Synchronous write-back of one dirty entry (drives the virtual clock).
+  // Journaled when a journal is attached.
   void WriteBack(uint32_t idx);
-  // Issues the asynchronous write-back of one dirty entry (flusher tick).
+  // Issues the asynchronous write-back of one dirty entry (flusher tick,
+  // journal-less stacks only).
   void WriteBehind(uint32_t idx);
+  // The home-location half of a journaled flush: submitted from the batch
+  // commit's completion interrupt. Decrements *remaining; the last completion
+  // reports the batch applied so its journal sectors can recycle.
+  void WriteBehindHome(uint32_t idx, std::shared_ptr<uint32_t> remaining,
+                       uint64_t seq);
+  // Journals `idxs` as one batch, waits for the commit AND every home write
+  // (fsync semantics). Entries must be dirty and not busy on entry.
+  void JournalAndWriteBack(const std::vector<uint32_t>& idxs);
+  // True while JournalAndWriteBack drives the clock: the flusher tick stands
+  // down rather than fragment the sync path's batches into extra commits
+  // (each journal write pays its own rotation).
+  bool sync_flush_active_ = false;
+  // Snapshots an entry's bytes out of simulated memory for the journal.
+  void SnapshotEntry(uint32_t idx, std::vector<uint8_t>& out);
+  // Largest data-entry count a journal batch may carry (descriptor capacity
+  // and the quarter-region progress bound).
+  uint32_t JournalChunk() const;
   void ArmFlusher();
   // Issues one coalesced read for [first, first+count) into fresh entries.
   void IssueReadAhead(uint32_t first, uint32_t count, uint32_t extent_first,
@@ -175,6 +203,7 @@ class Bcache {
   Kernel& kernel_;
   DiskDevice& disk_;
   DiskScheduler& sched_;
+  Journal* journal_ = nullptr;
   BcacheConfig cfg_;
   uint32_t block_shift_ = 0;
   uint32_t map_slots_ = 0;

@@ -80,7 +80,40 @@ void DiskDevice::StartRequest(DiskRequest request) {
   }
   double done_at = kernel_.NowUs() + latency;
   current_ = std::move(request);
+  // Power-fail visit #1: power drops while this request is on the wire. A
+  // write lands a torn prefix of its sectors; the platter is snapshotted.
+  // The request itself still completes on the live (doomed) kernel so that
+  // waiters terminate — only the snapshot is frozen. After the first fire the
+  // site is no longer visited: a dead machine cannot lose power again.
+  if (!crashed_ && kernel_.faults().ShouldFire(FaultSite::kPowerFail)) {
+    PowerFailNow(&current_);
+  }
   kernel_.interrupts().Raise(done_at, Vector::kDisk, 0);
+}
+
+void DiskDevice::PowerFailNow(const DiskRequest* inflight) {
+  crashed_ = true;
+  crash_image_ = backing_;
+  if (inflight != nullptr && inflight->is_write && inflight->count > 0) {
+    // Sector-granular tear: the controller streams sectors in order, so a
+    // prefix of [0, count] sectors landed, each one atomically. The split is
+    // drawn from the site's own stream (only on a fire), keeping same-seed
+    // replay byte-identical. The landed bytes are read at fail time — what
+    // was on the wire when the lights went out.
+    uint32_t landed =
+        kernel_.faults().DrawU32(FaultSite::kPowerFail) % (inflight->count + 1);
+    size_t off = static_cast<size_t>(inflight->sector) * geom_.sector_bytes;
+    size_t len = static_cast<size_t>(landed) * geom_.sector_bytes;
+    if (len > 0 && off + len <= crash_image_.size()) {
+      if (!inflight->host_src.empty()) {
+        std::memcpy(crash_image_.data() + off, inflight->host_src.data(), len);
+      } else if (inflight->mem != 0) {
+        kernel_.machine().memory().ReadBytes(inflight->mem,
+                                             crash_image_.data() + off, len);
+      }
+    }
+  }
+  kernel_.NotePowerFail();
 }
 
 void DiskDevice::OnCompletionInterrupt() {
@@ -93,7 +126,12 @@ void DiskDevice::OnCompletionInterrupt() {
   size_t len = static_cast<size_t>(r.count) * geom_.sector_bytes;
   assert(off + len <= backing_.size());
   Memory& mem = kernel_.machine().memory();
-  if (r.mem != 0) {
+  if (r.is_write && !r.host_src.empty()) {
+    // Controller-buffer write: bytes were latched host-side at submit.
+    assert(r.host_src.size() == len);
+    std::memcpy(backing_.data() + off, r.host_src.data(), len);
+    kernel_.machine().Charge(kDmaCyclesPerWord * (len / 4), 0, len / 4);
+  } else if (r.mem != 0) {
     if (r.is_write) {
       mem.ReadBytes(r.mem, backing_.data() + off, len);
     } else {
@@ -103,6 +141,11 @@ void DiskDevice::OnCompletionInterrupt() {
   }
   head_ = r.sector + r.count;
   completed_++;
+  // Power-fail visit #2: power drops exactly on the request boundary — the
+  // DMA has fully landed, so the snapshot is clean (no tear).
+  if (!crashed_ && kernel_.faults().ShouldFire(FaultSite::kPowerFail)) {
+    PowerFailNow(nullptr);
+  }
   if (r.done) {
     r.done();
   }

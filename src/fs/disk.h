@@ -37,6 +37,11 @@ struct DiskRequest {
   uint32_t count = 1;           // sectors
   bool is_write = false;
   Addr mem = 0;                 // simulated-memory address (DMA target/source)
+  // Controller-buffer write: when non-empty (writes only), the platter bytes
+  // come from this host-side buffer instead of a simulated-memory DMA. The
+  // journal stages its records here so a batch's bytes are latched at submit
+  // time and survive staging reuse. Must be count * sector_bytes long.
+  std::vector<uint8_t> host_src;
   std::function<void()> done;   // runs at completion-interrupt time
 };
 
@@ -72,7 +77,21 @@ class DiskDevice {
   uint64_t retries() const { return retries_; }
   uint64_t late_completions() const { return late_; }
 
+  // --- Power failure (FaultSite::kPowerFail) --------------------------------
+  // The site is visited once per request start (power drops mid-transfer: a
+  // prefix of the request's sectors landed, each sector atomically, the split
+  // drawn from the site's own stream) and once per completion (power drops on
+  // the request boundary: everything landed). On a fire the device snapshots
+  // the platter exactly as the completion interrupts have landed it, then
+  // flags the kernel; the doomed kernel keeps coasting — waiters terminate —
+  // but the snapshot is frozen and the crash harness rebuilds on it.
+  bool crashed() const { return crashed_; }
+  // The surviving platter image. Valid only after crashed().
+  const std::vector<uint8_t>& crash_image() const { return crash_image_; }
+
  private:
+  // Snapshots the platter; `inflight` non-null = tear that write mid-transfer.
+  void PowerFailNow(const DiskRequest* inflight);
   Kernel& kernel_;
   DiskGeometry geom_;
   std::vector<uint8_t> backing_;
@@ -83,6 +102,8 @@ class DiskDevice {
   uint64_t retries_ = 0;
   uint64_t late_ = 0;
   BlockId irq_handler_ = kInvalidBlock;
+  bool crashed_ = false;
+  std::vector<uint8_t> crash_image_;
 };
 
 // Shortest-seek-first elevator over the request queue. This is the pipeline

@@ -16,7 +16,9 @@
 
 #include "src/fs/bcache.h"
 #include "src/fs/disk.h"
+#include "src/fs/journal.h"
 #include "src/fs/name_table.h"
+#include "src/io/gauge.h"
 #include "src/kernel/kernel.h"
 
 namespace synthesis {
@@ -24,6 +26,19 @@ namespace synthesis {
 class FileSystem {
  public:
   FileSystem(Kernel& kernel, DiskDevice& disk, DiskScheduler& sched);
+
+  // --- On-disk layout --------------------------------------------------------
+  // sector 0: superblock. sectors 1..32: inode table (128-byte records, four
+  // per 512-byte sector). Then the journal region when one is attached, then
+  // data. Disks whose sectors cannot hold an inode record run metadata-less
+  // (legacy behavior: nothing survives a reboot).
+  static constexpr uint32_t kSuperSector = 0;
+  static constexpr uint32_t kInodeStart = 1;
+  static constexpr uint32_t kInodeSectors = 32;
+  static constexpr uint32_t kInodeBytes = 128;
+  static constexpr uint32_t kMaxNameBytes = 96;
+  // Where the journal region goes (and where data starts without one).
+  static constexpr uint32_t kJournalStart = kInodeStart + kInodeSectors;
 
   // A resident file extent. `size_addr` holds the live file size (a word in
   // simulated memory) so synthesized read code can bound-check at run time
@@ -61,6 +76,42 @@ class FileSystem {
   void AttachBcache(Bcache* bcache) { bcache_ = bcache; }
   Bcache* bcache() { return bcache_; }
 
+  // --- Journal / crash recovery ----------------------------------------------
+  // Attaches the intent journal (its region must sit at kJournalStart) and
+  // moves the data area past it. Must happen before any file exists — extents
+  // are placed relative to the journal. `format` runs mkfs on the region;
+  // pass false when the platter carries a previous life's image (Mount).
+  void AttachJournal(Journal* journal, bool format);
+  Journal* journal() { return journal_; }
+
+  // Power-on over an existing platter image: reads the superblock and inode
+  // table, replays the journal's committed-but-unapplied batches, discards
+  // torn tails, and audits the result. Must be called before any CreateFile
+  // on this instance. `ok == false` means the superblock itself was
+  // unreadable; `audit_clean == false` is a hard failure in tests.
+  struct MountReport {
+    bool ok = false;
+    bool audit_clean = false;
+    uint32_t files = 0;
+    uint32_t replayed_batches = 0;
+    uint32_t replayed_records = 0;
+    uint32_t torn_tails = 0;
+    double replay_us = 0;
+    std::string error;
+  };
+  MountReport Mount();
+
+  // The fsck-style auditor: extent geometry inside the data area, no sector
+  // claimed twice, sizes within capacity, every inode reachable through the
+  // name table under its recorded name. Returns true when clean; *error
+  // describes the first violation otherwise.
+  bool Audit(std::string* error);
+
+  // Mirrored into a 64-bit gauge from a sim-memory word (wrap-safe deltas),
+  // like the journal's counters.
+  const Gauge& recovery_mounts_gauge() const { return recovery_mounts_; }
+  void MirrorCounters();
+
   // Per-open state for a block-cached file. `first_block`/`blocks` describe
   // the extent in cache-block units; a zero size_addr means the extent cannot
   // ride the cache (created before attach, unaligned) and the caller must
@@ -95,18 +146,33 @@ class FileSystem {
     uint32_t capacity = 0;   // bytes reserved
     Addr cached_base = 0;    // 0 = not resident
     Addr size_addr = 0;
+    std::string name;        // for inode rewrites
   };
+
+  uint32_t data_start() const;
+  // mkfs-style direct platter writes (atomic: metadata sectors are never
+  // torn — only DMA in flight at the power-fail instant is).
+  void WriteSuperblock();
+  void WriteInode(uint32_t id);
+  // Persists the live size into the inode after a flush/fsync.
+  void PersistSize(uint32_t id);
 
   Kernel& kernel_;
   DiskDevice& disk_;
   DiskScheduler& sched_;
   Bcache* bcache_ = nullptr;
+  Journal* journal_ = nullptr;
   NameTable names_;
   std::unordered_map<uint32_t, FileMeta> files_;
   uint32_t next_id_ = 1;
   uint32_t next_sector_ = 1;
+  bool persist_ = false;   // sector size holds inode records
+  bool mounted_ = false;
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
+  Addr mounts_word_ = 0;
+  uint32_t mounts_seen_ = 0;
+  Gauge recovery_mounts_;
 };
 
 }  // namespace synthesis

@@ -1,0 +1,86 @@
+// The crash harness: power-fail a whole kernel stack, reboot on the platter.
+//
+// FaultSite::kPowerFail freezes the disk image exactly as the completion
+// interrupts have landed it (in-flight DMA torn at sector granularity) and
+// flags the kernel; everything after that instant is the doomed machine
+// coasting — its volatile state no longer matters. The harness owns the
+// teardown/reconstruction loop the tests and the crash bench share: build a
+// full stack (kernel, disk, scheduler, file system, buffer cache, journal,
+// I/O system) over a fresh or surviving platter, detect the crash, discard
+// the kernel, and power a new stack on the frozen image, where
+// FileSystem::Mount replays the journal and audits the result.
+#ifndef SRC_IO_CRASH_HARNESS_H_
+#define SRC_IO_CRASH_HARNESS_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/fs/bcache.h"
+#include "src/fs/disk.h"
+#include "src/fs/file_system.h"
+#include "src/fs/journal.h"
+#include "src/io/io_system.h"
+#include "src/kernel/kernel.h"
+
+namespace synthesis {
+
+struct CrashStackConfig {
+  Kernel::Config kernel;
+  DiskGeometry disk;
+  BcacheConfig bcache;
+  JournalConfig journal;
+  // false: no journal attached (the write-behind cache runs bare — the
+  // bench's journal-off baseline; crashes then lose acknowledged writes).
+  bool journaled = true;
+};
+
+// One powered-on life of the machine. Construction order is the boot order:
+// kernel, raw disk, scheduler, file system, buffer cache, journal, I/O.
+struct CrashStack {
+  // mkfs boot: formats the journal region and writes a fresh superblock.
+  explicit CrashStack(const CrashStackConfig& cfg);
+  // Power-on boot over a surviving platter image: copies the image onto the
+  // platter, attaches everything, and mounts (journal replay + audit). The
+  // verdict lands in `mount`.
+  CrashStack(const CrashStackConfig& cfg, const std::vector<uint8_t>& image);
+
+  Kernel kernel;
+  DiskDevice disk;
+  DiskScheduler sched;
+  FileSystem fs;
+  Bcache bcache;
+  Journal journal;
+  IoSystem io;
+  FileSystem::MountReport mount;  // power-on boots only
+
+  bool Crashed() const { return disk.crashed(); }
+
+ private:
+  void Attach(const CrashStackConfig& cfg, bool format);
+};
+
+// The reboot loop: drive the stack, and when the power-fail site fires,
+// Reboot() discards the doomed kernel and reconstructs on the frozen image.
+class CrashHarness {
+ public:
+  explicit CrashHarness(CrashStackConfig cfg);
+
+  CrashStack& stack() { return *stack_; }
+  bool Crashed() const { return stack_->Crashed(); }
+
+  // Powers a fresh stack on the surviving platter image (the frozen crash
+  // snapshot after a power failure, the live platter for a clean reboot) and
+  // returns the new life's mount report. The old kernel is destroyed.
+  FileSystem::MountReport Reboot();
+
+  uint64_t reboots() const { return reboots_; }
+
+ private:
+  CrashStackConfig cfg_;
+  std::unique_ptr<CrashStack> stack_;
+  uint64_t reboots_ = 0;
+};
+
+}  // namespace synthesis
+
+#endif  // SRC_IO_CRASH_HARNESS_H_

@@ -83,6 +83,10 @@ bool FaultPlane::ShouldFire(FaultSite site) {
   return fire;
 }
 
+uint32_t FaultPlane::DrawU32(FaultSite site) {
+  return sites_[static_cast<size_t>(site)].rng();
+}
+
 uint64_t FaultPlane::visits(FaultSite site) const {
   return sites_[static_cast<size_t>(site)].visits;
 }
@@ -118,6 +122,7 @@ const char* FaultPlane::SiteName(FaultSite site) {
     case FaultSite::kDiskLost: return "disk_lost";
     case FaultSite::kDiskLate: return "disk_late";
     case FaultSite::kTtyOverrun: return "tty_over";
+    case FaultSite::kPowerFail: return "power_fail";
     case FaultSite::kNumSites: break;
   }
   return "?";

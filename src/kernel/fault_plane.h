@@ -48,6 +48,7 @@ enum class FaultSite : uint32_t {
   kDiskLost,       // disk: request lost; driver timeout + retry completes late
   kDiskLate,       // disk: completion interrupt kDiskLateMult times late
   kTtyOverrun,     // tty: UART FIFO overrun drops the character pre-interrupt
+  kPowerFail,      // disk: power fails NOW; platter snapshot, in-flight DMA torn
   kNumSites,
 };
 
@@ -87,6 +88,12 @@ class FaultPlane {
   uint64_t visits(FaultSite site) const;
   uint64_t fires(FaultSite site) const;
   uint64_t total_fires() const { return log_.size(); }
+
+  // An extra draw from the site's own stream, for faults whose *shape* is
+  // random as well as their timing (the power-fail tear point). Advances the
+  // stream, so callers draw only on a fire — then the sequence stays a pure
+  // function of (seed, trigger, visit count) and same-seed replay holds.
+  uint32_t DrawU32(FaultSite site);
 
   struct LogEntry {
     FaultSite site;

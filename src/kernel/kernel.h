@@ -99,6 +99,15 @@ class Kernel {
   // re-synthesis is worth attempting (the stream layer's sweep).
   uint64_t installs_refused() const { return installs_refused_; }
 
+  // --- Power failure (FaultSite::kPowerFail) ---------------------------------
+  // Set once by the device that observed the injected power failure (the disk,
+  // which snapshots its platter at that instant). Everything after this point
+  // is the doomed kernel coasting to a halt: volatile state no longer matters,
+  // and the crash harness stops driving the workload, discards this Kernel,
+  // and reconstructs a fresh one on the surviving platter image.
+  void NotePowerFail() { power_failed_ = true; }
+  bool power_failed() const { return power_failed_; }
+
   // Registers a host-serviced trap and returns its vector number. Synthesized
   // code reaches host logic (device wakeups, emulation) through these.
   int RegisterHostTrap(std::function<TrapAction(Machine&)> fn);
@@ -234,6 +243,7 @@ class Kernel {
   // Blocks awaiting reclamation (deferred until kexec_ is between runs).
   std::vector<BlockId> retired_blocks_;
   uint64_t installs_refused_ = 0;
+  bool power_failed_ = false;
 
   uint64_t context_switches_ = 0;
   uint64_t interrupts_dispatched_ = 0;

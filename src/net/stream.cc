@@ -531,6 +531,7 @@ ConnId StreamLayer::NewConn(uint16_t local_port, uint16_t peer_port,
   c.cwnd = cfg.window_segments;
   c.rto_us = cfg.rto_base_us;
   c.last_activity_ticks = TimerTicks(kernel_.NowUs());
+  ScheduleProbe(c);
   SetState(c, state);
   // A connection with a known peer can pin to a NIC chosen from the
   // (local, peer) pair; listeners hash, as does everything once the pool's
@@ -898,19 +899,37 @@ void StreamLayer::OnTimer(ConnId id) {
 void StreamLayer::MarkActivity(Conn& c) {
   c.last_activity_ticks = TimerTicks(kernel_.NowUs());
   c.probes_sent = 0;
+  ScheduleProbe(c);
+}
+
+void StreamLayer::ScheduleProbe(Conn& c) {
+  if (c.cfg.keepalive_idle_us <= 0) {
+    return;
+  }
+  c.next_probe_ticks =
+      c.last_activity_ticks +
+      TimerTicks(c.cfg.keepalive_idle_us) * std::max(1u, c.idle_backoff);
 }
 
 bool StreamLayer::NeedsSweep() const { return !sweep_watch_.empty(); }
 
 double StreamLayer::SweepPeriodUs() const {
+  // The alarm serves whichever per-connection probe clock expires first. A
+  // deadline already due (a probe the TX ring refused) contributes its own
+  // interval — the retry cadence — never zero, so a congested ring cannot
+  // spin the alarm.
+  const uint64_t now = TimerTicks(kernel_.NowUs());
   double period = 0;
   for (ConnId id : sweep_watch_) {
     const Conn* c = Get(id);
     if (c == nullptr || c->cfg.keepalive_idle_us <= 0) {
       continue;
     }
-    if (period == 0 || c->cfg.keepalive_interval_us < period) {
-      period = c->cfg.keepalive_interval_us;
+    const double due = c->next_probe_ticks > now
+                           ? static_cast<double>(c->next_probe_ticks - now)
+                           : c->cfg.keepalive_interval_us;
+    if (period == 0 || due < period) {
+      period = due;
     }
   }
   return period > 0 ? period : kResynthSweepUs;
@@ -1009,14 +1028,13 @@ void StreamLayer::SweepTick() {
     if (c.cfg.keepalive_idle_us <= 0 || !c.unacked.empty() || frozen) {
       continue;
     }
-    // Healthy idle peers answer every probe round; the answered rounds double
-    // the effective idle period (idle_backoff, capped by the config) so a
-    // long-idle connection is probed geometrically less often. Real traffic
-    // and unanswered probes both reset/bypass the backoff (OnDeliver).
-    const uint64_t idle_ticks =
-        TimerTicks(c.cfg.keepalive_idle_us) * std::max(1u, c.idle_backoff);
-    if (now - c.last_activity_ticks < idle_ticks) {
-      c.probes_sent = 0;
+    // Each connection counts down on its own probe clock: activity pushed
+    // the deadline out by idle * backoff (answered rounds double the backoff,
+    // capped by the config, so long-idle healthy peers are probed
+    // geometrically less often), and a sent probe pushes it by the
+    // connection's own interval. A tick only touches connections that are
+    // actually due — a chatty neighbor's cadence never probes anyone else.
+    if (now < c.next_probe_ticks) {
       continue;
     }
     if (c.probes_sent >= c.cfg.keepalive_probes) {
@@ -1064,10 +1082,16 @@ void StreamLayer::SendProbe(Conn& c) {
   if (!TransmitSeg(c, probe)) {
     // Ring full: the probe never left, so it must not count toward the reap
     // verdict — our own TX congestion reading as peer death would be the
-    // shedding-freeze bug all over again. The next sweep retries.
+    // shedding-freeze bug all over again. The deadline stays due, so the
+    // next sweep retries the moment the ring drains.
     return;
   }
   c.probes_sent++;
+  // The unanswered-round countdown runs on this connection's own interval:
+  // the next probe (or the reap verdict) comes one interval from now, not
+  // one sweep of whoever else is armed.
+  c.next_probe_ticks =
+      TimerTicks(kernel_.NowUs() + c.cfg.keepalive_interval_us);
   keepalive_probe_gauge_.Count();
 }
 
@@ -1101,6 +1125,7 @@ void StreamLayer::OnDeliver(ConnId id) {
   } else {
     c->idle_backoff = 1;  // real traffic: back to the configured cadence
   }
+  ScheduleProbe(*c);  // the deadline tracks the (possibly new) backoff
   if (ev & CcbLayout::kEvCtrl) {
     HandleCtrl(*c);
     c = Get(id);  // HandleCtrl may fail/erase state; re-validate

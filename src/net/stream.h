@@ -327,6 +327,12 @@ class StreamLayer {
     uint64_t last_activity_ticks = 0;  // last delivered frame (reaper clock)
     uint32_t probes_sent = 0;      // unanswered keepalive probes
     uint32_t idle_backoff = 1;     // answered-probe idle multiplier (capped)
+    // The per-connection probe clock: the tick at which this CCB next wants
+    // a keepalive probe. Activity pushes it out by idle * backoff; a sent
+    // probe by the connection's own interval — so each connection counts
+    // down on its own clock and a chatty neighbor's tight cadence never
+    // drives anyone else's probe or reap rate.
+    uint64_t next_probe_ticks = 0;
     // TX-ring-full deferrals, replayed from the drain hook: a pure ACK owed
     // (ack_deferred) and/or in-flight segments whose transmit was cut short
     // (wnd_deferred — the segments themselves sit on unacked/pending).
@@ -375,6 +381,9 @@ class StreamLayer {
   void SweepTick();
   void SendProbe(Conn& c);
   void MarkActivity(Conn& c);
+  // Recomputes the connection's next-probe deadline from its last activity
+  // and current idle backoff.
+  void ScheduleProbe(Conn& c);
   void UpdateSweepWatch(Conn& c);
 
   Kernel& kernel_;

@@ -58,6 +58,21 @@ void RunUntilUs(Kernel& k, double t) {
   }
 }
 
+// Advances the virtual clock to exactly `t`, firing only the interrupts due
+// by then. Unlike RunUntilUs this never overshoots into a later alarm — which
+// matters for timeline-sensitive tests now that keepalive sweeps ride
+// per-connection probe deadlines and the next alarm on a quiet network can be
+// tens of milliseconds out.
+void ParkAtUs(Kernel& k, double t) {
+  while (!k.interrupts().Empty() && k.interrupts().NextTime() <= t) {
+    k.machine().AdvanceToMicros(k.interrupts().NextTime());
+    while (auto irq = k.interrupts().PopDue(k.NowUs())) {
+      k.DispatchInterrupt(*irq);
+    }
+  }
+  k.machine().AdvanceToMicros(t);
+}
+
 struct TxFaults {
   double drop = 0;
   double corrupt = 0;
@@ -541,8 +556,11 @@ TEST(BatchTxTest, BlockedProbesDoNotCountTowardReap) {
   ASSERT_NE(cli, kBadConn);
   // SYN lands at 50ms, SYN-ACK at 100ms, the final ACK at 150ms; by 152ms
   // both sides are established, the ring is empty, and neither side has been
-  // idle long enough to probe yet (client expires ~154ms, server ~204ms).
-  RunUntilUs(k, 152'000);
+  // idle long enough to probe yet (client expires ~154.7ms, server ~204ms).
+  // Park — don't RunUntilUs — so the clock cannot coast into the client's
+  // probe deadline before the ring is stuffed: with per-connection probe
+  // clocks that deadline is the only alarm pending on this quiet network.
+  ParkAtUs(k, 152'000);
   ASSERT_EQ(st.StateOf(srv), CcbLayout::kEstablished);
   ASSERT_EQ(st.StateOf(cli), CcbLayout::kEstablished);
   ASSERT_EQ(st.keepalive_probe_gauge().events(), 0u);
@@ -555,11 +573,11 @@ TEST(BatchTxTest, BlockedProbesDoNotCountTowardReap) {
   EXPECT_EQ(stuffed, 8) << "the ring was not empty at the stuff point";
   EXPECT_FALSE(pool.Transmit(9999, 1, junk, 4));
 
-  // The client's idle expires at ~154ms; the stuffers pin the ring until
+  // The client's idle expires at ~154.7ms; the stuffers pin the ring until
   // ~202ms. Sweeps in between — the alarm-driven ones plus six forced here —
   // attempt far more probes than the 3-probe reap budget, and every one
   // fails to send.
-  RunUntilUs(k, 158'000);
+  ParkAtUs(k, 158'000);
   for (int i = 0; i < 6; i++) {
     st.SweepNowForTest();
   }
@@ -571,7 +589,7 @@ TEST(BatchTxTest, BlockedProbesDoNotCountTowardReap) {
   EXPECT_EQ(st.StateOf(cli), CcbLayout::kEstablished);
 
   // The stuffers retire at ~202ms; the very next sweep's probe goes out.
-  RunUntilUs(k, 202'500);
+  ParkAtUs(k, 202'500);
   st.SweepNowForTest();
   EXPECT_GT(st.keepalive_probe_gauge().events(), 0u)
       << "probing must resume the moment the ring drains";
@@ -665,6 +683,82 @@ TEST(BatchTxTest, DeadPeerStillReapedPromptlyWithBackoffEnabled) {
   EXPECT_GE(st.reaped_gauge().events(), 1u)
       << "unanswered probes must still reap at full cadence under backoff";
   EXPECT_EQ(st.StateOf(srv), CcbLayout::kFailed);
+}
+
+TEST(BatchTxTest, ChattyNeighborDoesNotAccelerateQuietConnsReapClock) {
+  // Two pairs share one sweeper. Pair A probes on a tight 2ms idle / 500us
+  // interval; pair B is quiet (30ms idle, 10ms interval). When B's peer dies,
+  // B's three-probe budget must burn down on B's own clock — one probe per
+  // 10ms — even though A's cadence offers the sweeper a wakeup every few
+  // hundred microseconds. A shared-cadence sweeper would retry B's unanswered
+  // probes at A's rate and reap B ~25ms early.
+  Kernel k;
+  IoSystem io(k, nullptr);
+  NicPoolConfig pc;
+  pc.initial_nics = 1;
+  NicPool pool(k, pc);
+  NicDevice& nic = pool.nic(0);
+  StreamLayer st(k, io, pool);
+  StreamConfig chatty;
+  chatty.keepalive_idle_us = 2000;
+  chatty.keepalive_interval_us = 500;
+  chatty.keepalive_probes = 3;
+  chatty.keepalive_backoff_max = 1;
+  StreamConfig quiet;
+  quiet.keepalive_idle_us = 30'000;
+  quiet.keepalive_interval_us = 10'000;
+  quiet.keepalive_probes = 3;
+  quiet.keepalive_backoff_max = 1;
+  ConnId asrv = st.Listen(80, chatty);
+  ConnId acli = st.Connect(80, chatty);
+  ConnId bsrv = st.Listen(81, quiet);
+  ConnId bcli = st.Connect(81, quiet);
+  ASSERT_NE(asrv, kBadConn);
+  ASSERT_NE(acli, kBadConn);
+  ASSERT_NE(bsrv, kBadConn);
+  ASSERT_NE(bcli, kBadConn);
+  RunUntilUs(k, 20'000);
+  ASSERT_EQ(st.StateOf(asrv), CcbLayout::kEstablished);
+  ASSERT_EQ(st.StateOf(acli), CcbLayout::kEstablished);
+  ASSERT_EQ(st.StateOf(bsrv), CcbLayout::kEstablished);
+  ASSERT_EQ(st.StateOf(bcli), CcbLayout::kEstablished);
+
+  // Kill B's client silently; its server now faces a dead peer while A's
+  // answered probe rounds keep the sweeper waking every few hundred us.
+  std::vector<uint8_t> seg(StreamSeg::kHdrBytes);
+  uint32_t seq = 1, ack = 1;
+  uint32_t flags = StreamSeg::kFlagRst | StreamSeg::kFlagAck;
+  std::memcpy(seg.data() + StreamSeg::kSeq, &seq, 4);
+  std::memcpy(seg.data() + StreamSeg::kAck, &ack, 4);
+  std::memcpy(seg.data() + StreamSeg::kFlags, &flags, 4);
+  uint32_t n = static_cast<uint32_t>(seg.size());
+  nic.InjectRaw(st.PortOf(bcli), 81, seg.data(), n,
+                FrameChecksum(st.PortOf(bcli), 81, seg.data(), n), n);
+  // A bounded-time advance, not k.Run(quanta): on this half-idle network a
+  // quantum can coast from one sparse probe alarm to the next, and a couple
+  // thousand of them would play the whole reap timeline out inside this call.
+  RunUntilUs(k, k.NowUs() + 1'000);
+  ASSERT_EQ(st.StateOf(bcli), CcbLayout::kFailed);
+  const uint64_t reaped0 = st.reaped_gauge().events();
+
+  // B's server last heard its peer during the handshake (~1ms), so its idle
+  // expires ~31ms and probes go out at ~31/41/51ms. At 38ms exactly one
+  // unanswered probe exists — far from the three-probe verdict. The old
+  // shared-cadence sweeper fired B's retries at A's 500us rate and had
+  // already reaped B by ~33ms.
+  RunUntilUs(k, 38'000);
+  EXPECT_EQ(st.StateOf(bsrv), CcbLayout::kEstablished)
+      << "a chatty neighbor's cadence must not burn this conn's probe budget";
+  EXPECT_EQ(st.reaped_gauge().events(), reaped0);
+
+  // On its own 10ms interval the verdict lands ~61ms; the dead peer is still
+  // reaped, just not early.
+  RunUntilUs(k, 95'000);
+  EXPECT_EQ(st.StateOf(bsrv), CcbLayout::kFailed)
+      << "per-connection clocks must not stop dead peers from being reaped";
+  EXPECT_GE(st.reaped_gauge().events(), reaped0 + 1);
+  EXPECT_EQ(st.StateOf(asrv), CcbLayout::kEstablished);
+  EXPECT_EQ(st.StateOf(acli), CcbLayout::kEstablished);
 }
 
 TEST(BatchTxTest, EmulatorSendvGathersIovecsIntoOneStream) {

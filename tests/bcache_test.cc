@@ -263,7 +263,7 @@ TEST(BcacheTest, EvictionKeepsOccupancyExactUnderChurn) {
       // Occupancy exactness: the gauge equals a from-scratch count of
       // resident tags and never exceeds the fixed entry pool.
       uint32_t counted = 0;
-      for (uint32_t b = 0; b < 64; ++b) {
+      for (uint32_t b = 0; b < 256; ++b) {
         counted += s.bc.Resident(b) ? 1 : 0;
       }
       ASSERT_EQ(s.bc.resident_blocks(), counted);

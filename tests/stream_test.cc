@@ -34,6 +34,28 @@ std::string Pattern(uint32_t n) {
   return s;
 }
 
+// Runs until the virtual clock reaches `t` (or stops advancing: a fully idle
+// kernel makes no progress and callers assert on outcomes, not on reaching
+// `t`). Keepalive scenarios must bound their runs by TIME, not quanta: with
+// per-connection probe clocks every sweep alarm does real work, so a raw
+// k.Run(quanta) soak coasts the clock for minutes of virtual time and racks
+// up thousands of probe transmissions — enough draws that even a
+// whisper-probability fault spec eventually eats a whole probe-verdict
+// window.
+void RunUntilUs(Kernel& k, double t) {
+  double last = -1.0;
+  int stagnant = 0;
+  while (k.NowUs() < t && stagnant < 1000) {
+    if (k.NowUs() == last) {
+      stagnant++;
+    } else {
+      stagnant = 0;
+      last = k.NowUs();
+    }
+    k.Run(1);
+  }
+}
+
 // Sends `total` pattern bytes then closes. Parks when the send buffer fills.
 class StreamSender : public UserProgram {
  public:
@@ -914,13 +936,15 @@ TEST_F(StreamTest, KeepaliveProbesKeepIdleConnectionAlive) {
   ConnId cli = st_.Connect(80, ka);
   ASSERT_NE(srv, kBadConn);
   ASSERT_NE(cli, kBadConn);
-  k_.Run(5'000);
+  RunUntilUs(k_, 20'000);
   ASSERT_EQ(st_.StateOf(srv), CcbLayout::kEstablished);
   ASSERT_EQ(st_.StateOf(cli), CcbLayout::kEstablished);
-  // A long idle stretch: probes go out from already-acked sequence space, the
-  // peer re-acks without consuming a byte, and the answers keep resetting the
-  // probe budget — a live peer is never reaped, no matter how long it idles.
-  k_.Run(20'000);
+  // A long idle stretch (200ms against a 5ms idle period, ~7 backoff-spaced
+  // probe rounds per side): probes go out from already-acked sequence space,
+  // the peer re-acks without consuming a byte, and the answers keep resetting
+  // the probe budget — a live peer is never reaped, no matter how long it
+  // idles.
+  RunUntilUs(k_, 200'000);
   EXPECT_GT(st_.keepalive_probe_gauge().events(), 3u);
   EXPECT_EQ(st_.reaped_gauge().events(), 0u)
       << "a live peer must never be falsely reaped";
@@ -931,10 +955,10 @@ TEST_F(StreamTest, KeepaliveProbesKeepIdleConnectionAlive) {
   k_.machine().memory().WriteBytes(buf, "still here", 10);
   ASSERT_EQ(st_.Send(cli, buf, 10), 10);
   ASSERT_TRUE(st_.Close(cli));
-  k_.Run(50'000);
+  RunUntilUs(k_, k_.NowUs() + 100'000);
   EXPECT_EQ(DrainAll(srv), "still here");
   ASSERT_TRUE(st_.Close(srv));
-  k_.Run(50'000);
+  RunUntilUs(k_, k_.NowUs() + 100'000);
   EXPECT_EQ(st_.StateOf(cli), CcbLayout::kDone);
   EXPECT_EQ(st_.StateOf(srv), CcbLayout::kDone);
 }
@@ -1025,7 +1049,7 @@ ReaperFaultOutcome RunReaperFaultScenario() {
   EXPECT_NE(live_cli, kBadConn);
   EXPECT_NE(dead_srv, kBadConn);
   EXPECT_NE(dead_cli, kBadConn);
-  k.Run(5'000);
+  RunUntilUs(k, 20'000);
   EXPECT_EQ(st.StateOf(live_cli), CcbLayout::kEstablished);
   EXPECT_EQ(st.StateOf(dead_cli), CcbLayout::kEstablished);
 
@@ -1037,10 +1061,22 @@ ReaperFaultOutcome RunReaperFaultScenario() {
   std::memcpy(rst.data() + StreamSeg::kFlags, &flags, 4);
   uint32_t n = static_cast<uint32_t>(rst.size());
   uint16_t dead_port = st.PortOf(dead_cli);
-  pool.InjectRaw(dead_port, 81, rst.data(), n,
-                 FrameChecksum(dead_port, 81, rst.data(), n), n);
-  k.Run(100'000);
+  // A real closed peer answers every stray segment with a fresh RST, so the
+  // kill is re-offered each round — wire_drop is armed and may eat any single
+  // copy. Deterministic: the retry count is part of the replayed schedule.
+  for (int i = 0; i < 50 && st.StateOf(dead_cli) != CcbLayout::kFailed; i++) {
+    pool.InjectRaw(dead_port, 81, rst.data(), n,
+                   FrameChecksum(dead_port, 81, rst.data(), n), n);
+    RunUntilUs(k, k.NowUs() + 2'000);
+  }
   EXPECT_EQ(st.StateOf(dead_cli), CcbLayout::kFailed);
+  // The dead server now probes an unbound port: three unanswered rounds reap
+  // it. Dropped and 4x-late alarms stretch the timeline, never the verdict —
+  // the loop is bounded by time, not quanta, so the live pair's fault-draw
+  // exposure stays what this scenario intends (~hundreds of ms, not minutes).
+  for (int i = 0; i < 200 && st.StateOf(dead_srv) != CcbLayout::kFailed; i++) {
+    RunUntilUs(k, k.NowUs() + 2'000);
+  }
   EXPECT_EQ(st.StateOf(dead_srv), CcbLayout::kFailed)
       << "the dead peer must be reaped despite dropped and late alarms";
   EXPECT_EQ(st.StateOf(live_srv), CcbLayout::kEstablished)
