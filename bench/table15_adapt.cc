@@ -1,0 +1,297 @@
+// Table 15: adaptive resynthesis — the monitor-driven tier ladder, priced
+// and self-enforced.
+//
+// Every synthesized artifact in the kernel now lives behind a Specializer
+// handle (emit callback + generic fallback + heat fed by the trace monitor).
+// This bench gates the four claims the redesign makes:
+//
+//   P1  promotion pays: drive heat through the sweep until the established
+//       stream processor reaches the hot tier (word-wide ring copy), then
+//       measure the per-segment receive path. Hot must cost <= 0.8x the
+//       pre-adaptation (specialized) instructions per delivered segment.
+//   P2  demotion is exact: promote a set of connections, demote them back to
+//       the shared generic walk, drain deferred retirement — code-store
+//       bytes and live blocks return to the pre-promotion baseline exactly.
+//   P3  the byte cap holds under churn: with a cap set, keep re-promoting
+//       the set so cumulative emitted code exceeds 4x the cap; after every
+//       sweep + drain the store sits at or under the cap (clock eviction
+//       demotes victims to generic and releases their blocks).
+//   P4  refusal falls back, never wedges: with every CodeStore install
+//       refused (injected kCodeInstall fault), promotions fail soft — the
+//       current block keeps running and delivering — and the first sweep
+//       after disarm completes the promotion for real.
+//
+// Every claim is self-enforced: a regression exits nonzero.
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/io/io_system.h"
+#include "src/kernel/kernel.h"
+#include "src/machine/machine.h"
+#include "src/net/frame.h"
+#include "src/net/nic_device.h"
+#include "src/net/nic_pool.h"
+#include "src/net/stream.h"
+#include "src/synth/specializer.h"
+
+namespace synthesis {
+namespace {
+
+constexpr uint32_t kConns = 8;           // connection set for P2/P3
+constexpr uint16_t kPortBase = 1000;     // server ports kPortBase + i
+constexpr uint32_t kSegBytes = 256;      // measured segment payload
+
+[[noreturn]] void Die(const char* fmt, ...) {
+  va_list ap;
+  va_start(ap, fmt);
+  std::vfprintf(stderr, fmt, ap);
+  va_end(ap);
+  std::fputc('\n', stderr);
+  std::exit(1);
+}
+
+// Establishes a server-side connection by injecting the SYN and completing
+// ack directly on the wire. Retried: under a background fault spec
+// (FAULTS=1) either frame can be wire-dropped, and a repeated SYN/ack is
+// harmless.
+ConnId EstablishServer(Kernel& k, NicDevice& nic, StreamLayer& st,
+                       uint16_t port, uint16_t peer) {
+  ConnId srv = st.Listen(port);
+  if (srv == kBadConn) {
+    Die("table15: listen failed on port %u", port);
+  }
+  std::vector<uint8_t> p(StreamSeg::kHdrBytes, 0);
+  for (int attempt = 0; attempt < 32; attempt++) {
+    uint32_t syn = StreamSeg::kFlagSyn, zero = 0;
+    std::memcpy(p.data() + StreamSeg::kSeq, &zero, 4);
+    std::memcpy(p.data() + StreamSeg::kAck, &zero, 4);
+    std::memcpy(p.data() + StreamSeg::kFlags, &syn, 4);
+    nic.InjectRaw(port, peer, p.data(), StreamSeg::kHdrBytes,
+                  FrameChecksum(port, peer, p.data(), StreamSeg::kHdrBytes),
+                  StreamSeg::kHdrBytes);
+    uint32_t one = 1, ackf = StreamSeg::kFlagAck;
+    std::memcpy(p.data() + StreamSeg::kSeq, &one, 4);
+    std::memcpy(p.data() + StreamSeg::kAck, &one, 4);
+    std::memcpy(p.data() + StreamSeg::kFlags, &ackf, 4);
+    nic.InjectRaw(port, peer, p.data(), StreamSeg::kHdrBytes,
+                  FrameChecksum(port, peer, p.data(), StreamSeg::kHdrBytes),
+                  StreamSeg::kHdrBytes);
+    k.Run();
+    if (st.StateOf(srv) == CcbLayout::kEstablished) {
+      return srv;
+    }
+  }
+  Die("table15: establishment on port %u never completed", port);
+}
+
+// Measures the per-segment receive path (demux entry through payload-in-ring)
+// at whatever tier the connection's processor currently holds. Connection
+// state is reset before every repetition so each pass processes the identical
+// in-order data segment.
+double MeasureSegmentInstr(Kernel& k, NicDevice& nic, StreamLayer& st,
+                           ConnId conn, uint16_t peer) {
+  Memory& mem = k.machine().memory();
+  Addr ccb = st.CcbOf(conn);
+  auto ring = st.RingOf(conn);
+  Addr frame = k.allocator().Allocate(FrameLayout::kSlotBytes);
+  if (frame == 0) {
+    Die("table15: frame allocation failed");
+  }
+
+  const uint32_t rcv0 = mem.Read32(ccb + CcbLayout::kRcvNxt);
+  std::vector<uint8_t> p(StreamSeg::kHdrBytes + kSegBytes);
+  uint32_t seq = rcv0;
+  uint32_t ack = mem.Read32(ccb + CcbLayout::kSndNxt);
+  uint32_t flags = StreamSeg::kFlagAck;
+  std::memcpy(p.data() + StreamSeg::kSeq, &seq, 4);
+  std::memcpy(p.data() + StreamSeg::kAck, &ack, 4);
+  std::memcpy(p.data() + StreamSeg::kFlags, &flags, 4);
+  for (uint32_t i = 0; i < kSegBytes; i++) {
+    p[StreamSeg::kHdrBytes + i] = static_cast<uint8_t>(i * 7 + 3);
+  }
+  uint16_t port = st.PortOf(conn);
+  WriteFrame(mem, frame, port, peer, p.data(), static_cast<uint32_t>(p.size()));
+
+  constexpr int kReps = 32;
+  uint64_t instr = 0;
+  for (int i = 0; i < kReps; i++) {
+    mem.Write32(ccb + CcbLayout::kRcvNxt, rcv0);
+    mem.Write32(ring->base + RingLayout::kHead, 0);
+    mem.Write32(ring->base + RingLayout::kTail, 0);
+    k.machine().set_reg(kA1, frame);
+    Stopwatch sw(k.machine());
+    RunResult rr = k.kexec().Call(nic.demux().synthesized_demux());
+    if (rr.outcome != RunOutcome::kReturned || k.machine().reg(kD0) != 1) {
+      Die("table15: measured segment rejected");
+    }
+    instr += sw.instructions();
+  }
+  k.allocator().Free(frame);
+  return static_cast<double>(instr) / kReps;
+}
+
+int Main() {
+  Kernel::Config kc;
+  kc.adapt.promote_hits = 16;
+  kc.adapt.demote_windows = 2;
+  Kernel k(kc);
+  IoSystem io(k, nullptr);
+  NicPoolConfig pc;
+  pc.initial_nics = 1;
+  NicPool pool(k, pc);
+  NicDevice& nic = pool.nic(0);
+  StreamLayer st(k, io, pool);
+
+  std::vector<ConnId> conns;
+  for (uint32_t i = 0; i < kConns; i++) {
+    conns.push_back(EstablishServer(k, nic, st, kPortBase + i, 91));
+  }
+
+  // --- P1: promotion pays ----------------------------------------------------
+  PrintHeader("Table 15: adaptive resynthesis", "specialized", "hot");
+  ConnId hot_conn = conns[0];
+  SpecId hot_spec = st.SpecOf(hot_conn);
+  if (hot_spec == kBadSpec || k.spec().TierOf(hot_spec) != SpecTier::kSpecialized) {
+    Die("table15: fresh connection is not at the specialized tier");
+  }
+  double spec_instr = MeasureSegmentInstr(k, nic, st, hot_conn, 91);
+
+  // The promotion must come from the sweep (heat over threshold), not a
+  // direct Promote call — this is the monitor-driven path under test.
+  const uint64_t promos0 = k.spec().promotions();
+  k.spec().NoteHit(hot_spec, k.config().adapt.promote_hits * 2);
+  k.AdaptNow();
+  if (k.spec().TierOf(hot_spec) != SpecTier::kHot) {
+    Die("table15: sweep did not promote a hot handle");
+  }
+  if (k.spec().promotions() <= promos0) {
+    Die("table15: promotion not counted");
+  }
+  double hot_instr = MeasureSegmentInstr(k, nic, st, hot_conn, 91);
+  PrintRow(std::to_string(kSegBytes) + "B segment, instructions/op",
+           spec_instr, hot_instr, "instr");
+  if (hot_instr > 0.8 * spec_instr) {
+    Die("table15: hot path %.1f instr/op vs %.1f specialized — promotion "
+        "must pay (<= 0.8x)", hot_instr, spec_instr);
+  }
+
+  // --- P2: demotion is exact -------------------------------------------------
+  // Baseline: the whole set on the shared generic walk, retirement drained.
+  for (ConnId c : conns) {
+    k.spec().Demote(st.SpecOf(c), SpecTier::kGeneric);
+  }
+  k.DrainRetiredBlocks();
+  const size_t base_blocks = k.code().live_block_count();
+  const size_t base_bytes = k.code().code_bytes();
+
+  for (ConnId c : conns) {
+    if (!k.spec().Promote(st.SpecOf(c), SpecTier::kSpecialized)) {
+      Die("table15: re-promotion failed with the store unconstrained");
+    }
+  }
+  const size_t promoted_bytes = k.code().code_bytes();
+  if (promoted_bytes <= base_bytes) {
+    Die("table15: promotion emitted no code");
+  }
+  for (ConnId c : conns) {
+    if (!k.spec().Demote(st.SpecOf(c), SpecTier::kGeneric)) {
+      Die("table15: demotion refused");
+    }
+  }
+  k.DrainRetiredBlocks();
+  PrintRow("occupancy after demote+drain, bytes",
+           static_cast<double>(base_bytes),
+           static_cast<double>(k.code().code_bytes()), "B");
+  if (k.code().code_bytes() != base_bytes ||
+      k.code().live_block_count() != base_blocks) {
+    Die("table15: demotion leaked (%zu/%zu bytes, %zu/%zu blocks)",
+        k.code().code_bytes(), base_bytes, k.code().live_block_count(),
+        base_blocks);
+  }
+
+  // --- P3: the byte cap holds under churn ------------------------------------
+  const size_t cap = base_bytes + (promoted_bytes - base_bytes) / 2;
+  k.code().SetByteCap(cap);
+  const uint64_t target = 4 * static_cast<uint64_t>(cap);
+  uint64_t churned = 0;
+  int rounds = 0;
+  while (churned < target) {
+    rounds++;
+    for (ConnId c : conns) {
+      SpecId s = st.SpecOf(c);
+      const size_t before = k.code().code_bytes();
+      // Alternate the requested rung so successive emissions differ in size.
+      k.spec().Promote(s, rounds % 2 == 0 ? SpecTier::kHot
+                                          : SpecTier::kSpecialized);
+      churned += k.code().code_bytes() - before;
+    }
+    k.AdaptNow();  // pressure loop: evict (demote-to-generic) until it fits
+    k.DrainRetiredBlocks();
+    if (k.code().code_bytes() > cap) {
+      Die("table15: store at %zu bytes over the %zu cap after sweep round %d",
+          k.code().code_bytes(), cap, rounds);
+    }
+    if (rounds > 1000) {
+      Die("table15: churn never reached 4x the cap (%llu of %llu)",
+          static_cast<unsigned long long>(churned),
+          static_cast<unsigned long long>(target));
+    }
+  }
+  if (k.spec().evictions() == 0) {
+    Die("table15: churn over the cap never evicted");
+  }
+  PrintRow("churned code vs byte cap, bytes", static_cast<double>(cap),
+           static_cast<double>(churned), "B");
+  PrintRow("post-churn occupancy vs cap, bytes", static_cast<double>(cap),
+           static_cast<double>(k.code().code_bytes()), "B");
+  k.code().SetByteCap(0);
+
+  // --- P4: refusal falls back, never wedges ----------------------------------
+  ConnId rc = conns[1];
+  SpecId rs = st.SpecOf(rc);
+  if (!k.spec().Promote(rs, SpecTier::kSpecialized)) {
+    Die("table15: P4 setup promotion failed");
+  }
+  FaultTrigger always;
+  always.every_nth = 1;
+  k.faults().Arm(FaultSite::kCodeInstall, always);
+  const uint64_t refusals0 = k.spec().refusals();
+  if (k.spec().Promote(rs, SpecTier::kHot)) {
+    Die("table15: promotion succeeded with every install refused");
+  }
+  if (k.spec().TierOf(rs) != SpecTier::kSpecialized) {
+    Die("table15: refused upgrade moved the tier");
+  }
+  k.spec().NoteHit(rs, k.config().adapt.promote_hits * 2);
+  SweepStats sw = k.AdaptNow();
+  if (sw.refused == 0) {
+    Die("table15: sweep under refusal counted nothing");
+  }
+  // The kept block still delivers while installs refuse.
+  (void)MeasureSegmentInstr(k, nic, st, rc, 91);
+  k.faults().DisarmAll();
+  k.spec().NoteHit(rs, k.config().adapt.promote_hits * 2);
+  k.AdaptNow();
+  if (k.spec().TierOf(rs) != SpecTier::kHot) {
+    Die("table15: promotion did not complete after disarm");
+  }
+  PrintRow("refused promotions counted", 1.0,
+           static_cast<double>(k.spec().refusals() - refusals0), "");
+  PrintNote("P1 hot <= 0.8x specialized instr/op; P2 exact release; P3 cap");
+  PrintNote("held across >= 4x churn; P4 refusal fell back, then completed.");
+
+  if (!WriteBenchJson("BENCH_adapt.json")) {
+    std::fprintf(stderr, "table15: BENCH_adapt.json not written\n");
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace synthesis
+
+int main() { return synthesis::Main(); }

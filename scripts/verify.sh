@@ -97,6 +97,14 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
 # write+fsync throughput >= 0.85x journal-off at batch 16).
 (cd "$BUILD_DIR" && ./bench/table14_crash > /dev/null)
 
+# table15 is the adaptive-resynthesis gate: the monitor-driven sweep must
+# promote a heated stream processor to the hot tier at <= 0.8x the
+# specialized instructions per segment, demotion must return code-store
+# occupancy exactly, the byte cap must hold across >= 4x cumulative churn
+# (clock eviction demoting victims to generic), and a promotion under
+# injected kCodeInstall refusal must fall back — then complete after disarm.
+(cd "$BUILD_DIR" && ./bench/table15_adapt > /dev/null)
+
 # Every bench JSON the tree produced must parse; a malformed artifact fails
 # the gate rather than silently shipping a broken table.
 if command -v python3 > /dev/null; then

@@ -612,6 +612,16 @@ IoSystem::IoSystem(Kernel& kernel, FileSystem* fs)
       read_tmpl_(GeneralReadTemplate()),
       write_tmpl_(GeneralWriteTemplate()) {}
 
+IoSystem::~IoSystem() {
+  // Channels still open when the I/O system goes down: their emit callbacks
+  // capture `this`, so the handles must not outlive it.
+  for (auto& [id, c] : channels_) {
+    (void)id;
+    kernel_.spec().Retire(c.read_spec);
+    kernel_.spec().Retire(c.write_spec);
+  }
+}
+
 void IoSystem::EnsureCachedTemplates() {
   if (cached_tmpls_built_) {
     return;
@@ -685,24 +695,16 @@ ChannelId IoSystem::InstallChannel(Channel chan, const std::string& tag) {
   }
   chan.record = rec;
 
-  // Specialize read and write for this channel (kernel code synthesis).
-  InvariantMemory inv(mem);
-  inv.AddRange(ChannelLayout::InvariantPrefix(rec));
-  inv.AddRange(ChannelLayout::InvariantSuffix(rec));
-  if (chan.rd_ring) {
-    inv.AddRange(RingLayout::InvariantRange(chan.rd_ring->base));
-  }
-  if (chan.wr_ring) {
-    inv.AddRange(RingLayout::InvariantRange(chan.wr_ring->base));
-  }
-  if (chan.type == DeviceType::kCachedFile) {
-    inv.AddRange(BcacheLayout::InvariantRange(fs_->bcache()->descriptor()));
-  }
+  // Specialize read and write for this channel (kernel code synthesis),
+  // registered as Specializer handles: a channel has no generic twin (open
+  // fails cleanly under code-store pressure) and its folded invariants never
+  // move, so the handles are non-adaptive and retire at Close.
+  const bool cached = chan.type == DeviceType::kCachedFile &&
+                      kernel_.config().synthesis.fold_invariant_loads;
   Bindings b;
   b.Set("chan", static_cast<int32_t>(rec));
   b.Set("copy", copy_block_);
-  if (chan.type == DeviceType::kCachedFile &&
-      kernel_.config().synthesis.fold_invariant_loads) {
+  if (cached) {
     // Synthesis on: emit the dedicated per-fd cached paths with the cache
     // geometry and the file's extent folded to immediates. With synthesis
     // off, the general template's descriptor-walking branch runs instead —
@@ -719,20 +721,52 @@ ChannelId IoSystem::InstallChannel(Channel chan, const std::string& tag) {
     b.Set("block_mask", static_cast<int32_t>(bc->block_bytes() - 1));
     b.Set("block_bytes", static_cast<int32_t>(bc->block_bytes()));
     b.Set("first_block", static_cast<int32_t>(chan.cext.first_block));
-    chan.read_code = kernel_.SynthesizeInstall(cached_read_tmpl_, b, &inv,
-                                               "read$" + tag, &last_read_stats);
-    chan.write_code =
-        kernel_.SynthesizeInstall(cached_write_tmpl_, b, &inv, "write$" + tag);
-  } else {
-    chan.read_code = kernel_.SynthesizeInstall(read_tmpl_, b, &inv, "read$" + tag,
-                                               &last_read_stats);
-    chan.write_code = kernel_.SynthesizeInstall(write_tmpl_, b, &inv, "write$" + tag);
   }
+  const Addr rd_ring_base = chan.rd_ring ? chan.rd_ring->base : 0;
+  const Addr wr_ring_base = chan.wr_ring ? chan.wr_ring->base : 0;
+  const bool cached_type = chan.type == DeviceType::kCachedFile;
+  auto invariants = [this, rec, rd_ring_base, wr_ring_base, cached_type]() {
+    InvariantMemory inv(kernel_.machine().memory());
+    inv.AddRange(ChannelLayout::InvariantPrefix(rec));
+    inv.AddRange(ChannelLayout::InvariantSuffix(rec));
+    if (rd_ring_base != 0) {
+      inv.AddRange(RingLayout::InvariantRange(rd_ring_base));
+    }
+    if (wr_ring_base != 0) {
+      inv.AddRange(RingLayout::InvariantRange(wr_ring_base));
+    }
+    if (cached_type) {
+      inv.AddRange(BcacheLayout::InvariantRange(fs_->bcache()->descriptor()));
+    }
+    return inv;
+  };
+  SpecDesc rd;
+  rd.name = "io_read$" + tag;
+  rd.adaptive = false;
+  rd.evictable = false;
+  rd.emit = [this, b, cached, invariants, tag](SpecTier) {
+    InvariantMemory inv = invariants();
+    return kernel_.SynthesizeInstall(cached ? cached_read_tmpl_ : read_tmpl_, b,
+                                     &inv, "read$" + tag, &last_read_stats);
+  };
+  chan.read_spec = kernel_.spec().Register(std::move(rd));
+  chan.read_code = kernel_.spec().ActiveOf(chan.read_spec);
+  SpecDesc wd;
+  wd.name = "io_write$" + tag;
+  wd.adaptive = false;
+  wd.evictable = false;
+  wd.emit = [this, b, cached, invariants, tag](SpecTier) {
+    InvariantMemory inv = invariants();
+    return kernel_.SynthesizeInstall(cached ? cached_write_tmpl_ : write_tmpl_,
+                                     b, &inv, "write$" + tag);
+  };
+  chan.write_spec = kernel_.spec().Register(std::move(wd));
+  chan.write_code = kernel_.spec().ActiveOf(chan.write_spec);
   if (chan.read_code == kInvalidBlock || chan.write_code == kInvalidBlock) {
     // Code-store pressure: retire whichever half made it, free the record,
     // and surface the failure as a bad channel — no partial installs leak.
-    kernel_.RetireBlock(chan.read_code);
-    kernel_.RetireBlock(chan.write_code);
+    kernel_.spec().Retire(chan.read_spec);
+    kernel_.spec().Retire(chan.write_spec);
     kernel_.allocator().Free(rec);
     return kBadChannel;
   }
@@ -955,9 +989,10 @@ void IoSystem::Close(ChannelId ch) {
   kernel_.machine().Charge(kCloseCycles, 8, 12);
   kernel_.allocator().Free(c->record);
   // The channel's specialized read/write code is dead once the record goes:
-  // nothing else holds these entry points.
-  kernel_.RetireBlock(c->read_code);
-  kernel_.RetireBlock(c->write_code);
+  // nothing else holds these entry points. Retiring the handles releases the
+  // blocks through the Specializer's deferred reclamation.
+  kernel_.spec().Retire(c->read_spec);
+  kernel_.spec().Retire(c->write_spec);
   channels_.erase(ch);
 }
 

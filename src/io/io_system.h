@@ -67,6 +67,7 @@ class IoSystem {
  public:
   // `fs` may be null (no file namespace, devices only).
   IoSystem(Kernel& kernel, FileSystem* fs);
+  ~IoSystem();
 
   // --- Native Synthesis kernel calls (Table 2) --------------------------------
   ChannelId Open(const std::string& path);
@@ -126,8 +127,10 @@ class IoSystem {
   struct Channel {
     Addr record = 0;
     DeviceType type = DeviceType::kNull;
-    BlockId read_code = kInvalidBlock;
-    BlockId write_code = kInvalidBlock;
+    BlockId read_code = kInvalidBlock;   // mirror of read_spec's active block
+    BlockId write_code = kInvalidBlock;  // mirror of write_spec's active block
+    SpecId read_spec = kBadSpec;
+    SpecId write_spec = kBadSpec;
     std::shared_ptr<RingHost> rd_ring;
     std::shared_ptr<RingHost> wr_ring;
     uint32_t file_id = 0;

@@ -66,7 +66,9 @@ Kernel::Kernel(Config config)
       alloc_(machine_, 0x1000,
              static_cast<uint32_t>(config.memory_bytes) - 0x1000),
       ready_(machine_, store_),
-      sched_(config.scheduler) {
+      sched_(config.scheduler),
+      spec_(store_, config.adapt, [this](BlockId b) { RetireBlock(b); }) {
+  store_.SetByteCap(config_.code_byte_cap);
   auto trap = [this](int vector, Machine& m) { return HandleTrap(vector, m); };
   exec_.SetTrapHandler(trap);
   kexec_.SetTrapHandler(trap);
@@ -88,6 +90,16 @@ BlockId Kernel::SynthesizeInstall(const CodeTemplate& tmpl, const Bindings& bind
     installs_refused_++;
     return kInvalidBlock;  // code-store pressure: install refused
   }
+  return SynthesizeInstallEssential(tmpl, bindings, invariants, name, stats,
+                                    options);
+}
+
+BlockId Kernel::SynthesizeInstallEssential(const CodeTemplate& tmpl,
+                                           const Bindings& bindings,
+                                           const InvariantMemory* invariants,
+                                           const std::string& name,
+                                           SynthesisStats* stats,
+                                           const SynthesisOptions* options) {
   SynthesisStats st;
   const SynthesisOptions& opts = options ? *options : config_.synthesis;
   CodeBlock blk = synth_.Specialize(tmpl, bindings, invariants, opts, &st, name);
@@ -102,6 +114,13 @@ BlockId Kernel::SynthesizeInstall(const CodeTemplate& tmpl, const Bindings& bind
     installs_refused_++;  // live-block cap: the protected area is full
   }
   return id;
+}
+
+SweepStats Kernel::AdaptNow() {
+  TraceMonitor monitor(machine_, store_);
+  SweepStats s = spec_.AdaptSweep(&monitor);
+  machine_.ClearTrace();  // the next window measures fresh heat
+  return s;
 }
 
 int Kernel::RegisterHostTrap(std::function<TrapAction(Machine&)> fn) {
@@ -189,12 +208,13 @@ void Kernel::SynthesizeSwitchProcedures(ThreadRec& rec, bool with_fp) {
     machine_.Charge(kSynthCyclesPerInput * 18, 0, 18);
     return;
   }
-  t.set_sw_out(SynthesizeInstall(out.Build(), Bindings(), nullptr, "sw_out#" + id,
-                                 nullptr, &verbatim));
-  t.set_sw_in(SynthesizeInstall(in.Build(), Bindings(), nullptr, "sw_in#" + id,
-                                nullptr, &verbatim));
-  t.set_sw_in_mmu(SynthesizeInstall(in_mmu.Build(), Bindings(), nullptr,
-                                    "sw_in_mmu#" + id, nullptr, &verbatim));
+  t.set_sw_out(SynthesizeInstallEssential(out.Build(), Bindings(), nullptr,
+                                          "sw_out#" + id, nullptr, &verbatim));
+  t.set_sw_in(SynthesizeInstallEssential(in.Build(), Bindings(), nullptr,
+                                         "sw_in#" + id, nullptr, &verbatim));
+  t.set_sw_in_mmu(SynthesizeInstallEssential(in_mmu.Build(), Bindings(), nullptr,
+                                             "sw_in_mmu#" + id, nullptr,
+                                             &verbatim));
 }
 
 void Kernel::SynthesizeThreadVectors(ThreadRec& rec) {
@@ -216,9 +236,9 @@ void Kernel::SynthesizeThreadVectors(ThreadRec& rec) {
   err.Rts();                   // rte into the user handler
   SynthesisOptions verbatim = SynthesisOptions::Disabled();
   t.SetVector(Vector::kErrorTrap,
-              SynthesizeInstall(err.Build(), Bindings(), nullptr,
-                                "errtrap#" + std::to_string(rec.id), nullptr,
-                                &verbatim));
+              SynthesizeInstallEssential(err.Build(), Bindings(), nullptr,
+                                         "errtrap#" + std::to_string(rec.id),
+                                         nullptr, &verbatim));
 }
 
 ThreadId Kernel::CreateThread(std::unique_ptr<UserProgram> body,

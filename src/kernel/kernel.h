@@ -29,6 +29,7 @@
 #include "src/machine/code_store.h"
 #include "src/machine/executor.h"
 #include "src/machine/machine.h"
+#include "src/synth/specializer.h"
 #include "src/synth/synthesizer.h"
 
 namespace synthesis {
@@ -61,6 +62,12 @@ class Kernel {
     // SYNTHESIS_FAULTS from the environment and arms sites from it, so whole
     // test binaries can run under background injection (verify.sh FAULTS=1).
     uint32_t fault_seed = 1;
+    // Adaptation policy for the kernel-wide Specializer (promote/demote
+    // thresholds; see specializer.h). Validated at construction.
+    AdaptConfig adapt;
+    // Byte budget for synthesized code: the adaptation sweep demotes clock
+    // victims until occupancy fits. 0 = uncapped.
+    size_t code_byte_cap = 0;
   };
 
   Kernel() : Kernel(Config()) {}
@@ -81,6 +88,15 @@ class Kernel {
   FineGrainScheduler& scheduler() { return sched_; }
   const Config& config() const { return config_; }
   const Synthesizer& synthesizer() const { return synth_; }
+  // The kernel-wide specialization manager: every synthesized artifact
+  // registers here; promote/demote/retire and the adaptation sweep run
+  // through it (see specializer.h).
+  Specializer& spec() { return spec_; }
+  // One monitor-driven adaptation pass: harvests the machine trace buffer
+  // through a TraceMonitor, then promotes hot / demotes cold / relieves
+  // byte-cap pressure. Clears the harvested trace so the next window
+  // measures fresh heat.
+  SweepStats AdaptNow();
 
   double NowUs() const { return machine_.NowMicros(); }
 
@@ -92,6 +108,19 @@ class Kernel {
                             const InvariantMemory* invariants,
                             const std::string& name, SynthesisStats* stats = nullptr,
                             const SynthesisOptions* options = nullptr);
+
+  // Same as SynthesizeInstall, but exempt from kCodeInstall fault injection:
+  // for code the kernel cannot run without (thread context-switch blocks).
+  // The fault plane models *refusable* specialization — a layer declining an
+  // optimization and falling back to its generic path. A thread has no
+  // generic path: under real code-store pressure the kernel would evict to
+  // make room rather than hand back a thread that cannot be switched in.
+  BlockId SynthesizeInstallEssential(const CodeTemplate& tmpl,
+                                     const Bindings& bindings,
+                                     const InvariantMemory* invariants,
+                                     const std::string& name,
+                                     SynthesisStats* stats = nullptr,
+                                     const SynthesisOptions* options = nullptr);
 
   // Code-store pressure signal: installs refused (capacity cap or injected
   // kCodeInstall fault) since boot. Layers that degraded to a generic path
@@ -224,6 +253,7 @@ class Kernel {
   InterruptController intc_;
   ReadyQueue ready_;
   FineGrainScheduler sched_;
+  Specializer spec_;
 
   std::unordered_map<ThreadId, ThreadRec> threads_;
   std::unordered_map<Addr, ThreadId> tte_to_tid_;

@@ -4,6 +4,14 @@
 // points into quajects (TTEs, open-file structures, device servers). Here a
 // BlockId plays the role of an entry-point address: data structures in
 // simulated memory hold BlockIds, and kJsrInd/kJmpInd jump through them.
+//
+// Occupancy policy (§6.3 taken to runtime): the store tracks a byte cap, a
+// pressure gauge (bytes / cap) and a high-water mark, and runs a clock
+// (second-chance) hand over the blocks its owners marked evictable. The store
+// itself never frees anything — ClockVictim() only NOMINATES a block; the
+// Specializer demotes the owning specialization to its generic path and the
+// block is released through the kernel's deferred-retirement machinery, so a
+// block is never yanked out from under an executor.
 #ifndef SRC_MACHINE_CODE_STORE_H_
 #define SRC_MACHINE_CODE_STORE_H_
 
@@ -22,6 +30,7 @@ class CodeStore {
   CodeStore() {
     // Slot 0 stays empty so that kInvalidBlock never resolves.
     blocks_.emplace_back();
+    meta_.emplace_back();
   }
 
   // Installs a block and returns its id, or kInvalidBlock when a live-block
@@ -41,9 +50,14 @@ class CodeStore {
     } else {
       id = static_cast<BlockId>(blocks_.size());
       blocks_.push_back(std::move(block));
+      meta_.emplace_back();
     }
     by_name_[blocks_[id].name] = id;
     bytes_ += blocks_[id].code.size() * kBytesPerInstr;
+    if (bytes_ > high_water_) {
+      high_water_ = bytes_;
+    }
+    meta_[id] = SlotMeta{};  // fresh block: not evictable until claimed
     return id;
   }
 
@@ -61,16 +75,28 @@ class CodeStore {
       by_name_.erase(it);
     }
     blocks_[id] = CodeBlock{};
+    meta_[id] = SlotMeta{};
     free_ids_.push_back(id);
   }
 
   // Replaces the code of an existing block in place (used when the kernel
   // resynthesizes a routine, e.g. the lazy floating-point context switch).
+  // A re-emitted block may carry a new name (promotion re-emits uniquify
+  // their names); the old name's mapping is dropped so Find() never returns
+  // this id under a name the block no longer has.
   void Replace(BlockId id, CodeBlock block) {
     bytes_ -= blocks_[id].code.size() * kBytesPerInstr;
     bytes_ += block.code.size() * kBytesPerInstr;
+    if (bytes_ > high_water_) {
+      high_water_ = bytes_;
+    }
+    auto it = by_name_.find(blocks_[id].name);
+    if (it != by_name_.end() && it->second == id && it->first != block.name) {
+      by_name_.erase(it);
+    }
     by_name_[block.name] = id;
     blocks_[id] = std::move(block);
+    meta_[id].referenced = true;  // just re-emitted: give it a clock lap
   }
 
   bool Valid(BlockId id) const {
@@ -100,6 +126,9 @@ class CodeStore {
   // Approximate footprint of all synthesized code, for the paper's kernel-size
   // discussion (§6.4). Each micro-op models a short 68020 instruction.
   size_t code_bytes() const { return bytes_; }
+  size_t block_bytes(BlockId id) const {
+    return Valid(id) ? blocks_[id].code.size() * kBytesPerInstr : 0;
+  }
 
   // Caps live blocks; Install returns kInvalidBlock at the cap. 0 = no cap.
   // Used to model code-store pressure in fault tests.
@@ -111,16 +140,86 @@ class CodeStore {
     return live_limit_ == 0 || live_block_count() < live_limit_;
   }
 
+  // --- Eviction policy (clock / second chance over evictable blocks) --------
+  // The byte budget the adaptation sweep holds occupancy under. 0 = no cap
+  // (the policy is dormant; TouchBlock/ClockVictim still work for tests).
+  void SetByteCap(size_t cap) { byte_cap_ = cap; }
+  size_t byte_cap() const { return byte_cap_; }
+  bool OverCap() const { return byte_cap_ != 0 && bytes_ > byte_cap_; }
+  // Occupancy as a fraction of the cap (0 when uncapped) and the highest
+  // byte count ever observed — the pressure instrumentation the bench dumps.
+  double pressure() const {
+    return byte_cap_ == 0 ? 0.0
+                          : static_cast<double>(bytes_) /
+                                static_cast<double>(byte_cap_);
+  }
+  size_t high_water_bytes() const { return high_water_; }
+
+  // Marks a block as a legal eviction victim (its owner can re-route callers
+  // to a shared generic path and retire it). Owners clear this before
+  // retiring a block themselves so the hand never nominates a corpse.
+  void SetEvictable(BlockId id, bool evictable) {
+    if (Valid(id)) {
+      meta_[id].evictable = evictable;
+    }
+  }
+  bool Evictable(BlockId id) const { return Valid(id) && meta_[id].evictable; }
+  // Sets the reference bit: the block was seen running (trace harvest) or its
+  // specialization took a hit. The clock hand clears it one lap before
+  // nominating, so anything touched since the last lap survives.
+  void TouchBlock(BlockId id) {
+    if (Valid(id)) {
+      meta_[id].referenced = true;
+    }
+  }
+
+  // Nominates the next eviction victim: the first evictable, unreferenced
+  // block at or after the hand, clearing reference bits as it passes (second
+  // chance). Returns kInvalidBlock when no block is evictable even after a
+  // full clearing lap. The caller owns the actual demote/retire.
+  BlockId ClockVictim() {
+    const size_t n = blocks_.size();
+    if (n <= 1) {
+      return kInvalidBlock;
+    }
+    // Two laps: the first may only clear reference bits, the second then
+    // finds the oldest-unused block. No third lap can help.
+    for (size_t step = 0; step < 2 * (n - 1); step++) {
+      if (clock_hand_ >= n) {
+        clock_hand_ = 1;
+      }
+      const size_t i = clock_hand_++;
+      if (!meta_[i].evictable || blocks_[i].code.empty()) {
+        continue;
+      }
+      if (meta_[i].referenced) {
+        meta_[i].referenced = false;
+        continue;
+      }
+      return static_cast<BlockId>(i);
+    }
+    return kInvalidBlock;
+  }
+
  private:
   static constexpr size_t kBytesPerInstr = 4;
+
+  struct SlotMeta {
+    bool evictable = false;
+    bool referenced = false;
+  };
 
   // Deque: installing new blocks must not invalidate references held by a
   // running executor (trap handlers synthesize code mid-run).
   std::deque<CodeBlock> blocks_;
+  std::deque<SlotMeta> meta_;  // parallel to blocks_
   std::unordered_map<std::string, BlockId> by_name_;
   std::vector<BlockId> free_ids_;
   size_t bytes_ = 0;
   size_t live_limit_ = 0;
+  size_t byte_cap_ = 0;
+  size_t high_water_ = 0;
+  size_t clock_hand_ = 1;
 };
 
 }  // namespace synthesis

@@ -32,8 +32,26 @@ bool EvalBranch(Opcode op, uint32_t lhs, uint32_t rhs) {
 }  // namespace
 
 RunResult Executor::Call(BlockId entry, uint64_t max_steps) {
+  if (!active_) {
+    Start(entry);
+    return Run(max_steps);
+  }
+  // Nested call: a trap handler running mid-Call re-enters the executor
+  // (Procedure Chaining enqueues through the synthesized MP-SC put at
+  // interrupt level, which is itself VM code). The outer session's position
+  // is saved and restored around the nested run. A nested call must run to
+  // completion — it cannot suspend (there is no saved session to resume
+  // into); callers treat any non-kReturned outcome as failure.
+  std::vector<Frame> frames = std::move(frames_);
+  const BlockId block = block_;
+  const uint32_t pc = pc_;
   Start(entry);
-  return Run(max_steps);
+  RunResult r = Run(max_steps);
+  frames_ = std::move(frames);
+  block_ = block;
+  pc_ = pc;
+  active_ = true;
+  return r;
 }
 
 void Executor::Start(BlockId entry) {

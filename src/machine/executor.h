@@ -62,7 +62,11 @@ class Executor {
   void SetTrapHandler(TrapHandler handler) { trap_handler_ = std::move(handler); }
   void SetInterruptPoll(InterruptPoll poll) { interrupt_poll_ = std::move(poll); }
 
-  // One-shot convenience: Start + Run to completion.
+  // One-shot convenience: Start + Run to completion. Re-entrant: when called
+  // from a trap handler while a session is active (interrupt-level services
+  // like Procedure Chaining run VM code mid-run), the outer session is saved
+  // and restored around the nested run. Nested runs must complete — they
+  // cannot suspend.
   RunResult Call(BlockId entry, uint64_t max_steps = kDefaultMaxSteps);
 
   // Resumable session. Start resets the call stack to `entry`.

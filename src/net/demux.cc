@@ -238,8 +238,24 @@ DemuxSynthesizer::DemuxSynthesizer(Kernel& kernel) : kernel_(kernel) {
   gd.Set("ctr_csum", static_cast<int32_t>(ctrs_ + kCtrCsum));
   generic_ = kernel_.SynthesizeInstall(GenericDemuxTemplate(), gd, nullptr,
                                        "net_demux_gen", nullptr, &verbatim);
-  RebuildSynthesized();
+
+  // The compare chain lives behind a Specializer handle: flow changes re-fold
+  // it (Reemit), a refused install falls back to the generic walk, and the
+  // byte-cap sweep may demote it — the generic interprets the flow table, so
+  // it is always current.
+  SpecDesc sd;
+  sd.name = "net_demux@" + std::to_string(ftab_);
+  sd.generic = generic_;
+  sd.adaptive = false;  // rebuilt on flow churn, not on heat
+  sd.emit = [this](SpecTier) { return BuildChain(); };
+  sd.install = [this](BlockId blk, SpecTier tier, bool refused) {
+    InstallChain(blk, tier, refused);
+  };
+  chain_spec_ = kernel_.spec().Register(std::move(sd));
+  synthesized_ = kernel_.spec().ActiveOf(chain_spec_);
 }
+
+DemuxSynthesizer::~DemuxSynthesizer() { kernel_.spec().Retire(chain_spec_); }
 
 const DemuxSynthesizer::Flow* DemuxSynthesizer::Find(uint16_t port) const {
   for (const Flow& f : flows_) {
@@ -519,6 +535,15 @@ BlockId DemuxSynthesizer::SynthesizeDeliver(const Flow& f) const {
 }
 
 void DemuxSynthesizer::RebuildSynthesized() {
+  // The unified re-specialization entry point: the Specializer calls
+  // BuildChain, retires the displaced block, and falls back to the generic
+  // walk when the install is refused (InstallChain mirrors the outcome). A
+  // chain the byte-cap sweep demoted stays generic — the table rebuild
+  // already covered the flow change.
+  kernel_.spec().Reemit(chain_spec_);
+}
+
+BlockId DemuxSynthesizer::BuildChain() {
   rebuilds_++;
   const std::string name = "net_demux_syn#" + std::to_string(rebuilds_);
   Switchboard sb;
@@ -540,19 +565,20 @@ void DemuxSynthesizer::RebuildSynthesized() {
   }
   SynthesisOptions opts = kernel_.config().synthesis;
   opts.live_out |= (1u << kD0) | (1u << kD1) | (1u << kD2);
-  // Install the replacement BEFORE retiring the old block, so an install
-  // failure (code-store pressure) leaves a working demux in place. On
-  // failure, degrade to the generic routine: it interprets the flow table
-  // from memory, so it is always current — slower, never wrong. The generic
-  // block itself is never retired.
-  BlockId fresh =
-      kernel_.SynthesizeInstall(t, Bindings(), nullptr, name, &last_stats_, &opts);
-  BlockId old = synthesized_;
-  synthesized_ = (fresh != kInvalidBlock) ? fresh : generic_;
-  if (old != synthesized_ && old != generic_) {
-    // Deferred until the executor is idle: every jump site reaches the demux
-    // through the NIC's demux cell, rewritten before the next frame arrives.
-    kernel_.RetireBlock(old);
+  return kernel_.SynthesizeInstall(t, Bindings(), nullptr, name, &last_stats_,
+                                   &opts);
+}
+
+void DemuxSynthesizer::InstallChain(BlockId blk, SpecTier tier, bool refused) {
+  (void)tier;
+  (void)refused;
+  // On refusal the Specializer already fell back to the generic routine: it
+  // interprets the flow table from memory, so it is always current — slower,
+  // never wrong. Displaced blocks retire deferred, after the hook below has
+  // repointed every demux cell.
+  synthesized_ = blk;
+  if (swap_hook_) {
+    swap_hook_();
   }
 }
 

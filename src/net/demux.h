@@ -28,6 +28,7 @@
 #define SRC_NET_DEMUX_H_
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "src/kernel/kernel.h"
@@ -60,6 +61,7 @@ class DemuxSynthesizer {
   static constexpr uint32_t kUnrollLimit = 64;
 
   explicit DemuxSynthesizer(Kernel& kernel);
+  ~DemuxSynthesizer();
 
   // Opens a flow for `port` delivering into the ring at `ring_base`
   // (a RingLayout ring). `fixed_len` > 0 declares every datagram of the flow
@@ -92,6 +94,15 @@ class DemuxSynthesizer {
   BlockId generic_demux() const { return generic_; }
   BlockId synthesized_demux() const { return synthesized_; }
 
+  // The chain's specialization handle (registered with the kernel's
+  // Specializer; flow changes re-fold through it, and byte-cap pressure may
+  // demote the chain to the generic walk).
+  SpecId chain_spec() const { return chain_spec_; }
+  // Invoked whenever the active chain block changes hands (re-emission,
+  // refusal fallback, pressure demotion), so the owning device can repoint
+  // its demux cell. The hook must be cheap and idempotent.
+  void SetSwapHook(std::function<void()> hook) { swap_hook_ = std::move(hook); }
+
   // Counters, bumped by the demux micro-code in simulated memory.
   uint64_t csum_rejects() const;
   uint64_t malformed() const;
@@ -117,7 +128,9 @@ class DemuxSynthesizer {
 
   const Flow* Find(uint16_t port) const;
   void RebuildGenericTable();
-  void RebuildSynthesized();
+  void RebuildSynthesized();  // routes through Specializer::Reemit
+  BlockId BuildChain();       // emit callback: one fresh compare chain
+  void InstallChain(BlockId blk, SpecTier tier, bool refused);
   BlockId SynthesizeDeliver(const Flow& f) const;
 
   Kernel& kernel_;
@@ -128,6 +141,8 @@ class DemuxSynthesizer {
   BlockId deliver_gen_ = kInvalidBlock; // generic layered delivery
   BlockId generic_ = kInvalidBlock;
   BlockId synthesized_ = kInvalidBlock;
+  SpecId chain_spec_ = kBadSpec;
+  std::function<void()> swap_hook_;
   std::vector<Flow> flows_;
   SynthesisStats last_stats_;
   uint32_t rebuilds_ = 0;  // uniquifies block names across re-synthesis

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cstdio>
 #include <cstdlib>
+#include <string>
 
 #include "src/machine/assembler.h"
 
@@ -59,6 +60,10 @@ NicDevice::NicDevice(Kernel& kernel, NicConfig config)
     ctor_mem.Write32(tx_batch_desc_ + 0, tx_due_base_);
     ctor_mem.Write32(tx_batch_desc_ + 4, tx_base_);
   }
+  // Any hands-off swap of the demux chain (refusal fallback, byte-cap
+  // demotion from the adaptation sweep) must repoint this device's cells
+  // before the displaced block drains.
+  demux_.SetSwapHook([this] { RefreshDemuxCell(); });
   RefreshDemuxCell();
 
   int rxdone_vec = kernel_.RegisterHostTrap([this](Machine& m) {
@@ -257,42 +262,26 @@ NicDevice::NicDevice(Kernel& kernel, NicConfig config)
     assert(batch_loop_gen_ != kInvalidBlock &&
            "code store exhausted bringing up a NIC");
 
-    // The slot stride is a power-of-two sum (1040 = 1024 + 16), so the
-    // specialized loop strength-reduces the MulI to two shifts and an add —
-    // the same Factoring Invariants move the demux makes with the ring mask.
-    static_assert((1u << 10) + (1u << 4) == FrameLayout::kSlotBytes,
-                  "slot stride decomposition");
-    Asm s("nic_rx_batch_syn");
-    s.MoveI(kD3, 0);
-    s.StoreA32(static_cast<int32_t>(batch_idx_), kD3);
-    s.Label("loop");
-    s.LoadA32(kD3, static_cast<int32_t>(batch_idx_));
-    s.LoadA32(kD6, static_cast<int32_t>(due_base_));
-    s.Cmp(kD3, kD6);
-    s.Bge("done");
-    s.LoadIdx32(kD1, kD3, static_cast<int32_t>(due_base_ + 4));
-    // d3 is dead until the next iteration: publish the incremented index now,
-    // so the post-demux path needs no reload/spill pair (the demux clobbers
-    // every data register).
-    s.AddI(kD3, 1);
-    s.StoreA32(static_cast<int32_t>(batch_idx_), kD3);
-    s.Move(kD5, kD1);
-    s.LslI(kD1, 10);
-    s.LslI(kD5, 4);
-    s.Add(kD1, kD5);
-    s.AddI(kD1, static_cast<int32_t>(rx_base_));
-    s.Move(kA1, kD1);
-    s.LoadA32(kD7, static_cast<int32_t>(demux_cell_));
-    s.JsrInd(kD7);
-    s.Trap(rxdone_vec);
-    s.Bra("loop");
-    s.Label("done");
-    s.Rts();
-    SynthesisOptions lopts = kernel_.config().synthesis;
-    lopts.live_out |= (1u << kD0) | (1u << kD1) | (1u << kD2);
-    batch_loop_syn_ = kernel_.SynthesizeInstall(s.Build(), Bindings(), nullptr,
-                                                "nic_rx_batch_syn", nullptr,
-                                                &lopts);
+    // The specialized loop registers behind a Specializer handle: the generic
+    // loop is its fallback (it reloads the descriptor per frame, so it is
+    // always valid), and the byte-cap sweep may demote it under pressure.
+    SpecDesc bd;
+    bd.name = "nic_rx_batch@" + std::to_string(batch_cell_);
+    bd.generic = batch_loop_gen_;
+    bd.adaptive = false;  // folds device-lifetime invariants; never stale
+    bd.emit = [this, rxdone_vec](SpecTier) {
+      return BuildRxBatchLoop(rxdone_vec);
+    };
+    bd.install = [this](BlockId blk, SpecTier tier, bool refused) {
+      (void)refused;
+      batch_loop_syn_ = tier == SpecTier::kGeneric ? kInvalidBlock : blk;
+      RefreshDemuxCell();
+    };
+    rx_batch_spec_ = kernel_.spec().Register(std::move(bd));
+    batch_loop_syn_ =
+        kernel_.spec().TierOf(rx_batch_spec_) == SpecTier::kGeneric
+            ? kInvalidBlock
+            : kernel_.spec().ActiveOf(rx_batch_spec_);
     RefreshDemuxCell();  // now that the loops exist, point the batch cell
 
     Asm rx("nic_rx_batch_entry");
@@ -361,30 +350,27 @@ NicDevice::NicDevice(Kernel& kernel, NicConfig config)
     assert(tx_batch_loop_gen_ != kInvalidBlock &&
            "code store exhausted bringing up a NIC");
 
-    // Specialized retire loop. The key specialization is not folded
-    // addresses but dead-work elimination: retirement identity comes from
-    // the completion queue itself (the txdone trap pops the controller's
-    // FIFO, which names the slot), so the generic loop's descriptor walk —
-    // reload descriptor, index the due table, scale to a slot address —
-    // computes values nothing consumes. The specializer strips the walk
-    // entirely; the due count (latched by txfill before the loop ran,
-    // nothing inside changes it) survives only as the loop bound, hoisted
-    // into a register that host traps are guaranteed to preserve.
-    Asm s("nic_tx_batch_syn");
-    s.LoadA32(kD6, static_cast<int32_t>(tx_due_base_));
-    s.Tst(kD6);
-    s.Beq("done");
-    s.Label("loop");
-    s.Trap(txdone_vec);
-    s.SubI(kD6, 1);
-    s.Tst(kD6);
-    s.Bne("loop");
-    s.Label("done");
-    s.Rts();
-    SynthesisOptions topts = kernel_.config().synthesis;
-    topts.live_out |= (1u << kD0) | (1u << kD1) | (1u << kD2);
-    tx_batch_loop_syn_ = kernel_.SynthesizeInstall(
-        s.Build(), Bindings(), nullptr, "nic_tx_batch_syn", nullptr, &topts);
+    // Specialized retire loop, registered like the RX loop. Its key
+    // specialization is dead-work elimination (see BuildTxBatchLoop); the
+    // generic walk is the fallback the Specializer demotes to under byte-cap
+    // pressure or a refused install.
+    SpecDesc td;
+    td.name = "nic_tx_batch@" + std::to_string(tx_batch_cell_);
+    td.generic = tx_batch_loop_gen_;
+    td.adaptive = false;
+    td.emit = [this, txdone_vec](SpecTier) {
+      return BuildTxBatchLoop(txdone_vec);
+    };
+    td.install = [this](BlockId blk, SpecTier tier, bool refused) {
+      (void)refused;
+      tx_batch_loop_syn_ = tier == SpecTier::kGeneric ? kInvalidBlock : blk;
+      RefreshDemuxCell();
+    };
+    tx_batch_spec_ = kernel_.spec().Register(std::move(td));
+    tx_batch_loop_syn_ =
+        kernel_.spec().TierOf(tx_batch_spec_) == SpecTier::kGeneric
+            ? kInvalidBlock
+            : kernel_.spec().ActiveOf(tx_batch_spec_);
     RefreshDemuxCell();  // now that the loops exist, point the TX batch cell
 
     Asm tx("nic_tx_batch_entry");
@@ -401,6 +387,78 @@ NicDevice::NicDevice(Kernel& kernel, NicConfig config)
   if (config_.install_vectors) {
     kernel_.SetDefaultVector(Vector::kNetTx, tx_entry_);
   }
+}
+
+NicDevice::~NicDevice() {
+  // The emit/install callbacks capture `this`; the handles must not outlive
+  // the device. (The demux retires its own chain handle.)
+  kernel_.spec().Retire(rx_batch_spec_);
+  kernel_.spec().Retire(tx_batch_spec_);
+}
+
+BlockId NicDevice::BuildRxBatchLoop(int rxdone_vec) {
+  // The slot stride is a power-of-two sum (1040 = 1024 + 16), so the
+  // specialized loop strength-reduces the MulI to two shifts and an add —
+  // the same Factoring Invariants move the demux makes with the ring mask.
+  static_assert((1u << 10) + (1u << 4) == FrameLayout::kSlotBytes,
+                "slot stride decomposition");
+  Asm s("nic_rx_batch_syn");
+  s.MoveI(kD3, 0);
+  s.StoreA32(static_cast<int32_t>(batch_idx_), kD3);
+  s.Label("loop");
+  s.LoadA32(kD3, static_cast<int32_t>(batch_idx_));
+  s.LoadA32(kD6, static_cast<int32_t>(due_base_));
+  s.Cmp(kD3, kD6);
+  s.Bge("done");
+  s.LoadIdx32(kD1, kD3, static_cast<int32_t>(due_base_ + 4));
+  // d3 is dead until the next iteration: publish the incremented index now,
+  // so the post-demux path needs no reload/spill pair (the demux clobbers
+  // every data register).
+  s.AddI(kD3, 1);
+  s.StoreA32(static_cast<int32_t>(batch_idx_), kD3);
+  s.Move(kD5, kD1);
+  s.LslI(kD1, 10);
+  s.LslI(kD5, 4);
+  s.Add(kD1, kD5);
+  s.AddI(kD1, static_cast<int32_t>(rx_base_));
+  s.Move(kA1, kD1);
+  s.LoadA32(kD7, static_cast<int32_t>(demux_cell_));
+  s.JsrInd(kD7);
+  s.Trap(rxdone_vec);
+  s.Bra("loop");
+  s.Label("done");
+  s.Rts();
+  SynthesisOptions lopts = kernel_.config().synthesis;
+  lopts.live_out |= (1u << kD0) | (1u << kD1) | (1u << kD2);
+  return kernel_.SynthesizeInstall(s.Build(), Bindings(), nullptr,
+                                   "nic_rx_batch_syn", nullptr, &lopts);
+}
+
+BlockId NicDevice::BuildTxBatchLoop(int txdone_vec) {
+  // The key specialization is not folded addresses but dead-work
+  // elimination: retirement identity comes from the completion queue itself
+  // (the txdone trap pops the controller's FIFO, which names the slot), so
+  // the generic loop's descriptor walk — reload descriptor, index the due
+  // table, scale to a slot address — computes values nothing consumes. The
+  // specializer strips the walk entirely; the due count (latched by txfill
+  // before the loop ran, nothing inside changes it) survives only as the
+  // loop bound, hoisted into a register that host traps are guaranteed to
+  // preserve.
+  Asm s("nic_tx_batch_syn");
+  s.LoadA32(kD6, static_cast<int32_t>(tx_due_base_));
+  s.Tst(kD6);
+  s.Beq("done");
+  s.Label("loop");
+  s.Trap(txdone_vec);
+  s.SubI(kD6, 1);
+  s.Tst(kD6);
+  s.Bne("loop");
+  s.Label("done");
+  s.Rts();
+  SynthesisOptions topts = kernel_.config().synthesis;
+  topts.live_out |= (1u << kD0) | (1u << kD1) | (1u << kD2);
+  return kernel_.SynthesizeInstall(s.Build(), Bindings(), nullptr,
+                                   "nic_tx_batch_syn", nullptr, &topts);
 }
 
 Addr NicDevice::RxSlotAddr(uint32_t index) const {

@@ -119,6 +119,7 @@ struct FlowSpec {
 class NicDevice {
  public:
   NicDevice(Kernel& kernel, NicConfig config = NicConfig());
+  ~NicDevice();
 
   // Opens the flow `spec` describes: frames addressed to `spec.port` are
   // delivered into `spec.ring` as [len.lo len.hi src.lo src.hi payload...]
@@ -271,6 +272,10 @@ class NicDevice {
   Addr RxSlotAddr(uint32_t index) const;
   Addr TxSlotAddr(uint32_t index) const;
   void RefreshDemuxCell();
+  // Emit callbacks for the batch-loop specialization handles (the vectors are
+  // captured at construction; the loops fold device-lifetime invariants).
+  BlockId BuildRxBatchLoop(int rxdone_vec);
+  BlockId BuildTxBatchLoop(int txdone_vec);
   void ScheduleRxDelivery(uint32_t rx_idx, double at);
   void ArmTxComplete(uint32_t slot, double complete_at);
   void RetireOneTxCompletion();
@@ -303,6 +308,7 @@ class NicDevice {
   Addr batch_idx_ = 0;
   BlockId batch_loop_gen_ = kInvalidBlock;
   BlockId batch_loop_syn_ = kInvalidBlock;
+  SpecId rx_batch_spec_ = kBadSpec;
   std::vector<PendingRx> rx_pending_;
   uint64_t rx_pending_seq_ = 0;
   bool batch_armed_ = false;      // one batch interrupt is outstanding
@@ -325,6 +331,7 @@ class NicDevice {
   Addr tx_batch_idx_ = 0;
   BlockId tx_batch_loop_gen_ = kInvalidBlock;
   BlockId tx_batch_loop_syn_ = kInvalidBlock;
+  SpecId tx_batch_spec_ = kBadSpec;
   std::vector<PendingTx> tx_pending_;
   uint64_t tx_pending_seq_ = 0;
   bool tx_batch_armed_ = false;    // one TX batch interrupt is outstanding

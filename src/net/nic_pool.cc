@@ -153,6 +153,15 @@ NicPool::NicPool(Kernel& kernel, NicPoolConfig config)
   ApplySteering();
 }
 
+NicPool::~NicPool() {
+  // The emit/install callbacks capture `this`; the handles must not outlive
+  // the pool.
+  kernel_.spec().Retire(steer_spec_);
+  kernel_.spec().Retire(rx_dispatch_spec_);
+  kernel_.spec().Retire(tx_dispatch_spec_);
+  kernel_.spec().Retire(shed_spec_);
+}
+
 void NicPool::AppendNic() {
   NicConfig nc = config_.nic;
   nc.irq_tag = static_cast<uint32_t>(nics_.size()) << kTagShift;
@@ -241,6 +250,24 @@ void NicPool::WriteDescriptor() {
 }
 
 void NicPool::EmitSteering() {
+  if (steer_spec_ == kBadSpec) {
+    SpecDesc sd;
+    sd.name = "pool_steer";
+    sd.generic = steer_generic_;
+    sd.adaptive = false;   // re-folded on geometry/pin change, not on heat
+    sd.evictable = false;  // one pool-wide block; eviction fodder lives below
+    sd.emit = [this](SpecTier) { return BuildSteering(); };
+    sd.install = [this](BlockId blk, SpecTier tier, bool refused) {
+      InstallSteering(blk, tier, refused);
+    };
+    steer_spec_ = kernel_.spec().Register(std::move(sd));
+    steer_synth_ = kernel_.spec().ActiveOf(steer_spec_);
+    return;
+  }
+  kernel_.spec().Reemit(steer_spec_);
+}
+
+BlockId NicPool::BuildSteering() {
   steer_gen_++;
   const uint32_t n = size();
   const bool po2 = (n & (n - 1)) == 0;
@@ -295,26 +322,65 @@ void NicPool::EmitSteering() {
 
   SynthesisOptions opts = kernel_.config().synthesis;
   opts.live_out |= (1u << kD0) | (1u << kD1) | (1u << kD2);
-  // Install before retiring: an install failure (code-store pressure) falls
-  // back to the always-correct generic loop rather than leaving a retired
-  // block in the cells. The generic block itself is never retired.
-  BlockId fresh = kernel_.SynthesizeInstall(a.Build(), Bindings(), nullptr,
-                                            name, nullptr, &opts);
-  BlockId old = steer_synth_;
-  steer_synth_ = (fresh != kInvalidBlock) ? fresh : steer_generic_;
-  if (old != steer_synth_ && old != steer_generic_) {
-    kernel_.RetireBlock(old);
-  }
+  return kernel_.SynthesizeInstall(a.Build(), Bindings(), nullptr, name,
+                                   nullptr, &opts);
+}
+
+void NicPool::InstallSteering(BlockId blk, SpecTier tier, bool refused) {
+  (void)tier;
+  (void)refused;
+  // On refusal (code-store pressure) the Specializer fell back to the
+  // always-correct generic loop; the displaced block retires deferred, after
+  // the cells below are repointed.
+  steer_synth_ = blk;
+  ApplySteering();
 }
 
 void NicPool::EmitDispatch() {
-  SynthesisOptions verbatim = SynthesisOptions::Disabled();
-  Memory& mem = kernel_.machine().memory();
-  const std::string suffix = "#" + std::to_string(steer_gen_);
+  if (rx_dispatch_spec_ == kBadSpec) {
+    // The dispatch chains have no generic twin: a refused re-emit keeps the
+    // previous chain — stale (it misses the newest NIC) but safe; the
+    // adaptation sweep retries while the handle stays degraded.
+    SpecDesc rd;
+    rd.name = "pool_rx_dispatch";
+    rd.adaptive = false;
+    rd.evictable = false;
+    rd.emit = [this](SpecTier) { return BuildRxDispatch(); };
+    rd.install = [this](BlockId blk, SpecTier tier, bool refused) {
+      InstallRxDispatch(blk, tier, refused);
+    };
+    rx_dispatch_spec_ = kernel_.spec().Register(std::move(rd));
+    rx_dispatch_ = kernel_.spec().ActiveOf(rx_dispatch_spec_);
+    if (rx_dispatch_ != kInvalidBlock) {
+      kernel_.machine().memory().Write32(rx_dispatch_cell_,
+                                         static_cast<uint32_t>(rx_dispatch_));
+    }
+    SpecDesc td;
+    td.name = "pool_tx_dispatch";
+    td.adaptive = false;
+    td.evictable = false;
+    td.emit = [this](SpecTier) { return BuildTxDispatch(); };
+    td.install = [this](BlockId blk, SpecTier tier, bool refused) {
+      InstallTxDispatch(blk, tier, refused);
+    };
+    tx_dispatch_spec_ = kernel_.spec().Register(std::move(td));
+    tx_dispatch_ = kernel_.spec().ActiveOf(tx_dispatch_spec_);
+    if (tx_dispatch_ != kInvalidBlock) {
+      kernel_.machine().memory().Write32(tx_dispatch_cell_,
+                                         static_cast<uint32_t>(tx_dispatch_));
+    }
+    return;
+  }
+  kernel_.spec().Reemit(rx_dispatch_spec_);
+  kernel_.spec().Reemit(tx_dispatch_spec_);
+}
 
+BlockId NicPool::BuildRxDispatch() {
+  SynthesisOptions verbatim = SynthesisOptions::Disabled();
+  const std::string name = "pool_rx_dispatch#" + std::to_string(++dispatch_gen_);
   // d1 = tagged payload. High half selects the NIC, low half is the slot the
   // per-NIC entry expects in d1.
-  Asm rx("pool_rx_dispatch" + suffix);
+  Asm rx(name);
   rx.Move(kD6, kD1);
   rx.LsrI(kD6, kTagShift);
   rx.AndI(kD1, kSlotMask);
@@ -327,18 +393,14 @@ void NicPool::EmitDispatch() {
     rx.Label(next);
   }
   rx.Rts();  // unknown tag: drop on the floor
-  // Keep the previous chain on install failure — stale (it misses the newest
-  // NIC) but safe; the next successful emit catches up.
-  BlockId fresh = kernel_.SynthesizeInstall(rx.Build(), Bindings(), nullptr,
-                                            "pool_rx_dispatch" + suffix,
-                                            nullptr, &verbatim);
-  if (fresh != kInvalidBlock) {
-    kernel_.RetireBlock(rx_dispatch_);
-    rx_dispatch_ = fresh;
-    mem.Write32(rx_dispatch_cell_, static_cast<uint32_t>(rx_dispatch_));
-  }
+  return kernel_.SynthesizeInstall(rx.Build(), Bindings(), nullptr, name,
+                                   nullptr, &verbatim);
+}
 
-  Asm tx("pool_tx_dispatch" + suffix);
+BlockId NicPool::BuildTxDispatch() {
+  SynthesisOptions verbatim = SynthesisOptions::Disabled();
+  const std::string name = "pool_tx_dispatch#" + std::to_string(++dispatch_gen_);
+  Asm tx(name);
   tx.Move(kD6, kD1);
   tx.LsrI(kD6, kTagShift);
   tx.AndI(kD1, kSlotMask);
@@ -351,14 +413,28 @@ void NicPool::EmitDispatch() {
     tx.Label(next);
   }
   tx.Rts();
-  fresh = kernel_.SynthesizeInstall(tx.Build(), Bindings(), nullptr,
-                                    "pool_tx_dispatch" + suffix, nullptr,
-                                    &verbatim);
-  if (fresh != kInvalidBlock) {
-    kernel_.RetireBlock(tx_dispatch_);
-    tx_dispatch_ = fresh;
-    mem.Write32(tx_dispatch_cell_, static_cast<uint32_t>(tx_dispatch_));
+  return kernel_.SynthesizeInstall(tx.Build(), Bindings(), nullptr, name,
+                                   nullptr, &verbatim);
+}
+
+void NicPool::InstallRxDispatch(BlockId blk, SpecTier tier, bool refused) {
+  (void)tier;
+  if (refused) {
+    return;  // the previous chain stays in the cell
   }
+  rx_dispatch_ = blk;
+  kernel_.machine().memory().Write32(rx_dispatch_cell_,
+                                     static_cast<uint32_t>(blk));
+}
+
+void NicPool::InstallTxDispatch(BlockId blk, SpecTier tier, bool refused) {
+  (void)tier;
+  if (refused) {
+    return;
+  }
+  tx_dispatch_ = blk;
+  kernel_.machine().memory().Write32(tx_dispatch_cell_,
+                                     static_cast<uint32_t>(blk));
 }
 
 namespace {
@@ -403,9 +479,9 @@ void NicPool::EmitShedFilter() {
   if (!config_.admission_control) {
     return;
   }
-  const uint32_t lvl = shed_level_ >= 2 ? 2u : 1u;
 
   if (!config_.synthesized_shed) {
+    const uint32_t lvl = shed_level_ >= 2 ? 2u : 1u;
     // The interpreted baseline (ablation): installed exactly once. It
     // reloads the shed level and walks the bound-port bitmap from memory on
     // every frame, so binds, unbinds and level changes are pure data writes
@@ -443,6 +519,29 @@ void NicPool::EmitShedFilter() {
     return;
   }
 
+  if (shed_spec_ == kBadSpec) {
+    SpecDesc sd;
+    sd.name = "pool_shed";
+    sd.adaptive = false;   // re-shaped by watermarks and churn, not heat
+    sd.evictable = false;  // the armor must not be an eviction victim
+    sd.emit = [this](SpecTier) { return BuildShedFilter(); };
+    sd.install = [this](BlockId blk, SpecTier tier, bool refused) {
+      InstallShedFilter(blk, tier, refused);
+    };
+    shed_spec_ = kernel_.spec().Register(std::move(sd));
+    if (kernel_.spec().DegradedOf(shed_spec_)) {
+      InstallShedFilter(kInvalidBlock, SpecTier::kSpecialized, /*refused=*/true);
+    } else {
+      InstallShedFilter(kernel_.spec().ActiveOf(shed_spec_),
+                        SpecTier::kSpecialized, /*refused=*/false);
+    }
+    return;
+  }
+  kernel_.spec().Reemit(shed_spec_);
+}
+
+BlockId NicPool::BuildShedFilter() {
+  const uint32_t lvl = shed_level_ >= 2 ? 2u : 1u;
   shed_gen_++;
   const std::string name = "pool_shed#" + std::to_string(shed_gen_);
   // The synthesized early-drop filter: bound-port membership plus the
@@ -477,19 +576,33 @@ void NicPool::EmitShedFilter() {
 
   SynthesisOptions opts = kernel_.config().synthesis;
   opts.live_out |= (1u << kD0) | (1u << kD1) | (1u << kD2);
-  BlockId fresh = kernel_.SynthesizeInstall(a.Build(), Bindings(), nullptr,
-                                            name, nullptr, &opts);
-  BlockId old = shed_filter_;
-  shed_filter_ = fresh;  // kInvalidBlock on failure: armor off, pool works
-  shed_filter_level_ = fresh != kInvalidBlock ? lvl : 0;
-  shed_filter_is_bitmap_ = bitmap;
-  if (old != kInvalidBlock && old != shed_filter_ && old != generic_shed_) {
-    kernel_.RetireBlock(old);
+  pending_shed_level_ = lvl;
+  pending_shed_bitmap_ = bitmap;
+  return kernel_.SynthesizeInstall(a.Build(), Bindings(), nullptr, name,
+                                   nullptr, &opts);
+}
+
+void NicPool::InstallShedFilter(BlockId blk, SpecTier tier, bool refused) {
+  (void)tier;
+  if (refused) {
+    // A stale filter would drop freshly bound ports, so refusal means armor
+    // off — the pool serves the full path until a later emit succeeds (the
+    // adaptation sweep retries while the handle stays degraded).
+    shed_filter_ = kInvalidBlock;
+    shed_filter_level_ = 0;
+    if (shedding_) {
+      shedding_ = false;
+      shed_level_ = 0;
+      WriteShedLevel();
+      ApplySteering();
+    }
+    return;
   }
-  if (shedding_ && shed_filter_ == kInvalidBlock) {
-    shedding_ = false;  // can't shed without a filter; serve the full path
-    shed_level_ = 0;
-    WriteShedLevel();
+  shed_filter_ = blk;
+  shed_filter_level_ = pending_shed_level_;
+  shed_filter_is_bitmap_ = pending_shed_bitmap_;
+  if (shedding_) {
+    ApplySteering();  // repoint the cells before the displaced block drains
   }
 }
 

@@ -109,6 +109,7 @@ class NicPool {
   static constexpr uint32_t kMaxPins = 32;
 
   explicit NicPool(Kernel& kernel, NicPoolConfig config = NicPoolConfig());
+  ~NicPool();
 
   uint32_t size() const { return static_cast<uint32_t>(nics_.size()); }
   NicDevice& nic(uint32_t i) { return *nics_[i]; }
@@ -253,9 +254,21 @@ class NicPool {
 
   void AppendNic();
   void WriteDescriptor();   // N + cell table + pin table, for the generic loop
+  // Re-specialization entry points. Each registers a Specializer handle on
+  // first use and routes every later change through Reemit: the Specializer
+  // emits via the Build* callback, retires the displaced block, and the
+  // Install* callback mirrors the outcome into the pool's cells.
   void EmitSteering();      // re-emits the specialized steering block
   void EmitDispatch();      // re-emits the rx/tx payload-untag compare chains
   void EmitShedFilter();    // re-emits the early-drop filter (set + level)
+  BlockId BuildSteering();
+  void InstallSteering(BlockId blk, SpecTier tier, bool refused);
+  BlockId BuildRxDispatch();
+  BlockId BuildTxDispatch();
+  void InstallRxDispatch(BlockId blk, SpecTier tier, bool refused);
+  void InstallTxDispatch(BlockId blk, SpecTier tier, bool refused);
+  BlockId BuildShedFilter();
+  void InstallShedFilter(BlockId blk, SpecTier tier, bool refused);
   void RefreshShedFilter(); // bind/unbind hook: re-emit only when the shape
                             // changed (steady bitmap mode skips emission)
   void WriteShedBit(uint16_t port, bool on);
@@ -273,14 +286,18 @@ class NicPool {
   std::vector<std::pair<uint16_t, Binding>> bindings_;
 
   Addr desc_ = 0;
-  BlockId steer_generic_ = kInvalidBlock;   // installed once
-  BlockId steer_synth_ = kInvalidBlock;     // re-emitted per geometry/pin set
+  BlockId steer_generic_ = kInvalidBlock;   // installed once, never a handle
+  BlockId steer_synth_ = kInvalidBlock;     // mirror of the steering handle
+  SpecId steer_spec_ = kBadSpec;
   uint32_t steer_gen_ = 0;
 
   Addr rx_dispatch_cell_ = 0;
   Addr tx_dispatch_cell_ = 0;
   BlockId rx_dispatch_ = kInvalidBlock;
   BlockId tx_dispatch_ = kInvalidBlock;
+  SpecId rx_dispatch_spec_ = kBadSpec;
+  SpecId tx_dispatch_spec_ = kBadSpec;
+  uint32_t dispatch_gen_ = 0;  // uniquifies chain names across re-emission
 
   // Overload armor state. steer_cell_ always holds the active steering id, so
   // the filter's pass path survives steering re-emission without re-emitting
@@ -294,6 +311,9 @@ class NicPool {
   Addr shed_mask_tab_ = 0;    // 32 words of 1<<i (the ISA has no var shift)
   BlockId shed_filter_ = kInvalidBlock;
   BlockId generic_shed_ = kInvalidBlock;  // interpreted baseline, install-once
+  SpecId shed_spec_ = kBadSpec;
+  uint32_t pending_shed_level_ = 0;   // shape of the block BuildShedFilter
+  bool pending_shed_bitmap_ = false;  // just emitted, latched at install
   bool shedding_ = false;
   uint32_t shed_level_ = 0;
   uint64_t shed_engages_ = 0;

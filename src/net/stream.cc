@@ -192,10 +192,24 @@ StreamLayer::StreamLayer(Kernel& kernel, IoSystem& io, NicPool& pool)
     SweepTick();
     return TrapAction::kContinue;
   });
+  probe_vec_ = kernel_.RegisterHostTrap([this](Machine& m) {
+    FinishProbe(static_cast<ConnId>(m.reg(kD1)));
+    return TrapAction::kContinue;
+  });
   // Replay TX-full deferrals (pure ACKs, cut-short window pushes) as slots
   // free — without this a peer whose ACK hit a full ring stalls until
   // keepalive notices.
   pool_.SetTxDrainHook([this] { OnTxDrain(); });
+}
+
+StreamLayer::~StreamLayer() {
+  // Connections still open when the layer goes down: their emit/install
+  // callbacks capture `this`, so the handles must not outlive it.
+  for (auto& [id, c] : conns_) {
+    (void)id;
+    kernel_.spec().Retire(c.spec);
+    kernel_.spec().Retire(c.probe_spec);
+  }
 }
 
 BlockId StreamLayer::GenericProcFor(uint32_t nic_idx) {
@@ -226,10 +240,17 @@ BlockId StreamLayer::GenericProcFor(uint32_t nic_idx) {
 // connection-lifetime invariants folded in: the peer port is an immediate
 // compare, every CCB field an absolute address, the checksum inlined, and
 // the ring geometry folded into a bulk copy publishing the head once.
-BlockId StreamLayer::BuildSynthDeliver(const Conn& c) {
+//
+// The kHot tier folds one step deeper: when the payload's destination run is
+// contiguous (head + len fits before the ring edge — the common case for a
+// ring much larger than a segment), the copy runs word-wide with no per-byte
+// mask, roughly a quarter of the byte loop's path length; a run that would
+// wrap falls back to the masked byte loop in the same block.
+BlockId StreamLayer::BuildSynthDeliver(const Conn& c, SpecTier tier) {
   Memory& mem = kernel_.machine().memory();
   const bool established = c.state == CcbLayout::kEstablished ||
                            c.state == CcbLayout::kFinSent;
+  const bool hot = tier == SpecTier::kHot && established;
   const std::string name = "net_stream$" + std::to_string(c.local_port) + "#" +
                            std::to_string(c.synth_gen);
   Asm a(name);
@@ -341,6 +362,38 @@ BlockId StreamLayer::BuildSynthDeliver(const Conn& c) {
     a.Label("room");
     a.Move(kA3, kA1);
     a.AddI(kA3, FrameLayout::kPayload + StreamSeg::kHdrBytes);
+    if (hot) {
+      // Contiguity check: head + len within the ring size means the whole
+      // run lands before the edge, so the copy needs no per-byte mask.
+      a.Move(kD0, kD3);
+      a.Add(kD0, kD6);
+      a.CmpI(kD0, Asm::Sym("rsz"));
+      a.Bhi("cloop");  // would wrap: the masked byte loop handles it
+      a.Lea(kA2, kD3, Asm::Sym("buf"));
+      a.Label("wloop");
+      a.CmpI(kD6, 3);
+      a.Bls("wtail");
+      a.Load32(kD1, kA3, 0);
+      a.Store32(kA2, kD1, 0);
+      a.AddI(kA3, 4);
+      a.AddI(kA2, 4);
+      a.AddI(kD3, 4);
+      a.SubI(kD6, 4);
+      a.Bra("wloop");
+      a.Label("wtail");
+      a.Tst(kD6);
+      a.Beq("wdone");
+      a.Load8(kD1, kA3, 0);
+      a.Store8(kA2, kD1, 0);
+      a.AddI(kA3, 1);
+      a.AddI(kA2, 1);
+      a.AddI(kD3, 1);
+      a.SubI(kD6, 1);
+      a.Bra("wtail");
+      a.Label("wdone");
+      a.AndI(kD3, Asm::Sym("mask"));  // head + len == size wraps to 0
+      a.Bra("cdone");
+    }
     a.Label("cloop");
     a.Tst(kD6);
     a.Beq("cdone");
@@ -392,64 +445,44 @@ BlockId StreamLayer::BuildSynthDeliver(const Conn& c) {
     b.Set("head", static_cast<int32_t>(c.ring->base + RingLayout::kHead));
     b.Set("tail", static_cast<int32_t>(c.ring->base + RingLayout::kTail));
     b.Set("buf", static_cast<int32_t>(c.ring->base + RingLayout::kBuf));
-    b.Set("mask",
-          static_cast<int32_t>(mem.Read32(c.ring->base + RingLayout::kMask)));
+    const uint32_t mask = mem.Read32(c.ring->base + RingLayout::kMask);
+    b.Set("mask", static_cast<int32_t>(mask));
+    if (hot) {
+      b.Set("rsz", static_cast<int32_t>(mask + 1));  // ring size
+    }
   }
   SynthesisOptions opts = kernel_.config().synthesis;
   opts.live_out |= (1u << kD0) | (1u << kD1) | (1u << kD2);
   return kernel_.SynthesizeInstall(a.Build(), b, nullptr, name, nullptr, &opts);
 }
 
-// The generic interpreted fallback for a refused install: the owning demux's
-// shared walk. It revalidates the frame, finds the (bound) flow entry and
-// dispatches its generic handler — the same contract as the per-connection
-// block, with zero new code emitted.
-BlockId StreamLayer::FallbackProc(const Conn& c) {
-  return pool_.nic(pool_.OwnerOf(c.local_port)).demux().generic_demux();
-}
-
-void StreamLayer::Resynthesize(Conn& c) {
-  BlockId old = c.synth_deliver;
-  const bool was_degraded = c.degraded;
-  c.synth_gen++;
-  BlockId fresh = BuildSynthDeliver(c);
-  if (fresh == kInvalidBlock) {
-    // Degradation, not failure: a refused install (capacity cap or injected
-    // fault) drops the connection to the generic interpreted walk — slower,
-    // still correct — and the sweep re-synthesizes it once the store has
-    // room again. Only a missing generic path is truly unrecoverable.
-    BlockId fb = FallbackProc(c);
-    if (fb == kInvalidBlock) {
-      Fail(c);
-      return;
-    }
-    if (!was_degraded) {
-      synth_fallback_gauge_.Count();
-    }
-    c.degraded = true;
-    UpdateSweepWatch(c);
-    if (c.synth_deliver != fb) {
-      c.synth_deliver = fb;
-      pool_.RebindFlow(c.local_port, fb);
-      if (!was_degraded && old != kInvalidBlock) {
-        kernel_.RetireBlock(old);
-      }
-    }
-    // No ArmSweep here: re-arming from a refused install would spin the
-    // alarm on an idle kernel. The next delivered frame (OnDeliver) arms the
-    // re-synthesis sweep — a degraded connection with no traffic has nothing
-    // to gain from promotion anyway.
+// The Specializer's install hook for the segment processor. The old block's
+// retirement already happened inside the Specializer (deferred); all that is
+// left is wiring the new entry point into the flow table and keeping the
+// degradation gauges truthful. A refusal fallback (`refused`) counts on the
+// ladder gauges; a policy demotion to kGeneric does not — cold is not broken.
+// No ArmSweep on refusal: re-arming from a refused install would spin the
+// alarm on an idle kernel; the next delivered frame (OnDeliver) re-arms it.
+void StreamLayer::InstallDeliver(ConnId id, BlockId blk, SpecTier tier,
+                                 bool refused) {
+  Conn* c = Get(id);
+  if (c == nullptr || c->reclaimed) {
     return;
   }
-  if (was_degraded) {
+  const bool was_degraded = c->degraded;
+  c->degraded = refused;
+  if (refused && !was_degraded) {
+    synth_fallback_gauge_.Count();
+  }
+  if (!refused && was_degraded && tier != SpecTier::kGeneric) {
     resynth_gauge_.Count();  // promoted back to synthesized code
   }
-  c.degraded = false;
-  UpdateSweepWatch(c);
-  c.synth_deliver = fresh;
-  pool_.RebindFlow(c.local_port, c.synth_deliver);
-  if (!was_degraded) {
-    kernel_.RetireBlock(old);  // degraded: old aliased the shared walk
+  UpdateSweepWatch(*c);
+  if (c->synth_deliver != blk) {
+    c->synth_deliver = blk;
+    if (pool_.HasFlow(c->local_port)) {
+      pool_.RebindFlow(c->local_port, blk);
+    }
   }
 }
 
@@ -549,21 +582,53 @@ ConnId StreamLayer::NewConn(uint16_t local_port, uint16_t peer_port,
     open_fail_gauge_.Count();
     return kBadConn;
   }
-  c.synth_deliver = BuildSynthDeliver(c);
-  if (c.synth_deliver == kInvalidBlock) {
-    // A refused install degrades the connection to the owning demux's
-    // generic walk instead of failing the open — the degradation ladder's
-    // first rung. The sweep promotes it back once the store has room.
-    c.synth_deliver = pool_.nic(owner).demux().generic_demux();
-    if (c.synth_deliver == kInvalidBlock) {
-      io_.UnregisterRingDevice(c.path);
-      io_.Close(c.ch);
-      kernel_.allocator().Free(c.ring->base);
-      kernel_.allocator().Free(c.ccb);
-      open_fail_gauge_.Count();
-      return kBadConn;
+  auto it = conns_.emplace(id, std::move(c)).first;
+  Conn& ref = it->second;
+  // Common rollback for everything past this point: the record is in the map
+  // (the Specializer's callbacks resolve it by id), so unwinding also erases.
+  auto unwind = [&] {
+    if (ref.spec != kBadSpec) {
+      kernel_.spec().Retire(ref.spec);
     }
-    c.degraded = true;
+    if (ref.alarm_stub != kInvalidBlock) {
+      kernel_.RetireBlock(ref.alarm_stub);
+    }
+    io_.UnregisterRingDevice(ref.path);
+    io_.Close(ref.ch);
+    kernel_.allocator().Free(ref.ring->base);
+    kernel_.allocator().Free(ref.ccb);
+    conns_.erase(it);
+    open_fail_gauge_.Count();
+  };
+  // The segment processor lives behind a Specializer handle: the emit
+  // callback re-builds it at the requested tier, the install callback wires
+  // it into the flow table. Registration performs the initial emission; a
+  // refusal degrades the open to the owning demux's generic walk (the
+  // ladder's first rung) instead of failing it — the sweep promotes it back
+  // once the store has room.
+  SpecDesc sd;
+  sd.name = "net_stream$" + std::to_string(local_port);
+  sd.generic = pool_.nic(owner).demux().generic_demux();
+  sd.emit = [this, id](SpecTier tier) -> BlockId {
+    Conn* cc = Get(id);
+    if (cc == nullptr || cc->reclaimed) {
+      return kInvalidBlock;
+    }
+    cc->synth_gen++;
+    return BuildSynthDeliver(*cc, tier);
+  };
+  sd.install = [this, id](BlockId blk, SpecTier tier, bool refused) {
+    InstallDeliver(id, blk, tier, refused);
+  };
+  ref.spec = kernel_.spec().Register(std::move(sd));
+  ref.synth_deliver = kernel_.spec().ActiveOf(ref.spec);
+  ref.degraded = kernel_.spec().DegradedOf(ref.spec);
+  if (ref.synth_deliver == kInvalidBlock) {
+    // Refused emit AND no generic walk to degrade to: truly unrecoverable.
+    unwind();
+    return kBadConn;
+  }
+  if (ref.degraded) {
     synth_fallback_gauge_.Count();
   }
   // The per-connection alarm stub: the alarm payload is the handler itself,
@@ -577,21 +642,12 @@ ConnId StreamLayer::NewConn(uint16_t local_port, uint16_t peer_port,
   st.Trap(timer_vec_);
   st.Rts();
   SynthesisOptions verbatim = SynthesisOptions::Disabled();
-  c.alarm_stub = kernel_.SynthesizeInstall(st.Build(), Bindings(), nullptr,
-                                           stub_name, nullptr, &verbatim);
-  if (c.alarm_stub == kInvalidBlock) {
-    io_.UnregisterRingDevice(c.path);
-    io_.Close(c.ch);
-    if (!c.degraded) {
-      kernel_.RetireBlock(c.synth_deliver);
-    }
-    kernel_.allocator().Free(c.ring->base);
-    kernel_.allocator().Free(c.ccb);
-    open_fail_gauge_.Count();
+  ref.alarm_stub = kernel_.SynthesizeInstall(st.Build(), Bindings(), nullptr,
+                                             stub_name, nullptr, &verbatim);
+  if (ref.alarm_stub == kInvalidBlock) {
+    unwind();
     return kBadConn;
   }
-  auto it = conns_.emplace(id, std::move(c)).first;
-  Conn& ref = it->second;
   FlowSpec flow;
   flow.port = local_port;
   flow.ring = ref.ring;
@@ -602,16 +658,7 @@ ConnId StreamLayer::NewConn(uint16_t local_port, uint16_t peer_port,
   flow.pin = pin;
   flow.pin_peer = peer_port;
   if (!pool_.BindFlow(std::move(flow))) {
-    io_.UnregisterRingDevice(ref.path);
-    io_.Close(ref.ch);
-    if (!ref.degraded) {
-      kernel_.RetireBlock(ref.synth_deliver);
-    }
-    kernel_.RetireBlock(ref.alarm_stub);
-    kernel_.allocator().Free(ref.ring->base);
-    kernel_.allocator().Free(ref.ccb);
-    conns_.erase(it);
-    open_fail_gauge_.Count();
+    unwind();
     return kBadConn;
   }
   ports_in_use_.insert(local_port);
@@ -1020,7 +1067,9 @@ void StreamLayer::SweepTick() {
     }
     Conn& c = *pc;
     if (c.degraded && kernel_.code().HasRoom()) {
-      Resynthesize(c);  // pressure drained: promote back to synthesized code
+      // Pressure drained: ask the Specializer to climb back to synthesized
+      // code. The install hook rebinds the flow and clears the degradation.
+      kernel_.spec().Promote(c.spec, SpecTier::kSpecialized);
       if (c.reclaimed) {
         continue;
       }
@@ -1072,6 +1121,119 @@ void StreamLayer::SweepTick() {
 }
 
 void StreamLayer::SendProbe(Conn& c) {
+  if (c.probe_block != kInvalidBlock) {
+    // The probe send is the connection's own synthesized code. From the
+    // sweep alarm (kernel executor mid-run) the block is chained to run at
+    // the end of this interrupt (§3.1 Procedure Chaining); a host-driven
+    // sweep runs it synchronously. Either way it stages the header from the
+    // CCB's folded fields and traps to FinishProbe for the transmit.
+    if (kernel_.kexec().active()) {
+      kernel_.ChainProcedure(c.probe_block);
+    } else {
+      kernel_.kexec().Call(c.probe_block);
+    }
+    return;
+  }
+  HostProbe(c);  // refused stub install: the host path still probes
+}
+
+// Registers the keepalive probe stub with the Specializer at establishment.
+// Non-adaptive (probes are cadence-driven, not heat-driven), non-evictable
+// (a handful of instructions, and there is no generic block to fall to — the
+// fallback is the host path, expressed as probe_block = kInvalidBlock).
+void StreamLayer::RegisterProbe(Conn& c) {
+  if (c.probe_spec != kBadSpec) {
+    return;
+  }
+  SpecDesc sd;
+  sd.name = "stream_probe$" + std::to_string(c.local_port);
+  sd.max_tier = SpecTier::kSpecialized;
+  sd.evictable = false;
+  sd.adaptive = false;
+  ConnId id = c.id;
+  sd.emit = [this, id](SpecTier) -> BlockId {
+    Conn* cc = Get(id);
+    if (cc == nullptr || cc->reclaimed) {
+      return kInvalidBlock;
+    }
+    return BuildProbeStub(*cc);
+  };
+  sd.install = [this, id](BlockId blk, SpecTier tier, bool) {
+    Conn* cc = Get(id);
+    if (cc != nullptr && !cc->reclaimed) {
+      cc->probe_block = tier == SpecTier::kGeneric ? kInvalidBlock : blk;
+    }
+  };
+  c.probe_spec = kernel_.spec().Register(std::move(sd));
+  c.probe_block = kernel_.spec().ActiveOf(c.probe_spec);
+}
+
+// The synthesized probe stub: seq = snd_nxt - 1 and ack = rcv_nxt are loaded
+// through folded CCB addresses into the shared staging area, then the stub
+// traps to the host transmit half with the connection id. The send itself —
+// previously assembled host-side on every probe — is now the connection's
+// own code, charged at synthesized path length.
+BlockId StreamLayer::BuildProbeStub(const Conn& c) {
+  Memory& mem = kernel_.machine().memory();
+  if (probe_stage_ == 0) {
+    probe_stage_ = kernel_.allocator().Allocate(16);
+    if (probe_stage_ == 0) {
+      return kInvalidBlock;
+    }
+    for (uint32_t off = 0; off < 16; off += 4) {
+      mem.Write32(probe_stage_ + off, 0);  // the 1-byte payload stays zero
+    }
+  }
+  const std::string name = "stream_probe$" + std::to_string(c.local_port);
+  Asm a(name);
+  a.LoadA32(kD1, Asm::Sym("snxt"));
+  a.SubI(kD1, 1);
+  a.StoreA32(Asm::Sym("pseq"), kD1);
+  a.LoadA32(kD1, Asm::Sym("rnxt"));
+  a.StoreA32(Asm::Sym("pack"), kD1);
+  a.MoveI(kD1, static_cast<int32_t>(StreamSeg::kFlagAck));
+  a.StoreA32(Asm::Sym("pflg"), kD1);
+  a.MoveI(kD1, static_cast<int32_t>(c.id));
+  a.Trap(probe_vec_);
+  a.Rts();
+  Bindings b;
+  b.Set("snxt", static_cast<int32_t>(c.ccb + CcbLayout::kSndNxt));
+  b.Set("rnxt", static_cast<int32_t>(c.ccb + CcbLayout::kRcvNxt));
+  b.Set("pseq", static_cast<int32_t>(probe_stage_ + StreamSeg::kSeq));
+  b.Set("pack", static_cast<int32_t>(probe_stage_ + StreamSeg::kAck));
+  b.Set("pflg", static_cast<int32_t>(probe_stage_ + StreamSeg::kFlags));
+  SynthesisOptions opts = kernel_.config().synthesis;
+  opts.live_out |= 1u << kD1;
+  return kernel_.SynthesizeInstall(a.Build(), b, nullptr, name, nullptr,
+                                   &opts);
+}
+
+// Host half of the synthesized probe: the stub staged the header and trapped
+// here with the connection id. Revalidate first — a chained stub runs at the
+// end of the interrupt, and the connection may have failed, finished or
+// grown an in-flight window since the sweep chained it — then transmit the
+// staged header + 1 byte and account exactly like the host-path probe.
+void StreamLayer::FinishProbe(ConnId id) {
+  Conn* c = Get(id);
+  if (c == nullptr || c->reclaimed || c->state == CcbLayout::kFailed ||
+      c->state == CcbLayout::kDone || !c->unacked.empty()) {
+    return;
+  }
+  Memory& mem = kernel_.machine().memory();
+  SendSpan span{mem.raw(probe_stage_), StreamSeg::kHdrBytes + 1};
+  if (!pool_.TransmitV(c->peer_port, c->local_port, &span, 1)) {
+    // Ring full: the probe never left, so it must not count toward the reap
+    // verdict. The deadline stays due; the next sweep retries.
+    tx_full_drops_gauge_.Count();
+    return;
+  }
+  c->probes_sent++;
+  c->next_probe_ticks =
+      TimerTicks(kernel_.NowUs() + c->cfg.keepalive_interval_us);
+  keepalive_probe_gauge_.Count();
+}
+
+void StreamLayer::HostProbe(Conn& c) {
   // One byte from already-acked sequence space (snd_nxt - 1): with nothing in
   // flight the peer's rcv_nxt equals snd_nxt, so the probe is never consumed
   // as data — the peer counts it out-of-order and re-acks, and that ack is
@@ -1104,6 +1266,10 @@ void StreamLayer::OnDeliver(ConnId id) {
   // bits (the keepalive probe's answer) — proves the peer and wire are live.
   const bool was_probing = c->probes_sent > 0;
   MarkActivity(*c);
+  // Heat feed: every delivery is one hit on the segment processor's handle;
+  // the adaptation sweep promotes sustained flows to the hot tier and
+  // demotes flows whose heat stays zero.
+  kernel_.spec().NoteHit(c->spec);
   // Delivery is also the recovery hook for a sweep alarm the fault plane
   // dropped: re-arm is a no-op while one is pending (the bcache pattern).
   ArmSweep();
@@ -1170,15 +1336,23 @@ void StreamLayer::Establish(Conn& c, uint16_t peer, uint32_t peer_seq) {
   mem.Write32(c.ccb + CcbLayout::kPeer, peer);
   mem.Write32(c.ccb + CcbLayout::kRcvNxt, peer_seq + 1);
   SetState(c, CcbLayout::kEstablished);
-  // The peer is now a connection-lifetime invariant: re-synthesize the
-  // processor with it (and the ring geometry) folded in.
-  Resynthesize(c);
+  // The peer is now a connection-lifetime invariant: re-fold the processor
+  // with it (and the ring geometry) through the Specializer — an equal-tier
+  // promotion, since the pre-establishment block folds invariants that just
+  // moved. A refusal drops to the generic walk (the install hook records the
+  // degradation); only a refusal with no generic to fall to — the stale
+  // block cannot carry established traffic — fails the connection.
+  if (!kernel_.spec().Promote(c.spec, SpecTier::kSpecialized) &&
+      kernel_.spec().TierOf(c.spec) != SpecTier::kGeneric) {
+    Fail(c);
+  }
   if (c.state == CcbLayout::kFailed || c.reclaimed) {
     return;
   }
   MarkActivity(c);
   if (c.cfg.keepalive_idle_us > 0) {
-    ArmSweep();  // the reaper starts watching at establishment
+    RegisterProbe(c);  // the probe send is the connection's own code now
+    ArmSweep();        // the reaper starts watching at establishment
   }
   kernel_.UnblockAll(c.senders);
 }
@@ -1391,10 +1565,17 @@ void StreamLayer::ReclaimConn(Conn& c) {
   io_.UnregisterRingDevice(c.path);
   io_.Close(c.ch);
   c.ch = kBadChannel;
-  if (!c.degraded) {  // a degraded processor aliases the shared generic walk
-    kernel_.RetireBlock(c.synth_deliver);
-  }
+  // Retiring the handles releases whatever blocks they own through deferred
+  // retirement (a degraded handle owns nothing — its active block aliases
+  // the shared generic walk). The probe stub may still be chained for this
+  // interrupt; chains drain before retired blocks are freed, and FinishProbe
+  // revalidates, so the late run is harmless.
+  kernel_.spec().Retire(c.spec);
+  c.spec = kBadSpec;
   c.synth_deliver = kInvalidBlock;
+  kernel_.spec().Retire(c.probe_spec);
+  c.probe_spec = kBadSpec;
+  c.probe_block = kInvalidBlock;
   if (c.alarms_pending == 0) {
     kernel_.RetireBlock(c.alarm_stub);
     c.alarm_stub = kInvalidBlock;
@@ -1578,6 +1759,11 @@ ChannelId StreamLayer::ChannelOf(ConnId conn) const {
 BlockId StreamLayer::SynthDeliverOf(ConnId conn) const {
   const Conn* c = Get(conn);
   return c == nullptr ? kInvalidBlock : c->synth_deliver;
+}
+
+SpecId StreamLayer::SpecOf(ConnId conn) const {
+  const Conn* c = Get(conn);
+  return c == nullptr || c->reclaimed ? kBadSpec : c->spec;
 }
 
 bool StreamLayer::DegradedOf(ConnId conn) const {

@@ -20,6 +20,23 @@
 //    Invariants). Sequence/ack processing, duplicate-ack and out-of-order
 //    accounting all run at interrupt level in synthesized code.
 //
+// Both processors are rungs of the kernel-wide Specializer's tier ladder
+// (specializer.h): each connection registers a handle whose emit callback
+// re-builds the processor at a requested tier and whose install callback
+// rebinds the flow. kGeneric is the shared walk, kSpecialized the per-
+// connection processor above, and kHot a deeper re-fold earned by delivery
+// heat: when the payload run is contiguous in the ring (no wrap), the copy
+// runs word-wide instead of byte-wide — about a quarter of the per-byte
+// loop's path length on bulk segments. The adaptation sweep promotes hot
+// flows, demotes flows that go cold (releasing their blocks through deferred
+// retirement), and retries degraded ones; all the old ad-hoc resynthesis
+// entry points now route through Promote/Demote/Retire.
+//
+// The keepalive probe send is also synthesized per connection: a stub that
+// stages the probe header from the CCB's folded sequence fields and traps to
+// the transmit half, chained from the sweep interrupt (§3.1) instead of
+// being assembled host-side every probe.
+//
 // Connections live on a NicPool: the pool's steering stage hashes the local
 // port to the owning NIC, so the flow (and its processors) bind on that
 // device's demux. The processors themselves are NIC-agnostic — CCB-absolute
@@ -187,6 +204,7 @@ class StreamLayer {
   static constexpr uint16_t kEphemeralBase = 40000;
 
   StreamLayer(Kernel& kernel, IoSystem& io, NicPool& pool);
+  ~StreamLayer();
 
   // Opens a passive connection on `port` (one peer; the first SYN wins).
   ConnId Listen(uint16_t port, StreamConfig cfg = StreamConfig());
@@ -232,9 +250,12 @@ class StreamLayer {
   // kInvalidBlock once the connection is reclaimed). For a degraded
   // connection this is the owning demux's shared generic walk.
   BlockId SynthDeliverOf(ConnId conn) const;
+  // The connection's Specializer handle (kBadSpec once reclaimed): tests and
+  // benches read tier/heat through Kernel::spec() with it.
+  SpecId SpecOf(ConnId conn) const;
   // Whether the connection is running on the generic interpreted path because
   // a code-store install was refused (capacity or injected fault). The sweep
-  // re-synthesizes it opportunistically once the store has room again.
+  // requests a promotion once the store has room again.
   bool DegradedOf(ConnId conn) const;
   // The shared interpreted segment processor (the baseline the benches run),
   // bound to the given NIC's demux helpers. Installed lazily, once per NIC.
@@ -304,6 +325,13 @@ class StreamLayer {
     std::string path;
     BlockId synth_deliver = kInvalidBlock;
     BlockId alarm_stub = kInvalidBlock;
+    // Specializer handles behind this connection's synthesized code: the
+    // segment processor (generic/specialized/hot ladder) and the keepalive
+    // probe stub. synth_deliver and probe_block mirror the handles' active
+    // blocks — the install hooks maintain them.
+    SpecId spec = kBadSpec;
+    SpecId probe_spec = kBadSpec;
+    BlockId probe_block = kInvalidBlock;  // kInvalidBlock: host-path probe
     uint32_t synth_gen = 0;  // uniquifies re-synthesized processor names
     // Running on the shared generic walk because an install was refused;
     // synth_deliver then aliases a block this connection does not own.
@@ -353,8 +381,11 @@ class StreamLayer {
   ConnId NewConn(uint16_t local_port, uint16_t peer_port, uint32_t state,
                  const StreamConfig& cfg);
   void SetState(Conn& c, uint32_t state);
-  BlockId BuildSynthDeliver(const Conn& c);
-  void Resynthesize(Conn& c);
+  BlockId BuildSynthDeliver(const Conn& c, SpecTier tier);
+  // The Specializer's install hook for the segment processor: wires the new
+  // active block into the flow table and keeps the degradation gauges
+  // truthful (`refused` distinguishes the ladder from a policy demotion).
+  void InstallDeliver(ConnId id, BlockId blk, SpecTier tier, bool refused);
   uint16_t AllocateEphemeral();
 
   bool TransmitSeg(Conn& c, const Seg& seg);
@@ -374,12 +405,20 @@ class StreamLayer {
   void MaybeFinish(Conn& c);
   void ReclaimConn(Conn& c);
   void MaybeReclaim(Conn& c);
-  BlockId FallbackProc(const Conn& c);
   bool NeedsSweep() const;
   double SweepPeriodUs() const;
   void ArmSweep();
   void SweepTick();
+  // Probe dispatch: runs the connection's synthesized probe stub (chained
+  // from interrupt level, called directly otherwise), or falls back to the
+  // host-built probe when the stub's install was refused.
   void SendProbe(Conn& c);
+  void RegisterProbe(Conn& c);
+  BlockId BuildProbeStub(const Conn& c);
+  // Host half of the synthesized probe: transmits the staged header after
+  // revalidating the connection (the stub may run after a reap was queued).
+  void FinishProbe(ConnId id);
+  void HostProbe(Conn& c);
   void MarkActivity(Conn& c);
   // Recomputes the connection's next-probe deadline from its last activity
   // and current idle backoff.
@@ -391,6 +430,11 @@ class StreamLayer {
   NicPool& pool_;
   std::map<uint32_t, BlockId> proc_gen_;  // generic processor, per NIC index
   int timer_vec_ = 0;
+  int probe_vec_ = 0;
+  // Shared staging area for synthesized probe sends (header + 1 zero data
+  // byte): probes leave one at a time and the transmit trap consumes the
+  // stage synchronously, so one serves every connection. Lazily allocated.
+  Addr probe_stage_ = 0;
   // The reaper/re-synthesis sweep: one layer-wide alarm, lazily armed like
   // the bcache flusher — installed on first need, re-armed while any
   // connection wants it, dormant otherwise. A dropped alarm (kAlarmDrop) is
